@@ -1,0 +1,260 @@
+//! Non-learning and simple-learning selector baselines from §V-A:
+//! Random, Greedy (lowest energy), plus ε-greedy and fixed-arm
+//! selectors used by tests and the offline oracle.
+
+use cne_util::SeedSequence;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::selector::ModelSelector;
+
+/// Picks a uniformly random arm every slot (the paper's "Random").
+#[derive(Debug, Clone)]
+pub struct RandomSelector {
+    num_arms: usize,
+    rng: StdRng,
+}
+
+impl RandomSelector {
+    /// Creates the selector.
+    ///
+    /// # Panics
+    /// Panics if `num_arms` is zero.
+    #[must_use]
+    pub fn new(num_arms: usize, seed: SeedSequence) -> Self {
+        assert!(num_arms > 0, "need at least one arm");
+        Self {
+            num_arms,
+            rng: seed.derive("random-selector").rng(),
+        }
+    }
+}
+
+impl ModelSelector for RandomSelector {
+    fn select(&mut self, _t: usize) -> usize {
+        self.rng.gen_range(0..self.num_arms)
+    }
+
+    fn observe(&mut self, _t: usize, _arm: usize, _loss: f64) {}
+
+    fn num_arms(&self) -> usize {
+        self.num_arms
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Always picks the arm with the smallest static cost — the paper's
+/// "Greedy", which selects the model with the lowest energy consumption
+/// regardless of inference quality.
+#[derive(Debug, Clone)]
+pub struct GreedyByCost {
+    costs: Vec<f64>,
+    choice: usize,
+}
+
+impl GreedyByCost {
+    /// Creates the selector from per-arm static costs (e.g. `φ_n`).
+    ///
+    /// # Panics
+    /// Panics if `costs` is empty or contains a non-finite value.
+    #[must_use]
+    pub fn new(costs: Vec<f64>) -> Self {
+        assert!(!costs.is_empty(), "need at least one arm");
+        assert!(costs.iter().all(|c| c.is_finite()), "costs must be finite");
+        let mut choice = 0;
+        for (i, &c) in costs.iter().enumerate() {
+            if c < costs[choice] {
+                choice = i;
+            }
+        }
+        Self { costs, choice }
+    }
+
+    /// The arm it will always select.
+    #[must_use]
+    pub fn choice(&self) -> usize {
+        self.choice
+    }
+}
+
+impl ModelSelector for GreedyByCost {
+    fn select(&mut self, _t: usize) -> usize {
+        self.choice
+    }
+
+    fn observe(&mut self, _t: usize, _arm: usize, _loss: f64) {}
+
+    fn num_arms(&self) -> usize {
+        self.costs.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+}
+
+/// Always plays a fixed arm. Used for hindsight-best comparisons in the
+/// regret computation and by the offline oracle.
+#[derive(Debug, Clone)]
+pub struct FixedArm {
+    num_arms: usize,
+    arm: usize,
+}
+
+impl FixedArm {
+    /// Creates the selector.
+    ///
+    /// # Panics
+    /// Panics if `arm >= num_arms`.
+    #[must_use]
+    pub fn new(num_arms: usize, arm: usize) -> Self {
+        assert!(arm < num_arms, "fixed arm out of range");
+        Self { num_arms, arm }
+    }
+}
+
+impl ModelSelector for FixedArm {
+    fn select(&mut self, _t: usize) -> usize {
+        self.arm
+    }
+
+    fn observe(&mut self, _t: usize, _arm: usize, _loss: f64) {}
+
+    fn num_arms(&self) -> usize {
+        self.num_arms
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+/// ε-greedy with a `c/t` exploration schedule: with probability
+/// `min(1, c/(t+1))` explore uniformly, otherwise exploit the lowest
+/// empirical mean loss.
+#[derive(Debug, Clone)]
+pub struct EpsilonGreedy {
+    counts: Vec<u64>,
+    sums: Vec<f64>,
+    explore_scale: f64,
+    rng: StdRng,
+}
+
+impl EpsilonGreedy {
+    /// Creates the selector; `explore_scale` is the constant `c` of the
+    /// `c/t` schedule.
+    ///
+    /// # Panics
+    /// Panics if `num_arms` is zero or `explore_scale` is negative.
+    #[must_use]
+    pub fn new(num_arms: usize, explore_scale: f64, seed: SeedSequence) -> Self {
+        assert!(num_arms > 0, "need at least one arm");
+        assert!(
+            explore_scale >= 0.0 && explore_scale.is_finite(),
+            "exploration scale must be >= 0"
+        );
+        Self {
+            counts: vec![0; num_arms],
+            sums: vec![0.0; num_arms],
+            explore_scale,
+            rng: seed.derive("eps-greedy").rng(),
+        }
+    }
+}
+
+impl ModelSelector for EpsilonGreedy {
+    fn select(&mut self, t: usize) -> usize {
+        let eps = (self.explore_scale / (t as f64 + 1.0)).min(1.0);
+        if self.rng.gen::<f64>() < eps {
+            return self.rng.gen_range(0..self.counts.len());
+        }
+        let mut best = 0;
+        let mut best_mean = f64::INFINITY;
+        for a in 0..self.counts.len() {
+            let mean = if self.counts[a] == 0 {
+                f64::NEG_INFINITY // prefer untried arms when exploiting
+            } else {
+                self.sums[a] / self.counts[a] as f64
+            };
+            if mean < best_mean {
+                best_mean = mean;
+                best = a;
+            }
+        }
+        best
+    }
+
+    fn observe(&mut self, _t: usize, arm: usize, loss: f64) {
+        self.counts[arm] += 1;
+        self.sums[arm] += loss;
+    }
+
+    fn num_arms(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "eps-greedy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_covers_all_arms() {
+        let mut s = RandomSelector::new(5, SeedSequence::new(1));
+        let mut seen = [false; 5];
+        for t in 0..200 {
+            seen[s.select(t)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn greedy_always_picks_cheapest() {
+        let mut s = GreedyByCost::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(s.choice(), 1);
+        for t in 0..10 {
+            assert_eq!(s.select(t), 1);
+        }
+    }
+
+    #[test]
+    fn fixed_arm_is_fixed() {
+        let mut s = FixedArm::new(4, 2);
+        for t in 0..10 {
+            assert_eq!(s.select(t), 2);
+            s.observe(t, 2, 0.5);
+        }
+    }
+
+    #[test]
+    fn epsilon_greedy_learns() {
+        let mut s = EpsilonGreedy::new(3, 10.0, SeedSequence::new(2));
+        let mut rng = SeedSequence::new(3).rng();
+        let means = [0.8, 0.2, 0.8];
+        let mut pulls = [0usize; 3];
+        for t in 0..2000 {
+            let a = s.select(t);
+            pulls[a] += 1;
+            let loss = if rng.gen::<f64>() < means[a] {
+                1.0
+            } else {
+                0.0
+            };
+            s.observe(t, a, loss);
+        }
+        assert!(pulls[1] > 1200, "eps-greedy under-pulled best: {pulls:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fixed_arm_validated() {
+        let _ = FixedArm::new(3, 3);
+    }
+}

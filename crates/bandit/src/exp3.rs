@@ -1,0 +1,146 @@
+//! EXP3 — the classic exponential-weights adversarial bandit,
+//! included as an additional reference point for Algorithm 1 (the
+//! paper's Tsallis-INF is the modern best-of-both-worlds successor of
+//! EXP3; comparing them isolates the value of the Tsallis potential).
+
+use cne_util::SeedSequence;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::selector::ModelSelector;
+
+/// EXP3 with the anytime learning rate `η_t = √(ln N / (t N))` and
+/// importance-weighted loss estimates.
+#[derive(Debug, Clone)]
+pub struct Exp3 {
+    /// Cumulative importance-weighted loss estimates.
+    cum_estimates: Vec<f64>,
+    probs: Vec<f64>,
+    current: usize,
+    next_slot: usize,
+    rng: StdRng,
+}
+
+impl Exp3 {
+    /// Creates the selector.
+    ///
+    /// # Panics
+    /// Panics if `num_arms` is zero.
+    #[must_use]
+    pub fn new(num_arms: usize, seed: SeedSequence) -> Self {
+        assert!(num_arms > 0, "need at least one arm");
+        Self {
+            cum_estimates: vec![0.0; num_arms],
+            probs: vec![1.0 / num_arms as f64; num_arms],
+            current: 0,
+            next_slot: 0,
+            rng: seed.derive("exp3").rng(),
+        }
+    }
+
+    /// Current sampling distribution (for tests).
+    #[must_use]
+    pub fn distribution(&self) -> &[f64] {
+        &self.probs
+    }
+
+    fn recompute_probs(&mut self, t: usize) {
+        let n = self.cum_estimates.len() as f64;
+        let eta = ((n.ln()) / ((t as f64 + 1.0) * n)).sqrt();
+        // Softmax of −η Ĉ with max-shift for stability.
+        let min = self
+            .cum_estimates
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let mut total = 0.0;
+        for (p, &c) in self.probs.iter_mut().zip(&self.cum_estimates) {
+            *p = (-eta * (c - min)).exp();
+            total += *p;
+        }
+        for p in &mut self.probs {
+            *p /= total;
+        }
+    }
+}
+
+impl ModelSelector for Exp3 {
+    fn select(&mut self, t: usize) -> usize {
+        assert_eq!(t, self.next_slot, "slots must be visited in order");
+        self.recompute_probs(t);
+        let x: f64 = self.rng.gen();
+        let mut acc = 0.0;
+        self.current = self.probs.len() - 1;
+        for (i, &p) in self.probs.iter().enumerate() {
+            acc += p;
+            if x < acc {
+                self.current = i;
+                break;
+            }
+        }
+        self.current
+    }
+
+    fn observe(&mut self, t: usize, arm: usize, loss: f64) {
+        assert_eq!(t, self.next_slot, "observe out of order");
+        assert_eq!(arm, self.current, "observed arm differs from selection");
+        self.cum_estimates[arm] += loss / self.probs[arm];
+        self.next_slot = t + 1;
+    }
+
+    fn num_arms(&self) -> usize {
+        self.cum_estimates.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "exp3"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_best_arm() {
+        let mut alg = Exp3::new(4, SeedSequence::new(1));
+        let mut rng = SeedSequence::new(2).rng();
+        let means = [0.7, 0.2, 0.7, 0.7];
+        let mut pulls = [0usize; 4];
+        for t in 0..4000 {
+            let arm = alg.select(t);
+            pulls[arm] += 1;
+            let loss = if rng.gen::<f64>() < means[arm] {
+                1.0
+            } else {
+                0.0
+            };
+            alg.observe(t, arm, loss);
+        }
+        assert!(pulls[1] > 2000, "best arm under-pulled: {pulls:?}");
+    }
+
+    #[test]
+    fn distribution_is_valid() {
+        let mut alg = Exp3::new(5, SeedSequence::new(3));
+        for t in 0..50 {
+            let arm = alg.select(t);
+            let sum: f64 = alg.distribution().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(alg.distribution().iter().all(|&p| p > 0.0));
+            alg.observe(t, arm, 0.5);
+        }
+    }
+
+    #[test]
+    fn numerically_stable_under_large_estimates() {
+        let mut alg = Exp3::new(3, SeedSequence::new(4));
+        for t in 0..2000 {
+            let arm = alg.select(t);
+            // Extreme losses blow up importance weights; probabilities
+            // must remain finite and normalized.
+            alg.observe(t, arm, 1.0);
+        }
+        assert!(alg.distribution().iter().all(|p| p.is_finite()));
+    }
+}

@@ -1,0 +1,221 @@
+//! The online-mirror-descent step of Algorithm 1 (line 3).
+//!
+//! Each block solves
+//!
+//! ```text
+//! p = argmin_{p ∈ Δ}  Σ_n p_n Ĉ(n)  −  Σ_n (4√p_n − 2 p_n) / η
+//! ```
+//!
+//! over the probability simplex `Δ`. Stationarity of the Lagrangian
+//! gives the closed form
+//!
+//! ```text
+//! p_n(λ) = 4 / (η (Ĉ(n) + λ) + 2)²
+//! ```
+//!
+//! valid on the domain where every denominator is positive, with the
+//! multiplier `λ` chosen so `Σ_n p_n(λ) = 1`. `Σ p_n(λ)` is strictly
+//! decreasing in `λ` on that domain, so the root is unique; we find it
+//! with safeguarded Newton iteration (the paper's complexity analysis
+//! invokes the Brent method — any 1-D root finder at `ε` accuracy).
+
+/// Tolerance on `|Σ p − 1|` for the normalization root.
+const TOL: f64 = 1e-12;
+
+/// Maximum Newton/bisection iterations.
+const MAX_ITERS: usize = 200;
+
+/// Solves the Tsallis-entropy OMD step.
+///
+/// `cum_losses` holds the cumulative importance-weighted loss estimates
+/// `Ĉ_{k−1}(n)`; `eta` is the block's learning rate `η_k`.
+///
+/// Returns the sampling distribution over arms.
+///
+/// # Panics
+/// Panics if `cum_losses` is empty, `eta` is not positive, or any input
+/// is not finite.
+///
+/// # Examples
+///
+/// ```
+/// use cne_bandit::omd::tsallis_weights;
+///
+/// // Equal losses → uniform distribution.
+/// let p = tsallis_weights(&[5.0, 5.0, 5.0], 0.5);
+/// for &pi in &p {
+///     assert!((pi - 1.0 / 3.0).abs() < 1e-9);
+/// }
+/// // The lower-loss arm gets more mass.
+/// let p = tsallis_weights(&[1.0, 4.0], 0.5);
+/// assert!(p[0] > p[1]);
+/// ```
+#[must_use]
+pub fn tsallis_weights(cum_losses: &[f64], eta: f64) -> Vec<f64> {
+    assert!(!cum_losses.is_empty(), "no arms");
+    assert!(
+        eta > 0.0 && eta.is_finite(),
+        "learning rate must be positive"
+    );
+    assert!(
+        cum_losses.iter().all(|c| c.is_finite()),
+        "cumulative losses must be finite"
+    );
+    let n = cum_losses.len();
+    if n == 1 {
+        return vec![1.0];
+    }
+
+    // p_n(λ) = 4 / (η (C_n + λ) + 2)^2, needs η(C_n + λ) + 2 > 0 ∀n,
+    // i.e. λ > λ_min = max_n (−C_n − 2/η) = −min_n C_n − 2/η.
+    let min_c = cum_losses.iter().copied().fold(f64::INFINITY, f64::min);
+    let lambda_min = -min_c - 2.0 / eta;
+
+    let sum_and_grad = |lambda: f64| -> (f64, f64) {
+        let mut s = 0.0;
+        let mut ds = 0.0;
+        for &c in cum_losses {
+            let d = eta * (c + lambda) + 2.0;
+            let inv = 1.0 / d;
+            let p = 4.0 * inv * inv;
+            s += p;
+            ds += -8.0 * eta * inv * inv * inv;
+        }
+        (s, ds)
+    };
+
+    // Bracket the root: at λ → λ_min⁺ the sum blows up (> 1); find an
+    // upper bound where the sum < 1. If every arm had the minimal loss,
+    // uniform weights need η(C+λ)+2 = 2√n, i.e. λ ≈ −min_c + (2√n−2)/η.
+    let mut lo = lambda_min + 1e-300_f64.max(1e-12 * (1.0 + lambda_min.abs()));
+    let mut hi = -min_c + (2.0 * (n as f64).sqrt() - 2.0) / eta + 1.0;
+    while sum_and_grad(hi).0 > 1.0 {
+        hi = lambda_min + (hi - lambda_min) * 2.0;
+    }
+
+    // Safeguarded Newton from the upper end (sum is convex decreasing,
+    // so Newton from a point with sum < 1 stays in the bracket).
+    let mut lambda = hi;
+    for _ in 0..MAX_ITERS {
+        let (s, ds) = sum_and_grad(lambda);
+        let f = s - 1.0;
+        if f.abs() < TOL {
+            break;
+        }
+        if f > 0.0 {
+            lo = lambda;
+        } else {
+            hi = lambda;
+        }
+        let newton = lambda - f / ds;
+        lambda = if newton.is_finite() && newton > lo && newton < hi {
+            newton
+        } else {
+            0.5 * (lo + hi)
+        };
+    }
+
+    let mut p: Vec<f64> = cum_losses
+        .iter()
+        .map(|&c| {
+            let d = eta * (c + lambda) + 2.0;
+            4.0 / (d * d)
+        })
+        .collect();
+    // Exact renormalization to kill residual root-finding error.
+    let total: f64 = p.iter().sum();
+    for v in &mut p {
+        *v /= total;
+    }
+    p
+}
+
+/// Verifies the KKT stationarity of a solution (used by property tests):
+/// for every pair of arms, `C_m − C_n` must equal
+/// `(2/η)(1/√p_m − 1/√p_n)` up to tolerance.
+#[must_use]
+pub fn kkt_residual(cum_losses: &[f64], eta: f64, p: &[f64]) -> f64 {
+    let mut worst: f64 = 0.0;
+    for i in 0..p.len() {
+        for j in (i + 1)..p.len() {
+            let lhs = cum_losses[j] - cum_losses[i];
+            let rhs = (2.0 / eta) * (1.0 / p[j].sqrt() - 1.0 / p[i].sqrt());
+            worst = worst.max((lhs - rhs).abs() / (1.0 + lhs.abs()));
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_for_equal_losses() {
+        for n in [2usize, 3, 7, 20] {
+            let p = tsallis_weights(&vec![3.0; n], 0.7);
+            for &pi in &p {
+                assert!((pi - 1.0 / n as f64).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sums_to_one_and_positive() {
+        let cases: Vec<(Vec<f64>, f64)> = vec![
+            (vec![0.0, 10.0, 100.0], 0.1),
+            (vec![-5.0, 0.0, 5.0], 2.0),
+            (vec![1e6, 0.0], 1e-3),
+            (vec![0.3, 0.2, 0.9, 0.4, 0.8], 0.9),
+        ];
+        for (c, eta) in cases {
+            let p = tsallis_weights(&c, eta);
+            let s: f64 = p.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "sum {s} for {c:?}");
+            assert!(p.iter().all(|&v| v > 0.0), "non-positive weight: {p:?}");
+        }
+    }
+
+    #[test]
+    fn monotone_in_losses() {
+        let p = tsallis_weights(&[0.0, 1.0, 2.0, 4.0], 0.8);
+        for w in p.windows(2) {
+            assert!(w[0] > w[1], "weights not decreasing: {p:?}");
+        }
+    }
+
+    #[test]
+    fn kkt_satisfied() {
+        let c = vec![0.2, 3.4, 1.1, 7.7];
+        let p = tsallis_weights(&c, 0.35);
+        assert!(kkt_residual(&c, 0.35, &p) < 1e-6);
+    }
+
+    #[test]
+    fn small_eta_explores_more() {
+        // Smaller learning rate → closer to uniform.
+        let c = vec![0.0, 5.0];
+        let aggressive = tsallis_weights(&c, 2.0);
+        let cautious = tsallis_weights(&c, 0.01);
+        assert!(cautious[1] > aggressive[1]);
+        assert!((cautious[0] - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn single_arm() {
+        assert_eq!(tsallis_weights(&[42.0], 0.5), vec![1.0]);
+    }
+
+    #[test]
+    fn large_loss_gap_concentrates() {
+        let p = tsallis_weights(&[0.0, 1e4], 1.0);
+        assert!(p[0] > 0.999);
+        assert!(p[1] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_zero_eta() {
+        let _ = tsallis_weights(&[1.0, 2.0], 0.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! The block-length / learning-rate schedule of Theorem 1.
+//!
+//! For an edge with switching cost `u` (in per-slot loss units) and `N`
+//! arms, block `k ≥ 1` has
+//!
+//! ```text
+//! d_k   = (3u/2) · √(k/N)
+//! |B_k| = max{⌈d_k⌉, 1}
+//! η_k   = (2 / (d_k + 1)) · √(2/k)
+//! ```
+//!
+//! and the last block is truncated so the lengths sum to the horizon
+//! `T` exactly. The number of blocks is then
+//! `K ≤ N^{1/3} (T/u)^{2/3} + 1` — the switch budget the regret bound
+//! charges. With `u → 0` the schedule degenerates to unit blocks, i.e.
+//! plain Tsallis-INF.
+
+/// A fully materialized block schedule for one edge and horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    lengths: Vec<usize>,
+    etas: Vec<f64>,
+    /// `slot_block[t]` = index of the block containing slot `t`.
+    slot_block: Vec<usize>,
+    /// First slot of each block.
+    starts: Vec<usize>,
+    horizon: usize,
+}
+
+impl Schedule {
+    /// Builds the Theorem 1 schedule for switching cost `u`, `num_arms`
+    /// arms, and horizon `horizon`.
+    ///
+    /// # Panics
+    /// Panics if `horizon` or `num_arms` is zero, or `u` is negative or
+    /// not finite.
+    #[must_use]
+    pub fn theorem1(u: f64, num_arms: usize, horizon: usize) -> Self {
+        assert!(u.is_finite() && u >= 0.0, "switching cost must be >= 0");
+        assert!(num_arms > 0, "need at least one arm");
+        Self::from_rule(horizon, |k| {
+            let d = 1.5 * u * ((k as f64) / num_arms as f64).sqrt();
+            let len = d.ceil().max(1.0) as usize;
+            let eta = (2.0 / (d + 1.0)) * (2.0 / k as f64).sqrt();
+            (len, eta)
+        })
+    }
+
+    /// Unit-length blocks with `η_k = √(2/k)` — the plain Tsallis-INF
+    /// baseline (no switching awareness).
+    ///
+    /// # Panics
+    /// Panics if `horizon` is zero.
+    #[must_use]
+    pub fn unit(horizon: usize) -> Self {
+        Self::from_rule(horizon, |k| (1, (2.0 / k as f64).sqrt()))
+    }
+
+    /// Builds a schedule from an arbitrary per-block rule
+    /// `k ↦ (length, η_k)` (1-based `k`), truncating the last block at
+    /// the horizon.
+    ///
+    /// # Panics
+    /// Panics if `horizon` is zero or the rule returns a zero length or
+    /// non-positive learning rate.
+    #[must_use]
+    pub fn from_rule<F: FnMut(usize) -> (usize, f64)>(horizon: usize, mut rule: F) -> Self {
+        assert!(horizon > 0, "horizon must be positive");
+        let mut lengths = Vec::new();
+        let mut etas = Vec::new();
+        let mut starts = Vec::new();
+        let mut slot_block = Vec::with_capacity(horizon);
+        let mut covered = 0usize;
+        let mut k = 1usize;
+        while covered < horizon {
+            let (len, eta) = rule(k);
+            assert!(len > 0, "block length must be positive");
+            assert!(
+                eta > 0.0 && eta.is_finite(),
+                "learning rate must be positive"
+            );
+            let len = len.min(horizon - covered); // truncate final block
+            starts.push(covered);
+            for _ in 0..len {
+                slot_block.push(lengths.len());
+            }
+            lengths.push(len);
+            etas.push(eta);
+            covered += len;
+            k += 1;
+        }
+        Self {
+            lengths,
+            etas,
+            slot_block,
+            starts,
+            horizon,
+        }
+    }
+
+    /// Number of blocks `K` (the switch budget).
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Horizon `T`.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Length of block `k` (0-based).
+    ///
+    /// # Panics
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn block_len(&self, k: usize) -> usize {
+        self.lengths[k]
+    }
+
+    /// Learning rate of block `k` (0-based).
+    ///
+    /// # Panics
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn eta(&self, k: usize) -> f64 {
+        self.etas[k]
+    }
+
+    /// Block containing slot `t`.
+    ///
+    /// # Panics
+    /// Panics if `t >= horizon`.
+    #[must_use]
+    pub fn block_of(&self, t: usize) -> usize {
+        self.slot_block[t]
+    }
+
+    /// Whether slot `t` is the first slot of its block.
+    ///
+    /// # Panics
+    /// Panics if `t >= horizon`.
+    #[must_use]
+    pub fn is_block_start(&self, t: usize) -> bool {
+        self.starts[self.slot_block[t]] == t
+    }
+
+    /// Whether slot `t` is the last slot of its block.
+    ///
+    /// # Panics
+    /// Panics if `t >= horizon`.
+    #[must_use]
+    pub fn is_block_end(&self, t: usize) -> bool {
+        let k = self.slot_block[t];
+        self.starts[k] + self.lengths[k] - 1 == t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_horizon_exactly() {
+        for (u, n, t) in [(0.0, 3, 17), (2.0, 6, 160), (50.0, 6, 1000), (0.5, 2, 1)] {
+            let s = Schedule::theorem1(u, n, t);
+            let total: usize = (0..s.num_blocks()).map(|k| s.block_len(k)).sum();
+            assert_eq!(total, t, "u={u} n={n} t={t}");
+        }
+    }
+
+    #[test]
+    fn switch_budget_matches_theorem() {
+        // K ≤ N^{1/3} (T/u)^{2/3} + 1 for u > 0.
+        for (u, n, t) in [(2.0_f64, 6usize, 160usize), (8.0, 6, 640), (1.0, 3, 1000)] {
+            let s = Schedule::theorem1(u, n, t);
+            let bound = (n as f64).powf(1.0 / 3.0) * (t as f64 / u).powf(2.0 / 3.0) + 1.0;
+            assert!(
+                (s.num_blocks() as f64) <= bound.ceil() + 1.0,
+                "K={} bound={bound} (u={u}, n={n}, t={t})",
+                s.num_blocks()
+            );
+        }
+    }
+
+    #[test]
+    fn unit_schedule_is_one_block_per_slot() {
+        let s = Schedule::unit(25);
+        assert_eq!(s.num_blocks(), 25);
+        for t in 0..25 {
+            assert_eq!(s.block_of(t), t);
+            assert!(s.is_block_start(t));
+            assert!(s.is_block_end(t));
+        }
+        assert!((s.eta(0) - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert!((s.eta(3) - (2.0_f64 / 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_lengths_nondecreasing_under_theorem1() {
+        let s = Schedule::theorem1(4.0, 6, 2000);
+        // Except for the truncated last block, lengths are nondecreasing.
+        for k in 1..s.num_blocks() - 1 {
+            assert!(
+                s.block_len(k) >= s.block_len(k - 1),
+                "block {k} shrank: {:?}",
+                (s.block_len(k - 1), s.block_len(k))
+            );
+        }
+    }
+
+    #[test]
+    fn learning_rates_decrease() {
+        let s = Schedule::theorem1(2.0, 6, 500);
+        for k in 1..s.num_blocks() {
+            assert!(s.eta(k) <= s.eta(k - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn larger_switching_cost_gives_longer_blocks() {
+        let cheap = Schedule::theorem1(0.5, 6, 160);
+        let dear = Schedule::theorem1(8.0, 6, 160);
+        assert!(
+            dear.num_blocks() < cheap.num_blocks(),
+            "expensive switching must reduce the number of blocks: {} vs {}",
+            dear.num_blocks(),
+            cheap.num_blocks()
+        );
+    }
+
+    #[test]
+    fn slot_block_consistency() {
+        let s = Schedule::theorem1(3.0, 4, 300);
+        let mut t = 0usize;
+        for k in 0..s.num_blocks() {
+            for _ in 0..s.block_len(k) {
+                assert_eq!(s.block_of(t), k);
+                t += 1;
+            }
+        }
+        assert_eq!(t, 300);
+    }
+
+    #[test]
+    fn start_end_flags() {
+        let s = Schedule::theorem1(5.0, 6, 100);
+        let mut starts = 0;
+        let mut ends = 0;
+        for t in 0..100 {
+            if s.is_block_start(t) {
+                starts += 1;
+            }
+            if s.is_block_end(t) {
+                ends += 1;
+            }
+        }
+        assert_eq!(starts, s.num_blocks());
+        assert_eq!(ends, s.num_blocks());
+    }
+}

@@ -1,0 +1,56 @@
+//! The common interface of all model selectors.
+
+/// A sequential model-selection policy for one edge.
+///
+/// The simulator drives a selector with the slot protocol of the paper's
+/// Fig. 2: at the start of slot `t` it calls [`select`](Self::select) to
+/// learn which model to host, serves the stream, and then reports the
+/// realized slot loss via [`observe`](Self::observe).
+///
+/// Implementations own their randomness (seeded at construction), so a
+/// selector is deterministic given its seed and the observed losses.
+pub trait ModelSelector {
+    /// Returns the arm (model index) to host during slot `t`.
+    ///
+    /// Slots must be visited in order `0, 1, 2, …`; selectors may panic
+    /// otherwise.
+    fn select(&mut self, t: usize) -> usize;
+
+    /// Reports the loss observed for `arm` during slot `t` (the same
+    /// `t`/arm returned by the preceding [`select`](Self::select) call).
+    /// Losses are expected to be normalized to approximately `[0, 1]`.
+    fn observe(&mut self, t: usize, arm: usize, loss: f64);
+
+    /// Number of arms `N`.
+    fn num_arms(&self) -> usize;
+
+    /// Short display name (used in figure legends).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trait must be object-safe: combos store selectors as
+    /// `Box<dyn ModelSelector>`.
+    #[test]
+    fn object_safe() {
+        struct Always0;
+        impl ModelSelector for Always0 {
+            fn select(&mut self, _t: usize) -> usize {
+                0
+            }
+            fn observe(&mut self, _t: usize, _arm: usize, _loss: f64) {}
+            fn num_arms(&self) -> usize {
+                1
+            }
+            fn name(&self) -> &'static str {
+                "always0"
+            }
+        }
+        let mut boxed: Box<dyn ModelSelector> = Box::new(Always0);
+        assert_eq!(boxed.select(0), 0);
+        assert_eq!(boxed.name(), "always0");
+    }
+}

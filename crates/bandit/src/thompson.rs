@@ -1,0 +1,137 @@
+//! Thompson sampling with Gaussian posteriors — a strong Bayesian
+//! baseline for stochastic environments, included to situate
+//! Algorithm 1 against the stochastic-bandit state of the art (the
+//! paper compares against UCB2; Thompson sampling is the usual
+//! companion reference).
+
+use cne_util::SeedSequence;
+use rand::rngs::StdRng;
+
+use crate::selector::ModelSelector;
+
+/// Gaussian Thompson sampling: each arm's mean loss carries a normal
+/// posterior `N(μ̂_a, σ²/(n_a + 1))`; each slot samples from every
+/// posterior and plays the minimizer.
+#[derive(Debug, Clone)]
+pub struct ThompsonSampling {
+    counts: Vec<u64>,
+    sums: Vec<f64>,
+    /// Prior/observation standard deviation of the losses.
+    sigma: f64,
+    rng: StdRng,
+    next_slot: usize,
+}
+
+impl ThompsonSampling {
+    /// Creates the selector; `sigma` is the assumed observation noise
+    /// scale (use ~the loss range).
+    ///
+    /// # Panics
+    /// Panics if `num_arms` is zero or `sigma` is not positive.
+    #[must_use]
+    pub fn new(num_arms: usize, sigma: f64, seed: SeedSequence) -> Self {
+        assert!(num_arms > 0, "need at least one arm");
+        assert!(sigma > 0.0 && sigma.is_finite(), "sigma must be positive");
+        Self {
+            counts: vec![0; num_arms],
+            sums: vec![0.0; num_arms],
+            sigma,
+            rng: seed.derive("thompson").rng(),
+            next_slot: 0,
+        }
+    }
+
+    fn posterior_sample(&mut self, arm: usize) -> f64 {
+        let n = self.counts[arm] as f64;
+        let mean = if n > 0.0 { self.sums[arm] / n } else { 0.5 };
+        let std = self.sigma / (n + 1.0).sqrt();
+        // Box–Muller using the selector's own RNG.
+        use rand::Rng;
+        let u1: f64 = 1.0 - self.rng.gen::<f64>();
+        let u2: f64 = self.rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std * z
+    }
+}
+
+impl ModelSelector for ThompsonSampling {
+    fn select(&mut self, t: usize) -> usize {
+        assert_eq!(t, self.next_slot, "slots must be visited in order");
+        let mut best = 0;
+        let mut best_sample = f64::INFINITY;
+        for arm in 0..self.counts.len() {
+            let s = self.posterior_sample(arm);
+            if s < best_sample {
+                best_sample = s;
+                best = arm;
+            }
+        }
+        best
+    }
+
+    fn observe(&mut self, t: usize, arm: usize, loss: f64) {
+        assert_eq!(t, self.next_slot, "observe out of order");
+        self.counts[arm] += 1;
+        self.sums[arm] += loss;
+        self.next_slot = t + 1;
+    }
+
+    fn num_arms(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "thompson"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn finds_best_arm() {
+        let mut alg = ThompsonSampling::new(4, 0.5, SeedSequence::new(1));
+        let mut rng = SeedSequence::new(2).rng();
+        let means = [0.7, 0.2, 0.7, 0.7];
+        let mut pulls = [0usize; 4];
+        for t in 0..3000 {
+            let arm = alg.select(t);
+            pulls[arm] += 1;
+            let loss = if rng.gen::<f64>() < means[arm] {
+                1.0
+            } else {
+                0.0
+            };
+            alg.observe(t, arm, loss);
+        }
+        assert!(pulls[1] > 2200, "best arm under-pulled: {pulls:?}");
+    }
+
+    #[test]
+    fn posterior_concentrates() {
+        let mut alg = ThompsonSampling::new(2, 0.5, SeedSequence::new(3));
+        // Feed arm 0 many identical low losses.
+        for t in 0..500 {
+            let arm = alg.select(t);
+            let loss = if arm == 0 { 0.1 } else { 0.9 };
+            alg.observe(t, arm, loss);
+        }
+        // After concentration, samples from arm 0's posterior are close
+        // to 0.1 with high probability.
+        let mut near = 0;
+        for _ in 0..100 {
+            if (alg.posterior_sample(0) - 0.1).abs() < 0.2 {
+                near += 1;
+            }
+        }
+        assert!(near > 80, "posterior failed to concentrate: {near}/100");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn rejects_bad_sigma() {
+        let _ = ThompsonSampling::new(2, 0.0, SeedSequence::new(4));
+    }
+}

@@ -1,0 +1,289 @@
+//! Upper-confidence-bound baselines: UCB1 and the switching-bounded
+//! UCB2 the paper compares against (refs \[30\], \[48\]).
+
+use cne_util::SeedSequence;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::selector::ModelSelector;
+
+/// Classic UCB1 (Auer–Cesa-Bianchi–Fischer): play the arm maximizing
+/// `−mean + √(2 ln t / n)` (we minimize losses, so the bonus is
+/// subtracted from the empirical mean loss).
+#[derive(Debug, Clone)]
+pub struct Ucb1 {
+    counts: Vec<u64>,
+    sums: Vec<f64>,
+    next_slot: usize,
+    rng: StdRng,
+}
+
+impl Ucb1 {
+    /// Creates a UCB1 selector over `num_arms` arms.
+    ///
+    /// # Panics
+    /// Panics if `num_arms` is zero.
+    #[must_use]
+    pub fn new(num_arms: usize, seed: SeedSequence) -> Self {
+        assert!(num_arms > 0, "need at least one arm");
+        Self {
+            counts: vec![0; num_arms],
+            sums: vec![0.0; num_arms],
+            next_slot: 0,
+            rng: seed.derive("ucb1").rng(),
+        }
+    }
+
+    fn index(&self, arm: usize, t: usize) -> f64 {
+        if self.counts[arm] == 0 {
+            return f64::NEG_INFINITY; // force initial exploration
+        }
+        let mean = self.sums[arm] / self.counts[arm] as f64;
+        let bonus = (2.0 * ((t.max(1)) as f64).ln() / self.counts[arm] as f64).sqrt();
+        mean - bonus
+    }
+}
+
+impl ModelSelector for Ucb1 {
+    fn select(&mut self, t: usize) -> usize {
+        assert_eq!(t, self.next_slot, "slots must be visited in order");
+        // Untried arms first (ties broken randomly).
+        let untried: Vec<usize> = (0..self.counts.len())
+            .filter(|&a| self.counts[a] == 0)
+            .collect();
+        if !untried.is_empty() {
+            return untried[self.rng.gen_range(0..untried.len())];
+        }
+        let mut best = 0;
+        let mut best_idx = f64::INFINITY;
+        for a in 0..self.counts.len() {
+            let idx = self.index(a, t + 1);
+            if idx < best_idx {
+                best_idx = idx;
+                best = a;
+            }
+        }
+        best
+    }
+
+    fn observe(&mut self, t: usize, arm: usize, loss: f64) {
+        assert_eq!(t, self.next_slot, "observe out of order");
+        self.counts[arm] += 1;
+        self.sums[arm] += loss;
+        self.next_slot = t + 1;
+    }
+
+    fn num_arms(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "ucb1"
+    }
+}
+
+/// UCB2 (Auer et al. 2002): plays arms in *epochs*. When arm `a` is
+/// chosen (maximizing the epoch index), it is played for
+/// `τ(r_a + 1) − τ(r_a)` consecutive slots with `τ(r) = ⌈(1+α)^r⌉`,
+/// after which `r_a` is incremented. The epoch structure bounds the
+/// number of switches by `O(log T)` per arm, which is why the paper
+/// uses it as the switching-aware bandit baseline.
+#[derive(Debug, Clone)]
+pub struct Ucb2 {
+    alpha: f64,
+    counts: Vec<u64>,
+    sums: Vec<f64>,
+    epochs: Vec<u32>,
+    /// Remaining slots in the current epoch run.
+    remaining: u64,
+    current: usize,
+    next_slot: usize,
+    rng: StdRng,
+}
+
+impl Ucb2 {
+    /// Creates a UCB2 selector with epoch parameter `alpha`
+    /// (conventionally a small positive value, e.g. 0.5).
+    ///
+    /// # Panics
+    /// Panics if `num_arms` is zero or `alpha` is not in `(0, 1]`.
+    #[must_use]
+    pub fn new(num_arms: usize, alpha: f64, seed: SeedSequence) -> Self {
+        assert!(num_arms > 0, "need at least one arm");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must lie in (0, 1]");
+        Self {
+            alpha,
+            counts: vec![0; num_arms],
+            sums: vec![0.0; num_arms],
+            epochs: vec![0; num_arms],
+            remaining: 0,
+            current: 0,
+            next_slot: 0,
+            rng: seed.derive("ucb2").rng(),
+        }
+    }
+
+    fn tau(&self, r: u32) -> u64 {
+        (1.0 + self.alpha).powi(r as i32).ceil() as u64
+    }
+
+    fn bonus(&self, arm: usize, t: usize) -> f64 {
+        let tau_r = self.tau(self.epochs[arm]) as f64;
+        let t = (t.max(1)) as f64;
+        let inner = ((std::f64::consts::E * t) / tau_r).max(1.0 + 1e-9);
+        ((1.0 + self.alpha) * inner.ln() / (2.0 * tau_r)).sqrt()
+    }
+}
+
+impl ModelSelector for Ucb2 {
+    fn select(&mut self, t: usize) -> usize {
+        assert_eq!(t, self.next_slot, "slots must be visited in order");
+        if self.remaining > 0 {
+            return self.current;
+        }
+        let untried: Vec<usize> = (0..self.counts.len())
+            .filter(|&a| self.counts[a] == 0)
+            .collect();
+        if !untried.is_empty() {
+            self.current = untried[self.rng.gen_range(0..untried.len())];
+            self.remaining = 1;
+            return self.current;
+        }
+        // Choose the arm minimizing mean loss − bonus.
+        let mut best = 0;
+        let mut best_idx = f64::INFINITY;
+        for a in 0..self.counts.len() {
+            let mean = self.sums[a] / self.counts[a] as f64;
+            let idx = mean - self.bonus(a, t + 1);
+            if idx < best_idx {
+                best_idx = idx;
+                best = a;
+            }
+        }
+        self.current = best;
+        let r = self.epochs[best];
+        self.remaining = (self.tau(r + 1) - self.tau(r)).max(1);
+        self.epochs[best] = r + 1;
+        self.current
+    }
+
+    fn observe(&mut self, t: usize, arm: usize, loss: f64) {
+        assert_eq!(t, self.next_slot, "observe out of order");
+        self.counts[arm] += 1;
+        self.sums[arm] += loss;
+        self.remaining = self.remaining.saturating_sub(1);
+        self.next_slot = t + 1;
+    }
+
+    fn num_arms(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "ucb2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(
+        alg: &mut dyn ModelSelector,
+        means: &[f64],
+        horizon: usize,
+        seed: u64,
+    ) -> (Vec<usize>, usize) {
+        let mut rng = SeedSequence::new(seed).derive("env").rng();
+        let mut pulls = vec![0usize; means.len()];
+        let mut switches = 0usize;
+        let mut last = usize::MAX;
+        for t in 0..horizon {
+            let arm = alg.select(t);
+            if arm != last {
+                switches += 1;
+                last = arm;
+            }
+            pulls[arm] += 1;
+            let loss = if rng.gen::<f64>() < means[arm] {
+                1.0
+            } else {
+                0.0
+            };
+            alg.observe(t, arm, loss);
+        }
+        (pulls, switches)
+    }
+
+    #[test]
+    fn ucb1_finds_best_arm() {
+        let mut alg = Ucb1::new(4, SeedSequence::new(1));
+        let (pulls, _) = run(&mut alg, &[0.7, 0.2, 0.7, 0.7], 3000, 2);
+        assert!(pulls[1] > 2000, "best arm under-pulled: {pulls:?}");
+    }
+
+    #[test]
+    fn ucb2_finds_best_arm() {
+        let mut alg = Ucb2::new(4, 0.5, SeedSequence::new(3));
+        let (pulls, _) = run(&mut alg, &[0.7, 0.2, 0.7, 0.7], 3000, 4);
+        assert!(pulls[1] > 2000, "best arm under-pulled: {pulls:?}");
+    }
+
+    #[test]
+    fn ucb2_switches_logarithmically() {
+        let mut u1 = Ucb1::new(5, SeedSequence::new(5));
+        let mut u2 = Ucb2::new(5, 0.5, SeedSequence::new(5));
+        let means = [0.45, 0.5, 0.55, 0.5, 0.45];
+        let (_, s1) = run(&mut u1, &means, 4000, 6);
+        let (_, s2) = run(&mut u2, &means, 4000, 6);
+        assert!(
+            s2 * 2 < s1,
+            "UCB2 should switch much less than UCB1: {s2} vs {s1}"
+        );
+        // A generous O(N log²T) cap on UCB2's switch count.
+        let cap = 5.0 * (4000.0_f64).ln().powi(2);
+        assert!((s2 as f64) < cap, "UCB2 switch count too high: {s2}");
+    }
+
+    #[test]
+    fn ucb2_epoch_lengths_grow() {
+        let mut alg = Ucb2::new(1, 0.5, SeedSequence::new(7));
+        // Single arm: runs are exactly τ(r+1) − τ(r).
+        let mut run_lengths = Vec::new();
+        let mut current_len = 0u64;
+        for t in 0..200 {
+            let _ = alg.select(t);
+            current_len += 1;
+            if alg.remaining == 1 {
+                // last slot of this run after observe
+            }
+            alg.observe(t, 0, 0.5);
+            if alg.remaining == 0 {
+                run_lengths.push(current_len);
+                current_len = 0;
+            }
+        }
+        assert!(run_lengths.len() > 2);
+        let last = run_lengths[run_lengths.len() - 2];
+        let first = run_lengths[0];
+        assert!(last >= first, "epoch runs should lengthen: {run_lengths:?}");
+    }
+
+    #[test]
+    fn all_arms_tried_first() {
+        let mut alg = Ucb1::new(6, SeedSequence::new(8));
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..6 {
+            let a = alg.select(t);
+            seen.insert(a);
+            alg.observe(t, a, 0.5);
+        }
+        assert_eq!(seen.len(), 6, "initial sweep must try every arm");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ucb2_rejects_bad_alpha() {
+        let _ = Ucb2::new(2, 0.0, SeedSequence::new(9));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the bandit crate: the OMD step always
+//! produces a valid KKT-consistent distribution, and every schedule
+//! covers its horizon exactly.
+
+use cne_bandit::omd::{kkt_residual, tsallis_weights};
+use cne_bandit::{BlockTsallisInf, ModelSelector, Schedule};
+use cne_util::SeedSequence;
+use proptest::prelude::*;
+
+proptest! {
+    /// The OMD solution is a strictly positive distribution for any
+    /// finite loss vector and learning rate.
+    #[test]
+    fn omd_output_is_distribution(
+        losses in proptest::collection::vec(-1e3..1e3f64, 1..40),
+        eta in 1e-3..10.0f64,
+    ) {
+        let p = tsallis_weights(&losses, eta);
+        prop_assert_eq!(p.len(), losses.len());
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {}", sum);
+        prop_assert!(p.iter().all(|&v| v > 0.0 && v.is_finite()));
+    }
+
+    /// The stationarity conditions of the regularized objective hold.
+    #[test]
+    fn omd_satisfies_kkt(
+        losses in proptest::collection::vec(0.0..100.0f64, 2..12),
+        eta in 0.01..2.0f64,
+    ) {
+        let p = tsallis_weights(&losses, eta);
+        prop_assert!(kkt_residual(&losses, eta, &p) < 1e-4);
+    }
+
+    /// Lower cumulative loss never gets less probability mass.
+    #[test]
+    fn omd_is_monotone(
+        losses in proptest::collection::vec(0.0..50.0f64, 2..10),
+        eta in 0.05..2.0f64,
+    ) {
+        let p = tsallis_weights(&losses, eta);
+        for i in 0..losses.len() {
+            for j in 0..losses.len() {
+                if losses[i] < losses[j] {
+                    prop_assert!(
+                        p[i] >= p[j] - 1e-9,
+                        "loss {} got {} < loss {} got {}",
+                        losses[i], p[i], losses[j], p[j]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every Theorem 1 schedule partitions the horizon exactly, with
+    /// positive learning rates throughout.
+    #[test]
+    fn schedule_partitions_horizon(
+        u in 0.0..50.0f64,
+        arms in 1usize..20,
+        horizon in 1usize..3000,
+    ) {
+        let s = Schedule::theorem1(u, arms, horizon);
+        let total: usize = (0..s.num_blocks()).map(|k| s.block_len(k)).sum();
+        prop_assert_eq!(total, horizon);
+        for k in 0..s.num_blocks() {
+            prop_assert!(s.eta(k) > 0.0);
+            prop_assert!(s.block_len(k) > 0);
+        }
+        // Every slot maps to a valid block; boundaries are consistent.
+        let mut starts = 0;
+        for t in 0..horizon {
+            prop_assert!(s.block_of(t) < s.num_blocks());
+            if s.is_block_start(t) {
+                starts += 1;
+            }
+        }
+        prop_assert_eq!(starts, s.num_blocks());
+    }
+
+    /// Algorithm 1 never selects out-of-range arms, never switches
+    /// inside a block, and accepts any bounded loss stream.
+    #[test]
+    fn block_tsallis_is_well_behaved(
+        seed in 0u64..1000,
+        u in 0.0..10.0f64,
+        losses in proptest::collection::vec(0.0..1.0f64, 50..200),
+    ) {
+        let horizon = losses.len();
+        let mut alg = BlockTsallisInf::new(
+            5,
+            Schedule::theorem1(u, 5, horizon),
+            SeedSequence::new(seed),
+        );
+        let mut prev_arm = usize::MAX;
+        let mut switches = 0;
+        for (t, &loss) in losses.iter().enumerate() {
+            let arm = alg.select(t);
+            prop_assert!(arm < 5);
+            if alg.schedule().is_block_start(t) {
+                // switches only permitted here
+            } else {
+                prop_assert_eq!(arm, prev_arm, "switched mid-block at t={}", t);
+            }
+            if arm != prev_arm {
+                switches += 1;
+            }
+            prev_arm = arm;
+            alg.observe(t, arm, loss);
+        }
+        prop_assert!(switches <= alg.schedule().num_blocks());
+    }
+}

@@ -1,0 +1,45 @@
+//! Criterion bench: the cost of one Algorithm 1 block step — the
+//! Tsallis-entropy OMD solve (line 3) plus sampling — as the number of
+//! arms grows, and a full select/observe slot cycle.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cne_bandit::omd::tsallis_weights;
+use cne_bandit::{BlockTsallisInf, ModelSelector, Schedule};
+use cne_util::SeedSequence;
+
+fn bench_omd_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("omd_solve");
+    for n in [6usize, 50, 500] {
+        let losses: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.37).sin().abs() * 30.0)
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &losses, |b, losses| {
+            b.iter(|| tsallis_weights(black_box(losses), black_box(0.25)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_slot_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1_slot_cycle");
+    for n in [6usize, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || BlockTsallisInf::new(n, Schedule::theorem1(2.0, n, 4096), SeedSequence::new(1)),
+                |mut alg| {
+                    for t in 0..256 {
+                        let arm = alg.select(t);
+                        alg.observe(t, arm, 0.4);
+                    }
+                    alg
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_omd_solve, bench_slot_cycle);
+criterion_main!(benches);

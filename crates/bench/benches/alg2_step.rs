@@ -1,0 +1,43 @@
+//! Criterion bench: one Algorithm 2 primal–dual step (decide +
+//! observe). The paper's Fig. 14 reports this side of the controller
+//! at ~0.2 s for the whole horizon; a single step is sub-microsecond
+//! here because the primal update is closed-form.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cne_market::TradeBounds;
+use cne_trading::policy::{TradeContext, TradeObservation, TradingPolicy};
+use cne_trading::{PrimalDual, PrimalDualConfig};
+use cne_util::units::{Allowances, PricePerAllowance};
+
+fn bench_pd_step(c: &mut Criterion) {
+    let ctx = TradeContext {
+        buy_price: PricePerAllowance::new(8.0),
+        sell_price: PricePerAllowance::new(7.2),
+        cap_share: 3.125,
+        bounds: TradeBounds::new(Allowances::new(40.0), Allowances::new(20.0)),
+    };
+    c.bench_function("alg2_decide_observe", |b| {
+        let mut alg = PrimalDual::new(PrimalDualConfig::theorem2(160, 8.4, 6.0));
+        let mut t = 0usize;
+        b.iter(|| {
+            let (z, w) = alg.decide(t, black_box(&ctx));
+            alg.observe(
+                t,
+                &TradeObservation {
+                    emissions: 7.0,
+                    bought: z,
+                    sold: w,
+                    buy_price: ctx.buy_price,
+                    sell_price: ctx.sell_price,
+                    cap_share: ctx.cap_share,
+                },
+            );
+            t += 1;
+            (z, w)
+        });
+    });
+}
+
+criterion_group!(benches, bench_pd_step);
+criterion_main!(benches);

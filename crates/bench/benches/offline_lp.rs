@@ -1,0 +1,46 @@
+//! Criterion bench: the offline trading optimum — parametric greedy
+//! versus the dense simplex ("Gurobi" stand-in) at growing horizons.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cne_trading::offline::{offline_optimal_trades, offline_optimal_trades_lp};
+use cne_util::SeedSequence;
+use rand::Rng;
+
+fn price_series(t: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = SeedSequence::new(5).rng();
+    let buy: Vec<f64> = (0..t).map(|_| rng.gen_range(5.9..10.9)).collect();
+    let sell: Vec<f64> = buy.iter().map(|&c| 0.9 * c).collect();
+    (buy, sell)
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_greedy");
+    for t in [160usize, 640, 2560] {
+        let (buy, sell) = price_series(t);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| {
+                offline_optimal_trades(&buy, &sell, t as f64 * 2.0, 40.0, 20.0).expect("feasible")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_simplex");
+    group.sample_size(10);
+    for t in [20usize, 40] {
+        let (buy, sell) = price_series(t);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| {
+                offline_optimal_trades_lp(&buy, &sell, t as f64 * 2.0, 40.0, 20.0)
+                    .expect("feasible")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy, bench_simplex);
+criterion_main!(benches);

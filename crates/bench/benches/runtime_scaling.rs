@@ -1,0 +1,68 @@
+//! Criterion bench: Fig. 14 companion — per-slot controller compute
+//! (Algorithm 1 across all edges + Algorithm 2) as the edge count
+//! grows, isolated from the environment's serving work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cne_bandit::{BlockTsallisInf, ModelSelector, Schedule};
+use cne_market::TradeBounds;
+use cne_trading::policy::{TradeContext, TradeObservation, TradingPolicy};
+use cne_trading::{PrimalDual, PrimalDualConfig};
+use cne_util::units::{Allowances, PricePerAllowance};
+use cne_util::SeedSequence;
+
+fn bench_controller_slot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_per_slot");
+    let horizon = 4096;
+    for edges in [10usize, 30, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(edges), &edges, |b, &edges| {
+            b.iter_batched(
+                || {
+                    let selectors: Vec<BlockTsallisInf> = (0..edges)
+                        .map(|i| {
+                            BlockTsallisInf::new(
+                                6,
+                                Schedule::theorem1(1.5, 6, horizon),
+                                SeedSequence::new(i as u64),
+                            )
+                        })
+                        .collect();
+                    let trader = PrimalDual::new(PrimalDualConfig::theorem2(horizon, 8.4, 6.0));
+                    (selectors, trader)
+                },
+                |(mut selectors, mut trader)| {
+                    let ctx = TradeContext {
+                        buy_price: PricePerAllowance::new(8.0),
+                        sell_price: PricePerAllowance::new(7.2),
+                        cap_share: 3.125,
+                        bounds: TradeBounds::new(Allowances::new(40.0), Allowances::new(20.0)),
+                    };
+                    for t in 0..64 {
+                        for sel in &mut selectors {
+                            let arm = sel.select(t);
+                            sel.observe(t, arm, 0.4);
+                        }
+                        let (z, w) = trader.decide(t, &ctx);
+                        trader.observe(
+                            t,
+                            &TradeObservation {
+                                emissions: 7.0,
+                                bought: z,
+                                sold: w,
+                                buy_price: ctx.buy_price,
+                                sell_price: ctx.sell_price,
+                                cap_share: ctx.cap_share,
+                            },
+                        );
+                    }
+                    selectors.len()
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller_slot);
+criterion_main!(benches);

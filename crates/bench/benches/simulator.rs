@@ -1,0 +1,36 @@
+//! Criterion bench: full-simulator throughput — one complete horizon
+//! of the fast-test configuration under the paper's controller, versus
+//! the number of edges.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cne_core::combos::Combo;
+use cne_edgesim::{Environment, SimConfig};
+use cne_nn::{ModelZoo, ZooConfig};
+use cne_simdata::dataset::TaskKind;
+use cne_util::SeedSequence;
+
+fn bench_full_run(c: &mut Criterion) {
+    let zoo = ModelZoo::train(
+        TaskKind::MnistLike,
+        &ZooConfig::fast(),
+        &SeedSequence::new(1),
+    );
+    let mut group = c.benchmark_group("simulator_full_run");
+    group.sample_size(10);
+    for edges in [3usize, 10, 30] {
+        let mut config = SimConfig::fast_test(TaskKind::MnistLike);
+        config.num_edges = edges;
+        let env = Environment::new(config, &zoo, &SeedSequence::new(2));
+        group.bench_with_input(BenchmarkId::from_parameter(edges), &env, |b, env| {
+            b.iter(|| {
+                let mut policy = Combo::ours().build(env, &SeedSequence::new(3));
+                env.run(&mut policy)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_run);
+criterion_main!(benches);

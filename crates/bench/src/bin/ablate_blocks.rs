@@ -1,0 +1,101 @@
+//! Ablation — the block schedule of Theorem 1.
+//!
+//! Compares Algorithm 1's adaptive block lengths
+//! (`|B_k| ∝ u√(k/N)`) against unit blocks (plain Tsallis-INF) and
+//! fixed-length blocks, all paired with Algorithm 2 for trading.
+//! The adaptive schedule should match fixed blocks' best total cost
+//! without tuning, and dominate unit blocks once switching is
+//! expensive.
+
+use cne_bandit::{BlockTsallisInf, ModelSelector, Schedule};
+use cne_bench::{fmt, write_tsv, Scale};
+use cne_core::controller::ComboController;
+use cne_core::problem::LossNormalizer;
+use cne_edgesim::Environment;
+use cne_simdata::dataset::TaskKind;
+use cne_trading::{PrimalDual, PrimalDualConfig};
+use cne_util::SeedSequence;
+
+fn main() {
+    let scale = Scale::from_args();
+    let zoo = scale.train_zoo(TaskKind::MnistLike);
+    let mut config = scale.config(TaskKind::MnistLike, scale.default_edges);
+    // Make switching expensive so the schedule choice matters.
+    config.switch_weight = 8.0;
+
+    #[derive(Clone, Copy)]
+    enum Variant {
+        Theorem1,
+        Unit,
+        Fixed(usize),
+    }
+    let variants: [(&str, Variant); 5] = [
+        ("theorem1", Variant::Theorem1),
+        ("unit", Variant::Unit),
+        ("fixed-4", Variant::Fixed(4)),
+        ("fixed-16", Variant::Fixed(16)),
+        ("fixed-64", Variant::Fixed(64)),
+    ];
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<10} {:>12} {:>10} {:>10}",
+        "schedule", "total cost", "switches", "violation"
+    );
+    for (name, variant) in variants {
+        let mut cost_sum = 0.0;
+        let mut switch_sum = 0.0;
+        let mut violation_sum = 0.0;
+        for &seed in &scale.seeds {
+            let root = SeedSequence::new(seed);
+            let env = Environment::new(config.clone(), &zoo, &root.derive("env"));
+            let normalizer = LossNormalizer::new(config.weights);
+            let horizon = env.horizon();
+            let n = env.num_models();
+            let selectors: Vec<Box<dyn ModelSelector>> = (0..env.num_edges())
+                .map(|i| {
+                    let sel_seed = root.derive("alg").derive_index(i as u64);
+                    let schedule = match variant {
+                        Variant::Theorem1 => {
+                            let u = normalizer
+                                .switch_cost(env.download_delay_ms(i), config.switch_weight);
+                            Schedule::theorem1(u, n, horizon)
+                        }
+                        Variant::Unit => Schedule::unit(horizon),
+                        Variant::Fixed(len) => {
+                            Schedule::from_rule(horizon, move |k| (len, (2.0 / k as f64).sqrt()))
+                        }
+                    };
+                    Box::new(BlockTsallisInf::new(n, schedule, sel_seed)) as Box<dyn ModelSelector>
+                })
+                .collect();
+            let trader = Box::new(PrimalDual::new(PrimalDualConfig::theorem2(
+                horizon,
+                8.4,
+                2.0 * config.cap_share(),
+            )));
+            let mut policy =
+                ComboController::new(selectors, trader, normalizer, format!("blocks-{name}"));
+            let record = env.run(&mut policy);
+            cost_sum += record.total_cost();
+            switch_sum += record.total_switches() as f64;
+            violation_sum += record.violation();
+        }
+        let runs = scale.seeds.len() as f64;
+        let (cost, switches, violation) =
+            (cost_sum / runs, switch_sum / runs, violation_sum / runs);
+        println!("{name:<10} {cost:>12.1} {switches:>10.1} {violation:>10.2}");
+        rows.push(vec![
+            name.to_owned(),
+            fmt(cost),
+            fmt(switches),
+            fmt(violation),
+        ]);
+    }
+    write_tsv(
+        &scale.out_dir,
+        "ablate_blocks.tsv",
+        &["schedule", "total_cost", "switches", "violation"],
+        &rows,
+    );
+}

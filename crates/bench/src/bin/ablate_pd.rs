@@ -1,0 +1,91 @@
+//! Ablation — Algorithm 2's step sizes.
+//!
+//! Theorem 2 prescribes `γ₁, γ₂ ∝ T^{−1/3}`. This ablation compares
+//! the prescribed schedule against constant step sizes (too small:
+//! sluggish constraint tracking, large fit; too large: oscillatory
+//! trading, higher cost), holding Algorithm 1 fixed on the selection
+//! side.
+
+use cne_bandit::{BlockTsallisInf, ModelSelector, Schedule};
+use cne_bench::{fmt, write_tsv, Scale};
+use cne_core::controller::ComboController;
+use cne_core::problem::LossNormalizer;
+use cne_edgesim::Environment;
+use cne_simdata::dataset::TaskKind;
+use cne_trading::{PrimalDual, PrimalDualConfig};
+use cne_util::SeedSequence;
+
+fn main() {
+    let scale = Scale::from_args();
+    let zoo = scale.train_zoo(TaskKind::MnistLike);
+    let config = scale.config(TaskKind::MnistLike, scale.default_edges);
+    let cap_share = config.cap_share();
+
+    let theorem = PrimalDualConfig::theorem2(config.horizon, 8.4, 2.0 * cap_share);
+    let variants: Vec<(String, PrimalDualConfig)> = vec![
+        ("theorem2".to_owned(), theorem),
+        (
+            "tiny".to_owned(),
+            PrimalDualConfig::new(theorem.gamma1 * 0.05, theorem.gamma2 * 0.05),
+        ),
+        (
+            "small".to_owned(),
+            PrimalDualConfig::new(theorem.gamma1 * 0.25, theorem.gamma2 * 0.25),
+        ),
+        (
+            "large".to_owned(),
+            PrimalDualConfig::new(theorem.gamma1 * 4.0, theorem.gamma2 * 4.0),
+        ),
+        (
+            "huge".to_owned(),
+            PrimalDualConfig::new(theorem.gamma1 * 20.0, theorem.gamma2 * 20.0),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "steps", "total cost", "trade cash", "violation"
+    );
+    for (name, pd_config) in variants {
+        let mut cost_sum = 0.0;
+        let mut cash_sum = 0.0;
+        let mut violation_sum = 0.0;
+        for &seed in &scale.seeds {
+            let root = SeedSequence::new(seed);
+            let env = Environment::new(config.clone(), &zoo, &root.derive("env"));
+            let normalizer = LossNormalizer::new(config.weights);
+            let n = env.num_models();
+            let selectors: Vec<Box<dyn ModelSelector>> = (0..env.num_edges())
+                .map(|i| {
+                    let u = normalizer.switch_cost(env.download_delay_ms(i), config.switch_weight);
+                    Box::new(BlockTsallisInf::new(
+                        n,
+                        Schedule::theorem1(u, n, env.horizon()),
+                        root.derive("alg").derive_index(i as u64),
+                    )) as Box<dyn ModelSelector>
+                })
+                .collect();
+            let mut policy = ComboController::new(
+                selectors,
+                Box::new(PrimalDual::new(pd_config)),
+                normalizer,
+                format!("pd-{name}"),
+            );
+            let record = env.run(&mut policy);
+            cost_sum += record.total_cost();
+            cash_sum += record.slots.iter().map(|s| s.trade_cash).sum::<f64>();
+            violation_sum += record.violation();
+        }
+        let runs = scale.seeds.len() as f64;
+        let (cost, cash, violation) = (cost_sum / runs, cash_sum / runs, violation_sum / runs);
+        println!("{name:<10} {cost:>12.1} {cash:>12.1} {violation:>10.2}");
+        rows.push(vec![name, fmt(cost), fmt(cash), fmt(violation)]);
+    }
+    write_tsv(
+        &scale.out_dir,
+        "ablate_pd_steps.tsv",
+        &["steps", "total_cost", "trade_cash_cents", "violation"],
+        &rows,
+    );
+}

@@ -1,0 +1,107 @@
+//! Extension — quantization-aware carbon control (the paper's second
+//! future-work item).
+//!
+//! Doubles the zoo with genuinely quantized 8-bit variants of every
+//! model (smaller downloads, cheaper inference energy, measured — not
+//! assumed — accuracy loss) and lets the same controller choose from
+//! the enlarged menu. Expected effect: lower emissions and lower total
+//! cost at a negligible accuracy cost, because the controller shifts
+//! load onto quantized models whose measured loss holds up.
+
+use cne_bench::{fmt, write_tsv, Scale};
+use cne_core::combos::Combo;
+use cne_core::runner::{evaluate, PolicySpec};
+use cne_nn::ModelZoo;
+use cne_simdata::dataset::TaskKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let base_zoo = scale.train_zoo(TaskKind::MnistLike);
+    let quant_zoo = base_zoo.with_quantized_variants(8);
+    let config = scale.config(TaskKind::MnistLike, scale.default_edges);
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<16} {:>12} {:>12} {:>10} {:>10}",
+        "zoo", "total cost", "emissions", "accuracy", "violation"
+    );
+    for (name, zoo) in [("full-precision", &base_zoo), ("with-q8", &quant_zoo)] {
+        let r = evaluate(
+            &config,
+            zoo,
+            &scale.seeds,
+            &PolicySpec::Combo(Combo::ours()),
+        );
+        let emissions: f64 = r
+            .records
+            .iter()
+            .map(|rec| rec.ledger.emitted().to_allowances().get())
+            .sum::<f64>()
+            / r.records.len() as f64;
+        let accuracy = r.mean_accuracy.iter().sum::<f64>() / r.mean_accuracy.len() as f64;
+        println!(
+            "{name:<16} {:>12.1} {:>12.1} {:>10.3} {:>10.2}",
+            r.mean_total_cost, emissions, accuracy, r.mean_violation
+        );
+        rows.push(vec![
+            name.to_owned(),
+            fmt(r.mean_total_cost),
+            fmt(emissions),
+            fmt(accuracy),
+            fmt(r.mean_violation),
+        ]);
+    }
+    write_tsv(
+        &scale.out_dir,
+        "ext_quantization.tsv",
+        &[
+            "zoo",
+            "total_cost",
+            "emissions_allowances",
+            "accuracy",
+            "violation",
+        ],
+        &rows,
+    );
+
+    // How often quantized variants get picked (selection share across
+    // all edges, one run).
+    let r = evaluate(
+        &config,
+        &quant_zoo,
+        &scale.seeds[..1],
+        &PolicySpec::Combo(Combo::ours()),
+    );
+    let rec = &r.records[0];
+    let mut full = 0u64;
+    let mut quant = 0u64;
+    for edge in &rec.edges {
+        for (n, &cnt) in edge.selection_counts.iter().enumerate() {
+            if quant_zoo.model(n).profile.name.contains("-q8") {
+                quant += cnt;
+            } else {
+                full += cnt;
+            }
+        }
+    }
+    println!(
+        "\nselection share with the extended zoo: {:.0}% quantized, {:.0}% full-precision",
+        100.0 * quant as f64 / (quant + full) as f64,
+        100.0 * full as f64 / (quant + full) as f64,
+    );
+    print_zoo(&quant_zoo);
+}
+
+fn print_zoo(zoo: &ModelZoo) {
+    println!("\nextended zoo:");
+    for m in zoo.models() {
+        println!(
+            "  {:<16} E[loss]={:.3} acc={:.3} φ={:.2e} size={:>5.2} MB",
+            m.profile.name,
+            m.eval.expected_loss(),
+            m.eval.accuracy(),
+            m.profile.energy_per_sample.get(),
+            m.profile.size.get(),
+        );
+    }
+}

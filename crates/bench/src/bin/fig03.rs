@@ -1,0 +1,60 @@
+//! Fig. 3 — normalized cumulative total cost over time (10 edges).
+//!
+//! Paper claim: our approach's cumulative cost grows slowest among the
+//! online policies and stays closest to the offline optimum.
+
+use cne_bench::{display_combos, fmt, write_tsv, Scale};
+use cne_core::runner::{evaluate, PolicySpec};
+use cne_simdata::dataset::TaskKind;
+use cne_util::series::normalize_by;
+
+fn main() {
+    let scale = Scale::from_args();
+    let zoo = scale.train_zoo(TaskKind::MnistLike);
+    let config = scale.config(TaskKind::MnistLike, scale.default_edges);
+
+    let mut specs: Vec<PolicySpec> = display_combos()
+        .into_iter()
+        .map(PolicySpec::Combo)
+        .collect();
+    specs.push(PolicySpec::Offline);
+
+    let mut names = Vec::new();
+    let mut series = Vec::new();
+    for spec in &specs {
+        let r = evaluate(&config, &zoo, &scale.seeds, spec);
+        eprintln!("[fig03] {}: total {:.1}", r.name, r.mean_total_cost);
+        names.push(r.name.clone());
+        series.push(r.mean_cumulative_cost.clone());
+    }
+
+    // Normalize every curve by the worst policy's final cumulative cost
+    // so the plot reads as "fraction of the worst total".
+    let reference = series
+        .iter()
+        .map(|s| *s.last().expect("non-empty"))
+        .fold(0.0f64, f64::max);
+    let normalized: Vec<Vec<f64>> = series.iter().map(|s| normalize_by(s, reference)).collect();
+
+    let mut header = vec!["t".to_owned()];
+    header.extend(names.iter().cloned());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = (0..config.horizon)
+        .map(|t| {
+            let mut row = vec![t.to_string()];
+            row.extend(normalized.iter().map(|s| fmt(s[t])));
+            row
+        })
+        .collect();
+    write_tsv(
+        &scale.out_dir,
+        "fig03_cumulative_cost.tsv",
+        &header_refs,
+        &rows,
+    );
+
+    println!("normalized final cumulative cost (fraction of worst):");
+    for (name, s) in names.iter().zip(&normalized) {
+        println!("  {:<10} {:.3}", name, s.last().expect("non-empty"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Fig. 4 — normalized total cost versus the number of edges (10–50).
+//!
+//! Paper claim: our approach incurs the lowest cost at every system
+//! scale, with average reductions of 21%–55% versus the baselines
+//! (55% vs Ran-Ran, 21% vs Greedy-LY, 30% vs UCB-LY, …).
+
+use cne_bench::{fmt, write_tsv, Scale};
+use cne_core::combos::Combo;
+use cne_core::runner::{evaluate, PolicySpec};
+use cne_simdata::dataset::TaskKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let zoo = scale.train_zoo(TaskKind::MnistLike);
+
+    let mut specs: Vec<PolicySpec> = Combo::all_baselines()
+        .into_iter()
+        .map(PolicySpec::Combo)
+        .collect();
+    specs.push(PolicySpec::Combo(Combo::ours()));
+    specs.push(PolicySpec::Offline);
+
+    let mut names: Vec<String> = specs.iter().map(PolicySpec::name).collect();
+    // rows[edge_idx][spec_idx] = mean total cost.
+    let mut totals: Vec<Vec<f64>> = Vec::new();
+    for &edges in &scale.edges_sweep {
+        let config = scale.config(TaskKind::MnistLike, edges);
+        let mut row = Vec::new();
+        for spec in &specs {
+            let r = evaluate(&config, &zoo, &scale.seeds, spec);
+            row.push(r.mean_total_cost);
+        }
+        eprintln!("[fig04] finished {edges} edges");
+        totals.push(row);
+    }
+
+    let mut header = vec!["edges".to_owned()];
+    header.append(&mut names);
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = scale
+        .edges_sweep
+        .iter()
+        .zip(&totals)
+        .map(|(&edges, row)| {
+            let mut out = vec![edges.to_string()];
+            out.extend(row.iter().map(|&v| fmt(v)));
+            out
+        })
+        .collect();
+    write_tsv(
+        &scale.out_dir,
+        "fig04_cost_vs_edges.tsv",
+        &header_refs,
+        &rows,
+    );
+
+    // Average reduction of Ours vs each baseline across the sweep
+    // (the paper's 21%–55% claim).
+    let ours_idx = specs
+        .iter()
+        .position(|s| s.name() == "Ours")
+        .expect("ours present");
+    println!("average total-cost reduction of Ours vs each baseline:");
+    for (idx, spec) in specs.iter().enumerate() {
+        if idx == ours_idx || spec.name() == "Offline" {
+            continue;
+        }
+        let mut reductions = Vec::new();
+        for row in &totals {
+            reductions.push(1.0 - row[ours_idx] / row[idx]);
+        }
+        let mean = reductions.iter().sum::<f64>() / reductions.len() as f64;
+        println!("  vs {:<10} {:>5.1}%", spec.name(), 100.0 * mean);
+    }
+}

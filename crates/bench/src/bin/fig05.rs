@@ -1,0 +1,62 @@
+//! Fig. 5 — total cost versus the switching-cost weight.
+//!
+//! Paper claim: as the weight on switching cost grows, our approach's
+//! total cost stays almost flat (the block schedule lengthens with
+//! `u`, cutting switches), Greedy ranks second (it never switches
+//! after the first download), and the other baselines deteriorate.
+
+use cne_bench::{display_combos, fmt, write_tsv, Scale};
+use cne_core::runner::{evaluate, PolicySpec};
+use cne_simdata::dataset::TaskKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let zoo = scale.train_zoo(TaskKind::MnistLike);
+    let weights = [1.0, 2.0, 4.0, 8.0, 16.0];
+
+    let mut specs: Vec<PolicySpec> = display_combos()
+        .into_iter()
+        .map(PolicySpec::Combo)
+        .collect();
+    specs.push(PolicySpec::Offline);
+    let names: Vec<String> = specs.iter().map(PolicySpec::name).collect();
+
+    let mut rows = Vec::new();
+    let mut switch_rows = Vec::new();
+    for &w in &weights {
+        let mut config = scale.config(TaskKind::MnistLike, scale.default_edges);
+        config.switch_weight = w;
+        let mut row = vec![fmt(w)];
+        let mut srow = vec![fmt(w)];
+        for spec in &specs {
+            let r = evaluate(&config, &zoo, &scale.seeds, spec);
+            row.push(fmt(r.mean_total_cost));
+            srow.push(fmt(r.mean_switches));
+        }
+        eprintln!("[fig05] finished weight {w}");
+        rows.push(row);
+        switch_rows.push(srow);
+    }
+
+    let mut header = vec!["switch_weight".to_owned()];
+    header.extend(names.iter().cloned());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    write_tsv(
+        &scale.out_dir,
+        "fig05_cost_vs_switch_weight.tsv",
+        &header_refs,
+        &rows,
+    );
+    write_tsv(
+        &scale.out_dir,
+        "fig05_switches_vs_switch_weight.tsv",
+        &header_refs,
+        &switch_rows,
+    );
+
+    println!("total cost by switching-cost weight:");
+    println!("  weight  {}", names.join("  "));
+    for row in &rows {
+        println!("  {}", row.join("  "));
+    }
+}

@@ -1,0 +1,58 @@
+//! Fig. 7 — total cost versus the initial carbon cap.
+//!
+//! Paper claim: a larger cap means fewer allowances to buy, so the
+//! total cost of Ours, Offline, and UCB-LY decreases with the cap,
+//! while UCB-Ran and UCB-TH stay flat — their trading ignores the cap.
+
+use cne_bench::{fmt, write_tsv, Scale};
+use cne_core::combos::{Combo, SelectorKind, TraderKind};
+use cne_core::runner::{evaluate, PolicySpec};
+use cne_simdata::dataset::TaskKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let zoo = scale.train_zoo(TaskKind::MnistLike);
+    let base_config = scale.config(TaskKind::MnistLike, scale.default_edges);
+    // Sweep the cap from half to 8× the default (paper: 250–4000
+    // around the default 500).
+    let cap_factors = [0.5, 1.0, 2.0, 4.0, 8.0];
+
+    let ucb = |trader| {
+        PolicySpec::Combo(Combo {
+            selector: SelectorKind::Ucb2,
+            trader,
+        })
+    };
+    let specs = vec![
+        PolicySpec::Combo(Combo::ours()),
+        ucb(TraderKind::Random),
+        ucb(TraderKind::Threshold),
+        ucb(TraderKind::Lyapunov),
+        PolicySpec::Offline,
+    ];
+    let names: Vec<String> = specs.iter().map(PolicySpec::name).collect();
+
+    let mut rows = Vec::new();
+    for &f in &cap_factors {
+        let mut config = base_config.clone();
+        config.cap = config.cap * f;
+        let mut row = vec![fmt(config.cap.get())];
+        for spec in &specs {
+            let r = evaluate(&config, &zoo, &scale.seeds, spec);
+            row.push(fmt(r.mean_total_cost));
+        }
+        eprintln!("[fig07] finished cap factor {f}");
+        rows.push(row);
+    }
+
+    let mut header = vec!["cap".to_owned()];
+    header.extend(names.iter().cloned());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    write_tsv(&scale.out_dir, "fig07_cost_vs_cap.tsv", &header_refs, &rows);
+
+    println!("total cost by initial cap:");
+    println!("  cap  {}", names.join("  "));
+    for row in &rows {
+        println!("  {}", row.join("  "));
+    }
+}

@@ -1,0 +1,101 @@
+//! Fig. 8 — model-selection counts versus expected loss (one edge).
+//!
+//! Paper claim: our approach selects a model more often the lower its
+//! expected loss; Offline pins the minimum-loss model and Greedy pins
+//! the minimum-energy one.
+
+use cne_bench::{fmt, write_tsv, Scale};
+use cne_core::combos::Combo;
+use cne_core::offline::OfflinePolicy;
+use cne_core::runner::{evaluate, PolicySpec};
+use cne_edgesim::Environment;
+use cne_simdata::dataset::TaskKind;
+use cne_util::SeedSequence;
+
+fn main() {
+    let scale = Scale::from_args();
+    let zoo = scale.train_zoo(TaskKind::CifarLike);
+    let config = scale.config(TaskKind::CifarLike, scale.default_edges);
+
+    let ours = evaluate(
+        &config,
+        &zoo,
+        &scale.seeds,
+        &PolicySpec::Combo(Combo::ours()),
+    );
+    // Aggregate edge-0 selection counts over the seeded runs.
+    let mut counts = vec![0u64; zoo.len()];
+    for record in &ours.records {
+        for (n, &c) in record.edges[0].selection_counts.iter().enumerate() {
+            counts[n] += c;
+        }
+    }
+
+    // Reference markers: what Offline and Greedy would pin on edge 0.
+    let env = Environment::new(config.clone(), &zoo, &SeedSequence::new(1).derive("env"));
+    let offline_choice = OfflinePolicy::plan(&env).placements()[0];
+    let greedy_choice = zoo
+        .models()
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            a.1.profile
+                .energy_per_sample
+                .get()
+                .partial_cmp(&b.1.profile.energy_per_sample.get())
+                .expect("finite")
+        })
+        .map(|(n, _)| n)
+        .expect("non-empty zoo");
+
+    let header = [
+        "model",
+        "expected_loss",
+        "ours_selected",
+        "offline_pick",
+        "greedy_pick",
+    ];
+    let rows: Vec<Vec<String>> = zoo
+        .models()
+        .iter()
+        .enumerate()
+        .map(|(n, m)| {
+            vec![
+                m.profile.name.clone(),
+                fmt(m.eval.expected_loss()),
+                counts[n].to_string(),
+                u8::from(n == offline_choice).to_string(),
+                u8::from(n == greedy_choice).to_string(),
+            ]
+        })
+        .collect();
+    write_tsv(
+        &scale.out_dir,
+        "fig08_selection_histogram.tsv",
+        &header,
+        &rows,
+    );
+
+    println!(
+        "edge-0 selections (summed over {} runs):",
+        ours.records.len()
+    );
+    for (n, m) in zoo.models().iter().enumerate() {
+        println!(
+            "  {:<12} E[loss]={:.3} selected={:>5}{}{}",
+            m.profile.name,
+            m.eval.expected_loss(),
+            counts[n],
+            if n == offline_choice {
+                "  <- Offline"
+            } else {
+                ""
+            },
+            if n == greedy_choice {
+                "  <- Greedy"
+            } else {
+                ""
+            },
+        );
+    }
+}

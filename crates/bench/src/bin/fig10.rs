@@ -1,0 +1,83 @@
+//! Fig. 10 — regret for `P0` versus the time-horizon length.
+//!
+//! Paper claim: regret (total cost minus the offline benchmark) grows
+//! sub-linearly in `T` for our approach, and ours has the lowest
+//! regret among the online policies. The binary also fits a log-log
+//! slope: sub-linear growth means a slope < 1.
+
+use cne_bench::{display_combos, fmt, write_tsv, Scale};
+use cne_core::regret::p0_regret;
+use cne_core::runner::{run_single, PolicySpec};
+use cne_simdata::dataset::TaskKind;
+use cne_util::stats::ols_slope;
+
+fn main() {
+    let scale = Scale::from_args();
+    let zoo = scale.train_zoo(TaskKind::MnistLike);
+
+    let specs: Vec<PolicySpec> = display_combos()
+        .into_iter()
+        .map(PolicySpec::Combo)
+        .collect();
+    let names: Vec<String> = specs.iter().map(PolicySpec::name).collect();
+
+    // regrets[h_idx][spec_idx]
+    let mut regrets: Vec<Vec<f64>> = Vec::new();
+    for &horizon in &scale.horizon_sweep {
+        let config = scale.config_with_horizon(TaskKind::MnistLike, scale.default_edges, horizon);
+        let mut row = vec![0.0; specs.len()];
+        for &seed in &scale.seeds {
+            let offline = run_single(&config, &zoo, seed, &PolicySpec::Offline);
+            for (j, spec) in specs.iter().enumerate() {
+                let record = run_single(&config, &zoo, seed, spec);
+                row[j] += p0_regret(&record, &offline);
+            }
+        }
+        for v in &mut row {
+            *v /= scale.seeds.len() as f64;
+        }
+        eprintln!("[fig10] finished T = {horizon}");
+        regrets.push(row);
+    }
+
+    let mut header = vec!["T".to_owned()];
+    header.extend(names.iter().cloned());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = scale
+        .horizon_sweep
+        .iter()
+        .zip(&regrets)
+        .map(|(&t, row)| {
+            let mut out = vec![t.to_string()];
+            out.extend(row.iter().map(|&v| fmt(v)));
+            out
+        })
+        .collect();
+    write_tsv(
+        &scale.out_dir,
+        "fig10_regret_vs_horizon.tsv",
+        &header_refs,
+        &rows,
+    );
+
+    println!("P0 regret by horizon (rows) and policy (columns):");
+    println!("  T  {}", names.join("  "));
+    for row in &rows {
+        println!("  {}", row.join("  "));
+    }
+    // Log-log growth rate of Ours' regret (sub-linear ⇔ slope < 1).
+    let log_t: Vec<f64> = scale
+        .horizon_sweep
+        .iter()
+        .map(|&t| (t as f64).ln())
+        .collect();
+    for (j, name) in names.iter().enumerate() {
+        let series: Vec<f64> = regrets.iter().map(|row| row[j].max(1e-9).ln()).collect();
+        if log_t.len() >= 2 {
+            println!(
+                "  log-log slope of {name}: {:.2}",
+                ols_slope(&log_t, &series)
+            );
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Fig. 11 — fit (long-term constraint violation) versus the horizon.
+//!
+//! Paper claim: the fit `‖[Σ_t g^t]⁺‖` of our approach grows
+//! sub-linearly (its time-average vanishes); baselines whose trading
+//! ignores emissions accumulate violation linearly.
+
+use cne_bench::{display_combos, fmt, write_tsv, Scale};
+use cne_core::regret::fit;
+use cne_core::runner::{run_single, PolicySpec};
+use cne_simdata::dataset::TaskKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let zoo = scale.train_zoo(TaskKind::MnistLike);
+
+    let specs: Vec<PolicySpec> = display_combos()
+        .into_iter()
+        .map(PolicySpec::Combo)
+        .collect();
+    let names: Vec<String> = specs.iter().map(PolicySpec::name).collect();
+
+    let mut fits: Vec<Vec<f64>> = Vec::new();
+    for &horizon in &scale.horizon_sweep {
+        let config = scale.config_with_horizon(TaskKind::MnistLike, scale.default_edges, horizon);
+        let mut row = vec![0.0; specs.len()];
+        for &seed in &scale.seeds {
+            for (j, spec) in specs.iter().enumerate() {
+                let record = run_single(&config, &zoo, seed, spec);
+                row[j] += fit(&record);
+            }
+        }
+        for v in &mut row {
+            *v /= scale.seeds.len() as f64;
+        }
+        eprintln!("[fig11] finished T = {horizon}");
+        fits.push(row);
+    }
+
+    let mut header = vec!["T".to_owned()];
+    header.extend(names.iter().cloned());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = scale
+        .horizon_sweep
+        .iter()
+        .zip(&fits)
+        .map(|(&t, row)| {
+            let mut out = vec![t.to_string()];
+            out.extend(row.iter().map(|&v| fmt(v)));
+            out
+        })
+        .collect();
+    write_tsv(
+        &scale.out_dir,
+        "fig11_fit_vs_horizon.tsv",
+        &header_refs,
+        &rows,
+    );
+
+    println!("fit (allowances of terminal violation) by horizon:");
+    println!("  T  {}", names.join("  "));
+    for row in &rows {
+        println!("  {}", row.join("  "));
+    }
+    // Time-averaged fit of Ours should shrink with T.
+    if let Some(j) = names.iter().position(|n| n == "Ours") {
+        println!("time-averaged fit of Ours:");
+        for (i, &t) in scale.horizon_sweep.iter().enumerate() {
+            println!("  T={t}: {:.4}", fits[i][j] / t as f64);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Fig. 12 — per-slot inference accuracy on the MNIST-like stream.
+//!
+//! Paper claim: Greedy-Ran is the worst (it optimizes energy only);
+//! UCB-Ran and TINF-Ran approach our accuracy; ours is closest to
+//! Offline.
+
+use cne_bench::{accuracy_figure, Scale};
+use cne_simdata::dataset::TaskKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("per-slot accuracy, {} stream:", TaskKind::MnistLike);
+    accuracy_figure(&scale, TaskKind::MnistLike, "fig12_accuracy_mnist_like.tsv");
+}

@@ -1,0 +1,13 @@
+//! Fig. 13 — per-slot inference accuracy on the CIFAR-10-like stream.
+//!
+//! Same layout as Fig. 12 on the harder task, where the gaps between
+//! model qualities (and hence between selection policies) are wider.
+
+use cne_bench::{accuracy_figure, Scale};
+use cne_simdata::dataset::TaskKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("per-slot accuracy, {} stream:", TaskKind::CifarLike);
+    accuracy_figure(&scale, TaskKind::CifarLike, "fig13_accuracy_cifar_like.tsv");
+}

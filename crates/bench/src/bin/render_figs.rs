@@ -1,0 +1,90 @@
+//! Renders every figure TSV in `results/` to an SVG line chart.
+//!
+//! ```text
+//! cargo run --release -p cne-bench --bin render_figs [-- --out results]
+//! ```
+
+use std::path::Path;
+
+use cne_bench::plot::render_tsv;
+use cne_bench::Scale;
+
+/// Figure TSVs with their titles and axis labels.
+const CHARTS: &[(&str, &str, &str, &str)] = &[
+    (
+        "fig03_cumulative_cost.tsv",
+        "Fig. 3 — normalized cumulative total cost (10 edges)",
+        "time slot",
+        "cumulative cost (fraction of worst)",
+    ),
+    (
+        "fig04_cost_vs_edges.tsv",
+        "Fig. 4 — total cost vs number of edges",
+        "edges",
+        "total cost",
+    ),
+    (
+        "fig05_cost_vs_switch_weight.tsv",
+        "Fig. 5 — total cost vs switching-cost weight",
+        "switching-cost weight",
+        "total cost",
+    ),
+    (
+        "fig06_cost_vs_emission_rate.tsv",
+        "Fig. 6 — total cost vs carbon emission rate",
+        "emission-rate factor",
+        "total cost",
+    ),
+    (
+        "fig07_cost_vs_cap.tsv",
+        "Fig. 7 — total cost vs initial carbon cap",
+        "initial cap (allowances)",
+        "total cost",
+    ),
+    (
+        "fig10_regret_vs_horizon.tsv",
+        "Fig. 10 — P0 regret vs horizon",
+        "horizon T",
+        "regret",
+    ),
+    (
+        "fig11_fit_vs_horizon.tsv",
+        "Fig. 11 — fit vs horizon",
+        "horizon T",
+        "fit (allowances)",
+    ),
+    (
+        "fig12_accuracy_mnist_like.tsv",
+        "Fig. 12 — accuracy per slot (MNIST-like)",
+        "time slot",
+        "accuracy",
+    ),
+    (
+        "fig13_accuracy_cifar_like.tsv",
+        "Fig. 13 — accuracy per slot (CIFAR-like)",
+        "time slot",
+        "accuracy",
+    ),
+    (
+        "fig14_runtime_vs_edges.tsv",
+        "Fig. 14 — controller time per slot vs edges",
+        "edges",
+        "milliseconds per slot",
+    ),
+];
+
+fn main() {
+    let scale = Scale::from_args();
+    let dir: &Path = &scale.out_dir;
+    let mut rendered = 0;
+    for (file, title, x, y) in CHARTS {
+        let path = dir.join(file);
+        if path.exists() {
+            render_tsv(&path, title, x, y);
+            rendered += 1;
+        } else {
+            eprintln!("[render_figs] skipping missing {}", path.display());
+        }
+    }
+    println!("rendered {rendered} figures into {}", dir.display());
+}

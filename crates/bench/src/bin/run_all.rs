@@ -1,0 +1,53 @@
+//! Regenerates every figure in sequence by spawning the sibling
+//! binaries with the current flags.
+//!
+//! ```text
+//! cargo run --release -p cne-bench --bin run_all [--quick] [--out results]
+//! ```
+
+use std::process::Command;
+
+const FIGURES: &[&str] = &[
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "ablate_blocks",
+    "ablate_pd",
+    "ext_quantization",
+    "ext_prediction",
+    "ext_drift",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let current = std::env::current_exe().expect("current executable path");
+    let bin_dir = current.parent().expect("bin directory").to_path_buf();
+    let mut failures = Vec::new();
+    for fig in FIGURES {
+        let path = bin_dir.join(fig);
+        println!("\n===== {fig} =====");
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("[run_all] {fig} FAILED ({status})");
+            failures.push(*fig);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall figures regenerated");
+    } else {
+        eprintln!("\nfailed figures: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,332 @@
+//! Shared harness for the figure-regeneration binaries and Criterion
+//! benchmarks.
+//!
+//! Every figure of the paper's Section V has a binary in `src/bin/`
+//! (`fig03` … `fig14`), plus ablations (`ablate_*`), future-work
+//! extensions (`ext_*`), and `render_figs` (TSV → SVG). Each binary:
+//!
+//! * accepts `--quick` (or `CNE_QUICK=1`) to run a reduced-scale smoke
+//!   version, and `--out <dir>` to redirect the TSV output (default
+//!   `results/`);
+//! * prints its series to stdout **and** writes a TSV file named after
+//!   the figure;
+//! * states which paper claim it regenerates in its header comment.
+//!
+//! Run everything with `cargo run --release -p cne-bench --bin run_all`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plot;
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use cne_core::combos::{Combo, SelectorKind, TraderKind};
+use cne_edgesim::policy::{Policy, SlotFeedback};
+use cne_edgesim::SimConfig;
+use cne_nn::{ModelZoo, ZooConfig};
+use cne_simdata::dataset::TaskKind;
+use cne_trading::policy::TradeContext;
+use cne_util::units::Allowances;
+use cne_util::SeedSequence;
+
+/// Experiment scale selected from the command line / environment.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Whether this is the reduced smoke-test scale.
+    pub quick: bool,
+    /// Seeds to average over (paper: 10 runs).
+    pub seeds: Vec<u64>,
+    /// Zoo training configuration.
+    pub zoo: ZooConfig,
+    /// Default number of edges.
+    pub default_edges: usize,
+    /// Edge-count sweep (Figs. 4, 14).
+    pub edges_sweep: Vec<usize>,
+    /// Horizon sweep (Figs. 10–11).
+    pub horizon_sweep: Vec<usize>,
+    /// Output directory for TSV files.
+    pub out_dir: PathBuf,
+}
+
+impl Scale {
+    /// Parses `--quick` / `--out <dir>` from `std::env::args` and
+    /// `CNE_QUICK` from the environment.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let quick = args.iter().any(|a| a == "--quick")
+            || std::env::var("CNE_QUICK")
+                .map(|v| v == "1")
+                .unwrap_or(false);
+        let out_dir = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("results"));
+        Self::preset(quick, out_dir)
+    }
+
+    /// Builds the preset for the given mode.
+    #[must_use]
+    pub fn preset(quick: bool, out_dir: PathBuf) -> Self {
+        if quick {
+            Self {
+                quick,
+                seeds: vec![1, 2],
+                zoo: ZooConfig::fast(),
+                default_edges: 4,
+                edges_sweep: vec![4, 8],
+                horizon_sweep: vec![40, 80],
+                out_dir,
+            }
+        } else {
+            Self {
+                quick,
+                seeds: (1..=10).collect(),
+                zoo: ZooConfig::default(),
+                default_edges: 10,
+                edges_sweep: vec![10, 20, 30, 40, 50],
+                horizon_sweep: vec![40, 80, 160, 320, 640],
+                out_dir,
+            }
+        }
+    }
+
+    /// Trains (or reuses) the zoo for a task at this scale.
+    #[must_use]
+    pub fn train_zoo(&self, task: TaskKind) -> ModelZoo {
+        eprintln!("[bench] training {} zoo…", task.name());
+        ModelZoo::train(task, &self.zoo, &SeedSequence::new(2025))
+    }
+
+    /// The default configuration for this scale at `edges` edges.
+    #[must_use]
+    pub fn config(&self, task: TaskKind, edges: usize) -> SimConfig {
+        if self.quick {
+            let mut cfg = SimConfig::fast_test(task);
+            cfg.num_edges = edges;
+            cfg
+        } else {
+            SimConfig::paper_default(task, edges)
+        }
+    }
+
+    /// A configuration stretched/cut to horizon `t` (for the Figs.
+    /// 10–11 sweep), keeping the per-slot emission regime constant by
+    /// scaling the cap with the horizon.
+    #[must_use]
+    pub fn config_with_horizon(&self, task: TaskKind, edges: usize, horizon: usize) -> SimConfig {
+        let mut cfg = self.config(task, edges);
+        let base_t = cfg.horizon as f64;
+        cfg.workload.days = horizon.div_ceil(cfg.workload.slots_per_day);
+        cfg.horizon = horizon;
+        cfg.cap = Allowances::new(cfg.cap.get() * horizon as f64 / base_t);
+        cfg
+    }
+}
+
+/// Writes a TSV file (tab-separated, one header line) and echoes the
+/// path to stderr.
+///
+/// # Panics
+/// Panics if the directory cannot be created or the file written.
+pub fn write_tsv(dir: &Path, name: &str, header: &[&str], rows: &[Vec<String>]) {
+    std::fs::create_dir_all(dir).expect("create output directory");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create TSV file");
+    writeln!(f, "{}", header.join("\t")).expect("write header");
+    for row in rows {
+        writeln!(f, "{}", row.join("\t")).expect("write row");
+    }
+    eprintln!("[bench] wrote {}", path.display());
+}
+
+/// Formats a float for TSV output.
+#[must_use]
+pub fn fmt(x: f64) -> String {
+    format!("{x:.6}")
+}
+
+/// The policy subset most figures display (the paper omits some of the
+/// twelve for visual clarity).
+#[must_use]
+pub fn display_combos() -> Vec<Combo> {
+    vec![
+        Combo::ours(),
+        Combo {
+            selector: SelectorKind::Ucb2,
+            trader: TraderKind::Lyapunov,
+        },
+        Combo {
+            selector: SelectorKind::TsallisInf,
+            trader: TraderKind::Lyapunov,
+        },
+        Combo {
+            selector: SelectorKind::Greedy,
+            trader: TraderKind::Lyapunov,
+        },
+        Combo {
+            selector: SelectorKind::Random,
+            trader: TraderKind::Random,
+        },
+    ]
+}
+
+/// Runs the accuracy-versus-time experiment shared by Figs. 12–13:
+/// per-slot stream accuracy of `Ours`, `UCB-Ran`, `TINF-Ran`,
+/// `Greedy-Ran`, and `Offline` on the given task, printed and written
+/// to `file`.
+pub fn accuracy_figure(scale: &Scale, task: TaskKind, file: &str) {
+    use cne_core::runner::{evaluate, PolicySpec};
+
+    let zoo = scale.train_zoo(task);
+    let config = scale.config(task, scale.default_edges);
+
+    let with_ran = |selector| {
+        PolicySpec::Combo(Combo {
+            selector,
+            trader: TraderKind::Random,
+        })
+    };
+    let specs = vec![
+        PolicySpec::Combo(Combo::ours()),
+        with_ran(SelectorKind::Ucb2),
+        with_ran(SelectorKind::TsallisInf),
+        with_ran(SelectorKind::Greedy),
+        PolicySpec::Offline,
+    ];
+
+    let mut names = Vec::new();
+    let mut series = Vec::new();
+    for spec in &specs {
+        let r = evaluate(&config, &zoo, &scale.seeds, spec);
+        let mean_acc = r.mean_accuracy.iter().sum::<f64>() / r.mean_accuracy.len() as f64;
+        println!("  {:<10} mean accuracy {:.3}", r.name, mean_acc);
+        names.push(r.name.clone());
+        series.push(r.mean_accuracy.clone());
+    }
+
+    let mut header = vec!["t".to_owned()];
+    header.extend(names.iter().cloned());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = (0..config.horizon)
+        .map(|t| {
+            let mut row = vec![t.to_string()];
+            row.extend(series.iter().map(|s| fmt(s[t])));
+            row
+        })
+        .collect();
+    write_tsv(&scale.out_dir, file, &header_refs, &rows);
+}
+
+/// A [`Policy`] wrapper that accumulates the wall-clock time spent
+/// inside the wrapped policy's calls, split into the model-selection
+/// side (Algorithm 1) and the trading side (Algorithm 2) — the
+/// quantities of the paper's Fig. 14.
+pub struct TimedPolicy<P> {
+    inner: P,
+    /// Seconds spent in `select_models` + the per-edge share of
+    /// `end_of_slot`.
+    pub selection_secs: f64,
+    /// Seconds spent in `decide_trades`.
+    pub trading_secs: f64,
+    /// Number of slots timed.
+    pub slots: usize,
+}
+
+impl<P: Policy> TimedPolicy<P> {
+    /// Wraps a policy.
+    pub fn new(inner: P) -> Self {
+        Self {
+            inner,
+            selection_secs: 0.0,
+            trading_secs: 0.0,
+            slots: 0,
+        }
+    }
+
+    /// Mean per-slot time of the selection side (seconds).
+    #[must_use]
+    pub fn selection_per_slot(&self) -> f64 {
+        self.selection_secs / self.slots.max(1) as f64
+    }
+
+    /// Mean per-slot time of the trading side (seconds).
+    #[must_use]
+    pub fn trading_per_slot(&self) -> f64 {
+        self.trading_secs / self.slots.max(1) as f64
+    }
+}
+
+impl<P: Policy> Policy for TimedPolicy<P> {
+    fn select_models(&mut self, t: usize) -> Vec<usize> {
+        let start = Instant::now();
+        let out = self.inner.select_models(t);
+        self.selection_secs += start.elapsed().as_secs_f64();
+        self.slots += 1;
+        out
+    }
+
+    fn decide_trades(&mut self, t: usize, ctx: &TradeContext) -> (Allowances, Allowances) {
+        let start = Instant::now();
+        let out = self.inner.decide_trades(t, ctx);
+        self.trading_secs += start.elapsed().as_secs_f64();
+        out
+    }
+
+    fn end_of_slot(&mut self, t: usize, feedback: &SlotFeedback) {
+        // Loss feedback belongs to Algorithm 1; the trade observation
+        // to Algorithm 2 — both are cheap relative to the decide steps,
+        // so attribute the whole call to selection (dominant part).
+        let start = Instant::now();
+        self.inner.end_of_slot(t, feedback);
+        self.selection_secs += start.elapsed().as_secs_f64();
+    }
+
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ() {
+        let quick = Scale::preset(true, PathBuf::from("/tmp/x"));
+        let full = Scale::preset(false, PathBuf::from("/tmp/x"));
+        assert!(quick.seeds.len() < full.seeds.len());
+        assert_eq!(full.edges_sweep, vec![10, 20, 30, 40, 50]);
+        assert_eq!(full.horizon_sweep, vec![40, 80, 160, 320, 640]);
+    }
+
+    #[test]
+    fn horizon_config_scales_cap() {
+        let s = Scale::preset(true, PathBuf::from("/tmp/x"));
+        let base = s.config(TaskKind::MnistLike, 3);
+        let stretched = s.config_with_horizon(TaskKind::MnistLike, 3, base.horizon * 4);
+        stretched.validate();
+        assert_eq!(stretched.horizon, base.horizon * 4);
+        assert!((stretched.cap.get() - base.cap.get() * 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_subset_contains_ours() {
+        let combos = display_combos();
+        assert!(combos.contains(&Combo::ours()));
+        assert!(combos.len() >= 4);
+    }
+
+    #[test]
+    fn tsv_written() {
+        let dir = std::env::temp_dir().join("cne-bench-test");
+        write_tsv(&dir, "t.tsv", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+        let content = std::fs::read_to_string(dir.join("t.tsv")).expect("readable");
+        assert_eq!(content, "a\tb\n1\t2\n");
+    }
+}

@@ -1,0 +1,453 @@
+//! Static SVG line charts for the figure TSVs.
+//!
+//! A small, dependency-free SVG renderer applying a fixed data-viz
+//! method: thin 2-px series lines on a recessive grid, one y-axis,
+//! categorical colors assigned to *entities* in a fixed order (never
+//! cycled or rank-dependent), a legend plus direct labels at the line
+//! ends (the relief rule for the lower-contrast slots), and text in
+//! neutral ink rather than series colors. `Offline` — a reference
+//! bound, not a competing series — is drawn in neutral gray, dashed.
+//!
+//! The palette is the validated brand-neutral default (worst adjacent
+//! CVD ΔE 47.2 on the light surface).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Chart surface color (light mode).
+const SURFACE: &str = "#fcfcfb";
+/// Primary text ink.
+const TEXT_PRIMARY: &str = "#0b0b0b";
+/// Secondary text ink (axis labels, ticks).
+const TEXT_SECONDARY: &str = "#52514e";
+/// Recessive grid-line color.
+const GRID: &str = "#e8e8e6";
+/// Neutral series color for reference bounds (e.g. `Offline`).
+const NEUTRAL: &str = "#6b6a67";
+
+/// Categorical series slots in fixed order (validated palette).
+const SLOTS: [&str; 8] = [
+    "#2a78d6", "#1baf7a", "#eda100", "#008300", "#4a3aa7", "#e34948", "#e87ba4", "#eb6834",
+];
+
+/// One named data series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend / direct-label name.
+    pub name: String,
+    /// `(x, y)` points in data coordinates.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A multi-series line chart.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+    width: f64,
+    height: f64,
+}
+
+impl LineChart {
+    /// Creates a chart with the default 720×420 canvas.
+    #[must_use]
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            width: 720.0,
+            height: 420.0,
+        }
+    }
+
+    /// Adds a series; color is assigned by entity name (stable across
+    /// charts), falling back to the next free categorical slot.
+    pub fn add_series(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Number of series.
+    #[must_use]
+    pub fn num_series(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Color for the `idx`-th series: `Offline`-style reference bounds
+    /// get neutral gray; everything else takes categorical slots in
+    /// fixed order of first appearance.
+    fn color_of(&self, idx: usize) -> (&'static str, bool) {
+        let name = &self.series[idx].name;
+        if name.eq_ignore_ascii_case("offline") {
+            return (NEUTRAL, true);
+        }
+        // Fixed-order slot assignment counting only non-neutral series
+        // before this one.
+        let slot = self.series[..idx]
+            .iter()
+            .filter(|s| !s.name.eq_ignore_ascii_case("offline"))
+            .count();
+        (SLOTS[slot % SLOTS.len()], false)
+    }
+
+    /// Renders the chart to an SVG document.
+    ///
+    /// # Panics
+    /// Panics if no series or no finite points were added.
+    #[must_use]
+    pub fn to_svg(&self) -> String {
+        assert!(!self.series.is_empty(), "chart has no series");
+        let (margin_l, margin_r, margin_t, margin_b) = (64.0, 110.0, 44.0, 52.0);
+        let plot_w = self.width - margin_l - margin_r;
+        let plot_h = self.height - margin_t - margin_b;
+
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                if x.is_finite() && y.is_finite() {
+                    xs.push(x);
+                    ys.push(y);
+                }
+            }
+        }
+        assert!(!xs.is_empty(), "chart has no finite points");
+        let (x_min, x_max) = bounds(&xs);
+        let (mut y_min, mut y_max) = bounds(&ys);
+        if (y_max - y_min).abs() < 1e-12 {
+            y_min -= 1.0;
+            y_max += 1.0;
+        }
+        // Anchor near zero when the data starts close to it.
+        if y_min > 0.0 && y_min < 0.25 * y_max {
+            y_min = 0.0;
+        }
+        let x_span = (x_max - x_min).max(1e-12);
+        let y_span = y_max - y_min;
+        let sx = move |x: f64| margin_l + (x - x_min) / x_span * plot_w;
+        let sy = move |y: f64| margin_t + (1.0 - (y - y_min) / y_span) * plot_h;
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="Helvetica, Arial, sans-serif">"#,
+            w = self.width,
+            h = self.height
+        );
+        let _ = write!(
+            svg,
+            r#"<rect width="{w}" height="{h}" fill="{SURFACE}"/>"#,
+            w = self.width,
+            h = self.height
+        );
+        // Title (primary ink).
+        let _ = write!(
+            svg,
+            r#"<text x="{x}" y="24" font-size="15" font-weight="bold" fill="{TEXT_PRIMARY}">{t}</text>"#,
+            x = margin_l,
+            t = escape(&self.title)
+        );
+
+        // Recessive grid + ticks on nice y values.
+        for tick in nice_ticks(y_min, y_max, 5) {
+            let y = sy(tick);
+            let _ = write!(
+                svg,
+                r#"<line x1="{x1}" y1="{y:.1}" x2="{x2}" y2="{y:.1}" stroke="{GRID}" stroke-width="1"/>"#,
+                x1 = margin_l,
+                x2 = margin_l + plot_w
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{x}" y="{ty:.1}" font-size="11" fill="{TEXT_SECONDARY}" text-anchor="end">{v}</text>"#,
+                x = margin_l - 8.0,
+                ty = y + 4.0,
+                v = fmt_tick(tick)
+            );
+        }
+        for tick in nice_ticks(x_min, x_max, 6) {
+            let x = sx(tick);
+            let _ = write!(
+                svg,
+                r#"<text x="{x:.1}" y="{y}" font-size="11" fill="{TEXT_SECONDARY}" text-anchor="middle">{v}</text>"#,
+                y = margin_t + plot_h + 18.0,
+                v = fmt_tick(tick)
+            );
+        }
+        // Axis lines (recessive).
+        let _ = write!(
+            svg,
+            r#"<line x1="{l}" y1="{t}" x2="{l}" y2="{b}" stroke="{TEXT_SECONDARY}" stroke-width="1"/><line x1="{l}" y1="{b}" x2="{r}" y2="{b}" stroke="{TEXT_SECONDARY}" stroke-width="1"/>"#,
+            l = margin_l,
+            t = margin_t,
+            b = margin_t + plot_h,
+            r = margin_l + plot_w
+        );
+        // Axis labels.
+        let _ = write!(
+            svg,
+            r#"<text x="{x:.1}" y="{y}" font-size="12" fill="{TEXT_SECONDARY}" text-anchor="middle">{t}</text>"#,
+            x = margin_l + plot_w / 2.0,
+            y = self.height - 14.0,
+            t = escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="16" y="{y:.1}" font-size="12" fill="{TEXT_SECONDARY}" text-anchor="middle" transform="rotate(-90 16 {y:.1})">{t}</text>"#,
+            y = margin_t + plot_h / 2.0,
+            t = escape(&self.y_label)
+        );
+
+        // Series: thin 2px lines, direct labels at line ends.
+        for (idx, s) in self.series.iter().enumerate() {
+            let (color, dashed) = self.color_of(idx);
+            let mut d = String::new();
+            let mut last: Option<(f64, f64)> = None;
+            for &(x, y) in &s.points {
+                if !(x.is_finite() && y.is_finite()) {
+                    continue;
+                }
+                let (px, py) = (sx(x), sy(y));
+                if d.is_empty() {
+                    let _ = write!(d, "M{px:.1} {py:.1}");
+                } else {
+                    let _ = write!(d, " L{px:.1} {py:.1}");
+                }
+                last = Some((px, py));
+            }
+            let dash = if dashed {
+                r#" stroke-dasharray="6 4""#
+            } else {
+                ""
+            };
+            let _ = write!(
+                svg,
+                r#"<path d="{d}" fill="none" stroke="{color}" stroke-width="2"{dash}/>"#
+            );
+            if let Some((px, py)) = last {
+                // Direct label: colored swatch dot + neutral-ink text.
+                let _ = write!(
+                    svg,
+                    r#"<circle cx="{px:.1}" cy="{py:.1}" r="3" fill="{color}"/>"#
+                );
+                let label_y = py + 4.0 - 12.0 * (idx as f64 % 2.0);
+                let _ = write!(
+                    svg,
+                    r#"<text x="{x:.1}" y="{label_y:.1}" font-size="11" fill="{TEXT_PRIMARY}">{t}</text>"#,
+                    x = px + 8.0,
+                    t = escape(&s.name)
+                );
+            }
+        }
+
+        // Legend row (always present for ≥ 2 series).
+        if self.series.len() >= 2 {
+            let mut lx = margin_l;
+            for (idx, s) in self.series.iter().enumerate() {
+                let (color, _) = self.color_of(idx);
+                let _ = write!(
+                    svg,
+                    r#"<rect x="{lx:.1}" y="32" width="10" height="10" rx="2" fill="{color}"/><text x="{tx:.1}" y="41" font-size="11" fill="{TEXT_SECONDARY}">{t}</text>"#,
+                    tx = lx + 14.0,
+                    t = escape(&s.name)
+                );
+                lx += 14.0 + 7.0 * s.name.len() as f64 + 16.0;
+            }
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+}
+
+fn bounds(xs: &[f64]) -> (f64, f64) {
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (min, max)
+}
+
+/// "Nice" tick positions covering `[lo, hi]` with about `n` steps
+/// (1–2–5 progression).
+#[must_use]
+pub fn nice_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    let span = (hi - lo).max(1e-12);
+    let raw = span / n.max(1) as f64;
+    let mag = 10f64.powf(raw.log10().floor());
+    let norm = raw / mag;
+    let step = if norm < 1.5 {
+        1.0
+    } else if norm < 3.5 {
+        2.0
+    } else if norm < 7.5 {
+        5.0
+    } else {
+        10.0
+    } * mag;
+    let start = (lo / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = start;
+    while t <= hi + 1e-9 * span {
+        ticks.push(t);
+        t += step;
+    }
+    ticks
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_owned();
+    }
+    let a = v.abs();
+    if a >= 10_000.0 {
+        format!("{:.0}k", v / 1000.0)
+    } else if a >= 100.0 || (v - v.round()).abs() < 1e-9 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Reads a figure TSV (first column = x, remaining columns = series)
+/// and renders it to `<same name>.svg` beside it.
+///
+/// # Panics
+/// Panics if the file is unreadable or not a well-formed numeric TSV.
+pub fn render_tsv(path: &Path, title: &str, x_label: &str, y_label: &str) {
+    let content = std::fs::read_to_string(path).expect("readable TSV");
+    let mut lines = content.lines();
+    let header: Vec<&str> = lines.next().expect("TSV header").split('\t').collect();
+    assert!(header.len() >= 2, "TSV needs an x column and a series");
+    let mut series: Vec<Series> = header[1..]
+        .iter()
+        .map(|name| Series {
+            name: (*name).to_owned(),
+            points: Vec::new(),
+        })
+        .collect();
+    for line in lines {
+        let cells: Vec<&str> = line.split('\t').collect();
+        let x: f64 = cells[0].parse().expect("numeric x cell");
+        for (j, s) in series.iter_mut().enumerate() {
+            let y: f64 = cells[j + 1].parse().expect("numeric y cell");
+            s.points.push((x, y));
+        }
+    }
+    let mut chart = LineChart::new(title, x_label, y_label);
+    for s in series {
+        chart.add_series(s);
+    }
+    let svg = chart.to_svg();
+    let out = path.with_extension("svg");
+    std::fs::write(&out, svg).expect("write SVG");
+    eprintln!("[bench] wrote {}", out.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chart() -> LineChart {
+        let mut c = LineChart::new("Test", "t", "cost");
+        c.add_series(Series {
+            name: "Ours".into(),
+            points: (0..10).map(|i| (i as f64, i as f64 * 2.0)).collect(),
+        });
+        c.add_series(Series {
+            name: "Offline".into(),
+            points: (0..10).map(|i| (i as f64, i as f64)).collect(),
+        });
+        c
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = sample_chart().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<path").count(), 2, "one path per series");
+        assert!(svg.contains(SURFACE));
+    }
+
+    #[test]
+    fn offline_is_neutral_and_dashed() {
+        let svg = sample_chart().to_svg();
+        assert!(svg.contains(NEUTRAL));
+        assert!(svg.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn colors_follow_entities_in_fixed_order() {
+        let mut c = LineChart::new("x", "t", "y");
+        for name in ["A", "B", "C"] {
+            c.add_series(Series {
+                name: name.into(),
+                points: vec![(0.0, 0.0), (1.0, 1.0)],
+            });
+        }
+        let svg = c.to_svg();
+        let pos_a = svg.find(SLOTS[0]).expect("slot 1 used");
+        let pos_b = svg.find(SLOTS[1]).expect("slot 2 used");
+        let pos_c = svg.find(SLOTS[2]).expect("slot 3 used");
+        assert!(pos_a < pos_b && pos_b < pos_c, "fixed slot order");
+    }
+
+    #[test]
+    fn direct_labels_present_for_every_series() {
+        let svg = sample_chart().to_svg();
+        // Direct labels carry primary ink, one text node per series end
+        // + title.
+        let primary_texts = svg.matches(TEXT_PRIMARY).count();
+        assert!(
+            primary_texts >= 3,
+            "title + 2 direct labels: {primary_texts}"
+        );
+    }
+
+    #[test]
+    fn nice_ticks_are_nice() {
+        let t = nice_ticks(0.0, 100.0, 5);
+        assert_eq!(t, vec![0.0, 20.0, 40.0, 60.0, 80.0, 100.0]);
+        let t = nice_ticks(0.3, 0.97, 5);
+        assert!(t.len() >= 3 && t.len() <= 9, "tick count: {t:?}");
+        for w in t.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn escape_handles_markup() {
+        assert_eq!(escape("a<b&c"), "a&lt;b&amp;c");
+    }
+
+    #[test]
+    fn render_tsv_roundtrip() {
+        let dir = std::env::temp_dir().join("cne-plot-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let tsv = dir.join("fig.tsv");
+        std::fs::write(&tsv, "t\tOurs\tOffline\n0\t1.0\t0.5\n1\t2.0\t1.0\n").expect("write");
+        render_tsv(&tsv, "roundtrip", "t", "y");
+        let svg = std::fs::read_to_string(dir.join("fig.svg")).expect("svg written");
+        assert!(svg.contains("roundtrip"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no series")]
+    fn empty_chart_rejected() {
+        let _ = LineChart::new("x", "t", "y").to_svg();
+    }
+}

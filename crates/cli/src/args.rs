@@ -1,0 +1,147 @@
+//! Minimal flag parsing (no third-party dependency).
+
+use cne_simdata::dataset::TaskKind;
+
+/// Parsed command-line options shared by all subcommands.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Inference task.
+    pub task: TaskKind,
+    /// Number of edges `I`.
+    pub edges: usize,
+    /// Number of averaged seeds.
+    pub seeds: u64,
+    /// Policy name (for `run`).
+    pub policy: String,
+    /// Use the reduced fast-test configuration and zoo.
+    pub quick: bool,
+    /// Extend the zoo with 8-bit quantized variants.
+    pub quantized: bool,
+    /// Optional output TSV path for per-slot series.
+    pub out: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            task: TaskKind::MnistLike,
+            edges: 10,
+            seeds: 3,
+            policy: "ours".to_owned(),
+            quick: false,
+            quantized: false,
+            out: None,
+        }
+    }
+}
+
+impl Options {
+    /// Parses `--flag value` pairs and boolean switches.
+    ///
+    /// # Errors
+    /// Returns a message for unknown flags, missing values, or values
+    /// that fail to parse.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = Options::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("flag {name} needs a value"))
+            };
+            match flag.as_str() {
+                "--task" => {
+                    opts.task = match value("--task")?.to_ascii_lowercase().as_str() {
+                        "mnist" | "mnist-like" => TaskKind::MnistLike,
+                        "cifar" | "cifar-like" | "cifar10" => TaskKind::CifarLike,
+                        other => return Err(format!("unknown task '{other}'")),
+                    };
+                }
+                "--edges" => {
+                    opts.edges = value("--edges")?
+                        .parse()
+                        .map_err(|_| "edges must be a positive integer".to_owned())?;
+                    if opts.edges == 0 {
+                        return Err("edges must be at least 1".to_owned());
+                    }
+                }
+                "--seeds" => {
+                    opts.seeds = value("--seeds")?
+                        .parse()
+                        .map_err(|_| "seeds must be a positive integer".to_owned())?;
+                    if opts.seeds == 0 {
+                        return Err("seeds must be at least 1".to_owned());
+                    }
+                }
+                "--policy" => opts.policy = value("--policy")?,
+                "--out" => opts.out = Some(value("--out")?),
+                "--quick" => opts.quick = true,
+                "--quantized" => opts.quantized = true,
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The seed list `1..=seeds`.
+    #[must_use]
+    pub fn seed_list(&self) -> Vec<u64> {
+        (1..=self.seeds).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        Options::parse(&owned)
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).expect("empty is fine");
+        assert_eq!(o.edges, 10);
+        assert_eq!(o.task, TaskKind::MnistLike);
+        assert!(!o.quick);
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let o = parse(&[
+            "--task",
+            "cifar",
+            "--edges",
+            "20",
+            "--seeds",
+            "7",
+            "--policy",
+            "ucb-ly",
+            "--quick",
+            "--quantized",
+            "--out",
+            "x.tsv",
+        ])
+        .expect("valid");
+        assert_eq!(o.task, TaskKind::CifarLike);
+        assert_eq!(o.edges, 20);
+        assert_eq!(o.seed_list(), vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(o.policy, "ucb-ly");
+        assert!(o.quick && o.quantized);
+        assert_eq!(o.out.as_deref(), Some("x.tsv"));
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(parse(&["--nope"]).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(parse(&["--edges"]).is_err());
+        assert!(parse(&["--edges", "zero"]).is_err());
+        assert!(parse(&["--edges", "0"]).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! The CLI subcommands.
+
+use std::io::Write as _;
+
+use cne_core::combos::Combo;
+use cne_core::runner::{evaluate, PolicySpec};
+use cne_edgesim::SimConfig;
+use cne_nn::{ModelZoo, ZooConfig};
+use cne_util::SeedSequence;
+
+use crate::args::Options;
+
+/// Prints usage.
+pub fn print_help() {
+    println!(
+        "carbon-edge — carbon-neutral edge AI inference simulator
+
+USAGE:
+  carbon-edge <command> [flags]
+
+COMMANDS:
+  run       evaluate one policy (default: ours) and print its summary
+  compare   evaluate all 13 policies + Offline and print a ranked table
+  zoo       train and print the model zoo
+  help      show this message
+
+FLAGS:
+  --task mnist|cifar    inference task              (default mnist)
+  --edges N             number of edges             (default 10)
+  --seeds K             seeds averaged, 1..=K       (default 3)
+  --policy NAME         run: ours | offline | ucb-ly | ran-ran | …
+  --quantized           extend the zoo with 8-bit quantized variants
+  --quick               reduced fast-test scale (fast zoo, 40 slots)
+  --out FILE.tsv        run: write the per-slot series to a TSV
+
+EXAMPLES:
+  carbon-edge run --policy ours --edges 10 --seeds 5
+  carbon-edge compare --quick
+  carbon-edge zoo --task cifar --quantized"
+    );
+}
+
+fn build_zoo(opts: &Options) -> ModelZoo {
+    let config = if opts.quick {
+        ZooConfig::fast()
+    } else {
+        ZooConfig::default()
+    };
+    eprintln!("training the {} model zoo…", opts.task.name());
+    let zoo = ModelZoo::train(opts.task, &config, &SeedSequence::new(2025));
+    if opts.quantized {
+        zoo.with_quantized_variants(8)
+    } else {
+        zoo
+    }
+}
+
+fn build_config(opts: &Options) -> SimConfig {
+    if opts.quick {
+        let mut cfg = SimConfig::fast_test(opts.task);
+        cfg.num_edges = opts.edges;
+        cfg
+    } else {
+        SimConfig::paper_default(opts.task, opts.edges)
+    }
+}
+
+fn parse_spec(name: &str) -> Result<PolicySpec, String> {
+    if name.eq_ignore_ascii_case("offline") {
+        return Ok(PolicySpec::Offline);
+    }
+    name.parse::<Combo>()
+        .map(PolicySpec::Combo)
+        .map_err(|e| e.to_string())
+}
+
+/// `carbon-edge run`.
+pub fn run(opts: &Options) -> Result<(), String> {
+    let spec = parse_spec(&opts.policy)?;
+    let zoo = build_zoo(opts);
+    let config = build_config(opts);
+    let result = evaluate(&config, &zoo, &opts.seed_list(), &spec);
+
+    println!("policy       : {}", result.name);
+    println!(
+        "system       : {} edges, {} slots, cap {}, {} models, {} seeds",
+        config.num_edges,
+        config.horizon,
+        config.cap.get(),
+        zoo.len(),
+        opts.seeds
+    );
+    println!(
+        "total cost   : {:.1} ± {:.1}",
+        result.mean_total_cost, result.std_total_cost
+    );
+    println!("violation    : {:.2} allowances", result.mean_violation);
+    println!("switches     : {:.1}", result.mean_switches);
+    println!(
+        "unit price   : {:.2} ¢/allowance bought",
+        result.mean_unit_purchase_cost
+    );
+    let mean_acc =
+        result.mean_accuracy.iter().sum::<f64>() / result.mean_accuracy.len().max(1) as f64;
+    println!("accuracy     : {mean_acc:.3}");
+
+    if let Some(path) = &opts.out {
+        let mut f =
+            std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        writeln!(f, "t\tcumulative_cost\taccuracy\tnet_purchase\tarrivals")
+            .map_err(|e| e.to_string())?;
+        for t in 0..config.horizon {
+            writeln!(
+                f,
+                "{t}\t{:.6}\t{:.6}\t{:.6}\t{:.1}",
+                result.mean_cumulative_cost[t],
+                result.mean_accuracy[t],
+                result.mean_net_purchase[t],
+                result.mean_arrivals[t]
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        println!("series       : written to {path}");
+    }
+    Ok(())
+}
+
+/// `carbon-edge compare`.
+pub fn compare(opts: &Options) -> Result<(), String> {
+    let zoo = build_zoo(opts);
+    let config = build_config(opts);
+    let mut specs: Vec<PolicySpec> = Combo::all_baselines()
+        .into_iter()
+        .map(PolicySpec::Combo)
+        .collect();
+    specs.push(PolicySpec::Combo(Combo::ours()));
+    specs.push(PolicySpec::Offline);
+
+    let mut rows = Vec::new();
+    for spec in &specs {
+        let r = evaluate(&config, &zoo, &opts.seed_list(), spec);
+        eprintln!("  finished {}", r.name);
+        rows.push((
+            r.name.clone(),
+            r.mean_total_cost,
+            r.mean_violation,
+            r.mean_switches,
+        ));
+    }
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+
+    println!(
+        "\n{:<12} {:>12} {:>11} {:>10}",
+        "policy", "total cost", "violation", "switches"
+    );
+    for (name, cost, violation, switches) in &rows {
+        println!("{name:<12} {cost:>12.1} {violation:>11.2} {switches:>10.1}");
+    }
+    Ok(())
+}
+
+/// `carbon-edge zoo`.
+pub fn zoo(opts: &Options) -> Result<(), String> {
+    let zoo = build_zoo(opts);
+    println!(
+        "{:<16} {:>8} {:>8} {:>12} {:>10} {:>9} {:>9}",
+        "model", "E[loss]", "acc", "φ kWh/sample", "lat ms", "size MB", "params"
+    );
+    for m in zoo.models() {
+        println!(
+            "{:<16} {:>8.3} {:>8.3} {:>12.2e} {:>10.0} {:>9.2} {:>9}",
+            m.profile.name,
+            m.eval.expected_loss(),
+            m.eval.accuracy(),
+            m.profile.energy_per_sample.get(),
+            m.profile.base_latency.get(),
+            m.profile.size.get(),
+            m.profile.param_count,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! `carbon-edge` — command-line driver for the carbon-neutral edge
+//! inference simulator.
+//!
+//! ```text
+//! carbon-edge run     --policy ours --edges 10 --seeds 5 [--task mnist|cifar]
+//! carbon-edge compare --edges 10 --seeds 3
+//! carbon-edge zoo     --task cifar [--quantized]
+//! carbon-edge help
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        commands::print_help();
+        return ExitCode::FAILURE;
+    };
+    let opts = match args::Options::parse(rest) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "run" => commands::run(&opts),
+        "compare" => commands::compare(&opts),
+        "zoo" => commands::zoo(&opts),
+        "help" | "--help" | "-h" => {
+            commands::print_help();
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown command '{other}' (try 'carbon-edge help')"
+        )),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

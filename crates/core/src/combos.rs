@@ -1,0 +1,360 @@
+//! The paper's named algorithm grid.
+//!
+//! Section V-A combines four model selectors (Random, Greedy,
+//! Tsallis-INF, UCB2) with three carbon traders (Random, Threshold,
+//! Lyapunov) into twelve baselines `Ran-Ran` … `UCB-LY`, and compares
+//! them against *Ours* = Algorithm 1 (block Tsallis-INF) × Algorithm 2
+//! (online primal–dual). This module builds any of them for a given
+//! environment.
+
+use cne_bandit::{
+    BlockTsallisInf, Exp3, GreedyByCost, ModelSelector, RandomSelector, Schedule, ThompsonSampling,
+    Ucb2,
+};
+use cne_edgesim::Environment;
+use cne_trading::{
+    Lyapunov, LyapunovConfig, PrimalDual, PrimalDualConfig, RandomTrader, Threshold,
+    ThresholdConfig, TradingPolicy,
+};
+use cne_util::units::Allowances;
+use cne_util::SeedSequence;
+
+use crate::controller::ComboController;
+use crate::problem::LossNormalizer;
+
+/// Model-selection algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectorKind {
+    /// Uniformly random model per slot.
+    Random,
+    /// Always the lowest-energy model.
+    Greedy,
+    /// Plain Tsallis-INF (no switching awareness).
+    TsallisInf,
+    /// UCB2 with epoch parameter 0.5.
+    Ucb2,
+    /// EXP3 (classic exponential weights; extra reference learner).
+    Exp3,
+    /// Gaussian Thompson sampling (extra reference learner).
+    Thompson,
+    /// Algorithm 1: block Tsallis-INF with the Theorem 1 schedule.
+    BlockTsallis,
+}
+
+impl SelectorKind {
+    /// The paper's abbreviation.
+    #[must_use]
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            SelectorKind::Random => "Ran",
+            SelectorKind::Greedy => "Greedy",
+            SelectorKind::TsallisInf => "TINF",
+            SelectorKind::Ucb2 => "UCB",
+            SelectorKind::Exp3 => "EXP3",
+            SelectorKind::Thompson => "TS",
+            SelectorKind::BlockTsallis => "BTINF",
+        }
+    }
+}
+
+/// Carbon-trading algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraderKind {
+    /// Random quantities each slot.
+    Random,
+    /// Static price thresholds.
+    Threshold,
+    /// Drift-plus-penalty virtual queue.
+    Lyapunov,
+    /// Algorithm 2: rectified online primal–dual.
+    PrimalDual,
+}
+
+impl TraderKind {
+    /// The paper's abbreviation.
+    #[must_use]
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            TraderKind::Random => "Ran",
+            TraderKind::Threshold => "TH",
+            TraderKind::Lyapunov => "LY",
+            TraderKind::PrimalDual => "PD",
+        }
+    }
+}
+
+/// A selector × trader combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Combo {
+    /// The model-selection side.
+    pub selector: SelectorKind,
+    /// The trading side.
+    pub trader: TraderKind,
+}
+
+impl Combo {
+    /// The paper's approach: Algorithm 1 × Algorithm 2.
+    #[must_use]
+    pub fn ours() -> Self {
+        Self {
+            selector: SelectorKind::BlockTsallis,
+            trader: TraderKind::PrimalDual,
+        }
+    }
+
+    /// The twelve baseline combinations of §V-A, in the paper's order
+    /// (`Ran-Ran`, `Ran-TH`, `Ran-LY`, `Greedy-…`, `TINF-…`, `UCB-…`).
+    #[must_use]
+    pub fn all_baselines() -> Vec<Combo> {
+        let selectors = [
+            SelectorKind::Random,
+            SelectorKind::Greedy,
+            SelectorKind::TsallisInf,
+            SelectorKind::Ucb2,
+        ];
+        let traders = [
+            TraderKind::Random,
+            TraderKind::Threshold,
+            TraderKind::Lyapunov,
+        ];
+        selectors
+            .iter()
+            .flat_map(|&s| {
+                traders.iter().map(move |&t| Combo {
+                    selector: s,
+                    trader: t,
+                })
+            })
+            .collect()
+    }
+
+    /// Display name, e.g. `"UCB-LY"` or `"Ours"`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        if self.selector == SelectorKind::BlockTsallis && self.trader == TraderKind::PrimalDual {
+            "Ours".to_owned()
+        } else {
+            format!("{}-{}", self.selector.abbrev(), self.trader.abbrev())
+        }
+    }
+
+    /// Builds the controller for `env`, seeding all internal
+    /// randomness from `seed`.
+    #[must_use]
+    pub fn build(&self, env: &Environment<'_>, seed: &SeedSequence) -> ComboController {
+        let normalizer = LossNormalizer::new(env.config().weights);
+        let n = env.num_models();
+        let horizon = env.horizon();
+        let selectors: Vec<Box<dyn ModelSelector>> = (0..env.num_edges())
+            .map(|i| {
+                let sel_seed = seed.derive("selector").derive_index(i as u64);
+                let boxed: Box<dyn ModelSelector> = match self.selector {
+                    SelectorKind::Random => Box::new(RandomSelector::new(n, sel_seed)),
+                    SelectorKind::Greedy => Box::new(GreedyByCost::new(
+                        env.zoo()
+                            .models()
+                            .iter()
+                            .map(|m| m.profile.energy_per_sample.get())
+                            .collect(),
+                    )),
+                    SelectorKind::TsallisInf => {
+                        Box::new(BlockTsallisInf::plain(n, horizon, sel_seed))
+                    }
+                    SelectorKind::Ucb2 => Box::new(Ucb2::new(n, 0.5, sel_seed)),
+                    SelectorKind::Exp3 => Box::new(Exp3::new(n, sel_seed)),
+                    SelectorKind::Thompson => Box::new(ThompsonSampling::new(n, 0.5, sel_seed)),
+                    SelectorKind::BlockTsallis => {
+                        let u = normalizer
+                            .switch_cost(env.download_delay_ms(i), env.config().switch_weight);
+                        Box::new(BlockTsallisInf::new(
+                            n,
+                            Schedule::theorem1(u, n, horizon),
+                            sel_seed,
+                        ))
+                    }
+                };
+                boxed
+            })
+            .collect();
+
+        let cap_share = env.config().cap_share();
+        let trader_seed = seed.derive("trader");
+        let trader: Box<dyn TradingPolicy> = match self.trader {
+            TraderKind::Random => Box::new(RandomTrader::paper_default(trader_seed)),
+            TraderKind::Threshold => Box::new(Threshold::new(ThresholdConfig::for_band(
+                Allowances::new(2.0 * cap_share),
+            ))),
+            TraderKind::Lyapunov => Box::new(Lyapunov::new(LyapunovConfig::default())),
+            TraderKind::PrimalDual => {
+                // Scales: typical price ≈ 8.4 cent (EU band midpoint);
+                // typical per-slot volume ≈ the emission scale, i.e. a
+                // couple of cap shares.
+                Box::new(PrimalDual::new(PrimalDualConfig::theorem2(
+                    horizon,
+                    8.4,
+                    2.0 * cap_share,
+                )))
+            }
+        };
+        ComboController::new(selectors, trader, normalizer, self.name())
+    }
+}
+
+/// Error from parsing a combo name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseComboError(String);
+
+impl std::fmt::Display for ParseComboError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown policy '{}' (expected e.g. 'ours', 'ucb-ly', 'ran-ran', 'greedy-th')",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseComboError {}
+
+impl std::str::FromStr for Combo {
+    type Err = ParseComboError;
+
+    /// Parses the paper's combo names, case-insensitively: `"Ours"`,
+    /// or `<selector>-<trader>` with selector ∈ {ran, greedy, tinf,
+    /// ucb, btinf} and trader ∈ {ran, th, ly, pd}.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        if lower == "ours" {
+            return Ok(Combo::ours());
+        }
+        let Some((sel, tr)) = lower.split_once('-') else {
+            return Err(ParseComboError(s.to_owned()));
+        };
+        let selector = match sel {
+            "ran" | "random" => SelectorKind::Random,
+            "greedy" => SelectorKind::Greedy,
+            "tinf" | "tsallis" => SelectorKind::TsallisInf,
+            "ucb" | "ucb2" => SelectorKind::Ucb2,
+            "exp3" => SelectorKind::Exp3,
+            "ts" | "thompson" => SelectorKind::Thompson,
+            "btinf" | "block" => SelectorKind::BlockTsallis,
+            _ => return Err(ParseComboError(s.to_owned())),
+        };
+        let trader = match tr {
+            "ran" | "random" => TraderKind::Random,
+            "th" | "threshold" => TraderKind::Threshold,
+            "ly" | "lyapunov" => TraderKind::Lyapunov,
+            "pd" | "primal-dual" | "primaldual" => TraderKind::PrimalDual,
+            _ => return Err(ParseComboError(s.to_owned())),
+        };
+        Ok(Combo { selector, trader })
+    }
+}
+
+impl std::fmt::Display for Combo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cne_edgesim::SimConfig;
+    use cne_nn::{ModelZoo, ZooConfig};
+    use cne_simdata::dataset::TaskKind;
+
+    #[test]
+    fn twelve_baselines_with_paper_names() {
+        let all = Combo::all_baselines();
+        assert_eq!(all.len(), 12);
+        let names: Vec<String> = all.iter().map(Combo::name).collect();
+        for expected in [
+            "Ran-Ran",
+            "Ran-TH",
+            "Ran-LY",
+            "Greedy-Ran",
+            "Greedy-TH",
+            "Greedy-LY",
+            "TINF-Ran",
+            "TINF-TH",
+            "TINF-LY",
+            "UCB-Ran",
+            "UCB-TH",
+            "UCB-LY",
+        ] {
+            assert!(names.contains(&expected.to_owned()), "missing {expected}");
+        }
+        assert_eq!(Combo::ours().name(), "Ours");
+    }
+
+    #[test]
+    fn combo_names_round_trip_through_from_str() {
+        let mut combos = Combo::all_baselines();
+        combos.push(Combo::ours());
+        for combo in combos {
+            let parsed: Combo = combo.name().parse().expect("parseable name");
+            assert_eq!(parsed, combo, "round-trip failed for {}", combo.name());
+        }
+        assert!("nonsense".parse::<Combo>().is_err());
+        assert!("ucb-xyz".parse::<Combo>().is_err());
+        assert_eq!("OURS".parse::<Combo>().expect("ci"), Combo::ours());
+    }
+
+    #[test]
+    fn every_combo_runs_end_to_end() {
+        let seed = SeedSequence::new(3);
+        let zoo = ModelZoo::train(TaskKind::MnistLike, &ZooConfig::fast(), &seed.derive("zoo"));
+        let mut cfg = SimConfig::fast_test(TaskKind::MnistLike);
+        cfg.horizon = 10;
+        let env = Environment::new(cfg, &zoo, &seed.derive("env"));
+        let mut combos = Combo::all_baselines();
+        combos.push(Combo::ours());
+        for combo in combos {
+            let mut policy = combo.build(&env, &seed.derive("policy"));
+            let record = env.run(&mut policy);
+            assert_eq!(record.policy, combo.name());
+            assert_eq!(record.horizon(), 10);
+            assert!(record.total_cost().is_finite());
+        }
+    }
+}
+#[cfg(test)]
+mod extra_selector_tests {
+    use super::*;
+    use cne_edgesim::{Environment, SimConfig};
+    use cne_nn::{ModelZoo, ZooConfig};
+    use cne_simdata::dataset::TaskKind;
+
+    #[test]
+    fn exp3_and_thompson_combos_run() {
+        let seed = SeedSequence::new(60);
+        let zoo = ModelZoo::train(TaskKind::MnistLike, &ZooConfig::fast(), &seed.derive("zoo"));
+        let mut cfg = SimConfig::fast_test(TaskKind::MnistLike);
+        cfg.horizon = 12;
+        let env = Environment::new(cfg, &zoo, &seed.derive("env"));
+        for selector in [SelectorKind::Exp3, SelectorKind::Thompson] {
+            let combo = Combo {
+                selector,
+                trader: TraderKind::PrimalDual,
+            };
+            let mut policy = combo.build(&env, &seed.derive("alg"));
+            let record = env.run(&mut policy);
+            assert!(record.total_cost().is_finite());
+        }
+        assert_eq!(
+            "exp3-pd".parse::<Combo>().expect("parse"),
+            Combo {
+                selector: SelectorKind::Exp3,
+                trader: TraderKind::PrimalDual
+            }
+        );
+        assert_eq!(
+            "ts-ly".parse::<Combo>().expect("parse"),
+            Combo {
+                selector: SelectorKind::Thompson,
+                trader: TraderKind::Lyapunov
+            }
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! The paper's contribution, assembled: joint online control of model
+//! placement and carbon-allowance trading for a cloud–edge inference
+//! system, with baselines, an offline oracle, and regret/fit evaluation.
+//!
+//! The problem `P0` (Section II-B of the paper) minimizes, over `T`
+//! slots,
+//!
+//! ```text
+//! Σ_t Σ_i Σ_n x_{i,n}^t (E[l_n] + v_{i,n})    expected inference cost
+//! + Σ_t Σ_i y_i^t u_i                         model switching cost
+//! + Σ_t (z^t c^t − w^t r^t)                   allowance trading cost
+//! s.t. Σ_t emissions_t ≤ R + Σ_t z^t − Σ_t w^t   (carbon neutrality)
+//! ```
+//!
+//! The learning-centric decomposition solves the placement subproblem
+//! `P1` per edge with the switching-aware block Tsallis-INF bandit
+//! (`cne-bandit`, Algorithm 1) and the trading subproblem `P2` with
+//! rectified online primal–dual steps (`cne-trading`, Algorithm 2).
+//!
+//! Modules:
+//!
+//! * [`problem`] — loss normalization and cost scales shared by the
+//!   controllers;
+//! * [`controller`] — [`ComboController`]: any model selector × any
+//!   trading policy as an [`cne_edgesim::Policy`];
+//! * [`combos`] — the paper's named algorithm grid (`Ran-Ran` …
+//!   `UCB-LY`, and `Ours`);
+//! * [`offline`] — the clairvoyant `Offline` benchmark (best fixed
+//!   model per edge + exact offline trading LP);
+//! * [`runner`] — multi-seed experiment driver with averaging;
+//! * [`regret`] — regret (for `P0`, `P1`, `P2`) and fit computation.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use cne_core::combos::Combo;
+//! use cne_core::runner::{evaluate, PolicySpec};
+//! use cne_edgesim::SimConfig;
+//! use cne_nn::{ModelZoo, ZooConfig};
+//! use cne_simdata::dataset::TaskKind;
+//! use cne_util::SeedSequence;
+//!
+//! let zoo = ModelZoo::train(TaskKind::MnistLike, &ZooConfig::default(),
+//!                           &SeedSequence::new(1));
+//! let config = SimConfig::paper_default(TaskKind::MnistLike, 10);
+//! let ours = evaluate(&config, &zoo, &[1, 2, 3], &PolicySpec::Combo(Combo::ours()));
+//! println!("mean total cost: {}", ours.mean_total_cost);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod combos;
+pub mod controller;
+pub mod offline;
+pub mod problem;
+pub mod regret;
+pub mod runner;
+
+pub use combos::{Combo, SelectorKind, TraderKind};
+pub use controller::ComboController;
+pub use offline::OfflinePolicy;
+pub use problem::LossNormalizer;
+pub use runner::{evaluate, EvalResult, PolicySpec};

@@ -1,0 +1,118 @@
+//! Shared cost scales: mapping the raw slot observations onto the
+//! normalized per-slot losses the bandit layer consumes.
+//!
+//! The bandit analysis (and Tsallis-INF practice) assumes per-round
+//! losses in roughly `[0, 1]`. A slot's raw inference cost on edge `i`
+//! is `L_{i,n}^t · w_loss + v_{i,n} · w_latency` where the Brier loss
+//! `L ∈ [0, 2]` and `v ∈ [25, 150]` ms, so dividing by
+//! `2 w_loss + 150 w_latency` lands in `(0, 1]`. The switching cost is
+//! mapped onto the same unit so the block schedule's `u` parameter (in
+//! per-slot loss units) is commensurate.
+
+use cne_edgesim::CostWeights;
+
+/// Maximum Brier loss of a probability vector vs. a one-hot label.
+pub const MAX_BRIER: f64 = 2.0;
+
+/// Maximum computation latency in the paper's band (ms).
+pub const MAX_LATENCY_MS: f64 = 150.0;
+
+/// Ratio between the worst-case slot cost and the *reference scale*
+/// the bandit losses are normalized by.
+///
+/// Normalizing by the worst case (`2 w_loss + 150 w_lat`) would crush
+/// the gaps between realistic models (whose Brier losses live far from
+/// the 2.0 worst case) to the point where no learner can resolve them
+/// within the paper's 160-slot horizon. We instead normalize by a
+/// reference scale of 1/12 of the worst case — roughly the spread of
+/// actually-trained model costs — so near-tied models still produce a
+/// usable signal. Normalized losses may therefore exceed 1 for
+/// pathologically bad models; Tsallis-INF only requires finite losses.
+pub const SIGNAL_FACTOR: f64 = 12.0;
+
+/// Maps raw slot costs onto the reference loss scale the bandit
+/// layer consumes (≈ `[0, 1]` for realistic models).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossNormalizer {
+    weights: CostWeights,
+    scale: f64,
+}
+
+impl LossNormalizer {
+    /// Builds a normalizer for the given cost weights.
+    #[must_use]
+    pub fn new(weights: CostWeights) -> Self {
+        let scale =
+            (MAX_BRIER * weights.loss + MAX_LATENCY_MS * weights.latency_per_ms) / SIGNAL_FACTOR;
+        assert!(scale > 0.0, "degenerate cost weights");
+        Self { weights, scale }
+    }
+
+    /// The normalization constant `2 w_loss + 150 w_latency`.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Normalized slot loss from an empirical Brier loss and a
+    /// computation latency.
+    ///
+    /// # Examples
+    /// ```
+    /// use cne_core::problem::{LossNormalizer, SIGNAL_FACTOR};
+    /// use cne_edgesim::CostWeights;
+    ///
+    /// let norm = LossNormalizer::new(CostWeights::default());
+    /// let worst = norm.slot_loss(2.0, 150.0);
+    /// assert!((worst - SIGNAL_FACTOR).abs() < 1e-9);
+    /// assert!(norm.slot_loss(0.1, 30.0) < worst);
+    /// ```
+    #[must_use]
+    pub fn slot_loss(&self, brier: f64, latency_ms: f64) -> f64 {
+        (brier * self.weights.loss + latency_ms * self.weights.latency_per_ms) / self.scale
+    }
+
+    /// The switching cost `u_i` expressed in normalized per-slot loss
+    /// units (feeds the block schedule of Theorem 1).
+    #[must_use]
+    pub fn switch_cost(&self, download_delay_ms: f64, switch_weight: f64) -> f64 {
+        download_delay_ms * self.weights.switch_per_ms * switch_weight / self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale() {
+        let n = LossNormalizer::new(CostWeights::default());
+        // (2·3 + 150/600) / 12 = 0.52083…
+        assert!((n.scale() - 6.25 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn losses_bounded_by_signal_factor() {
+        let n = LossNormalizer::new(CostWeights::default());
+        for brier in [0.0, 0.5, 1.0, 2.0] {
+            for v in [25.0, 80.0, 150.0] {
+                let l = n.slot_loss(brier, v);
+                assert!(
+                    (0.0..=SIGNAL_FACTOR + 1e-12).contains(&l),
+                    "loss {l} out of range"
+                );
+            }
+        }
+        // Realistic models (Brier ≲ 0.5) stay near the unit scale.
+        assert!(n.slot_loss(0.5, 80.0) < 4.0);
+    }
+
+    #[test]
+    fn switch_cost_scales_with_weight() {
+        let n = LossNormalizer::new(CostWeights::default());
+        let base = n.switch_cost(100.0, 1.0);
+        let heavy = n.switch_cost(100.0, 4.0);
+        assert!((heavy - 4.0 * base).abs() < 1e-12);
+        assert!(base > 0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Multi-seed experiment driver.
+//!
+//! All of the paper's reported numbers are averages of 10 seeded runs
+//! (§V-B). [`evaluate`] realizes one environment per seed (shared by
+//! every policy evaluated with the same seed list), runs the policy,
+//! and aggregates the per-run metrics.
+
+use cne_edgesim::{Environment, RunRecord, SimConfig};
+use cne_nn::ModelZoo;
+use cne_util::series::mean_series;
+use cne_util::stats::OnlineStats;
+use cne_util::SeedSequence;
+
+use crate::combos::Combo;
+use crate::offline::OfflinePolicy;
+use crate::regret;
+
+/// Which policy to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicySpec {
+    /// A selector × trader combination (including `Ours`).
+    Combo(Combo),
+    /// The clairvoyant offline benchmark.
+    Offline,
+}
+
+impl PolicySpec {
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            PolicySpec::Combo(c) => c.name(),
+            PolicySpec::Offline => "Offline".to_owned(),
+        }
+    }
+}
+
+/// Aggregated metrics over the seed list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalResult {
+    /// Policy display name.
+    pub name: String,
+    /// Mean weighted total cost.
+    pub mean_total_cost: f64,
+    /// Sample standard deviation of the total cost.
+    pub std_total_cost: f64,
+    /// Mean terminal constraint violation (allowances).
+    pub mean_violation: f64,
+    /// Mean fit `[Σ g]⁺`.
+    pub mean_fit: f64,
+    /// Mean P1 regret + switching (weighted cost units).
+    pub mean_p1_regret: f64,
+    /// Mean P2 regret (cents).
+    pub mean_p2_regret: f64,
+    /// Mean total number of model downloads.
+    pub mean_switches: f64,
+    /// Mean average buy price actually paid (cents/allowance).
+    pub mean_unit_purchase_cost: f64,
+    /// Slot-wise mean cumulative cost curve.
+    pub mean_cumulative_cost: Vec<f64>,
+    /// Slot-wise mean accuracy curve.
+    pub mean_accuracy: Vec<f64>,
+    /// Slot-wise mean net allowance purchases.
+    pub mean_net_purchase: Vec<f64>,
+    /// Slot-wise mean arrivals (identical across policies at equal
+    /// seeds; kept for the Fig. 9 overlay).
+    pub mean_arrivals: Vec<f64>,
+    /// Per-run records (one per seed), for custom analyses.
+    pub records: Vec<RunRecord>,
+}
+
+/// Builds and runs a single policy instance on a fresh environment.
+///
+/// `seed` controls the environment realization *and* the policy's
+/// internal randomness; two different specs evaluated with the same
+/// seed see the same environment.
+#[must_use]
+pub fn run_single(config: &SimConfig, zoo: &ModelZoo, seed: u64, spec: &PolicySpec) -> RunRecord {
+    let root = SeedSequence::new(seed);
+    let env = Environment::new(config.clone(), zoo, &root.derive("env"));
+    match spec {
+        PolicySpec::Combo(combo) => {
+            let mut policy = combo.build(&env, &root.derive("alg"));
+            env.run(&mut policy)
+        }
+        PolicySpec::Offline => {
+            let mut policy = OfflinePolicy::plan(&env);
+            env.run(&mut policy)
+        }
+    }
+}
+
+/// Runs `spec` once per seed and aggregates.
+///
+/// # Panics
+/// Panics if `seeds` is empty.
+#[must_use]
+pub fn evaluate(
+    config: &SimConfig,
+    zoo: &ModelZoo,
+    seeds: &[u64],
+    spec: &PolicySpec,
+) -> EvalResult {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let mut totals = OnlineStats::new();
+    let mut violations = OnlineStats::new();
+    let mut fits = OnlineStats::new();
+    let mut p1 = OnlineStats::new();
+    let mut p2 = OnlineStats::new();
+    let mut switches = OnlineStats::new();
+    let mut unit_costs = OnlineStats::new();
+    let mut cumulative = Vec::new();
+    let mut accuracy = Vec::new();
+    let mut net_purchase = Vec::new();
+    let mut arrivals = Vec::new();
+    let mut records = Vec::with_capacity(seeds.len());
+
+    for &seed in seeds {
+        let root = SeedSequence::new(seed);
+        let env = Environment::new(config.clone(), zoo, &root.derive("env"));
+        let record = match spec {
+            PolicySpec::Combo(combo) => {
+                let mut policy = combo.build(&env, &root.derive("alg"));
+                env.run(&mut policy)
+            }
+            PolicySpec::Offline => {
+                let mut policy = OfflinePolicy::plan(&env);
+                env.run(&mut policy)
+            }
+        };
+        totals.push(record.total_cost());
+        violations.push(record.violation());
+        fits.push(regret::fit(&record));
+        p1.push(regret::p1_regret_with_switching(&env, &record));
+        p2.push(regret::p2_regret(
+            &record,
+            config.bounds.max_buy.get(),
+            config.bounds.max_sell.get(),
+        ));
+        switches.push(record.total_switches() as f64);
+        unit_costs.push(record.unit_purchase_cost());
+        cumulative.push(record.cumulative_cost_series());
+        accuracy.push(record.accuracy_series());
+        net_purchase.push(record.net_purchase_series());
+        arrivals.push(record.arrivals_series());
+        records.push(record);
+    }
+
+    EvalResult {
+        name: spec.name(),
+        mean_total_cost: totals.mean(),
+        std_total_cost: totals.sample_std(),
+        mean_violation: violations.mean(),
+        mean_fit: fits.mean(),
+        mean_p1_regret: p1.mean(),
+        mean_p2_regret: p2.mean(),
+        mean_switches: switches.mean(),
+        mean_unit_purchase_cost: unit_costs.mean(),
+        mean_cumulative_cost: mean_series(&cumulative),
+        mean_accuracy: mean_series(&accuracy),
+        mean_net_purchase: mean_series(&net_purchase),
+        mean_arrivals: mean_series(&arrivals),
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cne_nn::ZooConfig;
+    use cne_simdata::dataset::TaskKind;
+
+    fn setup() -> (ModelZoo, SimConfig) {
+        let zoo = ModelZoo::train(
+            TaskKind::MnistLike,
+            &ZooConfig::fast(),
+            &SeedSequence::new(20),
+        );
+        (zoo, SimConfig::fast_test(TaskKind::MnistLike))
+    }
+
+    #[test]
+    fn evaluate_aggregates_across_seeds() {
+        let (zoo, cfg) = setup();
+        let result = evaluate(&cfg, &zoo, &[1, 2, 3], &PolicySpec::Combo(Combo::ours()));
+        assert_eq!(result.name, "Ours");
+        assert_eq!(result.records.len(), 3);
+        assert_eq!(result.mean_cumulative_cost.len(), cfg.horizon);
+        assert!(result.mean_total_cost.is_finite());
+        assert!(result.mean_total_cost > 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_environment_across_specs() {
+        let (zoo, cfg) = setup();
+        let a = run_single(&cfg, &zoo, 7, &PolicySpec::Offline);
+        let b = run_single(
+            &cfg,
+            &zoo,
+            7,
+            &PolicySpec::Combo(Combo {
+                selector: crate::combos::SelectorKind::Greedy,
+                trader: crate::combos::TraderKind::Threshold,
+            }),
+        );
+        // Identical arrivals and prices prove the shared realization.
+        for (x, y) in a.slots.iter().zip(&b.slots) {
+            assert_eq!(x.arrivals, y.arrivals);
+            assert_eq!(x.buy_price, y.buy_price);
+        }
+    }
+
+    #[test]
+    fn ours_beats_random_random() {
+        let (zoo, cfg) = setup();
+        let seeds = [1u64, 2, 3];
+        let ours = evaluate(&cfg, &zoo, &seeds, &PolicySpec::Combo(Combo::ours()));
+        let ran_ran = evaluate(
+            &cfg,
+            &zoo,
+            &seeds,
+            &PolicySpec::Combo(Combo {
+                selector: crate::combos::SelectorKind::Random,
+                trader: crate::combos::TraderKind::Random,
+            }),
+        );
+        assert!(
+            ours.mean_total_cost < ran_ran.mean_total_cost,
+            "Ours ({}) must beat Ran-Ran ({})",
+            ours.mean_total_cost,
+            ran_ran.mean_total_cost
+        );
+    }
+
+    #[test]
+    fn offline_lower_bounds_ours() {
+        let (zoo, cfg) = setup();
+        let seeds = [4u64, 5];
+        let offline = evaluate(&cfg, &zoo, &seeds, &PolicySpec::Offline);
+        let ours = evaluate(&cfg, &zoo, &seeds, &PolicySpec::Combo(Combo::ours()));
+        // Offline may not always dominate exactly (it satisfies the
+        // constraint strictly while online may briefly violate), but at
+        // the fast-test scale it should be no worse.
+        assert!(
+            offline.mean_total_cost <= ours.mean_total_cost * 1.05,
+            "offline ({}) should not exceed ours ({}) materially",
+            offline.mean_total_cost,
+            ours.mean_total_cost
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the assembled controller layer: every
+//! expressible combo runs cleanly on arbitrary short horizons and
+//! seeds, placements are always well-formed, and the accounting
+//! identities of the run record hold.
+
+use std::sync::OnceLock;
+
+use cne_core::combos::{Combo, SelectorKind, TraderKind};
+use cne_core::runner::{run_single, PolicySpec};
+use cne_edgesim::SimConfig;
+use cne_nn::{ModelZoo, ZooConfig};
+use cne_simdata::dataset::TaskKind;
+use cne_util::SeedSequence;
+use proptest::prelude::*;
+
+/// One zoo shared across all proptest cases (training is the expensive
+/// part; the properties vary the environment and policies).
+fn shared_zoo() -> &'static ModelZoo {
+    static ZOO: OnceLock<ModelZoo> = OnceLock::new();
+    ZOO.get_or_init(|| {
+        ModelZoo::train(
+            TaskKind::MnistLike,
+            &ZooConfig::fast(),
+            &SeedSequence::new(9000),
+        )
+    })
+}
+
+fn selector_strategy() -> impl Strategy<Value = SelectorKind> {
+    prop_oneof![
+        Just(SelectorKind::Random),
+        Just(SelectorKind::Greedy),
+        Just(SelectorKind::TsallisInf),
+        Just(SelectorKind::Ucb2),
+        Just(SelectorKind::BlockTsallis),
+    ]
+}
+
+fn trader_strategy() -> impl Strategy<Value = TraderKind> {
+    prop_oneof![
+        Just(TraderKind::Random),
+        Just(TraderKind::Threshold),
+        Just(TraderKind::Lyapunov),
+        Just(TraderKind::PrimalDual),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any combo × any short horizon × any seed: the run completes and
+    /// its accounting identities hold.
+    #[test]
+    fn any_combo_runs_and_accounts(
+        selector in selector_strategy(),
+        trader in trader_strategy(),
+        horizon in 1usize..=40,
+        edges in 1usize..=4,
+        seed in 0u64..500,
+    ) {
+        let zoo = shared_zoo();
+        let mut cfg = SimConfig::fast_test(TaskKind::MnistLike);
+        cfg.horizon = horizon;
+        cfg.num_edges = edges;
+        let combo = Combo { selector, trader };
+        let record = run_single(&cfg, zoo, seed, &PolicySpec::Combo(combo));
+
+        prop_assert_eq!(record.horizon(), horizon);
+        prop_assert_eq!(record.edges.len(), edges);
+        prop_assert!(record.total_cost().is_finite());
+
+        // Accounting: slots ↔ ledger.
+        let slot_emissions: f64 = record.slots.iter().map(|s| s.emissions).sum();
+        prop_assert!(
+            (slot_emissions - record.ledger.emitted().to_allowances().get()).abs() < 1e-9
+        );
+        let slot_bought: f64 = record.slots.iter().map(|s| s.bought).sum();
+        prop_assert!((slot_bought - record.ledger.bought().get()).abs() < 1e-9);
+
+        // Per-edge selection counts sum to the horizon.
+        for edge in &record.edges {
+            let total: u64 = edge.selection_counts.iter().sum();
+            prop_assert_eq!(total as usize, horizon);
+            // Every hosted model needed at least one download.
+            prop_assert!(edge.switches >= 1);
+        }
+
+        // Bounds respected every slot.
+        for s in &record.slots {
+            prop_assert!(s.bought <= cfg.bounds.max_buy.get() + 1e-12);
+            prop_assert!(s.sold <= cfg.bounds.max_sell.get() + 1e-12);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&s.accuracy));
+        }
+
+        // Settlement is exactly the priced terminal violation.
+        let expected_settlement = record.violation()
+            * cfg.violation_penalty
+            * cfg.weights.money_per_cent;
+        prop_assert!((record.settlement_cost - expected_settlement).abs() < 1e-9);
+    }
+
+    /// The offline oracle is feasible (zero violation) on any workload
+    /// realization of the default regime.
+    #[test]
+    fn offline_is_always_neutral(seed in 0u64..200) {
+        let zoo = shared_zoo();
+        let cfg = SimConfig::fast_test(TaskKind::MnistLike);
+        let record = run_single(&cfg, zoo, seed, &PolicySpec::Offline);
+        prop_assert!(record.violation() < 1e-6, "violation {}", record.violation());
+        prop_assert_eq!(record.total_switches() as usize, cfg.num_edges);
+    }
+}

@@ -1,0 +1,586 @@
+//! The pre-realized simulation environment and the run loop.
+
+use cne_market::{AllowanceLedger, CarbonMarket};
+use cne_nn::ModelZoo;
+use cne_simdata::prices::PriceSeries;
+use cne_simdata::stream::DataStream;
+use cne_simdata::topology::Topology;
+use cne_simdata::workload::{DiurnalWorkload, WorkloadTrace};
+use cne_trading::policy::{TradeContext, TradeObservation};
+use cne_util::SeedSequence;
+
+use crate::config::SimConfig;
+use crate::policy::{EdgeSlotOutcome, Policy, SlotFeedback};
+use crate::record::{EdgeRecord, RunRecord, SlotRecord};
+
+/// A fully realized simulation instance.
+///
+/// Everything that does not depend on policy decisions — topology,
+/// per-edge workload traces, the price series, and the stream sample
+/// indices of every slot — is drawn once at construction, so multiple
+/// policies run on *identical* inputs (the paper compares algorithms on
+/// the same traces).
+#[derive(Debug)]
+pub struct Environment<'a> {
+    config: SimConfig,
+    zoo: &'a ModelZoo,
+    topology: Topology,
+    workloads: Vec<WorkloadTrace>,
+    prices: PriceSeries,
+    /// `v_{i,n}` in ms: model base latency × edge compute factor,
+    /// clamped to the paper's `[25, 150]` ms band.
+    latencies: Vec<Vec<f64>>,
+    /// Pre-drawn pool indices per `[edge][slot]`.
+    slot_indices: Vec<Vec<Vec<usize>>>,
+    market: CarbonMarket,
+    /// Model-quality permutation applied from `quality_drift_at`
+    /// onward (rank reversal by expected loss), when configured.
+    drift_perm: Option<Vec<usize>>,
+}
+
+impl<'a> Environment<'a> {
+    /// Realizes an environment from a configuration, a trained zoo, and
+    /// a seed.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`SimConfig::validate`]).
+    #[must_use]
+    pub fn new(config: SimConfig, zoo: &'a ModelZoo, seed: &SeedSequence) -> Self {
+        config.validate();
+        assert_eq!(
+            config.task,
+            zoo.kind(),
+            "zoo was trained for a different task"
+        );
+        let topology = Topology::generate(config.num_edges, config.topology, &seed.derive("topo"));
+        let workload_gen = DiurnalWorkload::new(config.workload);
+        let workloads: Vec<WorkloadTrace> = (0..config.num_edges)
+            .map(|i| workload_gen.trace(i, &seed.derive("workload")))
+            .collect();
+        let prices =
+            config
+                .price_model
+                .generate(config.horizon, config.sell_ratio, &seed.derive("prices"));
+        let latencies: Vec<Vec<f64>> = (0..config.num_edges)
+            .map(|i| {
+                zoo.models()
+                    .iter()
+                    .map(|m| {
+                        (m.profile.base_latency.get() * topology.compute_factor(i))
+                            .clamp(25.0, 150.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        let slot_indices: Vec<Vec<Vec<usize>>> = (0..config.num_edges)
+            .map(|i| {
+                let mut stream = DataStream::new(
+                    zoo.pool().len(),
+                    seed.derive("stream").derive_index(i as u64),
+                );
+                (0..config.horizon)
+                    .map(|t| {
+                        stream.draw_slot_capped(workloads[i].arrivals(t), config.loss_sample_cap)
+                    })
+                    .collect()
+            })
+            .collect();
+        let market = CarbonMarket::new(config.bounds);
+        // Rank-reversal permutation for the drift extension: the model
+        // with the k-th lowest expected loss inherits the table of the
+        // k-th highest.
+        let drift_perm = config.quality_drift_at.map(|_| {
+            let mut order: Vec<usize> = (0..zoo.len()).collect();
+            order.sort_by(|&a, &b| {
+                zoo.model(a)
+                    .eval
+                    .expected_loss()
+                    .partial_cmp(&zoo.model(b).eval.expected_loss())
+                    .expect("finite losses")
+            });
+            let mut perm = vec![0usize; zoo.len()];
+            for (rank, &model) in order.iter().enumerate() {
+                perm[model] = order[zoo.len() - 1 - rank];
+            }
+            perm
+        });
+        Self {
+            config,
+            zoo,
+            topology,
+            workloads,
+            prices,
+            latencies,
+            slot_indices,
+            market,
+            drift_perm,
+        }
+    }
+
+    /// The eval-table index model `n` maps to at slot `t` (identity
+    /// unless the drift experiment is active and past its onset).
+    #[must_use]
+    pub fn effective_table(&self, n: usize, t: usize) -> usize {
+        match (self.config.quality_drift_at, &self.drift_perm) {
+            (Some(at), Some(perm)) if t >= at => perm[n],
+            _ => n,
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The trained model zoo.
+    #[must_use]
+    pub fn zoo(&self) -> &ModelZoo {
+        self.zoo
+    }
+
+    /// The realized topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The realized price series.
+    #[must_use]
+    pub fn prices(&self) -> &PriceSeries {
+        &self.prices
+    }
+
+    /// The workload trace of edge `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn workload(&self, i: usize) -> &WorkloadTrace {
+        &self.workloads[i]
+    }
+
+    /// Computation cost `v_{i,n}` in milliseconds.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn latency_ms(&self, i: usize, n: usize) -> f64 {
+        self.latencies[i][n]
+    }
+
+    /// Download delay `u_i` in milliseconds.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn download_delay_ms(&self, i: usize) -> f64 {
+        self.topology.download_delay(i).get()
+    }
+
+    /// Number of models `N`.
+    #[must_use]
+    pub fn num_models(&self) -> usize {
+        self.zoo.len()
+    }
+
+    /// Number of edges `I`.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.config.num_edges
+    }
+
+    /// Horizon `T`.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.config.horizon
+    }
+
+    /// Expected total emissions (allowances) if every edge hosted the
+    /// given model all run — a scale hint for trading policies.
+    #[must_use]
+    pub fn expected_emissions_for_model(&self, n: usize) -> f64 {
+        let phi = self.zoo.model(n).profile.energy_per_sample;
+        let total_arrivals: u64 = self.workloads.iter().map(WorkloadTrace::total).sum();
+        self.config
+            .emission
+            .emissions(self.config.emission.inference_energy(phi, total_arrivals))
+            .to_allowances()
+            .get()
+    }
+
+    /// Runs a policy through the whole horizon.
+    ///
+    /// # Panics
+    /// Panics if the policy returns a malformed placement vector.
+    pub fn run(&self, policy: &mut dyn Policy) -> RunRecord {
+        let cfg = &self.config;
+        let mut ledger = AllowanceLedger::new(cfg.cap);
+        let mut prev_models: Vec<Option<usize>> = vec![None; cfg.num_edges];
+        let mut slots = Vec::with_capacity(cfg.horizon);
+        let mut edge_records: Vec<EdgeRecord> = (0..cfg.num_edges)
+            .map(|_| EdgeRecord {
+                selection_counts: vec![0; self.zoo.len()],
+                switches: 0,
+                peak_utilization_millionths: 0,
+            })
+            .collect();
+        let cap_share = cfg.cap_share();
+
+        for t in 0..cfg.horizon {
+            // Step 1: model selection and (possible) download.
+            let placements = policy.select_models(t);
+            assert_eq!(
+                placements.len(),
+                cfg.num_edges,
+                "policy must place one model per edge"
+            );
+            for &n in &placements {
+                assert!(n < self.zoo.len(), "model index out of range");
+            }
+
+            // Carbon trading (Algorithm 2 decides using history only).
+            let ctx = TradeContext {
+                buy_price: self.prices.buy(t),
+                sell_price: self.prices.sell(t),
+                cap_share,
+                bounds: cfg.bounds,
+            };
+            let (z, w) = policy.decide_trades(t, &ctx);
+            let receipt = self
+                .market
+                .execute(ctx.buy_price, ctx.sell_price, z, w, &mut ledger);
+
+            // Steps 2–3: serve the streams and account energy/carbon.
+            let mut outcomes = Vec::with_capacity(cfg.num_edges);
+            let mut loss_cost = 0.0;
+            let mut latency_cost = 0.0;
+            let mut switch_cost = 0.0;
+            let mut switches = 0usize;
+            let mut arrivals_total = 0u64;
+            let mut weighted_acc = 0.0;
+            let mut weighted_loss = 0.0;
+            let mut weight_sum = 0.0;
+            let mut util_sum = 0.0;
+            let mut wait_sum = 0.0;
+            for i in 0..cfg.num_edges {
+                let n = placements[i];
+                let switched = prev_models[i] != Some(n);
+                if switched {
+                    switches += 1;
+                    edge_records[i].switches += 1;
+                    switch_cost +=
+                        self.download_delay_ms(i) * cfg.weights.switch_per_ms * cfg.switch_weight;
+                }
+                edge_records[i].selection_counts[n] += 1;
+                prev_models[i] = Some(n);
+
+                let arrivals = self.workloads[i].arrivals(t);
+                arrivals_total += arrivals;
+                let indices = &self.slot_indices[i][t];
+                let table = &self.zoo.model(self.effective_table(n, t)).eval;
+                let empirical_loss = table.mean_loss_at(indices);
+                let accuracy = table.accuracy_at(indices);
+                if arrivals > 0 {
+                    weighted_acc += accuracy * arrivals as f64;
+                    weighted_loss += empirical_loss * arrivals as f64;
+                    weight_sum += arrivals as f64;
+                }
+
+                // Observational queueing metrics on the raw stream
+                // (the emission model's workload scaling is a carbon-
+                // market calibration, not a physical request volume).
+                let requests = arrivals as f64;
+                let utilization = cfg.queueing.utilization(requests, self.latencies[i][n]);
+                let queueing_delay_ms = cfg.queueing.mean_wait_ms(requests, self.latencies[i][n]);
+                util_sum += utilization;
+                wait_sum += queueing_delay_ms;
+                edge_records[i].peak_utilization_millionths = edge_records[i]
+                    .peak_utilization_millionths
+                    .max((utilization * 1e6) as u64);
+
+                let profile = &self.zoo.model(n).profile;
+                let emissions = cfg.emission.slot_emissions(
+                    profile.energy_per_sample,
+                    arrivals,
+                    switched,
+                    self.topology.transfer_energy(i),
+                    profile.size,
+                );
+                ledger.record_emission(emissions);
+
+                loss_cost += table.expected_loss() * cfg.weights.loss;
+                latency_cost += self.latencies[i][n] * cfg.weights.latency_per_ms;
+
+                outcomes.push(EdgeSlotOutcome {
+                    model: n,
+                    switched,
+                    arrivals,
+                    empirical_loss,
+                    accuracy,
+                    compute_latency_ms: self.latencies[i][n],
+                    utilization,
+                    queueing_delay_ms,
+                    emissions,
+                });
+            }
+
+            let emissions_allowances: f64 = outcomes
+                .iter()
+                .map(|o| o.emissions.to_allowances().get())
+                .sum();
+            let observation = TradeObservation {
+                emissions: emissions_allowances,
+                bought: receipt.bought,
+                sold: receipt.sold,
+                buy_price: ctx.buy_price,
+                sell_price: ctx.sell_price,
+                cap_share,
+            };
+            let record = SlotRecord {
+                t,
+                arrivals: arrivals_total,
+                loss_cost,
+                latency_cost,
+                switch_cost,
+                trading_cost: receipt.net_cost().get() * cfg.weights.money_per_cent,
+                switches,
+                emissions: emissions_allowances,
+                bought: receipt.bought.get(),
+                sold: receipt.sold.get(),
+                buy_price: ctx.buy_price.get(),
+                sell_price: ctx.sell_price.get(),
+                trade_cash: receipt.net_cost().get(),
+                accuracy: if weight_sum > 0.0 {
+                    weighted_acc / weight_sum
+                } else {
+                    1.0
+                },
+                empirical_loss: if weight_sum > 0.0 {
+                    weighted_loss / weight_sum
+                } else {
+                    0.0
+                },
+                utilization: util_sum / cfg.num_edges as f64,
+                queueing_delay_ms: wait_sum / cfg.num_edges as f64,
+            };
+            let feedback = SlotFeedback {
+                edges: outcomes,
+                trade: observation,
+            };
+            policy.end_of_slot(t, &feedback);
+            slots.push(record);
+        }
+
+        let settlement_cost =
+            ledger.violation().get() * cfg.violation_penalty * cfg.weights.money_per_cent;
+        RunRecord {
+            policy: policy.name(),
+            slots,
+            edges: edge_records,
+            ledger,
+            cap_share,
+            settlement_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cne_nn::ZooConfig;
+    use cne_simdata::dataset::TaskKind;
+    use cne_util::units::Allowances;
+
+    /// A trivial policy: fixed model everywhere, never trades.
+    struct Static(usize);
+    impl Policy for Static {
+        fn select_models(&mut self, _t: usize) -> Vec<usize> {
+            vec![self.0; 3]
+        }
+        fn decide_trades(&mut self, _t: usize, _ctx: &TradeContext) -> (Allowances, Allowances) {
+            (Allowances::ZERO, Allowances::ZERO)
+        }
+        fn end_of_slot(&mut self, _t: usize, _fb: &SlotFeedback) {}
+        fn name(&self) -> String {
+            "static".into()
+        }
+    }
+
+    fn test_env(zoo: &ModelZoo) -> Environment<'_> {
+        Environment::new(
+            SimConfig::fast_test(TaskKind::MnistLike),
+            zoo,
+            &SeedSequence::new(11),
+        )
+    }
+
+    #[test]
+    fn static_policy_switches_once_per_edge() {
+        let zoo = ModelZoo::train(
+            TaskKind::MnistLike,
+            &ZooConfig::fast(),
+            &SeedSequence::new(1),
+        );
+        let env = test_env(&zoo);
+        let record = env.run(&mut Static(2));
+        assert_eq!(record.horizon(), 40);
+        assert_eq!(record.total_switches(), 3, "one initial download per edge");
+        for e in &record.edges {
+            assert_eq!(e.selection_counts[2], 40);
+        }
+        // Only slot 0 carries switching cost.
+        assert!(record.slots[0].switch_cost > 0.0);
+        assert!(record.slots[1..].iter().all(|s| s.switch_cost == 0.0));
+    }
+
+    #[test]
+    fn emissions_accumulate_in_ledger() {
+        let zoo = ModelZoo::train(
+            TaskKind::MnistLike,
+            &ZooConfig::fast(),
+            &SeedSequence::new(1),
+        );
+        let env = test_env(&zoo);
+        let record = env.run(&mut Static(0));
+        let slot_total: f64 = record.slots.iter().map(|s| s.emissions).sum();
+        let ledger_total = record.ledger.emitted().to_allowances().get();
+        assert!(
+            (slot_total - ledger_total).abs() < 1e-9,
+            "slot records and ledger disagree: {slot_total} vs {ledger_total}"
+        );
+        // Calibration: untraded emissions should exceed the cap, so the
+        // neutrality constraint is actually at stake in experiments.
+        assert!(
+            ledger_total > env.config().cap.get(),
+            "emissions {ledger_total} never threaten the cap"
+        );
+        assert!(!record.ledger.is_neutral());
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let zoo = ModelZoo::train(
+            TaskKind::MnistLike,
+            &ZooConfig::fast(),
+            &SeedSequence::new(1),
+        );
+        let a = test_env(&zoo).run(&mut Static(1));
+        let b = test_env(&zoo).run(&mut Static(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn latencies_within_band() {
+        let zoo = ModelZoo::train(
+            TaskKind::MnistLike,
+            &ZooConfig::fast(),
+            &SeedSequence::new(1),
+        );
+        let env = test_env(&zoo);
+        for i in 0..env.num_edges() {
+            for n in 0..env.num_models() {
+                let v = env.latency_ms(i, n);
+                assert!((25.0..=150.0).contains(&v), "v out of band: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_tracks_model_quality() {
+        let zoo = ModelZoo::train(
+            TaskKind::MnistLike,
+            &ZooConfig::fast(),
+            &SeedSequence::new(1),
+        );
+        let env = test_env(&zoo);
+        let best = zoo.best_by_expected_loss();
+        // Find the worst model by expected loss.
+        let mut worst = 0;
+        for n in 0..zoo.len() {
+            if zoo.model(n).eval.expected_loss() > zoo.model(worst).eval.expected_loss() {
+                worst = n;
+            }
+        }
+        let good = env.run(&mut Static(best));
+        let bad = env.run(&mut Static(worst));
+        let mean = |r: &RunRecord| {
+            let s = r.accuracy_series();
+            s.iter().sum::<f64>() / s.len() as f64
+        };
+        assert!(
+            mean(&good) > mean(&bad),
+            "hosted model quality must show in stream accuracy"
+        );
+    }
+}
+#[cfg(test)]
+mod drift_tests {
+    use super::*;
+    use crate::policy::{Policy, SlotFeedback};
+    use cne_nn::ZooConfig;
+    use cne_simdata::dataset::TaskKind;
+    use cne_trading::policy::TradeContext;
+    use cne_util::units::Allowances;
+
+    struct Static(usize);
+    impl Policy for Static {
+        fn select_models(&mut self, _t: usize) -> Vec<usize> {
+            vec![self.0; 3]
+        }
+        fn decide_trades(&mut self, _t: usize, _ctx: &TradeContext) -> (Allowances, Allowances) {
+            (Allowances::ZERO, Allowances::ZERO)
+        }
+        fn end_of_slot(&mut self, _t: usize, _fb: &SlotFeedback) {}
+        fn name(&self) -> String {
+            "static".into()
+        }
+    }
+
+    #[test]
+    fn drift_reverses_quality_ranking() {
+        let zoo = ModelZoo::train(
+            TaskKind::MnistLike,
+            &ZooConfig::fast(),
+            &SeedSequence::new(31),
+        );
+        let mut cfg = SimConfig::fast_test(TaskKind::MnistLike);
+        cfg.quality_drift_at = Some(20);
+        let env = Environment::new(cfg, &zoo, &SeedSequence::new(32));
+        let best = zoo.best_by_expected_loss();
+        // Before the drift the best model maps to itself; after, to the
+        // worst.
+        assert_eq!(env.effective_table(best, 0), best);
+        let after = env.effective_table(best, 20);
+        assert_ne!(after, best);
+        let worst_loss = zoo.model(after).eval.expected_loss();
+        for n in 0..zoo.len() {
+            assert!(zoo.model(n).eval.expected_loss() <= worst_loss + 1e-12);
+        }
+        // Hosting the pre-drift best: accuracy collapses after onset.
+        let record = env.run(&mut Static(best));
+        let acc = record.accuracy_series();
+        let pre: f64 = acc[..20].iter().sum::<f64>() / 20.0;
+        let post: f64 = acc[20..].iter().sum::<f64>() / (acc.len() - 20) as f64;
+        assert!(
+            post < pre - 0.05,
+            "drift should hurt the stale placement: {pre} -> {post}"
+        );
+    }
+
+    #[test]
+    fn no_drift_is_identity() {
+        let zoo = ModelZoo::train(
+            TaskKind::MnistLike,
+            &ZooConfig::fast(),
+            &SeedSequence::new(33),
+        );
+        let cfg = SimConfig::fast_test(TaskKind::MnistLike);
+        let env = Environment::new(cfg, &zoo, &SeedSequence::new(34));
+        for n in 0..zoo.len() {
+            assert_eq!(env.effective_table(n, 0), n);
+            assert_eq!(env.effective_table(n, 39), n);
+        }
+    }
+}

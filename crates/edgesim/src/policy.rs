@@ -1,0 +1,117 @@
+//! The control-policy interface the simulator drives.
+
+use cne_trading::policy::{TradeContext, TradeObservation};
+use cne_util::units::{Allowances, GramsCo2};
+
+/// What one edge experienced during a slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeSlotOutcome {
+    /// Model hosted during the slot.
+    pub model: usize,
+    /// Whether a download occurred (`y_i^t`).
+    pub switched: bool,
+    /// Arrivals `M_i^t`.
+    pub arrivals: u64,
+    /// Empirical slot loss `L_{i,n}^t` (mean Brier over the sampled
+    /// stream; 0 when no arrivals).
+    pub empirical_loss: f64,
+    /// Fraction of sampled stream classified correctly.
+    pub accuracy: f64,
+    /// Computation cost `v_{i,n}` in milliseconds.
+    pub compute_latency_ms: f64,
+    /// Offered utilization of the edge cluster this slot (may exceed
+    /// 1 under overload; observational, see `crate::queueing`).
+    pub utilization: f64,
+    /// Estimated mean queueing delay in milliseconds (observational).
+    pub queueing_delay_ms: f64,
+    /// Carbon emitted by this edge this slot (inference + transfer).
+    pub emissions: GramsCo2,
+}
+
+/// End-of-slot feedback for the policy: everything Step 4 of the
+/// paper's workflow collects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotFeedback {
+    /// Per-edge outcomes (indexed by edge).
+    pub edges: Vec<EdgeSlotOutcome>,
+    /// The slot's executed trades, prices, emissions, and cap share
+    /// (from which `f^t` and `g^t` are computable).
+    pub trade: TradeObservation,
+}
+
+impl SlotFeedback {
+    /// Total slot emissions across edges, in allowance units.
+    #[must_use]
+    pub fn total_emission_allowances(&self) -> f64 {
+        self.edges
+            .iter()
+            .map(|e| e.emissions.to_allowances().get())
+            .sum()
+    }
+}
+
+/// A joint control policy: model placement (`x`, `y`) plus carbon
+/// trading (`z`, `w`).
+///
+/// Call order per slot `t`: [`select_models`](Self::select_models) →
+/// [`decide_trades`](Self::decide_trades) →
+/// [`end_of_slot`](Self::end_of_slot).
+pub trait Policy {
+    /// Returns the model to host on each edge during slot `t`
+    /// (`placements[i] = n` ⇒ `x_{i,n}^t = 1`).
+    fn select_models(&mut self, t: usize) -> Vec<usize>;
+
+    /// Proposes `(z^t, w^t)`; the market clamps to the bounds in `ctx`.
+    fn decide_trades(&mut self, t: usize, ctx: &TradeContext) -> (Allowances, Allowances);
+
+    /// Receives the realized slot outcome.
+    fn end_of_slot(&mut self, t: usize, feedback: &SlotFeedback);
+
+    /// Display name, e.g. `"Ours"` or `"UCB-LY"`.
+    fn name(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cne_util::units::PricePerAllowance;
+
+    #[test]
+    fn feedback_totals_emissions() {
+        let fb = SlotFeedback {
+            edges: vec![
+                EdgeSlotOutcome {
+                    model: 0,
+                    switched: false,
+                    arrivals: 10,
+                    empirical_loss: 0.5,
+                    accuracy: 0.9,
+                    compute_latency_ms: 50.0,
+                    utilization: 0.4,
+                    queueing_delay_ms: 3.0,
+                    emissions: GramsCo2::new(1500.0),
+                },
+                EdgeSlotOutcome {
+                    model: 1,
+                    switched: true,
+                    arrivals: 20,
+                    empirical_loss: 0.2,
+                    accuracy: 0.95,
+                    compute_latency_ms: 80.0,
+                    utilization: 0.6,
+                    queueing_delay_ms: 7.0,
+                    emissions: GramsCo2::new(500.0),
+                },
+            ],
+            trade: TradeObservation {
+                emissions: 2.0,
+                bought: Allowances::ZERO,
+                sold: Allowances::ZERO,
+                buy_price: PricePerAllowance::new(8.0),
+                sell_price: PricePerAllowance::new(7.2),
+                cap_share: 3.0,
+            },
+        };
+        assert!((fb.total_emission_allowances() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,227 @@
+//! The allowance ledger: constraint (1c) as running state.
+//!
+//! Tracks cumulative emissions, purchases `Σ z`, sales `Σ w`, and the
+//! trading cash flow `Σ (z c − w r)`. The paper's long-term carbon-
+//! neutrality constraint is
+//!
+//! ```text
+//! Σ_t emissions_t  ≤  R + Σ_t z^t − Σ_t w^t
+//! ```
+//!
+//! and its positive-part violation is the "fit" of Theorem 2.
+
+use cne_util::units::{Allowances, Cents, GramsCo2};
+use serde::{Deserialize, Serialize};
+
+/// Running cap-and-trade account of the service provider.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AllowanceLedger {
+    cap: Allowances,
+    bought: Allowances,
+    sold: Allowances,
+    emitted: GramsCo2,
+    spent: Cents,
+    earned: Cents,
+}
+
+impl AllowanceLedger {
+    /// Opens a ledger with the initial regulator-allocated cap `R`.
+    ///
+    /// # Panics
+    /// Panics if the cap is negative or not finite.
+    #[must_use]
+    pub fn new(cap: Allowances) -> Self {
+        assert!(
+            cap.get().is_finite() && cap.get() >= 0.0,
+            "cap must be finite and non-negative"
+        );
+        Self {
+            cap,
+            bought: Allowances::ZERO,
+            sold: Allowances::ZERO,
+            emitted: GramsCo2::ZERO,
+            spent: Cents::ZERO,
+            earned: Cents::ZERO,
+        }
+    }
+
+    /// The initial cap `R`.
+    #[must_use]
+    pub fn cap(&self) -> Allowances {
+        self.cap
+    }
+
+    /// Cumulative purchases `Σ z`.
+    #[must_use]
+    pub fn bought(&self) -> Allowances {
+        self.bought
+    }
+
+    /// Cumulative sales `Σ w`.
+    #[must_use]
+    pub fn sold(&self) -> Allowances {
+        self.sold
+    }
+
+    /// Cumulative emissions.
+    #[must_use]
+    pub fn emitted(&self) -> GramsCo2 {
+        self.emitted
+    }
+
+    /// Cash spent buying allowances.
+    #[must_use]
+    pub fn spent(&self) -> Cents {
+        self.spent
+    }
+
+    /// Cash earned selling allowances.
+    #[must_use]
+    pub fn earned(&self) -> Cents {
+        self.earned
+    }
+
+    /// Net trading cost `Σ (z c − w r)` so far — positive means the
+    /// provider paid the market.
+    #[must_use]
+    pub fn net_trading_cost(&self) -> Cents {
+        self.spent - self.earned
+    }
+
+    /// Allowances currently held: `R + Σ z − Σ w`.
+    #[must_use]
+    pub fn held(&self) -> Allowances {
+        self.cap + self.bought - self.sold
+    }
+
+    /// Signed slack of constraint (1c): `held − emitted` in allowances.
+    /// Negative when the system is in violation.
+    #[must_use]
+    pub fn neutrality_slack(&self) -> Allowances {
+        self.held() - self.emitted.to_allowances()
+    }
+
+    /// The constraint violation `[emitted − held]⁺` (the paper's fit
+    /// integrand at the horizon).
+    #[must_use]
+    pub fn violation(&self) -> Allowances {
+        (-self.neutrality_slack()).positive_part()
+    }
+
+    /// Whether the cumulative constraint currently holds.
+    #[must_use]
+    pub fn is_neutral(&self) -> bool {
+        self.neutrality_slack().get() >= -1e-9
+    }
+
+    /// Records carbon emitted by operations.
+    ///
+    /// # Panics
+    /// Panics if `grams` is negative or not finite.
+    pub fn record_emission(&mut self, grams: GramsCo2) {
+        assert!(
+            grams.get().is_finite() && grams.get() >= 0.0,
+            "emission must be finite and non-negative"
+        );
+        self.emitted += grams;
+    }
+
+    /// Records a purchase of `amount` allowances for `cost` cash.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite inputs.
+    pub fn record_purchase(&mut self, amount: Allowances, cost: Cents) {
+        assert!(
+            amount.get().is_finite() && amount.get() >= 0.0,
+            "purchase amount must be finite and non-negative"
+        );
+        assert!(
+            cost.get().is_finite() && cost.get() >= 0.0,
+            "purchase cost must be finite and non-negative"
+        );
+        self.bought += amount;
+        self.spent += cost;
+    }
+
+    /// Records a sale of `amount` allowances for `revenue` cash.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite inputs.
+    pub fn record_sale(&mut self, amount: Allowances, revenue: Cents) {
+        assert!(
+            amount.get().is_finite() && amount.get() >= 0.0,
+            "sale amount must be finite and non-negative"
+        );
+        assert!(
+            revenue.get().is_finite() && revenue.get() >= 0.0,
+            "sale revenue must be finite and non-negative"
+        );
+        self.sold += amount;
+        self.earned += revenue;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ledger_is_neutral() {
+        let l = AllowanceLedger::new(Allowances::new(500.0));
+        assert!(l.is_neutral());
+        assert_eq!(l.held().get(), 500.0);
+        assert_eq!(l.violation().get(), 0.0);
+        assert_eq!(l.net_trading_cost().get(), 0.0);
+    }
+
+    #[test]
+    fn emission_erodes_slack() {
+        let mut l = AllowanceLedger::new(Allowances::new(2.0));
+        l.record_emission(GramsCo2::new(1500.0)); // 1.5 allowances
+        assert!(l.is_neutral());
+        assert!((l.neutrality_slack().get() - 0.5).abs() < 1e-12);
+        l.record_emission(GramsCo2::new(1500.0)); // total 3.0
+        assert!(!l.is_neutral());
+        assert!((l.violation().get() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trading_moves_held_and_cash() {
+        let mut l = AllowanceLedger::new(Allowances::new(10.0));
+        l.record_purchase(Allowances::new(4.0), Cents::new(32.0));
+        l.record_sale(Allowances::new(1.0), Cents::new(7.0));
+        assert!((l.held().get() - 13.0).abs() < 1e-12);
+        assert!((l.net_trading_cost().get() - 25.0).abs() < 1e-12);
+        assert_eq!(l.bought().get(), 4.0);
+        assert_eq!(l.sold().get(), 1.0);
+    }
+
+    #[test]
+    fn conservation_identity() {
+        // held − cap == bought − sold, always.
+        let mut l = AllowanceLedger::new(Allowances::new(5.0));
+        l.record_purchase(Allowances::new(2.5), Cents::new(20.0));
+        l.record_sale(Allowances::new(0.5), Cents::new(3.0));
+        l.record_emission(GramsCo2::new(999.0));
+        let lhs = l.held() - l.cap();
+        let rhs = l.bought() - l.sold();
+        assert!((lhs.get() - rhs.get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selling_can_cause_violation() {
+        let mut l = AllowanceLedger::new(Allowances::new(1.0));
+        l.record_emission(GramsCo2::new(900.0));
+        assert!(l.is_neutral());
+        l.record_sale(Allowances::new(0.5), Cents::new(4.0));
+        assert!(!l.is_neutral());
+        assert!((l.violation().get() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "purchase amount")]
+    fn negative_purchase_rejected() {
+        let mut l = AllowanceLedger::new(Allowances::new(1.0));
+        l.record_purchase(Allowances::new(-1.0), Cents::ZERO);
+    }
+}

@@ -1,0 +1,38 @@
+//! Cap-and-trade carbon accounting for the cloud–edge system.
+//!
+//! Implements the market side of the paper's model (Section II-A,
+//! "Carbon Allowance Trading"):
+//!
+//! * [`emission`] — the emission model
+//!   `ρ · (E_{i,n}^t + y_i^t F_{i,n})` with `E = φ_n M_i^t` (inference
+//!   energy) and `F = ϑ_i W_n` (model-transfer energy);
+//! * [`ledger`] — the allowance ledger: initial cap `R`, cumulative
+//!   purchases/sales/emissions, cash flow, and the neutrality constraint
+//!   `Σ emissions ≤ R + Σ z − Σ w` (constraint (1c));
+//! * [`market`] — per-slot trade execution against a price series with
+//!   the per-slot trade bounds that make the trading problem well-posed
+//!   (Theorem 2's bounded-feasible-set assumption).
+//!
+//! # Examples
+//!
+//! ```
+//! use cne_market::ledger::AllowanceLedger;
+//! use cne_util::units::{Allowances, GramsCo2};
+//!
+//! let mut ledger = AllowanceLedger::new(Allowances::new(10.0));
+//! ledger.record_emission(GramsCo2::new(12_000.0)); // 12 allowances worth
+//! assert!(!ledger.is_neutral());
+//! ledger.record_purchase(Allowances::new(2.0), cne_util::units::Cents::new(16.0));
+//! assert!(ledger.is_neutral());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod emission;
+pub mod ledger;
+pub mod market;
+
+pub use emission::EmissionModel;
+pub use ledger::AllowanceLedger;
+pub use market::{CarbonMarket, TradeBounds, TradeReceipt};

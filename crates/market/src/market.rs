@@ -1,0 +1,212 @@
+//! Per-slot trade execution.
+//!
+//! The market accepts a desired purchase `z^t` and sale `w^t`, clamps
+//! them to the per-slot trade bounds, executes both legs at the slot's
+//! posted prices, and posts the results to the ledger.
+//!
+//! The bounds exist because the paper's Theorem 2 assumes a bounded
+//! feasible set (Assumption 2); with `r = 0.9 c` and overlapping price
+//! ranges an unbounded trader could buy cheap and sell dear across
+//! slots without limit, making both the offline LP and the online
+//! problem ill-posed.
+
+use cne_util::units::{Allowances, Cents, PricePerAllowance};
+use serde::{Deserialize, Serialize};
+
+use crate::ledger::AllowanceLedger;
+
+/// Per-slot trade limits `z^t ∈ [0, max_buy]`, `w^t ∈ [0, max_sell]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TradeBounds {
+    /// Maximum allowances purchasable per slot.
+    pub max_buy: Allowances,
+    /// Maximum allowances sellable per slot.
+    pub max_sell: Allowances,
+}
+
+impl TradeBounds {
+    /// Creates bounds.
+    ///
+    /// # Panics
+    /// Panics if either bound is negative or not finite.
+    #[must_use]
+    pub fn new(max_buy: Allowances, max_sell: Allowances) -> Self {
+        assert!(
+            max_buy.get().is_finite() && max_buy.get() >= 0.0,
+            "max_buy must be finite and non-negative"
+        );
+        assert!(
+            max_sell.get().is_finite() && max_sell.get() >= 0.0,
+            "max_sell must be finite and non-negative"
+        );
+        Self { max_buy, max_sell }
+    }
+
+    /// Clamps a desired `(z, w)` pair into the feasible box.
+    #[must_use]
+    pub fn clamp(&self, z: Allowances, w: Allowances) -> (Allowances, Allowances) {
+        let z = z.max(Allowances::ZERO).min(self.max_buy);
+        let w = w.max(Allowances::ZERO).min(self.max_sell);
+        (z, w)
+    }
+}
+
+/// The outcome of one slot's trading.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TradeReceipt {
+    /// Allowances actually bought (after clamping).
+    pub bought: Allowances,
+    /// Allowances actually sold (after clamping).
+    pub sold: Allowances,
+    /// Cash paid for the purchase leg.
+    pub cost: Cents,
+    /// Cash received for the sale leg.
+    pub revenue: Cents,
+}
+
+impl TradeReceipt {
+    /// Net cash outflow of the slot: `z c − w r`.
+    #[must_use]
+    pub fn net_cost(&self) -> Cents {
+        self.cost - self.revenue
+    }
+
+    /// Net allowances acquired: `z − w`.
+    #[must_use]
+    pub fn net_bought(&self) -> Allowances {
+        self.bought - self.sold
+    }
+}
+
+/// A carbon market with fixed per-slot trade bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CarbonMarket {
+    bounds: TradeBounds,
+}
+
+impl CarbonMarket {
+    /// Creates a market with the given bounds.
+    #[must_use]
+    pub fn new(bounds: TradeBounds) -> Self {
+        Self { bounds }
+    }
+
+    /// The per-slot trade bounds.
+    #[must_use]
+    pub fn bounds(&self) -> TradeBounds {
+        self.bounds
+    }
+
+    /// Executes one slot's trades at the posted prices, posting the
+    /// results to `ledger`.
+    ///
+    /// Desired amounts are clamped to `[0, bound]`; NaN requests are
+    /// rejected.
+    ///
+    /// # Panics
+    /// Panics if a requested amount or price is NaN/negative-infinite.
+    pub fn execute(
+        &self,
+        buy_price: PricePerAllowance,
+        sell_price: PricePerAllowance,
+        desired_buy: Allowances,
+        desired_sell: Allowances,
+        ledger: &mut AllowanceLedger,
+    ) -> TradeReceipt {
+        assert!(
+            !desired_buy.get().is_nan() && !desired_sell.get().is_nan(),
+            "trade request must not be NaN"
+        );
+        assert!(
+            buy_price.get().is_finite()
+                && sell_price.get().is_finite()
+                && buy_price.get() >= 0.0
+                && sell_price.get() >= 0.0,
+            "prices must be finite and non-negative"
+        );
+        let (z, w) = self.bounds.clamp(desired_buy, desired_sell);
+        let cost = z.value_at(buy_price);
+        let revenue = w.value_at(sell_price);
+        ledger.record_purchase(z, cost);
+        ledger.record_sale(w, revenue);
+        TradeReceipt {
+            bought: z,
+            sold: w,
+            cost,
+            revenue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn market() -> CarbonMarket {
+        CarbonMarket::new(TradeBounds::new(
+            Allowances::new(10.0),
+            Allowances::new(5.0),
+        ))
+    }
+
+    #[test]
+    fn execute_posts_to_ledger() {
+        let m = market();
+        let mut ledger = AllowanceLedger::new(Allowances::new(100.0));
+        let r = m.execute(
+            PricePerAllowance::new(8.0),
+            PricePerAllowance::new(7.2),
+            Allowances::new(3.0),
+            Allowances::new(1.0),
+            &mut ledger,
+        );
+        assert_eq!(r.bought.get(), 3.0);
+        assert_eq!(r.sold.get(), 1.0);
+        assert!((r.cost.get() - 24.0).abs() < 1e-12);
+        assert!((r.revenue.get() - 7.2).abs() < 1e-12);
+        assert!((r.net_cost().get() - 16.8).abs() < 1e-12);
+        assert!((ledger.held().get() - 102.0).abs() < 1e-12);
+        assert!((ledger.net_trading_cost().get() - 16.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamping_applies() {
+        let m = market();
+        let mut ledger = AllowanceLedger::new(Allowances::new(0.0));
+        let r = m.execute(
+            PricePerAllowance::new(1.0),
+            PricePerAllowance::new(0.9),
+            Allowances::new(99.0),
+            Allowances::new(-3.0),
+            &mut ledger,
+        );
+        assert_eq!(r.bought.get(), 10.0);
+        assert_eq!(r.sold.get(), 0.0);
+    }
+
+    #[test]
+    fn net_bought_signed() {
+        let r = TradeReceipt {
+            bought: Allowances::new(1.0),
+            sold: Allowances::new(4.0),
+            cost: Cents::new(8.0),
+            revenue: Cents::new(28.8),
+        };
+        assert!((r.net_bought().get() + 3.0).abs() < 1e-12);
+        assert!(r.net_cost().get() < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_request_rejected() {
+        let m = market();
+        let mut ledger = AllowanceLedger::new(Allowances::new(0.0));
+        let _ = m.execute(
+            PricePerAllowance::new(1.0),
+            PricePerAllowance::new(0.9),
+            Allowances::new(f64::NAN),
+            Allowances::ZERO,
+            &mut ledger,
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the market crate: ledger conservation under
+//! arbitrary operation sequences and clamping invariants of execution.
+
+use cne_market::{AllowanceLedger, CarbonMarket, EmissionModel, TradeBounds};
+use cne_util::units::{Allowances, EmissionRate, GramsCo2, KWh, PricePerAllowance};
+use proptest::prelude::*;
+
+/// One ledger operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Emit(f64),
+    Buy(f64, f64),
+    Sell(f64, f64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0.0..1e5f64).prop_map(Op::Emit),
+        (0.0..100.0f64, 0.0..1000.0f64).prop_map(|(a, c)| Op::Buy(a, c)),
+        (0.0..100.0f64, 0.0..1000.0f64).prop_map(|(a, c)| Op::Sell(a, c)),
+    ]
+}
+
+proptest! {
+    /// held − cap ≡ bought − sold and cash ≡ spent − earned, whatever
+    /// the operation order; violation is exactly [emitted − held]⁺.
+    #[test]
+    fn ledger_conservation(
+        cap in 0.0..1000.0f64,
+        ops in proptest::collection::vec(op_strategy(), 0..60),
+    ) {
+        let mut ledger = AllowanceLedger::new(Allowances::new(cap));
+        let (mut emitted, mut bought, mut sold, mut spent, mut earned) =
+            (0.0, 0.0, 0.0, 0.0, 0.0);
+        for op in ops {
+            match op {
+                Op::Emit(g) => {
+                    ledger.record_emission(GramsCo2::new(g));
+                    emitted += g;
+                }
+                Op::Buy(a, c) => {
+                    ledger.record_purchase(Allowances::new(a), cne_util::units::Cents::new(c));
+                    bought += a;
+                    spent += c;
+                }
+                Op::Sell(a, c) => {
+                    ledger.record_sale(Allowances::new(a), cne_util::units::Cents::new(c));
+                    sold += a;
+                    earned += c;
+                }
+            }
+        }
+        prop_assert!((ledger.held().get() - (cap + bought - sold)).abs() < 1e-6);
+        prop_assert!((ledger.net_trading_cost().get() - (spent - earned)).abs() < 1e-6);
+        let expected_violation = (emitted / 1000.0 - (cap + bought - sold)).max(0.0);
+        prop_assert!((ledger.violation().get() - expected_violation).abs() < 1e-6);
+        prop_assert_eq!(ledger.is_neutral(), expected_violation <= 1e-9);
+    }
+
+    /// Market execution clamps to bounds and posts exactly the clamped
+    /// quantities at the posted prices.
+    #[test]
+    fn execution_clamps_and_posts(
+        max_buy in 0.0..50.0f64,
+        max_sell in 0.0..50.0f64,
+        z in -10.0..100.0f64,
+        w in -10.0..100.0f64,
+        c in 0.0..20.0f64,
+    ) {
+        let market = CarbonMarket::new(TradeBounds::new(
+            Allowances::new(max_buy),
+            Allowances::new(max_sell),
+        ));
+        let mut ledger = AllowanceLedger::new(Allowances::new(10.0));
+        let r = market.execute(
+            PricePerAllowance::new(c),
+            PricePerAllowance::new(0.9 * c),
+            Allowances::new(z),
+            Allowances::new(w),
+            &mut ledger,
+        );
+        prop_assert!((0.0..=max_buy).contains(&r.bought.get()));
+        prop_assert!((0.0..=max_sell).contains(&r.sold.get()));
+        prop_assert!((r.cost.get() - r.bought.get() * c).abs() < 1e-9);
+        prop_assert!((r.revenue.get() - r.sold.get() * 0.9 * c).abs() < 1e-9);
+        prop_assert!((ledger.bought().get() - r.bought.get()).abs() < 1e-12);
+    }
+
+    /// Emissions are linear in energy and in the rate factor.
+    #[test]
+    fn emission_model_linearity(
+        rate in 0.0..2000.0f64,
+        scale in 0.1..1e6f64,
+        energy in 0.0..100.0f64,
+        factor in 0.1..10.0f64,
+    ) {
+        let m = EmissionModel::new(EmissionRate::new(rate), scale);
+        let base = m.emissions(KWh::new(energy)).get();
+        let double_energy = m.emissions(KWh::new(2.0 * energy)).get();
+        prop_assert!((double_energy - 2.0 * base).abs() < 1e-6 * (1.0 + base));
+        let scaled = m.with_rate_factor(factor).emissions(KWh::new(energy)).get();
+        prop_assert!((scaled - factor * base).abs() < 1e-6 * (1.0 + base));
+    }
+}

@@ -1,0 +1,188 @@
+//! Loss functions: training (softmax cross-entropy) and the paper's
+//! inference loss (squared / Brier loss against the one-hot label).
+//!
+//! The paper takes "the squared loss as the inference loss function"
+//! (Section II-A). For a classifier outputting a probability vector
+//! `h_n(a)`, we use `l_n(a, b) = ‖h_n(a) − onehot(b)‖²`, the Brier
+//! score. It is bounded in `[0, 2]`, which gives the bounded losses the
+//! bandit analysis assumes, and its expectation differs across models
+//! exactly when their predictive quality differs.
+
+use crate::matrix::Matrix;
+
+/// Row-wise numerically stable softmax.
+#[must_use]
+pub fn softmax(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Mean cross-entropy of softmax probabilities against integer labels.
+///
+/// # Panics
+/// Panics if a label is out of range or batch sizes mismatch.
+#[must_use]
+pub fn cross_entropy(probs: &Matrix, labels: &[usize]) -> f64 {
+    assert_eq!(probs.rows(), labels.len(), "batch size mismatch");
+    let mut total = 0.0;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < probs.cols(), "label out of range");
+        total -= probs.get(r, label).max(1e-12).ln();
+    }
+    total / labels.len() as f64
+}
+
+/// Gradient of mean cross-entropy with respect to the *logits*:
+/// `(softmax(logits) − onehot) / batch`.
+#[must_use]
+pub fn cross_entropy_grad(probs: &Matrix, labels: &[usize]) -> Matrix {
+    assert_eq!(probs.rows(), labels.len(), "batch size mismatch");
+    let mut g = probs.clone();
+    let inv = 1.0 / labels.len() as f64;
+    for (r, &label) in labels.iter().enumerate() {
+        let row = g.row_mut(r);
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+        row[label] -= inv;
+    }
+    g
+}
+
+/// Squared (Brier) loss of one probability row against a one-hot label:
+/// `Σ_c (p_c − 1{c = b})²`, bounded in `[0, 2]`.
+///
+/// # Panics
+/// Panics if `label >= probs.len()`.
+#[must_use]
+pub fn brier_loss(probs: &[f64], label: usize) -> f64 {
+    assert!(label < probs.len(), "label out of range");
+    probs
+        .iter()
+        .enumerate()
+        .map(|(c, &p)| {
+            let target = if c == label { 1.0 } else { 0.0 };
+            (p - target) * (p - target)
+        })
+        .sum()
+}
+
+/// Index of the maximal entry (predicted class).
+///
+/// # Panics
+/// Panics on an empty slice.
+#[must_use]
+pub fn argmax(row: &[f64]) -> usize {
+    assert!(!row.is_empty(), "argmax of empty row");
+    let mut best = 0;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Fraction of rows whose argmax equals the label.
+///
+/// # Panics
+/// Panics if batch sizes mismatch.
+#[must_use]
+pub fn accuracy(probs: &Matrix, labels: &[usize]) -> f64 {
+    assert_eq!(probs.rows(), labels.len(), "batch size mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = labels
+        .iter()
+        .enumerate()
+        .filter(|&(r, &label)| argmax(probs.row(r)) == label)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0]);
+        let p = softmax(&logits);
+        for r in 0..2 {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(p.row(r).iter().all(|&v| v > 0.0));
+        }
+        // Monotone in logits.
+        assert!(p.get(0, 2) > p.get(0, 1));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&Matrix::from_vec(1, 2, vec![1000.0, 1001.0]));
+        let b = softmax(&Matrix::from_vec(1, 2, vec![0.0, 1.0]));
+        assert!((a.get(0, 0) - b.get(0, 0)).abs() < 1e-12);
+        assert!(a.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_zero() {
+        let p = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        assert!(cross_entropy(&p, &[0]) < 1e-9);
+    }
+
+    #[test]
+    fn cross_entropy_grad_numeric() {
+        // d/d logits of CE(softmax(logits)) via finite differences.
+        let logits = Matrix::from_vec(2, 3, vec![0.3, -0.2, 0.9, 1.0, 0.0, -1.0]);
+        let labels = [2usize, 0];
+        let analytic = cross_entropy_grad(&softmax(&logits), &labels);
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut lp = logits.clone();
+                lp.set(r, c, logits.get(r, c) + eps);
+                let mut lm = logits.clone();
+                lm.set(r, c, logits.get(r, c) - eps);
+                let num = (cross_entropy(&softmax(&lp), &labels)
+                    - cross_entropy(&softmax(&lm), &labels))
+                    / (2.0 * eps);
+                assert!((analytic.get(r, c) - num).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn brier_bounds() {
+        // Perfect prediction → 0; maximally wrong → 2.
+        assert!(brier_loss(&[1.0, 0.0], 0) < 1e-12);
+        assert!((brier_loss(&[1.0, 0.0], 1) - 2.0).abs() < 1e-12);
+        // Uniform over 2 classes → 0.5.
+        assert!((brier_loss(&[0.5, 0.5], 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        let p = Matrix::from_vec(2, 2, vec![0.9, 0.1, 0.2, 0.8]);
+        assert_eq!(accuracy(&p, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&p, &[1, 1]), 0.5);
+    }
+
+    #[test]
+    fn argmax_first_max_wins() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+    }
+}

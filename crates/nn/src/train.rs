@@ -1,0 +1,161 @@
+//! Mini-batch SGD training over a [`cne_simdata::Dataset`].
+
+use cne_simdata::Dataset;
+use cne_util::SeedSequence;
+use rand::seq::SliceRandom;
+
+use crate::matrix::Matrix;
+use crate::network::Network;
+
+/// Hyper-parameters for a training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 8,
+            batch_size: 64,
+            learning_rate: 0.15,
+        }
+    }
+}
+
+/// Per-epoch record of a completed training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainHistory {
+    /// Mean cross-entropy of each epoch (in batch order, pre-update).
+    pub epoch_losses: Vec<f64>,
+}
+
+impl TrainHistory {
+    /// Loss of the final epoch.
+    ///
+    /// # Panics
+    /// Panics if the history is empty.
+    #[must_use]
+    pub fn final_loss(&self) -> f64 {
+        *self
+            .epoch_losses
+            .last()
+            .expect("history of a zero-epoch run")
+    }
+}
+
+/// Converts a dataset into a feature matrix and label vector.
+#[must_use]
+pub fn to_matrix(data: &Dataset) -> (Matrix, Vec<usize>) {
+    let rows: Vec<Vec<f64>> = data.iter().map(|s| s.features.clone()).collect();
+    let labels: Vec<usize> = data.iter().map(|s| s.label).collect();
+    (Matrix::from_rows(&rows), labels)
+}
+
+/// Trains `net` on `data` with shuffled mini-batches.
+///
+/// # Panics
+/// Panics if the dataset is empty or its dimensionality does not match
+/// the network's input width.
+pub fn train(
+    net: &mut Network,
+    data: &Dataset,
+    config: TrainConfig,
+    seed: SeedSequence,
+) -> TrainHistory {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    assert_eq!(
+        data.dim(),
+        net.input_width(),
+        "dataset dimensionality does not match the network"
+    );
+    assert!(config.batch_size > 0, "batch size must be positive");
+    let (x, labels) = to_matrix(data);
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    let mut rng = seed.derive("train-shuffle").rng();
+    let mut epoch_losses = Vec::with_capacity(config.epochs);
+    for _ in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut total = 0.0;
+        let mut batches = 0usize;
+        for chunk in order.chunks(config.batch_size) {
+            let xb = x.select_rows(chunk);
+            let yb: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+            total += net.train_batch(&xb, &yb, config.learning_rate);
+            batches += 1;
+        }
+        epoch_losses.push(total / batches as f64);
+    }
+    TrainHistory { epoch_losses }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cne_simdata::dataset::{GaussianMixtureTask, TaskKind};
+
+    #[test]
+    fn training_on_mnist_like_converges() {
+        let seed = SeedSequence::new(21);
+        let task = GaussianMixtureTask::new(TaskKind::MnistLike, seed.derive("task"));
+        let data = task.generate(800, &seed.derive("data"));
+        let mut net = Network::mlp(&[16, 32, 10], seed.derive("net"));
+        let hist = train(
+            &mut net,
+            &data,
+            TrainConfig {
+                epochs: 6,
+                ..TrainConfig::default()
+            },
+            seed.derive("run"),
+        );
+        assert_eq!(hist.epoch_losses.len(), 6);
+        assert!(
+            hist.final_loss() < hist.epoch_losses[0] * 0.5,
+            "loss failed to halve: {:?}",
+            hist.epoch_losses
+        );
+        // Evaluate on held-out data.
+        let test = task.generate(500, &seed.derive("test"));
+        let (x, y) = to_matrix(&test);
+        let acc = crate::loss::accuracy(&net.predict_proba(&x), &y);
+        assert!(acc > 0.9, "held-out accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let seed = SeedSequence::new(22);
+        let task = GaussianMixtureTask::new(TaskKind::MnistLike, seed.derive("task"));
+        let data = task.generate(200, &seed.derive("data"));
+        let run = |s: u64| {
+            let mut net = Network::mlp(&[16, 8, 10], SeedSequence::new(s));
+            train(
+                &mut net,
+                &data,
+                TrainConfig::default(),
+                SeedSequence::new(s),
+            );
+            let (x, _) = to_matrix(&data);
+            net.predict_proba(&x)
+        };
+        assert_eq!(run(1).as_slice(), run(1).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        let data = Dataset::from_samples(vec![], 10, 4);
+        let mut net = Network::mlp(&[4, 10], SeedSequence::new(1));
+        let _ = train(
+            &mut net,
+            &data,
+            TrainConfig::default(),
+            SeedSequence::new(1),
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the NN substrate: matrix algebra laws,
+//! softmax invariants, and loss bounds.
+
+use cne_nn::loss::{accuracy, brier_loss, cross_entropy, softmax};
+use cne_nn::matrix::Matrix;
+use cne_util::SeedSequence;
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::random_uniform(rows, cols, 1.0, SeedSequence::new(seed))
+}
+
+proptest! {
+    /// (A·B)·C == A·(B·C) up to floating point.
+    #[test]
+    fn matmul_associative(
+        a_rows in 1usize..6, inner1 in 1usize..6, inner2 in 1usize..6, c_cols in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let a = matrix(a_rows, inner1, seed);
+        let b = matrix(inner1, inner2, seed + 1);
+        let c = matrix(inner2, c_cols, seed + 2);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Transpose is an involution and reverses products.
+    #[test]
+    fn transpose_laws(
+        rows in 1usize..6, cols in 1usize..6, inner in 1usize..6, seed in 0u64..1000,
+    ) {
+        let a = matrix(rows, inner, seed);
+        let b = matrix(inner, cols, seed + 7);
+        let double = a.transpose().transpose();
+        prop_assert_eq!(double.as_slice(), a.as_slice());
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    /// The fused transpose products agree with the explicit ones.
+    #[test]
+    fn fused_products_agree(
+        rows in 1usize..6, cols in 1usize..6, other in 1usize..6, seed in 0u64..1000,
+    ) {
+        let a = matrix(rows, cols, seed);
+        let b = matrix(rows, other, seed + 3);
+        let fast = a.transpose_matmul(&b);
+        let slow = a.transpose().matmul(&b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+        let c = matrix(other, cols, seed + 4);
+        let fast2 = a.matmul_transpose(&c);
+        let slow2 = a.matmul(&c.transpose());
+        for (x, y) in fast2.as_slice().iter().zip(slow2.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    /// Softmax rows are valid distributions, shift-invariant, and
+    /// order-preserving.
+    #[test]
+    fn softmax_invariants(
+        logits in proptest::collection::vec(-30.0..30.0f64, 2..8),
+        shift in -100.0..100.0f64,
+    ) {
+        let n = logits.len();
+        let m = Matrix::from_vec(1, n, logits.clone());
+        let p = softmax(&m);
+        let sum: f64 = p.row(0).iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(p.row(0).iter().all(|&v| v > 0.0));
+        // Shift invariance.
+        let shifted = Matrix::from_vec(1, n, logits.iter().map(|v| v + shift).collect());
+        let q = softmax(&shifted);
+        for (x, y) in p.row(0).iter().zip(q.row(0)) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+        // Order preservation.
+        for i in 0..n {
+            for j in 0..n {
+                if logits[i] > logits[j] {
+                    prop_assert!(p.get(0, i) >= p.get(0, j) - 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Brier loss is bounded in [0, 2] for any probability vector.
+    #[test]
+    fn brier_bounded(
+        raw in proptest::collection::vec(0.0..1.0f64, 2..10),
+        label_pick in 0usize..10,
+    ) {
+        let total: f64 = raw.iter().sum();
+        prop_assume!(total > 1e-9);
+        let probs: Vec<f64> = raw.iter().map(|v| v / total).collect();
+        let label = label_pick % probs.len();
+        let loss = brier_loss(&probs, label);
+        prop_assert!((0.0..=2.0 + 1e-12).contains(&loss), "loss {}", loss);
+    }
+
+    /// Cross-entropy is non-negative and accuracy lies in [0, 1].
+    #[test]
+    fn ce_and_accuracy_ranges(
+        logits in proptest::collection::vec(-5.0..5.0f64, 6..12),
+        seed in 0u64..100,
+    ) {
+        let cols = 3;
+        let rows = logits.len() / cols;
+        prop_assume!(rows >= 1);
+        let m = Matrix::from_vec(rows, cols, logits[..rows * cols].to_vec());
+        let p = softmax(&m);
+        let mut rng = SeedSequence::new(seed).rng();
+        use rand::Rng;
+        let labels: Vec<usize> = (0..rows).map(|_| rng.gen_range(0..cols)).collect();
+        prop_assert!(cross_entropy(&p, &labels) >= 0.0);
+        let acc = accuracy(&p, &labels);
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+}

@@ -1,0 +1,367 @@
+//! Synthetic classification tasks standing in for MNIST and CIFAR-10.
+//!
+//! The paper's inference streams draw IID samples `(a, b) ~ D` from the
+//! test split of MNIST or CIFAR-10. We substitute Gaussian-mixture
+//! classification tasks with the same *role*: a fixed, unknown
+//! distribution from which edges sample; models of different capacity
+//! reach genuinely different expected losses on it.
+//!
+//! * [`TaskKind::MnistLike`] — 10 well-separated classes in 16
+//!   dimensions; high attainable accuracy (≳95%), mirroring how most
+//!   reasonable models do well on MNIST.
+//! * [`TaskKind::CifarLike`] — 10 heavily overlapping classes in 32
+//!   dimensions; markedly lower attainable accuracy, mirroring CIFAR-10
+//!   under small models, and producing larger loss gaps between models.
+
+use cne_util::SeedSequence;
+use rand::Rng;
+
+use crate::samplers::standard_normal;
+
+/// Which benchmark dataset a synthetic task emulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// Easy task: an MNIST-like regime.
+    MnistLike,
+    /// Hard task: a CIFAR-10-like regime.
+    CifarLike,
+}
+
+impl TaskKind {
+    /// The generation parameters associated with this kind.
+    #[must_use]
+    pub fn spec(self) -> TaskSpec {
+        match self {
+            // Separation is calibrated so the typical distance between
+            // two class means is `separation · √dim` within-class sigmas:
+            // ≈ 7σ for the easy task (tiny Bayes error, like MNIST) and
+            // ≈ 2.8σ for the hard one (double-digit Bayes error, like
+            // small models on CIFAR-10).
+            TaskKind::MnistLike => TaskSpec {
+                classes: 10,
+                dim: 16,
+                separation: 1.75,
+                within_class_std: 1.0,
+                label_noise: 0.005,
+            },
+            TaskKind::CifarLike => TaskSpec {
+                classes: 10,
+                dim: 32,
+                separation: 0.5,
+                within_class_std: 1.0,
+                label_noise: 0.02,
+            },
+        }
+    }
+
+    /// Short lowercase name used in file paths and figure labels.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskKind::MnistLike => "mnist-like",
+            TaskKind::CifarLike => "cifar-like",
+        }
+    }
+}
+
+impl std::fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generation parameters of a Gaussian-mixture classification task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSpec {
+    /// Number of classes (10, matching MNIST/CIFAR-10).
+    pub classes: usize,
+    /// Feature dimensionality.
+    pub dim: usize,
+    /// Distance scale between class means; larger = easier.
+    pub separation: f64,
+    /// Isotropic within-class standard deviation.
+    pub within_class_std: f64,
+    /// Probability a sample's label is resampled uniformly (irreducible
+    /// error so even the best model cannot be perfect).
+    pub label_noise: f64,
+}
+
+/// One labelled data sample `(a, b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Feature vector `a`.
+    pub features: Vec<f64>,
+    /// Ground-truth class label `b`.
+    pub label: usize,
+}
+
+/// A fixed Gaussian-mixture classification task: the distribution `D`.
+#[derive(Debug, Clone)]
+pub struct GaussianMixtureTask {
+    kind: TaskKind,
+    spec: TaskSpec,
+    /// Class means, `classes × dim`.
+    means: Vec<Vec<f64>>,
+}
+
+impl GaussianMixtureTask {
+    /// Creates the task with class means drawn from the given seed.
+    ///
+    /// Means are drawn as isotropic Gaussians scaled to the spec's
+    /// separation, so any two tasks built from the same seed are
+    /// identical.
+    #[must_use]
+    pub fn new(kind: TaskKind, seed: SeedSequence) -> Self {
+        let spec = kind.spec();
+        let mut rng = seed.derive("task-means").rng();
+        let means = (0..spec.classes)
+            .map(|_| {
+                (0..spec.dim)
+                    .map(|_| standard_normal(&mut rng) * spec.separation / 2.0_f64.sqrt())
+                    .collect()
+            })
+            .collect();
+        Self { kind, spec, means }
+    }
+
+    /// Which benchmark this task emulates.
+    #[must_use]
+    pub fn kind(&self) -> TaskKind {
+        self.kind
+    }
+
+    /// The generation parameters.
+    #[must_use]
+    pub fn spec(&self) -> &TaskSpec {
+        &self.spec
+    }
+
+    /// The class means (`classes` rows of `dim` entries).
+    #[must_use]
+    pub fn means(&self) -> &[Vec<f64>] {
+        &self.means
+    }
+
+    /// Draws one sample `(a, b) ~ D`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Sample {
+        let true_class = rng.gen_range(0..self.spec.classes);
+        let mean = &self.means[true_class];
+        let features = mean
+            .iter()
+            .map(|&m| m + self.spec.within_class_std * standard_normal(rng))
+            .collect();
+        let label = if rng.gen::<f64>() < self.spec.label_noise {
+            rng.gen_range(0..self.spec.classes)
+        } else {
+            true_class
+        };
+        Sample { features, label }
+    }
+
+    /// Generates a dataset of `n` IID samples.
+    #[must_use]
+    pub fn generate(&self, n: usize, seed: &SeedSequence) -> Dataset {
+        let mut rng = seed.derive("task-generate").rng();
+        let samples = (0..n).map(|_| self.sample(&mut rng)).collect();
+        Dataset {
+            samples,
+            classes: self.spec.classes,
+            dim: self.spec.dim,
+        }
+    }
+
+    /// The Bayes-optimal classifier for this mixture (nearest class mean,
+    /// since components are isotropic with equal priors). Used by tests
+    /// to upper-bound what any trained model can achieve.
+    #[must_use]
+    pub fn bayes_classify(&self, features: &[f64]) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (c, mean) in self.means.iter().enumerate() {
+            let d: f64 = mean
+                .iter()
+                .zip(features)
+                .map(|(&m, &x)| (m - x) * (m - x))
+                .sum();
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+/// A finite collection of labelled samples (a train or test split).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+    classes: usize,
+    dim: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from parts.
+    ///
+    /// # Panics
+    /// Panics if any sample's dimensionality or label is inconsistent.
+    #[must_use]
+    pub fn from_samples(samples: Vec<Sample>, classes: usize, dim: usize) -> Self {
+        for s in &samples {
+            assert_eq!(s.features.len(), dim, "sample dimensionality mismatch");
+            assert!(s.label < classes, "label out of range");
+        }
+        Self {
+            samples,
+            classes,
+            dim,
+        }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the dataset holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Feature dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The samples.
+    #[must_use]
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Iterates over the samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Sample> {
+        self.samples.iter()
+    }
+
+    /// Splits into `(first_n, rest)` without copying sample storage
+    /// beyond the necessary vector moves.
+    ///
+    /// # Panics
+    /// Panics if `n > len()`.
+    #[must_use]
+    pub fn split_at(mut self, n: usize) -> (Dataset, Dataset) {
+        assert!(n <= self.samples.len(), "split point beyond dataset");
+        let rest = self.samples.split_off(n);
+        let right = Dataset {
+            samples: rest,
+            classes: self.classes,
+            dim: self.dim,
+        };
+        (self, right)
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a Sample;
+    type IntoIter = std::slice::Iter<'a, Sample>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_is_deterministic_per_seed() {
+        let a = GaussianMixtureTask::new(TaskKind::MnistLike, SeedSequence::new(5));
+        let b = GaussianMixtureTask::new(TaskKind::MnistLike, SeedSequence::new(5));
+        assert_eq!(a.means(), b.means());
+        let c = GaussianMixtureTask::new(TaskKind::MnistLike, SeedSequence::new(6));
+        assert_ne!(a.means(), c.means());
+    }
+
+    #[test]
+    fn sample_shapes() {
+        let task = GaussianMixtureTask::new(TaskKind::CifarLike, SeedSequence::new(5));
+        let ds = task.generate(50, &SeedSequence::new(7));
+        assert_eq!(ds.len(), 50);
+        assert_eq!(ds.dim(), 32);
+        assert_eq!(ds.classes(), 10);
+        for s in &ds {
+            assert_eq!(s.features.len(), 32);
+            assert!(s.label < 10);
+        }
+    }
+
+    #[test]
+    fn mnist_like_is_easier_than_cifar_like() {
+        // Bayes accuracy of the easy task should clearly exceed that of
+        // the hard task.
+        let seed = SeedSequence::new(40);
+        let acc = |kind: TaskKind| {
+            let task = GaussianMixtureTask::new(kind, seed.derive(kind.name()));
+            let ds = task.generate(3000, &seed.derive("eval"));
+            let correct = ds
+                .iter()
+                .filter(|s| task.bayes_classify(&s.features) == s.label)
+                .count();
+            correct as f64 / ds.len() as f64
+        };
+        let easy = acc(TaskKind::MnistLike);
+        let hard = acc(TaskKind::CifarLike);
+        assert!(easy > 0.93, "mnist-like bayes accuracy too low: {easy}");
+        assert!(hard < 0.90, "cifar-like bayes accuracy too high: {hard}");
+        assert!(hard > 0.30, "cifar-like should still be learnable: {hard}");
+        assert!(easy > hard + 0.05);
+    }
+
+    #[test]
+    fn labels_roughly_uniform() {
+        let task = GaussianMixtureTask::new(TaskKind::MnistLike, SeedSequence::new(8));
+        let ds = task.generate(5000, &SeedSequence::new(9));
+        let mut counts = vec![0usize; 10];
+        for s in &ds {
+            counts[s.label] += 1;
+        }
+        for &c in &counts {
+            assert!((350..=650).contains(&c), "class count skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn split_preserves_totals() {
+        let task = GaussianMixtureTask::new(TaskKind::MnistLike, SeedSequence::new(8));
+        let ds = task.generate(100, &SeedSequence::new(9));
+        let full = ds.samples().to_vec();
+        let (a, b) = ds.split_at(30);
+        assert_eq!(a.len(), 30);
+        assert_eq!(b.len(), 70);
+        assert_eq!(a.samples()[..], full[..30]);
+        assert_eq!(b.samples()[..], full[30..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn from_samples_validates() {
+        let _ = Dataset::from_samples(
+            vec![Sample {
+                features: vec![0.0; 4],
+                label: 10,
+            }],
+            10,
+            4,
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Synthetic inputs for the carbon-neutral edge-inference reproduction.
+//!
+//! The paper evaluates on four external artifacts that are not available
+//! in this environment; this crate provides simulated equivalents that
+//! exercise the same code paths (see `DESIGN.md`, "Substitutions"):
+//!
+//! | Paper artifact | Module here |
+//! |---|---|
+//! | MNIST / CIFAR-10 test streams | [`dataset`] + [`stream`] |
+//! | TfL London Underground passenger counts | [`workload`] |
+//! | EU ETS carbon permit prices | [`prices`] |
+//! | Australian base-station locations | [`topology`] |
+//!
+//! Everything is seeded through [`cne_util::rng::SeedSequence`], so a
+//! whole experiment is reproducible from one root seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use cne_simdata::dataset::{GaussianMixtureTask, TaskKind};
+//! use cne_util::SeedSequence;
+//!
+//! let task = GaussianMixtureTask::new(TaskKind::MnistLike, SeedSequence::new(1));
+//! let data = task.generate(100, &SeedSequence::new(2));
+//! assert_eq!(data.len(), 100);
+//! assert_eq!(data.dim(), task.spec().dim);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod prices;
+pub mod samplers;
+pub mod stations;
+pub mod stream;
+pub mod topology;
+pub mod workload;
+
+pub use dataset::{Dataset, GaussianMixtureTask, Sample, TaskKind};
+pub use prices::{PriceModel, PriceSeries};
+pub use stream::DataStream;
+pub use topology::{EdgeSite, Topology};
+pub use workload::{DiurnalWorkload, WorkloadTrace};

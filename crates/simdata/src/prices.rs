@@ -1,0 +1,287 @@
+//! Carbon allowance price processes.
+//!
+//! The paper draws buy prices from the EU Carbon Permit series
+//! (March 2023 – March 2024, range 5.9–10.9 cent/kg) and sets the sell
+//! price to 90% of the buy price (refs \[8\], \[56\]). This module
+//! provides:
+//!
+//! * [`PriceModel::MeanReverting`] — an Ornstein–Uhlenbeck-style process
+//!   reflected into the paper's band, matching the trace's fluctuation
+//!   character (persistent, bounded, no trend);
+//! * [`PriceModel::IidUniform`] — the literal reading of the paper's
+//!   "randomly taken from the prices" (IID draws from the band);
+//! * [`PriceModel::Replay`] — replay of an explicit series, for users
+//!   with real market data.
+
+use cne_util::units::PricePerAllowance;
+use cne_util::SeedSequence;
+use serde::{Deserialize, Serialize};
+
+use crate::samplers::{standard_normal, uniform_in};
+
+/// Ratio of sell price to buy price (paper: 90%, ref \[56\]).
+pub const DEFAULT_SELL_RATIO: f64 = 0.9;
+
+/// Lower end of the EU ETS band used by the paper, in cent/kg.
+pub const EU_ETS_LOW: f64 = 5.9;
+
+/// Upper end of the EU ETS band used by the paper, in cent/kg.
+pub const EU_ETS_HIGH: f64 = 10.9;
+
+/// A generative model of the buy-price series `c^t`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PriceModel {
+    /// Mean-reverting walk reflected into `[lo, hi]`:
+    /// `c^{t+1} = c^t + κ(μ − c^t) + σ ξ`, with `μ = (lo+hi)/2`.
+    MeanReverting {
+        /// Lower reflection bound (cent/kg).
+        lo: f64,
+        /// Upper reflection bound (cent/kg).
+        hi: f64,
+        /// Mean-reversion strength per slot (0–1).
+        kappa: f64,
+        /// Per-slot Gaussian volatility (cent/kg).
+        sigma: f64,
+    },
+    /// IID uniform draws from `[lo, hi]` every slot.
+    IidUniform {
+        /// Lower bound (cent/kg).
+        lo: f64,
+        /// Upper bound (cent/kg).
+        hi: f64,
+    },
+    /// Replay an explicit buy-price series (cent/kg), cycling if the
+    /// requested horizon is longer than the series.
+    Replay(Vec<f64>),
+}
+
+impl Default for PriceModel {
+    /// The paper-calibrated default: mean-reverting in the EU ETS band.
+    fn default() -> Self {
+        PriceModel::MeanReverting {
+            lo: EU_ETS_LOW,
+            hi: EU_ETS_HIGH,
+            kappa: 0.08,
+            sigma: 0.45,
+        }
+    }
+}
+
+impl PriceModel {
+    /// Generates a buy/sell price series of length `horizon`.
+    ///
+    /// # Panics
+    /// Panics if `horizon` is zero, bounds are invalid, a replay series
+    /// is empty, or `sell_ratio` is outside `(0, 1]`.
+    #[must_use]
+    pub fn generate(&self, horizon: usize, sell_ratio: f64, seed: &SeedSequence) -> PriceSeries {
+        assert!(horizon > 0, "price horizon must be positive");
+        assert!(
+            sell_ratio > 0.0 && sell_ratio <= 1.0,
+            "sell ratio must lie in (0, 1]"
+        );
+        let mut rng = seed.derive("carbon-prices").rng();
+        let buy: Vec<f64> = match self {
+            PriceModel::MeanReverting {
+                lo,
+                hi,
+                kappa,
+                sigma,
+            } => {
+                assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad band");
+                assert!((0.0..=1.0).contains(kappa), "kappa must be in [0,1]");
+                assert!(*sigma >= 0.0, "sigma must be non-negative");
+                let mu = (lo + hi) / 2.0;
+                let mut c = uniform_in(&mut rng, *lo, *hi);
+                (0..horizon)
+                    .map(|_| {
+                        let out = c;
+                        c += kappa * (mu - c) + sigma * standard_normal(&mut rng);
+                        // Reflect into the band.
+                        if c < *lo {
+                            c = lo + (lo - c);
+                        }
+                        if c > *hi {
+                            c = hi - (c - hi);
+                        }
+                        c = c.clamp(*lo, *hi);
+                        out
+                    })
+                    .collect()
+            }
+            PriceModel::IidUniform { lo, hi } => {
+                assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad band");
+                (0..horizon)
+                    .map(|_| uniform_in(&mut rng, *lo, *hi))
+                    .collect()
+            }
+            PriceModel::Replay(series) => {
+                assert!(!series.is_empty(), "cannot replay an empty series");
+                (0..horizon).map(|t| series[t % series.len()]).collect()
+            }
+        };
+        PriceSeries::from_buy_prices(&buy, sell_ratio)
+    }
+}
+
+/// A realized pair of buy/sell price series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceSeries {
+    buy: Vec<PricePerAllowance>,
+    sell: Vec<PricePerAllowance>,
+}
+
+impl PriceSeries {
+    /// Builds a series from raw buy prices, setting sell = ratio × buy.
+    ///
+    /// # Panics
+    /// Panics if any price is negative/non-finite or the ratio is
+    /// outside `(0, 1]`.
+    #[must_use]
+    pub fn from_buy_prices(buy: &[f64], sell_ratio: f64) -> Self {
+        assert!(
+            sell_ratio > 0.0 && sell_ratio <= 1.0,
+            "sell ratio must lie in (0, 1]"
+        );
+        let mut b = Vec::with_capacity(buy.len());
+        let mut s = Vec::with_capacity(buy.len());
+        for &p in buy {
+            assert!(p.is_finite() && p >= 0.0, "prices must be finite and >= 0");
+            b.push(PricePerAllowance::new(p));
+            s.push(PricePerAllowance::new(p * sell_ratio));
+        }
+        Self { buy: b, sell: s }
+    }
+
+    /// Builds a series from explicit buy and sell vectors.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or any sell price exceeds its buy price
+    /// (that would admit instant arbitrage within a slot).
+    #[must_use]
+    pub fn from_parts(buy: Vec<PricePerAllowance>, sell: Vec<PricePerAllowance>) -> Self {
+        assert_eq!(buy.len(), sell.len(), "buy/sell length mismatch");
+        for (b, s) in buy.iter().zip(&sell) {
+            assert!(
+                s.get() <= b.get() + 1e-12,
+                "sell price must not exceed buy price in the same slot"
+            );
+        }
+        Self { buy, sell }
+    }
+
+    /// Horizon length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buy.len()
+    }
+
+    /// True when the series is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buy.is_empty()
+    }
+
+    /// Buy price `c^t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn buy(&self, t: usize) -> PricePerAllowance {
+        self.buy[t]
+    }
+
+    /// Sell price `r^t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn sell(&self, t: usize) -> PricePerAllowance {
+        self.sell[t]
+    }
+
+    /// All buy prices.
+    #[must_use]
+    pub fn buy_series(&self) -> &[PricePerAllowance] {
+        &self.buy
+    }
+
+    /// All sell prices.
+    #[must_use]
+    pub fn sell_series(&self) -> &[PricePerAllowance] {
+        &self.sell
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_reverting_stays_in_band() {
+        let series =
+            PriceModel::default().generate(2000, DEFAULT_SELL_RATIO, &SeedSequence::new(1));
+        for t in 0..series.len() {
+            let b = series.buy(t).get();
+            assert!(
+                (EU_ETS_LOW..=EU_ETS_HIGH).contains(&b),
+                "buy out of band: {b}"
+            );
+            let s = series.sell(t).get();
+            assert!((s - 0.9 * b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_reverting_actually_fluctuates() {
+        let series = PriceModel::default().generate(500, 0.9, &SeedSequence::new(2));
+        let xs: Vec<f64> = series.buy_series().iter().map(|p| p.get()).collect();
+        let std = cne_util::stats::sample_std(&xs);
+        assert!(std > 0.3, "price process too flat: std {std}");
+    }
+
+    #[test]
+    fn iid_uniform_covers_band() {
+        let series = PriceModel::IidUniform {
+            lo: EU_ETS_LOW,
+            hi: EU_ETS_HIGH,
+        }
+        .generate(5000, 0.9, &SeedSequence::new(3));
+        let xs: Vec<f64> = series.buy_series().iter().map(|p| p.get()).collect();
+        let min = xs.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        let max = xs.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        assert!(min < 6.2 && max > 10.6, "band coverage: [{min}, {max}]");
+    }
+
+    #[test]
+    fn replay_cycles() {
+        let series =
+            PriceModel::Replay(vec![7.0, 8.0, 9.0]).generate(7, 0.9, &SeedSequence::new(4));
+        let xs: Vec<f64> = series.buy_series().iter().map(|p| p.get()).collect();
+        assert_eq!(xs, vec![7.0, 8.0, 9.0, 7.0, 8.0, 9.0, 7.0]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = PriceModel::default().generate(100, 0.9, &SeedSequence::new(5));
+        let b = PriceModel::default().generate(100, 0.9, &SeedSequence::new(5));
+        assert_eq!(a, b);
+        let c = PriceModel::default().generate(100, 0.9, &SeedSequence::new(6));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "sell price must not exceed")]
+    fn arbitrage_within_slot_rejected() {
+        let _ = PriceSeries::from_parts(
+            vec![PricePerAllowance::new(5.0)],
+            vec![PricePerAllowance::new(6.0)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sell ratio")]
+    fn bad_sell_ratio_rejected() {
+        let _ = PriceModel::default().generate(10, 0.0, &SeedSequence::new(7));
+    }
+}

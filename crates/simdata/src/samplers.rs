@@ -1,0 +1,150 @@
+//! Random-variate samplers built on [`rand`].
+//!
+//! Only `rand` (not `rand_distr`) is in the allowed dependency set, so the
+//! Gaussian and Poisson samplers the data/workload generators need are
+//! implemented here: Box–Muller for the normal distribution and
+//! inversion-by-sequential-search (small mean) / normal approximation
+//! (large mean) for the Poisson distribution.
+
+use rand::Rng;
+
+/// Draws one standard-normal variate via the Box–Muller transform.
+///
+/// # Examples
+/// ```
+/// use cne_simdata::samplers::standard_normal;
+/// let mut rng = cne_util::SeedSequence::new(9).rng();
+/// let x = standard_normal(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0): sample u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws one normal variate with the given mean and standard deviation.
+///
+/// # Panics
+/// Panics if `std` is negative or not finite.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    assert!(std.is_finite() && std >= 0.0, "std must be finite and >= 0");
+    mean + std * standard_normal(rng)
+}
+
+/// Draws one Poisson variate with mean `lambda`.
+///
+/// Uses Knuth's sequential-search method for `lambda < 30` and a
+/// continuity-corrected normal approximation above (the workloads in the
+/// simulator have means in the thousands, where the approximation error
+/// is negligible).
+///
+/// # Panics
+/// Panics if `lambda` is negative or not finite.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "Poisson mean must be finite and >= 0"
+    );
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k: u64 = 0;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let x = lambda + lambda.sqrt() * standard_normal(rng) + 0.5;
+        if x < 0.0 {
+            0
+        } else {
+            x.floor() as u64
+        }
+    }
+}
+
+/// Draws a value uniformly from the closed interval `[lo, hi]`.
+///
+/// # Panics
+/// Panics if `lo > hi` or either bound is not finite.
+pub fn uniform_in<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad interval");
+    if lo == hi {
+        lo
+    } else {
+        rng.gen_range(lo..=hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cne_util::stats::OnlineStats;
+    use cne_util::SeedSequence;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SeedSequence::new(11).rng();
+        let acc: OnlineStats = (0..20_000).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        assert!((acc.mean() - 3.0).abs() < 0.06, "mean {}", acc.mean());
+        assert!(
+            (acc.sample_std() - 2.0).abs() < 0.06,
+            "std {}",
+            acc.sample_std()
+        );
+    }
+
+    #[test]
+    fn poisson_small_mean_moments() {
+        let mut rng = SeedSequence::new(12).rng();
+        let acc: OnlineStats = (0..20_000).map(|_| poisson(&mut rng, 4.5) as f64).collect();
+        assert!((acc.mean() - 4.5).abs() < 0.1, "mean {}", acc.mean());
+        assert!(
+            (acc.sample_variance() - 4.5).abs() < 0.25,
+            "var {}",
+            acc.sample_variance()
+        );
+    }
+
+    #[test]
+    fn poisson_large_mean_moments() {
+        let mut rng = SeedSequence::new(13).rng();
+        let acc: OnlineStats = (0..20_000)
+            .map(|_| poisson(&mut rng, 5000.0) as f64)
+            .collect();
+        assert!((acc.mean() - 5000.0).abs() < 5.0, "mean {}", acc.mean());
+        let rel = acc.sample_variance() / 5000.0;
+        assert!((0.92..1.08).contains(&rel), "variance ratio {rel}");
+    }
+
+    #[test]
+    fn poisson_zero_mean() {
+        let mut rng = SeedSequence::new(14).rng();
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SeedSequence::new(15).rng();
+        for _ in 0..1000 {
+            let x = uniform_in(&mut rng, 25.0, 150.0);
+            assert!((25.0..=150.0).contains(&x));
+        }
+        assert_eq!(uniform_in(&mut rng, 7.0, 7.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Poisson mean")]
+    fn poisson_rejects_negative() {
+        let mut rng = SeedSequence::new(16).rng();
+        let _ = poisson(&mut rng, -1.0);
+    }
+}

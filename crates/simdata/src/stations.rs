@@ -1,0 +1,283 @@
+//! The busiest London Underground stations, for trace realism.
+//!
+//! The paper drives its per-edge workloads with the passenger counts of
+//! the top 10–50 busiest of London's 268 Underground stations. The raw
+//! TfL counts are not available offline; this table embeds the
+//! *station identities* and approximate pre-pandemic annual entry+exit
+//! volumes (millions, rounded — public TfL figures), which gives the
+//! generator realistic relative scales and gives figures/logs human
+//! station names instead of "edge 7".
+//!
+//! [`DiurnalWorkload`](crate::workload::DiurnalWorkload) keeps its
+//! parametric Zipf scale by default (the calibrated setting every
+//! experiment uses); [`station_scale_factor`] exposes the table-derived
+//! alternative for users who prefer it.
+
+/// One station: name and approximate annual entries+exits in millions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Station {
+    /// Station name.
+    pub name: &'static str,
+    /// Approximate annual entries + exits, millions (pre-2020).
+    pub annual_millions: f64,
+}
+
+/// The 50 busiest stations in descending order of traffic.
+pub const STATIONS: [Station; 50] = [
+    Station {
+        name: "King's Cross St. Pancras",
+        annual_millions: 88.3,
+    },
+    Station {
+        name: "Victoria",
+        annual_millions: 74.8,
+    },
+    Station {
+        name: "Oxford Circus",
+        annual_millions: 74.0,
+    },
+    Station {
+        name: "London Bridge",
+        annual_millions: 69.3,
+    },
+    Station {
+        name: "Waterloo",
+        annual_millions: 68.7,
+    },
+    Station {
+        name: "Stratford",
+        annual_millions: 66.8,
+    },
+    Station {
+        name: "Liverpool Street",
+        annual_millions: 65.3,
+    },
+    Station {
+        name: "Bank & Monument",
+        annual_millions: 60.0,
+    },
+    Station {
+        name: "Canary Wharf",
+        annual_millions: 54.4,
+    },
+    Station {
+        name: "Paddington",
+        annual_millions: 49.3,
+    },
+    Station {
+        name: "Green Park",
+        annual_millions: 39.9,
+    },
+    Station {
+        name: "Euston",
+        annual_millions: 38.0,
+    },
+    Station {
+        name: "Bond Street",
+        annual_millions: 37.5,
+    },
+    Station {
+        name: "Tottenham Court Road",
+        annual_millions: 37.3,
+    },
+    Station {
+        name: "Leicester Square",
+        annual_millions: 36.1,
+    },
+    Station {
+        name: "Piccadilly Circus",
+        annual_millions: 31.5,
+    },
+    Station {
+        name: "Holborn",
+        annual_millions: 31.1,
+    },
+    Station {
+        name: "Brixton",
+        annual_millions: 29.5,
+    },
+    Station {
+        name: "Vauxhall",
+        annual_millions: 26.7,
+    },
+    Station {
+        name: "Westminster",
+        annual_millions: 25.8,
+    },
+    Station {
+        name: "Finsbury Park",
+        annual_millions: 25.4,
+    },
+    Station {
+        name: "Hammersmith",
+        annual_millions: 24.5,
+    },
+    Station {
+        name: "Moorgate",
+        annual_millions: 23.9,
+    },
+    Station {
+        name: "Baker Street",
+        annual_millions: 23.6,
+    },
+    Station {
+        name: "Earl's Court",
+        annual_millions: 22.2,
+    },
+    Station {
+        name: "South Kensington",
+        annual_millions: 21.9,
+    },
+    Station {
+        name: "Shepherd's Bush",
+        annual_millions: 21.6,
+    },
+    Station {
+        name: "Old Street",
+        annual_millions: 21.4,
+    },
+    Station {
+        name: "Whitechapel",
+        annual_millions: 20.6,
+    },
+    Station {
+        name: "Camden Town",
+        annual_millions: 20.5,
+    },
+    Station {
+        name: "Knightsbridge",
+        annual_millions: 19.8,
+    },
+    Station {
+        name: "Angel",
+        annual_millions: 19.6,
+    },
+    Station {
+        name: "Highbury & Islington",
+        annual_millions: 19.3,
+    },
+    Station {
+        name: "Charing Cross",
+        annual_millions: 18.9,
+    },
+    Station {
+        name: "Embankment",
+        annual_millions: 18.7,
+    },
+    Station {
+        name: "Seven Sisters",
+        annual_millions: 18.0,
+    },
+    Station {
+        name: "Walthamstow Central",
+        annual_millions: 17.8,
+    },
+    Station {
+        name: "Notting Hill Gate",
+        annual_millions: 17.2,
+    },
+    Station {
+        name: "Blackfriars",
+        annual_millions: 16.9,
+    },
+    Station {
+        name: "St. James's Park",
+        annual_millions: 16.6,
+    },
+    Station {
+        name: "Marble Arch",
+        annual_millions: 16.3,
+    },
+    Station {
+        name: "Wimbledon",
+        annual_millions: 16.1,
+    },
+    Station {
+        name: "Ealing Broadway",
+        annual_millions: 15.8,
+    },
+    Station {
+        name: "Elephant & Castle",
+        annual_millions: 15.4,
+    },
+    Station {
+        name: "Farringdon",
+        annual_millions: 15.2,
+    },
+    Station {
+        name: "Barking",
+        annual_millions: 14.9,
+    },
+    Station {
+        name: "Wood Green",
+        annual_millions: 14.4,
+    },
+    Station {
+        name: "Tooting Broadway",
+        annual_millions: 14.2,
+    },
+    Station {
+        name: "Clapham Junction area",
+        annual_millions: 13.9,
+    },
+    Station {
+        name: "Aldgate East",
+        annual_millions: 13.6,
+    },
+];
+
+/// Name of the station backing edge `rank` (cycling past 50 for very
+/// large systems).
+#[must_use]
+pub fn station_name(rank: usize) -> &'static str {
+    STATIONS[rank % STATIONS.len()].name
+}
+
+/// Traffic of station `rank` relative to the busiest one, in `(0, 1]`
+/// — the table-derived alternative to the generator's parametric Zipf
+/// scale.
+#[must_use]
+pub fn station_scale_factor(rank: usize) -> f64 {
+    let table = &STATIONS;
+    table[rank % table.len()].annual_millions / table[0].annual_millions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_unique_names() {
+        let mut names: Vec<&str> = STATIONS.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 50, "duplicate station names");
+    }
+
+    #[test]
+    fn traffic_is_descending() {
+        for w in STATIONS.windows(2) {
+            assert!(
+                w[0].annual_millions >= w[1].annual_millions,
+                "{} out of order",
+                w[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn scale_factors_normalized() {
+        assert_eq!(station_scale_factor(0), 1.0);
+        for rank in 0..50 {
+            let f = station_scale_factor(rank);
+            assert!((0.0..=1.0).contains(&f));
+        }
+        // Heterogeneity: the 50th station is far below the 1st.
+        assert!(station_scale_factor(49) < 0.2);
+    }
+
+    #[test]
+    fn names_cycle_beyond_the_table() {
+        assert_eq!(station_name(0), station_name(50));
+    }
+}

@@ -1,0 +1,224 @@
+//! Cloud–edge network topology.
+//!
+//! The paper places the cloud at one real Australian base-station site
+//! and the edges at 10–50 other sites, using geographic distance as the
+//! proxy for the model-download delay `u_i`. Without the site dataset we
+//! sample edge sites on a 2000 km × 2000 km plane with the cloud offset
+//! far to one side (the paper's cloud site is in the Northern Territory,
+//! far from most edges), which reproduces the heterogeneous, distance-
+//! driven `u_i` the switching-cost analysis depends on.
+
+use cne_util::units::{EnergyPerMegabyte, Millis};
+use cne_util::SeedSequence;
+use serde::{Deserialize, Serialize};
+
+use crate::samplers::uniform_in;
+
+/// Energy to push one megabyte across the backhaul, paper ref \[57\].
+pub const BASE_TRANSFER_KWH_PER_MB: f64 = 1.02e-16;
+
+/// A geographic site with planar coordinates in kilometres.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeSite {
+    /// East–west coordinate (km).
+    pub x: f64,
+    /// North–south coordinate (km).
+    pub y: f64,
+}
+
+impl EdgeSite {
+    /// Euclidean distance to another site in kilometres.
+    #[must_use]
+    pub fn distance_km(&self, other: &EdgeSite) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Parameters of the delay/energy model derived from distance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopologyConfig {
+    /// Side length of the square region edges are scattered over (km).
+    pub region_km: f64,
+    /// Cloud offset from the region centre (km).
+    pub cloud_offset_km: f64,
+    /// Fixed component of the download delay (ms).
+    pub base_delay_ms: f64,
+    /// Distance-proportional delay (ms per km), roughly speed-of-light
+    /// in fibre plus routing overhead.
+    pub delay_ms_per_km: f64,
+    /// Heterogeneity of edge compute speed: edge latency factors are
+    /// drawn uniformly from `[1 − spread, 1 + spread]`.
+    pub compute_spread: f64,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        Self {
+            region_km: 2000.0,
+            cloud_offset_km: 1800.0,
+            base_delay_ms: 20.0,
+            delay_ms_per_km: 0.02,
+            compute_spread: 0.3,
+        }
+    }
+}
+
+/// A sampled cloud–edge topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    cloud: EdgeSite,
+    edges: Vec<EdgeSite>,
+    download_delay_ms: Vec<f64>,
+    transfer_energy: Vec<f64>,
+    compute_factor: Vec<f64>,
+}
+
+impl Topology {
+    /// Samples a topology with `n_edges` edges.
+    ///
+    /// # Panics
+    /// Panics if `n_edges` is zero.
+    #[must_use]
+    pub fn generate(n_edges: usize, config: TopologyConfig, seed: &SeedSequence) -> Self {
+        assert!(n_edges > 0, "need at least one edge");
+        let mut rng = seed.derive("topology").rng();
+        let half = config.region_km / 2.0;
+        let cloud = EdgeSite {
+            x: -config.cloud_offset_km,
+            y: config.cloud_offset_km,
+        };
+        let mut edges = Vec::with_capacity(n_edges);
+        let mut delays = Vec::with_capacity(n_edges);
+        let mut energies = Vec::with_capacity(n_edges);
+        let mut factors = Vec::with_capacity(n_edges);
+        let max_dist = ((config.cloud_offset_km + half).powi(2) * 2.0).sqrt();
+        for _ in 0..n_edges {
+            let site = EdgeSite {
+                x: uniform_in(&mut rng, -half, half),
+                y: uniform_in(&mut rng, -half, half),
+            };
+            let d = site.distance_km(&cloud);
+            delays.push(config.base_delay_ms + config.delay_ms_per_km * d);
+            // Farther edges traverse more hops, costing slightly more
+            // energy per transferred megabyte.
+            energies.push(BASE_TRANSFER_KWH_PER_MB * (1.0 + d / max_dist));
+            factors.push(uniform_in(
+                &mut rng,
+                1.0 - config.compute_spread,
+                1.0 + config.compute_spread,
+            ));
+            edges.push(site);
+        }
+        Self {
+            cloud,
+            edges,
+            download_delay_ms: delays,
+            transfer_energy: energies,
+            compute_factor: factors,
+        }
+    }
+
+    /// Number of edges `I`.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The cloud site.
+    #[must_use]
+    pub fn cloud(&self) -> EdgeSite {
+        self.cloud
+    }
+
+    /// The edge sites.
+    #[must_use]
+    pub fn edges(&self) -> &[EdgeSite] {
+        &self.edges
+    }
+
+    /// Model-download delay `u_i` of edge `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn download_delay(&self, i: usize) -> Millis {
+        Millis::new(self.download_delay_ms[i])
+    }
+
+    /// Transfer-energy intensity `ϑ_i` of edge `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn transfer_energy(&self, i: usize) -> EnergyPerMegabyte {
+        EnergyPerMegabyte::new(self.transfer_energy[i])
+    }
+
+    /// Compute-speed factor of edge `i` (multiplies model base latency
+    /// to yield `v_{i,n}`; 1.0 = nominal hardware).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn compute_factor(&self, i: usize) -> f64 {
+        self.compute_factor[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_shapes() {
+        let t = Topology::generate(10, TopologyConfig::default(), &SeedSequence::new(1));
+        assert_eq!(t.num_edges(), 10);
+        assert_eq!(t.edges().len(), 10);
+    }
+
+    #[test]
+    fn delays_positive_and_heterogeneous() {
+        let t = Topology::generate(50, TopologyConfig::default(), &SeedSequence::new(2));
+        let delays: Vec<f64> = (0..50).map(|i| t.download_delay(i).get()).collect();
+        assert!(delays.iter().all(|&d| d > 0.0));
+        let min = delays.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        let max = delays.iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!(max > min + 1.0, "delays should differ across edges");
+    }
+
+    #[test]
+    fn cloud_is_far_from_every_edge() {
+        let cfg = TopologyConfig::default();
+        let t = Topology::generate(20, cfg, &SeedSequence::new(3));
+        for e in t.edges() {
+            assert!(e.distance_km(&t.cloud()) > cfg.cloud_offset_km - cfg.region_km);
+        }
+    }
+
+    #[test]
+    fn compute_factors_in_spread() {
+        let cfg = TopologyConfig::default();
+        let t = Topology::generate(40, cfg, &SeedSequence::new(4));
+        for i in 0..40 {
+            let f = t.compute_factor(i);
+            assert!((1.0 - cfg.compute_spread..=1.0 + cfg.compute_spread).contains(&f));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Topology::generate(5, TopologyConfig::default(), &SeedSequence::new(5));
+        let b = Topology::generate(5, TopologyConfig::default(), &SeedSequence::new(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transfer_energy_scales_with_distance() {
+        let t = Topology::generate(30, TopologyConfig::default(), &SeedSequence::new(6));
+        for i in 0..30 {
+            let e = t.transfer_energy(i).get();
+            assert!(e >= BASE_TRANSFER_KWH_PER_MB);
+            assert!(e <= 2.0 * BASE_TRANSFER_KWH_PER_MB);
+        }
+    }
+}

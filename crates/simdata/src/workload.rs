@@ -1,0 +1,289 @@
+//! Inference workload traces shaped like London Underground demand.
+//!
+//! The paper drives each edge's arrival count `M_i^t` with 15-minute
+//! passenger counts of the busiest London Underground stations over a
+//! Thursday and a Friday (160 slots). The raw TfL data is not available
+//! offline, so this module generates traces from a parametric model of
+//! the same phenomenology:
+//!
+//! * a 20-hour service day of 80 slots × 2 days = 160 slots;
+//! * a double-peak diurnal shape (AM rush ≈ 08:30, PM rush ≈ 17:30)
+//!   with a midday plateau and a deep night trough;
+//! * Zipf-like heterogeneity across station ranks (rank 0 busiest), so
+//!   "the top 10…50 stations" have meaningfully different scales;
+//! * a slightly busier second day (Friday effect) and Poisson arrival
+//!   noise around the profile.
+//!
+//! Only the *shape* of `M_i^t` matters to the algorithms (it drives the
+//! emission process and the loss-sample counts), which this preserves.
+
+use cne_util::SeedSequence;
+use serde::{Deserialize, Serialize};
+
+use crate::samplers::poisson;
+
+/// Configuration of the diurnal workload generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Slots per service day (15-minute slots over a 20 h day).
+    pub slots_per_day: usize,
+    /// Number of consecutive days in a trace.
+    pub days: usize,
+    /// Expected peak 15-minute arrivals at the busiest station (rank 0).
+    pub peak_arrivals: f64,
+    /// Zipf exponent controlling decay of station scale with rank.
+    pub rank_decay: f64,
+    /// Multiplicative factor applied to the second and later days
+    /// (Friday is busier than Thursday in the TfL data).
+    pub later_day_factor: f64,
+    /// Fraction of the peak that persists in the night trough.
+    pub trough_level: f64,
+}
+
+impl Default for WorkloadConfig {
+    /// The paper-calibrated default: 160 slots (80 × 2 days), busiest
+    /// station peaking at 6000 passengers per 15 minutes.
+    fn default() -> Self {
+        Self {
+            slots_per_day: 80,
+            days: 2,
+            peak_arrivals: 6000.0,
+            rank_decay: 0.35,
+            later_day_factor: 1.05,
+            trough_level: 0.04,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Total number of slots in a trace.
+    #[must_use]
+    pub fn total_slots(&self) -> usize {
+        self.slots_per_day * self.days
+    }
+}
+
+/// Generator of per-station workload traces.
+///
+/// # Examples
+///
+/// ```
+/// use cne_simdata::workload::{DiurnalWorkload, WorkloadConfig};
+/// use cne_util::SeedSequence;
+///
+/// let gen = DiurnalWorkload::new(WorkloadConfig::default());
+/// let trace = gen.trace(0, &SeedSequence::new(1));
+/// assert_eq!(trace.len(), 160);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalWorkload {
+    config: WorkloadConfig,
+}
+
+impl DiurnalWorkload {
+    /// Creates a generator with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration has zero slots or non-positive peak.
+    #[must_use]
+    pub fn new(config: WorkloadConfig) -> Self {
+        assert!(config.slots_per_day > 0 && config.days > 0, "empty trace");
+        assert!(
+            config.peak_arrivals > 0.0 && config.peak_arrivals.is_finite(),
+            "peak arrivals must be positive"
+        );
+        Self { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Diurnal shape in `[trough, 1]` for a slot index within a day.
+    ///
+    /// The shape is the sum of two Gaussian bumps (AM and PM rush) plus
+    /// a plateau, renormalized to peak at 1.
+    #[must_use]
+    pub fn diurnal_shape(&self, slot_in_day: usize) -> f64 {
+        let n = self.config.slots_per_day as f64;
+        // Map slot to "hours since 05:00" over a 20-hour day.
+        let hour = 5.0 + 20.0 * (slot_in_day as f64 + 0.5) / n;
+        let bump = |center: f64, width: f64| {
+            let z = (hour - center) / width;
+            (-0.5 * z * z).exp()
+        };
+        let raw = bump(8.5, 1.3) + 0.85 * bump(17.5, 1.6) + 0.35 * bump(13.0, 3.0);
+        let max = self.raw_day_max();
+        (raw / max).max(self.config.trough_level)
+    }
+
+    fn raw_day_max(&self) -> f64 {
+        let n = self.config.slots_per_day;
+        (0..n)
+            .map(|s| {
+                let hour = 5.0 + 20.0 * (s as f64 + 0.5) / n as f64;
+                let bump = |center: f64, width: f64| {
+                    let z: f64 = (hour - center) / width;
+                    (-0.5 * z * z).exp()
+                };
+                bump(8.5, 1.3) + 0.85 * bump(17.5, 1.6) + 0.35 * bump(13.0, 3.0)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Scale of station `rank` (0 = busiest): `peak / (1+rank)^decay`.
+    #[must_use]
+    pub fn station_scale(&self, rank: usize) -> f64 {
+        self.config.peak_arrivals / (1.0 + rank as f64).powf(self.config.rank_decay)
+    }
+
+    /// Expected arrivals at station `rank` in global slot `t`.
+    #[must_use]
+    pub fn expected_arrivals(&self, rank: usize, t: usize) -> f64 {
+        let day = t / self.config.slots_per_day;
+        let slot_in_day = t % self.config.slots_per_day;
+        let day_factor = if day == 0 {
+            1.0
+        } else {
+            self.config.later_day_factor
+        };
+        self.station_scale(rank) * self.diurnal_shape(slot_in_day) * day_factor
+    }
+
+    /// Generates the full Poisson trace for station `rank`.
+    #[must_use]
+    pub fn trace(&self, rank: usize, seed: &SeedSequence) -> WorkloadTrace {
+        let mut rng = seed.derive("workload").derive_index(rank as u64).rng();
+        let counts = (0..self.config.total_slots())
+            .map(|t| poisson(&mut rng, self.expected_arrivals(rank, t)))
+            .collect();
+        WorkloadTrace { counts }
+    }
+}
+
+/// A realized arrival-count trace `M_i^t` for one edge.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadTrace {
+    counts: Vec<u64>,
+}
+
+impl WorkloadTrace {
+    /// Wraps an explicit count series (e.g. a replayed real trace).
+    #[must_use]
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        Self { counts }
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when the trace has no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Arrivals in slot `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn arrivals(&self, t: usize) -> u64 {
+        self.counts[t]
+    }
+
+    /// The whole series.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total arrivals over the horizon.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_gen() -> DiurnalWorkload {
+        DiurnalWorkload::new(WorkloadConfig::default())
+    }
+
+    #[test]
+    fn trace_length_matches_config() {
+        let g = default_gen();
+        let t = g.trace(0, &SeedSequence::new(1));
+        assert_eq!(t.len(), 160);
+    }
+
+    #[test]
+    fn shape_is_bounded_and_peaks_in_rush() {
+        let g = default_gen();
+        let shapes: Vec<f64> = (0..80).map(|s| g.diurnal_shape(s)).collect();
+        let max = shapes.iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!((max - 1.0).abs() < 1e-9, "shape should peak at 1: {max}");
+        // AM rush (≈8:30 → slot ≈ 14) should beat midnight (last slot).
+        assert!(shapes[14] > 5.0 * shapes[79]);
+        for &s in &shapes {
+            assert!(s >= WorkloadConfig::default().trough_level - 1e-12);
+            assert!(s <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn busier_station_has_larger_totals() {
+        let g = default_gen();
+        let seed = SeedSequence::new(2);
+        let t0 = g.trace(0, &seed).total();
+        let t30 = g.trace(30, &seed).total();
+        assert!(
+            t0 > t30,
+            "rank 0 should be busier than rank 30: {t0} vs {t30}"
+        );
+    }
+
+    #[test]
+    fn second_day_is_busier_in_expectation() {
+        let g = default_gen();
+        let day1: f64 = (0..80).map(|t| g.expected_arrivals(0, t)).sum();
+        let day2: f64 = (80..160).map(|t| g.expected_arrivals(0, t)).sum();
+        assert!(day2 > day1);
+        assert!((day2 / day1 - 1.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_station_specific() {
+        let g = default_gen();
+        let seed = SeedSequence::new(3);
+        assert_eq!(g.trace(4, &seed), g.trace(4, &seed));
+        assert_ne!(g.trace(4, &seed), g.trace(5, &seed));
+    }
+
+    #[test]
+    fn counts_track_expectation() {
+        let g = default_gen();
+        let seed = SeedSequence::new(4);
+        let trace = g.trace(0, &seed);
+        let expected: f64 = (0..160).map(|t| g.expected_arrivals(0, t)).sum();
+        let actual = trace.total() as f64;
+        let rel = (actual - expected).abs() / expected;
+        assert!(rel < 0.02, "total {actual} vs expected {expected}");
+    }
+
+    #[test]
+    fn from_counts_roundtrip() {
+        let t = WorkloadTrace::from_counts(vec![1, 2, 3]);
+        assert_eq!(t.arrivals(1), 2);
+        assert_eq!(t.total(), 6);
+        assert_eq!(t.counts(), &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the simulated inputs: samplers stay in
+//! range, price series respect their bands and the no-intra-slot-
+//! arbitrage invariant, workload traces have the configured length and
+//! positive expectations, and streams index only into their pool.
+
+use cne_simdata::dataset::{GaussianMixtureTask, TaskKind};
+use cne_simdata::prices::PriceModel;
+use cne_simdata::samplers::{normal, poisson, uniform_in};
+use cne_simdata::stream::DataStream;
+use cne_simdata::topology::{Topology, TopologyConfig};
+use cne_simdata::workload::{DiurnalWorkload, WorkloadConfig};
+use cne_util::SeedSequence;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn poisson_in_sane_range(lambda in 0.0..1e5f64, seed in 0u64..500) {
+        let mut rng = SeedSequence::new(seed).rng();
+        let x = poisson(&mut rng, lambda) as f64;
+        // Mean ± 10 standard deviations is a generous envelope.
+        let bound = lambda + 10.0 * lambda.sqrt() + 10.0;
+        prop_assert!(x <= bound, "poisson({lambda}) = {x}");
+    }
+
+    #[test]
+    fn normal_is_finite(mean in -1e6..1e6f64, std in 0.0..1e3f64, seed in 0u64..500) {
+        let mut rng = SeedSequence::new(seed).rng();
+        prop_assert!(normal(&mut rng, mean, std).is_finite());
+    }
+
+    #[test]
+    fn uniform_respects_interval(lo in -100.0..100.0f64, width in 0.0..50.0f64, seed in 0u64..500) {
+        let mut rng = SeedSequence::new(seed).rng();
+        let x = uniform_in(&mut rng, lo, lo + width);
+        prop_assert!((lo..=lo + width).contains(&x));
+    }
+
+    /// Every price model keeps sell ≤ buy (no intra-slot arbitrage) and
+    /// produces the requested horizon.
+    #[test]
+    fn price_series_invariants(
+        horizon in 1usize..400,
+        sell_ratio in 0.1..1.0f64,
+        seed in 0u64..200,
+    ) {
+        let series = PriceModel::default().generate(horizon, sell_ratio, &SeedSequence::new(seed));
+        prop_assert_eq!(series.len(), horizon);
+        for t in 0..horizon {
+            let b = series.buy(t).get();
+            let s = series.sell(t).get();
+            prop_assert!(b.is_finite() && b >= 0.0);
+            prop_assert!(s <= b + 1e-12);
+            prop_assert!((s - sell_ratio * b).abs() < 1e-9);
+        }
+    }
+
+    /// Workload traces: right length, non-negative, and near the
+    /// analytic expectation in aggregate.
+    #[test]
+    fn workload_trace_matches_expectation(rank in 0usize..50, seed in 0u64..100) {
+        let gen = DiurnalWorkload::new(WorkloadConfig::default());
+        let trace = gen.trace(rank, &SeedSequence::new(seed));
+        prop_assert_eq!(trace.len(), 160);
+        let expected: f64 = (0..160).map(|t| gen.expected_arrivals(rank, t)).sum();
+        let actual = trace.total() as f64;
+        prop_assert!(
+            (actual - expected).abs() < 6.0 * expected.sqrt() + 1.0,
+            "total {} vs expected {}", actual, expected
+        );
+    }
+
+    /// Streams only produce indices inside the pool, and a capped slot
+    /// never exceeds its cap or the arrival count.
+    #[test]
+    fn stream_indices_in_pool(
+        pool in 1usize..5000,
+        arrivals in 0u64..100_000,
+        cap in 1usize..500,
+        seed in 0u64..100,
+    ) {
+        let mut s = DataStream::new(pool, SeedSequence::new(seed));
+        let slot = s.draw_slot_capped(arrivals, cap);
+        prop_assert!(slot.len() <= cap);
+        prop_assert!(slot.len() as u64 <= arrivals);
+        prop_assert!(slot.iter().all(|&i| i < pool));
+    }
+
+    /// Topology: delays positive and increasing in distance; factors in
+    /// the configured spread.
+    #[test]
+    fn topology_invariants(edges in 1usize..60, seed in 0u64..100) {
+        let cfg = TopologyConfig::default();
+        let topo = Topology::generate(edges, cfg, &SeedSequence::new(seed));
+        for i in 0..edges {
+            let d = topo.edges()[i].distance_km(&topo.cloud());
+            let delay = topo.download_delay(i).get();
+            prop_assert!((delay - (cfg.base_delay_ms + cfg.delay_ms_per_km * d)).abs() < 1e-9);
+            let f = topo.compute_factor(i);
+            prop_assert!((1.0 - cfg.compute_spread..=1.0 + cfg.compute_spread).contains(&f));
+        }
+    }
+
+    /// Task sampling: labels within range, feature dimension fixed.
+    #[test]
+    fn task_samples_well_formed(seed in 0u64..50) {
+        let task = GaussianMixtureTask::new(TaskKind::CifarLike, SeedSequence::new(seed));
+        let mut rng = SeedSequence::new(seed + 1).rng();
+        for _ in 0..20 {
+            let s = task.sample(&mut rng);
+            prop_assert_eq!(s.features.len(), 32);
+            prop_assert!(s.label < 10);
+            prop_assert!(s.features.iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! One-step-ahead price forecasting (the paper's first future-work
+//! item: "integrating price prediction models could further optimize
+//! trading strategies").
+//!
+//! Algorithm 2 is deliberately prediction-free: its primal step uses
+//! the *last observed* price `c^{t−1}` as the gradient of `f^{t−1}`.
+//! The forecasters here provide a drop-in surrogate `ĉ^t` for that
+//! role:
+//!
+//! * [`EwmaForecaster`] — exponentially weighted moving average;
+//! * [`Ar1Forecaster`] — an AR(1) model `c^t ≈ μ + ϕ(c^{t−1} − μ)`
+//!   fitted online by recursive least squares, which matches the
+//!   mean-reverting structure of the EU ETS band.
+//!
+//! [`PredictivePrimalDual`] wires a forecaster into the primal step;
+//! the dual step is untouched (it uses realized quantities only), so
+//! Theorem 2's fit guarantee is unaffected.
+
+use cne_util::units::Allowances;
+
+use crate::policy::{TradeContext, TradeObservation, TradingPolicy};
+use crate::primal_dual::PrimalDualConfig;
+
+/// A one-step-ahead forecaster of a scalar series.
+pub trait Forecaster {
+    /// Incorporates the value observed at the current step.
+    fn observe(&mut self, value: f64);
+
+    /// Predicts the next step's value; `None` until the forecaster has
+    /// seen enough history.
+    fn predict(&self) -> Option<f64>;
+
+    /// Short display name.
+    fn name(&self) -> &'static str;
+}
+
+/// Exponentially weighted moving average: `ŷ ← α y + (1 − α) ŷ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EwmaForecaster {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+impl EwmaForecaster {
+    /// Creates the forecaster with smoothing factor `alpha ∈ (0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must lie in (0, 1]");
+        Self { alpha, state: None }
+    }
+}
+
+impl Forecaster for EwmaForecaster {
+    fn observe(&mut self, value: f64) {
+        self.state = Some(match self.state {
+            None => value,
+            Some(s) => self.alpha * value + (1.0 - self.alpha) * s,
+        });
+    }
+
+    fn predict(&self) -> Option<f64> {
+        self.state
+    }
+
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+}
+
+/// Online AR(1): `y_t ≈ μ + ϕ (y_{t−1} − μ)`, with `μ` the running mean
+/// and `ϕ` estimated by exponentially discounted least squares on the
+/// centred lag-1 pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ar1Forecaster {
+    /// Forgetting factor for the regression statistics.
+    discount: f64,
+    mean: f64,
+    count: u64,
+    /// Discounted Σ x·y and Σ x² of centred consecutive pairs.
+    sxy: f64,
+    sxx: f64,
+    last: Option<f64>,
+}
+
+impl Ar1Forecaster {
+    /// Creates the forecaster; `discount ∈ (0, 1]` is the forgetting
+    /// factor (1.0 = ordinary least squares over all history).
+    ///
+    /// # Panics
+    /// Panics if `discount` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(discount: f64) -> Self {
+        assert!(
+            discount > 0.0 && discount <= 1.0,
+            "discount must lie in (0, 1]"
+        );
+        Self {
+            discount,
+            mean: 0.0,
+            count: 0,
+            sxy: 0.0,
+            sxx: 0.0,
+            last: None,
+        }
+    }
+
+    /// The current autoregression coefficient estimate `ϕ` (0 until at
+    /// least two observations arrive).
+    #[must_use]
+    pub fn phi(&self) -> f64 {
+        if self.sxx > 1e-12 {
+            (self.sxy / self.sxx).clamp(-1.0, 1.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Forecaster for Ar1Forecaster {
+    fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.mean += (value - self.mean) / self.count as f64;
+        if let Some(prev) = self.last {
+            let x = prev - self.mean;
+            let y = value - self.mean;
+            self.sxy = self.discount * self.sxy + x * y;
+            self.sxx = self.discount * self.sxx + x * x;
+        }
+        self.last = Some(value);
+    }
+
+    fn predict(&self) -> Option<f64> {
+        self.last
+            .map(|prev| self.mean + self.phi() * (prev - self.mean))
+    }
+
+    fn name(&self) -> &'static str {
+        "ar1"
+    }
+}
+
+/// Algorithm 2 with a forecasted price in the primal step.
+///
+/// The primal update replaces `∇f^{t−1} = (c^{t−1}, −r^{t−1})` with the
+/// forecast `(ĉ^t, −r̂^t)`; until the forecasters have history it falls
+/// back to the last observed prices, i.e. behaves exactly like
+/// [`crate::PrimalDual`].
+#[derive(Debug, Clone)]
+pub struct PredictivePrimalDual<F> {
+    config: PrimalDualConfig,
+    buy_forecaster: F,
+    sell_forecaster: F,
+    z_prev: f64,
+    w_prev: f64,
+    lambda: f64,
+}
+
+impl<F: Forecaster> PredictivePrimalDual<F> {
+    /// Creates the policy with a forecaster per price leg.
+    #[must_use]
+    pub fn new(config: PrimalDualConfig, buy_forecaster: F, sell_forecaster: F) -> Self {
+        Self {
+            config,
+            buy_forecaster,
+            sell_forecaster,
+            z_prev: 0.0,
+            w_prev: 0.0,
+            lambda: 0.0,
+        }
+    }
+
+    /// The current dual variable.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl<F: Forecaster> TradingPolicy for PredictivePrimalDual<F> {
+    fn decide(&mut self, _t: usize, ctx: &TradeContext) -> (Allowances, Allowances) {
+        let (z, w) = match (
+            self.buy_forecaster.predict(),
+            self.sell_forecaster.predict(),
+        ) {
+            (Some(c_hat), Some(r_hat)) => {
+                let z = (self.z_prev - self.config.gamma2 * (c_hat - self.lambda))
+                    .clamp(0.0, ctx.bounds.max_buy.get());
+                let w = (self.w_prev - self.config.gamma2 * (self.lambda - r_hat))
+                    .clamp(0.0, ctx.bounds.max_sell.get());
+                (z, w)
+            }
+            _ => (self.z_prev, self.w_prev),
+        };
+        self.z_prev = z;
+        self.w_prev = w;
+        (Allowances::new(z), Allowances::new(w))
+    }
+
+    fn observe(&mut self, _t: usize, obs: &TradeObservation) {
+        self.lambda = (self.lambda + self.config.gamma1 * obs.constraint_value()).max(0.0);
+        self.buy_forecaster.observe(obs.buy_price.get());
+        self.sell_forecaster.observe(obs.sell_price.get());
+    }
+
+    fn name(&self) -> &'static str {
+        "predictive-pd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cne_market::TradeBounds;
+    use cne_util::units::PricePerAllowance;
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let mut f = EwmaForecaster::new(0.3);
+        assert_eq!(f.predict(), None);
+        for _ in 0..100 {
+            f.observe(7.0);
+        }
+        assert!((f.predict().expect("warm") - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_tracks_level_shift() {
+        let mut f = EwmaForecaster::new(0.5);
+        for _ in 0..20 {
+            f.observe(5.0);
+        }
+        for _ in 0..20 {
+            f.observe(10.0);
+        }
+        assert!((f.predict().expect("warm") - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn ar1_recovers_coefficient() {
+        // Simulate y_t = μ + 0.8 (y_{t−1} − μ) + ε with persistent
+        // excitation from the noise term.
+        let mut rng = cne_util::SeedSequence::new(5).rng();
+        use rand::Rng;
+        let mut f = Ar1Forecaster::new(1.0);
+        let mu = 8.0;
+        let mut y = 10.0;
+        for _ in 0..5000 {
+            f.observe(y);
+            y = mu + 0.8 * (y - mu) + rng.gen_range(-0.3..0.3);
+        }
+        assert!((f.phi() - 0.8).abs() < 0.1, "phi estimate off: {}", f.phi());
+    }
+
+    #[test]
+    fn ar1_prediction_moves_toward_mean() {
+        let mut f = Ar1Forecaster::new(1.0);
+        // Alternating decaying series around 8.
+        let series = [10.0, 8.4, 9.0, 8.2, 8.6, 8.1, 8.4, 8.05, 8.2, 8.02];
+        for &v in &series {
+            f.observe(v);
+        }
+        let pred = f.predict().expect("warm");
+        assert!(pred.is_finite());
+        // Prediction lies between the last value and the running mean
+        // when ϕ ∈ [0, 1].
+        if f.phi() >= 0.0 {
+            let last: f64 = 8.02;
+            let lo = last.min(f.mean) - 1e-9;
+            let hi = last.max(f.mean) + 1e-9;
+            assert!(
+                (lo..=hi).contains(&pred),
+                "pred {pred} outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn predictive_pd_respects_bounds_and_duals() {
+        let cfg = PrimalDualConfig::new(0.5, 0.5);
+        let mut alg =
+            PredictivePrimalDual::new(cfg, EwmaForecaster::new(0.4), EwmaForecaster::new(0.4));
+        let bounds = TradeBounds::new(Allowances::new(10.0), Allowances::new(5.0));
+        for t in 0..50 {
+            let price = 8.0 + (t as f64 * 0.7).sin();
+            let ctx = TradeContext {
+                buy_price: PricePerAllowance::new(price),
+                sell_price: PricePerAllowance::new(0.9 * price),
+                cap_share: 3.0,
+                bounds,
+            };
+            let (z, w) = alg.decide(t, &ctx);
+            assert!((0.0..=10.0).contains(&z.get()));
+            assert!((0.0..=5.0).contains(&w.get()));
+            alg.observe(
+                t,
+                &TradeObservation {
+                    emissions: 5.0,
+                    bought: z,
+                    sold: w,
+                    buy_price: ctx.buy_price,
+                    sell_price: ctx.sell_price,
+                    cap_share: 3.0,
+                },
+            );
+            assert!(alg.lambda() >= 0.0);
+        }
+        // Under a persistent deficit the policy ends up buying.
+        let ctx = TradeContext {
+            buy_price: PricePerAllowance::new(8.0),
+            sell_price: PricePerAllowance::new(7.2),
+            cap_share: 3.0,
+            bounds,
+        };
+        let (z, _) = alg.decide(50, &ctx);
+        assert!(z.get() > 0.0, "deficit should force purchases");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_validates_alpha() {
+        let _ = EwmaForecaster::new(0.0);
+    }
+}

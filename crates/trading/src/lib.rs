@@ -1,0 +1,68 @@
+//! Carbon-allowance trading policies: the paper's online primal–dual
+//! Algorithm 2, the baselines it is compared against, and the exact
+//! offline optimum.
+//!
+//! The subproblem `P2` decides, per slot, how many allowances to buy
+//! (`z^t`) and sell (`w^t`) to minimize `Σ_t (z^t c^t − w^t r^t)`
+//! subject to the long-term neutrality constraint
+//! `Σ_t g^t ≤ 0` with `g^t = e^t − R/T − z^t + w^t` (`e^t` = slot
+//! emissions in allowance units).
+//!
+//! Modules:
+//!
+//! * [`policy`] — the [`TradingPolicy`] trait and its decision context;
+//! * [`primal_dual`] — Algorithm 2: rectified online primal–dual steps
+//!   with closed-form box projections;
+//! * [`lyapunov`] — drift-plus-penalty virtual-queue baseline (refs
+//!   \[22\]–\[24\]);
+//! * [`threshold`] — static price-threshold baseline;
+//! * [`random`] — random trading baseline;
+//! * [`offline`] — exact offline optimum via a parametric greedy
+//!   (cross-checked against the dense simplex in [`lp`]);
+//! * [`forecast`] — the paper's future-work extension: one-step price
+//!   forecasters (EWMA, online AR(1)) and a predictive variant of
+//!   Algorithm 2;
+//! * [`lp`] — a small two-phase dense simplex solver (the "Gurobi"
+//!   stand-in for the offline benchmark).
+//!
+//! # Examples
+//!
+//! ```
+//! use cne_trading::{PrimalDual, PrimalDualConfig, TradingPolicy};
+//! use cne_trading::policy::{TradeContext, TradeObservation};
+//! use cne_market::TradeBounds;
+//! use cne_util::units::{Allowances, PricePerAllowance};
+//!
+//! let bounds = TradeBounds::new(Allowances::new(10.0), Allowances::new(10.0));
+//! let mut alg = PrimalDual::new(PrimalDualConfig::theorem2(160, 8.0, 5.0));
+//! let ctx = TradeContext {
+//!     buy_price: PricePerAllowance::new(8.0),
+//!     sell_price: PricePerAllowance::new(7.2),
+//!     cap_share: 3.0,
+//!     bounds,
+//! };
+//! let (z, w) = alg.decide(0, &ctx);
+//! assert!(z.get() >= 0.0 && w.get() >= 0.0);
+//! alg.observe(0, &TradeObservation { emissions: 4.0, bought: z, sold: w,
+//!     buy_price: ctx.buy_price, sell_price: ctx.sell_price, cap_share: 3.0 });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod forecast;
+pub mod lp;
+pub mod lyapunov;
+pub mod offline;
+pub mod policy;
+pub mod primal_dual;
+pub mod random;
+pub mod threshold;
+
+pub use forecast::{Ar1Forecaster, EwmaForecaster, Forecaster, PredictivePrimalDual};
+pub use lyapunov::{Lyapunov, LyapunovConfig};
+pub use offline::{offline_optimal_trades, OfflinePlan};
+pub use policy::{TradeContext, TradeObservation, TradingPolicy};
+pub use primal_dual::{PrimalDual, PrimalDualConfig};
+pub use random::RandomTrader;
+pub use threshold::{Threshold, ThresholdConfig};

@@ -1,0 +1,410 @@
+//! A small dense two-phase simplex solver.
+//!
+//! The paper solves the offline trading benchmark with Gurobi; this
+//! module is the stand-in. It is a textbook primal simplex on the full
+//! tableau with Bland's anti-cycling rule — entirely adequate for the
+//! few-hundred-variable LPs the offline benchmark produces, and exact
+//! up to floating-point tolerance.
+//!
+//! # Examples
+//!
+//! ```
+//! use cne_trading::lp::{ConstraintOp, LinearProgram};
+//!
+//! // min -x - 2y  s.t.  x + y ≤ 4, x ≤ 3, y ≤ 2, x,y ≥ 0 → (2, 2).
+//! let mut lp = LinearProgram::new(vec![-1.0, -2.0]);
+//! lp.add_constraint(vec![1.0, 1.0], ConstraintOp::Le, 4.0);
+//! lp.add_constraint(vec![1.0, 0.0], ConstraintOp::Le, 3.0);
+//! lp.add_constraint(vec![0.0, 1.0], ConstraintOp::Le, 2.0);
+//! let sol = lp.solve().unwrap();
+//! assert!((sol.objective - (-6.0)).abs() < 1e-9);
+//! ```
+
+use std::fmt;
+
+/// Relation of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x ≥ b`
+    Ge,
+    /// `a·x = b`
+    Eq,
+}
+
+/// Errors from [`LinearProgram::solve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below on the feasible set.
+    Unbounded,
+    /// The iteration limit was exceeded (numerical trouble).
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => f.write_str("linear program is infeasible"),
+            LpError::Unbounded => f.write_str("linear program is unbounded"),
+            LpError::IterationLimit => f.write_str("simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal values of the structural variables.
+    pub x: Vec<f64>,
+    /// Optimal objective value.
+    pub objective: f64,
+}
+
+/// A linear program `min c·x` s.t. linear constraints and `x ≥ 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    rows: Vec<(Vec<f64>, ConstraintOp, f64)>,
+}
+
+impl LinearProgram {
+    /// Starts a program with the given minimization objective.
+    ///
+    /// # Panics
+    /// Panics if the objective is empty or non-finite.
+    #[must_use]
+    pub fn new(objective: Vec<f64>) -> Self {
+        assert!(!objective.is_empty(), "objective must not be empty");
+        assert!(
+            objective.iter().all(|c| c.is_finite()),
+            "objective must be finite"
+        );
+        Self {
+            objective,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of structural variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Adds a constraint `coeffs · x (op) rhs`.
+    ///
+    /// # Panics
+    /// Panics if `coeffs.len() != num_vars()` or any value is non-finite.
+    pub fn add_constraint(&mut self, coeffs: Vec<f64>, op: ConstraintOp, rhs: f64) {
+        assert_eq!(coeffs.len(), self.num_vars(), "coefficient length mismatch");
+        assert!(
+            coeffs.iter().all(|c| c.is_finite()) && rhs.is_finite(),
+            "constraint must be finite"
+        );
+        self.rows.push((coeffs, op, rhs));
+    }
+
+    /// Solves the program with the two-phase primal simplex.
+    ///
+    /// # Errors
+    /// Returns [`LpError::Infeasible`], [`LpError::Unbounded`], or
+    /// [`LpError::IterationLimit`].
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        Tableau::build(self).solve()
+    }
+}
+
+const EPS: f64 = 1e-9;
+
+/// Dense simplex tableau in standard form `Ax = b, x ≥ 0, b ≥ 0`.
+struct Tableau {
+    /// `m × (n + 1)` matrix; last column is the RHS.
+    a: Vec<Vec<f64>>,
+    /// Original objective padded to `n` entries.
+    cost: Vec<f64>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    /// Number of structural variables in the original program.
+    structural: usize,
+    /// First artificial-variable column (artificials occupy
+    /// `artificial_start..n`).
+    artificial_start: usize,
+    n: usize,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Self {
+        let m = lp.rows.len();
+        let structural = lp.num_vars();
+        // Count slack/surplus columns.
+        let slacks = lp
+            .rows
+            .iter()
+            .filter(|(_, op, _)| *op != ConstraintOp::Eq)
+            .count();
+        let n = structural + slacks + m; // worst case: artificial per row
+        let artificial_start = structural + slacks;
+
+        let mut a = vec![vec![0.0; n + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut slack_col = structural;
+        for (i, (coeffs, op, rhs)) in lp.rows.iter().enumerate() {
+            let flip = *rhs < 0.0;
+            let sgn = if flip { -1.0 } else { 1.0 };
+            for (j, &c) in coeffs.iter().enumerate() {
+                a[i][j] = sgn * c;
+            }
+            a[i][n] = sgn * rhs;
+            let eff_op = match (op, flip) {
+                (ConstraintOp::Le, false) | (ConstraintOp::Ge, true) => ConstraintOp::Le,
+                (ConstraintOp::Ge, false) | (ConstraintOp::Le, true) => ConstraintOp::Ge,
+                (ConstraintOp::Eq, _) => ConstraintOp::Eq,
+            };
+            match eff_op {
+                ConstraintOp::Le => {
+                    a[i][slack_col] = 1.0;
+                    basis[i] = slack_col;
+                    slack_col += 1;
+                }
+                ConstraintOp::Ge => {
+                    a[i][slack_col] = -1.0;
+                    slack_col += 1;
+                    let art = artificial_start + i;
+                    a[i][art] = 1.0;
+                    basis[i] = art;
+                }
+                ConstraintOp::Eq => {
+                    let art = artificial_start + i;
+                    a[i][art] = 1.0;
+                    basis[i] = art;
+                }
+            }
+        }
+        let mut cost = vec![0.0; n];
+        cost[..structural].copy_from_slice(&lp.objective);
+        Tableau {
+            a,
+            cost,
+            basis,
+            structural,
+            artificial_start,
+            n,
+        }
+    }
+
+    fn solve(mut self) -> Result<LpSolution, LpError> {
+        let m = self.a.len();
+        // Phase 1: minimize the sum of artificials, if any are basic.
+        let has_artificial = self.basis.iter().any(|&b| b >= self.artificial_start);
+        if has_artificial {
+            let phase1_cost: Vec<f64> = (0..self.n)
+                .map(|j| if j >= self.artificial_start { 1.0 } else { 0.0 })
+                .collect();
+            let obj = self.run_simplex(&phase1_cost, true)?;
+            if obj > 1e-7 {
+                return Err(LpError::Infeasible);
+            }
+            // Pivot any residual artificial out of the basis.
+            for i in 0..m {
+                if self.basis[i] >= self.artificial_start {
+                    if let Some(j) = (0..self.artificial_start).find(|&j| self.a[i][j].abs() > EPS)
+                    {
+                        self.pivot(i, j);
+                    }
+                    // Otherwise the row is all-zero (redundant) — leave it.
+                }
+            }
+        }
+        // Phase 2 on the true objective, artificials barred.
+        let cost = self.cost.clone();
+        let objective = self.run_simplex(&cost, false)?;
+        let mut x = vec![0.0; self.structural];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < self.structural {
+                x[b] = self.a[i][self.n];
+            }
+        }
+        Ok(LpSolution { x, objective })
+    }
+
+    /// Runs the simplex on the given cost vector; returns the optimal
+    /// objective. `allow_artificials` permits artificial columns to
+    /// enter (phase 1 only — they never improve, but keeps indexing
+    /// simple).
+    fn run_simplex(&mut self, cost: &[f64], allow_artificials: bool) -> Result<f64, LpError> {
+        let m = self.a.len();
+        let n = self.n;
+        let max_iters = 50 * (m + n).max(100);
+        for _ in 0..max_iters {
+            // Reduced costs: r_j = c_j − c_B · B⁻¹ A_j (computed from the
+            // current tableau as c_j − Σ_i c_{basis[i]} a[i][j]).
+            let mut entering = None;
+            for j in 0..n {
+                if !allow_artificials && j >= self.artificial_start {
+                    continue;
+                }
+                if self.basis.contains(&j) {
+                    continue;
+                }
+                let mut r = cost[j];
+                for i in 0..m {
+                    r -= cost[self.basis[i]] * self.a[i][j];
+                }
+                if r < -EPS {
+                    entering = Some(j); // Bland: first improving column
+                    break;
+                }
+            }
+            let Some(j) = entering else {
+                // Optimal: compute objective.
+                let mut obj = 0.0;
+                for i in 0..m {
+                    obj += cost[self.basis[i]] * self.a[i][n];
+                }
+                return Ok(obj);
+            };
+            // Ratio test (Bland: smallest basis index on ties).
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for i in 0..m {
+                if self.a[i][j] > EPS {
+                    let ratio = self.a[i][n] / self.a[i][j];
+                    if ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave.is_some_and(|l| self.basis[i] < self.basis[l]))
+                    {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(i) = leave else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(i, j);
+        }
+        Err(LpError::IterationLimit)
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let m = self.a.len();
+        let piv = self.a[row][col];
+        debug_assert!(piv.abs() > EPS, "pivot on a zero element");
+        for v in &mut self.a[row] {
+            *v /= piv;
+        }
+        for i in 0..m {
+            if i == row {
+                continue;
+            }
+            let factor = self.a[i][col];
+            if factor.abs() <= EPS {
+                continue;
+            }
+            for j in 0..=self.n {
+                let delta = factor * self.a[row][j];
+                self.a[i][j] -= delta;
+            }
+        }
+        self.basis[row] = col;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_maximization_via_negation() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), 36.
+        let mut lp = LinearProgram::new(vec![-3.0, -5.0]);
+        lp.add_constraint(vec![1.0, 0.0], ConstraintOp::Le, 4.0);
+        lp.add_constraint(vec![0.0, 2.0], ConstraintOp::Le, 12.0);
+        lp.add_constraint(vec![3.0, 2.0], ConstraintOp::Le, 18.0);
+        let sol = lp.solve().expect("solvable");
+        assert!((sol.objective + 36.0).abs() < 1e-8);
+        assert!((sol.x[0] - 2.0).abs() < 1e-8);
+        assert!((sol.x[1] - 6.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ge_constraints_need_phase1() {
+        // min x + y s.t. x + y ≥ 3, x ≥ 1 → objective 3.
+        let mut lp = LinearProgram::new(vec![1.0, 1.0]);
+        lp.add_constraint(vec![1.0, 1.0], ConstraintOp::Ge, 3.0);
+        lp.add_constraint(vec![1.0, 0.0], ConstraintOp::Ge, 1.0);
+        let sol = lp.solve().expect("solvable");
+        assert!((sol.objective - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min 2x + 3y s.t. x + y = 10, x − y = 2 → x=6, y=4, obj 24.
+        let mut lp = LinearProgram::new(vec![2.0, 3.0]);
+        lp.add_constraint(vec![1.0, 1.0], ConstraintOp::Eq, 10.0);
+        lp.add_constraint(vec![1.0, -1.0], ConstraintOp::Eq, 2.0);
+        let sol = lp.solve().expect("solvable");
+        assert!((sol.x[0] - 6.0).abs() < 1e-8);
+        assert!((sol.x[1] - 4.0).abs() < 1e-8);
+        assert!((sol.objective - 24.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut lp = LinearProgram::new(vec![1.0]);
+        lp.add_constraint(vec![1.0], ConstraintOp::Le, 1.0);
+        lp.add_constraint(vec![1.0], ConstraintOp::Ge, 2.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        let mut lp = LinearProgram::new(vec![-1.0, 0.0]);
+        lp.add_constraint(vec![0.0, 1.0], ConstraintOp::Le, 1.0);
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // min x s.t. −x ≤ −2  (i.e. x ≥ 2) → 2.
+        let mut lp = LinearProgram::new(vec![1.0]);
+        lp.add_constraint(vec![-1.0], ConstraintOp::Le, -2.0);
+        let sol = lp.solve().expect("solvable");
+        assert!((sol.objective - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // A classic degenerate instance; Bland's rule must terminate.
+        let mut lp = LinearProgram::new(vec![-0.75, 150.0, -0.02, 6.0]);
+        lp.add_constraint(vec![0.25, -60.0, -0.04, 9.0], ConstraintOp::Le, 0.0);
+        lp.add_constraint(vec![0.5, -90.0, -0.02, 3.0], ConstraintOp::Le, 0.0);
+        lp.add_constraint(vec![0.0, 0.0, 1.0, 0.0], ConstraintOp::Le, 1.0);
+        let sol = lp.solve().expect("solvable");
+        assert!((sol.objective + 0.05).abs() < 1e-6, "obj {}", sol.objective);
+    }
+
+    #[test]
+    fn trading_shaped_lp() {
+        // min 8 z1 + 6 z2 − 7.2 w1 − 5.4 w2
+        // s.t. z1 + z2 − w1 − w2 ≥ 3; z ≤ 4; w ≤ 4.
+        // Greedy view: start from w = (4, 4) (net −8, needs +11), then
+        // take net-raising actions by marginal cost: unsell w2 at 5.4
+        // (4), buy z2 at 6 (4), unsell w1 at 7.2 (3 of 4). Optimal plan
+        // z = (0, 4), w = (1, 0), objective 24 − 7.2 = 16.8.
+        let mut lp = LinearProgram::new(vec![8.0, 6.0, -7.2, -5.4]);
+        lp.add_constraint(vec![1.0, 1.0, -1.0, -1.0], ConstraintOp::Ge, 3.0);
+        for j in 0..4 {
+            let mut row = vec![0.0; 4];
+            row[j] = 1.0;
+            lp.add_constraint(row, ConstraintOp::Le, 4.0);
+        }
+        let sol = lp.solve().expect("solvable");
+        assert!((sol.objective - 16.8).abs() < 1e-8, "obj {}", sol.objective);
+    }
+}

@@ -1,0 +1,189 @@
+//! Lyapunov drift-plus-penalty baseline (paper refs \[22\]–\[24\]).
+//!
+//! Maintains a virtual queue `Q^t` of accumulated constraint violation
+//! and greedily minimizes the per-slot drift-plus-penalty
+//!
+//! ```text
+//! V · f^t(Z) + Q^t · g^t(Z)
+//! ```
+//!
+//! over the trade box. With `f` and `g` linear in `(z, w)`, the
+//! minimizer is bang-bang:
+//!
+//! * buy `Z_max` iff `V c^t < Q^t` (queue pressure exceeds the
+//!   weighted price), else 0;
+//! * sell `W_max` iff `V r^t > Q^t` (revenue beats queue pressure),
+//!   else 0.
+//!
+//! The queue then absorbs the realized constraint:
+//! `Q^{t+1} = [Q^t + g^t(Z̄^t)]⁺`.
+
+use cne_util::units::Allowances;
+
+use crate::policy::{TradeContext, TradeObservation, TradingPolicy};
+
+/// Lyapunov baseline configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LyapunovConfig {
+    /// The penalty weight `V` trading off cost against queue drift.
+    pub v: f64,
+    /// Initial virtual-queue backlog.
+    pub initial_queue: f64,
+}
+
+impl LyapunovConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    /// Panics if `v` is not positive or `initial_queue` is negative.
+    #[must_use]
+    pub fn new(v: f64, initial_queue: f64) -> Self {
+        assert!(v > 0.0 && v.is_finite(), "V must be positive");
+        assert!(
+            initial_queue >= 0.0 && initial_queue.is_finite(),
+            "initial queue must be non-negative"
+        );
+        Self { v, initial_queue }
+    }
+}
+
+impl Default for LyapunovConfig {
+    /// `V = 1` with a small priming backlog so the policy starts
+    /// covering emissions immediately.
+    fn default() -> Self {
+        Self {
+            v: 1.0,
+            initial_queue: 0.0,
+        }
+    }
+}
+
+/// The drift-plus-penalty trader.
+#[derive(Debug, Clone)]
+pub struct Lyapunov {
+    config: LyapunovConfig,
+    queue: f64,
+}
+
+impl Lyapunov {
+    /// Creates the trader.
+    #[must_use]
+    pub fn new(config: LyapunovConfig) -> Self {
+        Self {
+            config,
+            queue: config.initial_queue,
+        }
+    }
+
+    /// Current virtual-queue backlog `Q^t`.
+    #[must_use]
+    pub fn queue(&self) -> f64 {
+        self.queue
+    }
+}
+
+impl TradingPolicy for Lyapunov {
+    fn decide(&mut self, _t: usize, ctx: &TradeContext) -> (Allowances, Allowances) {
+        let v = self.config.v;
+        let z = if v * ctx.buy_price.get() < self.queue {
+            ctx.bounds.max_buy
+        } else {
+            Allowances::ZERO
+        };
+        let w = if v * ctx.sell_price.get() > self.queue {
+            ctx.bounds.max_sell
+        } else {
+            Allowances::ZERO
+        };
+        (z, w)
+    }
+
+    fn observe(&mut self, _t: usize, obs: &TradeObservation) {
+        self.queue = (self.queue + obs.constraint_value()).max(0.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "lyapunov"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cne_market::TradeBounds;
+    use cne_util::units::PricePerAllowance;
+
+    fn ctx(c: f64, r: f64) -> TradeContext {
+        TradeContext {
+            buy_price: PricePerAllowance::new(c),
+            sell_price: PricePerAllowance::new(r),
+            cap_share: 3.0,
+            bounds: TradeBounds::new(Allowances::new(5.0), Allowances::new(5.0)),
+        }
+    }
+
+    fn observe_slot(alg: &mut Lyapunov, t: usize, z: f64, w: f64, e: f64) {
+        alg.observe(
+            t,
+            &TradeObservation {
+                emissions: e,
+                bought: Allowances::new(z),
+                sold: Allowances::new(w),
+                buy_price: PricePerAllowance::new(8.0),
+                sell_price: PricePerAllowance::new(7.2),
+                cap_share: 3.0,
+            },
+        );
+    }
+
+    #[test]
+    fn empty_queue_sells() {
+        let mut alg = Lyapunov::new(LyapunovConfig::default());
+        let (z, w) = alg.decide(0, &ctx(8.0, 7.2));
+        assert_eq!(z.get(), 0.0);
+        assert_eq!(w.get(), 5.0, "with Q=0 selling is pure profit");
+    }
+
+    #[test]
+    fn queue_pressure_triggers_buying() {
+        let mut alg = Lyapunov::new(LyapunovConfig::new(1.0, 0.0));
+        // Accumulate violation until Q > V·c = 8.
+        for t in 0..3 {
+            observe_slot(&mut alg, t, 0.0, 0.0, 6.5); // g = 3.5 each
+        }
+        assert!(alg.queue() > 8.0);
+        let (z, w) = alg.decide(3, &ctx(8.0, 7.2));
+        assert_eq!(z.get(), 5.0);
+        assert_eq!(w.get(), 0.0);
+    }
+
+    #[test]
+    fn queue_is_positive_part_recursion() {
+        let mut alg = Lyapunov::new(LyapunovConfig::new(1.0, 1.0));
+        observe_slot(&mut alg, 0, 5.0, 0.0, 3.0); // g = 3−3−5 = −5
+        assert_eq!(alg.queue(), 0.0, "queue must not go negative");
+    }
+
+    #[test]
+    fn long_run_covers_deficit_roughly() {
+        let mut alg = Lyapunov::new(LyapunovConfig::new(1.0, 0.0));
+        let mut net = 0.0;
+        let horizon = 500;
+        for t in 0..horizon {
+            let (z, w) = alg.decide(t, &ctx(8.0, 7.2));
+            net += z.get() - w.get();
+            observe_slot(&mut alg, t, z.get(), w.get(), 5.0); // deficit 2/slot
+        }
+        let deficit = 2.0 * horizon as f64;
+        assert!(
+            net > 0.5 * deficit && net < 1.5 * deficit,
+            "net {net} vs deficit {deficit}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "V must be positive")]
+    fn zero_v_rejected() {
+        let _ = LyapunovConfig::new(0.0, 0.0);
+    }
+}

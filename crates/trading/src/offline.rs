@@ -1,0 +1,300 @@
+//! The exact offline trading optimum (the "Offline" benchmark).
+//!
+//! Given the full price series and total emissions, the offline problem
+//! is the LP
+//!
+//! ```text
+//! min  Σ_t (c_t z_t − r_t w_t)
+//! s.t. Σ_t (z_t − w_t) ≥ D        (D = total emissions − R, may be < 0)
+//!      0 ≤ z_t ≤ Z_max,  0 ≤ w_t ≤ W_max
+//! ```
+//!
+//! Its structure (one coupling constraint + box bounds) admits an exact
+//! greedy: start from the revenue-maximal base plan "sell `W_max`
+//! whenever `r_t > 0`", then raise the net position to `D` by consuming
+//! the cheapest *net-increasing actions* first — buying a unit at slot
+//! `t` (marginal cost `c_t`) or un-selling a unit at slot `t` (marginal
+//! cost `r_t`, the forgone revenue). This is a fractional-knapsack
+//! argument; [`offline_optimal_trades`] implements it and the tests
+//! cross-check it against the dense simplex of [`crate::lp`].
+
+use crate::lp::{ConstraintOp, LinearProgram};
+
+/// The offline optimal plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OfflinePlan {
+    /// Optimal purchases `z_t` (allowances).
+    pub buys: Vec<f64>,
+    /// Optimal sales `w_t` (allowances).
+    pub sells: Vec<f64>,
+    /// Optimal trading cost `Σ (c_t z_t − r_t w_t)` (cents; negative
+    /// means the provider profits).
+    pub cost: f64,
+}
+
+impl OfflinePlan {
+    /// Net allowances acquired `Σ (z_t − w_t)`.
+    #[must_use]
+    pub fn net(&self) -> f64 {
+        self.buys.iter().sum::<f64>() - self.sells.iter().sum::<f64>()
+    }
+}
+
+/// Errors from the offline solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OfflineError {
+    /// The deficit exceeds the total purchasable volume `T · Z_max`.
+    Infeasible,
+}
+
+impl std::fmt::Display for OfflineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("deficit exceeds the total purchasable volume")
+    }
+}
+
+impl std::error::Error for OfflineError {}
+
+/// Solves the offline trading LP exactly by the parametric greedy.
+///
+/// * `buy_prices` / `sell_prices` — the full series `c_t`, `r_t`;
+/// * `deficit` — `D = total emissions − R` in allowances (negative when
+///   the cap exceeds emissions);
+/// * `max_buy` / `max_sell` — per-slot bounds.
+///
+/// # Errors
+/// Returns [`OfflineError::Infeasible`] when `D > T · max_buy`.
+///
+/// # Panics
+/// Panics if the series lengths differ, are empty, or contain negative
+/// or non-finite prices.
+pub fn offline_optimal_trades(
+    buy_prices: &[f64],
+    sell_prices: &[f64],
+    deficit: f64,
+    max_buy: f64,
+    max_sell: f64,
+) -> Result<OfflinePlan, OfflineError> {
+    assert_eq!(
+        buy_prices.len(),
+        sell_prices.len(),
+        "price series length mismatch"
+    );
+    assert!(!buy_prices.is_empty(), "empty price series");
+    assert!(
+        buy_prices
+            .iter()
+            .chain(sell_prices)
+            .all(|p| p.is_finite() && *p >= 0.0),
+        "prices must be finite and non-negative"
+    );
+    assert!(
+        max_buy >= 0.0 && max_sell >= 0.0 && deficit.is_finite(),
+        "bounds must be non-negative"
+    );
+    let t_len = buy_prices.len();
+    if deficit > t_len as f64 * max_buy + 1e-9 {
+        return Err(OfflineError::Infeasible);
+    }
+
+    // Base plan: buy nothing, sell the maximum wherever revenue is
+    // positive (selling at price 0 is a wash; skip it).
+    let mut buys = vec![0.0; t_len];
+    let mut sells: Vec<f64> = sell_prices
+        .iter()
+        .map(|&r| if r > 0.0 { max_sell } else { 0.0 })
+        .collect();
+    let base_net: f64 = -sells.iter().sum::<f64>();
+    let mut needed = deficit - base_net;
+    if needed <= 0.0 {
+        let cost = plan_cost(buy_prices, sell_prices, &buys, &sells);
+        return Ok(OfflinePlan { buys, sells, cost });
+    }
+
+    // Net-increasing actions sorted by marginal cost.
+    #[derive(Clone, Copy)]
+    enum Action {
+        Buy(usize),
+        Unsell(usize),
+    }
+    let mut actions: Vec<(f64, Action)> = Vec::with_capacity(2 * t_len);
+    for t in 0..t_len {
+        if max_buy > 0.0 {
+            actions.push((buy_prices[t], Action::Buy(t)));
+        }
+        if sells[t] > 0.0 {
+            actions.push((sell_prices[t], Action::Unsell(t)));
+        }
+    }
+    actions.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite prices"));
+
+    for (_, action) in actions {
+        if needed <= 1e-12 {
+            break;
+        }
+        match action {
+            Action::Buy(t) => {
+                let take = needed.min(max_buy - buys[t]);
+                buys[t] += take;
+                needed -= take;
+            }
+            Action::Unsell(t) => {
+                let take = needed.min(sells[t]);
+                sells[t] -= take;
+                needed -= take;
+            }
+        }
+    }
+    debug_assert!(needed <= 1e-6, "greedy failed to reach the deficit");
+    let cost = plan_cost(buy_prices, sell_prices, &buys, &sells);
+    Ok(OfflinePlan { buys, sells, cost })
+}
+
+fn plan_cost(buy_prices: &[f64], sell_prices: &[f64], buys: &[f64], sells: &[f64]) -> f64 {
+    let mut cost = 0.0;
+    for t in 0..buys.len() {
+        cost += buy_prices[t] * buys[t] - sell_prices[t] * sells[t];
+    }
+    cost
+}
+
+/// Solves the same LP with the dense simplex (reference implementation
+/// used by tests and the `offline_lp` benchmark to validate the greedy).
+///
+/// # Errors
+/// Returns [`OfflineError::Infeasible`] when the LP has no feasible
+/// point.
+///
+/// # Panics
+/// Panics on inconsistent inputs (see [`offline_optimal_trades`]) or if
+/// the simplex fails numerically.
+pub fn offline_optimal_trades_lp(
+    buy_prices: &[f64],
+    sell_prices: &[f64],
+    deficit: f64,
+    max_buy: f64,
+    max_sell: f64,
+) -> Result<OfflinePlan, OfflineError> {
+    assert_eq!(buy_prices.len(), sell_prices.len(), "length mismatch");
+    let t_len = buy_prices.len();
+    // Variables: z_0..z_{T−1}, w_0..w_{T−1}.
+    let mut objective = Vec::with_capacity(2 * t_len);
+    objective.extend_from_slice(buy_prices);
+    objective.extend(sell_prices.iter().map(|&r| -r));
+    let mut lp = LinearProgram::new(objective);
+    let mut coupling = vec![1.0; t_len];
+    coupling.extend(std::iter::repeat_n(-1.0, t_len));
+    lp.add_constraint(coupling, ConstraintOp::Ge, deficit);
+    for j in 0..2 * t_len {
+        let mut row = vec![0.0; 2 * t_len];
+        row[j] = 1.0;
+        let bound = if j < t_len { max_buy } else { max_sell };
+        lp.add_constraint(row, ConstraintOp::Le, bound);
+    }
+    match lp.solve() {
+        Ok(sol) => Ok(OfflinePlan {
+            buys: sol.x[..t_len].to_vec(),
+            sells: sol.x[t_len..].to_vec(),
+            cost: sol.objective,
+        }),
+        Err(crate::lp::LpError::Infeasible) => Err(OfflineError::Infeasible),
+        Err(e) => panic!("offline LP failed numerically: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cne_util::SeedSequence;
+    use rand::Rng;
+
+    #[test]
+    fn no_deficit_sells_everything() {
+        let c = [8.0, 9.0, 10.0];
+        let r = [7.2, 8.1, 9.0];
+        let plan = offline_optimal_trades(&c, &r, -100.0, 5.0, 2.0).expect("feasible");
+        assert_eq!(plan.buys, vec![0.0; 3]);
+        assert_eq!(plan.sells, vec![2.0; 3]);
+        let expected = -(7.2 + 8.1 + 9.0) * 2.0;
+        assert!((plan.cost - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deficit_buys_cheapest_slots_first() {
+        let c = [10.0, 6.0, 8.0];
+        let r = [0.0, 0.0, 0.0]; // selling is worthless → pure buying
+        let plan = offline_optimal_trades(&c, &r, 7.0, 5.0, 5.0).expect("feasible");
+        // Buy 5 at price 6, then 2 at price 8.
+        assert_eq!(plan.buys, vec![0.0, 5.0, 2.0]);
+        assert!((plan.cost - (5.0 * 6.0 + 2.0 * 8.0)).abs() < 1e-9);
+        assert!((plan.net() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arbitrage_exploited_when_profitable() {
+        // Sell at 9.0, buy back at 6.0 → profit even with zero deficit.
+        let c = [6.0, 20.0];
+        let r = [5.4, 9.0];
+        let plan = offline_optimal_trades(&c, &r, 0.0, 3.0, 3.0).expect("feasible");
+        // Base: sell 3+3; needed = 0 − (−6) = 6; cheapest actions:
+        // unsell at 5.4 (3), buy at 6.0 (3), leaving sells at 9.0 alone.
+        assert!((plan.net() - 0.0).abs() < 1e-9);
+        assert!(plan.cost < 0.0, "arbitrage must profit: {}", plan.cost);
+        assert!((plan.cost - (3.0 * 6.0 - 3.0 * 9.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_deficit_detected() {
+        let c = [8.0];
+        let r = [7.2];
+        assert_eq!(
+            offline_optimal_trades(&c, &r, 100.0, 5.0, 5.0),
+            Err(OfflineError::Infeasible)
+        );
+    }
+
+    #[test]
+    fn greedy_matches_simplex_on_random_instances() {
+        let mut rng = SeedSequence::new(77).rng();
+        for trial in 0..10 {
+            let t_len = 12;
+            let c: Vec<f64> = (0..t_len).map(|_| rng.gen_range(5.9..10.9)).collect();
+            let r: Vec<f64> = c.iter().map(|&x| 0.9 * x).collect();
+            let deficit = rng.gen_range(-20.0..30.0);
+            let greedy = offline_optimal_trades(&c, &r, deficit, 4.0, 2.0).expect("feasible");
+            let lp = offline_optimal_trades_lp(&c, &r, deficit, 4.0, 2.0).expect("feasible");
+            assert!(
+                (greedy.cost - lp.cost).abs() < 1e-6,
+                "trial {trial}: greedy {} vs simplex {}",
+                greedy.cost,
+                lp.cost
+            );
+            // Both satisfy the constraint.
+            assert!(greedy.net() >= deficit - 1e-9);
+            assert!(lp.net() >= deficit - 1e-9);
+        }
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut rng = SeedSequence::new(78).rng();
+        let t_len = 40;
+        let c: Vec<f64> = (0..t_len).map(|_| rng.gen_range(5.9..10.9)).collect();
+        let r: Vec<f64> = c.iter().map(|&x| 0.9 * x).collect();
+        let plan = offline_optimal_trades(&c, &r, 55.0, 3.0, 1.5).expect("feasible");
+        for t in 0..t_len {
+            assert!((0.0..=3.0 + 1e-12).contains(&plan.buys[t]));
+            assert!((0.0..=1.5 + 1e-12).contains(&plan.sells[t]));
+        }
+    }
+
+    #[test]
+    fn exact_boundary_deficit_feasible() {
+        let c = [8.0, 9.0];
+        let r = [7.2, 8.1];
+        let plan = offline_optimal_trades(&c, &r, 4.0, 2.0, 1.0).expect("boundary feasible");
+        assert!((plan.net() - 4.0).abs() < 1e-9);
+        assert_eq!(plan.buys, vec![2.0, 2.0]);
+        assert_eq!(plan.sells, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Random trading baseline.
+//!
+//! "The quantity of carbon allowances bought and sold at each time
+//! slot is random" (paper §V-A). Quantities are drawn uniformly from
+//! `[0, scale · cap_share]`, i.e. on the natural per-slot volume scale
+//! but with no regard for prices, workload, or the constraint.
+
+use cne_util::units::Allowances;
+use cne_util::SeedSequence;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::policy::{TradeContext, TradeObservation, TradingPolicy};
+
+/// The random trader.
+#[derive(Debug, Clone)]
+pub struct RandomTrader {
+    rng: StdRng,
+    buy_scale: f64,
+    sell_scale: f64,
+}
+
+impl RandomTrader {
+    /// Creates the trader; per-slot buys are uniform in
+    /// `[0, buy_scale · cap_share]` and sells in
+    /// `[0, sell_scale · cap_share]`.
+    ///
+    /// # Panics
+    /// Panics if a scale is negative or not finite.
+    #[must_use]
+    pub fn new(buy_scale: f64, sell_scale: f64, seed: SeedSequence) -> Self {
+        assert!(
+            buy_scale >= 0.0 && buy_scale.is_finite(),
+            "buy scale must be non-negative"
+        );
+        assert!(
+            sell_scale >= 0.0 && sell_scale.is_finite(),
+            "sell scale must be non-negative"
+        );
+        Self {
+            rng: seed.derive("random-trader").rng(),
+            buy_scale,
+            sell_scale,
+        }
+    }
+
+    /// The paper-style default: buys uniform in `[0, cap_share]`
+    /// (mean half the cap share — uninformed about the actual
+    /// emission level), with a quarter of that sell volume.
+    #[must_use]
+    pub fn paper_default(seed: SeedSequence) -> Self {
+        Self::new(1.0, 0.25, seed)
+    }
+}
+
+impl TradingPolicy for RandomTrader {
+    fn decide(&mut self, _t: usize, ctx: &TradeContext) -> (Allowances, Allowances) {
+        let z = self.rng.gen::<f64>() * self.buy_scale * ctx.cap_share;
+        let w = self.rng.gen::<f64>() * self.sell_scale * ctx.cap_share;
+        (Allowances::new(z), Allowances::new(w))
+    }
+
+    fn observe(&mut self, _t: usize, _obs: &TradeObservation) {}
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cne_market::TradeBounds;
+    use cne_util::units::PricePerAllowance;
+
+    fn ctx() -> TradeContext {
+        TradeContext {
+            buy_price: PricePerAllowance::new(8.0),
+            sell_price: PricePerAllowance::new(7.2),
+            cap_share: 3.0,
+            bounds: TradeBounds::new(Allowances::new(50.0), Allowances::new(50.0)),
+        }
+    }
+
+    #[test]
+    fn quantities_within_scales() {
+        let mut alg = RandomTrader::new(2.0, 0.5, SeedSequence::new(1));
+        for t in 0..500 {
+            let (z, w) = alg.decide(t, &ctx());
+            assert!((0.0..=6.0).contains(&z.get()));
+            assert!((0.0..=1.5).contains(&w.get()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = RandomTrader::new(1.0, 1.0, SeedSequence::new(2));
+        let mut b = RandomTrader::new(1.0, 1.0, SeedSequence::new(2));
+        for t in 0..10 {
+            assert_eq!(a.decide(t, &ctx()), b.decide(t, &ctx()));
+        }
+    }
+
+    #[test]
+    fn mean_buy_near_half_range() {
+        let mut alg = RandomTrader::new(2.0, 0.5, SeedSequence::new(3));
+        let mut total = 0.0;
+        let n = 4000;
+        for t in 0..n {
+            total += alg.decide(t, &ctx()).0.get();
+        }
+        let mean = total / n as f64;
+        assert!((mean - 3.0).abs() < 0.2, "mean buy {mean}");
+    }
+}

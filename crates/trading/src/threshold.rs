@@ -1,0 +1,124 @@
+//! Static price-threshold baseline.
+//!
+//! "At each `t`, a fixed quantity is bought when `c^t` is below some
+//! value and a fixed quantity is sold when `r^t` is above some value"
+//! (paper §V-A). Oblivious to workload, emissions, and the cap.
+
+use cne_util::units::{Allowances, PricePerAllowance};
+
+use crate::policy::{TradeContext, TradeObservation, TradingPolicy};
+
+/// Threshold trader configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdConfig {
+    /// Buy when the posted buy price is at or below this value.
+    pub buy_below: PricePerAllowance,
+    /// Sell when the posted sell price is at or above this value.
+    pub sell_above: PricePerAllowance,
+    /// Fixed quantity bought on a triggered slot.
+    pub buy_quantity: Allowances,
+    /// Fixed quantity sold on a triggered slot.
+    pub sell_quantity: Allowances,
+}
+
+impl ThresholdConfig {
+    /// A configuration calibrated to the EU ETS band `[5.9, 10.9]`:
+    /// buys `quantity` in the cheapest ~30% of the band and sells a
+    /// quarter of that in the top ~10% of the sell band.
+    #[must_use]
+    pub fn for_band(quantity: Allowances) -> Self {
+        Self {
+            buy_below: PricePerAllowance::new(7.4),
+            sell_above: PricePerAllowance::new(9.0),
+            buy_quantity: quantity,
+            sell_quantity: quantity * 0.25,
+        }
+    }
+}
+
+/// The threshold trader.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Threshold {
+    config: ThresholdConfig,
+}
+
+impl Threshold {
+    /// Creates the trader.
+    #[must_use]
+    pub fn new(config: ThresholdConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl TradingPolicy for Threshold {
+    fn decide(&mut self, _t: usize, ctx: &TradeContext) -> (Allowances, Allowances) {
+        let z = if ctx.buy_price.get() <= self.config.buy_below.get() {
+            self.config.buy_quantity
+        } else {
+            Allowances::ZERO
+        };
+        let w = if ctx.sell_price.get() >= self.config.sell_above.get() {
+            self.config.sell_quantity
+        } else {
+            Allowances::ZERO
+        };
+        (z, w)
+    }
+
+    fn observe(&mut self, _t: usize, _obs: &TradeObservation) {}
+
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cne_market::TradeBounds;
+
+    fn ctx(c: f64, r: f64) -> TradeContext {
+        TradeContext {
+            buy_price: PricePerAllowance::new(c),
+            sell_price: PricePerAllowance::new(r),
+            cap_share: 3.0,
+            bounds: TradeBounds::new(Allowances::new(50.0), Allowances::new(50.0)),
+        }
+    }
+
+    #[test]
+    fn buys_only_below_threshold() {
+        let mut alg = Threshold::new(ThresholdConfig::for_band(Allowances::new(4.0)));
+        let (z, _) = alg.decide(0, &ctx(7.0, 6.3));
+        assert_eq!(z.get(), 4.0);
+        let (z, _) = alg.decide(1, &ctx(8.0, 7.2));
+        assert_eq!(z.get(), 0.0);
+    }
+
+    #[test]
+    fn sells_only_above_threshold() {
+        let mut alg = Threshold::new(ThresholdConfig::for_band(Allowances::new(4.0)));
+        let (_, w) = alg.decide(0, &ctx(10.5, 9.45));
+        assert_eq!(w.get(), 1.0);
+        let (_, w) = alg.decide(1, &ctx(9.0, 8.1));
+        assert_eq!(w.get(), 0.0);
+    }
+
+    #[test]
+    fn ignores_observations() {
+        let mut alg = Threshold::new(ThresholdConfig::for_band(Allowances::new(4.0)));
+        let before = alg;
+        alg.observe(
+            0,
+            &TradeObservation {
+                emissions: 100.0,
+                bought: Allowances::ZERO,
+                sold: Allowances::ZERO,
+                buy_price: PricePerAllowance::new(8.0),
+                sell_price: PricePerAllowance::new(7.2),
+                cap_share: 3.0,
+            },
+        );
+        assert_eq!(alg, before, "threshold trader is stateless");
+    }
+}

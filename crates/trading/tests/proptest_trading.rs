@@ -1,0 +1,146 @@
+//! Property-based tests for the trading crate: the offline greedy is
+//! optimal (it matches the simplex), online policies always emit
+//! feasible finite decisions, and the simplex solver's solutions are
+//! feasible.
+
+use cne_market::TradeBounds;
+use cne_trading::lp::{ConstraintOp, LinearProgram};
+use cne_trading::offline::{offline_optimal_trades, offline_optimal_trades_lp};
+use cne_trading::policy::{TradeContext, TradeObservation, TradingPolicy};
+use cne_trading::{Lyapunov, LyapunovConfig, PrimalDual, PrimalDualConfig};
+use cne_util::units::{Allowances, PricePerAllowance};
+use proptest::prelude::*;
+
+fn price_pair() -> impl Strategy<Value = (f64, f64)> {
+    (5.9..10.9f64).prop_map(|c| (c, 0.9 * c))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The parametric greedy matches the dense simplex exactly (up to
+    /// numerics) on random instances, including infeasibility.
+    #[test]
+    fn offline_greedy_matches_simplex(
+        prices in proptest::collection::vec(price_pair(), 2..10),
+        deficit in -30.0..40.0f64,
+        max_buy in 0.5..6.0f64,
+        max_sell in 0.0..4.0f64,
+    ) {
+        let buy: Vec<f64> = prices.iter().map(|p| p.0).collect();
+        let sell: Vec<f64> = prices.iter().map(|p| p.1).collect();
+        let greedy = offline_optimal_trades(&buy, &sell, deficit, max_buy, max_sell);
+        let lp = offline_optimal_trades_lp(&buy, &sell, deficit, max_buy, max_sell);
+        match (greedy, lp) {
+            (Ok(g), Ok(l)) => {
+                prop_assert!(
+                    (g.cost - l.cost).abs() < 1e-6 * (1.0 + g.cost.abs()),
+                    "greedy {} vs simplex {}", g.cost, l.cost
+                );
+                prop_assert!(g.net() >= deficit - 1e-8);
+                for t in 0..buy.len() {
+                    prop_assert!((0.0..=max_buy + 1e-9).contains(&g.buys[t]));
+                    prop_assert!((0.0..=max_sell + 1e-9).contains(&g.sells[t]));
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (g, l) => prop_assert!(false, "feasibility disagreement: {:?} vs {:?}", g, l),
+        }
+    }
+
+    /// Algorithm 2 always proposes finite non-negative trades within
+    /// the feasible box, for arbitrary price/emission streams.
+    #[test]
+    fn primal_dual_stays_feasible(
+        stream in proptest::collection::vec((price_pair(), 0.0..20.0f64), 1..100),
+        cap_share in 0.1..10.0f64,
+        gamma1 in 0.01..5.0f64,
+        gamma2 in 0.01..5.0f64,
+    ) {
+        let bounds = TradeBounds::new(Allowances::new(15.0), Allowances::new(7.0));
+        let mut alg = PrimalDual::new(PrimalDualConfig::new(gamma1, gamma2));
+        for (t, &((c, r), e)) in stream.iter().enumerate() {
+            let ctx = TradeContext {
+                buy_price: PricePerAllowance::new(c),
+                sell_price: PricePerAllowance::new(r),
+                cap_share,
+                bounds,
+            };
+            let (z, w) = alg.decide(t, &ctx);
+            prop_assert!(z.get().is_finite() && w.get().is_finite());
+            prop_assert!((0.0..=15.0).contains(&z.get()));
+            prop_assert!((0.0..=7.0).contains(&w.get()));
+            prop_assert!(alg.lambda() >= 0.0 && alg.lambda().is_finite());
+            alg.observe(t, &TradeObservation {
+                emissions: e,
+                bought: z,
+                sold: w,
+                buy_price: ctx.buy_price,
+                sell_price: ctx.sell_price,
+                cap_share,
+            });
+        }
+    }
+
+    /// The Lyapunov queue is a non-negative positive-part recursion.
+    #[test]
+    fn lyapunov_queue_nonnegative(
+        stream in proptest::collection::vec((price_pair(), 0.0..20.0f64), 1..100),
+        v in 0.1..5.0f64,
+    ) {
+        let bounds = TradeBounds::new(Allowances::new(15.0), Allowances::new(7.0));
+        let mut alg = Lyapunov::new(LyapunovConfig::new(v, 0.0));
+        for (t, &((c, r), e)) in stream.iter().enumerate() {
+            let ctx = TradeContext {
+                buy_price: PricePerAllowance::new(c),
+                sell_price: PricePerAllowance::new(r),
+                cap_share: 3.0,
+                bounds,
+            };
+            let (z, w) = alg.decide(t, &ctx);
+            alg.observe(t, &TradeObservation {
+                emissions: e,
+                bought: z,
+                sold: w,
+                buy_price: ctx.buy_price,
+                sell_price: ctx.sell_price,
+                cap_share: 3.0,
+            });
+            prop_assert!(alg.queue() >= 0.0);
+        }
+    }
+
+    /// Simplex solutions satisfy all their constraints.
+    #[test]
+    fn simplex_solutions_feasible(
+        c in proptest::collection::vec(-5.0..5.0f64, 2..5),
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-3.0..3.0f64, 2..5), 0.0..10.0f64),
+            1..5
+        ),
+    ) {
+        let n = c.len();
+        let mut lp = LinearProgram::new(c);
+        let mut used = Vec::new();
+        for (coeffs, rhs) in rows {
+            let mut row = coeffs;
+            row.resize(n, 0.0);
+            lp.add_constraint(row.clone(), ConstraintOp::Le, rhs);
+            used.push((row, rhs));
+        }
+        // Box the variables to keep the LP bounded.
+        for j in 0..n {
+            let mut row = vec![0.0; n];
+            row[j] = 1.0;
+            lp.add_constraint(row.clone(), ConstraintOp::Le, 10.0);
+            used.push((row, 10.0));
+        }
+        if let Ok(sol) = lp.solve() {
+            for (row, rhs) in used {
+                let lhs: f64 = row.iter().zip(&sol.x).map(|(a, x)| a * x).sum();
+                prop_assert!(lhs <= rhs + 1e-6, "violated: {} > {}", lhs, rhs);
+            }
+            prop_assert!(sol.x.iter().all(|&x| x >= -1e-9));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Shared utilities for the `carbon-edge` workspace.
+//!
+//! This crate is the lowest layer of the workspace. It provides:
+//!
+//! * [`units`] — zero-cost newtypes for the physical and monetary
+//!   quantities the paper's formulation mixes (energy, carbon mass,
+//!   money, latency, data size), so that emission and cost arithmetic
+//!   cannot silently confuse units;
+//! * [`rng`] — deterministic seeding helpers so every experiment is
+//!   reproducible from a single root seed;
+//! * [`stats`] — summary statistics (mean, variance, quantiles) and
+//!   online accumulators used by the metrics recorder and the tests;
+//! * [`series`] — small time-series helpers (cumulative sums,
+//!   normalization, trapezoid averaging) used when regenerating the
+//!   paper's figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use cne_util::units::{KWh, GramsCo2, EmissionRate};
+//!
+//! let energy = KWh::new(2.0);
+//! let rate = EmissionRate::new(500.0); // gCO2 per kWh
+//! let emitted: GramsCo2 = rate.emissions_for(energy);
+//! assert_eq!(emitted.get(), 1000.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod units;
+
+pub use rng::SeedSequence;
+pub use stats::{OnlineStats, Summary};

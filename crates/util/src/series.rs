@@ -1,0 +1,172 @@
+//! Time-series helpers for figure generation.
+//!
+//! The paper reports *normalized cumulative* cost curves (Fig. 3),
+//! normalized totals (Figs. 4–7), and regret/fit trajectories
+//! (Figs. 10–11). These helpers implement the shared transforms.
+
+/// Cumulative sum: `out[t] = Σ_{s ≤ t} xs[s]`.
+///
+/// # Examples
+/// ```
+/// assert_eq!(cne_util::series::cumsum(&[1.0, 2.0, 3.0]), vec![1.0, 3.0, 6.0]);
+/// ```
+#[must_use]
+pub fn cumsum(xs: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    xs.iter()
+        .map(|&x| {
+            acc += x;
+            acc
+        })
+        .collect()
+}
+
+/// Normalizes a series by its final value, i.e. `out[t] = xs[t] / xs[last]`.
+///
+/// This is the normalization of the paper's Fig. 3 ("normalized cumulative
+/// total cost"): every curve ends at its own share of a common reference.
+/// When a reference value is supplied (e.g. the worst algorithm's total),
+/// use [`normalize_by`].
+///
+/// Returns an all-zero series when the last element is zero.
+#[must_use]
+pub fn normalize_by_last(xs: &[f64]) -> Vec<f64> {
+    match xs.last() {
+        Some(&last) if last != 0.0 => xs.iter().map(|&x| x / last).collect(),
+        _ => vec![0.0; xs.len()],
+    }
+}
+
+/// Normalizes a series by an external reference value.
+///
+/// # Panics
+/// Panics if `reference` is zero or not finite.
+#[must_use]
+pub fn normalize_by(xs: &[f64], reference: f64) -> Vec<f64> {
+    assert!(
+        reference.is_finite() && reference != 0.0,
+        "normalization reference must be finite and non-zero"
+    );
+    xs.iter().map(|&x| x / reference).collect()
+}
+
+/// Element-wise mean of several equally long series (used to average the
+/// 10 seeded runs of each experiment).
+///
+/// # Panics
+/// Panics if `series` is empty or the rows have unequal lengths.
+#[must_use]
+pub fn mean_series(series: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!series.is_empty(), "mean_series of zero runs");
+    let len = series[0].len();
+    for row in series {
+        assert_eq!(row.len(), len, "mean_series: ragged rows");
+    }
+    let mut out = vec![0.0; len];
+    for row in series {
+        for (o, &x) in out.iter_mut().zip(row) {
+            *o += x;
+        }
+    }
+    let n = series.len() as f64;
+    for o in &mut out {
+        *o /= n;
+    }
+    out
+}
+
+/// Time-averaged value of each prefix: `out[t] = (Σ_{s≤t} xs[s]) / (t+1)`.
+///
+/// The paper's regret/fit guarantees are stated so that the *time-averaged*
+/// quantities vanish; Figs. 10–11 effectively plot these prefixes.
+#[must_use]
+pub fn prefix_time_average(xs: &[f64]) -> Vec<f64> {
+    cumsum(xs)
+        .into_iter()
+        .enumerate()
+        .map(|(t, c)| c / (t as f64 + 1.0))
+        .collect()
+}
+
+/// Downsamples a series to at most `max_points` evenly spaced points
+/// (always keeping the first and last), for compact TSV figure output.
+#[must_use]
+pub fn downsample(xs: &[f64], max_points: usize) -> Vec<(usize, f64)> {
+    if xs.is_empty() || max_points == 0 {
+        return Vec::new();
+    }
+    if xs.len() <= max_points {
+        return xs.iter().copied().enumerate().collect();
+    }
+    let mut out = Vec::with_capacity(max_points);
+    let last = xs.len() - 1;
+    for j in 0..max_points {
+        let idx = if max_points == 1 {
+            0
+        } else {
+            (j * last) / (max_points - 1)
+        };
+        out.push((idx, xs[idx]));
+    }
+    out.dedup_by_key(|(i, _)| *i);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumsum_empty() {
+        assert!(cumsum(&[]).is_empty());
+    }
+
+    #[test]
+    fn normalize_by_last_ends_at_one() {
+        let xs = cumsum(&[2.0, 2.0, 4.0]);
+        let n = normalize_by_last(&xs);
+        assert_eq!(n.last().copied(), Some(1.0));
+        assert_eq!(n, vec![0.25, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn normalize_by_last_zero_series() {
+        assert_eq!(normalize_by_last(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_series_averages() {
+        let m = mean_series(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn prefix_time_average_constant_is_constant() {
+        let xs = vec![5.0; 10];
+        for v in prefix_time_average(&xs) {
+            assert!((v - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let d = downsample(&xs, 10);
+        assert_eq!(d.first().copied(), Some((0, 0.0)));
+        assert_eq!(d.last().copied(), Some((99, 99.0)));
+        assert!(d.len() <= 10);
+    }
+
+    #[test]
+    fn downsample_short_series_is_identity() {
+        let xs = vec![1.0, 2.0, 3.0];
+        let d = downsample(&xs, 10);
+        assert_eq!(d, vec![(0, 1.0), (1, 2.0), (2, 3.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn mean_series_ragged_panics() {
+        let _ = mean_series(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

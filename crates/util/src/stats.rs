@@ -1,0 +1,318 @@
+//! Summary statistics and online accumulators.
+//!
+//! Used by the metrics recorder (per-slot cost/accuracy aggregation), the
+//! multi-seed experiment runner (mean ± std over 10 runs, as in the
+//! paper's Section V-B), and many tests.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable online mean/variance accumulator (Welford).
+///
+/// # Examples
+///
+/// ```
+/// use cne_util::stats::OnlineStats;
+///
+/// let mut acc = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.count(), 4);
+/// assert!((acc.mean() - 2.5).abs() < 1e-12);
+/// assert!((acc.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for fewer than two observations).
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count as f64 - 1.0)
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Minimum observation (`+∞` when empty).
+    #[must_use]
+    pub const fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`−∞` when empty).
+    #[must_use]
+    pub const fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Snapshot as a [`Summary`].
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            std: self.sample_std(),
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+        }
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut acc = Self::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+/// An immutable statistical summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation.
+    pub std: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+/// Mean of a slice (0 when empty).
+///
+/// # Examples
+/// ```
+/// assert_eq!(cne_util::stats::mean(&[1.0, 3.0]), 2.0);
+/// ```
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample standard deviation of a slice (0 for n < 2).
+#[must_use]
+pub fn sample_std(xs: &[f64]) -> f64 {
+    xs.iter().copied().collect::<OnlineStats>().sample_std()
+}
+
+/// Linear-interpolation quantile of an *unsorted* slice.
+///
+/// `q` must lie in `[0, 1]`.
+///
+/// # Panics
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+///
+/// # Examples
+/// ```
+/// let xs = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(cne_util::stats::quantile(&xs, 0.5), 2.5);
+/// assert_eq!(cne_util::stats::quantile(&xs, 0.0), 1.0);
+/// assert_eq!(cne_util::stats::quantile(&xs, 1.0), 4.0);
+/// ```
+#[must_use]
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of an empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Ordinary-least-squares slope of `y` against `x`.
+///
+/// Used by tests that verify *sub-linear* growth: fitting
+/// `log(regret)` against `log(T)` must give a slope well below 1.
+///
+/// # Panics
+/// Panics if the slices have different lengths or fewer than two points.
+#[must_use]
+pub fn ols_slope(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "ols_slope: length mismatch");
+    assert!(x.len() >= 2, "ols_slope: need at least two points");
+    let mx = mean(x);
+    let my = mean(y);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        num += (xi - mx) * (yi - my);
+        den += (xi - mx) * (xi - mx);
+    }
+    assert!(den > 0.0, "ols_slope: x values are all identical");
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let acc: OnlineStats = xs.iter().copied().collect();
+        let naive_mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let naive_var =
+            xs.iter().map(|x| (x - naive_mean).powi(2)).sum::<f64>() / (xs.len() as f64 - 1.0);
+        assert!((acc.mean() - naive_mean).abs() < 1e-10);
+        assert!((acc.sample_variance() - naive_var).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_equals_concat() {
+        let xs: Vec<f64> = (0..40).map(|i| (i as f64) * 0.7 - 3.0).collect();
+        let (a, b) = xs.split_at(17);
+        let mut left: OnlineStats = a.iter().copied().collect();
+        let right: OnlineStats = b.iter().copied().collect();
+        left.merge(&right);
+        let full: OnlineStats = xs.iter().copied().collect();
+        assert_eq!(left.count(), full.count());
+        assert!((left.mean() - full.mean()).abs() < 1e-10);
+        assert!((left.sample_variance() - full.sample_variance()).abs() < 1e-10);
+        assert_eq!(left.min(), full.min());
+        assert_eq!(left.max(), full.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: OnlineStats = [1.0, 2.0].iter().copied().collect();
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = OnlineStats::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [10.0, 20.0, 30.0];
+        assert_eq!(quantile(&xs, 0.25), 15.0);
+        assert_eq!(quantile(&xs, 0.75), 25.0);
+    }
+
+    #[test]
+    fn slope_of_linear_data_is_exact() {
+        let x: Vec<f64> = (1..=10).map(f64::from).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        assert!((ols_slope(&x, &y) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slope_detects_sublinearity() {
+        // y = x^(2/3) on a log-log scale has slope 2/3 < 1.
+        let t: Vec<f64> = [40.0, 80.0, 160.0, 320.0, 640.0].to_vec();
+        let lx: Vec<f64> = t.iter().map(|v| v.ln()).collect();
+        let ly: Vec<f64> = t.iter().map(|v| v.powf(2.0 / 3.0).ln()).collect();
+        let s = ols_slope(&lx, &ly);
+        assert!((s - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        let _ = quantile(&[], 0.5);
+    }
+}

@@ -1,0 +1,433 @@
+//! Zero-cost unit newtypes.
+//!
+//! The paper's total-cost objective mixes inference loss, compute latency,
+//! download delay, energy, carbon mass, and money. The simulator keeps
+//! these statically distinct ([C-NEWTYPE]) and converts explicitly at the
+//! points the model of Section II prescribes:
+//!
+//! * energy per inference `φ_n` (kWh/sample) × samples → [`KWh`];
+//! * transfer energy `ϑ_i` (kWh/MB) × model size `W_n` (MB) → [`KWh`];
+//! * emission rate `ρ` (g/kWh) × energy → [`GramsCo2`];
+//! * allowance price (cent/kg) × allowances (kg) → [`Cents`].
+//!
+//! All newtypes wrap `f64`, are `Copy`, ordered, and support the natural
+//! arithmetic (`Add`, `Sub`, scalar `Mul`/`Div`); cross-unit products are
+//! only available through named methods so the conversion is visible at
+//! the call site.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! unit_newtype {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// A zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Wraps a raw `f64` value expressed in this unit.
+            ///
+            /// # Examples
+            /// ```
+            /// # use cne_util::units::*;
+            #[doc = concat!("let q = ", stringify!($name), "::new(1.5);")]
+            /// assert_eq!(q.get(), 1.5);
+            /// ```
+            #[must_use]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the underlying `f64` value.
+            #[must_use]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `max(self, 0)`, the positive part `[·]⁺` used by
+            /// the paper's dual update and fit definitions.
+            #[must_use]
+            pub fn positive_part(self) -> Self {
+                Self(self.0.max(0.0))
+            }
+
+            /// Returns `true` if the quantity is finite (not NaN/∞).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Element-wise minimum.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Element-wise maximum.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two same-unit quantities is dimensionless.
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+    };
+}
+
+unit_newtype!(
+    /// Electrical energy in kilowatt-hours.
+    KWh,
+    "kWh"
+);
+unit_newtype!(
+    /// Carbon-dioxide mass in grams. One carbon *allowance* in the
+    /// simulator covers one kilogram, see [`Allowances`].
+    GramsCo2,
+    "gCO2"
+);
+unit_newtype!(
+    /// Carbon allowances; one allowance permits one kilogram of CO₂.
+    Allowances,
+    "allowances"
+);
+unit_newtype!(
+    /// Money in euro cents (the EU ETS trace is quoted in cent/kg).
+    Cents,
+    "cents"
+);
+unit_newtype!(
+    /// Latency in milliseconds (compute cost `v_{i,n}` and download
+    /// delay `u_i`).
+    Millis,
+    "ms"
+);
+unit_newtype!(
+    /// Data size in megabytes (model size `W_n`).
+    Megabytes,
+    "MB"
+);
+
+impl GramsCo2 {
+    /// Number of grams covered by one allowance (1 kg).
+    pub const GRAMS_PER_ALLOWANCE: f64 = 1000.0;
+
+    /// Converts a carbon mass to the allowances required to cover it.
+    ///
+    /// # Examples
+    /// ```
+    /// # use cne_util::units::*;
+    /// assert_eq!(GramsCo2::new(2500.0).to_allowances().get(), 2.5);
+    /// ```
+    #[must_use]
+    pub fn to_allowances(self) -> Allowances {
+        Allowances::new(self.0 / Self::GRAMS_PER_ALLOWANCE)
+    }
+}
+
+impl Allowances {
+    /// Converts allowances to the carbon mass they cover.
+    #[must_use]
+    pub fn to_grams(self) -> GramsCo2 {
+        GramsCo2::new(self.0 * GramsCo2::GRAMS_PER_ALLOWANCE)
+    }
+
+    /// Cash value at a given unit price.
+    ///
+    /// # Examples
+    /// ```
+    /// # use cne_util::units::*;
+    /// let cash = Allowances::new(3.0).value_at(PricePerAllowance::new(8.0));
+    /// assert_eq!(cash.get(), 24.0);
+    /// ```
+    #[must_use]
+    pub fn value_at(self, price: PricePerAllowance) -> Cents {
+        Cents::new(self.0 * price.get())
+    }
+}
+
+unit_newtype!(
+    /// Allowance price in cents per allowance (equivalently cent/kg CO₂).
+    PricePerAllowance,
+    "cent/allowance"
+);
+
+/// Carbon emission rate `ρ` in grams of CO₂ per kilowatt-hour.
+///
+/// The paper uses 500 g/kWh (a mixed grid, ref \[44\]).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct EmissionRate(f64);
+
+impl EmissionRate {
+    /// Creates a rate from g/kWh.
+    ///
+    /// # Panics
+    /// Panics if `grams_per_kwh` is negative or not finite.
+    #[must_use]
+    pub fn new(grams_per_kwh: f64) -> Self {
+        assert!(
+            grams_per_kwh.is_finite() && grams_per_kwh >= 0.0,
+            "emission rate must be a finite non-negative number of g/kWh"
+        );
+        Self(grams_per_kwh)
+    }
+
+    /// Returns the rate in g/kWh.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Carbon emitted by consuming `energy`.
+    #[must_use]
+    pub fn emissions_for(self, energy: KWh) -> GramsCo2 {
+        GramsCo2::new(self.0 * energy.get())
+    }
+
+    /// Returns a rate scaled by `factor` (used by the Fig. 6 sweep).
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> Self {
+        Self::new(self.0 * factor)
+    }
+}
+
+impl Default for EmissionRate {
+    /// The paper's default of 500 g/kWh.
+    fn default() -> Self {
+        Self(500.0)
+    }
+}
+
+impl fmt::Display for EmissionRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} g/kWh", self.0)
+    }
+}
+
+/// Energy intensity of inference, `φ_n`, in kWh per data sample.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct EnergyPerSample(f64);
+
+impl EnergyPerSample {
+    /// Creates an intensity from kWh/sample.
+    ///
+    /// # Panics
+    /// Panics if the value is negative or not finite.
+    #[must_use]
+    pub fn new(kwh_per_sample: f64) -> Self {
+        assert!(
+            kwh_per_sample.is_finite() && kwh_per_sample >= 0.0,
+            "energy per sample must be a finite non-negative number of kWh"
+        );
+        Self(kwh_per_sample)
+    }
+
+    /// Returns the intensity in kWh/sample.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Energy `E_{i,n}^t = φ_n · M_i^t` consumed to serve `samples`
+    /// inferences.
+    #[must_use]
+    pub fn energy_for(self, samples: u64) -> KWh {
+        KWh::new(self.0 * samples as f64)
+    }
+}
+
+/// Energy intensity of model transfer, `ϑ_i`, in kWh per megabyte.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct EnergyPerMegabyte(f64);
+
+impl EnergyPerMegabyte {
+    /// Creates an intensity from kWh/MB.
+    ///
+    /// # Panics
+    /// Panics if the value is negative or not finite.
+    #[must_use]
+    pub fn new(kwh_per_mb: f64) -> Self {
+        assert!(
+            kwh_per_mb.is_finite() && kwh_per_mb >= 0.0,
+            "transfer energy must be a finite non-negative number of kWh/MB"
+        );
+        Self(kwh_per_mb)
+    }
+
+    /// Returns the intensity in kWh/MB.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Energy `F_{i,n} = ϑ_i · W_n` consumed to download a model of the
+    /// given size.
+    #[must_use]
+    pub fn energy_for(self, size: Megabytes) -> KWh {
+        KWh::new(self.0 * size.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = KWh::new(1.5);
+        let b = KWh::new(0.5);
+        assert_eq!((a + b).get(), 2.0);
+        assert_eq!((a - b).get(), 1.0);
+        assert_eq!((a * 2.0).get(), 3.0);
+        assert_eq!((2.0 * a).get(), 3.0);
+        assert_eq!((a / 3.0).get(), 0.5);
+        assert_eq!(a / b, 3.0);
+        assert_eq!((-a).get(), -1.5);
+    }
+
+    #[test]
+    fn sum_of_units() {
+        let total: Cents = (1..=4).map(|i| Cents::new(i as f64)).sum();
+        assert_eq!(total.get(), 10.0);
+    }
+
+    #[test]
+    fn positive_part_matches_paper_bracket_plus() {
+        assert_eq!(GramsCo2::new(-3.0).positive_part().get(), 0.0);
+        assert_eq!(GramsCo2::new(3.0).positive_part().get(), 3.0);
+    }
+
+    #[test]
+    fn emission_chain_matches_model() {
+        // E = φ M; emissions = ρ E; allowances = emissions / 1000.
+        let phi = EnergyPerSample::new(8.0e-8);
+        let rho = EmissionRate::default();
+        let energy = phi.energy_for(1_000_000);
+        assert!((energy.get() - 0.08).abs() < 1e-12);
+        let grams = rho.emissions_for(energy);
+        assert!((grams.get() - 40.0).abs() < 1e-9);
+        assert!((grams.to_allowances().get() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_energy_matches_model() {
+        let theta = EnergyPerMegabyte::new(1.02e-16);
+        let f = theta.energy_for(Megabytes::new(10.0));
+        assert!((f.get() - 1.02e-15).abs() < 1e-28);
+    }
+
+    #[test]
+    fn allowance_value() {
+        let v = Allowances::new(10.0).value_at(PricePerAllowance::new(5.9));
+        assert!((v.get() - 59.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allowance_gram_roundtrip() {
+        let g = GramsCo2::new(1234.5);
+        let back = g.to_allowances().to_grams();
+        assert!((back.get() - g.get()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering_and_min_max() {
+        let a = Millis::new(25.0);
+        let b = Millis::new(150.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "emission rate")]
+    fn negative_rate_rejected() {
+        let _ = EmissionRate::new(-1.0);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{}", KWh::new(2.0)), "2 kWh");
+        assert_eq!(format!("{}", EmissionRate::default()), "500 g/kWh");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the utility layer: statistics and series
+//! transforms.
+
+use cne_util::series::{cumsum, downsample, mean_series, normalize_by_last, prefix_time_average};
+use cne_util::stats::{mean, quantile, sample_std, OnlineStats};
+use cne_util::SeedSequence;
+use proptest::prelude::*;
+
+proptest! {
+    /// Welford merge over any split equals processing the whole slice.
+    #[test]
+    fn welford_merge_any_split(
+        xs in proptest::collection::vec(-1e3..1e3f64, 2..60),
+        split_frac in 0.0..1.0f64,
+    ) {
+        let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
+        let (a, b) = xs.split_at(split);
+        let mut left: OnlineStats = a.iter().copied().collect();
+        let right: OnlineStats = b.iter().copied().collect();
+        left.merge(&right);
+        let full: OnlineStats = xs.iter().copied().collect();
+        prop_assert_eq!(left.count(), full.count());
+        prop_assert!((left.mean() - full.mean()).abs() < 1e-7);
+        prop_assert!((left.sample_variance() - full.sample_variance()).abs() < 1e-6);
+    }
+
+    /// Quantiles stay within [min, max] and are monotone in the level.
+    #[test]
+    fn quantile_monotone(
+        xs in proptest::collection::vec(-1e3..1e3f64, 1..50),
+        q1 in 0.0..1.0f64,
+        q2 in 0.0..1.0f64,
+    ) {
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let a = quantile(&xs, lo);
+        let b = quantile(&xs, hi);
+        prop_assert!(a <= b + 1e-12);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-12 && b <= max + 1e-12);
+    }
+
+    /// cumsum's last element is the total; prefix averages stay within
+    /// the data's range bounds.
+    #[test]
+    fn series_identities(xs in proptest::collection::vec(-1e2..1e2f64, 1..100)) {
+        let c = cumsum(&xs);
+        let total: f64 = xs.iter().sum();
+        prop_assert!((c.last().copied().unwrap_or(0.0) - total).abs() < 1e-8);
+        let avg = prefix_time_average(&xs);
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for &v in &avg {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+        prop_assert!((avg[0] - xs[0]).abs() < 1e-12);
+        prop_assert!((avg.last().copied().expect("non-empty") - mean(&xs)).abs() < 1e-9);
+    }
+
+    /// normalize_by_last ends at exactly 1 for any series with a
+    /// non-zero last element.
+    #[test]
+    fn normalization_ends_at_one(xs in proptest::collection::vec(0.1..1e3f64, 1..100)) {
+        let c = cumsum(&xs);
+        let n = normalize_by_last(&c);
+        prop_assert!((n.last().copied().expect("non-empty") - 1.0).abs() < 1e-12);
+        // Monotone input stays monotone after normalization.
+        for w in n.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    /// Downsampling preserves endpoints and returns sorted indices.
+    #[test]
+    fn downsample_invariants(
+        xs in proptest::collection::vec(-10.0..10.0f64, 1..500),
+        max_points in 1usize..50,
+    ) {
+        let d = downsample(&xs, max_points);
+        prop_assert!(!d.is_empty());
+        prop_assert!(d.len() <= max_points.max(1));
+        prop_assert_eq!(d[0], (0, xs[0]));
+        let (last_i, last_v) = *d.last().expect("non-empty");
+        if max_points >= 2 || xs.len() == 1 {
+            prop_assert_eq!(last_i, xs.len() - 1);
+            prop_assert_eq!(last_v, xs[xs.len() - 1]);
+        }
+        for w in d.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "indices must be strictly increasing");
+        }
+    }
+
+    /// mean_series of identical rows returns the row.
+    #[test]
+    fn mean_series_identity(xs in proptest::collection::vec(-5.0..5.0f64, 1..50), copies in 1usize..5) {
+        let rows: Vec<Vec<f64>> = (0..copies).map(|_| xs.clone()).collect();
+        let m = mean_series(&rows);
+        for (a, b) in m.iter().zip(&xs) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// Seed derivations are stable and label-sensitive.
+    #[test]
+    fn seed_paths_stable(root in 0u64..u64::MAX, idx in 0u64..1000) {
+        let a = SeedSequence::new(root).derive("x").derive_index(idx);
+        let b = SeedSequence::new(root).derive("x").derive_index(idx);
+        prop_assert_eq!(a.seed(), b.seed());
+        let c = SeedSequence::new(root).derive("y").derive_index(idx);
+        prop_assert_ne!(a.seed(), c.seed());
+    }
+
+    /// sample_std is translation invariant.
+    #[test]
+    fn std_translation_invariant(
+        xs in proptest::collection::vec(-100.0..100.0f64, 2..40),
+        shift in -1e3..1e3f64,
+    ) {
+        let shifted: Vec<f64> = xs.iter().map(|v| v + shift).collect();
+        prop_assert!((sample_std(&xs) - sample_std(&shifted)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,112 @@
+//! Carbon trading in isolation: Algorithm 2 (online primal–dual)
+//! against the Lyapunov and Threshold baselines and the exact offline
+//! LP, on the same price and emission series.
+//!
+//! ```text
+//! cargo run --release --example carbon_market_sim
+//! ```
+
+use carbon_edge::market::{AllowanceLedger, CarbonMarket, TradeBounds};
+use carbon_edge::prelude::*;
+use carbon_edge::simdata::prices::{PriceModel, DEFAULT_SELL_RATIO};
+use carbon_edge::simdata::samplers::uniform_in;
+use carbon_edge::trading::offline::offline_optimal_trades;
+use carbon_edge::trading::policy::{TradeContext, TradeObservation, TradingPolicy};
+use carbon_edge::trading::{
+    Lyapunov, LyapunovConfig, PrimalDual, PrimalDualConfig, Threshold, ThresholdConfig,
+};
+use carbon_edge::util::units::{Allowances, GramsCo2};
+
+fn main() {
+    let seed = SeedSequence::new(99);
+    let horizon = 320;
+    let cap = 500.0;
+    let cap_share = cap / horizon as f64;
+    let bounds = TradeBounds::new(Allowances::new(10.0), Allowances::new(5.0));
+    let market = CarbonMarket::new(bounds);
+
+    // EU-ETS-like prices and a diurnal emission series that averages
+    // ≈ 2× the cap share (so the system must be a net buyer).
+    let prices = PriceModel::default().generate(horizon, DEFAULT_SELL_RATIO, &seed.derive("p"));
+    let mut rng = seed.derive("emissions").rng();
+    let emissions: Vec<f64> = (0..horizon)
+        .map(|t| {
+            let diurnal = 1.0 + 0.8 * (std::f64::consts::TAU * t as f64 / 80.0).sin();
+            2.0 * cap_share * diurnal * uniform_in(&mut rng, 0.85, 1.15)
+        })
+        .collect();
+    let total_emissions: f64 = emissions.iter().sum();
+    println!(
+        "horizon {horizon}, cap {cap:.0}, total emissions {total_emissions:.0} allowances \
+         (deficit {:.0})",
+        total_emissions - cap
+    );
+
+    let mut policies: Vec<Box<dyn TradingPolicy>> = vec![
+        Box::new(PrimalDual::new(PrimalDualConfig::theorem2(
+            horizon,
+            8.4,
+            2.0 * cap_share,
+        ))),
+        Box::new(Lyapunov::new(LyapunovConfig::default())),
+        Box::new(Threshold::new(ThresholdConfig::for_band(Allowances::new(
+            2.0 * cap_share,
+        )))),
+    ];
+
+    println!(
+        "\n{:<22} {:>12} {:>12} {:>12}",
+        "policy", "cash (¢)", "violation", "net bought"
+    );
+    for policy in &mut policies {
+        let mut ledger = AllowanceLedger::new(Allowances::new(cap));
+        for (t, &slot_emissions) in emissions.iter().enumerate() {
+            let ctx = TradeContext {
+                buy_price: prices.buy(t),
+                sell_price: prices.sell(t),
+                cap_share,
+                bounds,
+            };
+            let (z, w) = policy.decide(t, &ctx);
+            let receipt = market.execute(ctx.buy_price, ctx.sell_price, z, w, &mut ledger);
+            ledger.record_emission(GramsCo2::new(slot_emissions * 1000.0));
+            policy.observe(
+                t,
+                &TradeObservation {
+                    emissions: slot_emissions,
+                    bought: receipt.bought,
+                    sold: receipt.sold,
+                    buy_price: ctx.buy_price,
+                    sell_price: ctx.sell_price,
+                    cap_share,
+                },
+            );
+        }
+        println!(
+            "{:<22} {:>12.1} {:>12.2} {:>12.1}",
+            policy.name(),
+            ledger.net_trading_cost().get(),
+            ledger.violation().get(),
+            (ledger.bought() - ledger.sold()).get(),
+        );
+    }
+
+    // The clairvoyant lower bound.
+    let buy: Vec<f64> = prices.buy_series().iter().map(|p| p.get()).collect();
+    let sell: Vec<f64> = prices.sell_series().iter().map(|p| p.get()).collect();
+    let plan = offline_optimal_trades(
+        &buy,
+        &sell,
+        total_emissions - cap,
+        bounds.max_buy.get(),
+        bounds.max_sell.get(),
+    )
+    .expect("feasible");
+    println!(
+        "{:<22} {:>12.1} {:>12.2} {:>12.1}   (clairvoyant LP)",
+        "offline-optimal",
+        plan.cost,
+        0.0,
+        plan.net()
+    );
+}

@@ -1,0 +1,71 @@
+//! Full §V-style comparison: the paper's twelve baselines, `Ours`, and
+//! `Offline` on the paper-default 10-edge, 160-slot system, averaged
+//! over seeds, printed as a ranked table.
+//!
+//! ```text
+//! cargo run --release --example full_evaluation [num_edges] [num_seeds]
+//! ```
+
+use carbon_edge::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let num_edges: usize = args
+        .next()
+        .map(|a| a.parse().expect("num_edges must be an integer"))
+        .unwrap_or(10);
+    let num_seeds: u64 = args
+        .next()
+        .map(|a| a.parse().expect("num_seeds must be an integer"))
+        .unwrap_or(3);
+    let seeds: Vec<u64> = (1..=num_seeds).collect();
+
+    let seed = SeedSequence::new(2025);
+    println!("training the MNIST-like model zoo (paper-scale pool)…");
+    let zoo = ModelZoo::train(TaskKind::MnistLike, &ZooConfig::default(), &seed);
+
+    let config = SimConfig::paper_default(TaskKind::MnistLike, num_edges);
+    println!(
+        "system: {num_edges} edges, {} slots, cap {}, {} seeds\n",
+        config.horizon,
+        config.cap.get(),
+        seeds.len()
+    );
+
+    let mut specs: Vec<PolicySpec> = Combo::all_baselines()
+        .into_iter()
+        .map(PolicySpec::Combo)
+        .collect();
+    specs.push(PolicySpec::Combo(Combo::ours()));
+    specs.push(PolicySpec::Offline);
+
+    let mut rows: Vec<(String, f64, f64, f64, f64)> = Vec::new();
+    for spec in &specs {
+        let r = evaluate(&config, &zoo, &seeds, spec);
+        println!("  finished {}", r.name);
+        rows.push((
+            r.name.clone(),
+            r.mean_total_cost,
+            r.std_total_cost,
+            r.mean_violation,
+            r.mean_switches,
+        ));
+    }
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+
+    println!(
+        "\n{:<12} {:>12} {:>8} {:>11} {:>10}",
+        "policy", "total cost", "± std", "violation", "switches"
+    );
+    for (name, cost, std, violation, switches) in &rows {
+        println!("{name:<12} {cost:>12.1} {std:>8.1} {violation:>11.2} {switches:>10.1}");
+    }
+
+    let ours = rows.iter().find(|r| r.0 == "Ours").expect("Ours evaluated");
+    let worst = rows.last().expect("non-empty");
+    println!(
+        "\nOurs reduces total cost by {:.0}% vs the worst baseline ({}).",
+        100.0 * (1.0 - ours.1 / worst.1),
+        worst.0
+    );
+}

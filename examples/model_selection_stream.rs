@@ -1,0 +1,86 @@
+//! Model selection on a single edge: watch Algorithm 1 (block
+//! Tsallis-INF) learn which model to host while containing switches.
+//!
+//! Reproduces the phenomenology of the paper's Fig. 8: the number of
+//! times each model is selected is inversely related to its expected
+//! loss, and the block schedule keeps the number of downloads far below
+//! plain Tsallis-INF's.
+//!
+//! ```text
+//! cargo run --release --example model_selection_stream
+//! ```
+
+use carbon_edge::bandit::{BlockTsallisInf, ModelSelector, Schedule};
+use carbon_edge::prelude::*;
+use carbon_edge::simdata::stream::DataStream;
+
+fn run_selector(
+    name: &str,
+    selector: &mut dyn ModelSelector,
+    zoo: &ModelZoo,
+    horizon: usize,
+    seed: &SeedSequence,
+) {
+    let mut stream = DataStream::new(zoo.pool().len(), seed.derive("stream"));
+    let mut counts = vec![0usize; zoo.len()];
+    let mut switches = 0usize;
+    let mut last = usize::MAX;
+    let mut cumulative_loss = 0.0;
+    for t in 0..horizon {
+        let arm = selector.select(t);
+        if arm != last {
+            switches += 1;
+            last = arm;
+        }
+        counts[arm] += 1;
+        // Serve a slot of 64 samples with the hosted model; the Brier
+        // loss normalized by its max (2.0) is the bandit loss.
+        let indices = stream.draw_slot(64);
+        let loss = zoo.model(arm).eval.mean_loss_at(&indices) / 2.0;
+        cumulative_loss += loss;
+        selector.observe(t, arm, loss);
+    }
+    println!("\n{name}: {switches} downloads, cumulative loss {cumulative_loss:.1}");
+    println!("  {:<12} {:>9} {:>9}", "model", "E[loss]", "selected");
+    for (n, model) in zoo.models().iter().enumerate() {
+        println!(
+            "  {:<12} {:>9.3} {:>9}",
+            model.profile.name,
+            model.eval.expected_loss(),
+            counts[n]
+        );
+    }
+}
+
+fn main() {
+    let seed = SeedSequence::new(7);
+    println!("training the CIFAR-like zoo (larger loss gaps between models)…");
+    let zoo = ModelZoo::train(TaskKind::CifarLike, &ZooConfig::fast(), &seed.derive("zoo"));
+
+    let horizon = 2000;
+    // Switching costs 4 normalized loss units — a heavy download.
+    let mut ours = BlockTsallisInf::new(
+        zoo.len(),
+        Schedule::theorem1(4.0, zoo.len(), horizon),
+        seed.derive("ours"),
+    );
+    let mut plain = BlockTsallisInf::plain(zoo.len(), horizon, seed.derive("plain"));
+
+    run_selector(
+        "Algorithm 1 (block Tsallis-INF, switch-aware)",
+        &mut ours,
+        &zoo,
+        horizon,
+        &seed.derive("run-ours"),
+    );
+    run_selector(
+        "plain Tsallis-INF (switch-oblivious baseline)",
+        &mut plain,
+        &zoo,
+        horizon,
+        &seed.derive("run-plain"),
+    );
+    println!(
+        "\nboth concentrate on low-loss models; the block schedule needs far fewer downloads."
+    );
+}

@@ -1,0 +1,60 @@
+//! Quickstart: train the model zoo, run the paper's controller against
+//! a baseline and the offline oracle, and print the outcome.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use carbon_edge::prelude::*;
+
+fn main() {
+    let seed = SeedSequence::new(42);
+
+    // A reduced-but-realistic setting so the example finishes quickly:
+    // the fast zoo (800-sample pool) and a 40-slot, 3-edge system.
+    println!("training the six-model zoo on the MNIST-like task…");
+    let zoo = ModelZoo::train(TaskKind::MnistLike, &ZooConfig::fast(), &seed);
+    for model in zoo.models() {
+        println!(
+            "  {:<12} E[loss]={:.3}  accuracy={:.3}  size={:>5.2} MB  φ={:.1e} kWh",
+            model.profile.name,
+            model.eval.expected_loss(),
+            model.eval.accuracy(),
+            model.profile.size.get(),
+            model.profile.energy_per_sample.get(),
+        );
+    }
+
+    let config = SimConfig::fast_test(TaskKind::MnistLike);
+    let seeds: Vec<u64> = (1..=5).collect();
+
+    println!("\nrunning policies over {} seeds…", seeds.len());
+    let specs = [
+        PolicySpec::Combo(Combo::ours()),
+        PolicySpec::Combo(Combo {
+            selector: SelectorKind::Ucb2,
+            trader: TraderKind::Lyapunov,
+        }),
+        PolicySpec::Combo(Combo {
+            selector: SelectorKind::Random,
+            trader: TraderKind::Random,
+        }),
+        PolicySpec::Offline,
+    ];
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>10}",
+        "policy", "total cost", "violation", "switches", "unit ¢/kg"
+    );
+    for spec in &specs {
+        let result = evaluate(&config, &zoo, &seeds, spec);
+        println!(
+            "{:<10} {:>12.2} {:>10.3} {:>10.1} {:>10.2}",
+            result.name,
+            result.mean_total_cost,
+            result.mean_violation,
+            result.mean_switches,
+            result.mean_unit_purchase_cost,
+        );
+    }
+    println!("\nlower total cost is better; Offline is the clairvoyant bound.");
+}

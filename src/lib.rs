@@ -1,0 +1,61 @@
+//! # carbon-edge
+//!
+//! A from-scratch reproduction of *"Carbon-Neutralizing Edge AI
+//! Inference for Data Streams via Model Control and Allowance Trading"*
+//! (ICDCS 2025): joint online control of AI model placement on edges
+//! and carbon-allowance trading with a cap-and-trade market.
+//!
+//! The facade re-exports every workspace crate under one roof:
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`util`] | unit newtypes, seeding, statistics |
+//! | [`simdata`] | synthetic tasks, workload/price traces, topology |
+//! | [`nn`] | neural-network substrate and trained model zoo |
+//! | [`bandit`] | Algorithm 1 (block Tsallis-INF) and selector baselines |
+//! | [`market`] | cap-and-trade accounting |
+//! | [`trading`] | Algorithm 2 (online primal–dual), trader baselines, offline LP |
+//! | [`edgesim`] | the cloud–edge discrete-time simulator |
+//! | [`core`] | combos, offline oracle, experiment runner, regret/fit |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use carbon_edge::prelude::*;
+//!
+//! // Train the six-model zoo on the MNIST-like task.
+//! let seed = SeedSequence::new(42);
+//! let zoo = ModelZoo::train(TaskKind::MnistLike, &ZooConfig::default(), &seed);
+//!
+//! // Paper-default system: 10 edges, 160 slots, cap 500.
+//! let config = SimConfig::paper_default(TaskKind::MnistLike, 10);
+//!
+//! // Evaluate the paper's approach against a baseline over 3 seeds.
+//! let ours = evaluate(&config, &zoo, &[1, 2, 3], &PolicySpec::Combo(Combo::ours()));
+//! let offline = evaluate(&config, &zoo, &[1, 2, 3], &PolicySpec::Offline);
+//! println!("Ours: {:.1}, Offline: {:.1}", ours.mean_total_cost, offline.mean_total_cost);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cne_bandit as bandit;
+pub use cne_core as core;
+pub use cne_edgesim as edgesim;
+pub use cne_market as market;
+pub use cne_nn as nn;
+pub use cne_simdata as simdata;
+pub use cne_trading as trading;
+pub use cne_util as util;
+
+/// One-stop imports for the common experiment workflow.
+pub mod prelude {
+    pub use cne_core::combos::{Combo, SelectorKind, TraderKind};
+    pub use cne_core::offline::OfflinePolicy;
+    pub use cne_core::runner::{evaluate, run_single, EvalResult, PolicySpec};
+    pub use cne_edgesim::{Environment, RunRecord, SimConfig};
+    pub use cne_nn::{ModelZoo, ZooConfig};
+    pub use cne_simdata::dataset::TaskKind;
+    pub use cne_util::units::Allowances;
+    pub use cne_util::SeedSequence;
+}

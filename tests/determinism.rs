@@ -1,0 +1,84 @@
+//! Reproducibility guarantees: every stochastic component of the
+//! pipeline is a pure function of its seed, so identical invocations
+//! produce bit-identical results — the property the multi-seed
+//! averaging and the paper-comparison methodology rest on.
+
+use carbon_edge::core::combos::{Combo, SelectorKind, TraderKind};
+use carbon_edge::core::runner::{run_single, PolicySpec};
+use carbon_edge::edgesim::SimConfig;
+use carbon_edge::nn::{ModelZoo, ZooConfig};
+use carbon_edge::simdata::dataset::TaskKind;
+use carbon_edge::util::SeedSequence;
+
+#[test]
+fn end_to_end_runs_are_bit_identical() {
+    let zoo = ModelZoo::train(
+        TaskKind::MnistLike,
+        &ZooConfig::fast(),
+        &SeedSequence::new(500),
+    );
+    let cfg = SimConfig::fast_test(TaskKind::MnistLike);
+    for spec in [
+        PolicySpec::Combo(Combo::ours()),
+        PolicySpec::Combo(Combo {
+            selector: SelectorKind::Random,
+            trader: TraderKind::Random,
+        }),
+        PolicySpec::Offline,
+    ] {
+        let a = run_single(&cfg, &zoo, 42, &spec);
+        let b = run_single(&cfg, &zoo, 42, &spec);
+        assert_eq!(a, b, "{} must be deterministic per seed", spec.name());
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let zoo = ModelZoo::train(
+        TaskKind::MnistLike,
+        &ZooConfig::fast(),
+        &SeedSequence::new(501),
+    );
+    let cfg = SimConfig::fast_test(TaskKind::MnistLike);
+    let a = run_single(&cfg, &zoo, 1, &PolicySpec::Combo(Combo::ours()));
+    let b = run_single(&cfg, &zoo, 2, &PolicySpec::Combo(Combo::ours()));
+    assert_ne!(a, b, "distinct seeds must realize distinct runs");
+}
+
+#[test]
+fn zoo_training_is_deterministic() {
+    let a = ModelZoo::train(
+        TaskKind::CifarLike,
+        &ZooConfig::fast(),
+        &SeedSequence::new(502),
+    );
+    let b = ModelZoo::train(
+        TaskKind::CifarLike,
+        &ZooConfig::fast(),
+        &SeedSequence::new(502),
+    );
+    for (x, y) in a.models().iter().zip(b.models()) {
+        assert_eq!(x.eval, y.eval);
+        assert_eq!(x.profile, y.profile);
+    }
+    // Quantization is a pure function of the trained weights.
+    let qa = a.with_quantized_variants(8);
+    let qb = b.with_quantized_variants(8);
+    for (x, y) in qa.models().iter().zip(qb.models()) {
+        assert_eq!(x.eval, y.eval);
+    }
+}
+
+#[test]
+fn drift_runs_are_deterministic_too() {
+    let zoo = ModelZoo::train(
+        TaskKind::MnistLike,
+        &ZooConfig::fast(),
+        &SeedSequence::new(503),
+    );
+    let mut cfg = SimConfig::fast_test(TaskKind::MnistLike);
+    cfg.quality_drift_at = Some(cfg.horizon / 2);
+    let a = run_single(&cfg, &zoo, 7, &PolicySpec::Combo(Combo::ours()));
+    let b = run_single(&cfg, &zoo, 7, &PolicySpec::Combo(Combo::ours()));
+    assert_eq!(a, b);
+}

@@ -1,0 +1,160 @@
+//! End-to-end pipeline tests spanning every crate: zoo training →
+//! environment realization → controllers → metrics → regret/fit.
+
+use carbon_edge::core::combos::{Combo, SelectorKind, TraderKind};
+use carbon_edge::core::regret;
+use carbon_edge::core::runner::{evaluate, run_single, PolicySpec};
+use carbon_edge::edgesim::{Environment, SimConfig};
+use carbon_edge::nn::{ModelZoo, ZooConfig};
+use carbon_edge::simdata::dataset::TaskKind;
+use carbon_edge::util::SeedSequence;
+
+fn zoo() -> ModelZoo {
+    ModelZoo::train(
+        TaskKind::MnistLike,
+        &ZooConfig::fast(),
+        &SeedSequence::new(1001),
+    )
+}
+
+#[test]
+fn full_pipeline_runs_and_accounts_consistently() {
+    let zoo = zoo();
+    let cfg = SimConfig::fast_test(TaskKind::MnistLike);
+    let record = run_single(&cfg, &zoo, 3, &PolicySpec::Combo(Combo::ours()));
+
+    assert_eq!(record.horizon(), cfg.horizon);
+    // Ledger and slot records agree on emissions, purchases, sales.
+    let slot_emissions: f64 = record.slots.iter().map(|s| s.emissions).sum();
+    assert!((slot_emissions - record.ledger.emitted().to_allowances().get()).abs() < 1e-9);
+    let slot_bought: f64 = record.slots.iter().map(|s| s.bought).sum();
+    assert!((slot_bought - record.ledger.bought().get()).abs() < 1e-9);
+    let slot_sold: f64 = record.slots.iter().map(|s| s.sold).sum();
+    assert!((slot_sold - record.ledger.sold().get()).abs() < 1e-9);
+    // Cash flow consistency.
+    let slot_cash: f64 = record.slots.iter().map(|s| s.trade_cash).sum();
+    assert!((slot_cash - record.ledger.net_trading_cost().get()).abs() < 1e-6);
+    // Trades never exceed the per-slot bounds.
+    for s in &record.slots {
+        assert!(s.bought <= cfg.bounds.max_buy.get() + 1e-12);
+        assert!(s.sold <= cfg.bounds.max_sell.get() + 1e-12);
+    }
+}
+
+#[test]
+fn ours_beats_the_naive_baselines_on_total_cost() {
+    let zoo = zoo();
+    let cfg = SimConfig::fast_test(TaskKind::MnistLike);
+    let seeds: Vec<u64> = (1..=4).collect();
+    let ours = evaluate(&cfg, &zoo, &seeds, &PolicySpec::Combo(Combo::ours()));
+    for combo in [
+        Combo {
+            selector: SelectorKind::Random,
+            trader: TraderKind::Random,
+        },
+        Combo {
+            selector: SelectorKind::Random,
+            trader: TraderKind::Threshold,
+        },
+    ] {
+        let baseline = evaluate(&cfg, &zoo, &seeds, &PolicySpec::Combo(combo));
+        assert!(
+            ours.mean_total_cost < baseline.mean_total_cost,
+            "Ours ({:.1}) must beat {} ({:.1})",
+            ours.mean_total_cost,
+            combo.name(),
+            baseline.mean_total_cost
+        );
+    }
+}
+
+#[test]
+fn offline_is_the_cheapest_policy_evaluated() {
+    let zoo = zoo();
+    let cfg = SimConfig::fast_test(TaskKind::MnistLike);
+    let seeds = [11u64, 12];
+    let offline = evaluate(&cfg, &zoo, &seeds, &PolicySpec::Offline);
+    for spec in [
+        PolicySpec::Combo(Combo::ours()),
+        PolicySpec::Combo(Combo {
+            selector: SelectorKind::Ucb2,
+            trader: TraderKind::Lyapunov,
+        }),
+    ] {
+        let online = evaluate(&cfg, &zoo, &seeds, &spec);
+        assert!(
+            offline.mean_total_cost <= online.mean_total_cost + 1e-9,
+            "offline ({:.2}) must lower-bound {} ({:.2})",
+            offline.mean_total_cost,
+            spec.name(),
+            online.mean_total_cost
+        );
+    }
+}
+
+#[test]
+fn fit_per_slot_shrinks_with_horizon_for_ours() {
+    // Theorem 2 phenomenology: time-averaged violation vanishes.
+    let zoo = zoo();
+    let base = SimConfig::fast_test(TaskKind::MnistLike);
+    let mut avg_fits = Vec::new();
+    for mult in [1usize, 4] {
+        let mut cfg = base.clone();
+        cfg.horizon = base.horizon * mult;
+        cfg.workload.days = base.workload.days * mult;
+        cfg.cap = cfg.cap * mult as f64;
+        let mut fit_sum = 0.0;
+        for seed in [21u64, 22] {
+            let record = run_single(&cfg, &zoo, seed, &PolicySpec::Combo(Combo::ours()));
+            fit_sum += regret::fit(&record);
+        }
+        avg_fits.push(fit_sum / 2.0 / cfg.horizon as f64);
+    }
+    assert!(
+        avg_fits[1] < avg_fits[0] + 0.05,
+        "time-averaged fit should not grow with T: {avg_fits:?}"
+    );
+}
+
+#[test]
+fn environment_is_shared_across_policies_per_seed() {
+    let zoo = zoo();
+    let cfg = SimConfig::fast_test(TaskKind::MnistLike);
+    let a = run_single(&cfg, &zoo, 5, &PolicySpec::Combo(Combo::ours()));
+    let b = run_single(&cfg, &zoo, 5, &PolicySpec::Offline);
+    for (x, y) in a.slots.iter().zip(&b.slots) {
+        assert_eq!(x.arrivals, y.arrivals, "workload must match across specs");
+        assert_eq!(x.buy_price, y.buy_price, "prices must match across specs");
+    }
+}
+
+#[test]
+fn p1_regret_of_ours_is_below_random() {
+    // A 40-slot horizon is all exploration, so stretch to 160 slots
+    // and average over seeds before comparing learning to no-learning.
+    let zoo = zoo();
+    let mut cfg = SimConfig::fast_test(TaskKind::MnistLike);
+    cfg.workload.days = 8;
+    cfg.horizon = 160;
+    cfg.cap = cfg.cap * 4.0;
+    let mut ours_total = 0.0;
+    let mut random_total = 0.0;
+    for seed in [31u64, 32, 33] {
+        let root = SeedSequence::new(seed);
+        let env = Environment::new(cfg.clone(), &zoo, &root.derive("env"));
+        let regret_of = |combo: Combo| {
+            let mut policy = combo.build(&env, &root.derive("alg"));
+            let record = env.run(&mut policy);
+            regret::p1_regret_with_switching(&env, &record)
+        };
+        ours_total += regret_of(Combo::ours());
+        random_total += regret_of(Combo {
+            selector: SelectorKind::Random,
+            trader: TraderKind::PrimalDual,
+        });
+    }
+    assert!(
+        ours_total < random_total,
+        "Ours P1 regret ({ours_total:.2}) must beat Random ({random_total:.2})"
+    );
+}

@@ -1,0 +1,128 @@
+//! Empirical checks of the paper's theoretical guarantees at test
+//! scale: sub-linear P1 regret growth (Theorem 1), vanishing
+//! time-averaged fit (Theorem 2), and the block schedule's switch
+//! budget.
+
+use carbon_edge::bandit::{BlockTsallisInf, ModelSelector, Schedule};
+use carbon_edge::core::combos::Combo;
+use carbon_edge::core::regret;
+use carbon_edge::core::runner::{run_single, PolicySpec};
+use carbon_edge::edgesim::SimConfig;
+use carbon_edge::nn::{ModelZoo, ZooConfig};
+use carbon_edge::simdata::dataset::TaskKind;
+use carbon_edge::util::stats::ols_slope;
+use carbon_edge::util::SeedSequence;
+use rand::Rng;
+
+/// Pseudo-regret of Algorithm 1 on synthetic Bernoulli arms, averaged
+/// over seeds.
+fn bandit_pseudo_regret(horizon: usize, u: f64, seeds: &[u64]) -> f64 {
+    let means = [0.2, 0.5, 0.5, 0.5, 0.5, 0.5];
+    let mut total = 0.0;
+    for &seed in seeds {
+        let mut alg = BlockTsallisInf::new(
+            6,
+            Schedule::theorem1(u, 6, horizon),
+            SeedSequence::new(seed),
+        );
+        let mut rng = SeedSequence::new(seed).derive("env").rng();
+        let mut switches = 0usize;
+        let mut last = usize::MAX;
+        for t in 0..horizon {
+            let arm = alg.select(t);
+            if arm != last {
+                switches += 1;
+                last = arm;
+            }
+            let loss = if rng.gen::<f64>() < means[arm] {
+                1.0
+            } else {
+                0.0
+            };
+            // Pseudo-regret accumulates the gap of the pulled arm.
+            total += means[arm] - 0.2;
+            alg.observe(t, arm, loss);
+        }
+        total += switches as f64 * u;
+    }
+    total / seeds.len() as f64
+}
+
+#[test]
+fn theorem1_regret_plus_switching_grows_sublinearly() {
+    let seeds = [1u64, 2, 3, 4];
+    let horizons = [400usize, 1600, 6400];
+    let values: Vec<f64> = horizons
+        .iter()
+        .map(|&h| bandit_pseudo_regret(h, 1.0, &seeds))
+        .collect();
+    let log_t: Vec<f64> = horizons.iter().map(|&h| (h as f64).ln()).collect();
+    let log_r: Vec<f64> = values.iter().map(|&v| v.max(1.0).ln()).collect();
+    let slope = ols_slope(&log_t, &log_r);
+    assert!(
+        slope < 0.85,
+        "Theorem 1 regret growth not sub-linear: slope {slope}, values {values:?}"
+    );
+}
+
+#[test]
+fn theorem1_switch_budget_respected() {
+    // The realized switch count never exceeds the number of blocks,
+    // which is O(N^{1/3} (T/u)^{2/3}).
+    for (u, horizon) in [(0.5f64, 500usize), (2.0, 1000), (8.0, 2000)] {
+        let schedule = Schedule::theorem1(u, 6, horizon);
+        let budget = schedule.num_blocks();
+        let bound = (6.0f64).powf(1.0 / 3.0) * (horizon as f64 / u).powf(2.0 / 3.0) + 2.0;
+        assert!(
+            (budget as f64) <= bound.ceil() + 1.0,
+            "block count {budget} exceeds Theorem 1's bound {bound} (u={u}, T={horizon})"
+        );
+    }
+}
+
+#[test]
+fn theorem2_time_averaged_fit_vanishes() {
+    // Run the full system at growing horizons and check that the
+    // time-averaged violation shrinks.
+    let zoo = ModelZoo::train(
+        TaskKind::MnistLike,
+        &ZooConfig::fast(),
+        &SeedSequence::new(77),
+    );
+    let base = SimConfig::fast_test(TaskKind::MnistLike);
+    let mut rates = Vec::new();
+    for mult in [1usize, 2, 4] {
+        let mut cfg = base.clone();
+        cfg.horizon = base.horizon * mult;
+        cfg.workload.days = base.workload.days * mult;
+        cfg.cap = cfg.cap * mult as f64;
+        let mut fit = 0.0;
+        for seed in [5u64, 6, 7] {
+            let record = run_single(&cfg, &zoo, seed, &PolicySpec::Combo(Combo::ours()));
+            fit += regret::fit(&record);
+        }
+        rates.push(fit / 3.0 / cfg.horizon as f64);
+    }
+    assert!(
+        rates[2] <= rates[0] + 1e-9,
+        "time-averaged fit failed to shrink: {rates:?}"
+    );
+}
+
+#[test]
+fn settlement_makes_violation_unprofitable() {
+    // A policy that never trades must end up more expensive than the
+    // offline plan that covers its emissions, because the compliance
+    // fine exceeds the market price.
+    let zoo = ModelZoo::train(
+        TaskKind::MnistLike,
+        &ZooConfig::fast(),
+        &SeedSequence::new(88),
+    );
+    let cfg = SimConfig::fast_test(TaskKind::MnistLike);
+    let record = run_single(&cfg, &zoo, 9, &PolicySpec::Offline);
+    // Offline covers; its settlement is zero.
+    assert_eq!(record.settlement_cost, 0.0);
+    // The fine rate strictly exceeds the top of the price band.
+    assert!(cfg.violation_penalty > 10.9);
+}
