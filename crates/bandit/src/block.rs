@@ -176,6 +176,21 @@ impl ModelSelector for BlockTsallisInf {
     fn name(&self) -> &'static str {
         self.name
     }
+
+    fn record_telemetry(&self, edge: usize, rec: &mut cne_util::telemetry::Recorder) {
+        let (top_arm, top_prob) = self
+            .current_probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))
+            .map_or((0, 0.0), |(i, &p)| (i, p));
+        rec.gauge(&format!("selector.edge{edge}.top_arm"), top_arm as f64);
+        rec.gauge(&format!("selector.edge{edge}.top_prob"), top_prob);
+        rec.gauge(
+            &format!("selector.edge{edge}.blocks"),
+            self.schedule.num_blocks() as f64,
+        );
+    }
 }
 
 #[cfg(test)]

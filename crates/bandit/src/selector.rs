@@ -1,5 +1,7 @@
 //! The common interface of all model selectors.
 
+use cne_util::telemetry::Recorder;
+
 /// A sequential model-selection policy for one edge.
 ///
 /// The simulator drives a selector with the slot protocol of the paper's
@@ -26,6 +28,13 @@ pub trait ModelSelector {
 
     /// Short display name (used in figure legends).
     fn name(&self) -> &'static str;
+
+    /// Dumps end-of-run internal state (as gauges/counters namespaced
+    /// by `edge`) into a telemetry recorder. The default records
+    /// nothing; stateful selectors override it.
+    fn record_telemetry(&self, edge: usize, rec: &mut Recorder) {
+        let _ = (edge, rec);
+    }
 }
 
 #[cfg(test)]

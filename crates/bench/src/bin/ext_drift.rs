@@ -10,7 +10,7 @@
 
 use cne_bench::{fmt, write_tsv, Scale};
 use cne_core::combos::{Combo, SelectorKind, TraderKind};
-use cne_core::runner::{evaluate, PolicySpec};
+use cne_core::runner::PolicySpec;
 use cne_simdata::dataset::TaskKind;
 
 fn main() {
@@ -43,8 +43,7 @@ fn main() {
         "{:<12} {:>12} {:>12} {:>12}",
         "policy", "total cost", "acc pre", "acc post"
     );
-    for spec in &specs {
-        let r = evaluate(&config, &zoo, &scale.seeds, spec);
+    for r in scale.evaluate_grid(&config, &zoo, &specs) {
         let pre: f64 = r.mean_accuracy[..drift_at].iter().sum::<f64>() / drift_at as f64;
         let post: f64 =
             r.mean_accuracy[drift_at..].iter().sum::<f64>() / (config.horizon - drift_at) as f64;

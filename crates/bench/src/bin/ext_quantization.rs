@@ -10,7 +10,7 @@
 
 use cne_bench::{fmt, write_tsv, Scale};
 use cne_core::combos::Combo;
-use cne_core::runner::{evaluate, PolicySpec};
+use cne_core::runner::{evaluate_many_with, PolicySpec};
 use cne_nn::ModelZoo;
 use cne_simdata::dataset::TaskKind;
 
@@ -26,12 +26,10 @@ fn main() {
         "zoo", "total cost", "emissions", "accuracy", "violation"
     );
     for (name, zoo) in [("full-precision", &base_zoo), ("with-q8", &quant_zoo)] {
-        let r = evaluate(
-            &config,
-            zoo,
-            &scale.seeds,
-            &PolicySpec::Combo(Combo::ours()),
-        );
+        let r = scale
+            .evaluate_grid(&config, zoo, &[PolicySpec::Combo(Combo::ours())])
+            .pop()
+            .expect("one result");
         let emissions: f64 = r
             .records
             .iter()
@@ -66,12 +64,16 @@ fn main() {
 
     // How often quantized variants get picked (selection share across
     // all edges, one run).
-    let r = evaluate(
+    let r = evaluate_many_with(
         &config,
         &quant_zoo,
         &scale.seeds[..1],
-        &PolicySpec::Combo(Combo::ours()),
-    );
+        &[PolicySpec::Combo(Combo::ours())],
+        &scale.eval_options(),
+    )
+    .results
+    .pop()
+    .expect("one result");
     let rec = &r.records[0];
     let mut full = 0u64;
     let mut quant = 0u64;

@@ -4,7 +4,7 @@
 //! online policies and stays closest to the offline optimum.
 
 use cne_bench::{display_combos, fmt, write_tsv, Scale};
-use cne_core::runner::{evaluate, PolicySpec};
+use cne_core::runner::PolicySpec;
 use cne_simdata::dataset::TaskKind;
 use cne_util::series::normalize_by;
 
@@ -21,11 +21,10 @@ fn main() {
 
     let mut names = Vec::new();
     let mut series = Vec::new();
-    for spec in &specs {
-        let r = evaluate(&config, &zoo, &scale.seeds, spec);
+    for r in scale.evaluate_grid(&config, &zoo, &specs) {
         eprintln!("[fig03] {}: total {:.1}", r.name, r.mean_total_cost);
-        names.push(r.name.clone());
-        series.push(r.mean_cumulative_cost.clone());
+        names.push(r.name);
+        series.push(r.mean_cumulative_cost);
     }
 
     // Normalize every curve by the worst policy's final cumulative cost

@@ -6,7 +6,7 @@
 
 use cne_bench::{fmt, write_tsv, Scale};
 use cne_core::combos::Combo;
-use cne_core::runner::{evaluate, PolicySpec};
+use cne_core::runner::PolicySpec;
 use cne_simdata::dataset::TaskKind;
 
 fn main() {
@@ -25,11 +25,11 @@ fn main() {
     let mut totals: Vec<Vec<f64>> = Vec::new();
     for &edges in &scale.edges_sweep {
         let config = scale.config(TaskKind::MnistLike, edges);
-        let mut row = Vec::new();
-        for spec in &specs {
-            let r = evaluate(&config, &zoo, &scale.seeds, spec);
-            row.push(r.mean_total_cost);
-        }
+        let row = scale
+            .evaluate_grid(&config, &zoo, &specs)
+            .into_iter()
+            .map(|r| r.mean_total_cost)
+            .collect();
         eprintln!("[fig04] finished {edges} edges");
         totals.push(row);
     }

@@ -6,7 +6,7 @@
 //! after the first download), and the other baselines deteriorate.
 
 use cne_bench::{display_combos, fmt, write_tsv, Scale};
-use cne_core::runner::{evaluate, PolicySpec};
+use cne_core::runner::PolicySpec;
 use cne_simdata::dataset::TaskKind;
 
 fn main() {
@@ -28,8 +28,7 @@ fn main() {
         config.switch_weight = w;
         let mut row = vec![fmt(w)];
         let mut srow = vec![fmt(w)];
-        for spec in &specs {
-            let r = evaluate(&config, &zoo, &scale.seeds, spec);
+        for r in scale.evaluate_grid(&config, &zoo, &specs) {
             row.push(fmt(r.mean_total_cost));
             srow.push(fmt(r.mean_switches));
         }

@@ -7,7 +7,7 @@
 //! transient violations.
 
 use cne_bench::{display_combos, fmt, write_tsv, Scale};
-use cne_core::runner::{evaluate, PolicySpec};
+use cne_core::runner::PolicySpec;
 use cne_simdata::dataset::TaskKind;
 
 fn main() {
@@ -38,8 +38,7 @@ fn main() {
         }
         let mut row = vec![fmt(f)];
         let mut vrow = vec![fmt(f)];
-        for spec in &specs {
-            let r = evaluate(&config, &zoo, &scale.seeds, spec);
+        for r in scale.evaluate_grid(&config, &zoo, &specs) {
             row.push(fmt(r.mean_total_cost));
             vrow.push(fmt(r.mean_violation));
         }

@@ -6,7 +6,7 @@
 
 use cne_bench::{fmt, write_tsv, Scale};
 use cne_core::combos::{Combo, SelectorKind, TraderKind};
-use cne_core::runner::{evaluate, PolicySpec};
+use cne_core::runner::PolicySpec;
 use cne_simdata::dataset::TaskKind;
 
 fn main() {
@@ -37,8 +37,7 @@ fn main() {
         let mut config = base_config.clone();
         config.cap = config.cap * f;
         let mut row = vec![fmt(config.cap.get())];
-        for spec in &specs {
-            let r = evaluate(&config, &zoo, &scale.seeds, spec);
+        for r in scale.evaluate_grid(&config, &zoo, &specs) {
             row.push(fmt(r.mean_total_cost));
         }
         eprintln!("[fig07] finished cap factor {f}");

@@ -7,7 +7,7 @@
 use cne_bench::{fmt, write_tsv, Scale};
 use cne_core::combos::Combo;
 use cne_core::offline::OfflinePolicy;
-use cne_core::runner::{evaluate, PolicySpec};
+use cne_core::runner::PolicySpec;
 use cne_edgesim::Environment;
 use cne_simdata::dataset::TaskKind;
 use cne_util::SeedSequence;
@@ -17,12 +17,10 @@ fn main() {
     let zoo = scale.train_zoo(TaskKind::CifarLike);
     let config = scale.config(TaskKind::CifarLike, scale.default_edges);
 
-    let ours = evaluate(
-        &config,
-        &zoo,
-        &scale.seeds,
-        &PolicySpec::Combo(Combo::ours()),
-    );
+    let ours = scale
+        .evaluate_grid(&config, &zoo, &[PolicySpec::Combo(Combo::ours())])
+        .pop()
+        .expect("one result");
     // Aggregate edge-0 selection counts over the seeded runs.
     let mut counts = vec![0u64; zoo.len()];
     for record in &ours.records {

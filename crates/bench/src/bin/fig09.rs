@@ -8,7 +8,7 @@
 
 use cne_bench::{fmt, write_tsv, Scale};
 use cne_core::combos::{Combo, SelectorKind, TraderKind};
-use cne_core::runner::{evaluate, PolicySpec};
+use cne_core::runner::PolicySpec;
 use cne_simdata::dataset::TaskKind;
 use cne_util::stats::{ols_slope, sample_std};
 
@@ -34,13 +34,12 @@ fn main() {
     let mut purchase_series = Vec::new();
     let mut unit_costs = Vec::new();
     let mut arrivals = Vec::new();
-    for spec in &specs {
-        let r = evaluate(&config, &zoo, &scale.seeds, spec);
-        names.push(r.name.clone());
-        purchase_series.push(r.mean_net_purchase.clone());
+    for r in scale.evaluate_grid(&config, &zoo, &specs) {
+        eprintln!("[fig09] finished {}", r.name);
+        names.push(r.name);
+        purchase_series.push(r.mean_net_purchase);
         unit_costs.push(r.mean_unit_purchase_cost);
-        arrivals = r.mean_arrivals.clone();
-        eprintln!("[fig09] finished {}", spec.name());
+        arrivals = r.mean_arrivals;
     }
 
     let mut header = vec!["t".to_owned(), "arrivals".to_owned()];

@@ -7,7 +7,7 @@
 
 use cne_bench::{display_combos, fmt, write_tsv, Scale};
 use cne_core::regret::p0_regret;
-use cne_core::runner::{run_single, PolicySpec};
+use cne_core::runner::PolicySpec;
 use cne_simdata::dataset::TaskKind;
 use cne_util::stats::ols_slope;
 
@@ -21,21 +21,29 @@ fn main() {
         .collect();
     let names: Vec<String> = specs.iter().map(PolicySpec::name).collect();
 
+    // The grid evaluates the display policies plus the Offline
+    // benchmark; per-seed records come back in seed order, so regrets
+    // pair run i of each policy with run i of Offline.
+    let mut grid = specs.clone();
+    grid.push(PolicySpec::Offline);
+
     // regrets[h_idx][spec_idx]
     let mut regrets: Vec<Vec<f64>> = Vec::new();
     for &horizon in &scale.horizon_sweep {
         let config = scale.config_with_horizon(TaskKind::MnistLike, scale.default_edges, horizon);
-        let mut row = vec![0.0; specs.len()];
-        for &seed in &scale.seeds {
-            let offline = run_single(&config, &zoo, seed, &PolicySpec::Offline);
-            for (j, spec) in specs.iter().enumerate() {
-                let record = run_single(&config, &zoo, seed, spec);
-                row[j] += p0_regret(&record, &offline);
-            }
-        }
-        for v in &mut row {
-            *v /= scale.seeds.len() as f64;
-        }
+        let mut results = scale.evaluate_grid(&config, &zoo, &grid);
+        let offline = results.pop().expect("offline result");
+        let row = results
+            .iter()
+            .map(|r| {
+                r.records
+                    .iter()
+                    .zip(&offline.records)
+                    .map(|(record, base)| p0_regret(record, base))
+                    .sum::<f64>()
+                    / scale.seeds.len() as f64
+            })
+            .collect();
         eprintln!("[fig10] finished T = {horizon}");
         regrets.push(row);
     }

@@ -6,7 +6,7 @@
 
 use cne_bench::{display_combos, fmt, write_tsv, Scale};
 use cne_core::regret::fit;
-use cne_core::runner::{run_single, PolicySpec};
+use cne_core::runner::PolicySpec;
 use cne_simdata::dataset::TaskKind;
 
 fn main() {
@@ -22,16 +22,11 @@ fn main() {
     let mut fits: Vec<Vec<f64>> = Vec::new();
     for &horizon in &scale.horizon_sweep {
         let config = scale.config_with_horizon(TaskKind::MnistLike, scale.default_edges, horizon);
-        let mut row = vec![0.0; specs.len()];
-        for &seed in &scale.seeds {
-            for (j, spec) in specs.iter().enumerate() {
-                let record = run_single(&config, &zoo, seed, spec);
-                row[j] += fit(&record);
-            }
-        }
-        for v in &mut row {
-            *v /= scale.seeds.len() as f64;
-        }
+        let row = scale
+            .evaluate_grid(&config, &zoo, &specs)
+            .iter()
+            .map(|r| r.records.iter().map(fit).sum::<f64>() / scale.seeds.len() as f64)
+            .collect();
         eprintln!("[fig11] finished T = {horizon}");
         fits.push(row);
     }

@@ -11,6 +11,7 @@ use cne_bench::{fmt, write_tsv, Scale, TimedPolicy};
 use cne_core::combos::Combo;
 use cne_edgesim::Environment;
 use cne_simdata::dataset::TaskKind;
+use cne_util::telemetry::Recorder;
 use cne_util::SeedSequence;
 
 fn main() {
@@ -18,6 +19,7 @@ fn main() {
     let zoo = scale.train_zoo(TaskKind::MnistLike);
 
     let mut rows = Vec::new();
+    let mut recorders = Vec::new();
     println!(
         "{:>6} {:>18} {:>18}",
         "edges", "alg1 ms/slot", "alg2 ms/slot"
@@ -27,12 +29,21 @@ fn main() {
         let seed = SeedSequence::new(7);
         let env = Environment::new(config, &zoo, &seed.derive("env"));
         let mut timed = TimedPolicy::new(Combo::ours().build(&env, &seed.derive("alg")));
-        let _record = env.run(&mut timed);
+        if scale.telemetry.is_some() {
+            let mut rec = Recorder::new();
+            rec.set_label("figure", "fig14");
+            rec.set_label("edges", edges.to_string());
+            let _record = env.run_traced(&mut timed, &mut rec);
+            recorders.push(rec);
+        } else {
+            let _record = env.run(&mut timed);
+        }
         let alg1_ms = timed.selection_per_slot() * 1e3;
         let alg2_ms = timed.trading_per_slot() * 1e3;
         println!("{edges:>6} {alg1_ms:>18.4} {alg2_ms:>18.4}");
         rows.push(vec![edges.to_string(), fmt(alg1_ms), fmt(alg2_ms)]);
     }
+    scale.write_recorders(&recorders);
     write_tsv(
         &scale.out_dir,
         "fig14_runtime_vs_edges.tsv",

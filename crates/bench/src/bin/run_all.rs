@@ -2,8 +2,13 @@
 //! binaries with the current flags.
 //!
 //! ```text
-//! cargo run --release -p cne-bench --bin run_all [--quick] [--out results]
+//! cargo run --release -p cne-bench --bin run_all [--quick] [--out results] [--threads N]
 //! ```
+//!
+//! `--threads`/`--telemetry` forward to every figure binary. Note
+//! that each binary truncates the `--telemetry` file when it starts,
+//! so under `run_all` the file holds only the *last* figure's traces —
+//! pass `--telemetry` to individual binaries instead.
 
 use std::process::Command;
 

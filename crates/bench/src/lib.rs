@@ -19,16 +19,19 @@
 
 pub mod plot;
 
+use std::cell::Cell;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use cne_core::combos::{Combo, SelectorKind, TraderKind};
+use cne_core::runner::{evaluate_many_with, EvalOptions, EvalResult, PolicySpec};
 use cne_edgesim::policy::{Policy, SlotFeedback};
 use cne_edgesim::SimConfig;
 use cne_nn::{ModelZoo, ZooConfig};
 use cne_simdata::dataset::TaskKind;
 use cne_trading::policy::TradeContext;
+use cne_util::telemetry::Recorder;
 use cne_util::units::Allowances;
 use cne_util::SeedSequence;
 
@@ -49,11 +52,21 @@ pub struct Scale {
     pub horizon_sweep: Vec<usize>,
     /// Output directory for TSV files.
     pub out_dir: PathBuf,
+    /// Worker threads for the multi-seed driver (`--threads`; `None`
+    /// defers to `CARBON_EDGE_THREADS`, then machine parallelism).
+    pub threads: Option<usize>,
+    /// JSONL telemetry sink (`--telemetry <file>`), shared by every
+    /// [`Scale::evaluate_grid`] call of the binary.
+    pub telemetry: Option<PathBuf>,
+    /// Whether the telemetry file has been started (first grid call
+    /// truncates, later calls append).
+    telemetry_started: Cell<bool>,
 }
 
 impl Scale {
-    /// Parses `--quick` / `--out <dir>` from `std::env::args` and
-    /// `CNE_QUICK` from the environment.
+    /// Parses `--quick` / `--out <dir>` / `--threads <n>` /
+    /// `--telemetry <file>` from `std::env::args` and `CNE_QUICK` from
+    /// the environment.
     #[must_use]
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,13 +74,22 @@ impl Scale {
             || std::env::var("CNE_QUICK")
                 .map(|v| v == "1")
                 .unwrap_or(false);
-        let out_dir = args
-            .iter()
-            .position(|a| a == "--out")
-            .and_then(|i| args.get(i + 1))
+        let value_of = |flag: &str| {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+        };
+        let out_dir = value_of("--out")
             .map(PathBuf::from)
             .unwrap_or_else(|| PathBuf::from("results"));
-        Self::preset(quick, out_dir)
+        let mut scale = Self::preset(quick, out_dir);
+        scale.threads = value_of("--threads").map(|v| {
+            let n: usize = v.parse().expect("--threads takes a positive integer");
+            assert!(n >= 1, "--threads must be at least 1");
+            n
+        });
+        scale.telemetry = value_of("--telemetry").map(PathBuf::from);
+        scale
     }
 
     /// Builds the preset for the given mode.
@@ -82,6 +104,9 @@ impl Scale {
                 edges_sweep: vec![4, 8],
                 horizon_sweep: vec![40, 80],
                 out_dir,
+                threads: None,
+                telemetry: None,
+                telemetry_started: Cell::new(false),
             }
         } else {
             Self {
@@ -92,8 +117,70 @@ impl Scale {
                 edges_sweep: vec![10, 20, 30, 40, 50],
                 horizon_sweep: vec![40, 80, 160, 320, 640],
                 out_dir,
+                threads: None,
+                telemetry: None,
+                telemetry_started: Cell::new(false),
             }
         }
+    }
+
+    /// The [`EvalOptions`] this scale implies.
+    #[must_use]
+    pub fn eval_options(&self) -> EvalOptions {
+        EvalOptions {
+            threads: self.threads,
+            telemetry: self.telemetry.is_some(),
+            progress: false,
+        }
+    }
+
+    /// Evaluates a policy grid via the parallel multi-seed driver,
+    /// streaming per-run telemetry to the `--telemetry` file (if any;
+    /// the first call truncates it, later calls append).
+    ///
+    /// # Panics
+    /// Panics if `specs` or the seed list is empty, or if the
+    /// telemetry file cannot be written.
+    #[must_use]
+    pub fn evaluate_grid(
+        &self,
+        config: &SimConfig,
+        zoo: &ModelZoo,
+        specs: &[PolicySpec],
+    ) -> Vec<EvalResult> {
+        let report = evaluate_many_with(config, zoo, &self.seeds, specs, &self.eval_options());
+        self.write_recorders(&report.telemetry);
+        report.results
+    }
+
+    /// Appends run traces to the `--telemetry` file, if one was given
+    /// (the first call of the process truncates it, later calls
+    /// append). No-op without `--telemetry`.
+    ///
+    /// # Panics
+    /// Panics if the telemetry file cannot be written.
+    pub fn write_recorders(&self, recorders: &[Recorder]) {
+        let Some(path) = &self.telemetry else {
+            return;
+        };
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(self.telemetry_started.get())
+            .truncate(!self.telemetry_started.get())
+            .write(true)
+            .open(path)
+            .expect("open telemetry file");
+        let mut sink = std::io::BufWriter::new(file);
+        for rec in recorders {
+            rec.write_jsonl(&mut sink).expect("write telemetry");
+        }
+        sink.flush().expect("flush telemetry");
+        self.telemetry_started.set(true);
+        eprintln!(
+            "[bench] appended {} run traces to {}",
+            recorders.len(),
+            path.display()
+        );
     }
 
     /// Trains (or reuses) the zoo for a task at this scale.
@@ -181,8 +268,6 @@ pub fn display_combos() -> Vec<Combo> {
 /// `Greedy-Ran`, and `Offline` on the given task, printed and written
 /// to `file`.
 pub fn accuracy_figure(scale: &Scale, task: TaskKind, file: &str) {
-    use cne_core::runner::{evaluate, PolicySpec};
-
     let zoo = scale.train_zoo(task);
     let config = scale.config(task, scale.default_edges);
 
@@ -202,12 +287,11 @@ pub fn accuracy_figure(scale: &Scale, task: TaskKind, file: &str) {
 
     let mut names = Vec::new();
     let mut series = Vec::new();
-    for spec in &specs {
-        let r = evaluate(&config, &zoo, &scale.seeds, spec);
+    for r in scale.evaluate_grid(&config, &zoo, &specs) {
         let mean_acc = r.mean_accuracy.iter().sum::<f64>() / r.mean_accuracy.len() as f64;
         println!("  {:<10} mean accuracy {:.3}", r.name, mean_acc);
-        names.push(r.name.clone());
-        series.push(r.mean_accuracy.clone());
+        names.push(r.name);
+        series.push(r.mean_accuracy);
     }
 
     let mut header = vec!["t".to_owned()];
@@ -289,6 +373,10 @@ impl<P: Policy> Policy for TimedPolicy<P> {
 
     fn name(&self) -> String {
         self.inner.name()
+    }
+
+    fn record_telemetry(&self, rec: &mut Recorder) {
+        self.inner.record_telemetry(rec);
     }
 }
 

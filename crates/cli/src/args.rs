@@ -19,6 +19,11 @@ pub struct Options {
     pub quantized: bool,
     /// Optional output TSV path for per-slot series.
     pub out: Option<String>,
+    /// Worker threads for the multi-seed driver (`None` defers to
+    /// `CARBON_EDGE_THREADS`, then to the machine's parallelism).
+    pub threads: Option<usize>,
+    /// Optional JSONL path for per-run telemetry traces.
+    pub telemetry: Option<String>,
 }
 
 impl Default for Options {
@@ -31,6 +36,8 @@ impl Default for Options {
             quick: false,
             quantized: false,
             out: None,
+            threads: None,
+            telemetry: None,
         }
     }
 }
@@ -76,6 +83,16 @@ impl Options {
                 }
                 "--policy" => opts.policy = value("--policy")?,
                 "--out" => opts.out = Some(value("--out")?),
+                "--threads" => {
+                    let n: usize = value("--threads")?
+                        .parse()
+                        .map_err(|_| "threads must be a positive integer".to_owned())?;
+                    if n == 0 {
+                        return Err("threads must be at least 1".to_owned());
+                    }
+                    opts.threads = Some(n);
+                }
+                "--telemetry" => opts.telemetry = Some(value("--telemetry")?),
                 "--quick" => opts.quick = true,
                 "--quantized" => opts.quantized = true,
                 other => return Err(format!("unknown flag '{other}'")),
@@ -131,6 +148,15 @@ mod tests {
         assert_eq!(o.policy, "ucb-ly");
         assert!(o.quick && o.quantized);
         assert_eq!(o.out.as_deref(), Some("x.tsv"));
+    }
+
+    #[test]
+    fn threads_and_telemetry() {
+        let o = parse(&["--threads", "4", "--telemetry", "trace.jsonl"]).expect("valid");
+        assert_eq!(o.threads, Some(4));
+        assert_eq!(o.telemetry.as_deref(), Some("trace.jsonl"));
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads", "four"]).is_err());
     }
 
     #[test]

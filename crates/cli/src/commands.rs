@@ -3,9 +3,10 @@
 use std::io::Write as _;
 
 use cne_core::combos::Combo;
-use cne_core::runner::{evaluate, PolicySpec};
+use cne_core::runner::{evaluate_many_with, EvalOptions, EvalReport, PolicySpec};
 use cne_edgesim::SimConfig;
 use cne_nn::{ModelZoo, ZooConfig};
+use cne_util::telemetry::Recorder;
 use cne_util::SeedSequence;
 
 use crate::args::Options;
@@ -32,10 +33,16 @@ FLAGS:
   --quantized           extend the zoo with 8-bit quantized variants
   --quick               reduced fast-test scale (fast zoo, 40 slots)
   --out FILE.tsv        run: write the per-slot series to a TSV
+  --threads N           worker threads for seed runs (default: the
+                        CARBON_EDGE_THREADS env var, else all cores;
+                        results are identical at any thread count)
+  --telemetry F.jsonl   write per-run JSONL traces (switches, trades,
+                        violations, per-stage timings)
 
 EXAMPLES:
   carbon-edge run --policy ours --edges 10 --seeds 5
-  carbon-edge compare --quick
+  carbon-edge compare --quick --threads 4
+  carbon-edge run --quick --telemetry trace.jsonl
   carbon-edge zoo --task cifar --quantized"
     );
 }
@@ -74,12 +81,45 @@ fn parse_spec(name: &str) -> Result<PolicySpec, String> {
         .map_err(|e| e.to_string())
 }
 
+fn eval_options(opts: &Options) -> EvalOptions {
+    EvalOptions {
+        threads: opts.threads,
+        telemetry: opts.telemetry.is_some(),
+        progress: true,
+    }
+}
+
+/// Writes every run's recorder to one JSONL file, in `(spec, seed)`
+/// order, and prints a confirmation line.
+fn write_telemetry(path: &str, recorders: &[Recorder]) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut sink = std::io::BufWriter::new(file);
+    for rec in recorders {
+        rec.write_jsonl(&mut sink)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    sink.flush()
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!(
+        "telemetry    : {} run traces written to {path}",
+        recorders.len()
+    );
+    Ok(())
+}
+
 /// `carbon-edge run`.
 pub fn run(opts: &Options) -> Result<(), String> {
     let spec = parse_spec(&opts.policy)?;
     let zoo = build_zoo(opts);
     let config = build_config(opts);
-    let result = evaluate(&config, &zoo, &opts.seed_list(), &spec);
+    let EvalReport { results, telemetry } = evaluate_many_with(
+        &config,
+        &zoo,
+        &opts.seed_list(),
+        std::slice::from_ref(&spec),
+        &eval_options(opts),
+    );
+    let result = &results[0];
 
     println!("policy       : {}", result.name);
     println!(
@@ -122,6 +162,9 @@ pub fn run(opts: &Options) -> Result<(), String> {
         }
         println!("series       : written to {path}");
     }
+    if let Some(path) = &opts.telemetry {
+        write_telemetry(path, &telemetry)?;
+    }
     Ok(())
 }
 
@@ -136,18 +179,28 @@ pub fn compare(opts: &Options) -> Result<(), String> {
     specs.push(PolicySpec::Combo(Combo::ours()));
     specs.push(PolicySpec::Offline);
 
-    let mut rows = Vec::new();
-    for spec in &specs {
-        let r = evaluate(&config, &zoo, &opts.seed_list(), spec);
-        eprintln!("  finished {}", r.name);
-        rows.push((
-            r.name.clone(),
-            r.mean_total_cost,
-            r.mean_violation,
-            r.mean_switches,
-        ));
-    }
+    let EvalReport { results, telemetry } = evaluate_many_with(
+        &config,
+        &zoo,
+        &opts.seed_list(),
+        &specs,
+        &eval_options(opts),
+    );
+    let mut rows: Vec<_> = results
+        .iter()
+        .map(|r| {
+            (
+                r.name.clone(),
+                r.mean_total_cost,
+                r.mean_violation,
+                r.mean_switches,
+            )
+        })
+        .collect();
     rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+    if let Some(path) = &opts.telemetry {
+        write_telemetry(path, &telemetry)?;
+    }
 
     println!(
         "\n{:<12} {:>12} {:>11} {:>10}",

@@ -107,6 +107,13 @@ impl Policy for ComboController {
     fn name(&self) -> String {
         self.display_name.clone()
     }
+
+    fn record_telemetry(&self, rec: &mut cne_util::telemetry::Recorder) {
+        for (i, sel) in self.selectors.iter().enumerate() {
+            sel.record_telemetry(i, rec);
+        }
+        self.trader.record_telemetry(rec);
+    }
 }
 
 #[cfg(test)]

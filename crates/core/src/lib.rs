@@ -61,4 +61,7 @@ pub use combos::{Combo, SelectorKind, TraderKind};
 pub use controller::ComboController;
 pub use offline::OfflinePolicy;
 pub use problem::LossNormalizer;
-pub use runner::{evaluate, EvalResult, PolicySpec};
+pub use runner::{
+    evaluate, evaluate_many, evaluate_many_with, evaluate_with, resolve_threads, EvalOptions,
+    EvalReport, EvalResult, PolicySpec, THREADS_ENV_VAR,
+};

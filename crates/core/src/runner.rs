@@ -4,16 +4,47 @@
 //! (§V-B). [`evaluate`] realizes one environment per seed (shared by
 //! every policy evaluated with the same seed list), runs the policy,
 //! and aggregates the per-run metrics.
+//!
+//! # Threading model
+//!
+//! Every run is a pure function of `(seed, spec)`: the environment is
+//! realized from `SeedSequence::new(seed).derive("env")` and the
+//! policy from `…derive("alg")`, with no shared mutable state. The
+//! driver therefore fans the `specs × seeds` job grid over a pool of
+//! [`std::thread::scope`] workers and merges results back in fixed
+//! `(spec, seed)` order, so aggregated metrics are **bit-identical at
+//! every worker count**. The pool size comes from
+//! [`EvalOptions::threads`], the `CARBON_EDGE_THREADS` environment
+//! variable, or [`std::thread::available_parallelism`], in that order
+//! (see [`resolve_threads`]).
+//!
+//! # Telemetry
+//!
+//! With [`EvalOptions::telemetry`] set, each run carries a
+//! [`Recorder`] through [`Environment::run_traced`], capturing model
+//! switches, allowance trades, constraint violations, per-stage
+//! timings, and end-of-run policy state. Recorders come back in the
+//! same fixed `(spec, seed)` order (see [`EvalReport::telemetry`]).
 
-use cne_edgesim::{Environment, RunRecord, SimConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use cne_edgesim::{Environment, Policy, RunRecord, SimConfig};
 use cne_nn::ModelZoo;
 use cne_util::series::mean_series;
 use cne_util::stats::OnlineStats;
+use cne_util::telemetry::Recorder;
 use cne_util::SeedSequence;
 
 use crate::combos::Combo;
 use crate::offline::OfflinePolicy;
 use crate::regret;
+
+/// Environment variable consulted for the worker count when
+/// [`EvalOptions::threads`] is unset. Invalid or zero values are
+/// ignored.
+pub const THREADS_ENV_VAR: &str = "CARBON_EDGE_THREADS";
 
 /// Which policy to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,6 +64,33 @@ impl PolicySpec {
             PolicySpec::Offline => "Offline".to_owned(),
         }
     }
+}
+
+/// Knobs for the multi-seed driver.
+#[derive(Debug, Clone, Default)]
+pub struct EvalOptions {
+    /// Worker threads. `None` defers to the `CARBON_EDGE_THREADS`
+    /// environment variable, then to the machine's available
+    /// parallelism.
+    pub threads: Option<usize>,
+    /// Collect a telemetry [`Recorder`] per run (see
+    /// [`EvalReport::telemetry`]).
+    pub telemetry: bool,
+    /// Print a progress line to stderr as each run completes.
+    pub progress: bool,
+}
+
+/// The outcome of [`evaluate_many_with`]: aggregated results per spec
+/// plus (optionally) per-run telemetry.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// One aggregated result per requested spec, in input order.
+    pub results: Vec<EvalResult>,
+    /// One recorder per `(spec, seed)` run, spec-major and seed-minor
+    /// — i.e. `telemetry[s * seeds.len() + k]` belongs to `specs[s]`
+    /// run with `seeds[k]`. Empty unless [`EvalOptions::telemetry`]
+    /// was set.
+    pub telemetry: Vec<Recorder>,
 }
 
 /// Aggregated metrics over the seed list.
@@ -69,6 +127,24 @@ pub struct EvalResult {
     pub records: Vec<RunRecord>,
 }
 
+/// Resolves the worker-thread count: explicit request, then the
+/// `CARBON_EDGE_THREADS` environment variable, then the machine's
+/// available parallelism (1 if unknown). Always at least 1.
+#[must_use]
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    if let Some(n) = requested {
+        return n.max(1);
+    }
+    if let Ok(value) = std::env::var(THREADS_ENV_VAR) {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// Builds and runs a single policy instance on a fresh environment.
 ///
 /// `seed` controls the environment realization *and* the policy's
@@ -76,32 +152,57 @@ pub struct EvalResult {
 /// seed see the same environment.
 #[must_use]
 pub fn run_single(config: &SimConfig, zoo: &ModelZoo, seed: u64, spec: &PolicySpec) -> RunRecord {
+    run_job(config, zoo, seed, spec, false).record
+}
+
+/// Everything one `(seed, spec)` run produces. `p1` is computed while
+/// the environment is still alive (it needs the realized prices).
+struct JobOutput {
+    record: RunRecord,
+    p1: f64,
+    recorder: Option<Recorder>,
+}
+
+fn run_job(
+    config: &SimConfig,
+    zoo: &ModelZoo,
+    seed: u64,
+    spec: &PolicySpec,
+    telemetry: bool,
+) -> JobOutput {
     let root = SeedSequence::new(seed);
     let env = Environment::new(config.clone(), zoo, &root.derive("env"));
-    match spec {
-        PolicySpec::Combo(combo) => {
-            let mut policy = combo.build(&env, &root.derive("alg"));
-            env.run(&mut policy)
-        }
-        PolicySpec::Offline => {
-            let mut policy = OfflinePolicy::plan(&env);
-            env.run(&mut policy)
-        }
+    let mut recorder = telemetry.then(|| {
+        let mut rec = Recorder::new();
+        rec.set_label("policy", spec.name());
+        rec.set_label("seed", seed.to_string());
+        rec
+    });
+    let started = Instant::now();
+    let mut policy: Box<dyn Policy> = match spec {
+        PolicySpec::Combo(combo) => Box::new(combo.build(&env, &root.derive("alg"))),
+        PolicySpec::Offline => Box::new(OfflinePolicy::plan(&env)),
+    };
+    let record = match recorder.as_mut() {
+        Some(rec) => env.run_traced(policy.as_mut(), rec),
+        None => env.run(policy.as_mut()),
+    };
+    if let Some(rec) = recorder.as_mut() {
+        rec.gauge("run_ms", started.elapsed().as_secs_f64() * 1e3);
+    }
+    let p1 = regret::p1_regret_with_switching(&env, &record);
+    JobOutput {
+        record,
+        p1,
+        recorder,
     }
 }
 
-/// Runs `spec` once per seed and aggregates.
-///
-/// # Panics
-/// Panics if `seeds` is empty.
-#[must_use]
-pub fn evaluate(
-    config: &SimConfig,
-    zoo: &ModelZoo,
-    seeds: &[u64],
-    spec: &PolicySpec,
-) -> EvalResult {
-    assert!(!seeds.is_empty(), "need at least one seed");
+/// Folds seed-ordered run outputs into an [`EvalResult`], in exactly
+/// the order the sequential driver historically used — aggregation
+/// order is part of the determinism contract (floating-point addition
+/// does not reassociate).
+fn aggregate(config: &SimConfig, name: String, runs: Vec<(RunRecord, f64)>) -> EvalResult {
     let mut totals = OnlineStats::new();
     let mut violations = OnlineStats::new();
     let mut fits = OnlineStats::new();
@@ -113,25 +214,13 @@ pub fn evaluate(
     let mut accuracy = Vec::new();
     let mut net_purchase = Vec::new();
     let mut arrivals = Vec::new();
-    let mut records = Vec::with_capacity(seeds.len());
+    let mut records = Vec::with_capacity(runs.len());
 
-    for &seed in seeds {
-        let root = SeedSequence::new(seed);
-        let env = Environment::new(config.clone(), zoo, &root.derive("env"));
-        let record = match spec {
-            PolicySpec::Combo(combo) => {
-                let mut policy = combo.build(&env, &root.derive("alg"));
-                env.run(&mut policy)
-            }
-            PolicySpec::Offline => {
-                let mut policy = OfflinePolicy::plan(&env);
-                env.run(&mut policy)
-            }
-        };
+    for (record, p1_value) in runs {
         totals.push(record.total_cost());
         violations.push(record.violation());
         fits.push(regret::fit(&record));
-        p1.push(regret::p1_regret_with_switching(&env, &record));
+        p1.push(p1_value);
         p2.push(regret::p2_regret(
             &record,
             config.bounds.max_buy.get(),
@@ -147,7 +236,7 @@ pub fn evaluate(
     }
 
     EvalResult {
-        name: spec.name(),
+        name,
         mean_total_cost: totals.mean(),
         std_total_cost: totals.sample_std(),
         mean_violation: violations.mean(),
@@ -162,6 +251,156 @@ pub fn evaluate(
         mean_arrivals: mean_series(&arrivals),
         records,
     }
+}
+
+/// Runs `spec` once per seed and aggregates.
+///
+/// Seed-runs execute in parallel (see the [module docs](self) for the
+/// threading model); the result is bit-identical at any worker count.
+///
+/// # Examples
+///
+/// ```
+/// use cne_core::{evaluate, Combo, PolicySpec};
+/// use cne_edgesim::SimConfig;
+/// use cne_nn::{ModelZoo, ZooConfig};
+/// use cne_simdata::dataset::TaskKind;
+/// use cne_util::SeedSequence;
+///
+/// let zoo = ModelZoo::train(TaskKind::MnistLike, &ZooConfig::fast(), &SeedSequence::new(20));
+/// let cfg = SimConfig::fast_test(TaskKind::MnistLike);
+/// let result = evaluate(&cfg, &zoo, &[1, 2], &PolicySpec::Combo(Combo::ours()));
+/// assert_eq!(result.records.len(), 2);
+/// assert!(result.mean_total_cost.is_finite());
+/// ```
+///
+/// # Panics
+/// Panics if `seeds` is empty.
+#[must_use]
+pub fn evaluate(
+    config: &SimConfig,
+    zoo: &ModelZoo,
+    seeds: &[u64],
+    spec: &PolicySpec,
+) -> EvalResult {
+    evaluate_with(config, zoo, seeds, spec, &EvalOptions::default())
+}
+
+/// [`evaluate`] with explicit [`EvalOptions`].
+///
+/// # Panics
+/// Panics if `seeds` is empty.
+#[must_use]
+pub fn evaluate_with(
+    config: &SimConfig,
+    zoo: &ModelZoo,
+    seeds: &[u64],
+    spec: &PolicySpec,
+    options: &EvalOptions,
+) -> EvalResult {
+    let mut report = evaluate_many_with(config, zoo, seeds, std::slice::from_ref(spec), options);
+    report.results.pop().expect("one spec in, one result out")
+}
+
+/// Runs every spec of a policy grid across the seed list and
+/// aggregates per spec.
+///
+/// The full `specs × seeds` job grid is one work queue, so a grid of
+/// short and long policies still saturates the worker pool.
+///
+/// # Panics
+/// Panics if `seeds` or `specs` is empty.
+#[must_use]
+pub fn evaluate_many(
+    config: &SimConfig,
+    zoo: &ModelZoo,
+    seeds: &[u64],
+    specs: &[PolicySpec],
+) -> Vec<EvalResult> {
+    evaluate_many_with(config, zoo, seeds, specs, &EvalOptions::default()).results
+}
+
+/// [`evaluate_many`] with explicit [`EvalOptions`], also returning
+/// per-run telemetry when requested.
+///
+/// # Panics
+/// Panics if `seeds` or `specs` is empty.
+#[must_use]
+pub fn evaluate_many_with(
+    config: &SimConfig,
+    zoo: &ModelZoo,
+    seeds: &[u64],
+    specs: &[PolicySpec],
+    options: &EvalOptions,
+) -> EvalReport {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    assert!(!specs.is_empty(), "need at least one policy spec");
+
+    let num_jobs = specs.len() * seeds.len();
+    let threads = resolve_threads(options.threads).min(num_jobs);
+    let job_spec = |job: usize| (job / seeds.len(), job % seeds.len());
+
+    let mut outputs: Vec<Option<JobOutput>> = if threads <= 1 {
+        (0..num_jobs)
+            .map(|job| {
+                let (s, k) = job_spec(job);
+                let out = run_job(config, zoo, seeds[k], &specs[s], options.telemetry);
+                if options.progress {
+                    report_progress(job + 1, num_jobs, &specs[s], seeds[k]);
+                }
+                Some(out)
+            })
+            .collect()
+    } else {
+        let slots: Vec<Mutex<Option<JobOutput>>> =
+            (0..num_jobs).map(|_| Mutex::new(None)).collect();
+        let next_job = AtomicUsize::new(0);
+        let completed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let job = next_job.fetch_add(1, Ordering::Relaxed);
+                    if job >= num_jobs {
+                        break;
+                    }
+                    let (s, k) = job_spec(job);
+                    let out = run_job(config, zoo, seeds[k], &specs[s], options.telemetry);
+                    *slots[job].lock().expect("no panics while holding the lock") = Some(out);
+                    if options.progress {
+                        let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                        report_progress(done, num_jobs, &specs[s], seeds[k]);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("worker threads joined"))
+            .collect()
+    };
+
+    // Merge in fixed (spec, seed) order. Workers may have finished in
+    // any order; the aggregation below is what fixes determinism.
+    let mut results = Vec::with_capacity(specs.len());
+    let mut telemetry = Vec::new();
+    for (s, spec) in specs.iter().enumerate() {
+        let mut runs = Vec::with_capacity(seeds.len());
+        for k in 0..seeds.len() {
+            let out = outputs[s * seeds.len() + k]
+                .take()
+                .expect("every job ran exactly once");
+            if let Some(rec) = out.recorder {
+                telemetry.push(rec);
+            }
+            runs.push((out.record, out.p1));
+        }
+        results.push(aggregate(config, spec.name(), runs));
+    }
+    EvalReport { results, telemetry }
+}
+
+fn report_progress(done: usize, total: usize, spec: &PolicySpec, seed: u64) {
+    eprintln!("  [{done}/{total}] {} seed={seed}", spec.name());
 }
 
 #[cfg(test)]
@@ -247,5 +486,92 @@ mod tests {
             offline.mean_total_cost,
             ours.mean_total_cost
         );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let (zoo, cfg) = setup();
+        let seeds = [1u64, 2, 3, 4];
+        let spec = PolicySpec::Combo(Combo::ours());
+        let one = evaluate_with(
+            &cfg,
+            &zoo,
+            &seeds,
+            &spec,
+            &EvalOptions {
+                threads: Some(1),
+                ..EvalOptions::default()
+            },
+        );
+        let four = evaluate_with(
+            &cfg,
+            &zoo,
+            &seeds,
+            &spec,
+            &EvalOptions {
+                threads: Some(4),
+                ..EvalOptions::default()
+            },
+        );
+        assert_eq!(one, four, "results must be identical at any thread count");
+    }
+
+    #[test]
+    fn evaluate_many_matches_individual_evaluates() {
+        let (zoo, cfg) = setup();
+        let seeds = [6u64, 7];
+        let specs = [
+            PolicySpec::Combo(Combo::ours()),
+            PolicySpec::Offline,
+            PolicySpec::Combo(Combo {
+                selector: crate::combos::SelectorKind::Greedy,
+                trader: crate::combos::TraderKind::Threshold,
+            }),
+        ];
+        let grid = evaluate_many(&cfg, &zoo, &seeds, &specs);
+        assert_eq!(grid.len(), specs.len());
+        for (spec, from_grid) in specs.iter().zip(&grid) {
+            let alone = evaluate(&cfg, &zoo, &seeds, spec);
+            assert_eq!(&alone, from_grid, "grid result differs for {}", spec.name());
+        }
+    }
+
+    #[test]
+    fn telemetry_recorders_come_back_in_order() {
+        let (zoo, cfg) = setup();
+        let seeds = [8u64, 9];
+        let specs = [PolicySpec::Combo(Combo::ours()), PolicySpec::Offline];
+        let report = evaluate_many_with(
+            &cfg,
+            &zoo,
+            &seeds,
+            &specs,
+            &EvalOptions {
+                telemetry: true,
+                ..EvalOptions::default()
+            },
+        );
+        assert_eq!(report.telemetry.len(), specs.len() * seeds.len());
+        for (i, rec) in report.telemetry.iter().enumerate() {
+            let spec = &specs[i / seeds.len()];
+            let seed = seeds[i % seeds.len()];
+            let labels = rec.labels();
+            assert_eq!(labels[0], ("policy".to_owned(), spec.name()));
+            assert_eq!(labels[1], ("seed".to_owned(), seed.to_string()));
+            assert_eq!(rec.counter("slots"), cfg.horizon as u64);
+            assert!(rec.counter("switches") > 0, "every run downloads models");
+            assert!(rec.gauge_value("total_cost").is_some());
+        }
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit_request() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1, "zero clamps to one worker");
+        // No explicit request: whatever the fallback chain yields, it
+        // must be a usable worker count. (The environment variable
+        // branch is covered end-to-end by CI, which runs the suite
+        // under CARBON_EDGE_THREADS=1 and =4.)
+        assert!(resolve_threads(None) >= 1);
     }
 }

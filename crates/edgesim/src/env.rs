@@ -215,6 +215,37 @@ impl<'a> Environment<'a> {
     /// # Panics
     /// Panics if the policy returns a malformed placement vector.
     pub fn run(&self, policy: &mut dyn Policy) -> RunRecord {
+        self.run_impl(policy, None)
+    }
+
+    /// Runs a policy through the whole horizon while recording
+    /// telemetry: `switch`/`trade` events per slot, a `violation`
+    /// event at settlement, counters, and per-stage timing histograms
+    /// (`stage.select_us`, `stage.trade_us`, `stage.serve_us`,
+    /// `stage.feedback_us`).
+    ///
+    /// The returned [`RunRecord`] is bit-identical to [`Self::run`]
+    /// with the same policy state — tracing only observes the run.
+    /// Timing histogram *values* are wall-clock and therefore vary
+    /// between invocations; every other recorded quantity is
+    /// deterministic in `(seed, config, policy)`.
+    ///
+    /// # Panics
+    /// Panics if the policy returns a malformed placement vector.
+    pub fn run_traced(
+        &self,
+        policy: &mut dyn Policy,
+        telemetry: &mut cne_util::telemetry::Recorder,
+    ) -> RunRecord {
+        self.run_impl(policy, Some(telemetry))
+    }
+
+    fn run_impl(
+        &self,
+        policy: &mut dyn Policy,
+        mut telemetry: Option<&mut cne_util::telemetry::Recorder>,
+    ) -> RunRecord {
+        use std::time::Instant;
         let cfg = &self.config;
         let mut ledger = AllowanceLedger::new(cfg.cap);
         let mut prev_models: Vec<Option<usize>> = vec![None; cfg.num_edges];
@@ -230,7 +261,11 @@ impl<'a> Environment<'a> {
 
         for t in 0..cfg.horizon {
             // Step 1: model selection and (possible) download.
+            let stage_start = telemetry.as_ref().map(|_| Instant::now());
             let placements = policy.select_models(t);
+            if let (Some(rec), Some(start)) = (telemetry.as_deref_mut(), stage_start) {
+                rec.observe("stage.select_us", start.elapsed().as_secs_f64() * 1e6);
+            }
             assert_eq!(
                 placements.len(),
                 cfg.num_edges,
@@ -241,6 +276,7 @@ impl<'a> Environment<'a> {
             }
 
             // Carbon trading (Algorithm 2 decides using history only).
+            let stage_start = telemetry.as_ref().map(|_| Instant::now());
             let ctx = TradeContext {
                 buy_price: self.prices.buy(t),
                 sell_price: self.prices.sell(t),
@@ -251,8 +287,33 @@ impl<'a> Environment<'a> {
             let receipt = self
                 .market
                 .execute(ctx.buy_price, ctx.sell_price, z, w, &mut ledger);
+            if let Some(rec) = telemetry.as_deref_mut() {
+                rec.observe(
+                    "stage.trade_us",
+                    stage_start
+                        .expect("set when traced")
+                        .elapsed()
+                        .as_secs_f64()
+                        * 1e6,
+                );
+                if receipt.bought.get() > 0.0 || receipt.sold.get() > 0.0 {
+                    rec.incr("trades", 1);
+                    rec.event(
+                        Some(t as u64),
+                        "trade",
+                        &[
+                            ("bought", receipt.bought.get().into()),
+                            ("sold", receipt.sold.get().into()),
+                            ("buy_price", ctx.buy_price.get().into()),
+                            ("sell_price", ctx.sell_price.get().into()),
+                            ("net_cost", receipt.net_cost().get().into()),
+                        ],
+                    );
+                }
+            }
 
             // Steps 2–3: serve the streams and account energy/carbon.
+            let stage_start = telemetry.as_ref().map(|_| Instant::now());
             let mut outcomes = Vec::with_capacity(cfg.num_edges);
             let mut loss_cost = 0.0;
             let mut latency_cost = 0.0;
@@ -272,6 +333,15 @@ impl<'a> Environment<'a> {
                     edge_records[i].switches += 1;
                     switch_cost +=
                         self.download_delay_ms(i) * cfg.weights.switch_per_ms * cfg.switch_weight;
+                    if let Some(rec) = telemetry.as_deref_mut() {
+                        rec.incr("switches", 1);
+                        let mut fields = vec![("edge", i.into()), ("to", n.into())];
+                        if let Some(prev) = prev_models[i] {
+                            fields.push(("from", prev.into()));
+                        }
+                        fields.push(("delay_ms", self.download_delay_ms(i).into()));
+                        rec.event(Some(t as u64), "switch", &fields);
+                    }
                 }
                 edge_records[i].selection_counts[n] += 1;
                 prev_models[i] = Some(n);
@@ -326,6 +396,17 @@ impl<'a> Environment<'a> {
                 });
             }
 
+            if let Some(rec) = telemetry.as_deref_mut() {
+                rec.observe(
+                    "stage.serve_us",
+                    stage_start
+                        .expect("set when traced")
+                        .elapsed()
+                        .as_secs_f64()
+                        * 1e6,
+                );
+            }
+
             let emissions_allowances: f64 = outcomes
                 .iter()
                 .map(|o| o.emissions.to_allowances().get())
@@ -369,20 +450,49 @@ impl<'a> Environment<'a> {
                 edges: outcomes,
                 trade: observation,
             };
+            let stage_start = telemetry.as_ref().map(|_| Instant::now());
             policy.end_of_slot(t, &feedback);
+            if let Some(rec) = telemetry.as_deref_mut() {
+                rec.observe(
+                    "stage.feedback_us",
+                    stage_start
+                        .expect("set when traced")
+                        .elapsed()
+                        .as_secs_f64()
+                        * 1e6,
+                );
+            }
             slots.push(record);
         }
 
         let settlement_cost =
             ledger.violation().get() * cfg.violation_penalty * cfg.weights.money_per_cent;
-        RunRecord {
+        let record = RunRecord {
             policy: policy.name(),
             slots,
             edges: edge_records,
             ledger,
             cap_share,
             settlement_cost,
+        };
+        if let Some(rec) = telemetry {
+            rec.incr("slots", cfg.horizon as u64);
+            let violation = record.violation();
+            rec.gauge("violation", violation);
+            rec.gauge("total_cost", record.total_cost());
+            if violation > 0.0 {
+                rec.event(
+                    None,
+                    "violation",
+                    &[
+                        ("allowances", violation.into()),
+                        ("settlement_cost", record.settlement_cost.into()),
+                    ],
+                );
+            }
+            policy.record_telemetry(rec);
         }
+        record
     }
 }
 

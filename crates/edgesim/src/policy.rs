@@ -1,6 +1,7 @@
 //! The control-policy interface the simulator drives.
 
 use cne_trading::policy::{TradeContext, TradeObservation};
+use cne_util::telemetry::Recorder;
 use cne_util::units::{Allowances, GramsCo2};
 
 /// What one edge experienced during a slot.
@@ -69,6 +70,16 @@ pub trait Policy {
 
     /// Display name, e.g. `"Ours"` or `"UCB-LY"`.
     fn name(&self) -> String;
+
+    /// Dumps end-of-run internal policy state into a telemetry
+    /// recorder (called by [`Environment::run_traced`] after the final
+    /// slot). The default records nothing; composite policies forward
+    /// to their parts.
+    ///
+    /// [`Environment::run_traced`]: crate::Environment::run_traced
+    fn record_telemetry(&self, rec: &mut Recorder) {
+        let _ = rec;
+    }
 }
 
 #[cfg(test)]

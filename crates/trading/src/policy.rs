@@ -1,6 +1,7 @@
 //! The common interface of all trading policies.
 
 use cne_market::TradeBounds;
+use cne_util::telemetry::Recorder;
 use cne_util::units::{Allowances, PricePerAllowance};
 
 /// Everything a policy may look at when deciding slot `t`'s trades.
@@ -70,6 +71,13 @@ pub trait TradingPolicy {
 
     /// Short display name (used in figure legends).
     fn name(&self) -> &'static str;
+
+    /// Dumps end-of-run internal state (gauges under a `trader.`
+    /// prefix) into a telemetry recorder. The default records nothing;
+    /// stateful policies override it.
+    fn record_telemetry(&self, rec: &mut Recorder) {
+        let _ = rec;
+    }
 }
 
 #[cfg(test)]

@@ -84,6 +84,40 @@ impl PrimalDualConfig {
 }
 
 /// The paper's Algorithm 2.
+///
+/// # Examples
+///
+/// Driving the policy by hand through one slot. The first decision is
+/// always `(0, 0)` (no history yet); observing a violating slot raises
+/// the dual variable λ, which prices future allowance purchases:
+///
+/// ```
+/// use cne_market::TradeBounds;
+/// use cne_trading::policy::{TradeContext, TradeObservation, TradingPolicy};
+/// use cne_trading::{PrimalDual, PrimalDualConfig};
+/// use cne_util::units::{Allowances, PricePerAllowance};
+///
+/// let mut alg = PrimalDual::new(PrimalDualConfig::new(0.5, 0.25));
+/// let ctx = TradeContext {
+///     buy_price: PricePerAllowance::new(8.0),
+///     sell_price: PricePerAllowance::new(7.2),
+///     cap_share: 3.0,
+///     bounds: TradeBounds::new(Allowances::new(10.0), Allowances::new(10.0)),
+/// };
+/// let (z0, w0) = alg.decide(0, &ctx);
+/// assert_eq!((z0.get(), w0.get()), (0.0, 0.0));
+///
+/// // Slot 0 emitted 5 allowances against a cap share of 3: g = 2.
+/// alg.observe(0, &TradeObservation {
+///     emissions: 5.0,
+///     bought: z0,
+///     sold: w0,
+///     buy_price: ctx.buy_price,
+///     sell_price: ctx.sell_price,
+///     cap_share: ctx.cap_share,
+/// });
+/// assert!((alg.lambda() - 1.0).abs() < 1e-12); // λ ← [0 + 0.5·2]⁺
+/// ```
 #[derive(Debug, Clone)]
 pub struct PrimalDual {
     config: PrimalDualConfig,
@@ -153,6 +187,12 @@ impl TradingPolicy for PrimalDual {
 
     fn name(&self) -> &'static str {
         "primal-dual"
+    }
+
+    fn record_telemetry(&self, rec: &mut cne_util::telemetry::Recorder) {
+        rec.gauge("trader.lambda", self.lambda);
+        rec.gauge("trader.z_prev", self.z_prev);
+        rec.gauge("trader.w_prev", self.w_prev);
     }
 }
 

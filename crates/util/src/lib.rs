@@ -12,7 +12,11 @@
 //!   online accumulators used by the metrics recorder and the tests;
 //! * [`series`] — small time-series helpers (cumulative sums,
 //!   normalization, trapezoid averaging) used when regenerating the
-//!   paper's figures.
+//!   paper's figures;
+//! * [`telemetry`] — zero-dependency instrumentation (counters,
+//!   gauges, fixed-bucket histograms, per-slot events) with a JSONL
+//!   sink, used to trace model switches, allowance trades, and
+//!   per-stage timings.
 //!
 //! # Examples
 //!
@@ -31,7 +35,9 @@
 pub mod rng;
 pub mod series;
 pub mod stats;
+pub mod telemetry;
 pub mod units;
 
 pub use rng::SeedSequence;
 pub use stats::{OnlineStats, Summary};
+pub use telemetry::Recorder;

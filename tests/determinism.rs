@@ -4,7 +4,7 @@
 //! averaging and the paper-comparison methodology rest on.
 
 use carbon_edge::core::combos::{Combo, SelectorKind, TraderKind};
-use carbon_edge::core::runner::{run_single, PolicySpec};
+use carbon_edge::core::runner::{evaluate_with, run_single, EvalOptions, PolicySpec};
 use carbon_edge::edgesim::SimConfig;
 use carbon_edge::nn::{ModelZoo, ZooConfig};
 use carbon_edge::simdata::dataset::TaskKind;
@@ -66,6 +66,49 @@ fn zoo_training_is_deterministic() {
     let qb = b.with_quantized_variants(8);
     for (x, y) in qa.models().iter().zip(qb.models()) {
         assert_eq!(x.eval, y.eval);
+    }
+}
+
+#[test]
+fn parallel_evaluate_is_thread_count_invariant() {
+    // The multi-seed driver fans runs over worker threads but merges
+    // in fixed (spec, seed) order, so the aggregated result must be
+    // bit-identical (full `EvalResult` equality, curves included) at
+    // any worker count.
+    let zoo = ModelZoo::train(
+        TaskKind::MnistLike,
+        &ZooConfig::fast(),
+        &SeedSequence::new(504),
+    );
+    let cfg = SimConfig::fast_test(TaskKind::MnistLike);
+    let seeds = [11u64, 12, 13, 14];
+    for spec in [PolicySpec::Combo(Combo::ours()), PolicySpec::Offline] {
+        let single = evaluate_with(
+            &cfg,
+            &zoo,
+            &seeds,
+            &spec,
+            &EvalOptions {
+                threads: Some(1),
+                ..EvalOptions::default()
+            },
+        );
+        let quad = evaluate_with(
+            &cfg,
+            &zoo,
+            &seeds,
+            &spec,
+            &EvalOptions {
+                threads: Some(4),
+                ..EvalOptions::default()
+            },
+        );
+        assert_eq!(
+            single,
+            quad,
+            "{} differs between 1 and 4 worker threads",
+            spec.name()
+        );
     }
 }
 

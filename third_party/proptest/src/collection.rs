@@ -1,0 +1,59 @@
+//! Collection strategies (`proptest::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A strategy producing `Vec`s of values from an element strategy,
+/// with lengths drawn from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    min_len: usize,
+    max_len_exclusive: usize,
+}
+
+/// Builds a [`VecStrategy`]: `vec(element, min..max)` generates between
+/// `min` and `max − 1` elements, matching `proptest::collection::vec`.
+///
+/// # Panics
+/// Panics if the size range is empty.
+pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy {
+        element,
+        min_len: size.start,
+        max_len_exclusive: size.end,
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.max_len_exclusive - self.min_len) as u64;
+        let len = self.min_len + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_elements_in_range() {
+        let s = vec(0.0..1.0f64, 2..9);
+        let mut rng = TestRng::for_case("vec", 0);
+        for _ in 0..50 {
+            let xs = s.generate(&mut rng);
+            assert!((2..9).contains(&xs.len()));
+            assert!(xs.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn single_size_allowed() {
+        let s = vec(0u32..5, 3..4);
+        let mut rng = TestRng::for_case("vec1", 0);
+        assert_eq!(s.generate(&mut rng).len(), 3);
+    }
+}

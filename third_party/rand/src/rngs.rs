@@ -1,0 +1,126 @@
+//! The standard generator: ChaCha12, as `rand` 0.8's `StdRng`.
+
+use crate::{RngCore, SeedableRng};
+
+/// ChaCha block function constants (`"expand 32-byte k"`).
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// The ChaCha12 generator `rand` 0.8 ships as `StdRng`.
+///
+/// The 256-bit key is the seed, the 64-bit block counter starts at
+/// zero, and the stream/nonce words are zero. Output words are the
+/// post-addition state words of consecutive blocks in order, which is
+/// exactly the keystream order `rand_chacha` produces.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    /// The input block (constants ‖ key ‖ counter ‖ nonce).
+    state: [u32; 16],
+    /// Buffered keystream words of the current block.
+    buf: [u32; 16],
+    /// Next unread index into `buf` (16 ⇒ exhausted).
+    idx: usize,
+}
+
+#[inline(always)]
+fn quarter_round(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+impl StdRng {
+    /// Runs the 12-round block function and refills the buffer.
+    fn refill(&mut self) {
+        let mut x = self.state;
+        for _ in 0..6 {
+            // Column round.
+            quarter_round(&mut x, 0, 4, 8, 12);
+            quarter_round(&mut x, 1, 5, 9, 13);
+            quarter_round(&mut x, 2, 6, 10, 14);
+            quarter_round(&mut x, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut x, 0, 5, 10, 15);
+            quarter_round(&mut x, 1, 6, 11, 12);
+            quarter_round(&mut x, 2, 7, 8, 13);
+            quarter_round(&mut x, 3, 4, 9, 14);
+        }
+        for (out, (word, input)) in self.buf.iter_mut().zip(x.iter().zip(&self.state)) {
+            *out = word.wrapping_add(*input);
+        }
+        // 64-bit counter across words 12–13.
+        self.state[12] = self.state[12].wrapping_add(1);
+        if self.state[12] == 0 {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.idx = 0;
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Words 12..16 (counter and nonce) start at zero.
+        Self {
+            state,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let word = self.buf[self.idx];
+        self.idx += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let low = u64::from(self.next_u32());
+        let high = u64::from(self.next_u32());
+        (high << 32) | low
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.next_u32().to_le_bytes();
+            let len = chunk.len().min(4);
+            chunk[..len].copy_from_slice(&bytes[..len]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_advances_blocks() {
+        let mut rng = StdRng::from_seed([7u8; 32]);
+        let first_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first_block, second_block);
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut rng = StdRng::from_seed([1u8; 32]);
+        let _ = rng.next_u32();
+        let mut snap = rng.clone();
+        assert_eq!(rng.next_u64(), snap.next_u64());
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline vendored shim of the `serde` facade.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and re-exports
+//! the no-op derive macros so `#[derive(Serialize, Deserialize)]`
+//! positions across the workspace keep compiling in the offline build
+//! environment. No serializer exists in the vendored tree, so the
+//! traits are deliberately empty; the workspace's own JSON needs are
+//! served by the hand-rolled encoder in `cne-util::telemetry`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
