@@ -31,6 +31,7 @@ use cne_edgesim::SimConfig;
 use cne_nn::{ModelZoo, ZooConfig};
 use cne_simdata::dataset::TaskKind;
 use cne_trading::policy::TradeContext;
+use cne_util::span::{profile_sidecar_path, Profiler};
 use cne_util::telemetry::Recorder;
 use cne_util::units::Allowances;
 use cne_util::SeedSequence;
@@ -58,15 +59,22 @@ pub struct Scale {
     /// JSONL telemetry sink (`--telemetry <file>`), shared by every
     /// [`Scale::evaluate_grid`] call of the binary.
     pub telemetry: Option<PathBuf>,
+    /// JSONL sink for the wall-clock span-profile stream (`--profile
+    /// <file>`; defaults to the telemetry file's `.profile.jsonl`
+    /// sidecar). Timings are non-deterministic, so they never share a
+    /// file with the trace.
+    pub profile: Option<PathBuf>,
     /// Whether the telemetry file has been started (first grid call
     /// truncates, later calls append).
     telemetry_started: Cell<bool>,
+    /// Same, for the span-profile file.
+    profile_started: Cell<bool>,
 }
 
 impl Scale {
     /// Parses `--quick` / `--out <dir>` / `--threads <n>` /
-    /// `--telemetry <file>` from `std::env::args` and `CNE_QUICK` from
-    /// the environment.
+    /// `--telemetry <file>` / `--profile <file>` from
+    /// `std::env::args` and `CNE_QUICK` from the environment.
     #[must_use]
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -89,6 +97,12 @@ impl Scale {
             n
         });
         scale.telemetry = value_of("--telemetry").map(PathBuf::from);
+        scale.profile = value_of("--profile").map(PathBuf::from).or_else(|| {
+            scale
+                .telemetry
+                .as_ref()
+                .map(|t| PathBuf::from(profile_sidecar_path(&t.to_string_lossy())))
+        });
         scale
     }
 
@@ -106,7 +120,9 @@ impl Scale {
                 out_dir,
                 threads: None,
                 telemetry: None,
+                profile: None,
                 telemetry_started: Cell::new(false),
+                profile_started: Cell::new(false),
             }
         } else {
             Self {
@@ -119,7 +135,9 @@ impl Scale {
                 out_dir,
                 threads: None,
                 telemetry: None,
+                profile: None,
                 telemetry_started: Cell::new(false),
+                profile_started: Cell::new(false),
             }
         }
     }
@@ -130,6 +148,7 @@ impl Scale {
         EvalOptions {
             threads: self.threads,
             telemetry: self.telemetry.is_some(),
+            profile: self.profile.is_some(),
             progress: false,
         }
     }
@@ -150,6 +169,7 @@ impl Scale {
     ) -> Vec<EvalResult> {
         let report = evaluate_many_with(config, zoo, &self.seeds, specs, &self.eval_options());
         self.write_recorders(&report.telemetry);
+        self.write_profilers(&report.profiles);
         report.results
     }
 
@@ -179,6 +199,40 @@ impl Scale {
         eprintln!(
             "[bench] appended {} run traces to {}",
             recorders.len(),
+            path.display()
+        );
+    }
+
+    /// Appends span profiles to the `--profile` file (by default the
+    /// telemetry file's `.profile.jsonl` sidecar); the first call of
+    /// the process truncates it, later calls append. No-op without a
+    /// profile sink.
+    ///
+    /// # Panics
+    /// Panics if the profile file cannot be written.
+    pub fn write_profilers(&self, profilers: &[Profiler]) {
+        let Some(path) = &self.profile else {
+            return;
+        };
+        if profilers.is_empty() {
+            return;
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(self.profile_started.get())
+            .truncate(!self.profile_started.get())
+            .write(true)
+            .open(path)
+            .expect("open profile file");
+        let mut sink = std::io::BufWriter::new(file);
+        for prof in profilers {
+            prof.write_jsonl(&mut sink).expect("write profile");
+        }
+        sink.flush().expect("flush profile");
+        self.profile_started.set(true);
+        eprintln!(
+            "[bench] appended {} span profiles to {}",
+            profilers.len(),
             path.display()
         );
     }

@@ -24,6 +24,17 @@ pub struct Options {
     pub threads: Option<usize>,
     /// Optional JSONL path for per-run telemetry traces.
     pub telemetry: Option<String>,
+    /// Optional JSONL path for the wall-clock span-profile stream
+    /// (defaults to `<telemetry>.profile.jsonl` when `--telemetry` is
+    /// set).
+    pub profile: Option<String>,
+    /// `report`: exit non-zero when the trace contains theorem-envelope
+    /// violations.
+    pub strict: bool,
+    /// `report`: also render SVG charts into this directory.
+    pub svg_dir: Option<String>,
+    /// Positional arguments (e.g. the trace file for `report`).
+    pub inputs: Vec<String>,
 }
 
 impl Default for Options {
@@ -38,6 +49,10 @@ impl Default for Options {
             out: None,
             threads: None,
             telemetry: None,
+            profile: None,
+            strict: false,
+            svg_dir: None,
+            inputs: Vec::new(),
         }
     }
 }
@@ -93,8 +108,12 @@ impl Options {
                     opts.threads = Some(n);
                 }
                 "--telemetry" => opts.telemetry = Some(value("--telemetry")?),
+                "--profile" => opts.profile = Some(value("--profile")?),
+                "--svg-dir" => opts.svg_dir = Some(value("--svg-dir")?),
+                "--strict" => opts.strict = true,
                 "--quick" => opts.quick = true,
                 "--quantized" => opts.quantized = true,
+                other if !other.starts_with('-') => opts.inputs.push(other.to_owned()),
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -162,6 +181,23 @@ mod tests {
     #[test]
     fn rejects_unknown_flag() {
         assert!(parse(&["--nope"]).is_err());
+    }
+
+    #[test]
+    fn report_flags_and_positional_inputs() {
+        let o = parse(&[
+            "trace.jsonl",
+            "--strict",
+            "--profile",
+            "prof.jsonl",
+            "--svg-dir",
+            "charts",
+        ])
+        .expect("valid");
+        assert_eq!(o.inputs, vec!["trace.jsonl".to_owned()]);
+        assert!(o.strict);
+        assert_eq!(o.profile.as_deref(), Some("prof.jsonl"));
+        assert_eq!(o.svg_dir.as_deref(), Some("charts"));
     }
 
     #[test]

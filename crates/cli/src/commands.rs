@@ -6,6 +6,7 @@ use cne_core::combos::Combo;
 use cne_core::runner::{evaluate_many_with, EvalOptions, EvalReport, PolicySpec};
 use cne_edgesim::SimConfig;
 use cne_nn::{ModelZoo, ZooConfig};
+use cne_util::span::{profile_sidecar_path, Profiler};
 use cne_util::telemetry::Recorder;
 use cne_util::SeedSequence;
 
@@ -22,6 +23,7 @@ USAGE:
 COMMANDS:
   run       evaluate one policy (default: ours) and print its summary
   compare   evaluate all 13 policies + Offline and print a ranked table
+  report    analyze a telemetry trace: timings, regret vs theory, λ
   zoo       train and print the model zoo
   help      show this message
 
@@ -37,12 +39,20 @@ FLAGS:
                         CARBON_EDGE_THREADS env var, else all cores;
                         results are identical at any thread count)
   --telemetry F.jsonl   write per-run JSONL traces (switches, trades,
-                        violations, per-stage timings)
+                        violations, regret, envelope monitors); also
+                        writes wall-clock span profiles to
+                        F.profile.jsonl
+  --profile F.jsonl     write the span-profile stream to this path
+                        instead (timings are non-deterministic, so
+                        they never share a file with the trace)
+  --strict              report: exit non-zero on envelope violations
+  --svg-dir DIR         report: also render SVG charts into DIR
 
 EXAMPLES:
   carbon-edge run --policy ours --edges 10 --seeds 5
   carbon-edge compare --quick --threads 4
   carbon-edge run --quick --telemetry trace.jsonl
+  carbon-edge report trace.jsonl --strict
   carbon-edge zoo --task cifar --quantized"
     );
 }
@@ -85,6 +95,7 @@ fn eval_options(opts: &Options) -> EvalOptions {
     EvalOptions {
         threads: opts.threads,
         telemetry: opts.telemetry.is_some(),
+        profile: opts.profile.is_some() || opts.telemetry.is_some(),
         progress: true,
     }
 }
@@ -107,12 +118,44 @@ fn write_telemetry(path: &str, recorders: &[Recorder]) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes every run's span profiler to the requested `--profile` path,
+/// or to the telemetry file's `.profile.jsonl` sidecar. Timing data is
+/// non-deterministic, which is why it never shares a file with the
+/// trace.
+fn write_profiles(opts: &Options, profiles: &[Profiler]) -> Result<(), String> {
+    let path = match (&opts.profile, &opts.telemetry) {
+        (Some(path), _) => path.clone(),
+        (None, Some(trace)) => profile_sidecar_path(trace),
+        (None, None) => return Ok(()),
+    };
+    if profiles.is_empty() {
+        return Ok(());
+    }
+    let file = std::fs::File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut sink = std::io::BufWriter::new(file);
+    for prof in profiles {
+        prof.write_jsonl(&mut sink)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    sink.flush()
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!(
+        "profiles     : {} span profiles written to {path}",
+        profiles.len()
+    );
+    Ok(())
+}
+
 /// `carbon-edge run`.
 pub fn run(opts: &Options) -> Result<(), String> {
     let spec = parse_spec(&opts.policy)?;
     let zoo = build_zoo(opts);
     let config = build_config(opts);
-    let EvalReport { results, telemetry } = evaluate_many_with(
+    let EvalReport {
+        results,
+        telemetry,
+        profiles,
+    } = evaluate_many_with(
         &config,
         &zoo,
         &opts.seed_list(),
@@ -143,6 +186,12 @@ pub fn run(opts: &Options) -> Result<(), String> {
     let mean_acc =
         result.mean_accuracy.iter().sum::<f64>() / result.mean_accuracy.len().max(1) as f64;
     println!("accuracy     : {mean_acc:.3}");
+    if opts.telemetry.is_some() {
+        println!(
+            "envelopes    : {} theorem-envelope violations",
+            result.envelope_violations
+        );
+    }
 
     if let Some(path) = &opts.out {
         let mut f =
@@ -165,6 +214,7 @@ pub fn run(opts: &Options) -> Result<(), String> {
     if let Some(path) = &opts.telemetry {
         write_telemetry(path, &telemetry)?;
     }
+    write_profiles(opts, &profiles)?;
     Ok(())
 }
 
@@ -179,7 +229,11 @@ pub fn compare(opts: &Options) -> Result<(), String> {
     specs.push(PolicySpec::Combo(Combo::ours()));
     specs.push(PolicySpec::Offline);
 
-    let EvalReport { results, telemetry } = evaluate_many_with(
+    let EvalReport {
+        results,
+        telemetry,
+        profiles,
+    } = evaluate_many_with(
         &config,
         &zoo,
         &opts.seed_list(),
@@ -194,6 +248,7 @@ pub fn compare(opts: &Options) -> Result<(), String> {
                 r.mean_total_cost,
                 r.mean_violation,
                 r.mean_switches,
+                r.envelope_violations,
             )
         })
         .collect();
@@ -201,13 +256,14 @@ pub fn compare(opts: &Options) -> Result<(), String> {
     if let Some(path) = &opts.telemetry {
         write_telemetry(path, &telemetry)?;
     }
+    write_profiles(opts, &profiles)?;
 
     println!(
-        "\n{:<12} {:>12} {:>11} {:>10}",
-        "policy", "total cost", "violation", "switches"
+        "\n{:<12} {:>12} {:>11} {:>10} {:>10}",
+        "policy", "total cost", "violation", "switches", "envelopes"
     );
-    for (name, cost, violation, switches) in &rows {
-        println!("{name:<12} {cost:>12.1} {violation:>11.2} {switches:>10.1}");
+    for (name, cost, violation, switches, envelopes) in &rows {
+        println!("{name:<12} {cost:>12.1} {violation:>11.2} {switches:>10.1} {envelopes:>10}");
     }
     Ok(())
 }

@@ -4,6 +4,7 @@
 //! ```text
 //! carbon-edge run     --policy ours --edges 10 --seeds 5 [--task mnist|cifar]
 //! carbon-edge compare --edges 10 --seeds 3
+//! carbon-edge report  trace.jsonl [--strict] [--svg-dir charts]
 //! carbon-edge zoo     --task cifar [--quantized]
 //! carbon-edge help
 //! ```
@@ -12,6 +13,7 @@ use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod report;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +31,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "run" => commands::run(&opts),
         "compare" => commands::compare(&opts),
+        "report" => report::report(&opts),
         "zoo" => commands::zoo(&opts),
         "help" | "--help" | "-h" => {
             commands::print_help();

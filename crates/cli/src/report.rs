@@ -1,0 +1,426 @@
+//! `carbon-edge report` — offline analysis of a telemetry trace.
+//!
+//! Ingests the JSONL trace written by `--telemetry` (and, when present,
+//! the `.profile.jsonl` wall-clock sidecar) and renders per-run
+//! diagnostics as aligned text tables: per-stage timing aggregates, run
+//! summaries, regret versus the theorem envelopes, the dual-variable
+//! trajectory, switch cadence versus the block schedule, and the
+//! emissions/allowance position. With `--svg-dir` the λ trajectories
+//! are also rendered as an SVG line chart, and with `--strict` any
+//! theorem-envelope violation in the trace makes the command fail.
+
+use cne_bench::plot::{LineChart, Series};
+use cne_util::span::{parse_profile_jsonl, profile_sidecar_path, ProfileRun};
+use cne_util::telemetry::{parse_jsonl, Event, Recorder, Value};
+
+use crate::args::Options;
+
+/// Eight-level block characters for text sparklines.
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Runs the subcommand. The first positional argument is the trace
+/// path.
+///
+/// # Errors
+/// Returns a message (→ non-zero exit) when the trace is missing or
+/// malformed, or when `--strict` is set and the trace contains
+/// theorem-envelope violations.
+pub fn report(opts: &Options) -> Result<(), String> {
+    let [trace_path] = opts.inputs.as_slice() else {
+        return Err("report needs exactly one trace file, e.g. \
+                    'carbon-edge report trace.jsonl'"
+            .to_owned());
+    };
+    let input = std::fs::read_to_string(trace_path)
+        .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+    let runs = parse_jsonl(&input).map_err(|e| format!("{trace_path}: {e}"))?;
+    if runs.is_empty() {
+        return Err(format!("{trace_path}: no run traces found"));
+    }
+    println!("report       : {} run traces from {trace_path}", runs.len());
+
+    let profile_path = opts
+        .profile
+        .clone()
+        .unwrap_or_else(|| profile_sidecar_path(trace_path));
+    match std::fs::read_to_string(&profile_path) {
+        Ok(text) => {
+            let profiles =
+                parse_profile_jsonl(&text).map_err(|e| format!("{profile_path}: {e}"))?;
+            print_timings(&profile_path, &profiles);
+        }
+        Err(_) => println!(
+            "timings      : no span-profile stream at {profile_path} \
+             (runs recorded with --telemetry write one automatically)"
+        ),
+    }
+
+    print_run_summaries(&runs);
+    print_envelopes(&runs);
+    print_lambda_trajectories(&runs);
+    print_switch_cadence(&runs);
+    print_allowance_position(&runs);
+
+    if let Some(dir) = &opts.svg_dir {
+        render_svgs(dir, &runs)?;
+    }
+
+    let violations: u64 = runs
+        .iter()
+        .map(|r| {
+            r.counter("envelope.violations")
+                .max(envelope_events(r).len() as u64)
+        })
+        .sum();
+    if opts.strict && violations > 0 {
+        return Err(format!(
+            "strict mode: {violations} theorem-envelope violation(s) in the trace"
+        ));
+    }
+    Ok(())
+}
+
+/// `"policy seed=K"`, the run identifier used across every section.
+fn run_name(rec: &Recorder) -> String {
+    let get = |key: &str| {
+        rec.labels()
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or("?", |(_, v)| v.as_str())
+    };
+    format!("{} seed={}", get("policy"), get("seed"))
+}
+
+fn field_f64(event: &Event, name: &str) -> Option<f64> {
+    event.fields.iter().find_map(|(k, v)| {
+        if k != name {
+            return None;
+        }
+        match v {
+            Value::Float(x) => Some(*x),
+            Value::Int(x) => Some(*x as f64),
+            Value::UInt(x) => Some(*x as f64),
+            _ => None,
+        }
+    })
+}
+
+fn field_str<'e>(event: &'e Event, name: &str) -> Option<&'e str> {
+    event.fields.iter().find_map(|(k, v)| match v {
+        Value::Str(s) if k == name => Some(s.as_str()),
+        _ => None,
+    })
+}
+
+fn envelope_events(rec: &Recorder) -> Vec<&Event> {
+    rec.events()
+        .iter()
+        .filter(|e| e.kind == "envelope")
+        .collect()
+}
+
+/// Flamegraph-style self/total aggregate over every profiled run,
+/// merged by span path in first-seen order.
+fn print_timings(path: &str, profiles: &[ProfileRun]) {
+    if profiles.is_empty() {
+        return;
+    }
+    let mut order: Vec<String> = Vec::new();
+    let mut merged: std::collections::HashMap<String, (u64, f64, f64)> =
+        std::collections::HashMap::new();
+    for run in profiles {
+        for span in &run.spans {
+            let entry = merged.entry(span.path.clone()).or_insert_with(|| {
+                order.push(span.path.clone());
+                (0, 0.0, 0.0)
+            });
+            entry.0 += span.count;
+            entry.1 += span.total_us;
+            entry.2 += span.self_us;
+        }
+    }
+    println!(
+        "\n== per-stage wall-clock timings ({} profiles from {path}) ==",
+        profiles.len()
+    );
+    println!(
+        "{:<34} {:>10} {:>12} {:>12} {:>10}",
+        "span", "count", "total ms", "self ms", "mean µs"
+    );
+    for span_path in &order {
+        let (count, total_us, self_us) = merged[span_path];
+        let depth = span_path.matches('/').count();
+        let name = span_path.rsplit('/').next().unwrap_or(span_path);
+        let label = format!("{}{}", "  ".repeat(depth), name);
+        let mean = if count > 0 {
+            total_us / count as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{label:<34} {count:>10} {:>12.3} {:>12.3} {mean:>10.1}",
+            total_us / 1e3,
+            self_us / 1e3,
+        );
+    }
+}
+
+fn print_run_summaries(runs: &[Recorder]) {
+    println!("\n== run summaries ==");
+    println!(
+        "{:<22} {:>12} {:>11} {:>9} {:>7} {:>12}",
+        "run", "total cost", "violation", "switches", "trades", "p2 regret ¢"
+    );
+    for rec in runs {
+        let gauge = |name: &str| rec.gauge_value(name).unwrap_or(f64::NAN);
+        println!(
+            "{:<22} {:>12.1} {:>11.2} {:>9} {:>7} {:>12.1}",
+            run_name(rec),
+            gauge("total_cost"),
+            gauge("violation"),
+            rec.counter("switches"),
+            rec.counter("trades"),
+            gauge("regret.p2"),
+        );
+    }
+}
+
+/// Regret decomposition against the Theorem 1 / Theorem 2 envelopes,
+/// plus a listing of every recorded envelope violation.
+fn print_envelopes(runs: &[Recorder]) {
+    let checked: Vec<&Recorder> = runs
+        .iter()
+        .filter(|r| {
+            r.gauge_value("envelope.thm1_observed").is_some()
+                || r.gauge_value("envelope.fit_observed").is_some()
+        })
+        .collect();
+    println!("\n== theorem envelopes ==");
+    if checked.is_empty() {
+        println!("(no monitored runs in this trace)");
+        return;
+    }
+    println!(
+        "{:<22} {:>13} {:>11} {:>11} {:>11} {:>9}",
+        "run", "p1+switching", "thm1 bound", "fit", "thm2 bound", "verdict"
+    );
+    for rec in &checked {
+        let fmt = |obs: Option<f64>| obs.map_or("—".to_owned(), |v| format!("{v:.1}"));
+        let violations = rec
+            .counter("envelope.violations")
+            .max(envelope_events(rec).len() as u64);
+        let verdict = if violations == 0 { "ok" } else { "VIOL" };
+        println!(
+            "{:<22} {:>13} {:>11} {:>11} {:>11} {:>9}",
+            run_name(rec),
+            fmt(rec.gauge_value("envelope.thm1_observed")),
+            fmt(rec.gauge_value("envelope.thm1_bound")),
+            fmt(rec.gauge_value("envelope.fit_observed")),
+            fmt(rec.gauge_value("envelope.fit_bound")),
+            verdict,
+        );
+    }
+    for rec in runs {
+        for event in envelope_events(rec) {
+            let slot = event.slot.map_or("—".to_owned(), |t| t.to_string());
+            let monitor = field_str(event, "monitor").unwrap_or("?");
+            let details: Vec<String> = event
+                .fields
+                .iter()
+                .filter(|(k, _)| k != "monitor")
+                .map(|(k, v)| match v {
+                    Value::Float(x) => format!("{k}={x:.3}"),
+                    Value::Int(x) => format!("{k}={x}"),
+                    Value::UInt(x) => format!("{k}={x}"),
+                    Value::Bool(x) => format!("{k}={x}"),
+                    Value::Str(x) => format!("{k}={x}"),
+                })
+                .collect();
+            println!(
+                "  !! {} slot {slot}: {monitor} {}",
+                run_name(rec),
+                details.join(" ")
+            );
+        }
+    }
+}
+
+/// Down-samples `values` into at most `width` buckets and renders them
+/// with eight-level block characters.
+fn sparkline(values: &[f64], width: usize) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let chunk = values.len().div_ceil(width);
+    let compressed: Vec<f64> = values
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect();
+    let lo = compressed.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = compressed.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    compressed
+        .iter()
+        .map(|&v| {
+            if !(hi - lo).is_normal() {
+                return SPARKS[3];
+            }
+            let idx = ((v - lo) / (hi - lo) * 7.0).round() as usize;
+            SPARKS[idx.min(7)]
+        })
+        .collect()
+}
+
+fn lambda_trajectory(rec: &Recorder) -> Vec<(u64, f64)> {
+    rec.events()
+        .iter()
+        .filter(|e| e.kind == "lambda")
+        .filter_map(|e| Some((e.slot?, field_f64(e, "value")?)))
+        .collect()
+}
+
+fn print_lambda_trajectories(runs: &[Recorder]) {
+    let traced: Vec<(&Recorder, Vec<(u64, f64)>)> = runs
+        .iter()
+        .filter_map(|r| {
+            let traj = lambda_trajectory(r);
+            (!traj.is_empty()).then_some((r, traj))
+        })
+        .collect();
+    if traced.is_empty() {
+        return;
+    }
+    println!("\n== dual variable λ (primal–dual runs) ==");
+    for (rec, traj) in traced {
+        let values: Vec<f64> = traj.iter().map(|&(_, v)| v).collect();
+        let peak = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let last = *values.last().expect("non-empty trajectory");
+        println!(
+            "{:<22} {}  final λ={last:.2} peak λ={peak:.2}",
+            run_name(rec),
+            sparkline(&values, 60)
+        );
+    }
+}
+
+/// Switch counts against the Theorem 1 block-schedule budget: a
+/// download can only happen at a block boundary, so `Σ_i blocks_i` is
+/// the hard ceiling on downloads for Algorithm 1 runs.
+fn print_switch_cadence(runs: &[Recorder]) {
+    let mut printed_header = false;
+    for rec in runs {
+        let mut budget = 0.0;
+        let mut edges = 0;
+        while let Some(blocks) = rec.gauge_value(&format!("selector.edge{edges}.blocks")) {
+            budget += blocks;
+            edges += 1;
+        }
+        if edges == 0 {
+            continue;
+        }
+        if !printed_header {
+            println!("\n== switch cadence vs the Theorem 1 block schedule ==");
+            println!(
+                "{:<22} {:>9} {:>15} {:>8}",
+                "run", "switches", "schedule budget", "status"
+            );
+            printed_header = true;
+        }
+        let switches = rec.counter("switches");
+        let status = if (switches as f64) <= budget {
+            "ok"
+        } else {
+            "OVER"
+        };
+        println!(
+            "{:<22} {switches:>9} {:>15} {status:>8}",
+            run_name(rec),
+            format!("{budget:.0} ({edges} edges)"),
+        );
+    }
+}
+
+fn print_allowance_position(runs: &[Recorder]) {
+    println!("\n== emissions vs allowance position ==");
+    println!(
+        "{:<22} {:>8} {:>10} {:>8} {:>8} {:>10} {:>12} {:>12}",
+        "run", "cap", "emissions", "bought", "sold", "headroom", "trade cash ¢", "settlement ¢"
+    );
+    for rec in runs {
+        let gauge = |name: &str| rec.gauge_value(name).unwrap_or(f64::NAN);
+        let headroom = gauge("cap") + gauge("allowances.bought")
+            - gauge("allowances.sold")
+            - gauge("emissions");
+        println!(
+            "{:<22} {:>8.1} {:>10.1} {:>8.1} {:>8.1} {:>10.1} {:>12.1} {:>12.1}",
+            run_name(rec),
+            gauge("cap"),
+            gauge("emissions"),
+            gauge("allowances.bought"),
+            gauge("allowances.sold"),
+            headroom,
+            gauge("trade_cash"),
+            gauge("settlement_cost"),
+        );
+    }
+}
+
+/// Renders the λ trajectories as an SVG line chart under `dir`.
+fn render_svgs(dir: &str, runs: &[Recorder]) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let mut chart = LineChart::new("Dual variable trajectory", "slot t", "λ");
+    for rec in runs {
+        let traj = lambda_trajectory(rec);
+        if traj.is_empty() {
+            continue;
+        }
+        chart.add_series(Series {
+            name: run_name(rec),
+            points: traj.iter().map(|&(t, v)| (t as f64, v)).collect(),
+        });
+    }
+    if chart.num_series() == 0 {
+        println!("svg          : no λ trajectories to chart");
+        return Ok(());
+    }
+    let path = format!("{dir}/lambda.svg");
+    std::fs::write(&path, chart.to_svg()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("svg          : λ trajectories written to {path}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_spans_the_levels() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], 8);
+        assert_eq!(s.chars().count(), 8);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+        assert_eq!(sparkline(&[2.0, 2.0, 2.0], 8), "▄▄▄", "flat series");
+        assert_eq!(sparkline(&[], 8), "");
+    }
+
+    #[test]
+    fn sparkline_downsamples_to_width() {
+        let values: Vec<f64> = (0..240).map(f64::from).collect();
+        assert_eq!(sparkline(&values, 60).chars().count(), 60);
+    }
+
+    #[test]
+    fn report_rejects_missing_and_malformed_traces() {
+        let mut opts = Options {
+            inputs: vec!["/nonexistent/trace.jsonl".to_owned()],
+            ..Options::default()
+        };
+        assert!(report(&opts).is_err(), "missing file is an error");
+
+        let dir = std::env::temp_dir().join("cne-report-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, "{\"type\":\"run\"}\nnot json\n").expect("write");
+        opts.inputs = vec![bad.to_string_lossy().into_owned()];
+        let err = report(&opts).expect_err("malformed trace is an error");
+        assert!(err.contains("line 2"), "error names the line: {err}");
+    }
+}

@@ -185,19 +185,21 @@ impl Combo {
                 Allowances::new(2.0 * cap_share),
             ))),
             TraderKind::Lyapunov => Box::new(Lyapunov::new(LyapunovConfig::default())),
-            TraderKind::PrimalDual => {
-                // Scales: typical price ≈ 8.4 cent (EU band midpoint);
-                // typical per-slot volume ≈ the emission scale, i.e. a
-                // couple of cap shares.
-                Box::new(PrimalDual::new(PrimalDualConfig::theorem2(
-                    horizon,
-                    8.4,
-                    2.0 * cap_share,
-                )))
-            }
+            TraderKind::PrimalDual => Box::new(PrimalDual::new(theorem2_tuning(env))),
         };
         ComboController::new(selectors, trader, normalizer, self.name())
     }
+}
+
+/// The Theorem 2 step-size tuning [`Combo::build`] hands Algorithm 2 on
+/// this environment. Exposed so the envelope monitors can reason about
+/// what the tuned dual ascent can and cannot produce.
+///
+/// Scales: typical price ≈ 8.4 cent (the EU band midpoint); typical
+/// per-slot volume ≈ the emission scale, i.e. a couple of cap shares.
+#[must_use]
+pub fn theorem2_tuning(env: &Environment<'_>) -> PrimalDualConfig {
+    PrimalDualConfig::theorem2(env.horizon(), 8.4, 2.0 * env.config().cap_share())
 }
 
 /// Error from parsing a combo name.

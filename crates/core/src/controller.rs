@@ -104,6 +104,56 @@ impl Policy for ComboController {
         self.trader.observe(t, &feedback.trade);
     }
 
+    fn select_models_profiled(
+        &mut self,
+        t: usize,
+        profiler: &mut cne_util::span::Profiler,
+    ) -> Vec<usize> {
+        for (i, sel) in self.selectors.iter_mut().enumerate() {
+            profiler.enter(sel.name());
+            self.last_placement[i] = sel.select_profiled(t, profiler);
+            profiler.exit();
+        }
+        self.last_placement.clone()
+    }
+
+    fn decide_trades_profiled(
+        &mut self,
+        t: usize,
+        ctx: &TradeContext,
+        profiler: &mut cne_util::span::Profiler,
+    ) -> (Allowances, Allowances) {
+        profiler.enter(self.trader.name());
+        let zw = self.trader.decide_profiled(t, ctx, profiler);
+        profiler.exit();
+        zw
+    }
+
+    fn end_of_slot_profiled(
+        &mut self,
+        t: usize,
+        feedback: &SlotFeedback,
+        profiler: &mut cne_util::span::Profiler,
+    ) {
+        assert_eq!(
+            feedback.edges.len(),
+            self.selectors.len(),
+            "feedback does not match the number of edges"
+        );
+        for (i, outcome) in feedback.edges.iter().enumerate() {
+            debug_assert_eq!(outcome.model, self.last_placement[i]);
+            let loss = self
+                .normalizer
+                .slot_loss(outcome.empirical_loss, outcome.compute_latency_ms);
+            profiler.enter(self.selectors[i].name());
+            self.selectors[i].observe(t, outcome.model, loss);
+            profiler.exit();
+        }
+        profiler.enter(self.trader.name());
+        self.trader.observe(t, &feedback.trade);
+        profiler.exit();
+    }
+
     fn name(&self) -> String {
         self.display_name.clone()
     }

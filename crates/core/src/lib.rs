@@ -28,7 +28,9 @@
 //! * [`offline`] — the clairvoyant `Offline` benchmark (best fixed
 //!   model per edge + exact offline trading LP);
 //! * [`runner`] — multi-seed experiment driver with averaging;
-//! * [`regret`] — regret (for `P0`, `P1`, `P2`) and fit computation.
+//! * [`regret`] — regret (for `P0`, `P1`, `P2`) and fit computation;
+//! * [`monitor`] — theorem-envelope monitors flagging runs that stray
+//!   outside the paper's guarantees.
 //!
 //! # Examples
 //!
@@ -52,6 +54,7 @@
 
 pub mod combos;
 pub mod controller;
+pub mod monitor;
 pub mod offline;
 pub mod problem;
 pub mod regret;
@@ -59,6 +62,7 @@ pub mod runner;
 
 pub use combos::{Combo, SelectorKind, TraderKind};
 pub use controller::ComboController;
+pub use monitor::{MonitorConfig, MonitorSummary};
 pub use offline::OfflinePolicy;
 pub use problem::LossNormalizer;
 pub use runner::{

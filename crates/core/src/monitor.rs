@@ -1,0 +1,480 @@
+//! Theorem-envelope monitors: online checks that a finished run stayed
+//! inside the paper's guarantees.
+//!
+//! The theorems bound *expected* quantities with unspecified constants,
+//! so the monitors check against calibrated envelopes — the theorem's
+//! growth rate times a safety constant (see [`MonitorConfig`]) — and
+//! flag runs that stray outside them. A violation event is a smoke
+//! alarm, not a proof of a bug: it says "this run's behaviour is
+//! inconsistent with the analysis at the configured constant", which in
+//! a deterministic, seeded pipeline almost always means a regression.
+//!
+//! Four checks, gated by what the policy actually promises:
+//!
+//! * **Block boundaries** (Algorithm 1 only): the block schedule of
+//!   Theorem 1 commits to `|B_{i,k}| = max{⌈d_{i,k}⌉, 1}` slots per
+//!   block, so a model download *inside* a block is a contract breach.
+//! * **Theorem 1 envelope** (Algorithm 1 only): per-edge P1 regret plus
+//!   realized switching cost must grow like
+//!   `O((u_i N)^{2/3} T^{1/3})`. Skipped under quality drift — the
+//!   theorem assumes a fixed loss distribution.
+//! * **Theorem 2 fit envelope** (Algorithm 2 only): the terminal
+//!   constraint fit `‖[Σ_t g^t]⁺‖` must grow like `O(T^{2/3})`.
+//! * **Dual sanity** (Algorithm 2 only): the dual variable must stay
+//!   nonnegative, finite, and within the travel budget its tuned step
+//!   size permits (`γ₁ Σ_t [g^t]⁺`), and executed trades must respect
+//!   the per-slot bounds.
+//!
+//! Violations surface as `"envelope"` events (distinct from the
+//! simulator's `"violation"` settlement events, which are a *normal*
+//! outcome for constraint-blind baselines) plus an
+//! `envelope.violations` counter and `envelope.*` gauges, all inside
+//! the run's deterministic telemetry [`Recorder`].
+
+use cne_bandit::Schedule;
+use cne_edgesim::{Environment, RunRecord};
+use cne_util::telemetry::{Recorder, Value};
+
+use crate::combos::{SelectorKind, TraderKind};
+use crate::problem::LossNormalizer;
+use crate::regret;
+use crate::runner::PolicySpec;
+
+/// Event kind used for every monitor finding.
+pub const EVENT_KIND: &str = "envelope";
+
+/// Safety constants multiplying the theorems' growth rates.
+///
+/// The theorems hide constants (and hold in expectation), so the
+/// envelopes need headroom: large enough that nominal seeded runs never
+/// trip them, small enough that a mis-tuned learning rate or a broken
+/// schedule does. The defaults are calibrated against the fast-test
+/// and `--quick` configurations (see `tests/monitors.rs`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorConfig {
+    /// Multiplies the Theorem 1 rate `scale · ((u_i N)^{2/3} T^{1/3} +
+    /// u_i + 1)` (weighted cost units).
+    pub thm1_constant: f64,
+    /// Multiplies the Theorem 2 fit rate `2 (R/T) · T^{2/3}`
+    /// (allowances).
+    pub thm2_constant: f64,
+    /// The dual variable may reach this multiple of its dual-ascent
+    /// travel budget `γ₁ Σ_t [g^t]⁺` before the monitor flags it.
+    pub lambda_drive_multiple: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            thm1_constant: 12.0,
+            thm2_constant: 12.0,
+            // The rectified ascent `λ ← [λ + γ₁ g]⁺` can never lift λ
+            // above `γ₁ Σ_t [g^t]⁺` exactly, so 1.5 is pure float
+            // headroom — while a step size inflated by a factor k
+            // overshoots the nominal budget by up to that same k.
+            lambda_drive_multiple: 1.5,
+        }
+    }
+}
+
+/// What the monitors concluded about one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MonitorSummary {
+    /// Total envelope violations found (0 for a nominal run).
+    pub violations: u64,
+    /// `(observed, bound)` for the Theorem 1 regret envelope, summed
+    /// over edges. `None` when the check did not apply.
+    pub thm1: Option<(f64, f64)>,
+    /// `(observed, bound)` for the Theorem 2 fit envelope. `None` when
+    /// the check did not apply.
+    pub thm2_fit: Option<(f64, f64)>,
+}
+
+/// Runs every monitor that applies to `spec` and records findings into
+/// `rec`.
+///
+/// Emits one [`EVENT_KIND`] event per violation, bumps the
+/// `envelope.violations` counter, and records `envelope.thm1_*` /
+/// `envelope.fit_*` gauges whenever the corresponding envelope was
+/// evaluated. The offline benchmark promises nothing and is never
+/// checked.
+pub fn check_run(
+    env: &Environment<'_>,
+    record: &RunRecord,
+    spec: &PolicySpec,
+    cfg: &MonitorConfig,
+    rec: &mut Recorder,
+) -> MonitorSummary {
+    let mut summary = MonitorSummary::default();
+    let PolicySpec::Combo(combo) = spec else {
+        return summary;
+    };
+
+    if combo.selector == SelectorKind::BlockTsallis {
+        summary.violations += check_block_boundaries(env, rec);
+        // Theorem 1 assumes a stationary loss distribution; a
+        // mid-horizon quality drift voids the envelope by design.
+        if env.config().quality_drift_at.is_none() {
+            let (observed, bound, violations) = check_thm1_envelope(env, record, cfg, rec);
+            summary.thm1 = Some((observed, bound));
+            summary.violations += violations;
+        }
+    }
+
+    if combo.trader == TraderKind::PrimalDual {
+        let (observed, bound, violations) = check_thm2_fit(env, record, cfg, rec);
+        summary.thm2_fit = Some((observed, bound));
+        summary.violations += violations;
+        summary.violations += check_dual_sanity(env, record, cfg, rec);
+        summary.violations += check_trade_bounds(env, record, rec);
+    }
+
+    rec.incr("envelope.violations", summary.violations);
+    summary
+}
+
+/// The per-edge Theorem 1 block schedules exactly as [`Combo::build`]
+/// constructs them.
+///
+/// [`Combo::build`]: crate::combos::Combo::build
+#[must_use]
+pub fn theorem1_schedules(env: &Environment<'_>) -> Vec<Schedule> {
+    let cfg = env.config();
+    let normalizer = LossNormalizer::new(cfg.weights);
+    (0..env.num_edges())
+        .map(|i| {
+            let u = normalizer.switch_cost(env.download_delay_ms(i), cfg.switch_weight);
+            Schedule::theorem1(u, env.num_models(), env.horizon())
+        })
+        .collect()
+}
+
+/// Flags every model download that did not land on a block boundary of
+/// the edge's Theorem 1 schedule. Returns the number of violations.
+///
+/// Reads the run's `"switch"` events out of `rec`, so it must run after
+/// the traced simulation that produced them.
+pub fn check_block_boundaries(env: &Environment<'_>, rec: &mut Recorder) -> u64 {
+    let schedules = theorem1_schedules(env);
+    let mut offenders: Vec<(u64, u64, u64)> = Vec::new();
+    for event in rec.events() {
+        if event.kind != "switch" {
+            continue;
+        }
+        let Some(t) = event.slot else { continue };
+        let edge = event.fields.iter().find_map(|(name, value)| {
+            if name == "edge" {
+                if let Value::UInt(i) = value {
+                    return Some(*i);
+                }
+            }
+            None
+        });
+        let Some(edge) = edge else { continue };
+        let Some(schedule) = schedules.get(edge as usize) else {
+            continue;
+        };
+        if !schedule.is_block_start(t as usize) {
+            offenders.push((t, edge, schedule.block_of(t as usize) as u64));
+        }
+    }
+    for &(t, edge, block) in &offenders {
+        rec.event(
+            Some(t),
+            EVENT_KIND,
+            &[
+                ("monitor", "block_boundary".into()),
+                ("edge", edge.into()),
+                ("block", block.into()),
+            ],
+        );
+    }
+    offenders.len() as u64
+}
+
+/// Checks each edge's P1 regret + switching cost against the Theorem 1
+/// envelope `c · scale · ((u_i N)^{2/3} T^{1/3} + u_i + 1)` (weighted
+/// cost units). Returns `(Σ observed, Σ bound, violations)`.
+pub fn check_thm1_envelope(
+    env: &Environment<'_>,
+    record: &RunRecord,
+    cfg: &MonitorConfig,
+    rec: &mut Recorder,
+) -> (f64, f64, u64) {
+    let sim = env.config();
+    let normalizer = LossNormalizer::new(sim.weights);
+    let per_edge = regret::p1_regret_per_edge(env, record);
+    let n = env.num_models() as f64;
+    let t_third = (env.horizon() as f64).cbrt();
+
+    let mut total_observed = 0.0;
+    let mut total_bound = 0.0;
+    let mut violations = 0u64;
+    for (i, (edge, regret_i)) in record.edges.iter().zip(&per_edge).enumerate() {
+        let u = normalizer.switch_cost(env.download_delay_ms(i), sim.switch_weight);
+        let switching = edge.switches as f64
+            * env.download_delay_ms(i)
+            * sim.weights.switch_per_ms
+            * sim.switch_weight;
+        let observed = regret_i + switching;
+        // `+ u_i + 1` keeps the envelope meaningful at tiny horizons,
+        // where the mandatory first download already costs `u_i`.
+        let bound =
+            cfg.thm1_constant * normalizer.scale() * ((u * n).powf(2.0 / 3.0) * t_third + u + 1.0);
+        total_observed += observed;
+        total_bound += bound;
+        if observed > bound {
+            violations += 1;
+            rec.event(
+                None,
+                EVENT_KIND,
+                &[
+                    ("monitor", "thm1_regret".into()),
+                    ("edge", i.into()),
+                    ("observed", observed.into()),
+                    ("bound", bound.into()),
+                ],
+            );
+        }
+    }
+    rec.gauge("envelope.thm1_observed", total_observed);
+    rec.gauge("envelope.thm1_bound", total_bound);
+    (total_observed, total_bound, violations)
+}
+
+/// Checks the terminal constraint fit against the Theorem 2 envelope
+/// `c · 2 (R/T) · T^{2/3}` (allowances). Returns
+/// `(observed, bound, violations)`.
+pub fn check_thm2_fit(
+    env: &Environment<'_>,
+    record: &RunRecord,
+    cfg: &MonitorConfig,
+    rec: &mut Recorder,
+) -> (f64, f64, u64) {
+    let observed = regret::fit(record);
+    let horizon = env.horizon() as f64;
+    // `2 R/T` is the trade scale Algorithm 2 is tuned with (see
+    // `Combo::build`), which makes the envelope follow the cap.
+    let bound = cfg.thm2_constant * 2.0 * env.config().cap_share() * horizon.powf(2.0 / 3.0);
+    rec.gauge("envelope.fit_observed", observed);
+    rec.gauge("envelope.fit_bound", bound);
+    let violations = u64::from(observed > bound);
+    if violations > 0 {
+        rec.event(
+            None,
+            EVENT_KIND,
+            &[
+                ("monitor", "thm2_fit".into()),
+                ("observed", observed.into()),
+                ("bound", bound.into()),
+            ],
+        );
+    }
+    (observed, bound, violations)
+}
+
+/// Scans the run's `"lambda"` trajectory events for dual-variable
+/// breaches: negative or non-finite values (the dual update projects
+/// onto `λ ≥ 0`), or values beyond the travel budget the Theorem 2
+/// step size permits. The rectified ascent `λ ← [λ + γ₁ g^t]⁺` can
+/// never lift the dual above `γ₁ Σ_t [g^t]⁺` (every slot adds at most
+/// `γ₁ [g^t]⁺`), so a trajectory that exceeds that budget — times
+/// [`MonitorConfig::lambda_drive_multiple`] — was not produced by the
+/// tuned update (e.g. an inflated step size or a broken projection).
+/// Returns the number of violations.
+pub fn check_dual_sanity(
+    env: &Environment<'_>,
+    record: &RunRecord,
+    cfg: &MonitorConfig,
+    rec: &mut Recorder,
+) -> u64 {
+    let gamma1 = crate::combos::theorem2_tuning(env).gamma1;
+    let cap_share = env.config().cap_share();
+    let drive: f64 = record
+        .slots
+        .iter()
+        .map(|s| (s.emissions - cap_share - s.bought + s.sold).max(0.0))
+        .sum();
+    let ceiling = cfg.lambda_drive_multiple * gamma1 * drive;
+    let mut offenders: Vec<(Option<u64>, f64)> = Vec::new();
+    for event in rec.events() {
+        if event.kind != "lambda" {
+            continue;
+        }
+        let value = event.fields.iter().find_map(|(name, value)| {
+            if name == "value" {
+                if let Value::Float(v) = value {
+                    return Some(*v);
+                }
+            }
+            None
+        });
+        let Some(lambda) = value else { continue };
+        if lambda < -1e-9 || lambda > ceiling || !lambda.is_finite() {
+            offenders.push((event.slot, lambda));
+        }
+    }
+    for &(slot, lambda) in &offenders {
+        rec.event(
+            slot,
+            EVENT_KIND,
+            &[
+                ("monitor", "dual_sanity".into()),
+                ("lambda", lambda.into()),
+                ("ceiling", ceiling.into()),
+            ],
+        );
+    }
+    offenders.len() as u64
+}
+
+/// Verifies that every executed trade respected the per-slot bounds the
+/// market is supposed to clamp to. Returns the number of violations.
+pub fn check_trade_bounds(env: &Environment<'_>, record: &RunRecord, rec: &mut Recorder) -> u64 {
+    let bounds = env.config().bounds;
+    let max_buy = bounds.max_buy.get();
+    let max_sell = bounds.max_sell.get();
+    let eps = 1e-9;
+    let mut violations = 0u64;
+    for slot in &record.slots {
+        if slot.bought > max_buy + eps || slot.sold > max_sell + eps {
+            violations += 1;
+            rec.event(
+                Some(slot.t as u64),
+                EVENT_KIND,
+                &[
+                    ("monitor", "trade_bounds".into()),
+                    ("bought", slot.bought.into()),
+                    ("sold", slot.sold.into()),
+                    ("max_buy", max_buy.into()),
+                    ("max_sell", max_sell.into()),
+                ],
+            );
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combos::Combo;
+    use crate::offline::OfflinePolicy;
+    use cne_edgesim::SimConfig;
+    use cne_nn::{ModelZoo, ZooConfig};
+    use cne_simdata::dataset::TaskKind;
+    use cne_util::SeedSequence;
+
+    fn setup() -> (ModelZoo, SimConfig) {
+        let zoo = ModelZoo::train(
+            TaskKind::MnistLike,
+            &ZooConfig::fast(),
+            &SeedSequence::new(20),
+        );
+        (zoo, SimConfig::fast_test(TaskKind::MnistLike))
+    }
+
+    #[test]
+    fn nominal_ours_run_passes_every_monitor() {
+        let (zoo, cfg) = setup();
+        for seed in [1u64, 2, 3] {
+            let root = SeedSequence::new(seed);
+            let env = Environment::new(cfg.clone(), &zoo, &root.derive("env"));
+            let mut policy = Combo::ours().build(&env, &root.derive("alg"));
+            let mut rec = Recorder::new();
+            let record = env.run_traced(&mut policy, &mut rec);
+            let summary = check_run(
+                &env,
+                &record,
+                &PolicySpec::Combo(Combo::ours()),
+                &MonitorConfig::default(),
+                &mut rec,
+            );
+            assert_eq!(
+                summary.violations, 0,
+                "seed {seed}: nominal run tripped a monitor: {summary:?}"
+            );
+            let (observed, bound) = summary.thm1.expect("thm1 applies to Ours");
+            assert!(observed <= bound, "thm1 {observed} > {bound}");
+            let (fit, fit_bound) = summary.thm2_fit.expect("thm2 applies to Ours");
+            assert!(fit <= fit_bound, "fit {fit} > {fit_bound}");
+            assert_eq!(rec.counter("envelope.violations"), 0);
+        }
+    }
+
+    #[test]
+    fn offline_is_never_checked() {
+        let (zoo, cfg) = setup();
+        let env = Environment::new(cfg, &zoo, &SeedSequence::new(5));
+        let mut policy = OfflinePolicy::plan(&env);
+        let mut rec = Recorder::new();
+        let record = env.run_traced(&mut policy, &mut rec);
+        let summary = check_run(
+            &env,
+            &record,
+            &PolicySpec::Offline,
+            &MonitorConfig::default(),
+            &mut rec,
+        );
+        assert_eq!(summary, MonitorSummary::default());
+        assert!(summary.thm1.is_none());
+        assert!(summary.thm2_fit.is_none());
+    }
+
+    #[test]
+    fn schedules_match_the_combo_construction() {
+        let (zoo, cfg) = setup();
+        let env = Environment::new(cfg, &zoo, &SeedSequence::new(6));
+        let schedules = theorem1_schedules(&env);
+        assert_eq!(schedules.len(), env.num_edges());
+        for s in &schedules {
+            assert_eq!(s.horizon(), env.horizon());
+            assert!(s.is_block_start(0));
+        }
+    }
+
+    #[test]
+    fn trade_bounds_catch_an_oversized_trade() {
+        let (zoo, cfg) = setup();
+        let max_buy = cfg.bounds.max_buy.get();
+        let env = Environment::new(cfg, &zoo, &SeedSequence::new(7));
+        let mut policy = OfflinePolicy::plan(&env);
+        let mut rec = Recorder::new();
+        let mut record = env.run_traced(&mut policy, &mut rec);
+        record.slots[3].bought = max_buy * 2.0;
+        let violations = check_trade_bounds(&env, &record, &mut rec);
+        assert_eq!(violations, 1);
+        let event = rec
+            .events()
+            .iter()
+            .find(|e| e.kind == EVENT_KIND)
+            .expect("envelope event recorded");
+        assert_eq!(event.slot, Some(3));
+    }
+
+    #[test]
+    fn dual_sanity_flags_negative_and_diverging_lambda() {
+        let (zoo, cfg) = setup();
+        let env = Environment::new(cfg, &zoo, &SeedSequence::new(8));
+        let mut policy = OfflinePolicy::plan(&env);
+        let mut rec = Recorder::new();
+        let record = env.run_traced(&mut policy, &mut rec);
+        // The travel budget the monitor reconstructs for this record.
+        let cap_share = env.config().cap_share();
+        let budget: f64 = record
+            .slots
+            .iter()
+            .map(|s| (s.emissions - cap_share - s.bought + s.sold).max(0.0))
+            .sum::<f64>()
+            * crate::combos::theorem2_tuning(&env).gamma1;
+        rec.event(Some(1), "lambda", &[("value", (-0.5f64).into())]);
+        rec.event(
+            Some(2),
+            "lambda",
+            &[("value", (budget * 10.0 + 1.0).into())],
+        );
+        rec.event(Some(3), "lambda", &[("value", (budget * 0.5).into())]);
+        let violations = check_dual_sanity(&env, &record, &MonitorConfig::default(), &mut rec);
+        assert_eq!(violations, 2, "negative and diverging lambdas flagged");
+    }
+}

@@ -18,26 +18,37 @@
 //! variable, or [`std::thread::available_parallelism`], in that order
 //! (see [`resolve_threads`]).
 //!
-//! # Telemetry
+//! # Telemetry and profiling
 //!
 //! With [`EvalOptions::telemetry`] set, each run carries a
 //! [`Recorder`] through [`Environment::run_traced`], capturing model
-//! switches, allowance trades, constraint violations, per-stage
-//! timings, and end-of-run policy state. Recorders come back in the
-//! same fixed `(spec, seed)` order (see [`EvalReport::telemetry`]).
+//! switches, allowance trades, constraint violations, regret
+//! decompositions, theorem-envelope monitor findings, and end-of-run
+//! policy state — all deterministic functions of `(seed, spec)`, so
+//! the trace is bit-identical at every worker count. Recorders come
+//! back in the same fixed `(spec, seed)` order (see
+//! [`EvalReport::telemetry`]).
+//!
+//! With [`EvalOptions::profile`] set, each run additionally carries a
+//! wall-clock span [`Profiler`] through
+//! [`Environment::run_profiled`](cne_edgesim::Environment::run_profiled).
+//! Timing data is inherently non-deterministic, which is exactly why it
+//! lives in this separate stream (see [`EvalReport::profiles`]) and
+//! never touches the recorders.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 use cne_edgesim::{Environment, Policy, RunRecord, SimConfig};
 use cne_nn::ModelZoo;
 use cne_util::series::mean_series;
+use cne_util::span::Profiler;
 use cne_util::stats::OnlineStats;
 use cne_util::telemetry::Recorder;
 use cne_util::SeedSequence;
 
 use crate::combos::Combo;
+use crate::monitor::{self, MonitorConfig};
 use crate::offline::OfflinePolicy;
 use crate::regret;
 
@@ -76,6 +87,10 @@ pub struct EvalOptions {
     /// Collect a telemetry [`Recorder`] per run (see
     /// [`EvalReport::telemetry`]).
     pub telemetry: bool,
+    /// Collect a wall-clock span [`Profiler`] per run (see
+    /// [`EvalReport::profiles`]). Profiling never affects the
+    /// deterministic telemetry stream.
+    pub profile: bool,
     /// Print a progress line to stderr as each run completes.
     pub progress: bool,
 }
@@ -91,6 +106,10 @@ pub struct EvalReport {
     /// run with `seeds[k]`. Empty unless [`EvalOptions::telemetry`]
     /// was set.
     pub telemetry: Vec<Recorder>,
+    /// One wall-clock span profiler per `(spec, seed)` run, in the
+    /// same spec-major order as [`telemetry`](Self::telemetry). Empty
+    /// unless [`EvalOptions::profile`] was set.
+    pub profiles: Vec<Profiler>,
 }
 
 /// Aggregated metrics over the seed list.
@@ -114,6 +133,10 @@ pub struct EvalResult {
     pub mean_switches: f64,
     /// Mean average buy price actually paid (cents/allowance).
     pub mean_unit_purchase_cost: f64,
+    /// Total theorem-envelope violations across the seed runs (see
+    /// [`crate::monitor`]). Always 0 when telemetry is off — the
+    /// monitors read the recorded event stream.
+    pub envelope_violations: u64,
     /// Slot-wise mean cumulative cost curve.
     pub mean_cumulative_cost: Vec<f64>,
     /// Slot-wise mean accuracy curve.
@@ -152,7 +175,7 @@ pub fn resolve_threads(requested: Option<usize>) -> usize {
 /// seed see the same environment.
 #[must_use]
 pub fn run_single(config: &SimConfig, zoo: &ModelZoo, seed: u64, spec: &PolicySpec) -> RunRecord {
-    run_job(config, zoo, seed, spec, false).record
+    run_job(config, zoo, seed, spec, false, false).record
 }
 
 /// Everything one `(seed, spec)` run produces. `p1` is computed while
@@ -161,6 +184,8 @@ struct JobOutput {
     record: RunRecord,
     p1: f64,
     recorder: Option<Recorder>,
+    profiler: Option<Profiler>,
+    envelope_violations: u64,
 }
 
 fn run_job(
@@ -169,6 +194,7 @@ fn run_job(
     seed: u64,
     spec: &PolicySpec,
     telemetry: bool,
+    profile: bool,
 ) -> JobOutput {
     let root = SeedSequence::new(seed);
     let env = Environment::new(config.clone(), zoo, &root.derive("env"));
@@ -178,23 +204,45 @@ fn run_job(
         rec.set_label("seed", seed.to_string());
         rec
     });
-    let started = Instant::now();
+    let mut profiler = profile.then(|| {
+        let mut p = Profiler::new();
+        p.set_label("policy", spec.name());
+        p.set_label("seed", seed.to_string());
+        p
+    });
     let mut policy: Box<dyn Policy> = match spec {
         PolicySpec::Combo(combo) => Box::new(combo.build(&env, &root.derive("alg"))),
         PolicySpec::Offline => Box::new(OfflinePolicy::plan(&env)),
     };
-    let record = match recorder.as_mut() {
-        Some(rec) => env.run_traced(policy.as_mut(), rec),
-        None => env.run(policy.as_mut()),
+    let record = match profiler.as_mut() {
+        Some(prof) => env.run_profiled(policy.as_mut(), recorder.as_mut(), prof),
+        None => match recorder.as_mut() {
+            Some(rec) => env.run_traced(policy.as_mut(), rec),
+            None => env.run(policy.as_mut()),
+        },
     };
-    if let Some(rec) = recorder.as_mut() {
-        rec.gauge("run_ms", started.elapsed().as_secs_f64() * 1e3);
-    }
     let p1 = regret::p1_regret_with_switching(&env, &record);
+    let mut envelope_violations = 0;
+    if let Some(rec) = recorder.as_mut() {
+        rec.gauge("regret.p1_plus_switching", p1);
+        rec.gauge(
+            "regret.p2",
+            regret::p2_regret(
+                &record,
+                config.bounds.max_buy.get(),
+                config.bounds.max_sell.get(),
+            ),
+        );
+        rec.gauge("regret.fit", regret::fit(&record));
+        let summary = monitor::check_run(&env, &record, spec, &MonitorConfig::default(), rec);
+        envelope_violations = summary.violations;
+    }
     JobOutput {
         record,
         p1,
         recorder,
+        profiler,
+        envelope_violations,
     }
 }
 
@@ -202,7 +250,12 @@ fn run_job(
 /// the order the sequential driver historically used — aggregation
 /// order is part of the determinism contract (floating-point addition
 /// does not reassociate).
-fn aggregate(config: &SimConfig, name: String, runs: Vec<(RunRecord, f64)>) -> EvalResult {
+fn aggregate(
+    config: &SimConfig,
+    name: String,
+    runs: Vec<(RunRecord, f64)>,
+    envelope_violations: u64,
+) -> EvalResult {
     let mut totals = OnlineStats::new();
     let mut violations = OnlineStats::new();
     let mut fits = OnlineStats::new();
@@ -245,6 +298,7 @@ fn aggregate(config: &SimConfig, name: String, runs: Vec<(RunRecord, f64)>) -> E
         mean_p2_regret: p2.mean(),
         mean_switches: switches.mean(),
         mean_unit_purchase_cost: unit_costs.mean(),
+        envelope_violations,
         mean_cumulative_cost: mean_series(&cumulative),
         mean_accuracy: mean_series(&accuracy),
         mean_net_purchase: mean_series(&net_purchase),
@@ -344,7 +398,14 @@ pub fn evaluate_many_with(
         (0..num_jobs)
             .map(|job| {
                 let (s, k) = job_spec(job);
-                let out = run_job(config, zoo, seeds[k], &specs[s], options.telemetry);
+                let out = run_job(
+                    config,
+                    zoo,
+                    seeds[k],
+                    &specs[s],
+                    options.telemetry,
+                    options.profile,
+                );
                 if options.progress {
                     report_progress(job + 1, num_jobs, &specs[s], seeds[k]);
                 }
@@ -364,7 +425,14 @@ pub fn evaluate_many_with(
                         break;
                     }
                     let (s, k) = job_spec(job);
-                    let out = run_job(config, zoo, seeds[k], &specs[s], options.telemetry);
+                    let out = run_job(
+                        config,
+                        zoo,
+                        seeds[k],
+                        &specs[s],
+                        options.telemetry,
+                        options.profile,
+                    );
                     *slots[job].lock().expect("no panics while holding the lock") = Some(out);
                     if options.progress {
                         let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
@@ -383,8 +451,10 @@ pub fn evaluate_many_with(
     // any order; the aggregation below is what fixes determinism.
     let mut results = Vec::with_capacity(specs.len());
     let mut telemetry = Vec::new();
+    let mut profiles = Vec::new();
     for (s, spec) in specs.iter().enumerate() {
         let mut runs = Vec::with_capacity(seeds.len());
+        let mut envelope_violations = 0;
         for k in 0..seeds.len() {
             let out = outputs[s * seeds.len() + k]
                 .take()
@@ -392,11 +462,19 @@ pub fn evaluate_many_with(
             if let Some(rec) = out.recorder {
                 telemetry.push(rec);
             }
+            if let Some(prof) = out.profiler {
+                profiles.push(prof);
+            }
+            envelope_violations += out.envelope_violations;
             runs.push((out.record, out.p1));
         }
-        results.push(aggregate(config, spec.name(), runs));
+        results.push(aggregate(config, spec.name(), runs, envelope_violations));
     }
-    EvalReport { results, telemetry }
+    EvalReport {
+        results,
+        telemetry,
+        profiles,
+    }
 }
 
 fn report_progress(done: usize, total: usize, spec: &PolicySpec, seed: u64) {
@@ -561,6 +639,84 @@ mod tests {
             assert_eq!(rec.counter("slots"), cfg.horizon as u64);
             assert!(rec.counter("switches") > 0, "every run downloads models");
             assert!(rec.gauge_value("total_cost").is_some());
+        }
+    }
+
+    #[test]
+    fn profiles_come_back_in_order_and_leave_telemetry_untouched() {
+        let (zoo, cfg) = setup();
+        let seeds = [8u64, 9];
+        let specs = [PolicySpec::Combo(Combo::ours()), PolicySpec::Offline];
+        let traced = evaluate_many_with(
+            &cfg,
+            &zoo,
+            &seeds,
+            &specs,
+            &EvalOptions {
+                telemetry: true,
+                ..EvalOptions::default()
+            },
+        );
+        let profiled = evaluate_many_with(
+            &cfg,
+            &zoo,
+            &seeds,
+            &specs,
+            &EvalOptions {
+                telemetry: true,
+                profile: true,
+                ..EvalOptions::default()
+            },
+        );
+        assert_eq!(profiled.profiles.len(), specs.len() * seeds.len());
+        for (i, prof) in profiled.profiles.iter().enumerate() {
+            let spec = &specs[i / seeds.len()];
+            let seed = seeds[i % seeds.len()];
+            assert_eq!(prof.labels()[0], ("policy".to_owned(), spec.name()));
+            assert_eq!(prof.labels()[1], ("seed".to_owned(), seed.to_string()));
+            assert_eq!(prof.count("run"), 1, "one run span per job");
+            assert_eq!(prof.count("run/slot"), cfg.horizon as u64);
+        }
+        assert_eq!(traced.results, profiled.results);
+        for (a, b) in traced.telemetry.iter().zip(&profiled.telemetry) {
+            assert_eq!(
+                a.to_jsonl_string(),
+                b.to_jsonl_string(),
+                "profiling must not perturb the deterministic trace"
+            );
+        }
+    }
+
+    #[test]
+    fn nominal_runs_trip_no_envelope_monitors() {
+        let (zoo, cfg) = setup();
+        let specs = [
+            PolicySpec::Combo(Combo::ours()),
+            PolicySpec::Combo(Combo {
+                selector: crate::combos::SelectorKind::Greedy,
+                trader: crate::combos::TraderKind::Threshold,
+            }),
+            PolicySpec::Offline,
+        ];
+        let report = evaluate_many_with(
+            &cfg,
+            &zoo,
+            &[1u64, 2],
+            &specs,
+            &EvalOptions {
+                telemetry: true,
+                ..EvalOptions::default()
+            },
+        );
+        for result in &report.results {
+            assert_eq!(
+                result.envelope_violations, 0,
+                "{} tripped an envelope monitor",
+                result.name
+            );
+        }
+        for rec in &report.telemetry {
+            assert_eq!(rec.counter("envelope.violations"), 0);
         }
     }
 

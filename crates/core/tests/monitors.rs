@@ -1,0 +1,160 @@
+//! Integration tests for the theorem-envelope monitors: deliberately
+//! broken policies must trip them, nominal ones must not.
+
+use cne_bandit::{ModelSelector, RandomSelector};
+use cne_core::combos::theorem2_tuning;
+use cne_core::monitor::{
+    self, check_block_boundaries, check_dual_sanity, MonitorConfig, MonitorSummary,
+};
+use cne_core::{Combo, ComboController, LossNormalizer, PolicySpec};
+use cne_edgesim::{Environment, SimConfig};
+use cne_nn::{ModelZoo, ZooConfig};
+use cne_simdata::dataset::TaskKind;
+use cne_trading::{PrimalDual, PrimalDualConfig, TradingPolicy};
+use cne_util::telemetry::Recorder;
+use cne_util::SeedSequence;
+
+fn setup() -> (ModelZoo, SimConfig) {
+    let zoo = ModelZoo::train(
+        TaskKind::MnistLike,
+        &ZooConfig::fast(),
+        &SeedSequence::new(20),
+    );
+    (zoo, SimConfig::fast_test(TaskKind::MnistLike))
+}
+
+/// A controller that claims Algorithm 1's schedule but switches models
+/// on every slot: the block-boundary monitor must catch the mid-block
+/// downloads.
+#[test]
+fn mid_block_switches_trip_the_boundary_monitor() {
+    let (zoo, cfg) = setup();
+    let root = SeedSequence::new(30);
+    let env = Environment::new(cfg, &zoo, &root.derive("env"));
+    let selectors: Vec<Box<dyn ModelSelector>> = (0..env.num_edges())
+        .map(|i| {
+            let boxed: Box<dyn ModelSelector> = Box::new(RandomSelector::new(
+                env.num_models(),
+                root.derive("sel").derive_index(i as u64),
+            ));
+            boxed
+        })
+        .collect();
+    let trader: Box<dyn TradingPolicy> = Box::new(PrimalDual::new(theorem2_tuning(&env)));
+    let mut policy = ComboController::new(
+        selectors,
+        trader,
+        LossNormalizer::new(env.config().weights),
+        "Broken".into(),
+    );
+    let mut rec = Recorder::new();
+    let _record = env.run_traced(&mut policy, &mut rec);
+
+    let violations = check_block_boundaries(&env, &mut rec);
+    assert!(
+        violations > 0,
+        "a switch-every-slot policy must breach the block schedule"
+    );
+    let event = rec
+        .events()
+        .iter()
+        .find(|e| e.kind == monitor::EVENT_KIND)
+        .expect("an envelope event was emitted");
+    assert!(
+        event.fields.iter().any(|(name, value)| name == "monitor"
+            && matches!(value, cne_util::telemetry::Value::Str(s) if s == "block_boundary")),
+        "event carries the monitor name"
+    );
+}
+
+/// A primal–dual trader with a wildly inflated dual step size produces
+/// a diverging λ trajectory: the dual-sanity monitor must flag it.
+#[test]
+fn inflated_dual_step_trips_the_dual_sanity_monitor() {
+    let (zoo, cfg) = setup();
+    let root = SeedSequence::new(31);
+    let env = Environment::new(cfg, &zoo, &root.derive("env"));
+    let nominal = theorem2_tuning(&env);
+    let broken = PrimalDualConfig::new(nominal.gamma1 * 100.0, nominal.gamma2);
+    let selectors: Vec<Box<dyn ModelSelector>> = (0..env.num_edges())
+        .map(|i| {
+            let boxed: Box<dyn ModelSelector> = Box::new(RandomSelector::new(
+                env.num_models(),
+                root.derive("sel").derive_index(i as u64),
+            ));
+            boxed
+        })
+        .collect();
+    let mut policy = ComboController::new(
+        selectors,
+        Box::new(PrimalDual::new(broken)),
+        LossNormalizer::new(env.config().weights),
+        "Hot-PD".into(),
+    );
+    let mut rec = Recorder::new();
+    let record = env.run_traced(&mut policy, &mut rec);
+
+    let violations = check_dual_sanity(&env, &record, &MonitorConfig::default(), &mut rec);
+    assert!(
+        violations > 0,
+        "a 100x dual step must push lambda past the nominal travel budget"
+    );
+}
+
+/// The full monitor pass on nominal paper policies reports zero
+/// violations — the envelopes have headroom over healthy runs.
+#[test]
+fn nominal_policies_pass_the_full_monitor_pass() {
+    let (zoo, cfg) = setup();
+    for (combo, seed) in [
+        (Combo::ours(), 40u64),
+        ("ucb-ly".parse().expect("combo"), 41),
+        ("tinf-pd".parse().expect("combo"), 42),
+    ] {
+        let root = SeedSequence::new(seed);
+        let env = Environment::new(cfg.clone(), &zoo, &root.derive("env"));
+        let mut policy = combo.build(&env, &root.derive("alg"));
+        let mut rec = Recorder::new();
+        let record = env.run_traced(&mut policy, &mut rec);
+        let summary = monitor::check_run(
+            &env,
+            &record,
+            &PolicySpec::Combo(combo),
+            &MonitorConfig::default(),
+            &mut rec,
+        );
+        assert_eq!(
+            summary.violations,
+            0,
+            "{} (seed {seed}) tripped a monitor: {summary:?}",
+            combo.name()
+        );
+        if combo == Combo::ours() {
+            assert_ne!(summary, MonitorSummary::default(), "Ours gets checked");
+        }
+    }
+}
+
+/// Quality drift voids Theorem 1's stationarity assumption, so the
+/// regret envelope must be skipped (while the trading-side monitors
+/// still run).
+#[test]
+fn quality_drift_skips_the_thm1_envelope() {
+    let (zoo, mut cfg) = setup();
+    cfg.quality_drift_at = Some(cfg.horizon / 2);
+    let root = SeedSequence::new(50);
+    let env = Environment::new(cfg, &zoo, &root.derive("env"));
+    let mut policy = Combo::ours().build(&env, &root.derive("alg"));
+    let mut rec = Recorder::new();
+    let record = env.run_traced(&mut policy, &mut rec);
+    let summary = monitor::check_run(
+        &env,
+        &record,
+        &PolicySpec::Combo(Combo::ours()),
+        &MonitorConfig::default(),
+        &mut rec,
+    );
+    assert!(summary.thm1.is_none(), "drift voids the Thm 1 envelope");
+    assert!(summary.thm2_fit.is_some(), "Thm 2 still applies");
+    assert_eq!(summary.violations, 0, "nominal drift run stays clean");
+}

@@ -215,20 +215,20 @@ impl<'a> Environment<'a> {
     /// # Panics
     /// Panics if the policy returns a malformed placement vector.
     pub fn run(&self, policy: &mut dyn Policy) -> RunRecord {
-        self.run_impl(policy, None)
+        self.run_impl(policy, None, None)
     }
 
     /// Runs a policy through the whole horizon while recording
     /// telemetry: `switch`/`trade` events per slot, a `violation`
-    /// event at settlement, counters, and per-stage timing histograms
-    /// (`stage.select_us`, `stage.trade_us`, `stage.serve_us`,
-    /// `stage.feedback_us`).
+    /// event at settlement, counters, and end-of-run gauges.
     ///
     /// The returned [`RunRecord`] is bit-identical to [`Self::run`]
-    /// with the same policy state — tracing only observes the run.
-    /// Timing histogram *values* are wall-clock and therefore vary
-    /// between invocations; every other recorded quantity is
-    /// deterministic in `(seed, config, policy)`.
+    /// with the same policy state — tracing only observes the run —
+    /// and every recorded quantity is deterministic in
+    /// `(seed, config, policy)`. Wall-clock timing lives in the
+    /// separate profile stream of [`Self::run_profiled`], never here,
+    /// so trace files stay bit-identical across thread counts and
+    /// machines.
     ///
     /// # Panics
     /// Panics if the policy returns a malformed placement vector.
@@ -237,15 +237,34 @@ impl<'a> Environment<'a> {
         policy: &mut dyn Policy,
         telemetry: &mut cne_util::telemetry::Recorder,
     ) -> RunRecord {
-        self.run_impl(policy, Some(telemetry))
+        self.run_impl(policy, Some(telemetry), None)
+    }
+
+    /// Runs a policy while profiling wall-clock time into a span tree
+    /// (run → slot → select / trade / serve / feedback, with
+    /// `inference` and `accounting` children under `serve`), optionally
+    /// recording deterministic telemetry at the same time.
+    ///
+    /// Profiling only observes the run: the returned [`RunRecord`] and
+    /// any telemetry written are bit-identical to the unprofiled run.
+    ///
+    /// # Panics
+    /// Panics if the policy returns a malformed placement vector.
+    pub fn run_profiled(
+        &self,
+        policy: &mut dyn Policy,
+        telemetry: Option<&mut cne_util::telemetry::Recorder>,
+        profiler: &mut cne_util::span::Profiler,
+    ) -> RunRecord {
+        self.run_impl(policy, telemetry, Some(profiler))
     }
 
     fn run_impl(
         &self,
         policy: &mut dyn Policy,
         mut telemetry: Option<&mut cne_util::telemetry::Recorder>,
+        mut profiler: Option<&mut cne_util::span::Profiler>,
     ) -> RunRecord {
-        use std::time::Instant;
         let cfg = &self.config;
         let mut ledger = AllowanceLedger::new(cfg.cap);
         let mut prev_models: Vec<Option<usize>> = vec![None; cfg.num_edges];
@@ -259,13 +278,23 @@ impl<'a> Environment<'a> {
             .collect();
         let cap_share = cfg.cap_share();
 
+        if let Some(p) = profiler.as_deref_mut() {
+            p.enter("run");
+        }
         for t in 0..cfg.horizon {
-            // Step 1: model selection and (possible) download.
-            let stage_start = telemetry.as_ref().map(|_| Instant::now());
-            let placements = policy.select_models(t);
-            if let (Some(rec), Some(start)) = (telemetry.as_deref_mut(), stage_start) {
-                rec.observe("stage.select_us", start.elapsed().as_secs_f64() * 1e6);
+            if let Some(p) = profiler.as_deref_mut() {
+                p.enter("slot");
             }
+            // Step 1: model selection and (possible) download.
+            let placements = match profiler.as_deref_mut() {
+                Some(p) => {
+                    p.enter("select");
+                    let placements = policy.select_models_profiled(t, p);
+                    p.exit();
+                    placements
+                }
+                None => policy.select_models(t),
+            };
             assert_eq!(
                 placements.len(),
                 cfg.num_edges,
@@ -276,26 +305,25 @@ impl<'a> Environment<'a> {
             }
 
             // Carbon trading (Algorithm 2 decides using history only).
-            let stage_start = telemetry.as_ref().map(|_| Instant::now());
             let ctx = TradeContext {
                 buy_price: self.prices.buy(t),
                 sell_price: self.prices.sell(t),
                 cap_share,
                 bounds: cfg.bounds,
             };
-            let (z, w) = policy.decide_trades(t, &ctx);
+            let (z, w) = match profiler.as_deref_mut() {
+                Some(p) => {
+                    p.enter("trade");
+                    let zw = policy.decide_trades_profiled(t, &ctx, p);
+                    p.exit();
+                    zw
+                }
+                None => policy.decide_trades(t, &ctx),
+            };
             let receipt = self
                 .market
                 .execute(ctx.buy_price, ctx.sell_price, z, w, &mut ledger);
             if let Some(rec) = telemetry.as_deref_mut() {
-                rec.observe(
-                    "stage.trade_us",
-                    stage_start
-                        .expect("set when traced")
-                        .elapsed()
-                        .as_secs_f64()
-                        * 1e6,
-                );
                 if receipt.bought.get() > 0.0 || receipt.sold.get() > 0.0 {
                     rec.incr("trades", 1);
                     rec.event(
@@ -313,7 +341,9 @@ impl<'a> Environment<'a> {
             }
 
             // Steps 2–3: serve the streams and account energy/carbon.
-            let stage_start = telemetry.as_ref().map(|_| Instant::now());
+            if let Some(p) = profiler.as_deref_mut() {
+                p.enter("serve");
+            }
             let mut outcomes = Vec::with_capacity(cfg.num_edges);
             let mut loss_cost = 0.0;
             let mut latency_cost = 0.0;
@@ -346,6 +376,9 @@ impl<'a> Environment<'a> {
                 edge_records[i].selection_counts[n] += 1;
                 prev_models[i] = Some(n);
 
+                if let Some(p) = profiler.as_deref_mut() {
+                    p.enter("inference");
+                }
                 let arrivals = self.workloads[i].arrivals(t);
                 arrivals_total += arrivals;
                 let indices = &self.slot_indices[i][t];
@@ -369,6 +402,10 @@ impl<'a> Environment<'a> {
                 edge_records[i].peak_utilization_millionths = edge_records[i]
                     .peak_utilization_millionths
                     .max((utilization * 1e6) as u64);
+                if let Some(p) = profiler.as_deref_mut() {
+                    p.exit(); // inference
+                    p.enter("accounting");
+                }
 
                 let profile = &self.zoo.model(n).profile;
                 let emissions = cfg.emission.slot_emissions(
@@ -379,6 +416,9 @@ impl<'a> Environment<'a> {
                     profile.size,
                 );
                 ledger.record_emission(emissions);
+                if let Some(p) = profiler.as_deref_mut() {
+                    p.exit(); // accounting
+                }
 
                 loss_cost += table.expected_loss() * cfg.weights.loss;
                 latency_cost += self.latencies[i][n] * cfg.weights.latency_per_ms;
@@ -396,15 +436,8 @@ impl<'a> Environment<'a> {
                 });
             }
 
-            if let Some(rec) = telemetry.as_deref_mut() {
-                rec.observe(
-                    "stage.serve_us",
-                    stage_start
-                        .expect("set when traced")
-                        .elapsed()
-                        .as_secs_f64()
-                        * 1e6,
-                );
+            if let Some(p) = profiler.as_deref_mut() {
+                p.exit(); // serve
             }
 
             let emissions_allowances: f64 = outcomes
@@ -450,19 +483,19 @@ impl<'a> Environment<'a> {
                 edges: outcomes,
                 trade: observation,
             };
-            let stage_start = telemetry.as_ref().map(|_| Instant::now());
-            policy.end_of_slot(t, &feedback);
-            if let Some(rec) = telemetry.as_deref_mut() {
-                rec.observe(
-                    "stage.feedback_us",
-                    stage_start
-                        .expect("set when traced")
-                        .elapsed()
-                        .as_secs_f64()
-                        * 1e6,
-                );
+            match profiler.as_deref_mut() {
+                Some(p) => {
+                    p.enter("feedback");
+                    policy.end_of_slot_profiled(t, &feedback, p);
+                    p.exit();
+                    p.exit(); // slot
+                }
+                None => policy.end_of_slot(t, &feedback),
             }
             slots.push(record);
+        }
+        if let Some(p) = profiler {
+            p.exit(); // run
         }
 
         let settlement_cost =
@@ -480,6 +513,13 @@ impl<'a> Environment<'a> {
             let violation = record.violation();
             rec.gauge("violation", violation);
             rec.gauge("total_cost", record.total_cost());
+            rec.gauge("cap", cfg.cap.get());
+            rec.gauge("cap_share", cap_share);
+            rec.gauge("emissions", record.ledger.emitted().to_allowances().get());
+            rec.gauge("allowances.bought", record.ledger.bought().get());
+            rec.gauge("allowances.sold", record.ledger.sold().get());
+            rec.gauge("trade_cash", record.ledger.net_trading_cost().get());
+            rec.gauge("settlement_cost", record.settlement_cost);
             if violation > 0.0 {
                 rec.event(
                     None,
@@ -567,6 +607,35 @@ mod tests {
             "emissions {ledger_total} never threaten the cap"
         );
         assert!(!record.ledger.is_neutral());
+    }
+
+    #[test]
+    fn profiling_only_observes_the_run() {
+        let zoo = ModelZoo::train(
+            TaskKind::MnistLike,
+            &ZooConfig::fast(),
+            &SeedSequence::new(1),
+        );
+        let env = test_env(&zoo);
+        let mut rec_plain = cne_util::telemetry::Recorder::new();
+        let plain = env.run_traced(&mut Static(1), &mut rec_plain);
+        let mut rec_prof = cne_util::telemetry::Recorder::new();
+        let mut prof = cne_util::span::Profiler::new();
+        let profiled = env.run_profiled(&mut Static(1), Some(&mut rec_prof), &mut prof);
+        assert_eq!(plain, profiled);
+        assert_eq!(
+            rec_plain.to_jsonl_string(),
+            rec_prof.to_jsonl_string(),
+            "profiling must not perturb the deterministic trace"
+        );
+        assert_eq!(prof.open_depth(), 0);
+        assert_eq!(prof.count("run"), 1);
+        assert_eq!(prof.count("run/slot"), 40);
+        assert_eq!(prof.count("run/slot/select"), 40);
+        assert_eq!(prof.count("run/slot/trade"), 40);
+        assert_eq!(prof.count("run/slot/serve/inference"), 40 * 3);
+        assert_eq!(prof.count("run/slot/serve/accounting"), 40 * 3);
+        assert_eq!(prof.count("run/slot/feedback"), 40);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The control-policy interface the simulator drives.
 
 use cne_trading::policy::{TradeContext, TradeObservation};
+use cne_util::span::Profiler;
 use cne_util::telemetry::Recorder;
 use cne_util::units::{Allowances, GramsCo2};
 
@@ -67,6 +68,34 @@ pub trait Policy {
 
     /// Receives the realized slot outcome.
     fn end_of_slot(&mut self, t: usize, feedback: &SlotFeedback);
+
+    /// As [`select_models`](Self::select_models), with a wall-clock
+    /// span profiler open on the `select` stage. The default ignores
+    /// the profiler; composite policies override it to time their
+    /// per-edge selectors as child spans.
+    fn select_models_profiled(&mut self, t: usize, profiler: &mut Profiler) -> Vec<usize> {
+        let _ = profiler;
+        self.select_models(t)
+    }
+
+    /// As [`decide_trades`](Self::decide_trades), with a profiler open
+    /// on the `trade` stage.
+    fn decide_trades_profiled(
+        &mut self,
+        t: usize,
+        ctx: &TradeContext,
+        profiler: &mut Profiler,
+    ) -> (Allowances, Allowances) {
+        let _ = profiler;
+        self.decide_trades(t, ctx)
+    }
+
+    /// As [`end_of_slot`](Self::end_of_slot), with a profiler open on
+    /// the `feedback` stage.
+    fn end_of_slot_profiled(&mut self, t: usize, feedback: &SlotFeedback, profiler: &mut Profiler) {
+        let _ = profiler;
+        self.end_of_slot(t, feedback);
+    }
 
     /// Display name, e.g. `"Ours"` or `"UCB-LY"`.
     fn name(&self) -> String;

@@ -129,6 +129,9 @@ pub struct PrimalDual {
     /// `c^{t−1}` / `r^{t−1}` from the last observation.
     prev_buy_price: Option<f64>,
     prev_sell_price: Option<f64>,
+    /// `(t, λ^{t+1})` after each dual update — the shadow-price
+    /// trajectory dumped into telemetry for the `report` diagnostics.
+    trajectory: Vec<(u64, f64)>,
 }
 
 impl PrimalDual {
@@ -143,6 +146,7 @@ impl PrimalDual {
             lambda: 0.0,
             prev_buy_price: None,
             prev_sell_price: None,
+            trajectory: Vec::new(),
         }
     }
 
@@ -152,6 +156,13 @@ impl PrimalDual {
         self.lambda
     }
 
+    /// The dual-variable trajectory: `(t, λ^{t+1})` after each
+    /// observed slot.
+    #[must_use]
+    pub fn lambda_trajectory(&self) -> &[(u64, f64)] {
+        &self.trajectory
+    }
+
     /// The step sizes in use.
     #[must_use]
     pub fn config(&self) -> PrimalDualConfig {
@@ -159,8 +170,9 @@ impl PrimalDual {
     }
 }
 
-impl TradingPolicy for PrimalDual {
-    fn decide(&mut self, _t: usize, ctx: &TradeContext) -> (Allowances, Allowances) {
+impl PrimalDual {
+    /// The rectified proximal primal step (eq. (4)'s closed form).
+    fn primal_step(&mut self, ctx: &TradeContext) -> (Allowances, Allowances) {
         let (z, w) = match (self.prev_buy_price, self.prev_sell_price) {
             // First slot: no history yet, stay at Z̄⁰.
             (None, _) | (_, None) => (self.z_prev, self.w_prev),
@@ -176,11 +188,30 @@ impl TradingPolicy for PrimalDual {
         self.w_prev = w;
         (Allowances::new(z), Allowances::new(w))
     }
+}
 
-    fn observe(&mut self, _t: usize, obs: &TradeObservation) {
+impl TradingPolicy for PrimalDual {
+    fn decide(&mut self, _t: usize, ctx: &TradeContext) -> (Allowances, Allowances) {
+        self.primal_step(ctx)
+    }
+
+    fn decide_profiled(
+        &mut self,
+        _t: usize,
+        ctx: &TradeContext,
+        profiler: &mut cne_util::span::Profiler,
+    ) -> (Allowances, Allowances) {
+        profiler.enter("primal_step");
+        let zw = self.primal_step(ctx);
+        profiler.exit();
+        zw
+    }
+
+    fn observe(&mut self, t: usize, obs: &TradeObservation) {
         // Dual ascent on the realized constraint value (eq. (5)).
         let g = obs.constraint_value();
         self.lambda = (self.lambda + self.config.gamma1 * g).max(0.0);
+        self.trajectory.push((t as u64, self.lambda));
         self.prev_buy_price = Some(obs.buy_price.get());
         self.prev_sell_price = Some(obs.sell_price.get());
     }
@@ -190,6 +221,9 @@ impl TradingPolicy for PrimalDual {
     }
 
     fn record_telemetry(&self, rec: &mut cne_util::telemetry::Recorder) {
+        for &(t, lambda) in &self.trajectory {
+            rec.event(Some(t), "lambda", &[("value", lambda.into())]);
+        }
         rec.gauge("trader.lambda", self.lambda);
         rec.gauge("trader.z_prev", self.z_prev);
         rec.gauge("trader.w_prev", self.w_prev);

@@ -15,8 +15,14 @@
 //!   paper's figures;
 //! * [`telemetry`] — zero-dependency instrumentation (counters,
 //!   gauges, fixed-bucket histograms, per-slot events) with a JSONL
-//!   sink, used to trace model switches, allowance trades, and
-//!   per-stage timings.
+//!   sink and a [`telemetry::parse_jsonl`] reader, used to trace model
+//!   switches and allowance trades;
+//! * [`json`] — a hand-rolled JSON parser (the workspace builds
+//!   offline without `serde_json`), the inverse of the telemetry
+//!   encoder;
+//! * [`span`] — a hierarchical wall-clock span profiler kept in a
+//!   stream separate from the deterministic telemetry trace, so
+//!   timing data never perturbs bit-identical trace output.
 //!
 //! # Examples
 //!
@@ -32,12 +38,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod rng;
 pub mod series;
+pub mod span;
 pub mod stats;
 pub mod telemetry;
 pub mod units;
 
 pub use rng::SeedSequence;
+pub use span::Profiler;
 pub use stats::{OnlineStats, Summary};
 pub use telemetry::Recorder;

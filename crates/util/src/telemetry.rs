@@ -32,8 +32,11 @@
 //! ```
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fmt::Write as _;
 use std::io::{self, Write};
+
+use crate::json::{self, Json};
 
 /// Default histogram bucket upper bounds, in the unit of the observed
 /// quantity. Chosen to cover both per-stage timings in microseconds
@@ -209,6 +212,44 @@ impl Histogram {
         self.max.is_finite().then_some(self.max)
     }
 
+    /// Reassembles a histogram from its serialized parts — the inverse
+    /// of the `histogram` JSONL line. `min`/`max` are `None` when no
+    /// finite observation was ever recorded.
+    ///
+    /// # Errors
+    /// Returns a message when the parts are inconsistent (empty or
+    /// unsorted bounds, or a counts length that does not match).
+    pub fn from_parts(
+        bounds: Vec<f64>,
+        counts: Vec<u64>,
+        count: u64,
+        sum: f64,
+        min: Option<f64>,
+        max: Option<f64>,
+    ) -> Result<Self, String> {
+        if bounds.is_empty() {
+            return Err("histogram needs at least one bound".to_owned());
+        }
+        if !bounds.windows(2).all(|w| w[0] < w[1]) {
+            return Err("histogram bounds must be strictly increasing".to_owned());
+        }
+        if counts.len() != bounds.len() + 1 {
+            return Err(format!(
+                "histogram counts length {} does not match {} bounds + overflow",
+                counts.len(),
+                bounds.len()
+            ));
+        }
+        Ok(Self {
+            bounds,
+            counts,
+            count,
+            sum,
+            min: min.unwrap_or(f64::INFINITY),
+            max: max.unwrap_or(f64::NEG_INFINITY),
+        })
+    }
+
     /// Folds another histogram with identical bounds into this one.
     ///
     /// # Panics
@@ -284,6 +325,12 @@ impl Recorder {
         self.histograms
             .entry(name.to_owned())
             .or_insert_with(|| Histogram::new(bounds))
+    }
+
+    /// Installs a fully built histogram under `name`, replacing any
+    /// existing one. Used when reassembling a recorder from a trace.
+    pub fn set_histogram(&mut self, name: &str, hist: Histogram) {
+        self.histograms.insert(name.to_owned(), hist);
     }
 
     /// Appends a structured event record.
@@ -415,6 +462,14 @@ impl Recorder {
             let _ = write!(line, "],\"count\":{}", hist.count());
             line.push_str(",\"sum\":");
             push_f64(&mut line, hist.sum());
+            if let Some(min) = hist.min() {
+                line.push_str(",\"min\":");
+                push_f64(&mut line, min);
+            }
+            if let Some(max) = hist.max() {
+                line.push_str(",\"max\":");
+                push_f64(&mut line, max);
+            }
             line.push('}');
             writeln!(w, "{line}")?;
         }
@@ -428,6 +483,180 @@ impl Recorder {
         self.write_jsonl(&mut buf)
             .expect("writing to a Vec cannot fail");
         String::from_utf8(buf).expect("encoder emits UTF-8")
+    }
+}
+
+/// Failure while parsing a JSONL trace: which line, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a telemetry trace back into [`Recorder`]s — the inverse of
+/// [`Recorder::write_jsonl`]. Each `run` header starts a new recorder;
+/// subsequent `event`/`counters`/`gauges`/`histogram` lines accumulate
+/// into it. Blank lines are skipped.
+///
+/// Float `null`s decode to `NaN` (the encoder collapses every
+/// non-finite float to `null`, so the distinction between `NaN` and
+/// the infinities is not recoverable).
+///
+/// # Errors
+/// Returns a [`ParseError`] naming the first malformed line: invalid
+/// JSON, an unknown line type, a data line before any `run` header, or
+/// fields with unexpected types.
+pub fn parse_jsonl(input: &str) -> Result<Vec<Recorder>, ParseError> {
+    let mut recorders: Vec<Recorder> = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let err = |message: String| ParseError {
+            line: line_no,
+            message,
+        };
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        let doc = json::parse(raw).map_err(|e| err(format!("invalid JSON: {e}")))?;
+        let obj = doc
+            .as_object()
+            .ok_or_else(|| err("line is not a JSON object".to_owned()))?;
+        let line_type = doc
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("missing string \"type\" field".to_owned()))?;
+
+        if line_type == "run" {
+            let mut rec = Recorder::new();
+            for (k, v) in obj.iter().filter(|(k, _)| k != "type") {
+                let v = v
+                    .as_str()
+                    .ok_or_else(|| err(format!("run label {k:?} is not a string")))?;
+                rec.set_label(k, v);
+            }
+            recorders.push(rec);
+            continue;
+        }
+
+        let rec = recorders
+            .last_mut()
+            .ok_or_else(|| err(format!("{line_type:?} line before any run header")))?;
+        match line_type {
+            "event" => {
+                let kind = doc
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| err("event is missing a string \"kind\"".to_owned()))?
+                    .to_owned();
+                let slot = match doc.get("slot") {
+                    Some(v) => Some(
+                        v.as_u64()
+                            .ok_or_else(|| err("event \"slot\" is not an integer".to_owned()))?,
+                    ),
+                    None => None,
+                };
+                let mut fields = Vec::new();
+                for (k, v) in obj
+                    .iter()
+                    .filter(|(k, _)| k != "type" && k != "kind" && k != "slot")
+                {
+                    fields.push((
+                        k.clone(),
+                        json_to_value(v).ok_or_else(|| {
+                            err(format!("event field {k:?} has unsupported type"))
+                        })?,
+                    ));
+                }
+                rec.events.push(Event { slot, kind, fields });
+            }
+            "counters" => {
+                for (k, v) in obj.iter().filter(|(k, _)| k != "type") {
+                    let v = v
+                        .as_u64()
+                        .ok_or_else(|| err(format!("counter {k:?} is not a u64")))?;
+                    rec.incr(k, v);
+                }
+            }
+            "gauges" => {
+                for (k, v) in obj.iter().filter(|(k, _)| k != "type") {
+                    let v = json_to_f64(v)
+                        .ok_or_else(|| err(format!("gauge {k:?} is not a number")))?;
+                    rec.gauge(k, v);
+                }
+            }
+            "histogram" => {
+                let name = doc
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| err("histogram is missing a string \"name\"".to_owned()))?;
+                let bounds = doc
+                    .get("bounds")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| err("histogram is missing a \"bounds\" array".to_owned()))?
+                    .iter()
+                    .map(|b| b.as_f64())
+                    .collect::<Option<Vec<f64>>>()
+                    .ok_or_else(|| err("histogram bound is not a number".to_owned()))?;
+                let counts = doc
+                    .get("counts")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| err("histogram is missing a \"counts\" array".to_owned()))?
+                    .iter()
+                    .map(|c| c.as_u64())
+                    .collect::<Option<Vec<u64>>>()
+                    .ok_or_else(|| err("histogram count is not a u64".to_owned()))?;
+                let count = doc
+                    .get("count")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| err("histogram is missing a u64 \"count\"".to_owned()))?;
+                let sum = doc
+                    .get("sum")
+                    .and_then(json_to_f64)
+                    .ok_or_else(|| err("histogram is missing a numeric \"sum\"".to_owned()))?;
+                let min = doc.get("min").and_then(Json::as_f64);
+                let max = doc.get("max").and_then(Json::as_f64);
+                let hist = Histogram::from_parts(bounds, counts, count, sum, min, max)
+                    .map_err(|e| err(format!("inconsistent histogram: {e}")))?;
+                rec.set_histogram(name, hist);
+            }
+            other => return Err(err(format!("unknown line type {other:?}"))),
+        }
+    }
+    Ok(recorders)
+}
+
+/// Decodes one JSON scalar into an event [`Value`]. `null` maps to
+/// `Float(NaN)` (the encoder's image of every non-finite float);
+/// arrays and objects are not valid event field values.
+fn json_to_value(v: &Json) -> Option<Value> {
+    match v {
+        Json::Null => Some(Value::Float(f64::NAN)),
+        Json::Bool(b) => Some(Value::Bool(*b)),
+        Json::UInt(u) => Some(Value::UInt(*u)),
+        Json::Int(i) => Some(Value::Int(*i)),
+        Json::Float(f) => Some(Value::Float(*f)),
+        Json::Str(s) => Some(Value::Str(s.clone())),
+        Json::Arr(_) | Json::Obj(_) => None,
+    }
+}
+
+/// A JSON number (or `null`, decoded as `NaN`) as `f64`.
+fn json_to_f64(v: &Json) -> Option<f64> {
+    if v.is_null() {
+        Some(f64::NAN)
+    } else {
+        v.as_f64()
     }
 }
 
@@ -607,6 +836,70 @@ mod tests {
                 ("policy".to_owned(), "x".to_owned())
             ]
         );
+    }
+
+    #[test]
+    fn parse_jsonl_round_trips_a_recorder() {
+        let mut rec = Recorder::new();
+        rec.set_label("policy", "ours");
+        rec.set_label("seed", "3");
+        rec.incr("switches", 4);
+        rec.gauge("lambda", 8.25);
+        rec.gauge("bad", f64::INFINITY);
+        rec.observe("trade_size", 3.0);
+        rec.observe("trade_size", 9000.0);
+        rec.event(
+            Some(7),
+            "switch",
+            &[("to", Value::from(2u64)), ("note", Value::from("hé\"y"))],
+        );
+        rec.event(None, "settle", &[("cost", Value::from(-1.5))]);
+
+        let parsed = parse_jsonl(&rec.to_jsonl_string()).unwrap();
+        assert_eq!(parsed.len(), 1);
+        let back = &parsed[0];
+        assert_eq!(back.labels(), rec.labels());
+        assert_eq!(back.counter("switches"), 4);
+        assert_eq!(back.gauge_value("lambda"), Some(8.25));
+        // Non-finite gauges collapse to null on disk, NaN on re-read.
+        assert!(back.gauge_value("bad").unwrap().is_nan());
+        let h = back.histogram("trade_size").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(3.0));
+        assert_eq!(h.max(), Some(9000.0));
+        assert_eq!(
+            h.bucket_counts(),
+            rec.histogram("trade_size").unwrap().bucket_counts()
+        );
+        assert_eq!(back.events()[0], rec.events()[0]);
+        assert_eq!(back.events()[1], rec.events()[1]);
+        // Re-serialization is a fixpoint.
+        assert_eq!(back.to_jsonl_string(), rec.to_jsonl_string());
+    }
+
+    #[test]
+    fn parse_jsonl_splits_runs_and_reports_line_numbers() {
+        let input = concat!(
+            "{\"type\":\"run\",\"seed\":\"1\"}\n",
+            "{\"type\":\"counters\",\"slots\":40}\n",
+            "\n",
+            "{\"type\":\"run\",\"seed\":\"2\"}\n",
+            "{\"type\":\"gauges\",\"x\":1.5}\n",
+        );
+        let runs = parse_jsonl(input).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].counter("slots"), 40);
+        assert_eq!(runs[1].gauge_value("x"), Some(1.5));
+
+        for (bad, want_line) in [
+            ("{\"type\":\"counters\",\"x\":1}", 1), // before any run
+            ("{\"type\":\"run\"}\nnot json", 2),    // invalid JSON
+            ("{\"type\":\"run\"}\n{\"type\":\"wat\"}", 2), // unknown type
+            ("{\"type\":\"run\"}\n{\"type\":\"counters\",\"x\":-1}", 2), // negative counter
+        ] {
+            let e = parse_jsonl(bad).unwrap_err();
+            assert_eq!(e.line, want_line, "input: {bad:?} -> {e}");
+        }
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Round-trip property test: `Recorder::write_jsonl` output parses
+//! back via [`cne_util::telemetry::parse_jsonl`] into an equivalent
+//! recorder, for generated labels, counters, gauges, histograms, and
+//! events — including the non-finite-float → `null` → `NaN`
+//! canonicalization.
+
+use cne_util::telemetry::{parse_jsonl, Recorder, Value};
+use proptest::prelude::*;
+
+/// Field/metric names. `type`, `kind`, `slot`, and `name` are reserved
+/// by the line format, so generated keys stay clear of them.
+const KEYS: [&str; 6] = [
+    "alpha",
+    "beta_2",
+    "gamma.δ",
+    "line\nbreak",
+    "q\"uote",
+    "tab\ttab",
+];
+/// String payloads, exercising escaping and non-ASCII.
+const STRS: [&str; 5] = ["ours", "tsallis\\inf", "é😀", "", "{\"not\":\"nested\"}"];
+
+fn float_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e6..1e6f64,
+        Just(0.1),
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+    ]
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0usize..2).prop_map(|b| Value::Bool(b == 1)),
+        (-1_000_000i64..1_000_000).prop_map(Value::Int),
+        (0u64..u64::MAX).prop_map(Value::UInt),
+        float_strategy().prop_map(Value::Float),
+        (0usize..STRS.len()).prop_map(|i| Value::Str(STRS[i].to_owned())),
+    ]
+}
+
+/// The encoder collapses every non-finite float to `null`, which reads
+/// back as `NaN`; whole-number floats serialize without a decimal
+/// point and read back as exact integers. Both are equivalent, not
+/// equal, so compare through `f64` where a numeric reading exists.
+fn numeric(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Float(f) => Some(*f),
+        Value::Bool(_) | Value::Str(_) => None,
+    }
+}
+
+fn equivalent(expected: &Value, parsed: &Value) -> bool {
+    match (numeric(expected), numeric(parsed)) {
+        (Some(a), Some(b)) => {
+            if a.is_finite() {
+                a == b
+            } else {
+                b.is_nan()
+            }
+        }
+        _ => expected == parsed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// serialize ∘ parse recovers every labels/counters/gauges/
+    /// histogram/event entry, and re-serialization is a fixpoint.
+    #[test]
+    fn write_then_parse_recovers_recorder(
+        labels in proptest::collection::vec((0usize..KEYS.len(), 0usize..STRS.len()), 0..4),
+        counters in proptest::collection::vec((0usize..KEYS.len(), 0u64..1_000_000_000), 0..6),
+        gauges in proptest::collection::vec((0usize..KEYS.len(), float_strategy()), 0..6),
+        observations in proptest::collection::vec(
+            prop_oneof![0.0..5000f64, Just(f64::NAN), Just(f64::INFINITY)],
+            0..20,
+        ),
+        events in proptest::collection::vec(
+            (
+                0usize..4,                                   // kind
+                (0usize..2, 0u64..500),                      // optional slot
+                proptest::collection::vec((0usize..KEYS.len(), value_strategy()), 0..4),
+            ),
+            0..6,
+        ),
+    ) {
+        let mut rec = Recorder::new();
+        for &(k, v) in &labels {
+            rec.set_label(KEYS[k], STRS[v]);
+        }
+        for &(k, by) in &counters {
+            rec.incr(KEYS[k], by);
+        }
+        for &(k, v) in &gauges {
+            rec.gauge(KEYS[k], v);
+        }
+        for &x in &observations {
+            rec.observe("stage_us", x);
+        }
+        for (kind, (has_slot, slot), fields) in &events {
+            let slot = (*has_slot == 1).then_some(*slot);
+            let fields: Vec<(&str, Value)> =
+                fields.iter().map(|&(k, ref v)| (KEYS[k], v.clone())).collect();
+            rec.event(slot, ["switch", "trade", "violation", "envelope"][*kind], &fields);
+        }
+
+        let encoded = rec.to_jsonl_string();
+        let parsed = parse_jsonl(&encoded).expect("encoder output must parse");
+        prop_assert_eq!(parsed.len(), 1);
+        let back = &parsed[0];
+
+        prop_assert_eq!(back.labels(), rec.labels());
+        for &(k, _) in &counters {
+            prop_assert_eq!(back.counter(KEYS[k]), rec.counter(KEYS[k]));
+        }
+        for &(k, _) in &gauges {
+            let expected = rec.gauge_value(KEYS[k]).expect("gauge was set");
+            let got = back.gauge_value(KEYS[k]).expect("gauge survives round trip");
+            prop_assert!(
+                equivalent(&Value::Float(expected), &Value::Float(got)),
+                "gauge {}: {expected} vs {got}", KEYS[k]
+            );
+        }
+        match (rec.histogram("stage_us"), back.histogram("stage_us")) {
+            (Some(h), Some(g)) => {
+                prop_assert_eq!(g.bounds(), h.bounds());
+                prop_assert_eq!(g.bucket_counts(), h.bucket_counts());
+                prop_assert_eq!(g.count(), h.count());
+                prop_assert_eq!(g.sum(), h.sum());
+                prop_assert_eq!(g.min(), h.min());
+                prop_assert_eq!(g.max(), h.max());
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "histogram presence must round-trip"),
+        }
+        prop_assert_eq!(back.events().len(), rec.events().len());
+        for (want, got) in rec.events().iter().zip(back.events()) {
+            prop_assert_eq!(&got.kind, &want.kind);
+            prop_assert_eq!(got.slot, want.slot);
+            prop_assert_eq!(got.fields.len(), want.fields.len());
+            for ((wk, wv), (gk, gv)) in want.fields.iter().zip(&got.fields) {
+                prop_assert_eq!(gk, wk);
+                prop_assert!(equivalent(wv, gv), "field {wk}: {wv:?} vs {gv:?}");
+            }
+        }
+
+        // Once canonicalized by a round trip, serialization is stable.
+        prop_assert_eq!(back.to_jsonl_string(), encoded);
+    }
+}
+
+#[test]
+fn malformed_traces_are_rejected() {
+    for bad in [
+        "{\"type\":\"run\"}\n{truncated",
+        "{\"type\":\"event\",\"kind\":\"x\"}", // event before any run
+        "{\"type\":\"run\"}\n{\"no_type\":1}",
+        "{\"type\":\"run\",\"seed\":7}", // label must be a string
+    ] {
+        assert!(
+            parse_jsonl(bad).is_err(),
+            "accepted malformed trace: {bad:?}"
+        );
+    }
+}

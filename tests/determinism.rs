@@ -4,7 +4,9 @@
 //! averaging and the paper-comparison methodology rest on.
 
 use carbon_edge::core::combos::{Combo, SelectorKind, TraderKind};
-use carbon_edge::core::runner::{evaluate_with, run_single, EvalOptions, PolicySpec};
+use carbon_edge::core::runner::{
+    evaluate_many_with, evaluate_with, run_single, EvalOptions, PolicySpec,
+};
 use carbon_edge::edgesim::SimConfig;
 use carbon_edge::nn::{ModelZoo, ZooConfig};
 use carbon_edge::simdata::dataset::TaskKind;
@@ -110,6 +112,52 @@ fn parallel_evaluate_is_thread_count_invariant() {
             spec.name()
         );
     }
+}
+
+#[test]
+fn telemetry_traces_are_bit_identical_across_thread_counts_with_profiling() {
+    // Wall-clock span profiling runs alongside the telemetry recorder
+    // but writes to a separate stream, so the concatenated JSONL trace
+    // must stay byte-for-byte identical at any worker count even with
+    // profiling enabled.
+    let zoo = ModelZoo::train(
+        TaskKind::MnistLike,
+        &ZooConfig::fast(),
+        &SeedSequence::new(505),
+    );
+    let cfg = SimConfig::fast_test(TaskKind::MnistLike);
+    let seeds = [21u64, 22, 23];
+    let specs = [PolicySpec::Combo(Combo::ours()), PolicySpec::Offline];
+    let trace_at = |threads: usize| {
+        let report = evaluate_many_with(
+            &cfg,
+            &zoo,
+            &seeds,
+            &specs,
+            &EvalOptions {
+                threads: Some(threads),
+                telemetry: true,
+                profile: true,
+                ..EvalOptions::default()
+            },
+        );
+        assert_eq!(report.profiles.len(), report.telemetry.len());
+        for prof in &report.profiles {
+            assert_eq!(prof.count("run"), 1, "profiling actually ran");
+        }
+        report
+            .telemetry
+            .iter()
+            .map(|rec| rec.to_jsonl_string())
+            .collect::<String>()
+    };
+    let single = trace_at(1);
+    let quad = trace_at(4);
+    assert!(!single.is_empty());
+    assert_eq!(
+        single, quad,
+        "telemetry bytes differ between 1 and 4 worker threads"
+    );
 }
 
 #[test]
