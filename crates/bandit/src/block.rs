@@ -31,7 +31,7 @@ use cne_util::SeedSequence;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::omd::tsallis_weights;
+use crate::omd::tsallis_weights_into;
 use crate::schedule::Schedule;
 use crate::selector::ModelSelector;
 
@@ -55,6 +55,10 @@ pub struct BlockTsallisInf {
     anchor_sum: f64,
     anchor_count: u64,
     anchored: bool,
+    /// Normalization root λ of the previous block's OMD solve, used to
+    /// warm-start the next solve (consecutive blocks move `Ĉ` little,
+    /// so the root barely travels).
+    warm_lambda: Option<f64>,
     rng: StdRng,
     name: &'static str,
 }
@@ -78,6 +82,7 @@ impl BlockTsallisInf {
             anchor_sum: 0.0,
             anchor_count: 0,
             anchored: true,
+            warm_lambda: None,
             rng: seed.derive("block-tsallis").rng(),
             name: "block-tsallis-inf",
         }
@@ -135,7 +140,15 @@ impl BlockTsallisInf {
             if let Some(p) = profiler.as_deref_mut() {
                 p.enter("omd_weights");
             }
-            self.current_probs = tsallis_weights(&self.cum_estimates, self.schedule.eta(k));
+            let mut probs = std::mem::take(&mut self.current_probs);
+            let root = tsallis_weights_into(
+                &self.cum_estimates,
+                self.schedule.eta(k),
+                self.warm_lambda,
+                &mut probs,
+            );
+            self.current_probs = probs;
+            self.warm_lambda = Some(root);
             if let Some(p) = profiler.as_deref_mut() {
                 p.exit();
                 p.enter("draw");

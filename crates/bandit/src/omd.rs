@@ -52,6 +52,33 @@ const MAX_ITERS: usize = 200;
 /// ```
 #[must_use]
 pub fn tsallis_weights(cum_losses: &[f64], eta: f64) -> Vec<f64> {
+    let mut p = Vec::new();
+    let _ = tsallis_weights_into(cum_losses, eta, None, &mut p);
+    p
+}
+
+/// As [`tsallis_weights`], writing into a caller-owned buffer and
+/// optionally warm-starting the normalization solve.
+///
+/// `warm` is a previous solve's multiplier `λ` (the return value of an
+/// earlier call); when supplied and inside the root bracket it seeds
+/// the Newton iteration, which typically saves most iterations between
+/// consecutive blocks whose cumulative losses moved only a little. The
+/// warm value never weakens the safeguards: a stale or wildly wrong
+/// `λ` is ignored or corrected by the usual bisection fallback.
+///
+/// Returns the converged multiplier, for the caller to feed back into
+/// the next solve.
+///
+/// # Panics
+/// Panics if `cum_losses` is empty, `eta` is not positive, or any input
+/// is not finite.
+pub fn tsallis_weights_into(
+    cum_losses: &[f64],
+    eta: f64,
+    warm: Option<f64>,
+    out: &mut Vec<f64>,
+) -> f64 {
     assert!(!cum_losses.is_empty(), "no arms");
     assert!(
         eta > 0.0 && eta.is_finite(),
@@ -63,7 +90,9 @@ pub fn tsallis_weights(cum_losses: &[f64], eta: f64) -> Vec<f64> {
     );
     let n = cum_losses.len();
     if n == 1 {
-        return vec![1.0];
+        out.clear();
+        out.push(1.0);
+        return 0.0;
     }
 
     // p_n(λ) = 4 / (η (C_n + λ) + 2)^2, needs η(C_n + λ) + 2 > 0 ∀n,
@@ -93,9 +122,16 @@ pub fn tsallis_weights(cum_losses: &[f64], eta: f64) -> Vec<f64> {
         hi = lambda_min + (hi - lambda_min) * 2.0;
     }
 
-    // Safeguarded Newton from the upper end (sum is convex decreasing,
-    // so Newton from a point with sum < 1 stays in the bracket).
-    let mut lambda = hi;
+    // Safeguarded Newton, seeded from the warm-start root when it lies
+    // inside the bracket (consecutive blocks move `Ĉ` little, so the
+    // previous root is usually within a step or two of the new one),
+    // otherwise from the upper end (sum is convex decreasing, so Newton
+    // from a point with sum < 1 stays in the bracket). A warm value
+    // outside the bracket is simply ignored.
+    let mut lambda = match warm {
+        Some(w) if w.is_finite() && w > lo && w < hi => w,
+        _ => hi,
+    };
     for _ in 0..MAX_ITERS {
         let (s, ds) = sum_and_grad(lambda);
         let f = s - 1.0;
@@ -115,19 +151,17 @@ pub fn tsallis_weights(cum_losses: &[f64], eta: f64) -> Vec<f64> {
         };
     }
 
-    let mut p: Vec<f64> = cum_losses
-        .iter()
-        .map(|&c| {
-            let d = eta * (c + lambda) + 2.0;
-            4.0 / (d * d)
-        })
-        .collect();
+    out.clear();
+    out.extend(cum_losses.iter().map(|&c| {
+        let d = eta * (c + lambda) + 2.0;
+        4.0 / (d * d)
+    }));
     // Exact renormalization to kill residual root-finding error.
-    let total: f64 = p.iter().sum();
-    for v in &mut p {
+    let total: f64 = out.iter().sum();
+    for v in out.iter_mut() {
         *v /= total;
     }
-    p
+    lambda
 }
 
 /// Verifies the KKT stationarity of a solution (used by property tests):
@@ -217,5 +251,58 @@ mod tests {
     #[should_panic(expected = "learning rate")]
     fn rejects_zero_eta() {
         let _ = tsallis_weights(&[1.0, 2.0], 0.0);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_solve() {
+        // Consecutive blocks: cumulative losses drift, λ from the
+        // previous solve seeds the next. The warm path must land on the
+        // same root (to solver tolerance) as the cold path.
+        let mut losses = vec![0.3, 0.2, 0.9, 0.4, 0.8];
+        let mut warm = None;
+        let mut buf = Vec::new();
+        for k in 1..=20u32 {
+            let eta = 1.0 / f64::from(k).sqrt();
+            let root = tsallis_weights_into(&losses, eta, warm, &mut buf);
+            let cold = tsallis_weights(&losses, eta);
+            for (a, b) in buf.iter().zip(&cold) {
+                assert!((a - b).abs() < 1e-9, "warm {a} vs cold {b} at block {k}");
+            }
+            assert!(kkt_residual(&losses, eta, &buf) < 1e-6);
+            warm = Some(root);
+            for (i, c) in losses.iter_mut().enumerate() {
+                *c += 0.1 + 0.05 * i as f64;
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_warm_start_is_harmless() {
+        let c = vec![0.2, 3.4, 1.1, 7.7];
+        let cold = tsallis_weights(&c, 0.35);
+        let mut buf = Vec::new();
+        for w in [
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NAN,
+            -1e300,
+            1e300,
+            0.0,
+        ] {
+            let _ = tsallis_weights_into(&c, 0.35, Some(w), &mut buf);
+            let s: f64 = buf.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "sum {s} with warm {w}");
+            for (a, b) in buf.iter().zip(&cold) {
+                assert!((a - b).abs() < 1e-9, "warm {w}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_single_arm_returns_zero_root() {
+        let mut buf = vec![0.5; 4];
+        let root = tsallis_weights_into(&[42.0], 0.5, Some(123.0), &mut buf);
+        assert_eq!(buf, vec![1.0]);
+        assert_eq!(root, 0.0);
     }
 }

@@ -3,12 +3,17 @@
 //!
 //! ```text
 //! cargo run --release -p cne-bench --bin run_all [--quick] [--out results] [--threads N]
+//! cargo run --release -p cne-bench --bin run_all -- --bench [--quick] [--out results]
 //! ```
 //!
 //! `--threads`/`--telemetry` forward to every figure binary. Note
 //! that each binary truncates the `--telemetry` file when it starts,
 //! so under `run_all` the file holds only the *last* figure's traces —
 //! pass `--telemetry` to individual binaries instead.
+//!
+//! With `--bench` the figure binaries are skipped and the wall-clock
+//! benchmark suite runs instead, writing `BENCH_slot_loop.json` and
+//! `BENCH_e2e.json` to the output directory (see [`cne_bench::perf`]).
 
 use std::process::Command;
 
@@ -34,6 +39,10 @@ const FIGURES: &[&str] = &[
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--bench") {
+        cne_bench::perf::run_bench(&cne_bench::Scale::from_args());
+        return;
+    }
     let current = std::env::current_exe().expect("current executable path");
     let bin_dir = current.parent().expect("bin directory").to_path_buf();
     let mut failures = Vec::new();

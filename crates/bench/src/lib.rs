@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
 pub mod plot;
 
 use std::cell::Cell;
@@ -149,7 +150,7 @@ impl Scale {
             threads: self.threads,
             telemetry: self.telemetry.is_some(),
             profile: self.profile.is_some(),
-            progress: false,
+            ..EvalOptions::default()
         }
     }
 

@@ -1,0 +1,525 @@
+//! The `run_all --bench` benchmark mode: reproducible wall-clock
+//! measurements of the three hot paths, written as machine-readable
+//! `BENCH_*.json` files.
+//!
+//! Three paths are timed, each with the [`cne_util::span`] profiler:
+//!
+//! * **slot serving** in `edgesim::env` — a fixed-placement policy run
+//!   under both [`ServeMode`]s over the Fig. 14 runtime-vs-edges grid,
+//!   wrapped in a single stopwatch span; the batched/per-request ratio
+//!   is the headline speedup and the two [`cne_edgesim::RunRecord`]s
+//!   are checked for bit-identical equality;
+//! * **Tsallis-INF weight solves** in `cne-bandit` — repeated
+//!   [`tsallis_weights_into`] solves over a drifting loss vector, cold
+//!   versus warm-started;
+//! * **primal–dual steps** in `cne-trading` — Algorithm 2's
+//!   decide/observe pair over a synthetic price series.
+//!
+//! Output schema (`cne-bench/v1`), shared by `BENCH_slot_loop.json`
+//! and `BENCH_e2e.json`:
+//!
+//! ```json
+//! {"schema":"cne-bench/v1","mode":"quick","entries":[
+//!   {"name":"slot_loop/batched/edges=8","metric":"us_per_slot",
+//!    "value":12.5,"better":"lower","gate":true},
+//!   {"name":"slot_loop/speedup/edges=8","metric":"ratio",
+//!    "value":4.2,"better":"higher","min":1.5}]}
+//! ```
+//!
+//! Entries with a `min` are absolute floors on machine-independent
+//! ratios (speedup, equivalence); entries with `gate: true` are
+//! compared against a committed baseline within a relative tolerance
+//! by `carbon-edge bench-check`; `gate: false` entries are recorded
+//! for trend analysis but never fail the gate. Wall-clock medians over
+//! several repetitions damp scheduler noise.
+
+use cne_bandit::omd::tsallis_weights_into;
+use cne_core::combos::Combo;
+use cne_edgesim::policy::{Policy, SlotFeedback};
+use cne_edgesim::{Environment, ServeMode};
+use cne_market::TradeBounds;
+use cne_nn::ModelZoo;
+use cne_simdata::dataset::TaskKind;
+use cne_trading::policy::{TradeContext, TradeObservation, TradingPolicy};
+use cne_trading::{PrimalDual, PrimalDualConfig};
+use cne_util::json::Json;
+use cne_util::span::Profiler;
+use cne_util::units::{Allowances, PricePerAllowance};
+use cne_util::SeedSequence;
+
+use crate::Scale;
+
+/// One measured quantity in a `BENCH_*.json` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Stable identifier, e.g. `"slot_loop/batched/edges=8"`.
+    pub name: String,
+    /// Unit tag, e.g. `"us_per_slot"` or `"ratio"`.
+    pub metric: String,
+    /// The measured value (median over repetitions for timings).
+    pub value: f64,
+    /// `"lower"` or `"higher"` — which direction is an improvement.
+    pub better: &'static str,
+    /// Whether `bench-check` compares this entry against the baseline
+    /// within its relative tolerance.
+    pub gate: bool,
+    /// Absolute floor: the entry fails whenever `value` drops below
+    /// (independent of any baseline).
+    pub min: Option<f64>,
+}
+
+impl BenchEntry {
+    fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("name".to_owned(), Json::Str(self.name.clone())),
+            ("metric".to_owned(), Json::Str(self.metric.clone())),
+            ("value".to_owned(), Json::Float(self.value)),
+            ("better".to_owned(), Json::Str(self.better.to_owned())),
+            ("gate".to_owned(), Json::Bool(self.gate)),
+        ];
+        if let Some(m) = self.min {
+            obj.push(("min".to_owned(), Json::Float(m)));
+        }
+        Json::Obj(obj)
+    }
+}
+
+/// A benchmark report: the mode it ran at plus its entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// `"quick"` or `"full"`.
+    pub mode: String,
+    /// Measured entries, in emission order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Serializes the report as a `cne-bench/v1` JSON document.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        Json::Obj(vec![
+            ("schema".to_owned(), Json::Str("cne-bench/v1".to_owned())),
+            ("mode".to_owned(), Json::Str(self.mode.clone())),
+            (
+                "entries".to_owned(),
+                Json::Arr(self.entries.iter().map(BenchEntry::to_json).collect()),
+            ),
+        ])
+        .encode()
+    }
+
+    /// Parses a `cne-bench/v1` JSON document.
+    ///
+    /// # Errors
+    /// Returns a description of the first structural problem.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let doc = cne_util::json::parse(text).map_err(|e| e.to_string())?;
+        if doc.get("schema").and_then(Json::as_str) != Some("cne-bench/v1") {
+            return Err("not a cne-bench/v1 document".to_owned());
+        }
+        let mode = doc
+            .get("mode")
+            .and_then(Json::as_str)
+            .ok_or("missing 'mode'")?
+            .to_owned();
+        let mut entries = Vec::new();
+        for item in doc
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or("missing 'entries' array")?
+        {
+            let name = item
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("entry missing 'name'")?
+                .to_owned();
+            let value = item
+                .get("value")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("entry '{name}' missing numeric 'value'"))?;
+            if !value.is_finite() {
+                return Err(format!("entry '{name}' has non-finite value"));
+            }
+            let better = match item.get("better").and_then(Json::as_str) {
+                Some("higher") => "higher",
+                _ => "lower",
+            };
+            entries.push(BenchEntry {
+                name,
+                metric: item
+                    .get("metric")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_owned(),
+                value,
+                better,
+                gate: item.get("gate").and_then(Json::as_bool).unwrap_or(false),
+                min: item.get("min").and_then(Json::as_f64),
+            });
+        }
+        Ok(Self { mode, entries })
+    }
+}
+
+/// A fixed-placement policy that never trades — serving is the only
+/// per-slot work, which makes the serve span a clean measurement of
+/// the environment's hot path.
+struct FixedPlacement {
+    model: usize,
+    edges: usize,
+}
+
+impl Policy for FixedPlacement {
+    fn select_models(&mut self, _t: usize) -> Vec<usize> {
+        vec![self.model; self.edges]
+    }
+    fn select_models_into(&mut self, _t: usize, out: &mut Vec<usize>) {
+        out.clear();
+        out.resize(self.edges, self.model);
+    }
+    fn decide_trades(&mut self, _t: usize, _ctx: &TradeContext) -> (Allowances, Allowances) {
+        (Allowances::ZERO, Allowances::ZERO)
+    }
+    fn end_of_slot(&mut self, _t: usize, _fb: &SlotFeedback) {}
+    fn name(&self) -> String {
+        "fixed".into()
+    }
+}
+
+/// Median of a non-empty sample (mean of the middle pair for even
+/// sizes).
+fn median(mut xs: Vec<f64>) -> f64 {
+    assert!(!xs.is_empty(), "median of nothing");
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+/// Microseconds per slot for one fixed-placement run, plus the run's
+/// record (for the equivalence check). The run is *unprofiled* — a
+/// single stopwatch span wraps the whole loop — because the per-edge
+/// `inference`/`accounting` spans of [`Environment::run_profiled`]
+/// cost as much as the batched serve path itself and would mask the
+/// speedup being measured.
+fn timed_serve_run(env: &Environment<'_>, model: usize) -> (f64, cne_edgesim::RunRecord) {
+    let mut policy = FixedPlacement {
+        model,
+        edges: env.num_edges(),
+    };
+    let mut stopwatch = Profiler::new();
+    stopwatch.enter("serve_run");
+    let record = env.run(&mut policy);
+    stopwatch.exit();
+    (
+        stopwatch.total_us("serve_run") / env.horizon() as f64,
+        record,
+    )
+}
+
+/// Times the slot-serving path under both serve modes over the edge
+/// sweep; appends entries and returns whether every paired run was
+/// bit-identical.
+fn bench_slot_loop(scale: &Scale, zoo: &ModelZoo, reps: usize, entries: &mut Vec<BenchEntry>) {
+    let task = TaskKind::MnistLike;
+    let model = zoo.best_by_expected_loss();
+    let largest = *scale.edges_sweep.last().expect("non-empty edge sweep");
+    for &edges in &scale.edges_sweep {
+        let config = scale.config(task, edges);
+        let seed = SeedSequence::new(7);
+        let batched_env = Environment::with_serve_mode(
+            config.clone(),
+            zoo,
+            &seed.derive("env"),
+            ServeMode::Batched,
+        );
+        let per_request_env =
+            Environment::with_serve_mode(config, zoo, &seed.derive("env"), ServeMode::PerRequest);
+        let mut batched_us = Vec::with_capacity(reps);
+        let mut per_request_us = Vec::with_capacity(reps);
+        let mut identical = true;
+        for _ in 0..reps {
+            let (us_b, rec_b) = timed_serve_run(&batched_env, model);
+            let (us_p, rec_p) = timed_serve_run(&per_request_env, model);
+            identical &= rec_b == rec_p;
+            batched_us.push(us_b);
+            per_request_us.push(us_p);
+        }
+        let batched = median(batched_us);
+        let per_request = median(per_request_us);
+        entries.push(BenchEntry {
+            name: format!("slot_loop/batched/edges={edges}"),
+            metric: "us_per_slot".to_owned(),
+            value: batched,
+            better: "lower",
+            gate: true,
+            min: None,
+        });
+        entries.push(BenchEntry {
+            name: format!("slot_loop/per_request/edges={edges}"),
+            metric: "us_per_slot".to_owned(),
+            value: per_request,
+            better: "lower",
+            gate: false,
+            min: None,
+        });
+        if edges == largest {
+            entries.push(BenchEntry {
+                name: format!("slot_loop/speedup/edges={edges}"),
+                metric: "ratio".to_owned(),
+                value: per_request / batched,
+                better: "higher",
+                gate: false,
+                min: Some(1.5),
+            });
+            entries.push(BenchEntry {
+                name: format!("slot_loop/identical/edges={edges}"),
+                metric: "bool".to_owned(),
+                value: if identical { 1.0 } else { 0.0 },
+                better: "higher",
+                gate: false,
+                min: Some(1.0),
+            });
+        }
+    }
+}
+
+/// Times cold and warm-started Tsallis-INF normalization solves on a
+/// drifting cumulative-loss vector the size of the model zoo.
+fn bench_tsallis(zoo_size: usize, reps: usize, entries: &mut Vec<BenchEntry>) {
+    const SOLVES: usize = 2_000;
+    let arms = zoo_size.max(2);
+    let losses_at = |k: usize| -> Vec<f64> {
+        (0..arms)
+            .map(|n| 0.1 * k as f64 * (1.0 + 0.3 * n as f64))
+            .collect()
+    };
+    let eta_at = |k: usize| 1.0 / ((k + 1) as f64).sqrt();
+
+    let mut cold_us = Vec::with_capacity(reps);
+    let mut warm_us = Vec::with_capacity(reps);
+    let mut buf = Vec::new();
+    for _ in 0..reps {
+        let mut p = Profiler::new();
+        p.enter("cold");
+        for k in 0..SOLVES {
+            let _ = tsallis_weights_into(&losses_at(k), eta_at(k), None, &mut buf);
+        }
+        p.exit();
+        cold_us.push(p.total_us("cold") / SOLVES as f64);
+
+        let mut p = Profiler::new();
+        let mut warm = None;
+        p.enter("warm");
+        for k in 0..SOLVES {
+            warm = Some(tsallis_weights_into(
+                &losses_at(k),
+                eta_at(k),
+                warm,
+                &mut buf,
+            ));
+        }
+        p.exit();
+        warm_us.push(p.total_us("warm") / SOLVES as f64);
+    }
+    let cold = median(cold_us);
+    let warm = median(warm_us);
+    entries.push(BenchEntry {
+        name: "tsallis/cold".to_owned(),
+        metric: "us_per_solve".to_owned(),
+        value: cold,
+        better: "lower",
+        gate: false,
+        min: None,
+    });
+    entries.push(BenchEntry {
+        name: "tsallis/warm".to_owned(),
+        metric: "us_per_solve".to_owned(),
+        value: warm,
+        better: "lower",
+        gate: false,
+        min: None,
+    });
+    entries.push(BenchEntry {
+        name: "tsallis/warm_speedup".to_owned(),
+        metric: "ratio".to_owned(),
+        value: cold / warm,
+        better: "higher",
+        gate: false,
+        min: None,
+    });
+}
+
+/// Times Algorithm 2's decide/observe pair over a synthetic price
+/// series.
+fn bench_primal_dual(horizon: usize, reps: usize, entries: &mut Vec<BenchEntry>) {
+    const STEPS: usize = 20_000;
+    let bounds = TradeBounds::new(Allowances::new(5.0), Allowances::new(5.0));
+    let mut step_us = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut pd = PrimalDual::with_horizon(PrimalDualConfig::theorem2(horizon, 8.4, 6.0), STEPS);
+        let mut p = Profiler::new();
+        p.enter("pd");
+        for t in 0..STEPS {
+            let phase = (t % 40) as f64 / 40.0;
+            let buy = PricePerAllowance::new(7.0 + 2.0 * phase);
+            let sell = PricePerAllowance::new(0.9 * (7.0 + 2.0 * phase));
+            let ctx = TradeContext {
+                buy_price: buy,
+                sell_price: sell,
+                cap_share: 3.0,
+                bounds,
+            };
+            let (z, w) = pd.decide(t, &ctx);
+            pd.observe(
+                t,
+                &TradeObservation {
+                    emissions: 3.2 + phase,
+                    bought: z,
+                    sold: w,
+                    buy_price: buy,
+                    sell_price: sell,
+                    cap_share: 3.0,
+                },
+            );
+        }
+        p.exit();
+        step_us.push(p.total_us("pd") / STEPS as f64);
+    }
+    entries.push(BenchEntry {
+        name: "primal_dual/step".to_owned(),
+        metric: "us_per_step".to_owned(),
+        value: median(step_us),
+        better: "lower",
+        gate: false,
+        min: None,
+    });
+}
+
+/// Full-system runs (environment + `Ours`) over the Fig. 14
+/// runtime-vs-edges grid.
+fn bench_e2e(scale: &Scale, zoo: &ModelZoo, reps: usize, entries: &mut Vec<BenchEntry>) {
+    let task = TaskKind::MnistLike;
+    for &edges in &scale.edges_sweep {
+        let config = scale.config(task, edges);
+        let seed = SeedSequence::new(7);
+        let env = Environment::new(config, zoo, &seed.derive("env"));
+        let mut us_per_slot = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let mut policy = Combo::ours().build(&env, &seed.derive("alg"));
+            let mut profiler = Profiler::new();
+            let _ = env.run_profiled(&mut policy, None, &mut profiler);
+            us_per_slot.push(profiler.total_us("run") / env.horizon() as f64);
+        }
+        entries.push(BenchEntry {
+            name: format!("e2e/ours/edges={edges}"),
+            metric: "us_per_slot".to_owned(),
+            value: median(us_per_slot),
+            better: "lower",
+            gate: true,
+            min: None,
+        });
+    }
+}
+
+/// Runs the whole benchmark suite at the given scale and writes
+/// `BENCH_slot_loop.json` and `BENCH_e2e.json` into its output
+/// directory.
+///
+/// # Panics
+/// Panics if the output directory cannot be written.
+pub fn run_bench(scale: &Scale) {
+    let mode = if scale.quick { "quick" } else { "full" };
+    let reps = if scale.quick { 3 } else { 5 };
+    eprintln!("[bench] perf suite ({mode} mode, {reps} reps/point)…");
+    let zoo = scale.train_zoo(TaskKind::MnistLike);
+
+    let mut slot_entries = Vec::new();
+    bench_slot_loop(scale, &zoo, reps, &mut slot_entries);
+    bench_tsallis(zoo.len(), reps, &mut slot_entries);
+    bench_primal_dual(
+        *scale.horizon_sweep.last().unwrap_or(&40),
+        reps,
+        &mut slot_entries,
+    );
+    let slot_report = BenchReport {
+        mode: mode.to_owned(),
+        entries: slot_entries,
+    };
+
+    let mut e2e_entries = Vec::new();
+    bench_e2e(scale, &zoo, reps, &mut e2e_entries);
+    let e2e_report = BenchReport {
+        mode: mode.to_owned(),
+        entries: e2e_entries,
+    };
+
+    std::fs::create_dir_all(&scale.out_dir).expect("create output directory");
+    for (file, report) in [
+        ("BENCH_slot_loop.json", &slot_report),
+        ("BENCH_e2e.json", &e2e_report),
+    ] {
+        let path = scale.out_dir.join(file);
+        std::fs::write(&path, report.to_json_string() + "\n").expect("write bench report");
+        eprintln!("[bench] wrote {}", path.display());
+    }
+
+    println!("benchmark ({mode})");
+    for entry in slot_report.entries.iter().chain(&e2e_report.entries) {
+        println!(
+            "  {:<34} {:>12.3} {}",
+            entry.name, entry.value, entry.metric
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = BenchReport {
+            mode: "quick".to_owned(),
+            entries: vec![
+                BenchEntry {
+                    name: "slot_loop/batched/edges=8".to_owned(),
+                    metric: "us_per_slot".to_owned(),
+                    value: 12.5,
+                    better: "lower",
+                    gate: true,
+                    min: None,
+                },
+                BenchEntry {
+                    name: "slot_loop/speedup/edges=8".to_owned(),
+                    metric: "ratio".to_owned(),
+                    value: 4.0,
+                    better: "higher",
+                    gate: false,
+                    min: Some(1.5),
+                },
+            ],
+        };
+        let text = report.to_json_string();
+        assert_eq!(BenchReport::from_json_str(&text).unwrap(), report);
+    }
+
+    #[test]
+    fn malformed_reports_rejected() {
+        assert!(BenchReport::from_json_str("{}").is_err());
+        assert!(BenchReport::from_json_str(r#"{"schema":"other/v1"}"#).is_err());
+        assert!(BenchReport::from_json_str(
+            r#"{"schema":"cne-bench/v1","mode":"quick","entries":[{"name":"x"}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn median_handles_even_and_odd() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+}

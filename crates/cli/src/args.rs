@@ -33,6 +33,12 @@ pub struct Options {
     pub strict: bool,
     /// `report`: also render SVG charts into this directory.
     pub svg_dir: Option<String>,
+    /// `bench-check`: relative tolerance for gated wall-clock entries.
+    pub tolerance: f64,
+    /// `run`: serve request streams through the legacy per-request
+    /// path instead of batched sufficient statistics (bit-identical;
+    /// for equivalence debugging).
+    pub serve_per_request: bool,
     /// Positional arguments (e.g. the trace file for `report`).
     pub inputs: Vec<String>,
 }
@@ -52,6 +58,8 @@ impl Default for Options {
             profile: None,
             strict: false,
             svg_dir: None,
+            tolerance: 0.25,
+            serve_per_request: false,
             inputs: Vec::new(),
         }
     }
@@ -110,6 +118,16 @@ impl Options {
                 "--telemetry" => opts.telemetry = Some(value("--telemetry")?),
                 "--profile" => opts.profile = Some(value("--profile")?),
                 "--svg-dir" => opts.svg_dir = Some(value("--svg-dir")?),
+                "--tolerance" => {
+                    let t: f64 = value("--tolerance")?
+                        .parse()
+                        .map_err(|_| "tolerance must be a number".to_owned())?;
+                    if !t.is_finite() || t < 0.0 {
+                        return Err("tolerance must be non-negative".to_owned());
+                    }
+                    opts.tolerance = t;
+                }
+                "--serve-per-request" => opts.serve_per_request = true,
                 "--strict" => opts.strict = true,
                 "--quick" => opts.quick = true,
                 "--quantized" => opts.quantized = true,
@@ -205,5 +223,18 @@ mod tests {
         assert!(parse(&["--edges"]).is_err());
         assert!(parse(&["--edges", "zero"]).is_err());
         assert!(parse(&["--edges", "0"]).is_err());
+    }
+
+    #[test]
+    fn tolerance_and_serve_mode_flags() {
+        let o = parse(&["--tolerance", "0.1", "--serve-per-request"]).expect("valid");
+        assert!((o.tolerance - 0.1).abs() < 1e-12);
+        assert!(o.serve_per_request);
+        let d = parse(&[]).expect("defaults");
+        assert!((d.tolerance - 0.25).abs() < 1e-12);
+        assert!(!d.serve_per_request);
+        assert!(parse(&["--tolerance", "-0.5"]).is_err());
+        assert!(parse(&["--tolerance", "NaN"]).is_err());
+        assert!(parse(&["--tolerance", "much"]).is_err());
     }
 }

@@ -1,0 +1,238 @@
+//! `carbon-edge bench-check` — the CI benchmark-regression gate.
+//!
+//! Compares a freshly measured `BENCH_*.json` report against a
+//! committed baseline:
+//!
+//! * entries with a `min` floor fail when the **current** value drops
+//!   below it (machine-independent ratios such as the batched-serving
+//!   speedup or the bit-identical-equivalence flag);
+//! * entries with `gate: true` fail when the current value regresses
+//!   past the baseline by more than `--tolerance` (default ±25%) in
+//!   the entry's bad direction — improvements never fail;
+//! * everything else is informational.
+//!
+//! On failure, every regressed entry is printed as a table before the
+//! non-zero exit, so CI logs show *what* regressed and by how much.
+
+use cne_bench::perf::{BenchEntry, BenchReport};
+
+use crate::args::Options;
+
+/// One failed comparison, for the printed table.
+struct Regression {
+    name: String,
+    baseline: String,
+    current: f64,
+    limit: f64,
+    reason: &'static str,
+}
+
+/// Compares `current` against `baseline` and returns the regressions.
+fn compare_reports(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    tolerance: f64,
+) -> Result<Vec<Regression>, String> {
+    if baseline.mode != current.mode {
+        return Err(format!(
+            "mode mismatch: baseline is '{}', current is '{}' — \
+             regenerate the baseline at the same scale",
+            baseline.mode, current.mode
+        ));
+    }
+    let mut regressions = Vec::new();
+    for base in &baseline.entries {
+        let Some(cur) = current.entries.iter().find(|e| e.name == base.name) else {
+            regressions.push(Regression {
+                name: base.name.clone(),
+                baseline: format!("{:.3}", base.value),
+                current: f64::NAN,
+                limit: f64::NAN,
+                reason: "missing from current run",
+            });
+            continue;
+        };
+        check_entry(base, cur, tolerance, &mut regressions);
+    }
+    Ok(regressions)
+}
+
+fn check_entry(
+    base: &BenchEntry,
+    cur: &BenchEntry,
+    tolerance: f64,
+    regressions: &mut Vec<Regression>,
+) {
+    // Absolute floors apply to the current run alone (the baseline's
+    // floor is authoritative — a regenerated report cannot relax it).
+    if let Some(min) = base.min {
+        if cur.value < min {
+            regressions.push(Regression {
+                name: base.name.clone(),
+                baseline: format!("floor {min:.3}"),
+                current: cur.value,
+                limit: min,
+                reason: "below absolute floor",
+            });
+        }
+        return;
+    }
+    if !base.gate {
+        return;
+    }
+    // Relative gate: only the bad direction fails.
+    let (limit, regressed) = if base.better == "higher" {
+        let limit = base.value * (1.0 - tolerance);
+        (limit, cur.value < limit)
+    } else {
+        let limit = base.value * (1.0 + tolerance);
+        (limit, cur.value > limit)
+    };
+    if regressed {
+        regressions.push(Regression {
+            name: base.name.clone(),
+            baseline: format!("{:.3}", base.value),
+            current: cur.value,
+            limit,
+            reason: "outside relative tolerance",
+        });
+    }
+}
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchReport::from_json_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `carbon-edge bench-check <baseline.json> <current.json>`.
+///
+/// # Errors
+/// Returns an error (non-zero exit) on unreadable/malformed files,
+/// mode mismatch, or any regressed entry.
+pub fn bench_check(opts: &Options) -> Result<(), String> {
+    let [baseline_path, current_path] = opts.inputs.as_slice() else {
+        return Err(
+            "bench-check needs exactly two files: <baseline.json> <current.json>".to_owned(),
+        );
+    };
+    let baseline = load(baseline_path)?;
+    let current = load(current_path)?;
+    let regressions = compare_reports(&baseline, &current, opts.tolerance)?;
+
+    let gated = baseline
+        .entries
+        .iter()
+        .filter(|e| e.gate || e.min.is_some())
+        .count();
+    if regressions.is_empty() {
+        println!(
+            "bench-check  : OK — {gated} gated entries within ±{:.0}% of {baseline_path}",
+            opts.tolerance * 100.0
+        );
+        return Ok(());
+    }
+
+    println!(
+        "bench-check  : {} regressed entries (tolerance ±{:.0}%)\n",
+        regressions.len(),
+        opts.tolerance * 100.0
+    );
+    println!(
+        "{:<36} {:>14} {:>12} {:>12}  reason",
+        "entry", "baseline", "current", "limit"
+    );
+    for r in &regressions {
+        println!(
+            "{:<36} {:>14} {:>12.3} {:>12.3}  {}",
+            r.name, r.baseline, r.current, r.limit, r.reason
+        );
+    }
+    Err(format!(
+        "{} benchmark entries regressed vs {baseline_path}",
+        regressions.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(
+        name: &str,
+        value: f64,
+        better: &'static str,
+        gate: bool,
+        min: Option<f64>,
+    ) -> BenchEntry {
+        BenchEntry {
+            name: name.to_owned(),
+            metric: "us".to_owned(),
+            value,
+            better,
+            gate,
+            min,
+        }
+    }
+
+    fn report(entries: Vec<BenchEntry>) -> BenchReport {
+        BenchReport {
+            mode: "quick".to_owned(),
+            entries,
+        }
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = report(vec![entry("a", 100.0, "lower", true, None)]);
+        let cur = report(vec![entry("a", 120.0, "lower", true, None)]);
+        assert!(compare_reports(&base, &cur, 0.25).unwrap().is_empty());
+    }
+
+    #[test]
+    fn regression_past_tolerance_fails() {
+        let base = report(vec![entry("a", 100.0, "lower", true, None)]);
+        let cur = report(vec![entry("a", 126.0, "lower", true, None)]);
+        let regressions = compare_reports(&base, &cur, 0.25).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "a");
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let base = report(vec![
+            entry("t", 100.0, "lower", true, None),
+            entry("r", 2.0, "higher", true, None),
+        ]);
+        let cur = report(vec![
+            entry("t", 10.0, "lower", true, None),
+            entry("r", 9.0, "higher", true, None),
+        ]);
+        assert!(compare_reports(&base, &cur, 0.25).unwrap().is_empty());
+    }
+
+    #[test]
+    fn floors_bind_the_current_run() {
+        let base = report(vec![entry("speedup", 4.0, "higher", false, Some(1.5))]);
+        let ok = report(vec![entry("speedup", 1.6, "higher", false, Some(1.5))]);
+        assert!(compare_reports(&base, &ok, 0.25).unwrap().is_empty());
+        let bad = report(vec![entry("speedup", 1.4, "higher", false, Some(1.5))]);
+        assert_eq!(compare_reports(&base, &bad, 0.25).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn ungated_entries_are_informational() {
+        let base = report(vec![entry("info", 1.0, "lower", false, None)]);
+        let cur = report(vec![entry("info", 50.0, "lower", false, None)]);
+        assert!(compare_reports(&base, &cur, 0.25).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_entries_and_mode_mismatch_fail() {
+        let base = report(vec![entry("a", 1.0, "lower", true, None)]);
+        let cur = report(vec![]);
+        assert_eq!(compare_reports(&base, &cur, 0.25).unwrap().len(), 1);
+        let mut full = report(vec![]);
+        full.mode = "full".to_owned();
+        assert!(compare_reports(&full, &report(vec![]), 0.25).is_err());
+    }
+}

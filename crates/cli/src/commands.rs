@@ -4,7 +4,7 @@ use std::io::Write as _;
 
 use cne_core::combos::Combo;
 use cne_core::runner::{evaluate_many_with, EvalOptions, EvalReport, PolicySpec};
-use cne_edgesim::SimConfig;
+use cne_edgesim::{ServeMode, SimConfig};
 use cne_nn::{ModelZoo, ZooConfig};
 use cne_util::span::{profile_sidecar_path, Profiler};
 use cne_util::telemetry::Recorder;
@@ -21,11 +21,12 @@ USAGE:
   carbon-edge <command> [flags]
 
 COMMANDS:
-  run       evaluate one policy (default: ours) and print its summary
-  compare   evaluate all 13 policies + Offline and print a ranked table
-  report    analyze a telemetry trace: timings, regret vs theory, λ
-  zoo       train and print the model zoo
-  help      show this message
+  run          evaluate one policy (default: ours) and print its summary
+  compare      evaluate all 13 policies + Offline and print a ranked table
+  report       analyze a telemetry trace: timings, regret vs theory, λ
+  bench-check  compare a BENCH_*.json run against its committed baseline
+  zoo          train and print the model zoo
+  help         show this message
 
 FLAGS:
   --task mnist|cifar    inference task              (default mnist)
@@ -45,14 +46,20 @@ FLAGS:
   --profile F.jsonl     write the span-profile stream to this path
                         instead (timings are non-deterministic, so
                         they never share a file with the trace)
+  --serve-per-request   run/compare: serve streams through the legacy
+                        per-request path (bit-identical to the default
+                        batched statistics; for equivalence debugging)
   --strict              report: exit non-zero on envelope violations
   --svg-dir DIR         report: also render SVG charts into DIR
+  --tolerance T         bench-check: relative tolerance for gated
+                        wall-clock entries (default 0.25)
 
 EXAMPLES:
   carbon-edge run --policy ours --edges 10 --seeds 5
   carbon-edge compare --quick --threads 4
   carbon-edge run --quick --telemetry trace.jsonl
   carbon-edge report trace.jsonl --strict
+  carbon-edge bench-check results/BENCH_e2e.json /tmp/bench/BENCH_e2e.json
   carbon-edge zoo --task cifar --quantized"
     );
 }
@@ -97,6 +104,11 @@ fn eval_options(opts: &Options) -> EvalOptions {
         telemetry: opts.telemetry.is_some(),
         profile: opts.profile.is_some() || opts.telemetry.is_some(),
         progress: true,
+        serve_mode: if opts.serve_per_request {
+            ServeMode::PerRequest
+        } else {
+            ServeMode::Batched
+        },
     }
 }
 

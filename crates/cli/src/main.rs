@@ -5,6 +5,7 @@
 //! carbon-edge run     --policy ours --edges 10 --seeds 5 [--task mnist|cifar]
 //! carbon-edge compare --edges 10 --seeds 3
 //! carbon-edge report  trace.jsonl [--strict] [--svg-dir charts]
+//! carbon-edge bench-check baseline.json current.json [--tolerance T]
 //! carbon-edge zoo     --task cifar [--quantized]
 //! carbon-edge help
 //! ```
@@ -12,6 +13,7 @@
 use std::process::ExitCode;
 
 mod args;
+mod bench_check;
 mod commands;
 mod report;
 
@@ -32,6 +34,7 @@ fn main() -> ExitCode {
         "run" => commands::run(&opts),
         "compare" => commands::compare(&opts),
         "report" => report::report(&opts),
+        "bench-check" => bench_check::bench_check(&opts),
         "zoo" => commands::zoo(&opts),
         "help" | "--help" | "-h" => {
             commands::print_help();

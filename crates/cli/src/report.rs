@@ -43,11 +43,25 @@ pub fn report(opts: &Options) -> Result<(), String> {
         .profile
         .clone()
         .unwrap_or_else(|| profile_sidecar_path(trace_path));
+    let mut profile_findings: Vec<String> = Vec::new();
     match std::fs::read_to_string(&profile_path) {
         Ok(text) => {
             let profiles =
                 parse_profile_jsonl(&text).map_err(|e| format!("{profile_path}: {e}"))?;
             print_timings(&profile_path, &profiles);
+            for (i, run) in profiles.iter().enumerate() {
+                for finding in run.validate() {
+                    profile_findings.push(format!("profile run {i}: {finding}"));
+                }
+            }
+            for finding in &profile_findings {
+                println!("  !! {profile_path}: {finding}");
+            }
+        }
+        // An explicitly requested sidecar that cannot be read is an
+        // error; the implicit default is best-effort.
+        Err(e) if opts.profile.is_some() => {
+            return Err(format!("cannot read {profile_path}: {e}"));
         }
         Err(_) => println!(
             "timings      : no span-profile stream at {profile_path} \
@@ -75,6 +89,13 @@ pub fn report(opts: &Options) -> Result<(), String> {
     if opts.strict && violations > 0 {
         return Err(format!(
             "strict mode: {violations} theorem-envelope violation(s) in the trace"
+        ));
+    }
+    if opts.strict && !profile_findings.is_empty() {
+        return Err(format!(
+            "strict mode: {} structural problem(s) in the span-profile \
+             stream at {profile_path}",
+            profile_findings.len()
         ));
     }
     Ok(())
@@ -422,5 +443,61 @@ mod tests {
         opts.inputs = vec![bad.to_string_lossy().into_owned()];
         let err = report(&opts).expect_err("malformed trace is an error");
         assert!(err.contains("line 2"), "error names the line: {err}");
+    }
+
+    /// A minimal well-formed single-run trace for sidecar tests.
+    fn write_ok_trace(dir: &std::path::Path, name: &str) -> String {
+        let trace = dir.join(name);
+        let mut rec = Recorder::new();
+        rec.set_label("policy", "ours");
+        rec.set_label("seed", "1");
+        let path = trace.to_string_lossy().into_owned();
+        std::fs::write(&trace, rec.to_jsonl_string()).expect("write trace");
+        path
+    }
+
+    #[test]
+    fn explicit_profile_path_must_be_readable() {
+        let dir = std::env::temp_dir().join("cne-report-profile-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let trace = write_ok_trace(&dir, "ok.jsonl");
+
+        // Implicit sidecar missing: best-effort, still succeeds.
+        let mut opts = Options {
+            inputs: vec![trace.clone()],
+            ..Options::default()
+        };
+        report(&opts).expect("missing implicit sidecar is fine");
+
+        // Explicit --profile pointing nowhere: hard error.
+        opts.profile = Some("/nonexistent/run.profile.jsonl".to_owned());
+        let err = report(&opts).expect_err("explicit sidecar must exist");
+        assert!(err.contains("cannot read"), "got: {err}");
+    }
+
+    #[test]
+    fn strict_mode_rejects_invalid_profile_sidecars() {
+        let dir = std::env::temp_dir().join("cne-report-strict-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let trace = write_ok_trace(&dir, "ok.jsonl");
+
+        // A structurally broken profile: self time exceeds total time.
+        let prof = dir.join("bad.profile.jsonl");
+        std::fs::write(
+            &prof,
+            "{\"type\":\"profile\",\"policy\":\"ours\"}\n\
+             {\"type\":\"span\",\"path\":\"run\",\"count\":1,\
+             \"total_us\":1.0,\"self_us\":5.0}\n",
+        )
+        .expect("write profile");
+        let mut opts = Options {
+            inputs: vec![trace],
+            profile: Some(prof.to_string_lossy().into_owned()),
+            ..Options::default()
+        };
+        report(&opts).expect("non-strict mode only warns");
+        opts.strict = true;
+        let err = report(&opts).expect_err("strict mode fails on findings");
+        assert!(err.contains("structural problem"), "got: {err}");
     }
 }

@@ -185,7 +185,10 @@ impl Combo {
                 Allowances::new(2.0 * cap_share),
             ))),
             TraderKind::Lyapunov => Box::new(Lyapunov::new(LyapunovConfig::default())),
-            TraderKind::PrimalDual => Box::new(PrimalDual::new(theorem2_tuning(env))),
+            TraderKind::PrimalDual => Box::new(PrimalDual::with_horizon(
+                theorem2_tuning(env),
+                env.horizon(),
+            )),
         };
         ComboController::new(selectors, trader, normalizer, self.name())
     }

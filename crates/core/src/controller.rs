@@ -84,6 +84,29 @@ impl Policy for ComboController {
         self.last_placement.clone()
     }
 
+    fn select_models_into(&mut self, t: usize, out: &mut Vec<usize>) {
+        for (i, sel) in self.selectors.iter_mut().enumerate() {
+            self.last_placement[i] = sel.select(t);
+        }
+        out.clear();
+        out.extend_from_slice(&self.last_placement);
+    }
+
+    fn select_models_into_profiled(
+        &mut self,
+        t: usize,
+        profiler: &mut cne_util::span::Profiler,
+        out: &mut Vec<usize>,
+    ) {
+        for (i, sel) in self.selectors.iter_mut().enumerate() {
+            profiler.enter(sel.name());
+            self.last_placement[i] = sel.select_profiled(t, profiler);
+            profiler.exit();
+        }
+        out.clear();
+        out.extend_from_slice(&self.last_placement);
+    }
+
     fn decide_trades(&mut self, t: usize, ctx: &TradeContext) -> (Allowances, Allowances) {
         self.trader.decide(t, ctx)
     }

@@ -39,7 +39,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use cne_edgesim::{Environment, Policy, RunRecord, SimConfig};
+use cne_edgesim::{Environment, Policy, RunRecord, ServeMode, SimConfig};
 use cne_nn::ModelZoo;
 use cne_util::series::mean_series;
 use cne_util::span::Profiler;
@@ -93,6 +93,11 @@ pub struct EvalOptions {
     pub profile: bool,
     /// Print a progress line to stderr as each run completes.
     pub progress: bool,
+    /// How the environment reduces the per-slot request streams
+    /// (batched sufficient statistics by default; the per-request path
+    /// is the bit-identical equivalence reference behind
+    /// `--serve-per-request`).
+    pub serve_mode: ServeMode,
 }
 
 /// The outcome of [`evaluate_many_with`]: aggregated results per spec
@@ -175,7 +180,7 @@ pub fn resolve_threads(requested: Option<usize>) -> usize {
 /// seed see the same environment.
 #[must_use]
 pub fn run_single(config: &SimConfig, zoo: &ModelZoo, seed: u64, spec: &PolicySpec) -> RunRecord {
-    run_job(config, zoo, seed, spec, false, false).record
+    run_job(config, zoo, seed, spec, false, false, ServeMode::default()).record
 }
 
 /// Everything one `(seed, spec)` run produces. `p1` is computed while
@@ -195,9 +200,10 @@ fn run_job(
     spec: &PolicySpec,
     telemetry: bool,
     profile: bool,
+    serve_mode: ServeMode,
 ) -> JobOutput {
     let root = SeedSequence::new(seed);
-    let env = Environment::new(config.clone(), zoo, &root.derive("env"));
+    let env = Environment::with_serve_mode(config.clone(), zoo, &root.derive("env"), serve_mode);
     let mut recorder = telemetry.then(|| {
         let mut rec = Recorder::new();
         rec.set_label("policy", spec.name());
@@ -405,6 +411,7 @@ pub fn evaluate_many_with(
                     &specs[s],
                     options.telemetry,
                     options.profile,
+                    options.serve_mode,
                 );
                 if options.progress {
                     report_progress(job + 1, num_jobs, &specs[s], seeds[k]);
@@ -432,6 +439,7 @@ pub fn evaluate_many_with(
                         &specs[s],
                         options.telemetry,
                         options.profile,
+                        options.serve_mode,
                     );
                     *slots[job].lock().expect("no panics while holding the lock") = Some(out);
                     if options.progress {
@@ -592,6 +600,44 @@ mod tests {
             },
         );
         assert_eq!(one, four, "results must be identical at any thread count");
+    }
+
+    #[test]
+    fn serve_modes_produce_identical_eval_results() {
+        let (zoo, cfg) = setup();
+        let seeds = [1u64, 2];
+        let specs = [PolicySpec::Combo(Combo::ours()), PolicySpec::Offline];
+        let run = |serve_mode: ServeMode| {
+            evaluate_many_with(
+                &cfg,
+                &zoo,
+                &seeds,
+                &specs,
+                &EvalOptions {
+                    telemetry: true,
+                    serve_mode,
+                    ..EvalOptions::default()
+                },
+            )
+        };
+        let batched = run(ServeMode::Batched);
+        let per_request = run(ServeMode::PerRequest);
+        assert_eq!(
+            batched.results, per_request.results,
+            "EvalResults must be bit-identical across serve modes"
+        );
+        assert_eq!(
+            batched.telemetry.len(),
+            per_request.telemetry.len(),
+            "equal run counts"
+        );
+        for (a, b) in batched.telemetry.iter().zip(&per_request.telemetry) {
+            assert_eq!(
+                a.to_jsonl_string(),
+                b.to_jsonl_string(),
+                "telemetry traces must be bit-identical across serve modes"
+            );
+        }
     }
 
     #[test]

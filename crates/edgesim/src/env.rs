@@ -13,6 +13,29 @@ use crate::config::SimConfig;
 use crate::policy::{EdgeSlotOutcome, Policy, SlotFeedback};
 use crate::record::{EdgeRecord, RunRecord, SlotRecord};
 
+/// How the per-slot request streams are reduced to slot statistics.
+///
+/// Both modes draw *exactly the same* sample indices from the stream
+/// RNG at construction; they differ only in **when** the per-slot
+/// reduction (`mean_loss_at` / `accuracy_at`) happens. Because the
+/// batched mode runs the identical reductions on the identical index
+/// sequences (just once per eval table, ahead of time), the two modes
+/// produce bit-identical [`RunRecord`]s — a property the equivalence
+/// tests pin down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeMode {
+    /// Pre-reduce every slot's drawn indices into per-table sufficient
+    /// statistics (mean loss, accuracy) at construction; serving is
+    /// then an O(1) lookup per edge-slot instead of an O(samples)
+    /// loop. The default.
+    #[default]
+    Batched,
+    /// Keep the drawn indices and reduce them at serve time — the
+    /// legacy per-request loop, retained as the equivalence reference
+    /// and reachable through the `--serve-per-request` debug flag.
+    PerRequest,
+}
+
 /// A fully realized simulation instance.
 ///
 /// Everything that does not depend on policy decisions — topology,
@@ -30,8 +53,20 @@ pub struct Environment<'a> {
     /// `v_{i,n}` in ms: model base latency × edge compute factor,
     /// clamped to the paper's `[25, 150]` ms band.
     latencies: Vec<Vec<f64>>,
-    /// Pre-drawn pool indices per `[edge][slot]`.
+    /// Pre-drawn pool indices per `[edge][slot]`
+    /// ([`ServeMode::PerRequest`] only; empty in batched mode).
     slot_indices: Vec<Vec<Vec<usize>>>,
+    serve_mode: ServeMode,
+    /// Cached `mean_loss_at` per `(edge, slot, table)`, flattened as
+    /// `(i * horizon + t) * num_models + table`
+    /// ([`ServeMode::Batched`] only).
+    slot_loss: Vec<f64>,
+    /// Cached `accuracy_at`, same layout ([`ServeMode::Batched`] only).
+    slot_acc: Vec<f64>,
+    /// `expected_loss()` per eval table, cached at construction — the
+    /// run loop charges it once per edge-slot, and recomputing the
+    /// pool mean there would dominate serving.
+    expected_losses: Vec<f64>,
     market: CarbonMarket,
     /// Model-quality permutation applied from `quality_drift_at`
     /// onward (rank reversal by expected loss), when configured.
@@ -47,6 +82,21 @@ impl<'a> Environment<'a> {
     /// [`SimConfig::validate`]).
     #[must_use]
     pub fn new(config: SimConfig, zoo: &'a ModelZoo, seed: &SeedSequence) -> Self {
+        Self::with_serve_mode(config, zoo, seed, ServeMode::default())
+    }
+
+    /// As [`Environment::new`], with an explicit [`ServeMode`].
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`SimConfig::validate`]).
+    #[must_use]
+    pub fn with_serve_mode(
+        config: SimConfig,
+        zoo: &'a ModelZoo,
+        seed: &SeedSequence,
+        serve_mode: ServeMode,
+    ) -> Self {
         config.validate();
         assert_eq!(
             config.task,
@@ -73,7 +123,7 @@ impl<'a> Environment<'a> {
                     .collect()
             })
             .collect();
-        let slot_indices: Vec<Vec<Vec<usize>>> = (0..config.num_edges)
+        let mut slot_indices: Vec<Vec<Vec<usize>>> = (0..config.num_edges)
             .map(|i| {
                 let mut stream = DataStream::new(
                     zoo.pool().len(),
@@ -85,6 +135,36 @@ impl<'a> Environment<'a> {
                     })
                     .collect()
             })
+            .collect();
+        // Batched mode reduces every slot's drawn indices into per-table
+        // sufficient statistics up front — the same `EvalTable`
+        // reductions the per-request path runs at serve time, on the
+        // same indices, so the cached values are bit-identical — and
+        // then drops the indices.
+        let num_models = zoo.len();
+        let (slot_loss, slot_acc) = match serve_mode {
+            ServeMode::Batched => {
+                let cells = config.num_edges * config.horizon * num_models;
+                let mut loss = Vec::with_capacity(cells);
+                let mut acc = Vec::with_capacity(cells);
+                for per_edge in &slot_indices {
+                    for indices in per_edge {
+                        for n in 0..num_models {
+                            let table = &zoo.model(n).eval;
+                            loss.push(table.mean_loss_at(indices));
+                            acc.push(table.accuracy_at(indices));
+                        }
+                    }
+                }
+                slot_indices = Vec::new();
+                (loss, acc)
+            }
+            ServeMode::PerRequest => (Vec::new(), Vec::new()),
+        };
+        let expected_losses: Vec<f64> = zoo
+            .models()
+            .iter()
+            .map(|m| m.eval.expected_loss())
             .collect();
         let market = CarbonMarket::new(config.bounds);
         // Rank-reversal permutation for the drift extension: the model
@@ -113,9 +193,25 @@ impl<'a> Environment<'a> {
             prices,
             latencies,
             slot_indices,
+            serve_mode,
+            slot_loss,
+            slot_acc,
+            expected_losses,
             market,
             drift_perm,
         }
+    }
+
+    /// The serving mode this environment was realized with.
+    #[must_use]
+    pub fn serve_mode(&self) -> ServeMode {
+        self.serve_mode
+    }
+
+    /// Flat index into the batched statistic caches.
+    #[inline]
+    fn stat_index(&self, i: usize, t: usize, table: usize) -> usize {
+        (i * self.config.horizon + t) * self.zoo.len() + table
     }
 
     /// The eval-table index model `n` maps to at slot `t` (identity
@@ -277,6 +373,12 @@ impl<'a> Environment<'a> {
             })
             .collect();
         let cap_share = cfg.cap_share();
+        // Per-slot scratch buffers, hoisted out of the loop so the hot
+        // path never allocates: the placement vector is filled in place
+        // by the policy and the outcome vector is reclaimed from the
+        // feedback after each slot.
+        let mut placements: Vec<usize> = Vec::with_capacity(cfg.num_edges);
+        let mut outcomes: Vec<EdgeSlotOutcome> = Vec::with_capacity(cfg.num_edges);
 
         if let Some(p) = profiler.as_deref_mut() {
             p.enter("run");
@@ -286,14 +388,13 @@ impl<'a> Environment<'a> {
                 p.enter("slot");
             }
             // Step 1: model selection and (possible) download.
-            let placements = match profiler.as_deref_mut() {
+            match profiler.as_deref_mut() {
                 Some(p) => {
                     p.enter("select");
-                    let placements = policy.select_models_profiled(t, p);
+                    policy.select_models_into_profiled(t, p, &mut placements);
                     p.exit();
-                    placements
                 }
-                None => policy.select_models(t),
+                None => policy.select_models_into(t, &mut placements),
             };
             assert_eq!(
                 placements.len(),
@@ -344,7 +445,6 @@ impl<'a> Environment<'a> {
             if let Some(p) = profiler.as_deref_mut() {
                 p.enter("serve");
             }
-            let mut outcomes = Vec::with_capacity(cfg.num_edges);
             let mut loss_cost = 0.0;
             let mut latency_cost = 0.0;
             let mut switch_cost = 0.0;
@@ -381,10 +481,18 @@ impl<'a> Environment<'a> {
                 }
                 let arrivals = self.workloads[i].arrivals(t);
                 arrivals_total += arrivals;
-                let indices = &self.slot_indices[i][t];
-                let table = &self.zoo.model(self.effective_table(n, t)).eval;
-                let empirical_loss = table.mean_loss_at(indices);
-                let accuracy = table.accuracy_at(indices);
+                let effective = self.effective_table(n, t);
+                let (empirical_loss, accuracy) = match self.serve_mode {
+                    ServeMode::Batched => {
+                        let cell = self.stat_index(i, t, effective);
+                        (self.slot_loss[cell], self.slot_acc[cell])
+                    }
+                    ServeMode::PerRequest => {
+                        let indices = &self.slot_indices[i][t];
+                        let table = &self.zoo.model(effective).eval;
+                        (table.mean_loss_at(indices), table.accuracy_at(indices))
+                    }
+                };
                 if arrivals > 0 {
                     weighted_acc += accuracy * arrivals as f64;
                     weighted_loss += empirical_loss * arrivals as f64;
@@ -420,7 +528,7 @@ impl<'a> Environment<'a> {
                     p.exit(); // accounting
                 }
 
-                loss_cost += table.expected_loss() * cfg.weights.loss;
+                loss_cost += self.expected_losses[effective] * cfg.weights.loss;
                 latency_cost += self.latencies[i][n] * cfg.weights.latency_per_ms;
 
                 outcomes.push(EdgeSlotOutcome {
@@ -493,6 +601,10 @@ impl<'a> Environment<'a> {
                 None => policy.end_of_slot(t, &feedback),
             }
             slots.push(record);
+            // Reclaim the outcome buffer from the feedback for the
+            // next slot (the policy only borrowed it).
+            outcomes = feedback.edges;
+            outcomes.clear();
         }
         if let Some(p) = profiler {
             p.exit(); // run
@@ -664,6 +776,56 @@ mod tests {
                 assert!((25.0..=150.0).contains(&v), "v out of band: {v}");
             }
         }
+    }
+
+    #[test]
+    fn batched_and_per_request_serving_are_identical() {
+        let zoo = ModelZoo::train(
+            TaskKind::MnistLike,
+            &ZooConfig::fast(),
+            &SeedSequence::new(1),
+        );
+        let cfg = SimConfig::fast_test(TaskKind::MnistLike);
+        let batched = Environment::with_serve_mode(
+            cfg.clone(),
+            &zoo,
+            &SeedSequence::new(11),
+            ServeMode::Batched,
+        );
+        let per_request =
+            Environment::with_serve_mode(cfg, &zoo, &SeedSequence::new(11), ServeMode::PerRequest);
+        let mut rec_a = cne_util::telemetry::Recorder::new();
+        let mut rec_b = cne_util::telemetry::Recorder::new();
+        let a = batched.run_traced(&mut Static(1), &mut rec_a);
+        let b = per_request.run_traced(&mut Static(1), &mut rec_b);
+        assert_eq!(a, b, "serve modes must be bit-identical");
+        assert_eq!(
+            rec_a.to_jsonl_string(),
+            rec_b.to_jsonl_string(),
+            "serve modes must leave identical telemetry traces"
+        );
+    }
+
+    #[test]
+    fn serve_modes_identical_under_drift() {
+        let zoo = ModelZoo::train(
+            TaskKind::MnistLike,
+            &ZooConfig::fast(),
+            &SeedSequence::new(1),
+        );
+        let mut cfg = SimConfig::fast_test(TaskKind::MnistLike);
+        cfg.quality_drift_at = Some(20);
+        let a = Environment::with_serve_mode(
+            cfg.clone(),
+            &zoo,
+            &SeedSequence::new(5),
+            ServeMode::Batched,
+        )
+        .run(&mut Static(0));
+        let b =
+            Environment::with_serve_mode(cfg, &zoo, &SeedSequence::new(5), ServeMode::PerRequest)
+                .run(&mut Static(0));
+        assert_eq!(a, b, "drift remap must hit the same cached statistics");
     }
 
     #[test]

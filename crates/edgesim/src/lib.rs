@@ -27,7 +27,7 @@ pub mod queueing;
 pub mod record;
 
 pub use config::{CostWeights, SimConfig};
-pub use env::Environment;
+pub use env::{Environment, ServeMode};
 pub use policy::{EdgeSlotOutcome, Policy, SlotFeedback};
 pub use queueing::QueueingConfig;
 pub use record::{RunRecord, SlotRecord};

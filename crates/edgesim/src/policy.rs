@@ -78,6 +78,31 @@ pub trait Policy {
         self.select_models(t)
     }
 
+    /// As [`select_models`](Self::select_models), but writes the
+    /// placement into a caller-owned buffer so the simulator's slot
+    /// loop can reuse one allocation across the horizon. The default
+    /// delegates to [`select_models`](Self::select_models); policies
+    /// that keep an internal placement vector override this to copy
+    /// without allocating.
+    fn select_models_into(&mut self, t: usize, out: &mut Vec<usize>) {
+        let placements = self.select_models(t);
+        out.clear();
+        out.extend_from_slice(&placements);
+    }
+
+    /// As [`select_models_into`](Self::select_models_into), with a
+    /// wall-clock span profiler open on the `select` stage.
+    fn select_models_into_profiled(
+        &mut self,
+        t: usize,
+        profiler: &mut Profiler,
+        out: &mut Vec<usize>,
+    ) {
+        let placements = self.select_models_profiled(t, profiler);
+        out.clear();
+        out.extend_from_slice(&placements);
+    }
+
     /// As [`decide_trades`](Self::decide_trades), with a profiler open
     /// on the `trade` stage.
     fn decide_trades_profiled(

@@ -183,7 +183,7 @@ pub fn offline_optimal_trades_lp(
     objective.extend(sell_prices.iter().map(|&r| -r));
     let mut lp = LinearProgram::new(objective);
     let mut coupling = vec![1.0; t_len];
-    coupling.extend(std::iter::repeat_n(-1.0, t_len));
+    coupling.extend(std::iter::repeat(-1.0).take(t_len));
     lp.add_constraint(coupling, ConstraintOp::Ge, deficit);
     for j in 0..2 * t_len {
         let mut row = vec![0.0; 2 * t_len];

@@ -150,6 +150,16 @@ impl PrimalDual {
         }
     }
 
+    /// As [`PrimalDual::new`], pre-reserving the λ-trajectory buffer
+    /// for a known horizon so the per-slot dual update never
+    /// reallocates mid-run.
+    #[must_use]
+    pub fn with_horizon(config: PrimalDualConfig, horizon: usize) -> Self {
+        let mut s = Self::new(config);
+        s.trajectory.reserve_exact(horizon);
+        s
+    }
+
     /// The current dual variable `λ` (the shadow carbon price).
     #[must_use]
     pub fn lambda(&self) -> f64 {

@@ -125,6 +125,95 @@ impl Json {
     pub fn is_null(&self) -> bool {
         matches!(self, Json::Null)
     }
+
+    /// Encodes the value as compact JSON text.
+    ///
+    /// The output round-trips through [`parse`]: integers print
+    /// exactly, floats use Rust's shortest round-trip `Display`
+    /// (non-finite floats, which JSON cannot express, encode as
+    /// `null`), strings escape per RFC 8259, and object key order is
+    /// preserved.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                    // `Display` omits the ".0" of integral floats; keep
+                    // the value a float across a round trip.
+                    if f.fract() == 0.0 && f.abs() < 1e15 {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => encode_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.encode_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode_string(key, out);
+                    out.push(':');
+                    value.encode_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+/// Writes `s` as a JSON string literal (RFC 8259 escaping).
+fn encode_string(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// A parse failure: what went wrong, and at which byte offset.
@@ -480,5 +569,45 @@ mod tests {
             let text = format!("{x}");
             assert_eq!(parse(&text).unwrap().as_f64(), Some(x));
         }
+    }
+
+    #[test]
+    fn encode_round_trips() {
+        let cases = [
+            "null",
+            "true",
+            r#"{"schema":"cne-bench/v1","entries":[{"name":"slot","value":12.5}]}"#,
+            r#"[1,-2,3.25,"x",null,{"k":[]}]"#,
+            r#""line\nbreak \"q\" \\""#,
+        ];
+        for text in cases {
+            let doc = parse(text).unwrap();
+            assert_eq!(parse(&doc.encode()).unwrap(), doc, "round trip of {text}");
+        }
+    }
+
+    #[test]
+    fn encode_keeps_floats_floats() {
+        // An integral float must not silently become an integer
+        // literal (and hence a UInt) across a round trip.
+        let doc = Json::Obj(vec![("v".into(), Json::Float(2.0))]);
+        let text = doc.encode();
+        assert_eq!(text, r#"{"v":2.0}"#);
+        assert_eq!(parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn encode_exact_integers_and_escapes() {
+        let doc = Json::Obj(vec![
+            ("max".into(), Json::UInt(u64::MAX)),
+            ("min".into(), Json::Int(i64::MIN)),
+            ("ctrl".into(), Json::Str("a\u{0001}b\tc".into())),
+            ("nan".into(), Json::Float(f64::NAN)),
+        ]);
+        let rt = parse(&doc.encode()).unwrap();
+        assert_eq!(rt.get("max").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(rt.get("min").unwrap(), &Json::Int(i64::MIN));
+        assert_eq!(rt.get("ctrl").unwrap().as_str(), Some("a\u{0001}b\tc"));
+        assert!(rt.get("nan").unwrap().is_null());
     }
 }

@@ -87,6 +87,48 @@ pub struct ProfileRun {
     pub spans: Vec<SpanStat>,
 }
 
+impl ProfileRun {
+    /// Structural sanity checks on a parsed profile run, returning one
+    /// human-readable finding per problem (empty = clean).
+    ///
+    /// Checked per span: a positive entry count, finite non-negative
+    /// timings, and `self_us` not exceeding `total_us` (beyond a small
+    /// float-accumulation slack). Checked per run: no duplicate span
+    /// paths (the writer emits one aggregate line per path).
+    #[must_use]
+    pub fn validate(&self) -> Vec<String> {
+        let mut findings = Vec::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for span in &self.spans {
+            let path = span.path.as_str();
+            if span.count == 0 {
+                findings.push(format!("span '{path}': zero entry count"));
+            }
+            if !span.total_us.is_finite() || span.total_us < 0.0 {
+                findings.push(format!("span '{path}': bad total_us {}", span.total_us));
+            }
+            if !span.self_us.is_finite() || span.self_us < 0.0 {
+                findings.push(format!("span '{path}': bad self_us {}", span.self_us));
+            }
+            if span.self_us.is_finite()
+                && span.total_us.is_finite()
+                && span.self_us > span.total_us + 1e-6 * (1.0 + span.total_us.abs())
+            {
+                findings.push(format!(
+                    "span '{path}': self_us {} exceeds total_us {}",
+                    span.self_us, span.total_us
+                ));
+            }
+            if seen.contains(&path) {
+                findings.push(format!("span '{path}': duplicate path"));
+            } else {
+                seen.push(path);
+            }
+        }
+        findings
+    }
+}
+
 /// A hierarchical wall-clock profiler for one run.
 ///
 /// Use [`enter`](Profiler::enter)/[`exit`](Profiler::exit) around each
@@ -610,5 +652,45 @@ mod tests {
     #[should_panic(expected = "without a matching enter")]
     fn unbalanced_exit_panics() {
         Profiler::new().exit();
+    }
+
+    #[test]
+    fn real_profiles_validate_clean() {
+        let mut p = Profiler::new();
+        p.enter("run");
+        p.enter("slot");
+        p.exit();
+        p.exit();
+        let runs = parse_profile_jsonl(&p.to_jsonl_string()).unwrap();
+        assert_eq!(runs.len(), 1);
+        assert!(runs[0].validate().is_empty());
+    }
+
+    #[test]
+    fn validate_flags_structural_problems() {
+        let run = ProfileRun {
+            labels: Vec::new(),
+            spans: vec![
+                SpanStat {
+                    path: "run".into(),
+                    count: 0,
+                    total_us: 5.0,
+                    self_us: 9.0,
+                },
+                SpanStat {
+                    path: "run".into(),
+                    count: 1,
+                    total_us: f64::NAN,
+                    self_us: -1.0,
+                },
+            ],
+        };
+        let findings = run.validate();
+        let text = findings.join("\n");
+        assert!(text.contains("zero entry count"), "{text}");
+        assert!(text.contains("self_us 9 exceeds total_us 5"), "{text}");
+        assert!(text.contains("duplicate path"), "{text}");
+        assert!(text.contains("bad total_us"), "{text}");
+        assert!(text.contains("bad self_us"), "{text}");
     }
 }
