@@ -48,6 +48,12 @@ pub struct BlockTsallisInf {
     current_arm: usize,
     /// Loss accumulated within the current block.
     block_loss: f64,
+    /// Set when any slot of the current block lost its feedback (see
+    /// [`ModelSelector::observe_lost`]): the block's cumulative loss is
+    /// then incomplete, and feeding it through the importance-weighted
+    /// estimator would bias `Ĉ` *low* for the drawn arm. The whole
+    /// block's update is skipped instead.
+    block_tainted: bool,
     /// Next slot we expect to see.
     next_slot: usize,
     /// Running mean of observed per-slot losses (the control-variate
@@ -78,6 +84,7 @@ impl BlockTsallisInf {
             current_probs: vec![1.0 / num_arms as f64; num_arms],
             current_arm: 0,
             block_loss: 0.0,
+            block_tainted: false,
             next_slot: 0,
             anchor_sum: 0.0,
             anchor_count: 0,
@@ -158,6 +165,7 @@ impl BlockTsallisInf {
                 p.exit();
             }
             self.block_loss = 0.0;
+            self.block_tainted = false;
         }
         self.current_arm
     }
@@ -191,7 +199,7 @@ impl ModelSelector for BlockTsallisInf {
         self.block_loss += loss;
         self.anchor_sum += loss;
         self.anchor_count += 1;
-        if self.schedule.is_block_end(t) {
+        if self.schedule.is_block_end(t) && !self.block_tainted {
             // Importance-weighted unbiased estimator (Algorithm 1,
             // l. 8–9), with the running-mean anchor subtracted first
             // (a uniform shift of all arms' expectations).
@@ -205,6 +213,17 @@ impl ModelSelector for BlockTsallisInf {
             let shifted = self.block_loss - anchor * self.schedule.block_len(k) as f64;
             self.cum_estimates[self.current_arm] += shifted / p;
         }
+        self.next_slot = t + 1;
+    }
+
+    fn observe_lost(&mut self, t: usize) {
+        assert_eq!(t, self.next_slot, "observe out of order");
+        // The block's cumulative loss is now incomplete; taint it so
+        // the end-of-block importance-weighted update is skipped. `Ĉ`
+        // stays exactly where it was — an unbiased (if less informed)
+        // state — and the block schedule stays consistent because the
+        // slot clock still advances.
+        self.block_tainted = true;
         self.next_slot = t + 1;
     }
 
@@ -413,5 +432,50 @@ mod tests {
     fn out_of_order_select_rejected() {
         let mut alg = BlockTsallisInf::plain(2, 10, SeedSequence::new(9));
         let _ = alg.select(3);
+    }
+
+    #[test]
+    fn lost_feedback_taints_the_whole_block() {
+        let mut alg = BlockTsallisInf::new(
+            2,
+            Schedule::from_rule(8, |_k| (2, 0.5)),
+            SeedSequence::new(11),
+        )
+        .with_anchor(false);
+        // Block 0: first slot's feedback is lost; even though the
+        // second slot reports normally, the block update must be
+        // skipped (its cumulative loss is incomplete).
+        let arm = alg.select(0);
+        alg.observe_lost(0);
+        assert_eq!(alg.select(1), arm, "arm must stay fixed within the block");
+        alg.observe(1, arm, 0.9);
+        assert!(
+            alg.cumulative_estimates().iter().all(|&c| c == 0.0),
+            "tainted block leaked into the estimator"
+        );
+        // Block 1: taint cleared, the estimator updates again.
+        let arm1 = alg.select(2);
+        let p = alg.current_distribution()[arm1];
+        alg.observe(2, arm1, 0.5);
+        assert_eq!(alg.select(3), arm1);
+        alg.observe(3, arm1, 0.3);
+        let got = alg.cumulative_estimates()[arm1];
+        assert!(
+            (got - 0.8 / p).abs() < 1e-12,
+            "post-taint block should update normally: {got}"
+        );
+        // Block 2: losing the *final* slot also skips the update.
+        let arm2 = alg.select(4);
+        alg.observe(4, arm2, 0.7);
+        assert_eq!(alg.select(5), arm2);
+        alg.observe_lost(5);
+        let after = alg.cumulative_estimates()[arm1];
+        assert!(
+            (after - got).abs() < 1e-15 || arm2 != arm1,
+            "final-slot loss must not trigger the block update"
+        );
+        assert!(
+            (alg.cumulative_estimates()[arm2] - if arm2 == arm1 { got } else { 0.0 }).abs() < 1e-12
+        );
     }
 }

@@ -88,6 +88,11 @@ impl ModelSelector for Exp3 {
         self.next_slot = t + 1;
     }
 
+    fn observe_lost(&mut self, t: usize) {
+        assert_eq!(t, self.next_slot, "observe out of order");
+        self.next_slot = t + 1;
+    }
+
     fn num_arms(&self) -> usize {
         self.cum_estimates.len()
     }

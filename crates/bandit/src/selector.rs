@@ -33,6 +33,16 @@ pub trait ModelSelector {
     /// Losses are expected to be normalized to approximately `[0, 1]`.
     fn observe(&mut self, t: usize, arm: usize, loss: f64);
 
+    /// Reports that slot `t`'s loss feedback was lost (edge outage,
+    /// stale model, dropped report — see `cne_faults`). Called *instead
+    /// of* [`observe`](Self::observe) for the same slot, keeping the
+    /// slot protocol in order. The default simply skips the slot;
+    /// importance-weighted learners override it so a partial block is
+    /// not fed into an unbiased estimator.
+    fn observe_lost(&mut self, t: usize) {
+        let _ = t;
+    }
+
     /// Number of arms `N`.
     fn num_arms(&self) -> usize;
 

@@ -73,6 +73,11 @@ impl ModelSelector for Ucb1 {
         self.next_slot = t + 1;
     }
 
+    fn observe_lost(&mut self, t: usize) {
+        assert_eq!(t, self.next_slot, "observe out of order");
+        self.next_slot = t + 1;
+    }
+
     fn num_arms(&self) -> usize {
         self.counts.len()
     }
@@ -171,6 +176,15 @@ impl ModelSelector for Ucb2 {
         assert_eq!(t, self.next_slot, "observe out of order");
         self.counts[arm] += 1;
         self.sums[arm] += loss;
+        self.remaining = self.remaining.saturating_sub(1);
+        self.next_slot = t + 1;
+    }
+
+    fn observe_lost(&mut self, t: usize) {
+        assert_eq!(t, self.next_slot, "observe out of order");
+        // The epoch run still consumes the slot (the arm *was* played;
+        // only its loss report is missing), so the switch budget stays
+        // on the UCB2 schedule.
         self.remaining = self.remaining.saturating_sub(1);
         self.next_slot = t + 1;
     }

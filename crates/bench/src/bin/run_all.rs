@@ -35,6 +35,7 @@ const FIGURES: &[&str] = &[
     "ext_quantization",
     "ext_prediction",
     "ext_drift",
+    "resilience",
 ];
 
 fn main() {

@@ -39,6 +39,10 @@ pub struct Options {
     /// path instead of batched sufficient statistics (bit-identical;
     /// for equivalence debugging).
     pub serve_per_request: bool,
+    /// `run`/`compare`: path to a fault-scenario JSON file (see
+    /// `cne_faults::FaultScenario`); `None` keeps the paper's
+    /// fault-free setting.
+    pub faults: Option<String>,
     /// Positional arguments (e.g. the trace file for `report`).
     pub inputs: Vec<String>,
 }
@@ -60,6 +64,7 @@ impl Default for Options {
             svg_dir: None,
             tolerance: 0.25,
             serve_per_request: false,
+            faults: None,
             inputs: Vec::new(),
         }
     }
@@ -128,6 +133,7 @@ impl Options {
                     opts.tolerance = t;
                 }
                 "--serve-per-request" => opts.serve_per_request = true,
+                "--faults" => opts.faults = Some(value("--faults")?),
                 "--strict" => opts.strict = true,
                 "--quick" => opts.quick = true,
                 "--quantized" => opts.quantized = true,
@@ -223,6 +229,14 @@ mod tests {
         assert!(parse(&["--edges"]).is_err());
         assert!(parse(&["--edges", "zero"]).is_err());
         assert!(parse(&["--edges", "0"]).is_err());
+    }
+
+    #[test]
+    fn faults_flag_takes_a_path() {
+        let o = parse(&["--faults", "scenarios/ci_smoke.json"]).expect("valid");
+        assert_eq!(o.faults.as_deref(), Some("scenarios/ci_smoke.json"));
+        assert!(parse(&[]).expect("defaults").faults.is_none());
+        assert!(parse(&["--faults"]).is_err());
     }
 
     #[test]

@@ -100,8 +100,20 @@ fn check_entry(
 }
 
 fn load(path: &str) -> Result<BenchReport, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    BenchReport::from_json_str(&text).map_err(|e| format!("{path}: {e}"))
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "cannot read benchmark report {path}: {e}\n\
+             hint: committed baselines live in results/; regenerate one \
+             with 'cargo run --release --bin run_all -- --bench'"
+        )
+    })?;
+    BenchReport::from_json_str(&text).map_err(|e| {
+        format!(
+            "benchmark report {path} is corrupt: {e}\n\
+             hint: regenerate it with 'cargo run --release --bin run_all \
+             -- --bench' (reports are BENCH_*.json files)"
+        )
+    })
 }
 
 /// `carbon-edge bench-check <baseline.json> <current.json>`.

@@ -5,6 +5,7 @@ use std::io::Write as _;
 use cne_core::combos::Combo;
 use cne_core::runner::{evaluate_many_with, EvalOptions, EvalReport, PolicySpec};
 use cne_edgesim::{ServeMode, SimConfig};
+use cne_faults::FaultScenario;
 use cne_nn::{ModelZoo, ZooConfig};
 use cne_util::span::{profile_sidecar_path, Profiler};
 use cne_util::telemetry::Recorder;
@@ -49,6 +50,12 @@ FLAGS:
   --serve-per-request   run/compare: serve streams through the legacy
                         per-request path (bit-identical to the default
                         batched statistics; for equivalence debugging)
+  --faults FILE.json    run/compare: inject a deterministic fault
+                        scenario (edge outages, workload surges, model
+                        download failures, lost feedback, market halts
+                        and rejections); the schedule derives from the
+                        run seed, so a (seed, scenario) pair replays
+                        bit-identically at any thread count
   --strict              report: exit non-zero on envelope violations
   --svg-dir DIR         report: also render SVG charts into DIR
   --tolerance T         bench-check: relative tolerance for gated
@@ -58,6 +65,7 @@ EXAMPLES:
   carbon-edge run --policy ours --edges 10 --seeds 5
   carbon-edge compare --quick --threads 4
   carbon-edge run --quick --telemetry trace.jsonl
+  carbon-edge run --quick --faults scenarios/ci_smoke.json --telemetry trace.jsonl
   carbon-edge report trace.jsonl --strict
   carbon-edge bench-check results/BENCH_e2e.json /tmp/bench/BENCH_e2e.json
   carbon-edge zoo --task cifar --quantized"
@@ -79,14 +87,37 @@ fn build_zoo(opts: &Options) -> ModelZoo {
     }
 }
 
-fn build_config(opts: &Options) -> SimConfig {
-    if opts.quick {
+fn build_config(opts: &Options) -> Result<SimConfig, String> {
+    let mut cfg = if opts.quick {
         let mut cfg = SimConfig::fast_test(opts.task);
         cfg.num_edges = opts.edges;
         cfg
     } else {
         SimConfig::paper_default(opts.task, opts.edges)
-    }
+    };
+    cfg.faults = load_fault_scenario(opts.faults.as_deref())?;
+    Ok(cfg)
+}
+
+/// Loads `--faults SCENARIO.json` into a validated scenario, mapping
+/// I/O and schema failures to actionable messages.
+fn load_fault_scenario(path: Option<&str>) -> Result<Option<FaultScenario>, String> {
+    let Some(path) = path else { return Ok(None) };
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "cannot read fault scenario {path}: {e}\n\
+             hint: pass --faults a JSON file like scenarios/ci_smoke.json \
+             (all fields optional, e.g. {{\"edge_outage_rate\": 0.05}})"
+        )
+    })?;
+    let scenario = FaultScenario::from_json_str(&text).map_err(|e| {
+        format!(
+            "fault scenario {path} is invalid: {e}\n\
+             hint: see scenarios/ci_smoke.json or the FaultScenario docs \
+             for the schema (rates in [0, 1], integer retry/backoff knobs)"
+        )
+    })?;
+    Ok(Some(scenario))
 }
 
 fn parse_spec(name: &str) -> Result<PolicySpec, String> {
@@ -161,8 +192,8 @@ fn write_profiles(opts: &Options, profiles: &[Profiler]) -> Result<(), String> {
 /// `carbon-edge run`.
 pub fn run(opts: &Options) -> Result<(), String> {
     let spec = parse_spec(&opts.policy)?;
+    let config = build_config(opts)?;
     let zoo = build_zoo(opts);
-    let config = build_config(opts);
     let EvalReport {
         results,
         telemetry,
@@ -232,8 +263,8 @@ pub fn run(opts: &Options) -> Result<(), String> {
 
 /// `carbon-edge compare`.
 pub fn compare(opts: &Options) -> Result<(), String> {
+    let config = build_config(opts)?;
     let zoo = build_zoo(opts);
-    let config = build_config(opts);
     let mut specs: Vec<PolicySpec> = Combo::all_baselines()
         .into_iter()
         .map(PolicySpec::Combo)
@@ -264,7 +295,7 @@ pub fn compare(opts: &Options) -> Result<(), String> {
             )
         })
         .collect();
-    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+    rows.sort_by(|a, b| a.1.total_cmp(&b.1));
     if let Some(path) = &opts.telemetry {
         write_telemetry(path, &telemetry)?;
     }

@@ -31,9 +31,20 @@ pub fn report(opts: &Options) -> Result<(), String> {
                     'carbon-edge report trace.jsonl'"
             .to_owned());
     };
-    let input = std::fs::read_to_string(trace_path)
-        .map_err(|e| format!("cannot read {trace_path}: {e}"))?;
-    let runs = parse_jsonl(&input).map_err(|e| format!("{trace_path}: {e}"))?;
+    let input = std::fs::read_to_string(trace_path).map_err(|e| {
+        format!(
+            "cannot read {trace_path}: {e}\n\
+             hint: record a trace first, e.g. \
+             'carbon-edge run --quick --telemetry {trace_path}'"
+        )
+    })?;
+    let runs = parse_jsonl(&input).map_err(|e| {
+        format!(
+            "{trace_path}: {e}\n\
+             hint: the trace looks corrupt or truncated — re-record it \
+             with 'carbon-edge run --quick --telemetry {trace_path}'"
+        )
+    })?;
     if runs.is_empty() {
         return Err(format!("{trace_path}: no run traces found"));
     }
@@ -71,6 +82,7 @@ pub fn report(opts: &Options) -> Result<(), String> {
 
     print_run_summaries(&runs);
     print_envelopes(&runs);
+    print_fault_summary(&runs);
     print_lambda_trajectories(&runs);
     print_switch_cadence(&runs);
     print_allowance_position(&runs);
@@ -79,11 +91,14 @@ pub fn report(opts: &Options) -> Result<(), String> {
         render_svgs(dir, &runs)?;
     }
 
+    // Excused envelope events (breaches attributable to an injected
+    // fault schedule) are annotations, not violations: strict mode
+    // gates only on the unexcused remainder.
     let violations: u64 = runs
         .iter()
         .map(|r| {
             r.counter("envelope.violations")
-                .max(envelope_events(r).len() as u64)
+                .max(counted_envelope_events(r).len() as u64)
         })
         .sum();
     if opts.strict && violations > 0 {
@@ -137,6 +152,24 @@ fn envelope_events(rec: &Recorder) -> Vec<&Event> {
     rec.events()
         .iter()
         .filter(|e| e.kind == "envelope")
+        .collect()
+}
+
+/// Whether an envelope event is a fault-excused annotation (see
+/// `cne_core::monitor`): it describes a breach attributable to the
+/// injected fault schedule and must not fail `--strict`.
+fn is_excused(event: &Event) -> bool {
+    event
+        .fields
+        .iter()
+        .any(|(k, v)| k == "excused" && matches!(v, Value::Bool(true)))
+}
+
+/// Envelope events that count as violations (excused ones filtered).
+fn counted_envelope_events(rec: &Recorder) -> Vec<&Event> {
+    envelope_events(rec)
+        .into_iter()
+        .filter(|e| !is_excused(e))
         .collect()
 }
 
@@ -229,8 +262,15 @@ fn print_envelopes(runs: &[Recorder]) {
         let fmt = |obs: Option<f64>| obs.map_or("—".to_owned(), |v| format!("{v:.1}"));
         let violations = rec
             .counter("envelope.violations")
-            .max(envelope_events(rec).len() as u64);
-        let verdict = if violations == 0 { "ok" } else { "VIOL" };
+            .max(counted_envelope_events(rec).len() as u64);
+        let excused = envelope_events(rec).iter().any(|e| is_excused(e));
+        let verdict = if violations > 0 {
+            "VIOL"
+        } else if excused {
+            "excused"
+        } else {
+            "ok"
+        };
         println!(
             "{:<22} {:>13} {:>11} {:>11} {:>11} {:>9}",
             run_name(rec),
@@ -244,6 +284,7 @@ fn print_envelopes(runs: &[Recorder]) {
     for rec in runs {
         for event in envelope_events(rec) {
             let slot = event.slot.map_or("—".to_owned(), |t| t.to_string());
+            let marker = if is_excused(event) { "~~" } else { "!!" };
             let monitor = field_str(event, "monitor").unwrap_or("?");
             let details: Vec<String> = event
                 .fields
@@ -258,11 +299,87 @@ fn print_envelopes(runs: &[Recorder]) {
                 })
                 .collect();
             println!(
-                "  !! {} slot {slot}: {monitor} {}",
+                "  {marker} {} slot {slot}: {monitor} {}",
                 run_name(rec),
                 details.join(" ")
             );
         }
+    }
+}
+
+/// Fault-injection summary: what the schedule injected, what recovered,
+/// and the carry-forward trade position (only for traces recorded with
+/// `--faults`).
+fn print_fault_summary(runs: &[Recorder]) {
+    let faulted: Vec<&Recorder> = runs
+        .iter()
+        .filter(|r| {
+            r.counter("faults.injected") > 0
+                || r.labels().iter().any(|(k, _)| k == "fault_scenario")
+        })
+        .collect();
+    if faulted.is_empty() {
+        return;
+    }
+    println!("\n== fault injection & recovery ==");
+    println!(
+        "{:<22} {:>10} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>9} {:>10}",
+        "run",
+        "scenario",
+        "outage",
+        "surge",
+        "dl-fail",
+        "fb-loss",
+        "halt",
+        "reject",
+        "recovered",
+        "unmet z/w"
+    );
+    for rec in &faulted {
+        let scenario = rec
+            .labels()
+            .iter()
+            .find(|(k, _)| k == "fault_scenario")
+            .map_or("?", |(_, v)| v.as_str());
+        let unmet = format!(
+            "{:.1}/{:.1}",
+            rec.gauge_value("faults.unmet_buy").unwrap_or(0.0),
+            rec.gauge_value("faults.unmet_sell").unwrap_or(0.0)
+        );
+        println!(
+            "{:<22} {:>10} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7} {:>9} {:>10}",
+            run_name(rec),
+            scenario,
+            rec.counter("faults.edge_outage"),
+            rec.counter("faults.surge"),
+            rec.counter("faults.download_failure"),
+            rec.counter("faults.feedback_loss"),
+            rec.counter("faults.market_halt"),
+            rec.counter("faults.order_rejected"),
+            rec.counter("faults.recoveries"),
+            unmet,
+        );
+    }
+    // Recovery events, per class: how long degradation actually lasted.
+    for rec in &faulted {
+        let recoveries: Vec<&Event> = rec
+            .events()
+            .iter()
+            .filter(|e| e.kind == "recovery")
+            .collect();
+        if recoveries.is_empty() {
+            continue;
+        }
+        let total: f64 = recoveries
+            .iter()
+            .filter_map(|e| field_f64(e, "delayed_slots").or_else(|| field_f64(e, "attempts")))
+            .sum();
+        println!(
+            "  {} recovered {} times ({} slots of degraded service/backoff total)",
+            run_name(rec),
+            recoveries.len(),
+            total
+        );
     }
 }
 
@@ -314,7 +431,10 @@ fn print_lambda_trajectories(runs: &[Recorder]) {
     for (rec, traj) in traced {
         let values: Vec<f64> = traj.iter().map(|&(_, v)| v).collect();
         let peak = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let last = *values.last().expect("non-empty trajectory");
+        // Guarded even though the filter above excludes empty
+        // trajectories: a trace is user-supplied input, and a panic in
+        // `report` should never be reachable from a crafted file.
+        let last = values.last().copied().unwrap_or(f64::NAN);
         println!(
             "{:<22} {}  final λ={last:.2} peak λ={peak:.2}",
             run_name(rec),

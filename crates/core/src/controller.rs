@@ -118,6 +118,14 @@ impl Policy for ComboController {
             "feedback does not match the number of edges"
         );
         for (i, outcome) in feedback.edges.iter().enumerate() {
+            if outcome.feedback_lost {
+                // The edge was down, served a stale model, or the loss
+                // report never arrived: the served model may differ
+                // from the requested placement and the loss is not
+                // trustworthy. Skip the slot instead of observing.
+                self.selectors[i].observe_lost(t);
+                continue;
+            }
             debug_assert_eq!(outcome.model, self.last_placement[i]);
             let loss = self
                 .normalizer
@@ -164,6 +172,10 @@ impl Policy for ComboController {
             "feedback does not match the number of edges"
         );
         for (i, outcome) in feedback.edges.iter().enumerate() {
+            if outcome.feedback_lost {
+                self.selectors[i].observe_lost(t);
+                continue;
+            }
             debug_assert_eq!(outcome.model, self.last_placement[i]);
             let loss = self
                 .normalizer
@@ -250,6 +262,7 @@ mod tests {
                     utilization: 0.3,
                     queueing_delay_ms: 1.0,
                     emissions: GramsCo2::new(100.0),
+                    feedback_lost: false,
                 })
                 .collect(),
             trade: TradeObservation {

@@ -30,6 +30,21 @@
 //! outcome for constraint-blind baselines) plus an
 //! `envelope.violations` counter and `envelope.*` gauges, all inside
 //! the run's deterministic telemetry [`Recorder`].
+//!
+//! ## Fault-injected runs
+//!
+//! Under an active fault schedule (`--faults`, see `cne_faults`) the
+//! theorems' premises no longer hold — outages suppress whole slots,
+//! failed downloads delay switches past block boundaries, market halts
+//! block the dual controller's trades — so envelope breaches are
+//! *expected* and would otherwise read as spurious regressions. The
+//! monitors therefore annotate instead of alarm: a finding attributable
+//! to injected faults is still emitted as an [`EVENT_KIND`] event, but
+//! carries an `("excused", true)` field and does **not** count toward
+//! `envelope.violations` (which is what `report --strict` gates on).
+//! The dual-sanity and trade-bounds checks stay hard under faults:
+//! rectified ascent and market clamping must hold no matter what the
+//! schedule does.
 
 use cne_bandit::Schedule;
 use cne_edgesim::{Environment, RunRecord};
@@ -109,20 +124,23 @@ pub fn check_run(
     let PolicySpec::Combo(combo) = spec else {
         return summary;
     };
+    // An active fault schedule voids the envelopes' premises: breaches
+    // are annotated as excused instead of counted (see module docs).
+    let excused = rec.events().iter().any(|e| e.kind == "fault");
 
     if combo.selector == SelectorKind::BlockTsallis {
         summary.violations += check_block_boundaries(env, rec);
         // Theorem 1 assumes a stationary loss distribution; a
         // mid-horizon quality drift voids the envelope by design.
         if env.config().quality_drift_at.is_none() {
-            let (observed, bound, violations) = check_thm1_envelope(env, record, cfg, rec);
+            let (observed, bound, violations) = check_thm1_envelope(env, record, cfg, excused, rec);
             summary.thm1 = Some((observed, bound));
             summary.violations += violations;
         }
     }
 
     if combo.trader == TraderKind::PrimalDual {
-        let (observed, bound, violations) = check_thm2_fit(env, record, cfg, rec);
+        let (observed, bound, violations) = check_thm2_fit(env, record, cfg, excused, rec);
         summary.thm2_fit = Some((observed, bound));
         summary.violations += violations;
         summary.violations += check_dual_sanity(env, record, cfg, rec);
@@ -152,11 +170,18 @@ pub fn theorem1_schedules(env: &Environment<'_>) -> Vec<Schedule> {
 /// Flags every model download that did not land on a block boundary of
 /// the edge's Theorem 1 schedule. Returns the number of violations.
 ///
+/// A switch event carrying a `retries` field was *delayed by injected
+/// download failures* (see `cne_faults`): the selector committed to it
+/// at a block boundary, but the fetch only completed `retries` slots
+/// later. Such a switch is annotated with `("excused", true)` instead
+/// of counted — the schedule contract was honoured by the algorithm,
+/// not broken by it.
+///
 /// Reads the run's `"switch"` events out of `rec`, so it must run after
 /// the traced simulation that produced them.
 pub fn check_block_boundaries(env: &Environment<'_>, rec: &mut Recorder) -> u64 {
     let schedules = theorem1_schedules(env);
-    let mut offenders: Vec<(u64, u64, u64)> = Vec::new();
+    let mut offenders: Vec<(u64, u64, u64, bool)> = Vec::new();
     for event in rec.events() {
         if event.kind != "switch" {
             continue;
@@ -174,11 +199,21 @@ pub fn check_block_boundaries(env: &Environment<'_>, rec: &mut Recorder) -> u64 
         let Some(schedule) = schedules.get(edge as usize) else {
             continue;
         };
+        let delayed_by_fault = event.fields.iter().any(|(name, _)| name == "retries");
         if !schedule.is_block_start(t as usize) {
-            offenders.push((t, edge, schedule.block_of(t as usize) as u64));
+            offenders.push((
+                t,
+                edge,
+                schedule.block_of(t as usize) as u64,
+                delayed_by_fault,
+            ));
         }
     }
-    for &(t, edge, block) in &offenders {
+    let mut violations = 0u64;
+    for &(t, edge, block, excused) in &offenders {
+        if !excused {
+            violations += 1;
+        }
         rec.event(
             Some(t),
             EVENT_KIND,
@@ -186,19 +221,25 @@ pub fn check_block_boundaries(env: &Environment<'_>, rec: &mut Recorder) -> u64 
                 ("monitor", "block_boundary".into()),
                 ("edge", edge.into()),
                 ("block", block.into()),
+                ("excused", excused.into()),
             ],
         );
     }
-    offenders.len() as u64
+    violations
 }
 
 /// Checks each edge's P1 regret + switching cost against the Theorem 1
 /// envelope `c · scale · ((u_i N)^{2/3} T^{1/3} + u_i + 1)` (weighted
 /// cost units). Returns `(Σ observed, Σ bound, violations)`.
+///
+/// With `excused` set (an active fault schedule), breaches are emitted
+/// as annotations with `("excused", true)` and not counted: injected
+/// outages and lost feedback void the theorem's premises.
 pub fn check_thm1_envelope(
     env: &Environment<'_>,
     record: &RunRecord,
     cfg: &MonitorConfig,
+    excused: bool,
     rec: &mut Recorder,
 ) -> (f64, f64, u64) {
     let sim = env.config();
@@ -224,7 +265,9 @@ pub fn check_thm1_envelope(
         total_observed += observed;
         total_bound += bound;
         if observed > bound {
-            violations += 1;
+            if !excused {
+                violations += 1;
+            }
             rec.event(
                 None,
                 EVENT_KIND,
@@ -233,6 +276,7 @@ pub fn check_thm1_envelope(
                     ("edge", i.into()),
                     ("observed", observed.into()),
                     ("bound", bound.into()),
+                    ("excused", excused.into()),
                 ],
             );
         }
@@ -245,10 +289,16 @@ pub fn check_thm1_envelope(
 /// Checks the terminal constraint fit against the Theorem 2 envelope
 /// `c · 2 (R/T) · T^{2/3}` (allowances). Returns
 /// `(observed, bound, violations)`.
+///
+/// With `excused` set (an active fault schedule), a breach is emitted
+/// as an annotation with `("excused", true)` and not counted: market
+/// halts block the dual controller's trades through no fault of its
+/// own.
 pub fn check_thm2_fit(
     env: &Environment<'_>,
     record: &RunRecord,
     cfg: &MonitorConfig,
+    excused: bool,
     rec: &mut Recorder,
 ) -> (f64, f64, u64) {
     let observed = regret::fit(record);
@@ -258,8 +308,8 @@ pub fn check_thm2_fit(
     let bound = cfg.thm2_constant * 2.0 * env.config().cap_share() * horizon.powf(2.0 / 3.0);
     rec.gauge("envelope.fit_observed", observed);
     rec.gauge("envelope.fit_bound", bound);
-    let violations = u64::from(observed > bound);
-    if violations > 0 {
+    let breached = observed > bound;
+    if breached {
         rec.event(
             None,
             EVENT_KIND,
@@ -267,9 +317,11 @@ pub fn check_thm2_fit(
                 ("monitor", "thm2_fit".into()),
                 ("observed", observed.into()),
                 ("bound", bound.into()),
+                ("excused", excused.into()),
             ],
         );
     }
+    let violations = u64::from(breached && !excused);
     (observed, bound, violations)
 }
 
@@ -399,6 +451,42 @@ mod tests {
             let (fit, fit_bound) = summary.thm2_fit.expect("thm2 applies to Ours");
             assert!(fit <= fit_bound, "fit {fit} > {fit_bound}");
             assert_eq!(rec.counter("envelope.violations"), 0);
+        }
+    }
+
+    #[test]
+    fn faulted_ours_run_annotates_instead_of_alarming() {
+        let (zoo, mut cfg) = setup();
+        cfg.faults = Some(cne_faults::FaultScenario::mixed("mixed-10", 0.1));
+        let root = SeedSequence::new(9);
+        let env = Environment::new(cfg, &zoo, &root.derive("env"));
+        let mut policy = Combo::ours().build(&env, &root.derive("alg"));
+        let mut rec = Recorder::new();
+        let record = env.run_traced(&mut policy, &mut rec);
+        assert!(
+            rec.events().iter().any(|e| e.kind == "fault"),
+            "the 10% schedule should fire somewhere"
+        );
+        let summary = check_run(
+            &env,
+            &record,
+            &PolicySpec::Combo(Combo::ours()),
+            &MonitorConfig::default(),
+            &mut rec,
+        );
+        assert_eq!(
+            summary.violations, 0,
+            "fault-attributable breaches must be excused, not counted: {summary:?}"
+        );
+        assert_eq!(rec.counter("envelope.violations"), 0);
+        // Whatever envelope events were emitted are excused annotations.
+        for e in rec.events().iter().filter(|e| e.kind == EVENT_KIND) {
+            assert!(
+                e.fields
+                    .iter()
+                    .any(|(n, v)| n == "excused" && *v == Value::Bool(true)),
+                "unexcused envelope event under faults: {e:?}"
+            );
         }
     }
 

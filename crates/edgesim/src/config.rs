@@ -1,6 +1,7 @@
 //! Simulation configuration: the paper's §V-A experimental settings as
 //! a builder-style struct.
 
+use cne_faults::FaultScenario;
 use cne_market::{EmissionModel, TradeBounds};
 
 use crate::queueing::QueueingConfig;
@@ -94,6 +95,13 @@ pub struct SimConfig {
     /// Edge-cluster queueing model (observational utilization/delay
     /// metrics; does not enter the paper's objective).
     pub queueing: QueueingConfig,
+    /// Optional fault-injection scenario (edge outages, workload
+    /// surges, download failures, lost feedback, market halts). `None`
+    /// — the default everywhere — keeps the paper's fault-free setting;
+    /// the realized schedule draws from its own `"faults"` seed stream,
+    /// so attaching a scenario never perturbs the rest of the
+    /// environment. See `cne_faults` and the `--faults` CLI flag.
+    pub faults: Option<FaultScenario>,
 }
 
 impl SimConfig {
@@ -131,6 +139,7 @@ impl SimConfig {
             violation_penalty: 25.0,
             quality_drift_at: None,
             queueing: QueueingConfig::default(),
+            faults: None,
         }
     }
 
@@ -185,6 +194,11 @@ impl SimConfig {
             self.switch_weight >= 0.0 && self.switch_weight.is_finite(),
             "switch weight must be non-negative"
         );
+        if let Some(scenario) = &self.faults {
+            scenario
+                .validate()
+                .unwrap_or_else(|e| panic!("invalid fault scenario: {e}"));
+        }
         self.queueing.validate();
     }
 }

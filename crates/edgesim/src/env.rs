@@ -1,12 +1,15 @@
 //! The pre-realized simulation environment and the run loop.
 
-use cne_market::{AllowanceLedger, CarbonMarket};
+use cne_faults::{FaultSchedule, TradeCarry};
+use cne_market::{AllowanceLedger, CarbonMarket, TradeReceipt};
 use cne_nn::ModelZoo;
 use cne_simdata::prices::PriceSeries;
 use cne_simdata::stream::DataStream;
 use cne_simdata::topology::Topology;
 use cne_simdata::workload::{DiurnalWorkload, WorkloadTrace};
 use cne_trading::policy::{TradeContext, TradeObservation};
+use cne_util::telemetry::Recorder;
+use cne_util::units::{Allowances, Cents};
 use cne_util::SeedSequence;
 
 use crate::config::SimConfig;
@@ -71,6 +74,162 @@ pub struct Environment<'a> {
     /// Model-quality permutation applied from `quality_drift_at`
     /// onward (rank reversal by expected loss), when configured.
     drift_perm: Option<Vec<usize>>,
+    /// Realized fault schedule when [`SimConfig::faults`] is set.
+    faults: Option<FaultSchedule>,
+}
+
+/// Per-edge download-retry state under an active fault schedule.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct PendingDownload {
+    /// Target model of the in-flight (failed) download, if any.
+    target: Option<usize>,
+    /// Consecutive failed attempts for that target.
+    attempts: u32,
+    /// Slot before which no new attempt is made (backoff window).
+    next_attempt_slot: u64,
+    /// Slots the wanted switch has been delayed by faults so far
+    /// (outages, failed attempts, backoff waits) — reported as the
+    /// `retries` field of the eventual switch event, which lets the
+    /// envelope monitors excuse the off-boundary download.
+    delayed_slots: u32,
+}
+
+impl PendingDownload {
+    /// Resets the retry state when the policy asks for a new target.
+    fn retarget(&mut self, desired: usize) {
+        if self.target != Some(desired) {
+            *self = Self {
+                target: Some(desired),
+                ..Self::default()
+            };
+        }
+    }
+}
+
+/// What [`resolve_download`] decided for one edge-slot.
+struct DownloadResolution {
+    /// Model the edge actually hosts this slot.
+    served: usize,
+    /// Whether a download completed this slot.
+    switched: bool,
+    /// Fault-delayed slots the completed switch recovered from.
+    retries: u32,
+    /// The slot's loss feedback is lost (outage or stale model).
+    feedback_lost: bool,
+}
+
+/// Graceful degradation of model downloads: on an outage or a failed
+/// download the edge keeps serving its previous model, retries with
+/// bounded exponential backoff, and charges the switching cost only
+/// when the download finally lands. The very first download of an edge
+/// cannot fail (there is no previous model to fall back to), and after
+/// `max_download_retries` consecutive failures the fetch fails over
+/// and succeeds, bounding the degradation window.
+fn resolve_download(
+    schedule: &FaultSchedule,
+    pending: &mut PendingDownload,
+    i: usize,
+    t: usize,
+    prev: Option<usize>,
+    desired: usize,
+    mut telemetry: Option<&mut Recorder>,
+) -> DownloadResolution {
+    let scenario = schedule.scenario();
+    if schedule.edge_outage(i, t) {
+        if let Some(rec) = telemetry {
+            rec.incr("faults.injected", 1);
+            rec.incr("faults.edge_outage", 1);
+            rec.event(
+                Some(t as u64),
+                "fault",
+                &[("fault", "edge_outage".into()), ("edge", i.into())],
+            );
+        }
+        if prev != Some(desired) {
+            pending.retarget(desired);
+            pending.delayed_slots += 1;
+        }
+        // Edge down: nothing served, nothing downloaded, feedback lost.
+        return DownloadResolution {
+            served: prev.unwrap_or(desired),
+            switched: false,
+            retries: 0,
+            feedback_lost: true,
+        };
+    }
+    if prev == Some(desired) {
+        // No switch wanted; any retry state for a stale target is moot.
+        *pending = PendingDownload::default();
+        return DownloadResolution {
+            served: desired,
+            switched: false,
+            retries: 0,
+            feedback_lost: false,
+        };
+    }
+    pending.retarget(desired);
+    if (t as u64) < pending.next_attempt_slot {
+        // Backoff window: keep serving the stale model, no attempt.
+        pending.delayed_slots += 1;
+        return DownloadResolution {
+            served: prev.expect("backoff implies a fallback model"),
+            switched: false,
+            retries: 0,
+            feedback_lost: true,
+        };
+    }
+    let fails = prev.is_some()
+        && pending.attempts < scenario.max_download_retries
+        && schedule.download_failure(i, t);
+    if fails {
+        pending.attempts += 1;
+        pending.delayed_slots += 1;
+        pending.next_attempt_slot = t as u64 + 1 + scenario.backoff().delay_slots(pending.attempts);
+        if let Some(rec) = telemetry.as_deref_mut() {
+            rec.incr("faults.injected", 1);
+            rec.incr("faults.download_failure", 1);
+            rec.event(
+                Some(t as u64),
+                "fault",
+                &[
+                    ("fault", "download_failure".into()),
+                    ("edge", i.into()),
+                    ("target", desired.into()),
+                    ("attempt", u64::from(pending.attempts).into()),
+                ],
+            );
+        }
+        return DownloadResolution {
+            served: prev.expect("first download cannot fail"),
+            switched: false,
+            retries: 0,
+            feedback_lost: true,
+        };
+    }
+    // Download lands (possibly by failing over past the retry budget).
+    let retries = pending.delayed_slots;
+    if retries > 0 {
+        if let Some(rec) = telemetry {
+            rec.incr("faults.recoveries", 1);
+            rec.event(
+                Some(t as u64),
+                "recovery",
+                &[
+                    ("recovery", "download".into()),
+                    ("edge", i.into()),
+                    ("model", desired.into()),
+                    ("delayed_slots", u64::from(retries).into()),
+                ],
+            );
+        }
+    }
+    *pending = PendingDownload::default();
+    DownloadResolution {
+        served: desired,
+        switched: true,
+        retries,
+        feedback_lost: false,
+    }
 }
 
 impl<'a> Environment<'a> {
@@ -105,9 +264,39 @@ impl<'a> Environment<'a> {
         );
         let topology = Topology::generate(config.num_edges, config.topology, &seed.derive("topo"));
         let workload_gen = DiurnalWorkload::new(config.workload);
-        let workloads: Vec<WorkloadTrace> = (0..config.num_edges)
+        let mut workloads: Vec<WorkloadTrace> = (0..config.num_edges)
             .map(|i| workload_gen.trace(i, &seed.derive("workload")))
             .collect();
+        // Realize the fault schedule from its own dedicated seed stream
+        // (attaching a scenario never perturbs any other realization),
+        // then apply the workload-shaping faults — outages zero a
+        // slot's arrivals, surges multiply them — to the traces
+        // *before* the stream indices are drawn below. Both serve modes
+        // then reduce the identical realized slots, which keeps them
+        // bit-identical under faults.
+        let faults = config.faults.as_ref().map(|scenario| {
+            FaultSchedule::realize(
+                scenario.clone(),
+                config.num_edges,
+                config.horizon,
+                &seed.derive("faults"),
+            )
+        });
+        if let Some(schedule) = &faults {
+            let scenario = schedule.scenario();
+            for (i, trace) in workloads.iter_mut().enumerate() {
+                let mut counts = trace.counts().to_vec();
+                for (t, count) in counts.iter_mut().enumerate().take(config.horizon) {
+                    if schedule.surge(i, t) {
+                        *count = (*count as f64 * scenario.surge_multiplier).round() as u64;
+                    }
+                    if schedule.edge_outage(i, t) {
+                        *count = 0;
+                    }
+                }
+                *trace = WorkloadTrace::from_counts(counts);
+            }
+        }
         let prices =
             config
                 .price_model
@@ -199,6 +388,7 @@ impl<'a> Environment<'a> {
             expected_losses,
             market,
             drift_perm,
+            faults,
         }
     }
 
@@ -206,6 +396,12 @@ impl<'a> Environment<'a> {
     #[must_use]
     pub fn serve_mode(&self) -> ServeMode {
         self.serve_mode
+    }
+
+    /// The realized fault schedule, when [`SimConfig::faults`] is set.
+    #[must_use]
+    pub fn fault_schedule(&self) -> Option<&FaultSchedule> {
+        self.faults.as_ref()
     }
 
     /// Flat index into the batched statistic caches.
@@ -355,6 +551,91 @@ impl<'a> Environment<'a> {
         self.run_impl(policy, telemetry, Some(profiler))
     }
 
+    /// One slot of allowance trading under an active fault schedule:
+    /// halted or rejected orders are retried with bounded exponential
+    /// backoff, and the unmet position is carried forward so the
+    /// carbon-neutrality accounting never silently leaks a request.
+    /// With a zero-rate schedule this reduces exactly to
+    /// [`CarbonMarket::execute`] on the policy's request.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_with_faults(
+        &self,
+        t: usize,
+        schedule: &FaultSchedule,
+        carry: &mut TradeCarry,
+        ctx: &TradeContext,
+        z: Allowances,
+        w: Allowances,
+        ledger: &mut AllowanceLedger,
+        telemetry: Option<&mut Recorder>,
+    ) -> TradeReceipt {
+        let nothing = TradeReceipt {
+            bought: Allowances::ZERO,
+            sold: Allowances::ZERO,
+            cost: Cents::ZERO,
+            revenue: Cents::ZERO,
+        };
+        // Only the *executable* part of the fresh request enters the
+        // carry: the fault-free market silently clamps to the per-slot
+        // bounds, so carrying the clamp excess forward would make a
+        // zero-rate scenario trade differently from a fault-free run.
+        // (The carry itself may exceed a bound after halted slots; it
+        // then drains at the bound rate across retries.)
+        let (z, w) = self.market.bounds().clamp(z, w);
+        // In a backoff window the fresh request still joins the carry;
+        // no market attempt is made.
+        let Some((buy, sell)) = carry.prepare(t, z.get(), w.get()) else {
+            return nothing;
+        };
+        let halted = schedule.market_halted(t);
+        if halted || schedule.order_rejected(t) {
+            carry.record_failure(t);
+            if let Some(rec) = telemetry {
+                let fault = if halted {
+                    "market_halt"
+                } else {
+                    "order_rejected"
+                };
+                rec.incr("faults.injected", 1);
+                rec.incr(&format!("faults.{fault}"), 1);
+                rec.event(
+                    Some(t as u64),
+                    "fault",
+                    &[
+                        ("fault", fault.into()),
+                        ("unmet_buy", carry.unmet_buy().into()),
+                        ("unmet_sell", carry.unmet_sell().into()),
+                    ],
+                );
+            }
+            return nothing;
+        }
+        let receipt = self.market.execute(
+            ctx.buy_price,
+            ctx.sell_price,
+            Allowances::new(buy),
+            Allowances::new(sell),
+            ledger,
+        );
+        let recovered = carry.record_success(receipt.bought.get(), receipt.sold.get());
+        if recovered > 0 {
+            if let Some(rec) = telemetry {
+                rec.incr("faults.recoveries", 1);
+                rec.event(
+                    Some(t as u64),
+                    "recovery",
+                    &[
+                        ("recovery", "market".into()),
+                        ("attempts", u64::from(recovered).into()),
+                        ("bought", receipt.bought.get().into()),
+                        ("sold", receipt.sold.get().into()),
+                    ],
+                );
+            }
+        }
+        receipt
+    }
+
     fn run_impl(
         &self,
         policy: &mut dyn Policy,
@@ -379,6 +660,14 @@ impl<'a> Environment<'a> {
         // feedback after each slot.
         let mut placements: Vec<usize> = Vec::with_capacity(cfg.num_edges);
         let mut outcomes: Vec<EdgeSlotOutcome> = Vec::with_capacity(cfg.num_edges);
+        // Graceful-degradation state; inert when no scenario is
+        // attached, so the fault-free path is untouched.
+        let mut trade_carry = self
+            .faults
+            .as_ref()
+            .map(|s| TradeCarry::new(s.scenario().backoff()));
+        let mut pending_downloads: Vec<PendingDownload> =
+            vec![PendingDownload::default(); cfg.num_edges];
 
         if let Some(p) = profiler.as_deref_mut() {
             p.enter("run");
@@ -421,9 +710,21 @@ impl<'a> Environment<'a> {
                 }
                 None => policy.decide_trades(t, &ctx),
             };
-            let receipt = self
-                .market
-                .execute(ctx.buy_price, ctx.sell_price, z, w, &mut ledger);
+            let receipt = match (self.faults.as_ref(), trade_carry.as_mut()) {
+                (Some(schedule), Some(carry)) => self.execute_with_faults(
+                    t,
+                    schedule,
+                    carry,
+                    &ctx,
+                    z,
+                    w,
+                    &mut ledger,
+                    telemetry.as_deref_mut(),
+                ),
+                _ => self
+                    .market
+                    .execute(ctx.buy_price, ctx.sell_price, z, w, &mut ledger),
+            };
             if let Some(rec) = telemetry.as_deref_mut() {
                 if receipt.bought.get() > 0.0 || receipt.sold.get() > 0.0 {
                     rec.incr("trades", 1);
@@ -456,8 +757,30 @@ impl<'a> Environment<'a> {
             let mut util_sum = 0.0;
             let mut wait_sum = 0.0;
             for i in 0..cfg.num_edges {
-                let n = placements[i];
-                let switched = prev_models[i] != Some(n);
+                let desired = placements[i];
+                // Resolve the model the edge actually hosts this slot.
+                // Without a fault schedule this is always the requested
+                // placement; under one, an outage or a failed download
+                // pins the edge to its previous model.
+                let resolution = match self.faults.as_ref() {
+                    Some(schedule) => resolve_download(
+                        schedule,
+                        &mut pending_downloads[i],
+                        i,
+                        t,
+                        prev_models[i],
+                        desired,
+                        telemetry.as_deref_mut(),
+                    ),
+                    None => DownloadResolution {
+                        served: desired,
+                        switched: prev_models[i] != Some(desired),
+                        retries: 0,
+                        feedback_lost: false,
+                    },
+                };
+                let n = resolution.served;
+                let switched = resolution.switched;
                 if switched {
                     switches += 1;
                     edge_records[i].switches += 1;
@@ -470,11 +793,43 @@ impl<'a> Environment<'a> {
                             fields.push(("from", prev.into()));
                         }
                         fields.push(("delay_ms", self.download_delay_ms(i).into()));
+                        if resolution.retries > 0 {
+                            fields.push(("retries", u64::from(resolution.retries).into()));
+                        }
                         rec.event(Some(t as u64), "switch", &fields);
+                    }
+                    prev_models[i] = Some(n);
+                }
+                let mut feedback_lost = resolution.feedback_lost;
+                if let Some(schedule) = self.faults.as_ref() {
+                    if schedule.feedback_loss(i, t) && !feedback_lost {
+                        feedback_lost = true;
+                        if let Some(rec) = telemetry.as_deref_mut() {
+                            rec.incr("faults.injected", 1);
+                            rec.incr("faults.feedback_loss", 1);
+                            rec.event(
+                                Some(t as u64),
+                                "fault",
+                                &[("fault", "feedback_loss".into()), ("edge", i.into())],
+                            );
+                        }
+                    }
+                    // Surges were applied to the workload trace at
+                    // construction; flag them here so the trace shows
+                    // when the edge was riding an inflated load.
+                    if schedule.surge(i, t) && !schedule.edge_outage(i, t) {
+                        if let Some(rec) = telemetry.as_deref_mut() {
+                            rec.incr("faults.injected", 1);
+                            rec.incr("faults.surge", 1);
+                            rec.event(
+                                Some(t as u64),
+                                "fault",
+                                &[("fault", "surge".into()), ("edge", i.into())],
+                            );
+                        }
                     }
                 }
                 edge_records[i].selection_counts[n] += 1;
-                prev_models[i] = Some(n);
 
                 if let Some(p) = profiler.as_deref_mut() {
                     p.enter("inference");
@@ -541,6 +896,7 @@ impl<'a> Environment<'a> {
                     utilization,
                     queueing_delay_ms,
                     emissions,
+                    feedback_lost,
                 });
             }
 
@@ -621,6 +977,19 @@ impl<'a> Environment<'a> {
             settlement_cost,
         };
         if let Some(rec) = telemetry {
+            if let Some(schedule) = &self.faults {
+                rec.set_label("fault_scenario", schedule.scenario().name.clone());
+            }
+            if let Some(carry) = &trade_carry {
+                // Unmet-position accounting: the ledger holds every
+                // executed allowance, the carry holds every unmet one,
+                // and `requested == executed + unmet` reconciles them
+                // (pinned by the fault ledger tests).
+                rec.gauge("faults.requested_buy", carry.requested_buy());
+                rec.gauge("faults.requested_sell", carry.requested_sell());
+                rec.gauge("faults.unmet_buy", carry.unmet_buy());
+                rec.gauge("faults.unmet_sell", carry.unmet_sell());
+            }
             rec.incr("slots", cfg.horizon as u64);
             let violation = record.violation();
             rec.gauge("violation", violation);
@@ -923,5 +1292,174 @@ mod drift_tests {
             assert_eq!(env.effective_table(n, 0), n);
             assert_eq!(env.effective_table(n, 39), n);
         }
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::policy::{Policy, SlotFeedback};
+    use cne_faults::FaultScenario;
+    use cne_nn::ZooConfig;
+    use cne_simdata::dataset::TaskKind;
+    use cne_trading::policy::TradeContext;
+    use cne_util::units::Allowances;
+
+    /// Switches models every few slots (exercising download failures)
+    /// and trades a fixed in-bounds position every slot (exercising
+    /// market halts and rejections).
+    struct Churner;
+    impl Policy for Churner {
+        fn select_models(&mut self, t: usize) -> Vec<usize> {
+            vec![(t / 4) % 2; 3]
+        }
+        fn decide_trades(&mut self, _t: usize, _ctx: &TradeContext) -> (Allowances, Allowances) {
+            (Allowances::new(2.0), Allowances::new(0.5))
+        }
+        fn end_of_slot(&mut self, _t: usize, _fb: &SlotFeedback) {}
+        fn name(&self) -> String {
+            "churner".into()
+        }
+    }
+
+    fn zoo() -> ModelZoo {
+        ModelZoo::train(
+            TaskKind::MnistLike,
+            &ZooConfig::fast(),
+            &SeedSequence::new(41),
+        )
+    }
+
+    fn faulty_cfg(scenario: FaultScenario) -> SimConfig {
+        let mut cfg = SimConfig::fast_test(TaskKind::MnistLike);
+        cfg.faults = Some(scenario);
+        cfg
+    }
+
+    #[test]
+    fn serve_modes_and_reruns_bit_identical_under_faults() {
+        let zoo = zoo();
+        let cfg = faulty_cfg(FaultScenario::mixed("mixed-20", 0.2));
+        let run = |mode: ServeMode| {
+            let env = Environment::with_serve_mode(cfg.clone(), &zoo, &SeedSequence::new(42), mode);
+            let mut rec = cne_util::telemetry::Recorder::new();
+            let record = env.run_traced(&mut Churner, &mut rec);
+            (record, rec.to_jsonl_string())
+        };
+        let (a, trace_a) = run(ServeMode::Batched);
+        let (b, trace_b) = run(ServeMode::PerRequest);
+        let (a2, trace_a2) = run(ServeMode::Batched);
+        assert_eq!(a, a2, "same (seed, scenario) must replay bit-identically");
+        assert_eq!(trace_a, trace_a2);
+        assert_eq!(a, b, "serve modes must agree under an active schedule");
+        assert_eq!(trace_a, trace_b);
+        // The schedule actually fired, and the run survived it.
+        assert!(trace_a.contains("\"kind\":\"fault\""), "no fault events");
+    }
+
+    #[test]
+    fn zero_rate_scenario_matches_fault_free_run() {
+        let zoo = zoo();
+        let base = Environment::new(
+            SimConfig::fast_test(TaskKind::MnistLike),
+            &zoo,
+            &SeedSequence::new(43),
+        )
+        .run(&mut Churner);
+        let zeroed = Environment::new(
+            faulty_cfg(FaultScenario::default()),
+            &zoo,
+            &SeedSequence::new(43),
+        )
+        .run(&mut Churner);
+        assert_eq!(
+            base, zeroed,
+            "a never-firing schedule must not perturb the run"
+        );
+    }
+
+    #[test]
+    fn ledger_reconciles_under_market_faults() {
+        let zoo = zoo();
+        let scenario = FaultScenario {
+            name: "market-only".to_owned(),
+            market_halt_rate: 0.3,
+            order_rejection_rate: 0.3,
+            ..FaultScenario::default()
+        };
+        let env = Environment::new(faulty_cfg(scenario), &zoo, &SeedSequence::new(44));
+        let mut rec = cne_util::telemetry::Recorder::new();
+        let record = env.run_traced(&mut Churner, &mut rec);
+        assert!(rec.counter("faults.market_halt") + rec.counter("faults.order_rejected") > 0);
+        // requested == executed + unmet, per side: nothing leaks.
+        let requested_buy = rec.gauge_value("faults.requested_buy").unwrap();
+        let requested_sell = rec.gauge_value("faults.requested_sell").unwrap();
+        let unmet_buy = rec.gauge_value("faults.unmet_buy").unwrap();
+        let unmet_sell = rec.gauge_value("faults.unmet_sell").unwrap();
+        let executed_buy = record.ledger.bought().get();
+        let executed_sell = record.ledger.sold().get();
+        assert!(
+            (requested_buy - (executed_buy + unmet_buy)).abs() < 1e-9,
+            "buy side leaked: {requested_buy} != {executed_buy} + {unmet_buy}"
+        );
+        assert!(
+            (requested_sell - (executed_sell + unmet_sell)).abs() < 1e-9,
+            "sell side leaked: {requested_sell} != {executed_sell} + {unmet_sell}"
+        );
+        // Faults really did block some orders relative to the 40-slot
+        // fault-free request stream (2.0 buy / 0.5 sell per slot).
+        assert!(executed_buy < 80.0 - 1e-9);
+        // And successful retries were recorded as recoveries.
+        assert!(rec.counter("faults.recoveries") > 0, "no market recoveries");
+    }
+
+    #[test]
+    fn full_outage_suppresses_serving_and_switching() {
+        let zoo = zoo();
+        let scenario = FaultScenario {
+            name: "blackout".to_owned(),
+            edge_outage_rate: 1.0,
+            ..FaultScenario::default()
+        };
+        let env = Environment::new(faulty_cfg(scenario), &zoo, &SeedSequence::new(45));
+        let mut rec = cne_util::telemetry::Recorder::new();
+        let record = env.run_traced(&mut Churner, &mut rec);
+        assert_eq!(record.total_switches(), 0, "nothing downloads while down");
+        let arrivals: u64 = record.slots.iter().map(|s| s.arrivals).sum();
+        assert_eq!(arrivals, 0, "outages must suppress arrivals");
+        assert_eq!(rec.counter("faults.edge_outage"), 40 * 3);
+        assert!(
+            record.ledger.emitted().to_allowances().get() < 1e-12,
+            "a dark edge emits nothing"
+        );
+    }
+
+    #[test]
+    fn download_failures_delay_but_never_lose_switches() {
+        let zoo = zoo();
+        let scenario = FaultScenario {
+            name: "flaky-registry".to_owned(),
+            download_failure_rate: 0.6,
+            ..FaultScenario::default()
+        };
+        let env = Environment::new(faulty_cfg(scenario), &zoo, &SeedSequence::new(46));
+        let mut rec = cne_util::telemetry::Recorder::new();
+        let record = env.run_traced(&mut Churner, &mut rec);
+        assert!(rec.counter("faults.download_failure") > 0, "nothing failed");
+        assert!(
+            rec.counter("faults.recoveries") > 0,
+            "failed downloads must eventually recover"
+        );
+        // Every switch event either succeeded immediately or carries
+        // the number of retries it survived.
+        let switches = rec.events().iter().filter(|e| e.kind == "switch").count();
+        assert_eq!(switches as u64, record.total_switches());
+        // Delayed switches still charge their cost exactly once.
+        let charged: usize = record
+            .slots
+            .iter()
+            .map(|s| (s.switch_cost > 0.0) as usize)
+            .sum();
+        assert!(charged > 0, "switching cost vanished");
     }
 }

@@ -28,6 +28,14 @@ pub struct EdgeSlotOutcome {
     pub queueing_delay_ms: f64,
     /// Carbon emitted by this edge this slot (inference + transfer).
     pub emissions: GramsCo2,
+    /// The slot's loss feedback never reached the controller: the edge
+    /// was down, it served a stale model because a download failed, or
+    /// the loss report itself was lost in transit (see `cne_faults`).
+    /// Learning policies must not feed this outcome's loss into their
+    /// estimators; `model` is the model *actually served*, which may
+    /// differ from the placement the policy requested. Always `false`
+    /// in fault-free runs.
+    pub feedback_lost: bool,
 }
 
 /// End-of-slot feedback for the policy: everything Step 4 of the
@@ -155,6 +163,7 @@ mod tests {
                     utilization: 0.4,
                     queueing_delay_ms: 3.0,
                     emissions: GramsCo2::new(1500.0),
+                    feedback_lost: false,
                 },
                 EdgeSlotOutcome {
                     model: 1,
@@ -166,6 +175,7 @@ mod tests {
                     utilization: 0.6,
                     queueing_delay_ms: 7.0,
                     emissions: GramsCo2::new(500.0),
+                    feedback_lost: false,
                 },
             ],
             trade: TradeObservation {

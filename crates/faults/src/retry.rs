@@ -1,0 +1,256 @@
+//! Bounded exponential backoff and the unmet-trade carry account.
+
+/// Bounded exponential backoff: attempt `k` (1-based) waits
+/// `min(base · 2^(k−1), cap)` slots before the next try.
+///
+/// A pure function of the attempt number — no randomness, no jitter —
+/// so a retry schedule is trivially deterministic and the simulator's
+/// reproducibility contract holds under faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    base_slots: u32,
+    cap_slots: u32,
+}
+
+impl Backoff {
+    /// Creates a backoff rule.
+    ///
+    /// # Panics
+    /// Panics if `cap_slots < base_slots`.
+    #[must_use]
+    pub fn new(base_slots: u32, cap_slots: u32) -> Self {
+        assert!(
+            cap_slots >= base_slots,
+            "backoff cap ({cap_slots}) below base ({base_slots})"
+        );
+        Self {
+            base_slots,
+            cap_slots,
+        }
+    }
+
+    /// Slots to wait after the `attempt`-th consecutive failure
+    /// (`attempt >= 1`). Saturates at the cap.
+    #[must_use]
+    pub fn delay_slots(&self, attempt: u32) -> u64 {
+        if self.base_slots == 0 {
+            return 0;
+        }
+        let doublings = attempt.saturating_sub(1).min(32);
+        let raw = u64::from(self.base_slots) << doublings;
+        raw.min(u64::from(self.cap_slots))
+    }
+}
+
+/// Carry-forward account for allowance orders the market failed to
+/// execute.
+///
+/// Every slot the trading policy requests a position `(z, w)`. When the
+/// market halts or rejects the order, the request is *not* dropped: it
+/// joins the carry and is resubmitted (with [`Backoff`]) until it
+/// executes. The invariant the account maintains — and the ledger
+/// reconciliation test pins — is
+///
+/// ```text
+/// requested == executed + unmet        (per side, at any slot)
+/// ```
+///
+/// so no allowance position is ever silently leaked by a fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TradeCarry {
+    backoff: Backoff,
+    carry_buy: f64,
+    carry_sell: f64,
+    attempts: u32,
+    next_attempt_slot: u64,
+    requested_buy: f64,
+    requested_sell: f64,
+}
+
+impl TradeCarry {
+    /// Creates an empty account.
+    #[must_use]
+    pub fn new(backoff: Backoff) -> Self {
+        Self {
+            backoff,
+            carry_buy: 0.0,
+            carry_sell: 0.0,
+            attempts: 0,
+            next_attempt_slot: 0,
+            requested_buy: 0.0,
+            requested_sell: 0.0,
+        }
+    }
+
+    /// Folds slot `t`'s fresh policy request into the carry and returns
+    /// the `(buy, sell)` order to submit, or `None` while backing off
+    /// (the request still joins the carry; nothing is lost).
+    pub fn prepare(&mut self, t: usize, req_buy: f64, req_sell: f64) -> Option<(f64, f64)> {
+        assert!(
+            req_buy >= 0.0 && req_sell >= 0.0,
+            "trade requests must be non-negative"
+        );
+        self.requested_buy += req_buy;
+        self.requested_sell += req_sell;
+        self.carry_buy += req_buy;
+        self.carry_sell += req_sell;
+        if (t as u64) < self.next_attempt_slot {
+            return None;
+        }
+        Some((self.carry_buy, self.carry_sell))
+    }
+
+    /// Records a failed attempt at slot `t` (halt or rejection); the
+    /// whole submitted order stays in the carry and the next attempt is
+    /// scheduled by the backoff rule.
+    pub fn record_failure(&mut self, t: usize) {
+        self.attempts += 1;
+        self.next_attempt_slot = t as u64 + 1 + self.backoff.delay_slots(self.attempts);
+    }
+
+    /// Records a successful execution: the executed amounts drain the
+    /// carry (clamped trades leave the remainder pending). Returns the
+    /// number of failed attempts this success recovered from.
+    pub fn record_success(&mut self, executed_buy: f64, executed_sell: f64) -> u32 {
+        self.carry_buy = (self.carry_buy - executed_buy).max(0.0);
+        self.carry_sell = (self.carry_sell - executed_sell).max(0.0);
+        self.next_attempt_slot = 0;
+        std::mem::take(&mut self.attempts)
+    }
+
+    /// Allowances requested to buy so far (cumulative).
+    #[must_use]
+    pub fn requested_buy(&self) -> f64 {
+        self.requested_buy
+    }
+
+    /// Allowances requested to sell so far (cumulative).
+    #[must_use]
+    pub fn requested_sell(&self) -> f64 {
+        self.requested_sell
+    }
+
+    /// Buy allowances still unmet (carried forward).
+    #[must_use]
+    pub fn unmet_buy(&self) -> f64 {
+        self.carry_buy
+    }
+
+    /// Sell allowances still unmet (carried forward).
+    #[must_use]
+    pub fn unmet_sell(&self) -> f64 {
+        self.carry_sell
+    }
+
+    /// Consecutive failed attempts since the last success.
+    #[must_use]
+    pub fn pending_attempts(&self) -> u32 {
+        self.attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let b = Backoff::new(1, 8);
+        assert_eq!(b.delay_slots(1), 1);
+        assert_eq!(b.delay_slots(2), 2);
+        assert_eq!(b.delay_slots(3), 4);
+        assert_eq!(b.delay_slots(4), 8);
+        assert_eq!(b.delay_slots(5), 8);
+        assert_eq!(b.delay_slots(40), 8);
+    }
+
+    #[test]
+    fn zero_base_never_waits() {
+        let b = Backoff::new(0, 8);
+        assert_eq!(b.delay_slots(1), 0);
+        assert_eq!(b.delay_slots(9), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff cap")]
+    fn inverted_bounds_rejected() {
+        let _ = Backoff::new(4, 2);
+    }
+
+    #[test]
+    fn carry_preserves_requested_equals_executed_plus_unmet() {
+        let mut c = TradeCarry::new(Backoff::new(1, 4));
+        let (b, s) = c.prepare(0, 3.0, 1.0).expect("first attempt allowed");
+        assert_eq!((b, s), (3.0, 1.0));
+        c.record_failure(0);
+        // Backing off at t = 1 (delay 1 after the first failure).
+        assert!(c.prepare(1, 2.0, 0.0).is_none());
+        // t = 2: resubmit the whole carry.
+        let (b, s) = c.prepare(2, 1.0, 0.5).expect("retry due");
+        assert_eq!((b, s), (6.0, 1.5));
+        // Market clamps the fill; the rest stays pending.
+        let recovered = c.record_success(4.0, 1.5);
+        assert_eq!(recovered, 1);
+        assert_eq!(c.unmet_buy(), 2.0);
+        assert_eq!(c.unmet_sell(), 0.0);
+        let executed = 4.0;
+        assert!((c.requested_buy() - (executed + c.unmet_buy())).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// The backoff schedule is a deterministic, bounded, monotone
+        /// function of the attempt number.
+        #[test]
+        fn backoff_deterministic_bounded_monotone(
+            base in 0u32..64,
+            extra in 0u32..64,
+            attempts in 1u32..50,
+        ) {
+            let cap = base + extra;
+            let b = Backoff::new(base, cap);
+            let mut prev = 0u64;
+            for k in 1..=attempts {
+                let d1 = b.delay_slots(k);
+                let d2 = Backoff::new(base, cap).delay_slots(k);
+                prop_assert_eq!(d1, d2, "same inputs, same delay");
+                prop_assert!(d1 <= u64::from(cap), "delay beyond cap");
+                prop_assert!(d1 >= prev, "backoff must not shrink");
+                prev = d1;
+            }
+        }
+
+        /// Any interleaving of requests, failures, and (partial) fills
+        /// maintains `requested == executed + unmet`.
+        #[test]
+        fn carry_never_leaks(ops in proptest::collection::vec((0.0f64..5.0, 0.0f64..3.0, 0u8..3), 1..40)) {
+            let mut c = TradeCarry::new(Backoff::new(1, 8));
+            let mut executed_buy = 0.0f64;
+            let mut executed_sell = 0.0f64;
+            for (t, (rb, rs, action)) in ops.iter().enumerate() {
+                match c.prepare(t, *rb, *rs) {
+                    None => {}
+                    Some((ob, os)) => match action {
+                        0 => c.record_failure(t),
+                        1 => {
+                            // Full fill.
+                            let _ = c.record_success(ob, os);
+                            executed_buy += ob;
+                            executed_sell += os;
+                        }
+                        _ => {
+                            // Clamped fill.
+                            let fb = ob.min(2.0);
+                            let fs = os.min(1.0);
+                            let _ = c.record_success(fb, fs);
+                            executed_buy += fb;
+                            executed_sell += fs;
+                        }
+                    },
+                }
+                prop_assert!((c.requested_buy() - (executed_buy + c.unmet_buy())).abs() < 1e-6);
+                prop_assert!((c.requested_sell() - (executed_sell + c.unmet_sell())).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Declarative fault scenarios and their JSON schema.
+
+use cne_util::json::{self, Json};
+
+/// A declarative fault-injection scenario.
+///
+/// All rates are per-draw Bernoulli probabilities in `[0, 1]`; a rate
+/// of zero disables that fault class entirely. The default scenario is
+/// fault-free, so `FaultScenario::default()` realizes a schedule that
+/// never fires and leaves a run bit-identical to one without any fault
+/// plane at all.
+///
+/// Scenarios are loaded from JSON files via
+/// [`from_json_str`](Self::from_json_str); every field is optional and
+/// defaults to the values of [`FaultScenario::default`]. Unknown keys
+/// are rejected (they are almost always typos that would otherwise
+/// silently disable the intended fault).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultScenario {
+    /// Display name (telemetry label and report headers).
+    pub name: String,
+    /// Probability that an edge is down for a slot: arrivals are
+    /// suppressed, nothing is served, downloads cannot proceed, and the
+    /// slot's loss feedback is lost.
+    pub edge_outage_rate: f64,
+    /// Probability that an edge's slot workload surges to
+    /// [`surge_multiplier`](Self::surge_multiplier)× its trace value.
+    pub surge_rate: f64,
+    /// Multiplier applied to a surging slot's arrivals.
+    pub surge_multiplier: f64,
+    /// Probability that a model download (switch) attempt fails. The
+    /// edge keeps serving its previous model and retries with backoff;
+    /// the switching cost is charged only on success. The very first
+    /// download of a run cannot fail (there is no previous model to
+    /// fall back to).
+    pub download_failure_rate: f64,
+    /// Probability that a slot's loss report is lost or corrupted in
+    /// transit: the selector's importance-weighted update is skipped
+    /// for the enclosing block while the block schedule keeps
+    /// advancing.
+    pub feedback_loss_rate: f64,
+    /// Probability that the allowance market is halted for a slot (no
+    /// orders execute).
+    pub market_halt_rate: f64,
+    /// Probability that the market rejects the slot's buy/sell orders.
+    pub order_rejection_rate: f64,
+    /// After this many consecutive failed download attempts for the
+    /// same target model, the fetch fails over (e.g. to a secondary
+    /// registry) and succeeds regardless of the schedule — bounding the
+    /// degradation window.
+    pub max_download_retries: u32,
+    /// Backoff delay after the first failed attempt, in slots.
+    pub backoff_base_slots: u32,
+    /// Upper bound on any single backoff delay, in slots.
+    pub backoff_cap_slots: u32,
+}
+
+impl Default for FaultScenario {
+    fn default() -> Self {
+        Self {
+            name: "none".to_owned(),
+            edge_outage_rate: 0.0,
+            surge_rate: 0.0,
+            surge_multiplier: 3.0,
+            download_failure_rate: 0.0,
+            feedback_loss_rate: 0.0,
+            market_halt_rate: 0.0,
+            order_rejection_rate: 0.0,
+            max_download_retries: 4,
+            backoff_base_slots: 1,
+            backoff_cap_slots: 8,
+        }
+    }
+}
+
+/// A scenario file failed to parse or validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError(String);
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl FaultScenario {
+    /// A mixed-fault scenario applying the same rate to every fault
+    /// class (the resilience sweep's x-axis).
+    #[must_use]
+    pub fn mixed(name: &str, rate: f64) -> Self {
+        Self {
+            name: name.to_owned(),
+            edge_outage_rate: rate,
+            surge_rate: rate,
+            download_failure_rate: rate,
+            feedback_loss_rate: rate,
+            market_halt_rate: rate,
+            order_rejection_rate: rate,
+            ..Self::default()
+        }
+    }
+
+    /// Whether any fault class can fire at all.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        [
+            self.edge_outage_rate,
+            self.surge_rate,
+            self.download_failure_rate,
+            self.feedback_loss_rate,
+            self.market_halt_rate,
+            self.order_rejection_rate,
+        ]
+        .iter()
+        .any(|&r| r > 0.0)
+    }
+
+    /// The retry backoff rule this scenario configures.
+    #[must_use]
+    pub fn backoff(&self) -> crate::Backoff {
+        crate::Backoff::new(self.backoff_base_slots, self.backoff_cap_slots)
+    }
+
+    /// Validates rates and parameters.
+    ///
+    /// # Errors
+    /// Returns a human-readable message naming the offending field.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let rates = [
+            ("edge_outage_rate", self.edge_outage_rate),
+            ("surge_rate", self.surge_rate),
+            ("download_failure_rate", self.download_failure_rate),
+            ("feedback_loss_rate", self.feedback_loss_rate),
+            ("market_halt_rate", self.market_halt_rate),
+            ("order_rejection_rate", self.order_rejection_rate),
+        ];
+        for (field, rate) in rates {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(ScenarioError(format!(
+                    "{field} must lie in [0, 1], got {rate}"
+                )));
+            }
+        }
+        if !self.surge_multiplier.is_finite() || self.surge_multiplier < 0.0 {
+            return Err(ScenarioError(format!(
+                "surge_multiplier must be finite and non-negative, got {}",
+                self.surge_multiplier
+            )));
+        }
+        if self.backoff_cap_slots < self.backoff_base_slots {
+            return Err(ScenarioError(format!(
+                "backoff_cap_slots ({}) must be >= backoff_base_slots ({})",
+                self.backoff_cap_slots, self.backoff_base_slots
+            )));
+        }
+        Ok(())
+    }
+
+    /// Parses a scenario from a JSON object string.
+    ///
+    /// # Errors
+    /// Returns a message naming the malformed or unknown field; the
+    /// caller prepends the file path.
+    pub fn from_json_str(input: &str) -> Result<Self, ScenarioError> {
+        let value =
+            json::parse(input).map_err(|e| ScenarioError(format!("not valid JSON: {e}")))?;
+        let Some(object) = value.as_object() else {
+            return Err(ScenarioError(
+                "scenario must be a JSON object of fault rates".to_owned(),
+            ));
+        };
+        let mut scenario = Self::default();
+        for (key, value) in object {
+            match key.as_str() {
+                "name" => {
+                    scenario.name = value
+                        .as_str()
+                        .ok_or_else(|| ScenarioError("name must be a string".to_owned()))?
+                        .to_owned();
+                }
+                "edge_outage_rate" => scenario.edge_outage_rate = rate_field(key, value)?,
+                "surge_rate" => scenario.surge_rate = rate_field(key, value)?,
+                "surge_multiplier" => scenario.surge_multiplier = rate_field(key, value)?,
+                "download_failure_rate" => {
+                    scenario.download_failure_rate = rate_field(key, value)?;
+                }
+                "feedback_loss_rate" => scenario.feedback_loss_rate = rate_field(key, value)?,
+                "market_halt_rate" => scenario.market_halt_rate = rate_field(key, value)?,
+                "order_rejection_rate" => scenario.order_rejection_rate = rate_field(key, value)?,
+                "max_download_retries" => {
+                    scenario.max_download_retries = uint_field(key, value)?;
+                }
+                "backoff_base_slots" => scenario.backoff_base_slots = uint_field(key, value)?,
+                "backoff_cap_slots" => scenario.backoff_cap_slots = uint_field(key, value)?,
+                other => {
+                    return Err(ScenarioError(format!(
+                        "unknown field '{other}' (known fields: name, *_rate, \
+                         surge_multiplier, max_download_retries, backoff_*_slots)"
+                    )));
+                }
+            }
+        }
+        scenario.validate()?;
+        Ok(scenario)
+    }
+
+    /// Encodes the scenario as a JSON object (the schema
+    /// [`from_json_str`](Self::from_json_str) reads).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".to_owned(), Json::Str(self.name.clone())),
+            (
+                "edge_outage_rate".to_owned(),
+                Json::Float(self.edge_outage_rate),
+            ),
+            ("surge_rate".to_owned(), Json::Float(self.surge_rate)),
+            (
+                "surge_multiplier".to_owned(),
+                Json::Float(self.surge_multiplier),
+            ),
+            (
+                "download_failure_rate".to_owned(),
+                Json::Float(self.download_failure_rate),
+            ),
+            (
+                "feedback_loss_rate".to_owned(),
+                Json::Float(self.feedback_loss_rate),
+            ),
+            (
+                "market_halt_rate".to_owned(),
+                Json::Float(self.market_halt_rate),
+            ),
+            (
+                "order_rejection_rate".to_owned(),
+                Json::Float(self.order_rejection_rate),
+            ),
+            (
+                "max_download_retries".to_owned(),
+                Json::UInt(u64::from(self.max_download_retries)),
+            ),
+            (
+                "backoff_base_slots".to_owned(),
+                Json::UInt(u64::from(self.backoff_base_slots)),
+            ),
+            (
+                "backoff_cap_slots".to_owned(),
+                Json::UInt(u64::from(self.backoff_cap_slots)),
+            ),
+        ])
+    }
+}
+
+fn rate_field(key: &str, value: &Json) -> Result<f64, ScenarioError> {
+    value
+        .as_f64()
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| ScenarioError(format!("{key} must be a finite number")))
+}
+
+fn uint_field(key: &str, value: &Json) -> Result<u32, ScenarioError> {
+    value
+        .as_u64()
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or_else(|| ScenarioError(format!("{key} must be a small non-negative integer")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_inactive_and_valid() {
+        let s = FaultScenario::default();
+        assert!(!s.is_active());
+        s.validate().expect("default validates");
+    }
+
+    #[test]
+    fn mixed_is_active() {
+        assert!(FaultScenario::mixed("m", 0.05).is_active());
+        assert!(!FaultScenario::mixed("z", 0.0).is_active());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut s = FaultScenario::mixed("rt", 0.125);
+        s.max_download_retries = 7;
+        s.backoff_base_slots = 2;
+        s.backoff_cap_slots = 16;
+        let back = FaultScenario::from_json_str(&s.to_json().encode()).expect("round trip");
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn partial_object_fills_defaults() {
+        let s = FaultScenario::from_json_str(r#"{"edge_outage_rate": 0.1}"#).expect("parses");
+        assert_eq!(s.edge_outage_rate, 0.1);
+        assert_eq!(s.market_halt_rate, 0.0);
+        assert_eq!(
+            s.max_download_retries,
+            FaultScenario::default().max_download_retries
+        );
+    }
+
+    #[test]
+    fn unknown_field_is_rejected() {
+        let err = FaultScenario::from_json_str(r#"{"edge_outage_rat": 0.1}"#).unwrap_err();
+        assert!(err.to_string().contains("unknown field"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_rate_is_rejected() {
+        let err = FaultScenario::from_json_str(r#"{"surge_rate": 1.5}"#).unwrap_err();
+        assert!(err.to_string().contains("surge_rate"), "{err}");
+        let err = FaultScenario::from_json_str(r#"{"market_halt_rate": -0.1}"#).unwrap_err();
+        assert!(err.to_string().contains("market_halt_rate"), "{err}");
+    }
+
+    #[test]
+    fn non_object_and_garbage_are_rejected() {
+        assert!(FaultScenario::from_json_str("[1, 2]").is_err());
+        assert!(FaultScenario::from_json_str("{not json").is_err());
+    }
+
+    #[test]
+    fn inverted_backoff_is_rejected() {
+        let err =
+            FaultScenario::from_json_str(r#"{"backoff_base_slots": 9, "backoff_cap_slots": 2}"#)
+                .unwrap_err();
+        assert!(err.to_string().contains("backoff_cap_slots"), "{err}");
+    }
+}

@@ -1,0 +1,225 @@
+//! Pre-realized fault schedules.
+
+use cne_util::SeedSequence;
+use rand::Rng;
+
+use crate::FaultScenario;
+
+/// A [`FaultScenario`] realized against a seed: every fault draw for a
+/// `num_edges × horizon` run, made once, up front, in a fixed order.
+///
+/// Determinism contract: the schedule is a pure function of
+/// `(scenario, num_edges, horizon, seed)`. Draws are consumed
+/// edge-major for the per-edge classes (edge 0's slots, then edge 1's,
+/// …), then slot-by-slot for the market classes, and **every draw is
+/// consumed whether or not its rate is zero** — so two scenarios that
+/// differ only in rates see *common random numbers*: raising one rate
+/// never reshuffles which other (edge, slot) pairs fault, which makes
+/// fault-rate sweeps monotone-comparable. A zero-rate scenario realizes
+/// a schedule that never fires anywhere.
+///
+/// The simulator derives the stream as `seed.derive("faults")`, a
+/// dedicated label no other subsystem uses, so attaching a scenario
+/// never perturbs topology, workload, price, or stream realizations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    scenario: FaultScenario,
+    num_edges: usize,
+    horizon: usize,
+    /// Per-(edge, slot) draws, flattened as `i * horizon + t`.
+    edge_outage: Vec<bool>,
+    surge: Vec<bool>,
+    download_failure: Vec<bool>,
+    feedback_loss: Vec<bool>,
+    /// Per-slot draws.
+    market_halt: Vec<bool>,
+    order_rejection: Vec<bool>,
+}
+
+impl FaultSchedule {
+    /// Realizes `scenario` for a `num_edges × horizon` run.
+    ///
+    /// # Panics
+    /// Panics if the scenario does not validate or the grid is empty.
+    #[must_use]
+    pub fn realize(
+        scenario: FaultScenario,
+        num_edges: usize,
+        horizon: usize,
+        seed: &SeedSequence,
+    ) -> Self {
+        scenario
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid fault scenario: {e}"));
+        assert!(num_edges > 0 && horizon > 0, "empty fault grid");
+        let mut rng = seed.derive("fault-schedule").rng();
+        let cells = num_edges * horizon;
+        let mut edge_outage = Vec::with_capacity(cells);
+        let mut surge = Vec::with_capacity(cells);
+        let mut download_failure = Vec::with_capacity(cells);
+        let mut feedback_loss = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            edge_outage.push(rng.gen::<f64>() < scenario.edge_outage_rate);
+            surge.push(rng.gen::<f64>() < scenario.surge_rate);
+            download_failure.push(rng.gen::<f64>() < scenario.download_failure_rate);
+            feedback_loss.push(rng.gen::<f64>() < scenario.feedback_loss_rate);
+        }
+        let mut market_halt = Vec::with_capacity(horizon);
+        let mut order_rejection = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            market_halt.push(rng.gen::<f64>() < scenario.market_halt_rate);
+            order_rejection.push(rng.gen::<f64>() < scenario.order_rejection_rate);
+        }
+        Self {
+            scenario,
+            num_edges,
+            horizon,
+            edge_outage,
+            surge,
+            download_failure,
+            feedback_loss,
+            market_halt,
+            order_rejection,
+        }
+    }
+
+    /// The scenario this schedule realizes.
+    #[must_use]
+    pub fn scenario(&self) -> &FaultScenario {
+        &self.scenario
+    }
+
+    #[inline]
+    fn cell(&self, i: usize, t: usize) -> usize {
+        assert!(
+            i < self.num_edges && t < self.horizon,
+            "fault query out of range"
+        );
+        i * self.horizon + t
+    }
+
+    /// Is edge `i` down during slot `t`?
+    #[must_use]
+    pub fn edge_outage(&self, i: usize, t: usize) -> bool {
+        self.edge_outage[self.cell(i, t)]
+    }
+
+    /// Does edge `i`'s workload surge during slot `t`?
+    #[must_use]
+    pub fn surge(&self, i: usize, t: usize) -> bool {
+        self.surge[self.cell(i, t)]
+    }
+
+    /// Does a download attempt on edge `i` at slot `t` fail?
+    #[must_use]
+    pub fn download_failure(&self, i: usize, t: usize) -> bool {
+        self.download_failure[self.cell(i, t)]
+    }
+
+    /// Is edge `i`'s slot-`t` loss report lost in transit?
+    #[must_use]
+    pub fn feedback_loss(&self, i: usize, t: usize) -> bool {
+        self.feedback_loss[self.cell(i, t)]
+    }
+
+    /// Is the allowance market halted during slot `t`?
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn market_halted(&self, t: usize) -> bool {
+        self.market_halt[t]
+    }
+
+    /// Does the market reject slot `t`'s orders?
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn order_rejected(&self, t: usize) -> bool {
+        self.order_rejection[t]
+    }
+
+    /// Total number of scheduled fault draws that fired, per class:
+    /// `(outages, surges, download failures, feedback losses,
+    /// market halts, order rejections)`.
+    #[must_use]
+    pub fn fired_counts(&self) -> (u64, u64, u64, u64, u64, u64) {
+        let count = |v: &[bool]| v.iter().filter(|&&b| b).count() as u64;
+        (
+            count(&self.edge_outage),
+            count(&self.surge),
+            count(&self.download_failure),
+            count(&self.feedback_loss),
+            count(&self.market_halt),
+            count(&self.order_rejection),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn realize(rate: f64, seed: u64) -> FaultSchedule {
+        FaultSchedule::realize(
+            FaultScenario::mixed("t", rate),
+            4,
+            50,
+            &SeedSequence::new(seed),
+        )
+    }
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let s = realize(0.0, 7);
+        assert_eq!(s.fired_counts(), (0, 0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn full_rate_always_fires() {
+        let s = realize(1.0, 7);
+        let (o, su, d, f, m, r) = s.fired_counts();
+        assert_eq!((o, su, d, f), (200, 200, 200, 200));
+        assert_eq!((m, r), (50, 50));
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        assert_eq!(realize(0.3, 42), realize(0.3, 42));
+        assert_ne!(realize(0.3, 42), realize(0.3, 43));
+    }
+
+    #[test]
+    fn moderate_rate_fires_roughly_proportionally() {
+        let s = realize(0.25, 11);
+        let (o, ..) = s.fired_counts();
+        // 200 draws at p = 0.25: expect ~50, allow a wide band.
+        assert!((20..=85).contains(&(o as usize)), "outages: {o}");
+    }
+
+    proptest! {
+        /// Common random numbers: raising one rate never changes where
+        /// the *other* classes fire, and a fired cell at rate p still
+        /// fires at any higher rate.
+        #[test]
+        fn rates_share_common_random_numbers(seed in 0u64..500, lo in 0.05f64..0.5) {
+            let hi = (lo * 2.0).min(1.0);
+            let a = FaultSchedule::realize(
+                FaultScenario { edge_outage_rate: lo, ..FaultScenario::default() },
+                3, 20, &SeedSequence::new(seed));
+            let b = FaultSchedule::realize(
+                FaultScenario { edge_outage_rate: hi, market_halt_rate: 0.5,
+                                ..FaultScenario::default() },
+                3, 20, &SeedSequence::new(seed));
+            for i in 0..3 {
+                for t in 0..20 {
+                    if a.edge_outage(i, t) {
+                        prop_assert!(b.edge_outage(i, t), "outage set must grow with the rate");
+                    }
+                }
+            }
+        }
+    }
+}

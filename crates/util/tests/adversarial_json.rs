@@ -1,0 +1,129 @@
+//! Adversarial corpus for the hand-rolled JSON layer and the telemetry
+//! JSONL reader.
+//!
+//! Telemetry traces cross process boundaries (CI artifacts, `report`
+//! inputs), so the parsers must reject truncated, interleaved, or
+//! extreme input with a located error — never a panic — and the
+//! encoder must keep round-tripping whatever it can represent.
+
+use cne_util::json::{self, Json};
+use cne_util::telemetry::{parse_jsonl, Recorder, Value};
+
+/// A realistic two-line trace prefix to splice corruption into.
+fn valid_trace() -> String {
+    let mut rec = Recorder::new();
+    rec.set_label("policy", "ours");
+    rec.set_label("seed", "1");
+    rec.incr("slots", 40);
+    rec.event(Some(3), "switch", &[("to", Value::from(2u64))]);
+    rec.to_jsonl_string()
+}
+
+#[test]
+fn truncated_final_line_is_a_located_error() {
+    let full = valid_trace();
+    let lines: Vec<&str> = full.lines().collect();
+    // Chop the last line mid-token at every byte boundary; each prefix
+    // must fail with the final line's number, and never panic.
+    let last = lines[lines.len() - 1];
+    for cut in 1..last.len() {
+        if !last.is_char_boundary(cut) {
+            continue;
+        }
+        let mut input = lines[..lines.len() - 1].join("\n");
+        input.push('\n');
+        input.push_str(&last[..cut]);
+        let err = parse_jsonl(&input).expect_err("truncated line must not parse");
+        assert_eq!(err.line, lines.len(), "cut at byte {cut}: {err}");
+    }
+}
+
+#[test]
+fn interleaved_garbage_names_the_offending_line() {
+    let full = valid_trace();
+    let lines: Vec<&str> = full.lines().collect();
+    for garbage in ["not json", "{\"type\":\"wat\"}", "[1,2,3]", "\u{0}\u{1}"] {
+        // Splice the garbage between the run header and the data lines.
+        let mut spliced = vec![lines[0], garbage];
+        spliced.extend_from_slice(&lines[1..]);
+        let err = parse_jsonl(&spliced.join("\n")).expect_err("garbage must not parse");
+        assert_eq!(err.line, 2, "garbage {garbage:?}: {err}");
+    }
+}
+
+#[test]
+fn clean_trace_still_parses_after_blank_and_whitespace_lines() {
+    let full = valid_trace();
+    let padded: String =
+        full.lines()
+            .flat_map(|l| [l, "", "  \t "])
+            .fold(String::new(), |mut acc, l| {
+                acc.push_str(l);
+                acc.push('\n');
+                acc
+            });
+    let runs = parse_jsonl(&padded).expect("blank lines are skipped");
+    assert_eq!(runs.len(), 1);
+    assert_eq!(runs[0].counter("slots"), 40);
+}
+
+#[test]
+fn huge_numbers_survive_or_fail_loudly() {
+    // Exact u64 / i64 extremes round-trip exactly.
+    for text in ["18446744073709551615", "-9223372036854775808"] {
+        let v = json::parse(text).expect("extreme integer parses");
+        assert_eq!(v.encode(), text, "integers must round-trip exactly");
+    }
+    // Beyond-u64 integers and huge exponents degrade to floats
+    // (possibly infinite), and non-finite floats encode as null —
+    // never a panic, never garbage digits.
+    for text in ["18446744073709551616", "1e308", "1e309", "-1e400"] {
+        let v = json::parse(text).expect("huge number parses as float");
+        let f = v.as_f64().expect("degrades to a float");
+        let encoded = v.encode();
+        if f.is_finite() {
+            assert_eq!(encoded.parse::<f64>().ok(), Some(f));
+        } else {
+            assert_eq!(encoded, "null", "{text} is non-finite");
+        }
+    }
+    // A huge gauge in a trace line must not kill the reader.
+    let input = "{\"type\":\"run\"}\n{\"type\":\"gauges\",\"x\":1e309}";
+    let runs = parse_jsonl(input).expect("overflowing gauge is tolerated");
+    assert!(runs[0].gauge_value("x").expect("gauge kept").is_infinite());
+}
+
+#[test]
+fn deep_nesting_is_rejected_not_a_stack_overflow() {
+    let deep = "[".repeat(4096) + &"]".repeat(4096);
+    let err = json::parse(&deep).expect_err("too deep");
+    assert!(err.to_string().contains("deep"), "{err}");
+}
+
+#[test]
+fn malformed_strings_and_escapes_are_rejected() {
+    for bad in [
+        "\"unterminated",
+        "\"bad escape \\q\"",
+        "\"truncated \\u00\"",
+        "\"unpaired \\ud800 surrogate\"",
+        "{\"key\" 1}",
+        "[1, 2",
+        "{\"a\":1} trailing",
+        "+1",
+        "nul",
+    ] {
+        assert!(json::parse(bad).is_err(), "{bad:?} must not parse");
+    }
+    // Leading zeros are lenient (strict JSON rejects them); the parser
+    // accepts them as ordinary integers, never mangling the value.
+    assert_eq!(json::parse("01").expect("lenient").as_u64(), Some(1));
+}
+
+#[test]
+fn encode_escapes_control_characters_reversibly() {
+    let nasty = "quote \" backslash \\ newline \n tab \t nul \u{0} bell \u{7} é 😀";
+    let v = Json::Str(nasty.to_owned());
+    let back = json::parse(&v.encode()).expect("own encoding parses");
+    assert_eq!(back.as_str(), Some(nasty));
+}
