@@ -12,7 +12,12 @@ use cne_util::telemetry::Recorder;
 ///
 /// Implementations own their randomness (seeded at construction), so a
 /// selector is deterministic given its seed and the observed losses.
-pub trait ModelSelector {
+///
+/// Selectors are `Send` so a run can move each edge's selector onto
+/// the worker thread that owns that edge's shard (see the edge-sharded
+/// parallel path in `cne-edgesim`). They are driven by exactly one
+/// thread at a time, so `Sync` is not required.
+pub trait ModelSelector: Send {
     /// Returns the arm (model index) to host during slot `t`.
     ///
     /// Slots must be visited in order `0, 1, 2, …`; selectors may panic

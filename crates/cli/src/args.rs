@@ -22,6 +22,10 @@ pub struct Options {
     /// Worker threads for the multi-seed driver (`None` defers to
     /// `CARBON_EDGE_THREADS`, then to the machine's parallelism).
     pub threads: Option<usize>,
+    /// Edge-shard workers inside each run's serve/select loop (`None`
+    /// defers to `CARBON_EDGE_EDGE_THREADS`, then to 1). Results are
+    /// bit-identical at every count.
+    pub edge_threads: Option<usize>,
     /// Optional JSONL path for per-run telemetry traces.
     pub telemetry: Option<String>,
     /// Optional JSONL path for the wall-clock span-profile stream
@@ -58,6 +62,7 @@ impl Default for Options {
             quantized: false,
             out: None,
             threads: None,
+            edge_threads: None,
             telemetry: None,
             profile: None,
             strict: false,
@@ -119,6 +124,15 @@ impl Options {
                         return Err("threads must be at least 1".to_owned());
                     }
                     opts.threads = Some(n);
+                }
+                "--edge-threads" => {
+                    let n: usize = value("--edge-threads")?
+                        .parse()
+                        .map_err(|_| "edge-threads must be a positive integer".to_owned())?;
+                    if n == 0 {
+                        return Err("edge-threads must be at least 1".to_owned());
+                    }
+                    opts.edge_threads = Some(n);
                 }
                 "--telemetry" => opts.telemetry = Some(value("--telemetry")?),
                 "--profile" => opts.profile = Some(value("--profile")?),
@@ -200,6 +214,16 @@ mod tests {
         assert_eq!(o.telemetry.as_deref(), Some("trace.jsonl"));
         assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--threads", "four"]).is_err());
+    }
+
+    #[test]
+    fn edge_threads_flag() {
+        let o = parse(&["--edge-threads", "4"]).expect("valid");
+        assert_eq!(o.edge_threads, Some(4));
+        assert!(parse(&[]).expect("defaults").edge_threads.is_none());
+        assert!(parse(&["--edge-threads", "0"]).is_err());
+        assert!(parse(&["--edge-threads", "many"]).is_err());
+        assert!(parse(&["--edge-threads"]).is_err());
     }
 
     #[test]

@@ -5,7 +5,12 @@
 //!
 //! * entries with a `min` floor fail when the **current** value drops
 //!   below it (machine-independent ratios such as the batched-serving
-//!   speedup or the bit-identical-equivalence flag);
+//!   speedup or the bit-identical-equivalence flag); the effective
+//!   floor is the *stricter* of the baseline's and the current run's —
+//!   some floors (the edge-parallel speedup) are armed by the
+//!   measuring machine itself, so a multi-core CI run self-gates even
+//!   against a baseline committed from a small machine, while a
+//!   regenerated report still cannot relax a committed floor;
 //! * entries with `gate: true` fail when the current value regresses
 //!   past the baseline by more than `--tolerance` (default ±25%) in
 //!   the entry's bad direction — improvements never fail;
@@ -63,9 +68,16 @@ fn check_entry(
     tolerance: f64,
     regressions: &mut Vec<Regression>,
 ) {
-    // Absolute floors apply to the current run alone (the baseline's
-    // floor is authoritative — a regenerated report cannot relax it).
-    if let Some(min) = base.min {
+    // Absolute floors apply to the current run's value. The effective
+    // floor is the stricter of the two reports': the baseline's cannot
+    // be relaxed by regenerating, and the current run may arm a floor
+    // the baseline machine could not (e.g. the edge-parallel speedup
+    // floor only exists on machines with enough cores).
+    let floor = match (base.min, cur.min) {
+        (Some(b), Some(c)) => Some(b.max(c)),
+        (floor, None) | (None, floor) => floor,
+    };
+    if let Some(min) = floor {
         if cur.value < min {
             regressions.push(Regression {
                 name: base.name.clone(),
@@ -229,6 +241,26 @@ mod tests {
         assert!(compare_reports(&base, &ok, 0.25).unwrap().is_empty());
         let bad = report(vec![entry("speedup", 1.4, "higher", false, Some(1.5))]);
         assert_eq!(compare_reports(&base, &bad, 0.25).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn floor_armed_by_the_current_run_binds() {
+        // The committed baseline came from a machine that could not arm
+        // the floor (min: None); the CI machine arms it itself.
+        let base = report(vec![entry("speedup", 1.0, "higher", false, None)]);
+        let ok = report(vec![entry("speedup", 2.1, "higher", false, Some(1.8))]);
+        assert!(compare_reports(&base, &ok, 0.25).unwrap().is_empty());
+        let bad = report(vec![entry("speedup", 1.2, "higher", false, Some(1.8))]);
+        let regressions = compare_reports(&base, &bad, 0.25).unwrap();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].reason, "below absolute floor");
+        // The stricter of the two floors wins in both directions.
+        let strict_base = report(vec![entry("speedup", 2.0, "higher", false, Some(1.9))]);
+        let lax_cur = report(vec![entry("speedup", 1.85, "higher", false, Some(1.8))]);
+        assert_eq!(
+            compare_reports(&strict_base, &lax_cur, 0.25).unwrap().len(),
+            1
+        );
     }
 
     #[test]

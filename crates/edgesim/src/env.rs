@@ -1,5 +1,10 @@
 //! The pre-realized simulation environment and the run loop.
 
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
 use cne_faults::{FaultSchedule, TradeCarry};
 use cne_market::{AllowanceLedger, CarbonMarket, TradeReceipt};
 use cne_nn::ModelZoo;
@@ -8,12 +13,14 @@ use cne_simdata::stream::DataStream;
 use cne_simdata::topology::Topology;
 use cne_simdata::workload::{DiurnalWorkload, WorkloadTrace};
 use cne_trading::policy::{TradeContext, TradeObservation};
+use cne_util::gate::Gate;
 use cne_util::telemetry::Recorder;
 use cne_util::units::{Allowances, Cents};
 use cne_util::SeedSequence;
 
 use crate::config::SimConfig;
-use crate::policy::{EdgeSlotOutcome, Policy, SlotFeedback};
+use crate::lanes::{replay_tele, EdgeLanes, EdgePartial, PendingDownload, TeleOp, TeleSink};
+use crate::policy::{EdgeShard, EdgeSlotOutcome, Policy, SlotFeedback};
 use crate::record::{EdgeRecord, RunRecord, SlotRecord};
 
 /// How the per-slot request streams are reduced to slot statistics.
@@ -78,34 +85,6 @@ pub struct Environment<'a> {
     faults: Option<FaultSchedule>,
 }
 
-/// Per-edge download-retry state under an active fault schedule.
-#[derive(Debug, Clone, Default, PartialEq)]
-struct PendingDownload {
-    /// Target model of the in-flight (failed) download, if any.
-    target: Option<usize>,
-    /// Consecutive failed attempts for that target.
-    attempts: u32,
-    /// Slot before which no new attempt is made (backoff window).
-    next_attempt_slot: u64,
-    /// Slots the wanted switch has been delayed by faults so far
-    /// (outages, failed attempts, backoff waits) — reported as the
-    /// `retries` field of the eventual switch event, which lets the
-    /// envelope monitors excuse the off-boundary download.
-    delayed_slots: u32,
-}
-
-impl PendingDownload {
-    /// Resets the retry state when the policy asks for a new target.
-    fn retarget(&mut self, desired: usize) {
-        if self.target != Some(desired) {
-            *self = Self {
-                target: Some(desired),
-                ..Self::default()
-            };
-        }
-    }
-}
-
 /// What [`resolve_download`] decided for one edge-slot.
 struct DownloadResolution {
     /// Model the edge actually hosts this slot.
@@ -132,15 +111,15 @@ fn resolve_download(
     t: usize,
     prev: Option<usize>,
     desired: usize,
-    mut telemetry: Option<&mut Recorder>,
+    sink: &mut TeleSink,
 ) -> DownloadResolution {
     let scenario = schedule.scenario();
     if schedule.edge_outage(i, t) {
-        if let Some(rec) = telemetry {
-            rec.incr("faults.injected", 1);
-            rec.incr("faults.edge_outage", 1);
-            rec.event(
-                Some(t as u64),
+        if sink.active() {
+            sink.incr("faults.injected");
+            sink.incr("faults.edge_outage");
+            sink.event(
+                t as u64,
                 "fault",
                 &[("fault", "edge_outage".into()), ("edge", i.into())],
             );
@@ -185,11 +164,11 @@ fn resolve_download(
         pending.attempts += 1;
         pending.delayed_slots += 1;
         pending.next_attempt_slot = t as u64 + 1 + scenario.backoff().delay_slots(pending.attempts);
-        if let Some(rec) = telemetry.as_deref_mut() {
-            rec.incr("faults.injected", 1);
-            rec.incr("faults.download_failure", 1);
-            rec.event(
-                Some(t as u64),
+        if sink.active() {
+            sink.incr("faults.injected");
+            sink.incr("faults.download_failure");
+            sink.event(
+                t as u64,
                 "fault",
                 &[
                     ("fault", "download_failure".into()),
@@ -208,20 +187,18 @@ fn resolve_download(
     }
     // Download lands (possibly by failing over past the retry budget).
     let retries = pending.delayed_slots;
-    if retries > 0 {
-        if let Some(rec) = telemetry {
-            rec.incr("faults.recoveries", 1);
-            rec.event(
-                Some(t as u64),
-                "recovery",
-                &[
-                    ("recovery", "download".into()),
-                    ("edge", i.into()),
-                    ("model", desired.into()),
-                    ("delayed_slots", u64::from(retries).into()),
-                ],
-            );
-        }
+    if retries > 0 && sink.active() {
+        sink.incr("faults.recoveries");
+        sink.event(
+            t as u64,
+            "recovery",
+            &[
+                ("recovery", "download".into()),
+                ("edge", i.into()),
+                ("model", desired.into()),
+                ("delayed_slots", u64::from(retries).into()),
+            ],
+        );
     }
     *pending = PendingDownload::default();
     DownloadResolution {
@@ -551,6 +528,52 @@ impl<'a> Environment<'a> {
         self.run_impl(policy, telemetry, Some(profiler))
     }
 
+    /// Runs a policy with every instrumentation option explicit,
+    /// sharding the per-slot edge loop across `edge_threads` persistent
+    /// workers (clamped to the edge count; `1` runs the classic
+    /// sequential loop).
+    ///
+    /// The returned [`RunRecord`] and any telemetry written are
+    /// **bit-identical at every `edge_threads` value**, in both serve
+    /// modes and under any fault scenario: workers emit fixed-size
+    /// per-edge partials and buffered telemetry that the driver reduces
+    /// in edge-index order, so every floating-point accumulation and
+    /// every trace line happens in the same sequence as the sequential
+    /// loop.
+    ///
+    /// Policies that implement [`Policy::shard_edges`] have their
+    /// per-edge state moved onto the workers for the duration of the
+    /// run — model selection and loss observation then happen inside
+    /// the workers, off the driver's critical path — while the trading
+    /// half stays on the driver and is fed through
+    /// [`Policy::observe_trade`]. Other policies keep selection and
+    /// `end_of_slot` on the driver; only the serve/accounting loop is
+    /// sharded.
+    ///
+    /// When a profiler is supplied on a parallel run, only the coarse
+    /// `run` and `slot` spans are recorded (per-edge spans would need
+    /// cross-thread clocks); the sequential path keeps the full span
+    /// tree.
+    ///
+    /// # Panics
+    /// Panics if the policy returns a malformed placement vector, and
+    /// propagates any worker panic after shutting the pool down
+    /// cleanly.
+    pub fn run_with(
+        &self,
+        policy: &mut dyn Policy,
+        telemetry: Option<&mut cne_util::telemetry::Recorder>,
+        profiler: Option<&mut cne_util::span::Profiler>,
+        edge_threads: usize,
+    ) -> RunRecord {
+        let lanes = edge_threads.max(1).min(self.config.num_edges.max(1));
+        if lanes <= 1 {
+            self.run_impl(policy, telemetry, profiler)
+        } else {
+            self.run_parallel(policy, telemetry, profiler, lanes)
+        }
+    }
+
     /// One slot of allowance trading under an active fault schedule:
     /// halted or rejected orders are retried with bounded exponential
     /// backoff, and the unmet position is carried forward so the
@@ -644,15 +667,12 @@ impl<'a> Environment<'a> {
     ) -> RunRecord {
         let cfg = &self.config;
         let mut ledger = AllowanceLedger::new(cfg.cap);
-        let mut prev_models: Vec<Option<usize>> = vec![None; cfg.num_edges];
         let mut slots = Vec::with_capacity(cfg.horizon);
-        let mut edge_records: Vec<EdgeRecord> = (0..cfg.num_edges)
-            .map(|_| EdgeRecord {
-                selection_counts: vec![0; self.zoo.len()],
-                switches: 0,
-                peak_utilization_millionths: 0,
-            })
-            .collect();
+        // One lane covering the whole fleet: the sequential loop runs
+        // the same serve code as the parallel workers, over the same
+        // structure-of-arrays state, so the two paths agree by
+        // construction.
+        let mut lanes = EdgeLanes::new(0, cfg.num_edges, self.zoo.len());
         let cap_share = cfg.cap_share();
         // Per-slot scratch buffers, hoisted out of the loop so the hot
         // path never allocates: the placement vector is filled in place
@@ -660,14 +680,13 @@ impl<'a> Environment<'a> {
         // feedback after each slot.
         let mut placements: Vec<usize> = Vec::with_capacity(cfg.num_edges);
         let mut outcomes: Vec<EdgeSlotOutcome> = Vec::with_capacity(cfg.num_edges);
+        let mut partials: Vec<EdgePartial> = Vec::with_capacity(cfg.num_edges);
         // Graceful-degradation state; inert when no scenario is
         // attached, so the fault-free path is untouched.
         let mut trade_carry = self
             .faults
             .as_ref()
             .map(|s| TradeCarry::new(s.scenario().backoff()));
-        let mut pending_downloads: Vec<PendingDownload> =
-            vec![PendingDownload::default(); cfg.num_edges];
 
         if let Some(p) = profiler.as_deref_mut() {
             p.enter("run");
@@ -695,12 +714,7 @@ impl<'a> Environment<'a> {
             }
 
             // Carbon trading (Algorithm 2 decides using history only).
-            let ctx = TradeContext {
-                buy_price: self.prices.buy(t),
-                sell_price: self.prices.sell(t),
-                cap_share,
-                bounds: cfg.bounds,
-            };
+            let ctx = self.trade_context(t, cap_share);
             let (z, w) = match profiler.as_deref_mut() {
                 Some(p) => {
                     p.enter("trade");
@@ -710,239 +724,46 @@ impl<'a> Environment<'a> {
                 }
                 None => policy.decide_trades(t, &ctx),
             };
-            let receipt = match (self.faults.as_ref(), trade_carry.as_mut()) {
-                (Some(schedule), Some(carry)) => self.execute_with_faults(
-                    t,
-                    schedule,
-                    carry,
-                    &ctx,
-                    z,
-                    w,
-                    &mut ledger,
-                    telemetry.as_deref_mut(),
-                ),
-                _ => self
-                    .market
-                    .execute(ctx.buy_price, ctx.sell_price, z, w, &mut ledger),
-            };
-            if let Some(rec) = telemetry.as_deref_mut() {
-                if receipt.bought.get() > 0.0 || receipt.sold.get() > 0.0 {
-                    rec.incr("trades", 1);
-                    rec.event(
-                        Some(t as u64),
-                        "trade",
-                        &[
-                            ("bought", receipt.bought.get().into()),
-                            ("sold", receipt.sold.get().into()),
-                            ("buy_price", ctx.buy_price.get().into()),
-                            ("sell_price", ctx.sell_price.get().into()),
-                            ("net_cost", receipt.net_cost().get().into()),
-                        ],
-                    );
-                }
-            }
+            let receipt = self.execute_trade(
+                t,
+                &ctx,
+                z,
+                w,
+                trade_carry.as_mut(),
+                &mut ledger,
+                telemetry.as_deref_mut(),
+            );
 
             // Steps 2–3: serve the streams and account energy/carbon.
             if let Some(p) = profiler.as_deref_mut() {
                 p.enter("serve");
             }
-            let mut loss_cost = 0.0;
-            let mut latency_cost = 0.0;
-            let mut switch_cost = 0.0;
-            let mut switches = 0usize;
-            let mut arrivals_total = 0u64;
-            let mut weighted_acc = 0.0;
-            let mut weighted_loss = 0.0;
-            let mut weight_sum = 0.0;
-            let mut util_sum = 0.0;
-            let mut wait_sum = 0.0;
-            for i in 0..cfg.num_edges {
-                let desired = placements[i];
-                // Resolve the model the edge actually hosts this slot.
-                // Without a fault schedule this is always the requested
-                // placement; under one, an outage or a failed download
-                // pins the edge to its previous model.
-                let resolution = match self.faults.as_ref() {
-                    Some(schedule) => resolve_download(
-                        schedule,
-                        &mut pending_downloads[i],
-                        i,
-                        t,
-                        prev_models[i],
-                        desired,
-                        telemetry.as_deref_mut(),
-                    ),
-                    None => DownloadResolution {
-                        served: desired,
-                        switched: prev_models[i] != Some(desired),
-                        retries: 0,
-                        feedback_lost: false,
-                    },
-                };
-                let n = resolution.served;
-                let switched = resolution.switched;
-                if switched {
-                    switches += 1;
-                    edge_records[i].switches += 1;
-                    switch_cost +=
-                        self.download_delay_ms(i) * cfg.weights.switch_per_ms * cfg.switch_weight;
-                    if let Some(rec) = telemetry.as_deref_mut() {
-                        rec.incr("switches", 1);
-                        let mut fields = vec![("edge", i.into()), ("to", n.into())];
-                        if let Some(prev) = prev_models[i] {
-                            fields.push(("from", prev.into()));
-                        }
-                        fields.push(("delay_ms", self.download_delay_ms(i).into()));
-                        if resolution.retries > 0 {
-                            fields.push(("retries", u64::from(resolution.retries).into()));
-                        }
-                        rec.event(Some(t as u64), "switch", &fields);
-                    }
-                    prev_models[i] = Some(n);
-                }
-                let mut feedback_lost = resolution.feedback_lost;
-                if let Some(schedule) = self.faults.as_ref() {
-                    if schedule.feedback_loss(i, t) && !feedback_lost {
-                        feedback_lost = true;
-                        if let Some(rec) = telemetry.as_deref_mut() {
-                            rec.incr("faults.injected", 1);
-                            rec.incr("faults.feedback_loss", 1);
-                            rec.event(
-                                Some(t as u64),
-                                "fault",
-                                &[("fault", "feedback_loss".into()), ("edge", i.into())],
-                            );
-                        }
-                    }
-                    // Surges were applied to the workload trace at
-                    // construction; flag them here so the trace shows
-                    // when the edge was riding an inflated load.
-                    if schedule.surge(i, t) && !schedule.edge_outage(i, t) {
-                        if let Some(rec) = telemetry.as_deref_mut() {
-                            rec.incr("faults.injected", 1);
-                            rec.incr("faults.surge", 1);
-                            rec.event(
-                                Some(t as u64),
-                                "fault",
-                                &[("fault", "surge".into()), ("edge", i.into())],
-                            );
-                        }
-                    }
-                }
-                edge_records[i].selection_counts[n] += 1;
-
-                if let Some(p) = profiler.as_deref_mut() {
-                    p.enter("inference");
-                }
-                let arrivals = self.workloads[i].arrivals(t);
-                arrivals_total += arrivals;
-                let effective = self.effective_table(n, t);
-                let (empirical_loss, accuracy) = match self.serve_mode {
-                    ServeMode::Batched => {
-                        let cell = self.stat_index(i, t, effective);
-                        (self.slot_loss[cell], self.slot_acc[cell])
-                    }
-                    ServeMode::PerRequest => {
-                        let indices = &self.slot_indices[i][t];
-                        let table = &self.zoo.model(effective).eval;
-                        (table.mean_loss_at(indices), table.accuracy_at(indices))
-                    }
-                };
-                if arrivals > 0 {
-                    weighted_acc += accuracy * arrivals as f64;
-                    weighted_loss += empirical_loss * arrivals as f64;
-                    weight_sum += arrivals as f64;
-                }
-
-                // Observational queueing metrics on the raw stream
-                // (the emission model's workload scaling is a carbon-
-                // market calibration, not a physical request volume).
-                let requests = arrivals as f64;
-                let utilization = cfg.queueing.utilization(requests, self.latencies[i][n]);
-                let queueing_delay_ms = cfg.queueing.mean_wait_ms(requests, self.latencies[i][n]);
-                util_sum += utilization;
-                wait_sum += queueing_delay_ms;
-                edge_records[i].peak_utilization_millionths = edge_records[i]
-                    .peak_utilization_millionths
-                    .max((utilization * 1e6) as u64);
-                if let Some(p) = profiler.as_deref_mut() {
-                    p.exit(); // inference
-                    p.enter("accounting");
-                }
-
-                let profile = &self.zoo.model(n).profile;
-                let emissions = cfg.emission.slot_emissions(
-                    profile.energy_per_sample,
-                    arrivals,
-                    switched,
-                    self.topology.transfer_energy(i),
-                    profile.size,
-                );
-                ledger.record_emission(emissions);
-                if let Some(p) = profiler.as_deref_mut() {
-                    p.exit(); // accounting
-                }
-
-                loss_cost += self.expected_losses[effective] * cfg.weights.loss;
-                latency_cost += self.latencies[i][n] * cfg.weights.latency_per_ms;
-
-                outcomes.push(EdgeSlotOutcome {
-                    model: n,
-                    switched,
-                    arrivals,
-                    empirical_loss,
-                    accuracy,
-                    compute_latency_ms: self.latencies[i][n],
-                    utilization,
-                    queueing_delay_ms,
-                    emissions,
-                    feedback_lost,
-                });
-            }
-
+            let mut sink = match telemetry.as_deref_mut() {
+                Some(rec) => TeleSink::Direct(rec),
+                None => TeleSink::Silent,
+            };
+            self.serve_chunk(
+                t,
+                &mut lanes,
+                &placements,
+                &mut sink,
+                profiler.as_deref_mut(),
+                &mut outcomes,
+                &mut partials,
+            );
             if let Some(p) = profiler.as_deref_mut() {
                 p.exit(); // serve
             }
 
-            let emissions_allowances: f64 = outcomes
-                .iter()
-                .map(|o| o.emissions.to_allowances().get())
-                .sum();
-            let observation = TradeObservation {
-                emissions: emissions_allowances,
-                bought: receipt.bought,
-                sold: receipt.sold,
-                buy_price: ctx.buy_price,
-                sell_price: ctx.sell_price,
-                cap_share,
-            };
-            let record = SlotRecord {
+            let (record, observation) = self.reduce_slot(
                 t,
-                arrivals: arrivals_total,
-                loss_cost,
-                latency_cost,
-                switch_cost,
-                trading_cost: receipt.net_cost().get() * cfg.weights.money_per_cent,
-                switches,
-                emissions: emissions_allowances,
-                bought: receipt.bought.get(),
-                sold: receipt.sold.get(),
-                buy_price: ctx.buy_price.get(),
-                sell_price: ctx.sell_price.get(),
-                trade_cash: receipt.net_cost().get(),
-                accuracy: if weight_sum > 0.0 {
-                    weighted_acc / weight_sum
-                } else {
-                    1.0
-                },
-                empirical_loss: if weight_sum > 0.0 {
-                    weighted_loss / weight_sum
-                } else {
-                    0.0
-                },
-                utilization: util_sum / cfg.num_edges as f64,
-                queueing_delay_ms: wait_sum / cfg.num_edges as f64,
-            };
+                &ctx,
+                &receipt,
+                &outcomes,
+                &partials,
+                &mut ledger,
+                cap_share,
+            );
             let feedback = SlotFeedback {
                 edges: outcomes,
                 trade: observation,
@@ -961,11 +782,722 @@ impl<'a> Environment<'a> {
             // next slot (the policy only borrowed it).
             outcomes = feedback.edges;
             outcomes.clear();
+            partials.clear();
         }
         if let Some(p) = profiler {
             p.exit(); // run
         }
 
+        self.finish_run(
+            policy,
+            ledger,
+            slots,
+            EdgeLanes::into_records(vec![lanes]),
+            trade_carry.as_ref(),
+            telemetry,
+            cap_share,
+        )
+    }
+
+    /// Runs the whole horizon over a persistent pool of `num_lanes`
+    /// edge workers (`num_lanes >= 2`, at most one worker per edge).
+    ///
+    /// # Phase clock
+    ///
+    /// Two monotonic [`Gate`]s pace the pool. The driver releases slot
+    /// `t` by advancing the command gate to `t + 1`; each worker
+    /// (select →) serve → observe its own contiguous edge chunk, swaps
+    /// its fixed-size results into its mailbox, and bumps the done gate
+    /// once. While the workers serve, the driver runs the slot's
+    /// trading; after `done` reaches `num_lanes × (t + 1)` it drains
+    /// the mailboxes **in lane (edge-index) order**, replays buffered
+    /// telemetry, reduces the per-edge partials, posts emissions to the
+    /// ledger — every accumulation in exactly the sequence the
+    /// sequential loop uses — and feeds the policy.
+    ///
+    /// # Panic protocol
+    ///
+    /// A worker panic is caught, its payload parked, a poison flag
+    /// raised, and enough done-epochs added that the driver can never
+    /// block on the dead worker; the driver re-raises the payload after
+    /// its next wait. A driver panic trips the shutdown flag on unwind
+    /// so parked workers exit and the scope can join.
+    fn run_parallel(
+        &self,
+        policy: &mut dyn Policy,
+        mut telemetry: Option<&mut cne_util::telemetry::Recorder>,
+        mut profiler: Option<&mut cne_util::span::Profiler>,
+        num_lanes: usize,
+    ) -> RunRecord {
+        let cfg = &self.config;
+        let lane_states = EdgeLanes::split(cfg.num_edges, self.zoo.len(), num_lanes);
+        let chunks: Vec<(usize, usize)> = lane_states
+            .iter()
+            .map(|lane| (lane.start(), lane.len()))
+            .collect();
+        let shards = policy.shard_edges(&chunks);
+        let sharded = shards.is_some();
+        let worker_shards: Vec<Option<Box<dyn EdgeShard>>> = match shards {
+            Some(shards) => {
+                assert_eq!(
+                    shards.len(),
+                    chunks.len(),
+                    "shard_edges must return one shard per chunk"
+                );
+                shards.into_iter().map(Some).collect()
+            }
+            None => (0..num_lanes).map(|_| None).collect(),
+        };
+        let traced = telemetry.is_some();
+
+        let cmd = Gate::new();
+        let done = Gate::new();
+        let shutdown = AtomicBool::new(false);
+        let poisoned = AtomicBool::new(false);
+        let poison: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+        let mailboxes: Vec<Mutex<LaneMail>> = (0..num_lanes)
+            .map(|_| Mutex::new(LaneMail::default()))
+            .collect();
+
+        let mut ledger = AllowanceLedger::new(cfg.cap);
+        let mut slots = Vec::with_capacity(cfg.horizon);
+        let cap_share = cfg.cap_share();
+        let mut placements: Vec<usize> = Vec::with_capacity(cfg.num_edges);
+        let mut outcomes: Vec<EdgeSlotOutcome> = Vec::with_capacity(cfg.num_edges);
+        let mut partials: Vec<EdgePartial> = Vec::with_capacity(cfg.num_edges);
+        let mut trade_carry = self
+            .faults
+            .as_ref()
+            .map(|s| TradeCarry::new(s.scenario().backoff()));
+
+        if let Some(p) = profiler.as_deref_mut() {
+            p.enter("run");
+        }
+        let lane_results = std::thread::scope(|scope| {
+            // If the driver unwinds (policy panic, malformed
+            // placement), wake every parked worker so the scope can
+            // join instead of deadlocking; after a clean run the
+            // workers have already left their loops and the release is
+            // a no-op.
+            struct ReleaseWorkers<'g> {
+                shutdown: &'g AtomicBool,
+                cmd: &'g Gate,
+            }
+            impl Drop for ReleaseWorkers<'_> {
+                fn drop(&mut self) {
+                    self.shutdown.store(true, Ordering::SeqCst);
+                    self.cmd.advance_to(u64::MAX);
+                }
+            }
+            let _release = ReleaseWorkers {
+                shutdown: &shutdown,
+                cmd: &cmd,
+            };
+
+            let mut handles = Vec::with_capacity(num_lanes);
+            for (lane, (mut lane_state, mut shard)) in
+                lane_states.into_iter().zip(worker_shards).enumerate()
+            {
+                let mailbox = &mailboxes[lane];
+                let (cmd, done, shutdown, poisoned, poison) =
+                    (&cmd, &done, &shutdown, &poisoned, &poison);
+                handles.push(scope.spawn(move || {
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        self.worker_loop(
+                            &mut lane_state,
+                            shard.as_mut(),
+                            mailbox,
+                            cmd,
+                            done,
+                            shutdown,
+                            traced,
+                        );
+                    }));
+                    if let Err(payload) = run {
+                        {
+                            let mut slot = lock(poison);
+                            if slot.is_none() {
+                                *slot = Some(payload);
+                            }
+                        }
+                        poisoned.store(true, Ordering::SeqCst);
+                        // Keep every future done-wait satisfiable so
+                        // the driver never blocks on a dead worker; it
+                        // checks the poison flag right after each wait.
+                        done.add((cfg.horizon as u64 + 1) * num_lanes as u64);
+                    }
+                    (lane_state, shard)
+                }));
+            }
+
+            for t in 0..cfg.horizon {
+                if let Some(p) = profiler.as_deref_mut() {
+                    p.enter("slot");
+                }
+                if !sharded {
+                    policy.select_models_into(t, &mut placements);
+                    assert_eq!(
+                        placements.len(),
+                        cfg.num_edges,
+                        "policy must place one model per edge"
+                    );
+                    for &n in &placements {
+                        assert!(n < self.zoo.len(), "model index out of range");
+                    }
+                    for (mailbox, &(start, len)) in mailboxes.iter().zip(&chunks) {
+                        let mut mail = lock(mailbox);
+                        mail.placements.clear();
+                        mail.placements
+                            .extend_from_slice(&placements[start..start + len]);
+                    }
+                }
+                cmd.advance_to(t as u64 + 1);
+
+                // Trading (Algorithm 2, driver-owned) overlaps with the
+                // workers' serve phase. The workers never touch the
+                // ledger, so its mutation order matches the sequential
+                // loop: the slot's trade first, then per-edge emissions
+                // in the reduction below.
+                let ctx = self.trade_context(t, cap_share);
+                let (z, w) = policy.decide_trades(t, &ctx);
+                let receipt = self.execute_trade(
+                    t,
+                    &ctx,
+                    z,
+                    w,
+                    trade_carry.as_mut(),
+                    &mut ledger,
+                    telemetry.as_deref_mut(),
+                );
+
+                done.wait_at_least(num_lanes as u64 * (t as u64 + 1));
+                if poisoned.load(Ordering::SeqCst) {
+                    match lock(&poison).take() {
+                        Some(payload) => resume_unwind(payload),
+                        None => panic!("an edge worker panicked"),
+                    }
+                }
+
+                // Drain the mailboxes in lane order so everything
+                // downstream — trace replay, cost folds, the ledger —
+                // sees plain edge-index order.
+                for mailbox in &mailboxes {
+                    let (mut lane_outcomes, mut lane_partials, mut lane_tele) = {
+                        let mut mail = lock(mailbox);
+                        (
+                            std::mem::take(&mut mail.outcomes),
+                            std::mem::take(&mut mail.partials),
+                            std::mem::take(&mut mail.tele),
+                        )
+                    };
+                    if let Some(rec) = telemetry.as_deref_mut() {
+                        replay_tele(rec, &mut lane_tele);
+                    }
+                    outcomes.append(&mut lane_outcomes);
+                    partials.append(&mut lane_partials);
+                    // Hand the emptied buffers back for reuse.
+                    let mut mail = lock(mailbox);
+                    mail.outcomes = lane_outcomes;
+                    mail.partials = lane_partials;
+                    mail.tele = lane_tele;
+                }
+
+                let (record, observation) = self.reduce_slot(
+                    t,
+                    &ctx,
+                    &receipt,
+                    &outcomes,
+                    &partials,
+                    &mut ledger,
+                    cap_share,
+                );
+                if sharded {
+                    // The shards observed their own outcomes inside the
+                    // workers; only the trade side flows through here.
+                    policy.observe_trade(t, &observation);
+                } else {
+                    let feedback = SlotFeedback {
+                        edges: std::mem::take(&mut outcomes),
+                        trade: observation,
+                    };
+                    policy.end_of_slot(t, &feedback);
+                    outcomes = feedback.edges;
+                }
+                outcomes.clear();
+                partials.clear();
+                slots.push(record);
+                if let Some(p) = profiler.as_deref_mut() {
+                    p.exit(); // slot
+                }
+            }
+
+            let mut results = Vec::with_capacity(num_lanes);
+            for handle in handles {
+                match handle.join() {
+                    Ok(pair) => results.push(pair),
+                    Err(payload) => resume_unwind(payload),
+                }
+            }
+            results
+        });
+
+        let mut lanes = Vec::with_capacity(num_lanes);
+        let mut returned_shards = Vec::with_capacity(num_lanes);
+        for (lane_state, shard) in lane_results {
+            lanes.push(lane_state);
+            if let Some(shard) = shard {
+                returned_shards.push(shard);
+            }
+        }
+        if sharded {
+            policy.absorb_shards(returned_shards);
+        }
+        if let Some(p) = profiler {
+            p.exit(); // run
+        }
+        self.finish_run(
+            policy,
+            ledger,
+            slots,
+            EdgeLanes::into_records(lanes),
+            trade_carry.as_ref(),
+            telemetry,
+            cap_share,
+        )
+    }
+
+    /// The body of one pool worker: wait for the slot to be released,
+    /// obtain the chunk's placements (from the owned shard, or from the
+    /// mailbox when the driver selects), serve the chunk, let the shard
+    /// observe, publish results, and bump the done gate.
+    #[allow(clippy::too_many_arguments)]
+    fn worker_loop(
+        &self,
+        lane: &mut EdgeLanes,
+        mut shard: Option<&mut Box<dyn EdgeShard>>,
+        mailbox: &Mutex<LaneMail>,
+        cmd: &Gate,
+        done: &Gate,
+        shutdown: &AtomicBool,
+        traced: bool,
+    ) {
+        let mut placements: Vec<usize> = Vec::with_capacity(lane.len());
+        let mut outcomes: Vec<EdgeSlotOutcome> = Vec::with_capacity(lane.len());
+        let mut partials: Vec<EdgePartial> = Vec::with_capacity(lane.len());
+        let mut tele: Vec<TeleOp> = Vec::new();
+        for t in 0..self.config.horizon {
+            cmd.wait_at_least(t as u64 + 1);
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            match shard.as_deref_mut() {
+                Some(shard) => {
+                    shard.select_into(t, &mut placements);
+                    assert_eq!(
+                        placements.len(),
+                        lane.len(),
+                        "shard must place one model per owned edge"
+                    );
+                    for &n in &placements {
+                        assert!(n < self.zoo.len(), "model index out of range");
+                    }
+                }
+                None => {
+                    let mail = lock(mailbox);
+                    placements.clear();
+                    placements.extend_from_slice(&mail.placements);
+                }
+            }
+            let mut sink = if traced {
+                TeleSink::Buffer(&mut tele)
+            } else {
+                TeleSink::Silent
+            };
+            self.serve_chunk(
+                t,
+                lane,
+                &placements,
+                &mut sink,
+                None,
+                &mut outcomes,
+                &mut partials,
+            );
+            if let Some(shard) = shard.as_deref_mut() {
+                shard.observe(t, &outcomes);
+            }
+            {
+                let mut mail = lock(mailbox);
+                std::mem::swap(&mut mail.outcomes, &mut outcomes);
+                std::mem::swap(&mut mail.partials, &mut partials);
+                std::mem::swap(&mut mail.tele, &mut tele);
+            }
+            outcomes.clear();
+            partials.clear();
+            tele.clear();
+            done.add(1);
+        }
+    }
+
+    /// The trade context the policy decides against at slot `t`.
+    fn trade_context(&self, t: usize, cap_share: f64) -> TradeContext {
+        TradeContext {
+            buy_price: self.prices.buy(t),
+            sell_price: self.prices.sell(t),
+            cap_share,
+            bounds: self.config.bounds,
+        }
+    }
+
+    /// One slot of trading: the policy's request goes to the market
+    /// (through the fault carry when a schedule is active) and any
+    /// executed trade is recorded in the trace.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_trade(
+        &self,
+        t: usize,
+        ctx: &TradeContext,
+        z: Allowances,
+        w: Allowances,
+        carry: Option<&mut TradeCarry>,
+        ledger: &mut AllowanceLedger,
+        mut telemetry: Option<&mut Recorder>,
+    ) -> TradeReceipt {
+        let receipt = match (self.faults.as_ref(), carry) {
+            (Some(schedule), Some(carry)) => self.execute_with_faults(
+                t,
+                schedule,
+                carry,
+                ctx,
+                z,
+                w,
+                ledger,
+                telemetry.as_deref_mut(),
+            ),
+            _ => self
+                .market
+                .execute(ctx.buy_price, ctx.sell_price, z, w, ledger),
+        };
+        if let Some(rec) = telemetry {
+            if receipt.bought.get() > 0.0 || receipt.sold.get() > 0.0 {
+                rec.incr("trades", 1);
+                rec.event(
+                    Some(t as u64),
+                    "trade",
+                    &[
+                        ("bought", receipt.bought.get().into()),
+                        ("sold", receipt.sold.get().into()),
+                        ("buy_price", ctx.buy_price.get().into()),
+                        ("sell_price", ctx.sell_price.get().into()),
+                        ("net_cost", receipt.net_cost().get().into()),
+                    ],
+                );
+            }
+        }
+        receipt
+    }
+
+    /// Serves every edge of one lane for slot `t`, pushing one outcome
+    /// and one cost partial per edge.
+    ///
+    /// The fault branch is hoisted out of the per-edge loop: each arm
+    /// calls [`Self::serve_edge`] with a constant `None`/`Some`
+    /// schedule, so after inlining the fault-free arm carries no
+    /// per-edge fault checks at all.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_chunk(
+        &self,
+        t: usize,
+        lanes: &mut EdgeLanes,
+        placements: &[usize],
+        sink: &mut TeleSink,
+        mut profiler: Option<&mut cne_util::span::Profiler>,
+        outcomes: &mut Vec<EdgeSlotOutcome>,
+        partials: &mut Vec<EdgePartial>,
+    ) {
+        debug_assert_eq!(placements.len(), lanes.len());
+        match self.faults.as_ref() {
+            None => {
+                for (k, &placement) in placements.iter().enumerate() {
+                    let (outcome, partial) = self.serve_edge(
+                        t,
+                        lanes,
+                        k,
+                        placement,
+                        None,
+                        sink,
+                        profiler.as_deref_mut(),
+                    );
+                    outcomes.push(outcome);
+                    partials.push(partial);
+                }
+            }
+            Some(schedule) => {
+                for (k, &placement) in placements.iter().enumerate() {
+                    let (outcome, partial) = self.serve_edge(
+                        t,
+                        lanes,
+                        k,
+                        placement,
+                        Some(schedule),
+                        sink,
+                        profiler.as_deref_mut(),
+                    );
+                    outcomes.push(outcome);
+                    partials.push(partial);
+                }
+            }
+        }
+    }
+
+    /// Serves one edge for one slot: download resolution, switch
+    /// accounting, stream statistics, queueing, and emissions. Ledger
+    /// posting is deliberately **not** done here — the driver posts
+    /// emissions in edge-index order during [`Self::reduce_slot`], so
+    /// the ledger sees the same sequence at every worker count.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn serve_edge(
+        &self,
+        t: usize,
+        lanes: &mut EdgeLanes,
+        k: usize,
+        desired: usize,
+        schedule: Option<&FaultSchedule>,
+        sink: &mut TeleSink,
+        mut profiler: Option<&mut cne_util::span::Profiler>,
+    ) -> (EdgeSlotOutcome, EdgePartial) {
+        let cfg = &self.config;
+        let i = lanes.global_index(k);
+        let prev = lanes.prev_model(k);
+        // Resolve the model the edge actually hosts this slot. Without
+        // a fault schedule this is always the requested placement;
+        // under one, an outage or a failed download pins the edge to
+        // its previous model.
+        let resolution = match schedule {
+            Some(schedule) => {
+                resolve_download(schedule, lanes.pending_mut(k), i, t, prev, desired, sink)
+            }
+            None => DownloadResolution {
+                served: desired,
+                switched: prev != Some(desired),
+                retries: 0,
+                feedback_lost: false,
+            },
+        };
+        let n = resolution.served;
+        let switched = resolution.switched;
+        let mut switch_cost = 0.0;
+        if switched {
+            lanes.record_switch(k);
+            switch_cost = self.download_delay_ms(i) * cfg.weights.switch_per_ms * cfg.switch_weight;
+            if sink.active() {
+                sink.incr("switches");
+                let mut fields = vec![("edge", i.into()), ("to", n.into())];
+                if let Some(prev) = prev {
+                    fields.push(("from", prev.into()));
+                }
+                fields.push(("delay_ms", self.download_delay_ms(i).into()));
+                if resolution.retries > 0 {
+                    fields.push(("retries", u64::from(resolution.retries).into()));
+                }
+                sink.event(t as u64, "switch", &fields);
+            }
+            lanes.set_prev_model(k, n);
+        }
+        let mut feedback_lost = resolution.feedback_lost;
+        if let Some(schedule) = schedule {
+            if schedule.feedback_loss(i, t) && !feedback_lost {
+                feedback_lost = true;
+                if sink.active() {
+                    sink.incr("faults.injected");
+                    sink.incr("faults.feedback_loss");
+                    sink.event(
+                        t as u64,
+                        "fault",
+                        &[("fault", "feedback_loss".into()), ("edge", i.into())],
+                    );
+                }
+            }
+            // Surges were applied to the workload trace at
+            // construction; flag them here so the trace shows when the
+            // edge was riding an inflated load.
+            if schedule.surge(i, t) && !schedule.edge_outage(i, t) && sink.active() {
+                sink.incr("faults.injected");
+                sink.incr("faults.surge");
+                sink.event(
+                    t as u64,
+                    "fault",
+                    &[("fault", "surge".into()), ("edge", i.into())],
+                );
+            }
+        }
+        lanes.count_selection(k, n);
+
+        if let Some(p) = profiler.as_deref_mut() {
+            p.enter("inference");
+        }
+        let arrivals = self.workloads[i].arrivals(t);
+        let effective = self.effective_table(n, t);
+        let (empirical_loss, accuracy) = match self.serve_mode {
+            ServeMode::Batched => {
+                let cell = self.stat_index(i, t, effective);
+                (self.slot_loss[cell], self.slot_acc[cell])
+            }
+            ServeMode::PerRequest => {
+                let indices = &self.slot_indices[i][t];
+                let table = &self.zoo.model(effective).eval;
+                (table.mean_loss_at(indices), table.accuracy_at(indices))
+            }
+        };
+
+        // Observational queueing metrics on the raw stream (the
+        // emission model's workload scaling is a carbon-market
+        // calibration, not a physical request volume).
+        let requests = arrivals as f64;
+        let utilization = cfg.queueing.utilization(requests, self.latencies[i][n]);
+        let queueing_delay_ms = cfg.queueing.mean_wait_ms(requests, self.latencies[i][n]);
+        lanes.observe_utilization(k, (utilization * 1e6) as u64);
+        if let Some(p) = profiler.as_deref_mut() {
+            p.exit(); // inference
+            p.enter("accounting");
+        }
+
+        let profile = &self.zoo.model(n).profile;
+        let emissions = cfg.emission.slot_emissions(
+            profile.energy_per_sample,
+            arrivals,
+            switched,
+            self.topology.transfer_energy(i),
+            profile.size,
+        );
+        if let Some(p) = profiler {
+            p.exit(); // accounting
+        }
+
+        let partial = EdgePartial {
+            loss_cost: self.expected_losses[effective] * cfg.weights.loss,
+            latency_cost: self.latencies[i][n] * cfg.weights.latency_per_ms,
+            switch_cost,
+        };
+        let outcome = EdgeSlotOutcome {
+            model: n,
+            switched,
+            arrivals,
+            empirical_loss,
+            accuracy,
+            compute_latency_ms: self.latencies[i][n],
+            utilization,
+            queueing_delay_ms,
+            emissions,
+            feedback_lost,
+        };
+        (outcome, partial)
+    }
+
+    /// Folds a slot's per-edge outcomes and cost partials into the
+    /// slot record and trade observation, **in edge-index order** —
+    /// this single accumulation site is what makes parallel runs
+    /// bit-identical to the sequential loop (floating-point addition
+    /// does not reassociate, so fold order is part of the determinism
+    /// contract). Ledger emissions are posted here, per edge in order,
+    /// for the same reason.
+    #[allow(clippy::too_many_arguments)]
+    fn reduce_slot(
+        &self,
+        t: usize,
+        ctx: &TradeContext,
+        receipt: &TradeReceipt,
+        outcomes: &[EdgeSlotOutcome],
+        partials: &[EdgePartial],
+        ledger: &mut AllowanceLedger,
+        cap_share: f64,
+    ) -> (SlotRecord, TradeObservation) {
+        let cfg = &self.config;
+        let mut loss_cost = 0.0;
+        let mut latency_cost = 0.0;
+        let mut switch_cost = 0.0;
+        let mut switches = 0usize;
+        let mut arrivals_total = 0u64;
+        let mut weighted_acc = 0.0;
+        let mut weighted_loss = 0.0;
+        let mut weight_sum = 0.0;
+        let mut util_sum = 0.0;
+        let mut wait_sum = 0.0;
+        for (outcome, partial) in outcomes.iter().zip(partials) {
+            if outcome.switched {
+                switches += 1;
+            }
+            loss_cost += partial.loss_cost;
+            latency_cost += partial.latency_cost;
+            switch_cost += partial.switch_cost;
+            arrivals_total += outcome.arrivals;
+            if outcome.arrivals > 0 {
+                weighted_acc += outcome.accuracy * outcome.arrivals as f64;
+                weighted_loss += outcome.empirical_loss * outcome.arrivals as f64;
+                weight_sum += outcome.arrivals as f64;
+            }
+            util_sum += outcome.utilization;
+            wait_sum += outcome.queueing_delay_ms;
+            ledger.record_emission(outcome.emissions);
+        }
+
+        let emissions_allowances: f64 = outcomes
+            .iter()
+            .map(|o| o.emissions.to_allowances().get())
+            .sum();
+        let observation = TradeObservation {
+            emissions: emissions_allowances,
+            bought: receipt.bought,
+            sold: receipt.sold,
+            buy_price: ctx.buy_price,
+            sell_price: ctx.sell_price,
+            cap_share,
+        };
+        let record = SlotRecord {
+            t,
+            arrivals: arrivals_total,
+            loss_cost,
+            latency_cost,
+            switch_cost,
+            trading_cost: receipt.net_cost().get() * cfg.weights.money_per_cent,
+            switches,
+            emissions: emissions_allowances,
+            bought: receipt.bought.get(),
+            sold: receipt.sold.get(),
+            buy_price: ctx.buy_price.get(),
+            sell_price: ctx.sell_price.get(),
+            trade_cash: receipt.net_cost().get(),
+            accuracy: if weight_sum > 0.0 {
+                weighted_acc / weight_sum
+            } else {
+                1.0
+            },
+            empirical_loss: if weight_sum > 0.0 {
+                weighted_loss / weight_sum
+            } else {
+                0.0
+            },
+            utilization: util_sum / cfg.num_edges as f64,
+            queueing_delay_ms: wait_sum / cfg.num_edges as f64,
+        };
+        (record, observation)
+    }
+
+    /// Seals the run: settlement accounting, the [`RunRecord`], and the
+    /// end-of-run telemetry block. Shared verbatim by the sequential
+    /// and parallel paths.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_run(
+        &self,
+        policy: &mut dyn Policy,
+        ledger: AllowanceLedger,
+        slots: Vec<SlotRecord>,
+        edge_records: Vec<EdgeRecord>,
+        trade_carry: Option<&TradeCarry>,
+        telemetry: Option<&mut Recorder>,
+        cap_share: f64,
+    ) -> RunRecord {
+        let cfg = &self.config;
         let settlement_cost =
             ledger.violation().get() * cfg.violation_penalty * cfg.weights.money_per_cent;
         let record = RunRecord {
@@ -980,7 +1512,7 @@ impl<'a> Environment<'a> {
             if let Some(schedule) = &self.faults {
                 rec.set_label("fault_scenario", schedule.scenario().name.clone());
             }
-            if let Some(carry) = &trade_carry {
+            if let Some(carry) = trade_carry {
                 // Unmet-position accounting: the ledger holds every
                 // executed allowance, the carry holds every unmet one,
                 // and `requested == executed + unmet` reconciles them
@@ -1015,6 +1547,28 @@ impl<'a> Environment<'a> {
         }
         record
     }
+}
+
+/// Worker ↔ driver exchange for one lane. The driver writes the lane's
+/// placement chunk before releasing a slot (non-sharded policies only);
+/// the worker swaps in its serve results and buffered telemetry before
+/// bumping the done gate, and the driver hands the emptied buffers back
+/// while draining — so the steady state allocates nothing.
+#[derive(Default)]
+struct LaneMail {
+    placements: Vec<usize>,
+    outcomes: Vec<EdgeSlotOutcome>,
+    partials: Vec<EdgePartial>,
+    tele: Vec<TeleOp>,
+}
+
+/// Locks a mutex, ignoring poisoning: lane mailboxes hold plain data,
+/// and a poisoned lock only means a sibling worker panicked — which the
+/// pool's own poison protocol reports with the original payload.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -1461,5 +2015,260 @@ mod fault_tests {
             .map(|s| (s.switch_cost > 0.0) as usize)
             .sum();
         assert!(charged > 0, "switching cost vanished");
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use crate::policy::{EdgeShard, Policy, SlotFeedback};
+    use cne_faults::FaultScenario;
+    use cne_nn::ZooConfig;
+    use cne_simdata::dataset::TaskKind;
+    use cne_trading::policy::TradeContext;
+    use cne_util::units::Allowances;
+    use std::any::Any;
+
+    /// Same placement churn + trading as the fault tests: switches
+    /// every few slots and trades a fixed in-bounds position.
+    struct Churner;
+    impl Policy for Churner {
+        fn select_models(&mut self, t: usize) -> Vec<usize> {
+            vec![(t / 4) % 2; 3]
+        }
+        fn decide_trades(&mut self, _t: usize, _ctx: &TradeContext) -> (Allowances, Allowances) {
+            (Allowances::new(2.0), Allowances::new(0.5))
+        }
+        fn end_of_slot(&mut self, _t: usize, _fb: &SlotFeedback) {}
+        fn name(&self) -> String {
+            "churner".into()
+        }
+    }
+
+    fn zoo() -> ModelZoo {
+        ModelZoo::train(
+            TaskKind::MnistLike,
+            &ZooConfig::fast(),
+            &SeedSequence::new(51),
+        )
+    }
+
+    fn run_churner_at(env: &Environment, edge_threads: usize) -> (RunRecord, String) {
+        let mut rec = Recorder::new();
+        let record = env.run_with(&mut Churner, Some(&mut rec), None, edge_threads);
+        (record, rec.to_jsonl_string())
+    }
+
+    #[test]
+    fn worker_counts_agree_in_both_serve_modes() {
+        let zoo = zoo();
+        for mode in [ServeMode::Batched, ServeMode::PerRequest] {
+            let env = Environment::with_serve_mode(
+                SimConfig::fast_test(TaskKind::MnistLike),
+                &zoo,
+                &SeedSequence::new(52),
+                mode,
+            );
+            let (base, base_trace) = run_churner_at(&env, 1);
+            for edge_threads in [2, 4] {
+                let (record, trace) = run_churner_at(&env, edge_threads);
+                assert_eq!(
+                    base, record,
+                    "records diverge at {edge_threads} edge threads ({mode:?})"
+                );
+                assert_eq!(
+                    base_trace, trace,
+                    "traces diverge at {edge_threads} edge threads ({mode:?})"
+                );
+            }
+            assert!(base_trace.contains("\"kind\":\"switch\""));
+        }
+    }
+
+    #[test]
+    fn worker_counts_agree_under_faults() {
+        let zoo = zoo();
+        for mode in [ServeMode::Batched, ServeMode::PerRequest] {
+            let mut cfg = SimConfig::fast_test(TaskKind::MnistLike);
+            cfg.faults = Some(FaultScenario::mixed("mixed-20", 0.2));
+            let env = Environment::with_serve_mode(cfg, &zoo, &SeedSequence::new(53), mode);
+            let (base, base_trace) = run_churner_at(&env, 1);
+            assert!(base_trace.contains("\"kind\":\"fault\""), "no fault events");
+            for edge_threads in [2, 4] {
+                let (record, trace) = run_churner_at(&env, edge_threads);
+                assert_eq!(
+                    base, record,
+                    "faulted records diverge at {edge_threads} edge threads ({mode:?})"
+                );
+                assert_eq!(
+                    base_trace, trace,
+                    "faulted traces diverge at {edge_threads} edge threads ({mode:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_profiles_are_coarse_but_records_identical() {
+        let zoo = zoo();
+        let env = Environment::new(
+            SimConfig::fast_test(TaskKind::MnistLike),
+            &zoo,
+            &SeedSequence::new(54),
+        );
+        let mut rec_seq = Recorder::new();
+        let sequential = env.run_with(&mut Churner, Some(&mut rec_seq), None, 1);
+        let mut rec_par = Recorder::new();
+        let mut prof = cne_util::span::Profiler::new();
+        let parallel = env.run_with(&mut Churner, Some(&mut rec_par), Some(&mut prof), 2);
+        assert_eq!(sequential, parallel);
+        assert_eq!(rec_seq.to_jsonl_string(), rec_par.to_jsonl_string());
+        // The parallel path keeps wall-clock spans coarse (run/slot
+        // only): per-stage spans would have to come off the worker
+        // threads, where they could not nest into one driver timeline.
+        assert_eq!(prof.open_depth(), 0);
+        assert_eq!(prof.count("run"), 1);
+        assert_eq!(prof.count("run/slot"), 40);
+        assert_eq!(prof.count("run/slot/serve/inference"), 0);
+    }
+
+    /// Per-edge cumulative-loss state a shard can carry away.
+    #[derive(Debug, Clone, PartialEq, Default)]
+    struct EdgeState {
+        cum_loss: f64,
+        slots: usize,
+    }
+
+    /// A policy that *can* shard: selection and loss accumulation are
+    /// per-edge, only the trade side is global.
+    struct Shardable {
+        num_models: usize,
+        edges: Vec<EdgeState>,
+        trades_seen: usize,
+        panic_at: Option<usize>,
+    }
+    impl Shardable {
+        fn new(num_edges: usize, num_models: usize) -> Self {
+            Self {
+                num_models,
+                edges: vec![EdgeState::default(); num_edges],
+                trades_seen: 0,
+                panic_at: None,
+            }
+        }
+    }
+    impl Policy for Shardable {
+        fn select_models(&mut self, t: usize) -> Vec<usize> {
+            (0..self.edges.len())
+                .map(|i| (t + i) % self.num_models)
+                .collect()
+        }
+        fn decide_trades(&mut self, _t: usize, _ctx: &TradeContext) -> (Allowances, Allowances) {
+            (Allowances::new(1.0), Allowances::ZERO)
+        }
+        fn end_of_slot(&mut self, _t: usize, fb: &SlotFeedback) {
+            for (state, outcome) in self.edges.iter_mut().zip(&fb.edges) {
+                state.cum_loss += outcome.empirical_loss;
+                state.slots += 1;
+            }
+            self.trades_seen += 1;
+        }
+        fn name(&self) -> String {
+            "shardable".into()
+        }
+        fn shard_edges(&mut self, chunks: &[(usize, usize)]) -> Option<Vec<Box<dyn EdgeShard>>> {
+            let mut shards: Vec<Box<dyn EdgeShard>> = Vec::with_capacity(chunks.len());
+            for &(start, len) in chunks {
+                shards.push(Box::new(StateShard {
+                    start,
+                    num_models: self.num_models,
+                    edges: self.edges[start..start + len].to_vec(),
+                    panic_at: self.panic_at,
+                }));
+            }
+            self.edges.clear();
+            Some(shards)
+        }
+        fn absorb_shards(&mut self, shards: Vec<Box<dyn EdgeShard>>) {
+            let mut shards: Vec<StateShard> = shards
+                .into_iter()
+                .map(|s| *s.into_any().downcast::<StateShard>().unwrap())
+                .collect();
+            shards.sort_by_key(|s| s.start);
+            self.edges = shards.into_iter().flat_map(|s| s.edges).collect();
+        }
+        fn observe_trade(&mut self, _t: usize, _observation: &TradeObservation) {
+            self.trades_seen += 1;
+        }
+    }
+
+    struct StateShard {
+        start: usize,
+        num_models: usize,
+        edges: Vec<EdgeState>,
+        panic_at: Option<usize>,
+    }
+    impl EdgeShard for StateShard {
+        fn select_into(&mut self, t: usize, out: &mut Vec<usize>) {
+            if self.start > 0 && self.panic_at == Some(t) {
+                panic!("shard boom at slot {t}");
+            }
+            out.clear();
+            out.extend((0..self.edges.len()).map(|k| (t + self.start + k) % self.num_models));
+        }
+        fn observe(&mut self, t: usize, outcomes: &[EdgeSlotOutcome]) {
+            let _ = t;
+            for (state, outcome) in self.edges.iter_mut().zip(outcomes) {
+                state.cum_loss += outcome.empirical_loss;
+                state.slots += 1;
+            }
+        }
+        fn into_any(self: Box<Self>) -> Box<dyn Any> {
+            self
+        }
+    }
+
+    #[test]
+    fn sharded_policy_matches_sequential_run() {
+        let zoo = zoo();
+        let env = Environment::new(
+            SimConfig::fast_test(TaskKind::MnistLike),
+            &zoo,
+            &SeedSequence::new(55),
+        );
+        let (num_edges, num_models, horizon) = (env.num_edges(), env.num_models(), 40);
+        let mut rec_seq = Recorder::new();
+        let mut seq_policy = Shardable::new(num_edges, num_models);
+        let sequential = env.run_with(&mut seq_policy, Some(&mut rec_seq), None, 1);
+        assert_eq!(seq_policy.trades_seen, horizon);
+        for edge_threads in [2, 3] {
+            let mut rec_par = Recorder::new();
+            let mut par_policy = Shardable::new(num_edges, num_models);
+            let parallel = env.run_with(&mut par_policy, Some(&mut rec_par), None, edge_threads);
+            assert_eq!(
+                sequential, parallel,
+                "sharded run diverged at {edge_threads}"
+            );
+            assert_eq!(rec_seq.to_jsonl_string(), rec_par.to_jsonl_string());
+            // The shards' learning state survives the round trip intact.
+            assert_eq!(seq_policy.edges, par_policy.edges);
+            assert_eq!(par_policy.trades_seen, horizon, "driver skipped trades");
+        }
+        // The state actually accumulated something.
+        assert!(seq_policy.edges.iter().all(|e| e.slots == horizon));
+    }
+
+    #[test]
+    #[should_panic(expected = "shard boom at slot 3")]
+    fn worker_panic_propagates_without_deadlock() {
+        let zoo = zoo();
+        let env = Environment::new(
+            SimConfig::fast_test(TaskKind::MnistLike),
+            &zoo,
+            &SeedSequence::new(56),
+        );
+        let mut policy = Shardable::new(env.num_edges(), env.num_models());
+        policy.panic_at = Some(3);
+        env.run_with(&mut policy, None, None, 2);
     }
 }

@@ -22,12 +22,13 @@
 
 pub mod config;
 pub mod env;
+mod lanes;
 pub mod policy;
 pub mod queueing;
 pub mod record;
 
 pub use config::{CostWeights, SimConfig};
 pub use env::{Environment, ServeMode};
-pub use policy::{EdgeSlotOutcome, Policy, SlotFeedback};
+pub use policy::{EdgeShard, EdgeSlotOutcome, Policy, SlotFeedback};
 pub use queueing::QueueingConfig;
 pub use record::{RunRecord, SlotRecord};

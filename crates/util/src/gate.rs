@@ -1,0 +1,186 @@
+//! A monotonic epoch gate for phase-synchronized worker pools.
+//!
+//! [`Gate`] is the synchronization primitive behind the simulator's
+//! per-run edge worker pool (see `cne-edgesim`): a single `u64`
+//! sequence number that only moves forward. One side *advances* the
+//! sequence, the other side *waits* until it reaches a target. Two
+//! gates back a classic phase protocol:
+//!
+//! * a **command gate** the driver advances once per slot (workers wait
+//!   for epoch `t + 1`), and
+//! * a **done gate** every worker bumps by one when it finishes a phase
+//!   (the driver waits for `workers × (t + 1)`).
+//!
+//! Waiters spin very briefly, yield a few times, and then park on a
+//! condvar — the blocking fallback matters because determinism tests
+//! run multi-worker pools on single-core machines, where spinning
+//! would burn a scheduler quantum per phase. The sleeper counter plus
+//! the re-check under the mutex makes the park path missed-wakeup
+//! free: a signaller that observes no sleepers has its sequence update
+//! ordered before the waiter's re-check, and a signaller that observes
+//! a sleeper acquires the mutex (serializing with the waiter) before
+//! notifying.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Brief spin before yielding — long enough to catch a peer that is
+/// mid-update on another core, short enough to be noise when parked.
+const SPIN_ROUNDS: usize = 64;
+/// Cooperative yields before parking, so a displaced peer on a busy
+/// (or single-core) machine gets scheduled without a full park/unpark.
+const YIELD_ROUNDS: usize = 4;
+
+/// A forward-only epoch counter that threads can wait on.
+///
+/// # Examples
+///
+/// ```
+/// use cne_util::gate::Gate;
+///
+/// let gate = Gate::new();
+/// std::thread::scope(|scope| {
+///     scope.spawn(|| gate.wait_at_least(3));
+///     gate.add(1);
+///     gate.advance_to(3);
+/// });
+/// assert_eq!(gate.current(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Gate {
+    seq: AtomicU64,
+    lock: Mutex<()>,
+    cv: Condvar,
+    sleepers: AtomicUsize,
+}
+
+impl Gate {
+    /// A gate at epoch zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current epoch.
+    #[must_use]
+    pub fn current(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst)
+    }
+
+    /// Moves the epoch forward to `target` (no-op if already past it)
+    /// and wakes every parked waiter.
+    pub fn advance_to(&self, target: u64) {
+        self.seq.fetch_max(target, Ordering::SeqCst);
+        self.wake();
+    }
+
+    /// Adds `n` to the epoch and wakes every parked waiter. Returns
+    /// the new epoch.
+    pub fn add(&self, n: u64) -> u64 {
+        let new = self.seq.fetch_add(n, Ordering::SeqCst) + n;
+        self.wake();
+        new
+    }
+
+    fn wake(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            // Taking the mutex serializes with any waiter between its
+            // sleeper registration and its park, so the notification
+            // cannot race past it.
+            let _guard = self.lock.lock().expect("gate mutex never poisoned");
+            self.cv.notify_all();
+        }
+    }
+
+    /// Blocks until the epoch reaches `target`.
+    pub fn wait_at_least(&self, target: u64) {
+        if self.seq.load(Ordering::SeqCst) >= target {
+            return;
+        }
+        for _ in 0..SPIN_ROUNDS {
+            std::hint::spin_loop();
+            if self.seq.load(Ordering::SeqCst) >= target {
+                return;
+            }
+        }
+        for _ in 0..YIELD_ROUNDS {
+            std::thread::yield_now();
+            if self.seq.load(Ordering::SeqCst) >= target {
+                return;
+            }
+        }
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let mut guard = self.lock.lock().expect("gate mutex never poisoned");
+        while self.seq.load(Ordering::SeqCst) < target {
+            guard = self.cv.wait(guard).expect("gate mutex never poisoned");
+        }
+        drop(guard);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn starts_at_zero_and_advances_monotonically() {
+        let g = Gate::new();
+        assert_eq!(g.current(), 0);
+        g.advance_to(5);
+        assert_eq!(g.current(), 5);
+        g.advance_to(3); // never moves backwards
+        assert_eq!(g.current(), 5);
+        assert_eq!(g.add(2), 7);
+        assert_eq!(g.current(), 7);
+    }
+
+    #[test]
+    fn waiting_on_a_reached_epoch_returns_immediately() {
+        let g = Gate::new();
+        g.advance_to(10);
+        g.wait_at_least(10);
+        g.wait_at_least(1);
+    }
+
+    #[test]
+    fn parked_waiter_is_woken() {
+        let g = Gate::new();
+        let woke = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                g.wait_at_least(1);
+                woke.store(true, Ordering::SeqCst);
+            });
+            // Give the waiter time to park before signalling.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            g.advance_to(1);
+        });
+        assert!(woke.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn phase_protocol_round_trips_many_epochs() {
+        // Driver/worker lockstep over enough epochs to expose a lost
+        // wakeup (each missed notification would hang the test).
+        const EPOCHS: u64 = 2_000;
+        let cmd = Gate::new();
+        let done = Gate::new();
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    for epoch in 1..=EPOCHS {
+                        cmd.wait_at_least(epoch);
+                        done.add(1);
+                    }
+                });
+            }
+            for epoch in 1..=EPOCHS {
+                cmd.advance_to(epoch);
+                done.wait_at_least(2 * epoch);
+            }
+        });
+        assert_eq!(done.current(), 2 * EPOCHS);
+    }
+}

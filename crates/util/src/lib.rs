@@ -22,7 +22,10 @@
 //!   encoder;
 //! * [`span`] — a hierarchical wall-clock span profiler kept in a
 //!   stream separate from the deterministic telemetry trace, so
-//!   timing data never perturbs bit-identical trace output.
+//!   timing data never perturbs bit-identical trace output;
+//! * [`gate`] — a monotonic epoch gate (spin-then-park) for
+//!   phase-synchronized worker pools such as the simulator's per-run
+//!   edge shards.
 //!
 //! # Examples
 //!
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
 pub mod json;
 pub mod rng;
 pub mod series;

@@ -345,6 +345,13 @@ impl Recorder {
         });
     }
 
+    /// Appends an already-built event record. Used when replaying
+    /// events buffered outside the recorder (e.g. by parallel workers
+    /// that must not share the recorder) in a deterministic order.
+    pub fn record_event(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
     /// Current value of a counter (zero if never incremented).
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
