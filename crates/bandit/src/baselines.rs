@@ -130,6 +130,19 @@ impl ModelSelector for FixedArm {
     fn name(&self) -> &'static str {
         "fixed"
     }
+
+    // Stateless: checkpoint/restore is a no-op.
+    fn export_state(&self) -> Result<cne_util::json::Json, String> {
+        Ok(cne_util::json::Json::Null)
+    }
+
+    fn import_state(&mut self, state: &cne_util::json::Json) -> Result<(), String> {
+        if state.is_null() {
+            Ok(())
+        } else {
+            Err("fixed-arm selector expects a null state snapshot".into())
+        }
+    }
 }
 
 /// ε-greedy with a `c/t` exploration schedule: with probability

@@ -235,6 +235,124 @@ impl ModelSelector for BlockTsallisInf {
         self.name
     }
 
+    fn export_state(&self) -> Result<cne_util::json::Json, String> {
+        use cne_util::json::Json;
+        let floats = |v: &[f64]| Json::Arr(v.iter().map(|&x| Json::Float(x)).collect());
+        Ok(Json::Obj(vec![
+            ("kind".into(), Json::Str("block-tsallis-inf".into())),
+            ("next_slot".into(), Json::UInt(self.next_slot as u64)),
+            ("cum_estimates".into(), floats(&self.cum_estimates)),
+            ("current_probs".into(), floats(&self.current_probs)),
+            ("current_arm".into(), Json::UInt(self.current_arm as u64)),
+            ("block_loss".into(), Json::Float(self.block_loss)),
+            ("block_tainted".into(), Json::Bool(self.block_tainted)),
+            ("anchor_sum".into(), Json::Float(self.anchor_sum)),
+            ("anchor_count".into(), Json::UInt(self.anchor_count)),
+            ("anchored".into(), Json::Bool(self.anchored)),
+            (
+                "warm_lambda".into(),
+                self.warm_lambda
+                    .map_or(cne_util::json::Json::Null, Json::Float),
+            ),
+        ]))
+    }
+
+    fn import_state(&mut self, state: &cne_util::json::Json) -> Result<(), String> {
+        use cne_util::json::Json;
+        if state.get("kind").and_then(Json::as_str) != Some("block-tsallis-inf") {
+            return Err("selector state is not a block-tsallis-inf snapshot".into());
+        }
+        let floats = |key: &str| -> Result<Vec<f64>, String> {
+            state
+                .get(key)
+                .and_then(Json::as_array)
+                .ok_or_else(|| format!("selector state is missing array '{key}'"))?
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .ok_or_else(|| format!("non-numeric entry in '{key}'"))
+                })
+                .collect()
+        };
+        let uint = |key: &str| -> Result<u64, String> {
+            state
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("selector state is missing integer '{key}'"))
+        };
+        let float = |key: &str| -> Result<f64, String> {
+            state
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("selector state is missing number '{key}'"))
+        };
+        let flag = |key: &str| -> Result<bool, String> {
+            state
+                .get(key)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| format!("selector state is missing flag '{key}'"))
+        };
+        let cum_estimates = floats("cum_estimates")?;
+        let current_probs = floats("current_probs")?;
+        if cum_estimates.len() != self.num_arms || current_probs.len() != self.num_arms {
+            return Err(format!(
+                "selector state has {} arms but this selector has {}",
+                cum_estimates.len(),
+                self.num_arms
+            ));
+        }
+        let next_slot =
+            usize::try_from(uint("next_slot")?).map_err(|_| "slot overflow".to_owned())?;
+        if next_slot > self.schedule.horizon() {
+            return Err(format!(
+                "selector state is at slot {next_slot} but the horizon is {}",
+                self.schedule.horizon()
+            ));
+        }
+        let current_arm =
+            usize::try_from(uint("current_arm")?).map_err(|_| "arm overflow".to_owned())?;
+        if current_arm >= self.num_arms {
+            return Err(format!(
+                "selector state's arm {current_arm} is out of range"
+            ));
+        }
+        if flag("anchored")? != self.anchored {
+            return Err("selector state disagrees about the anchored estimator".into());
+        }
+        let warm_lambda = match state.get("warm_lambda") {
+            None => return Err("selector state is missing 'warm_lambda'".into()),
+            Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_f64()
+                    .ok_or_else(|| "non-numeric 'warm_lambda'".to_owned())?,
+            ),
+        };
+        // Replay the RNG to the checkpointed position: select() makes
+        // exactly one uniform draw at each block start, so the number
+        // of draws consumed by an uninterrupted run that has finished
+        // slots 0..next_slot is the number of block starts among them.
+        assert_eq!(
+            self.next_slot, 0,
+            "import_state requires a freshly built selector"
+        );
+        let draws = (0..next_slot)
+            .filter(|&t| self.schedule.is_block_start(t))
+            .count();
+        for _ in 0..draws {
+            let _: f64 = self.rng.gen();
+        }
+        self.cum_estimates = cum_estimates;
+        self.current_probs = current_probs;
+        self.current_arm = current_arm;
+        self.block_loss = float("block_loss")?;
+        self.block_tainted = flag("block_tainted")?;
+        self.next_slot = next_slot;
+        self.anchor_sum = float("anchor_sum")?;
+        self.anchor_count = uint("anchor_count")?;
+        self.warm_lambda = warm_lambda;
+        Ok(())
+    }
+
     fn record_telemetry(&self, edge: usize, rec: &mut cne_util::telemetry::Recorder) {
         let (top_arm, top_prob) = self
             .current_probs
@@ -477,5 +595,65 @@ mod tests {
         assert!(
             (alg.cumulative_estimates()[arm2] - if arm2 == arm1 { got } else { 0.0 }).abs() < 1e-12
         );
+    }
+
+    #[test]
+    fn export_import_resumes_bit_identically() {
+        // Drive a reference selector to the horizon, an interrupted
+        // twin to slot k; restore a fresh same-seed selector from the
+        // snapshot and drive both to the end on identical losses.
+        let horizon = 60;
+        let schedule = || Schedule::theorem1(1.5, 3, horizon);
+        let losses: Vec<f64> = (0..horizon)
+            .map(|t| ((t * 7 + 3) % 10) as f64 / 10.0)
+            .collect();
+        for k in [1usize, 17, 30, horizon - 1] {
+            let mut reference = BlockTsallisInf::new(3, schedule(), SeedSequence::new(21));
+            let mut halted = BlockTsallisInf::new(3, schedule(), SeedSequence::new(21));
+            for (t, &loss) in losses.iter().enumerate() {
+                if t == k {
+                    let snap = halted.export_state().expect("export");
+                    // The snapshot survives a JSON round trip exactly.
+                    let text = snap.encode();
+                    let reparsed = cne_util::json::parse(&text).expect("parse");
+                    assert_eq!(reparsed.encode(), text, "snapshot not byte-stable");
+                    let mut resumed = BlockTsallisInf::new(3, schedule(), SeedSequence::new(21));
+                    resumed.import_state(&reparsed).expect("import");
+                    halted = resumed;
+                }
+                let a = reference.select(t);
+                let b = halted.select(t);
+                assert_eq!(a, b, "arms diverged at slot {t} after resume at {k}");
+                if t % 11 == 5 {
+                    reference.observe_lost(t);
+                    halted.observe_lost(t);
+                } else {
+                    reference.observe(t, a, loss);
+                    halted.observe(t, b, loss);
+                }
+            }
+            assert_eq!(
+                reference.cumulative_estimates(),
+                halted.cumulative_estimates(),
+                "estimates diverged after resume at {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn import_rejects_mismatched_snapshots() {
+        let mut alg = BlockTsallisInf::plain(2, 10, SeedSequence::new(22));
+        assert!(alg
+            .import_state(&cne_util::json::parse("{\"kind\":\"other\"}").unwrap())
+            .is_err());
+        let four_arms = BlockTsallisInf::plain(4, 10, SeedSequence::new(22))
+            .export_state()
+            .unwrap();
+        assert!(alg.import_state(&four_arms).is_err());
+        let unanchored = BlockTsallisInf::plain(2, 10, SeedSequence::new(22))
+            .with_anchor(false)
+            .export_state()
+            .unwrap();
+        assert!(alg.import_state(&unanchored).is_err());
     }
 }

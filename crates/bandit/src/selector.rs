@@ -1,5 +1,6 @@
 //! The common interface of all model selectors.
 
+use cne_util::json::Json;
 use cne_util::span::Profiler;
 use cne_util::telemetry::Recorder;
 
@@ -59,6 +60,44 @@ pub trait ModelSelector: Send {
     /// nothing; stateful selectors override it.
     fn record_telemetry(&self, edge: usize, rec: &mut Recorder) {
         let _ = (edge, rec);
+    }
+
+    /// Exports the selector's mutable learned state as JSON, for a
+    /// checkpoint taken between slots (after `observe`/`observe_lost`
+    /// of slot `t − 1`, before `select` of slot `t`).
+    ///
+    /// The default refuses: a serve daemon would rather fail the
+    /// checkpoint than silently drop learner state on resume.
+    /// Stateless selectors return [`Json::Null`]; stateful ones return
+    /// everything [`import_state`](Self::import_state) needs to
+    /// continue the run bit-identically.
+    ///
+    /// # Errors
+    /// Returns an error when the selector does not support
+    /// checkpoint/restore.
+    fn export_state(&self) -> Result<Json, String> {
+        Err(format!(
+            "selector '{}' does not support checkpoint/restore",
+            self.name()
+        ))
+    }
+
+    /// Restores state produced by [`export_state`](Self::export_state)
+    /// onto a *freshly built* selector — same construction parameters
+    /// and seed, no slots visited yet. Implementations that own
+    /// randomness replay their RNG to the checkpointed position, so
+    /// the resumed selector's draws match an uninterrupted run's.
+    ///
+    /// # Errors
+    /// Returns an error when the selector does not support
+    /// checkpoint/restore, or when `state` does not match this
+    /// selector's shape.
+    fn import_state(&mut self, state: &Json) -> Result<(), String> {
+        let _ = state;
+        Err(format!(
+            "selector '{}' does not support checkpoint/restore",
+            self.name()
+        ))
     }
 }
 

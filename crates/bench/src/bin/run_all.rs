@@ -12,8 +12,8 @@
 //! pass `--telemetry` to individual binaries instead.
 //!
 //! With `--bench` the figure binaries are skipped and the wall-clock
-//! benchmark suite runs instead, writing `BENCH_slot_loop.json` and
-//! `BENCH_e2e.json` to the output directory (see [`cne_bench::perf`]).
+//! benchmark suite runs instead, writing the `BENCH_*.json` reports
+//! to the output directory (see [`cne_bench::perf`]).
 
 use std::process::Command;
 

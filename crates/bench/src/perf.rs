@@ -2,7 +2,7 @@
 //! measurements of the three hot paths, written as machine-readable
 //! `BENCH_*.json` files.
 //!
-//! Three paths are timed, each with the [`cne_util::span`] profiler:
+//! Four paths are timed, each with the [`cne_util::span`] profiler:
 //!
 //! * **slot serving** in `edgesim::env` — a fixed-placement policy run
 //!   under both [`ServeMode`]s over the Fig. 14 runtime-vs-edges grid,
@@ -13,10 +13,13 @@
 //!   [`tsallis_weights_into`] solves over a drifting loss vector, cold
 //!   versus warm-started;
 //! * **primal–dual steps** in `cne-trading` — Algorithm 2's
-//!   decide/observe pair over a synthetic price series.
+//!   decide/observe pair over a synthetic price series;
+//! * **streaming serve** in `cne-core::serve` — `Ours` driven
+//!   slot-by-slot through a [`ServeSession`], plus the checkpoint
+//!   encode cost and a hard-floored mid-run resume equivalence check.
 //!
-//! Output schema (`cne-bench/v1`), shared by `BENCH_slot_loop.json`
-//! and `BENCH_e2e.json`:
+//! Output schema (`cne-bench/v1`), shared by every `BENCH_*.json`
+//! file:
 //!
 //! ```json
 //! {"schema":"cne-bench/v1","mode":"quick","entries":[
@@ -35,11 +38,13 @@
 
 use cne_bandit::omd::tsallis_weights_into;
 use cne_core::combos::Combo;
+use cne_core::{Checkpoint, ServeOptions, ServeSession};
 use cne_edgesim::policy::{Policy, SlotFeedback};
 use cne_edgesim::{Environment, ServeMode};
 use cne_market::TradeBounds;
 use cne_nn::ModelZoo;
 use cne_simdata::dataset::TaskKind;
+use cne_simdata::workload::DiurnalWorkload;
 use cne_trading::policy::{TradeContext, TradeObservation, TradingPolicy};
 use cne_trading::{PrimalDual, PrimalDualConfig};
 use cne_util::json::Json;
@@ -407,6 +412,156 @@ fn bench_primal_dual(horizon: usize, reps: usize, entries: &mut Vec<BenchEntry>)
     });
 }
 
+/// The streaming serve daemon's hot path: `Ours` driven slot-by-slot
+/// through a [`ServeSession`] over exactly the arrivals a batch run of
+/// the same seed would draw.
+///
+/// Determinism first, mirroring the other suites: the served record
+/// must equal the batch driver's, and in both serve modes the session
+/// is checkpointed mid-run, round-tripped through the on-disk
+/// encoding, resumed, and byte-compared (record + telemetry trace)
+/// against the uninterrupted session — the `resume_identical` entry
+/// carries a hard 1.0 floor. The timed entries then measure the
+/// per-slot ingest cost, the full checkpoint encode, and the streaming
+/// overhead versus the batch driver's `env.run` on the same arrivals.
+fn bench_serve_loop(scale: &Scale, zoo: &ModelZoo, reps: usize, entries: &mut Vec<BenchEntry>) {
+    const SEED: u64 = 7;
+    let edges = scale.default_edges;
+    let config = scale.config(TaskKind::MnistLike, edges);
+    let horizon = config.horizon;
+    // Stream exactly the raw arrivals a batch run of this seed would
+    // draw, so the serve session and `env.run` do identical work (the
+    // overhead ratio is apples-to-apples and the records must match).
+    let env_seed = SeedSequence::new(SEED).derive("env");
+    let workload = DiurnalWorkload::new(config.workload);
+    let per_edge: Vec<Vec<u64>> = (0..edges)
+        .map(|i| {
+            workload
+                .trace(i, &env_seed.derive("workload"))
+                .counts()
+                .to_vec()
+        })
+        .collect();
+    let arrivals: Vec<Vec<u64>> = (0..horizon)
+        .map(|t| per_edge.iter().map(|row| row[t]).collect())
+        .collect();
+
+    let mut identical = true;
+    {
+        let env = Environment::new(config.clone(), zoo, &env_seed);
+        let mut policy = Combo::ours().build(&env, &SeedSequence::new(SEED).derive("alg"));
+        let batch_record = env.run(&mut policy);
+        let opts = ServeOptions::default();
+        let mut session = ServeSession::new(config.clone(), zoo, SEED, Combo::ours(), &opts);
+        for row in &arrivals {
+            session.push_slot(row);
+        }
+        identical &= session.finish().record == batch_record;
+    }
+    for serve_mode in [ServeMode::Batched, ServeMode::PerRequest] {
+        let opts = ServeOptions {
+            serve_mode,
+            edge_threads: 1,
+            telemetry: true,
+        };
+        let mut full = ServeSession::new(config.clone(), zoo, SEED, Combo::ours(), &opts);
+        for row in &arrivals {
+            full.push_slot(row);
+        }
+        let full_out = full.finish();
+
+        let mut head = ServeSession::new(config.clone(), zoo, SEED, Combo::ours(), &opts);
+        for row in &arrivals[..horizon / 2] {
+            head.push_slot(row);
+        }
+        let text = head.checkpoint().expect("Ours checkpoints").encode();
+        let ckpt = Checkpoint::parse(&text).expect("well-formed checkpoint");
+        let mut tail = ServeSession::resume(config.clone(), zoo, Combo::ours(), &ckpt, &opts)
+            .expect("resume from own checkpoint");
+        for row in &arrivals[horizon / 2..] {
+            tail.push_slot(row);
+        }
+        let out = tail.finish();
+        identical &= ckpt.encode() == text
+            && out.record == full_out.record
+            && out.telemetry.map(|r| r.to_jsonl_string())
+                == full_out.telemetry.map(|r| r.to_jsonl_string());
+    }
+    entries.push(BenchEntry {
+        name: format!("serve_loop/resume_identical/edges={edges}"),
+        metric: "bool".to_owned(),
+        value: if identical { 1.0 } else { 0.0 },
+        better: "higher",
+        gate: false,
+        min: Some(1.0),
+    });
+
+    let mut push_us = Vec::with_capacity(reps);
+    let mut ckpt_us = Vec::with_capacity(reps);
+    let mut batch_us = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut session = ServeSession::new(
+            config.clone(),
+            zoo,
+            SEED,
+            Combo::ours(),
+            &ServeOptions::default(),
+        );
+        let mut stopwatch = Profiler::new();
+        stopwatch.enter("serve");
+        for row in &arrivals {
+            session.push_slot(row);
+        }
+        stopwatch.exit();
+        push_us.push(stopwatch.total_us("serve") / horizon as f64);
+
+        let mut stopwatch = Profiler::new();
+        stopwatch.enter("ckpt");
+        let text = session.checkpoint().expect("Ours checkpoints").encode();
+        stopwatch.exit();
+        assert!(!text.is_empty());
+        ckpt_us.push(stopwatch.total_us("ckpt"));
+
+        // A cold batch replay over the same arrivals, for the overhead
+        // ratio. Environment construction is timed too: it pre-draws
+        // every slot's sample stream, work the streaming session does
+        // lazily inside `push_slot`.
+        let seed = SeedSequence::new(SEED);
+        let mut stopwatch = Profiler::new();
+        stopwatch.enter("batch");
+        let env = Environment::new(config.clone(), zoo, &seed.derive("env"));
+        let mut policy = Combo::ours().build(&env, &seed.derive("alg"));
+        let _ = env.run(&mut policy);
+        stopwatch.exit();
+        batch_us.push(stopwatch.total_us("batch") / horizon as f64);
+    }
+    let push = median(push_us);
+    entries.push(BenchEntry {
+        name: format!("serve_loop/push_slot/edges={edges}"),
+        metric: "us_per_slot".to_owned(),
+        value: push,
+        better: "lower",
+        gate: true,
+        min: None,
+    });
+    entries.push(BenchEntry {
+        name: format!("serve_loop/checkpoint/edges={edges}"),
+        metric: "us_per_checkpoint".to_owned(),
+        value: median(ckpt_us),
+        better: "lower",
+        gate: true,
+        min: None,
+    });
+    entries.push(BenchEntry {
+        name: format!("serve_loop/overhead/edges={edges}"),
+        metric: "ratio".to_owned(),
+        value: push / median(batch_us),
+        better: "lower",
+        gate: false,
+        min: None,
+    });
+}
+
 /// Full-system runs (environment + `Ours`) over the Fig. 14
 /// runtime-vs-edges grid.
 fn bench_e2e(scale: &Scale, zoo: &ModelZoo, reps: usize, entries: &mut Vec<BenchEntry>) {
@@ -521,8 +676,9 @@ fn bench_edge_parallel(scale: &Scale, zoo: &ModelZoo, reps: usize, entries: &mut
 }
 
 /// Runs the whole benchmark suite at the given scale and writes
-/// `BENCH_slot_loop.json`, `BENCH_e2e.json`, and
-/// `BENCH_edge_parallel.json` into its output directory.
+/// `BENCH_slot_loop.json`, `BENCH_e2e.json`,
+/// `BENCH_edge_parallel.json`, and `BENCH_serve.json` into its output
+/// directory.
 ///
 /// # Panics
 /// Panics if the output directory cannot be written.
@@ -559,11 +715,19 @@ pub fn run_bench(scale: &Scale) {
         entries: edge_parallel_entries,
     };
 
+    let mut serve_entries = Vec::new();
+    bench_serve_loop(scale, &zoo, reps, &mut serve_entries);
+    let serve_report = BenchReport {
+        mode: mode.to_owned(),
+        entries: serve_entries,
+    };
+
     std::fs::create_dir_all(&scale.out_dir).expect("create output directory");
     for (file, report) in [
         ("BENCH_slot_loop.json", &slot_report),
         ("BENCH_e2e.json", &e2e_report),
         ("BENCH_edge_parallel.json", &edge_parallel_report),
+        ("BENCH_serve.json", &serve_report),
     ] {
         let path = scale.out_dir.join(file);
         std::fs::write(&path, report.to_json_string() + "\n").expect("write bench report");
@@ -576,6 +740,7 @@ pub fn run_bench(scale: &Scale) {
         .iter()
         .chain(&e2e_report.entries)
         .chain(&edge_parallel_report.entries)
+        .chain(&serve_report.entries)
     {
         println!(
             "  {:<38} {:>12.3} {}",

@@ -47,6 +47,38 @@ pub struct Options {
     /// `cne_faults::FaultScenario`); `None` keeps the paper's
     /// fault-free setting.
     pub faults: Option<String>,
+    /// `serve`/`gen-arrivals`: the single run seed (the batch driver's
+    /// `--seeds K` averages seeds `1..=K`; a daemon serves exactly
+    /// one).
+    pub seed: u64,
+    /// `serve`: write checkpoints to this path.
+    pub checkpoint: Option<String>,
+    /// `serve`: rewrite the checkpoint after every N served slots.
+    pub checkpoint_every: Option<usize>,
+    /// `serve`: resume from a checkpoint file instead of starting
+    /// fresh.
+    pub resume: Option<String>,
+    /// `serve`: stop after slot K is served — write the checkpoint and
+    /// exit cleanly (for drills and CI).
+    pub halt_at_slot: Option<usize>,
+    /// `serve`: close the open slot after N request lines.
+    pub slot_requests: Option<usize>,
+    /// `serve`: close the open slot after M wall-clock milliseconds.
+    pub slot_ms: Option<u64>,
+    /// `serve`: listen on `unix:PATH` or `tcp:ADDR` instead of stdin.
+    pub listen: Option<String>,
+    /// `gen-arrivals`: arrival-process name (diurnal | bursty |
+    /// heavy-tail).
+    pub process: String,
+    /// `gen-arrivals`: first slot to emit (resume tails regenerate
+    /// exactly the suffix a full generation would produce).
+    pub start_slot: usize,
+    /// `serve`/`gen-arrivals`: slot-count override (`serve`: horizon;
+    /// `gen-arrivals`: slots to emit).
+    pub slots: Option<usize>,
+    /// `gen-arrivals`: expected busiest-edge slot count at the diurnal
+    /// peak.
+    pub peak: Option<f64>,
     /// Positional arguments (e.g. the trace file for `report`).
     pub inputs: Vec<String>,
 }
@@ -70,6 +102,18 @@ impl Default for Options {
             tolerance: 0.25,
             serve_per_request: false,
             faults: None,
+            seed: 1,
+            checkpoint: None,
+            checkpoint_every: None,
+            resume: None,
+            halt_at_slot: None,
+            slot_requests: None,
+            slot_ms: None,
+            listen: None,
+            process: "diurnal".to_owned(),
+            start_slot: 0,
+            slots: None,
+            peak: None,
             inputs: Vec::new(),
         }
     }
@@ -148,6 +192,76 @@ impl Options {
                 }
                 "--serve-per-request" => opts.serve_per_request = true,
                 "--faults" => opts.faults = Some(value("--faults")?),
+                "--seed" => {
+                    opts.seed = value("--seed")?
+                        .parse()
+                        .map_err(|_| "seed must be a non-negative integer".to_owned())?;
+                }
+                "--checkpoint" => opts.checkpoint = Some(value("--checkpoint")?),
+                "--checkpoint-every" => {
+                    let n: usize = value("--checkpoint-every")?
+                        .parse()
+                        .map_err(|_| "checkpoint-every must be a positive integer".to_owned())?;
+                    if n == 0 {
+                        return Err("checkpoint-every must be at least 1".to_owned());
+                    }
+                    opts.checkpoint_every = Some(n);
+                }
+                "--resume" => opts.resume = Some(value("--resume")?),
+                "--halt-at-slot" => {
+                    let k: usize = value("--halt-at-slot")?
+                        .parse()
+                        .map_err(|_| "halt-at-slot must be a positive integer".to_owned())?;
+                    if k == 0 {
+                        return Err("halt-at-slot must be at least 1 (slot 0 \
+                                    has not been served yet)"
+                            .to_owned());
+                    }
+                    opts.halt_at_slot = Some(k);
+                }
+                "--slot-requests" => {
+                    let n: usize = value("--slot-requests")?
+                        .parse()
+                        .map_err(|_| "slot-requests must be a positive integer".to_owned())?;
+                    if n == 0 {
+                        return Err("slot-requests must be at least 1".to_owned());
+                    }
+                    opts.slot_requests = Some(n);
+                }
+                "--slot-ms" => {
+                    let ms: u64 = value("--slot-ms")?
+                        .parse()
+                        .map_err(|_| "slot-ms must be a positive integer".to_owned())?;
+                    if ms == 0 {
+                        return Err("slot-ms must be at least 1".to_owned());
+                    }
+                    opts.slot_ms = Some(ms);
+                }
+                "--listen" => opts.listen = Some(value("--listen")?),
+                "--process" => opts.process = value("--process")?,
+                "--start-slot" => {
+                    opts.start_slot = value("--start-slot")?
+                        .parse()
+                        .map_err(|_| "start-slot must be a non-negative integer".to_owned())?;
+                }
+                "--slots" => {
+                    let n: usize = value("--slots")?
+                        .parse()
+                        .map_err(|_| "slots must be a positive integer".to_owned())?;
+                    if n == 0 {
+                        return Err("slots must be at least 1".to_owned());
+                    }
+                    opts.slots = Some(n);
+                }
+                "--peak" => {
+                    let p: f64 = value("--peak")?
+                        .parse()
+                        .map_err(|_| "peak must be a number".to_owned())?;
+                    if !p.is_finite() || p <= 0.0 {
+                        return Err("peak must be positive and finite".to_owned());
+                    }
+                    opts.peak = Some(p);
+                }
                 "--strict" => opts.strict = true,
                 "--quick" => opts.quick = true,
                 "--quantized" => opts.quantized = true,
@@ -261,6 +375,78 @@ mod tests {
         assert_eq!(o.faults.as_deref(), Some("scenarios/ci_smoke.json"));
         assert!(parse(&[]).expect("defaults").faults.is_none());
         assert!(parse(&["--faults"]).is_err());
+    }
+
+    #[test]
+    fn serve_flags() {
+        let o = parse(&[
+            "--seed",
+            "7",
+            "--checkpoint",
+            "state.ckpt",
+            "--checkpoint-every",
+            "5",
+            "--resume",
+            "old.ckpt",
+            "--halt-at-slot",
+            "12",
+            "--slot-requests",
+            "64",
+            "--slot-ms",
+            "250",
+            "--listen",
+            "unix:/tmp/serve.sock",
+        ])
+        .expect("valid");
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.checkpoint.as_deref(), Some("state.ckpt"));
+        assert_eq!(o.checkpoint_every, Some(5));
+        assert_eq!(o.resume.as_deref(), Some("old.ckpt"));
+        assert_eq!(o.halt_at_slot, Some(12));
+        assert_eq!(o.slot_requests, Some(64));
+        assert_eq!(o.slot_ms, Some(250));
+        assert_eq!(o.listen.as_deref(), Some("unix:/tmp/serve.sock"));
+
+        let d = parse(&[]).expect("defaults");
+        assert_eq!(d.seed, 1);
+        assert!(d.checkpoint.is_none() && d.resume.is_none());
+        assert!(d.checkpoint_every.is_none() && d.halt_at_slot.is_none());
+        assert!(d.slot_requests.is_none() && d.slot_ms.is_none());
+        assert!(d.listen.is_none());
+
+        assert!(parse(&["--checkpoint-every", "0"]).is_err());
+        assert!(parse(&["--halt-at-slot", "0"]).is_err());
+        assert!(parse(&["--slot-requests", "0"]).is_err());
+        assert!(parse(&["--slot-ms", "0"]).is_err());
+        assert!(parse(&["--seed", "minus-one"]).is_err());
+    }
+
+    #[test]
+    fn gen_arrivals_flags() {
+        let o = parse(&[
+            "--process",
+            "heavy-tail",
+            "--slots",
+            "24",
+            "--start-slot",
+            "8",
+            "--peak",
+            "200",
+        ])
+        .expect("valid");
+        assert_eq!(o.process, "heavy-tail");
+        assert_eq!(o.slots, Some(24));
+        assert_eq!(o.start_slot, 8);
+        assert_eq!(o.peak, Some(200.0));
+
+        let d = parse(&[]).expect("defaults");
+        assert_eq!(d.process, "diurnal");
+        assert_eq!(d.start_slot, 0);
+        assert!(d.slots.is_none() && d.peak.is_none());
+
+        assert!(parse(&["--slots", "0"]).is_err());
+        assert!(parse(&["--peak", "-3"]).is_err());
+        assert!(parse(&["--peak", "inf"]).is_err());
     }
 
     #[test]

@@ -24,6 +24,10 @@ USAGE:
 COMMANDS:
   run          evaluate one policy (default: ours) and print its summary
   compare      evaluate all 13 policies + Offline and print a ranked table
+  serve        long-lived streaming daemon: read request lines from stdin
+               or a socket, decide online, checkpoint/resume mid-run
+  gen-arrivals emit a seeded JSONL request stream for serve (diurnal,
+               bursty, or heavy-tail arrival process)
   report       analyze a telemetry trace: timings, regret vs theory, λ
   bench-check  compare a BENCH_*.json run against its committed baseline
   zoo          train and print the model zoo
@@ -66,6 +70,27 @@ FLAGS:
   --svg-dir DIR         report: also render SVG charts into DIR
   --tolerance T         bench-check: relative tolerance for gated
                         wall-clock entries (default 0.25)
+  --seed S              serve/gen-arrivals: the single run seed
+                        (default 1)
+  --slots T             serve: horizon override; gen-arrivals: slots to
+                        emit (default 40)
+  --listen ADDR         serve: read the request stream from unix:PATH
+                        or tcp:HOST:PORT instead of stdin
+  --slot-requests N     serve: close the open slot after N request
+                        lines (an explicit slot_end closes it sooner)
+  --slot-ms M           serve: close the open slot after M wall-clock
+                        milliseconds (live mode; not replayable)
+  --checkpoint FILE     serve: write controller+ledger+dual state here
+  --checkpoint-every N  serve: rewrite the checkpoint every N slots
+  --resume FILE         serve: continue bit-identically from a
+                        checkpoint written by an earlier serve
+  --halt-at-slot K      serve: checkpoint and exit once K slots are
+                        served (planned handoffs, resume drills, CI)
+  --process NAME        gen-arrivals: diurnal | bursty | heavy-tail
+  --start-slot K        gen-arrivals: emit slots K.. only (a resume
+                        tail; identical to the suffix of a full stream)
+  --peak P              gen-arrivals: busiest-edge peak slot count
+                        (default 120)
 
 EXAMPLES:
   carbon-edge run --policy ours --edges 10 --seeds 5
@@ -73,13 +98,17 @@ EXAMPLES:
   carbon-edge run --quick --edges 50 --seeds 1 --edge-threads 4
   carbon-edge run --quick --telemetry trace.jsonl
   carbon-edge run --quick --faults scenarios/ci_smoke.json --telemetry trace.jsonl
+  carbon-edge gen-arrivals --edges 4 --slots 40 | carbon-edge serve \\
+      --quick --edges 4 --telemetry served.jsonl
+  carbon-edge serve --quick --checkpoint state.ckpt --checkpoint-every 10
+  carbon-edge serve --quick --resume state.ckpt --telemetry served.jsonl
   carbon-edge report trace.jsonl --strict
   carbon-edge bench-check results/BENCH_e2e.json /tmp/bench/BENCH_e2e.json
   carbon-edge zoo --task cifar --quantized"
     );
 }
 
-fn build_zoo(opts: &Options) -> ModelZoo {
+pub(crate) fn build_zoo(opts: &Options) -> ModelZoo {
     let config = if opts.quick {
         ZooConfig::fast()
     } else {
@@ -94,7 +123,7 @@ fn build_zoo(opts: &Options) -> ModelZoo {
     }
 }
 
-fn build_config(opts: &Options) -> Result<SimConfig, String> {
+pub(crate) fn build_config(opts: &Options) -> Result<SimConfig, String> {
     let mut cfg = if opts.quick {
         let mut cfg = SimConfig::fast_test(opts.task);
         cfg.num_edges = opts.edges;
@@ -153,7 +182,7 @@ fn eval_options(opts: &Options) -> EvalOptions {
 
 /// Writes every run's recorder to one JSONL file, in `(spec, seed)`
 /// order, and prints a confirmation line.
-fn write_telemetry(path: &str, recorders: &[Recorder]) -> Result<(), String> {
+pub(crate) fn write_telemetry(path: &str, recorders: &[Recorder]) -> Result<(), String> {
     let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
     let mut sink = std::io::BufWriter::new(file);
     for rec in recorders {

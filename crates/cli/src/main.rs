@@ -4,6 +4,9 @@
 //! ```text
 //! carbon-edge run     --policy ours --edges 10 --seeds 5 [--task mnist|cifar]
 //! carbon-edge compare --edges 10 --seeds 3
+//! carbon-edge serve   --quick --seed 1 [--listen unix:PATH|tcp:ADDR]
+//!                     [--checkpoint F --checkpoint-every N] [--resume F]
+//! carbon-edge gen-arrivals --process diurnal --edges 10 --slots 40 --seed 1
 //! carbon-edge report  trace.jsonl [--strict] [--svg-dir charts]
 //! carbon-edge bench-check baseline.json current.json [--tolerance T]
 //! carbon-edge zoo     --task cifar [--quantized]
@@ -16,6 +19,7 @@ mod args;
 mod bench_check;
 mod commands;
 mod report;
+mod serve;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +37,8 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "run" => commands::run(&opts),
         "compare" => commands::compare(&opts),
+        "serve" => serve::serve(&opts),
+        "gen-arrivals" => serve::gen_arrivals(&opts),
         "report" => report::report(&opts),
         "bench-check" => bench_check::bench_check(&opts),
         "zoo" => commands::zoo(&opts),

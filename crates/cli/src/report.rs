@@ -46,7 +46,12 @@ pub fn report(opts: &Options) -> Result<(), String> {
         )
     })?;
     if runs.is_empty() {
-        return Err(format!("{trace_path}: no run traces found"));
+        return Err(format!(
+            "{trace_path}: no run traces found — the file has no slots \
+             recorded at all\n\
+             hint: record a trace first, e.g. \
+             'carbon-edge run --quick --telemetry {trace_path}'"
+        ));
     }
     println!("report       : {} run traces from {trace_path}", runs.len());
 
@@ -80,15 +85,27 @@ pub fn report(opts: &Options) -> Result<(), String> {
         ),
     }
 
-    print_run_summaries(&runs);
-    print_envelopes(&runs);
-    print_fault_summary(&runs);
-    print_lambda_trajectories(&runs);
-    print_switch_cadence(&runs);
-    print_allowance_position(&runs);
+    // Header-only traces (labels but no events) happen when a run is
+    // interrupted before its first slot, or when a serve daemon is
+    // checkpointed at slot 0. Diagnose instead of printing a wall of
+    // NaN tables.
+    if runs.iter().all(|r| r.events().is_empty()) {
+        println!(
+            "note         : no slots recorded in {trace_path} — the trace has \
+             run headers only (an interrupted or slot-0 run); nothing to \
+             analyze"
+        );
+    } else {
+        print_run_summaries(&runs);
+        print_envelopes(&runs);
+        print_fault_summary(&runs);
+        print_lambda_trajectories(&runs);
+        print_switch_cadence(&runs);
+        print_allowance_position(&runs);
 
-    if let Some(dir) = &opts.svg_dir {
-        render_svgs(dir, &runs)?;
+        if let Some(dir) = &opts.svg_dir {
+            render_svgs(dir, &runs)?;
+        }
     }
 
     // Excused envelope events (breaches attributable to an injected
@@ -574,6 +591,29 @@ mod tests {
         let path = trace.to_string_lossy().into_owned();
         std::fs::write(&trace, rec.to_jsonl_string()).expect("write trace");
         path
+    }
+
+    #[test]
+    fn empty_and_header_only_traces_are_diagnosed() {
+        let dir = std::env::temp_dir().join("cne-report-empty-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+
+        // A truly empty file: a friendly hard error, not a panic.
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "").expect("write");
+        let mut opts = Options {
+            inputs: vec![empty.to_string_lossy().into_owned()],
+            ..Options::default()
+        };
+        let err = report(&opts).expect_err("empty trace is an error");
+        assert!(err.contains("no slots"), "names the problem: {err}");
+        assert!(err.contains("hint"), "suggests a fix: {err}");
+
+        // A header-only trace (run labels, zero slot events): a
+        // friendly note, exit 0.
+        let header_only = write_ok_trace(&dir, "header-only.jsonl");
+        opts.inputs = vec![header_only];
+        report(&opts).expect("header-only trace is diagnosed, not fatal");
     }
 
     #[test]

@@ -1,0 +1,527 @@
+//! `carbon-edge serve` — a long-lived streaming daemon — and
+//! `carbon-edge gen-arrivals`, its seeded request-stream generator.
+//!
+//! The daemon reads newline-delimited JSON request lines from stdin, a
+//! Unix socket, or a TCP socket, accumulates them into the open slot,
+//! and closes the slot on an explicit `{"slot_end": true}` marker, a
+//! `--slot-requests` count, or a `--slot-ms` wall-clock deadline. Each
+//! closed slot flows through the same `ServeSession` machinery the
+//! batch driver uses, so a served trace is byte-comparable to a batch
+//! replay of the same arrivals. Between slots the daemon can write a
+//! versioned checkpoint (`--checkpoint`/`--checkpoint-every`), halt at
+//! a planned slot (`--halt-at-slot`), or catch SIGINT/SIGTERM — and a
+//! later `--resume` continues the run bit-identically. The wire
+//! protocol and checkpoint format are specified in `SERVING.md`.
+
+use std::io::{BufRead as _, Write as _};
+use std::path::Path;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use cne_core::combos::Combo;
+use cne_core::{Checkpoint, ServeOptions, ServeSession};
+use cne_edgesim::ServeMode;
+use cne_simdata::{ArrivalGen, ArrivalProcess};
+use cne_util::json::{self, Json};
+use cne_util::SeedSequence;
+
+use crate::args::Options;
+use crate::commands::{build_config, build_zoo, write_telemetry};
+
+/// Interval at which the serve loop polls for shutdown signals while
+/// no request line is pending.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Slots per synthetic day for `gen-arrivals` (matches the fast-test
+/// workload cadence so a 40-slot quick horizon spans 2.5 days).
+const SLOTS_PER_DAY: usize = 16;
+
+#[cfg(unix)]
+mod signals {
+    //! Cooperative SIGINT/SIGTERM handling: the handler only flips an
+    //! atomic flag (async-signal-safe); the serve loop polls it
+    //! between slots and turns it into a checkpoint + clean exit.
+
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn handle(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    pub fn install() {
+        // SAFETY: `signal` with a handler that only stores to an
+        // atomic is async-signal-safe; both signals default to
+        // process termination, so replacing them cannot lose any
+        // behavior the daemon relies on.
+        unsafe {
+            signal(SIGINT, handle);
+            signal(SIGTERM, handle);
+        }
+    }
+
+    pub fn triggered() -> bool {
+        SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    pub fn install() {}
+
+    pub fn triggered() -> bool {
+        false
+    }
+}
+
+/// One parsed request-stream line.
+enum WireLine {
+    /// `{"edge": i, "count": c}` — `c` requests arrived at edge `i`
+    /// during the open slot (`count` defaults to 1).
+    Request { edge: usize, count: u64 },
+    /// `{"slot_end": true}` — close the open slot now.
+    SlotEnd,
+}
+
+/// Parses one line of the wire protocol.
+fn parse_line(line: &str, num_edges: usize) -> Result<WireLine, String> {
+    let doc = json::parse(line).map_err(|e| format!("bad request line: {e}"))?;
+    let Json::Obj(fields) = doc else {
+        return Err("bad request line: expected a JSON object".to_owned());
+    };
+    let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    if let Some(v) = get("slot_end") {
+        return match v {
+            Json::Bool(true) => Ok(WireLine::SlotEnd),
+            _ => Err("bad request line: slot_end must be true".to_owned()),
+        };
+    }
+    let edge = match get("edge") {
+        Some(Json::UInt(i)) => *i as usize,
+        Some(_) => return Err("bad request line: edge must be a non-negative integer".to_owned()),
+        None => return Err("bad request line: need \"edge\" or \"slot_end\"".to_owned()),
+    };
+    if edge >= num_edges {
+        return Err(format!(
+            "bad request line: edge {edge} out of range (fleet has {num_edges} edges)"
+        ));
+    }
+    let count = match get("count") {
+        Some(Json::UInt(c)) => *c,
+        Some(_) => return Err("bad request line: count must be a non-negative integer".to_owned()),
+        None => 1,
+    };
+    Ok(WireLine::Request { edge, count })
+}
+
+/// Spawns the transport reader: a thread that feeds request lines into
+/// a channel, so the serve loop can poll deadlines and signals while
+/// the transport blocks. Dropping the sender signals EOF.
+fn spawn_reader(listen: Option<&str>) -> Result<mpsc::Receiver<std::io::Result<String>>, String> {
+    let (tx, rx) = mpsc::channel();
+    fn pump<R: std::io::Read>(source: R, tx: &mpsc::Sender<std::io::Result<String>>) {
+        let reader = std::io::BufReader::new(source);
+        for line in reader.lines() {
+            if tx.send(line).is_err() {
+                return;
+            }
+        }
+    }
+    match listen {
+        None => {
+            std::thread::spawn(move || pump(std::io::stdin(), &tx));
+        }
+        #[cfg(unix)]
+        Some(addr) if addr.strip_prefix("unix:").is_some() => {
+            let path = addr.strip_prefix("unix:").expect("checked").to_owned();
+            // Stale socket files from a previous run would make bind
+            // fail; the daemon owns the path.
+            let _ = std::fs::remove_file(&path);
+            let listener = std::os::unix::net::UnixListener::bind(&path)
+                .map_err(|e| format!("cannot listen on unix:{path}: {e}"))?;
+            eprintln!("serve        : listening on unix:{path}");
+            std::thread::spawn(move || {
+                if let Ok((stream, _)) = listener.accept() {
+                    pump(stream, &tx);
+                }
+                let _ = std::fs::remove_file(&path);
+            });
+        }
+        Some(addr) if addr.strip_prefix("tcp:").is_some() => {
+            let host = addr.strip_prefix("tcp:").expect("checked").to_owned();
+            let listener = std::net::TcpListener::bind(&host)
+                .map_err(|e| format!("cannot listen on tcp:{host}: {e}"))?;
+            eprintln!("serve        : listening on tcp:{host}");
+            std::thread::spawn(move || {
+                if let Ok((stream, _)) = listener.accept() {
+                    pump(stream, &tx);
+                }
+            });
+        }
+        Some(other) => {
+            return Err(format!(
+                "unknown transport '{other}' (expected 'unix:PATH' or 'tcp:HOST:PORT')"
+            ));
+        }
+    }
+    Ok(rx)
+}
+
+/// Writes the session's checkpoint to `path` (atomically, via a
+/// sibling temp file) and prints a confirmation line.
+fn write_checkpoint(session: &ServeSession<'_>, path: &str) -> Result<(), String> {
+    let ckpt = session.checkpoint()?;
+    ckpt.save(Path::new(path))?;
+    println!(
+        "checkpoint   : slot {} written to {path}",
+        session.next_slot()
+    );
+    Ok(())
+}
+
+/// `carbon-edge serve`.
+pub fn serve(opts: &Options) -> Result<(), String> {
+    if opts.policy.eq_ignore_ascii_case("offline") {
+        return Err("serve needs an online policy — the offline oracle \
+                    requires the whole arrival sequence in advance"
+            .to_owned());
+    }
+    let combo: Combo = opts.policy.parse().map_err(|e| format!("{e}"))?;
+    if opts.checkpoint.is_none() && (opts.checkpoint_every.is_some() || opts.halt_at_slot.is_some())
+    {
+        return Err(
+            "--checkpoint-every and --halt-at-slot need --checkpoint FILE \
+                    (where should the state go?)"
+                .to_owned(),
+        );
+    }
+
+    let mut config = build_config(opts)?;
+    if let Some(slots) = opts.slots {
+        config.horizon = slots;
+    }
+    let zoo = build_zoo(opts);
+    let serve_opts = ServeOptions {
+        serve_mode: if opts.serve_per_request {
+            ServeMode::PerRequest
+        } else {
+            ServeMode::Batched
+        },
+        edge_threads: opts.edge_threads.unwrap_or(1),
+        telemetry: opts.telemetry.is_some(),
+    };
+
+    let mut run_seed = opts.seed;
+    let mut session = if let Some(path) = &opts.resume {
+        let ckpt = Checkpoint::load(Path::new(path))?;
+        run_seed = ckpt.seed;
+        let session = ServeSession::resume(config, &zoo, combo, &ckpt, &serve_opts)?;
+        println!(
+            "resume       : slot {} of {} from {path}",
+            session.next_slot(),
+            session.horizon()
+        );
+        session
+    } else {
+        ServeSession::new(config, &zoo, opts.seed, combo, &serve_opts)
+    };
+    if let Some(k) = opts.halt_at_slot {
+        if k <= session.next_slot() || k >= session.horizon() {
+            return Err(format!(
+                "--halt-at-slot {k} is outside the remaining run \
+                 (next slot {}, horizon {})",
+                session.next_slot(),
+                session.horizon()
+            ));
+        }
+    }
+
+    signals::install();
+    let rx = spawn_reader(opts.listen.as_deref())?;
+    println!(
+        "serve        : policy {} seed {run_seed}, slot {} of {}, {} edges",
+        opts.policy,
+        session.next_slot(),
+        session.horizon(),
+        session.num_edges()
+    );
+
+    let num_edges = session.num_edges();
+    let mut open: Vec<u64> = vec![0; num_edges];
+    let mut requests_in_slot: usize = 0;
+    let mut deadline = opts
+        .slot_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let mut eof = false;
+
+    while !session.is_done() {
+        if signals::triggered() {
+            if let Some(path) = &opts.checkpoint {
+                write_checkpoint(&session, path)?;
+            }
+            eprintln!(
+                "serve        : shutdown signal at slot {} — exiting cleanly{}",
+                session.next_slot(),
+                if opts.checkpoint.is_some() {
+                    ""
+                } else {
+                    " (no --checkpoint path; state discarded)"
+                }
+            );
+            return Ok(());
+        }
+        if eof {
+            // Input ended before the horizon: pad the remaining slots
+            // with zero arrivals so the run still settles cleanly.
+            if requests_in_slot == 0 {
+                open.iter_mut().for_each(|c| *c = 0);
+            }
+            close_slot(
+                &mut session,
+                &mut open,
+                &mut requests_in_slot,
+                &mut deadline,
+                opts,
+            )?;
+            if let Some(k) = opts.halt_at_slot {
+                if session.next_slot() == k {
+                    return halt(&session, opts);
+                }
+            }
+            continue;
+        }
+        let wait = match deadline {
+            Some(d) => d.saturating_duration_since(Instant::now()).min(IDLE_POLL),
+            None => IDLE_POLL,
+        };
+        let line = match rx.recv_timeout(wait) {
+            Ok(Ok(line)) => line,
+            Ok(Err(e)) => return Err(format!("transport error: {e}")),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Wall-clock slot close (live mode only).
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    close_slot(
+                        &mut session,
+                        &mut open,
+                        &mut requests_in_slot,
+                        &mut deadline,
+                        opts,
+                    )?;
+                    if let Some(k) = opts.halt_at_slot {
+                        if session.next_slot() == k {
+                            return halt(&session, opts);
+                        }
+                    }
+                }
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                let remaining = session.horizon() - session.next_slot();
+                eprintln!(
+                    "serve        : input ended at slot {} — padding {remaining} \
+                     remaining slot(s) with zero arrivals",
+                    session.next_slot()
+                );
+                eof = true;
+                continue;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line.trim(), num_edges)? {
+            WireLine::Request { edge, count } => {
+                open[edge] += count;
+                requests_in_slot += 1;
+                if opts.slot_requests.is_some_and(|n| requests_in_slot >= n) {
+                    close_slot(
+                        &mut session,
+                        &mut open,
+                        &mut requests_in_slot,
+                        &mut deadline,
+                        opts,
+                    )?;
+                }
+            }
+            WireLine::SlotEnd => {
+                close_slot(
+                    &mut session,
+                    &mut open,
+                    &mut requests_in_slot,
+                    &mut deadline,
+                    opts,
+                )?;
+            }
+        }
+        if let Some(k) = opts.halt_at_slot {
+            if session.next_slot() == k {
+                return halt(&session, opts);
+            }
+        }
+    }
+
+    let horizon = session.horizon();
+    let outcome = session.finish();
+    println!("served       : {horizon} slots, policy {}", opts.policy);
+    println!("total cost   : {:.1}", outcome.record.total_cost());
+    println!(
+        "violation    : {:.2} allowances",
+        outcome.record.violation()
+    );
+    println!("switches     : {}", outcome.record.total_switches());
+    println!("p1 regret    : {:.1}", outcome.p1_regret);
+    if opts.telemetry.is_some() {
+        println!(
+            "envelopes    : {} theorem-envelope violations",
+            outcome.envelope_violations
+        );
+    }
+    if let Some(path) = &opts.telemetry {
+        let rec = outcome.telemetry.expect("telemetry was requested");
+        write_telemetry(path, std::slice::from_ref(&rec))?;
+    }
+    Ok(())
+}
+
+/// Ingests the open slot into the session, resets the accumulator and
+/// the wall-clock deadline, and honors `--checkpoint-every`.
+fn close_slot(
+    session: &mut ServeSession<'_>,
+    open: &mut [u64],
+    requests_in_slot: &mut usize,
+    deadline: &mut Option<Instant>,
+    opts: &Options,
+) -> Result<(), String> {
+    session.push_slot(open);
+    open.iter_mut().for_each(|c| *c = 0);
+    *requests_in_slot = 0;
+    *deadline = opts
+        .slot_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    if let (Some(every), Some(path)) = (opts.checkpoint_every, &opts.checkpoint) {
+        if session.next_slot() % every == 0 && !session.is_done() {
+            write_checkpoint(session, path)?;
+        }
+    }
+    Ok(())
+}
+
+/// `--halt-at-slot`: write the checkpoint and exit cleanly.
+fn halt(session: &ServeSession<'_>, opts: &Options) -> Result<(), String> {
+    let path = opts.checkpoint.as_deref().expect("validated at startup");
+    write_checkpoint(session, path)?;
+    println!(
+        "halt         : {} slots served, as requested — continue with \
+         --resume {path}",
+        session.next_slot()
+    );
+    Ok(())
+}
+
+/// `carbon-edge gen-arrivals`.
+pub fn gen_arrivals(opts: &Options) -> Result<(), String> {
+    let process: ArrivalProcess = opts.process.parse().map_err(|e| format!("{e}"))?;
+    let slots = opts.slots.unwrap_or(40);
+    if opts.start_slot >= slots {
+        return Err(format!(
+            "--start-slot {} is past the last slot ({})",
+            opts.start_slot,
+            slots - 1
+        ));
+    }
+    let peak = opts.peak.unwrap_or(120.0);
+    let gen = ArrivalGen::new(
+        process,
+        opts.edges,
+        SLOTS_PER_DAY,
+        peak,
+        &SeedSequence::new(opts.seed),
+    );
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut io_err = |e: std::io::Error| format!("cannot write the request stream: {e}");
+    for t in opts.start_slot..slots {
+        for (i, &count) in gen.slot(t).iter().enumerate() {
+            // Zero-count edges are omitted: the daemon defaults
+            // unmentioned edges to zero arrivals.
+            if count > 0 {
+                writeln!(out, "{{\"edge\":{i},\"count\":{count}}}").map_err(&mut io_err)?;
+            }
+        }
+        writeln!(out, "{{\"slot_end\":true}}").map_err(&mut io_err)?;
+    }
+    out.flush().map_err(&mut io_err)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_lines_parse() {
+        match parse_line("{\"edge\": 2, \"count\": 7}", 4).expect("valid") {
+            WireLine::Request { edge, count } => {
+                assert_eq!((edge, count), (2, 7));
+            }
+            WireLine::SlotEnd => panic!("not a slot end"),
+        }
+        match parse_line("{\"edge\": 0}", 4).expect("count defaults to 1") {
+            WireLine::Request { edge, count } => {
+                assert_eq!((edge, count), (0, 1));
+            }
+            WireLine::SlotEnd => panic!("not a slot end"),
+        }
+        assert!(matches!(
+            parse_line("{\"slot_end\": true}", 4),
+            Ok(WireLine::SlotEnd)
+        ));
+    }
+
+    #[test]
+    fn wire_lines_reject_malformed_input() {
+        assert!(parse_line("not json", 4).is_err());
+        assert!(parse_line("[1, 2]", 4).is_err());
+        assert!(parse_line("{\"slot_end\": false}", 4).is_err());
+        assert!(parse_line("{\"count\": 3}", 4).is_err(), "edge is required");
+        assert!(parse_line("{\"edge\": -1}", 4).is_err());
+        assert!(parse_line("{\"edge\": 4}", 4).is_err(), "out of range");
+        assert!(parse_line("{\"edge\": 1, \"count\": -2}", 4).is_err());
+    }
+
+    #[test]
+    fn generated_stream_is_deterministic_and_well_formed() {
+        let gen = ArrivalGen::new(
+            ArrivalProcess::Bursty,
+            3,
+            SLOTS_PER_DAY,
+            90.0,
+            &SeedSequence::new(5),
+        );
+        // Every generated line must round-trip through the daemon's
+        // own parser, and slot counts must reconstruct exactly.
+        for t in 0..20 {
+            let counts = gen.slot(t);
+            let mut rebuilt = vec![0u64; 3];
+            for (i, &c) in counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let line = format!("{{\"edge\":{i},\"count\":{c}}}");
+                match parse_line(&line, 3).expect("generated lines parse") {
+                    WireLine::Request { edge, count } => rebuilt[edge] += count,
+                    WireLine::SlotEnd => panic!("not a slot end"),
+                }
+            }
+            assert_eq!(rebuilt, counts, "slot {t}");
+        }
+    }
+}

@@ -12,6 +12,7 @@ use std::any::Any;
 use cne_bandit::ModelSelector;
 use cne_edgesim::policy::{EdgeShard, EdgeSlotOutcome, Policy, SlotFeedback};
 use cne_trading::policy::{TradeContext, TradeObservation, TradingPolicy};
+use cne_util::json::Json;
 use cne_util::units::Allowances;
 
 use crate::problem::LossNormalizer;
@@ -66,6 +67,97 @@ impl ComboController {
     #[must_use]
     pub fn normalizer(&self) -> LossNormalizer {
         self.normalizer
+    }
+
+    /// Exports the controller's mutable state as JSON for a checkpoint
+    /// taken between slots: every selector's learned state (in edge
+    /// order), the trader's state, and the last placement.
+    ///
+    /// # Errors
+    /// Returns an error when any selector or the trader does not
+    /// support checkpoint/restore.
+    pub fn export_state(&self) -> Result<Json, String> {
+        let mut selectors = Vec::with_capacity(self.selectors.len());
+        for (i, sel) in self.selectors.iter().enumerate() {
+            let state = sel.export_state().map_err(|e| format!("edge {i}: {e}"))?;
+            selectors.push(state);
+        }
+        Ok(Json::Obj(vec![
+            ("kind".to_owned(), Json::Str("combo-controller".to_owned())),
+            ("selectors".to_owned(), Json::Arr(selectors)),
+            ("trader".to_owned(), self.trader.export_state()?),
+            (
+                "last_placement".to_owned(),
+                Json::Arr(
+                    self.last_placement
+                        .iter()
+                        .map(|&n| Json::UInt(n as u64))
+                        .collect(),
+                ),
+            ),
+        ]))
+    }
+
+    /// Restores state produced by [`export_state`](Self::export_state)
+    /// onto a freshly built controller (same combo, environment, and
+    /// seed — i.e. rebuilt through `Combo::build`, no slots visited).
+    ///
+    /// # Errors
+    /// Returns an error when `state` does not match this controller's
+    /// shape or a component rejects its snapshot.
+    pub fn import_state(&mut self, state: &Json) -> Result<(), String> {
+        if state.as_object().is_none() {
+            return Err("controller state must be an object".to_owned());
+        }
+        let kind = state
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("controller state is missing its 'kind' tag")?;
+        if kind != "combo-controller" {
+            return Err(format!("expected a combo-controller state, got '{kind}'"));
+        }
+        let selectors = state
+            .get("selectors")
+            .and_then(Json::as_array)
+            .ok_or("controller state is missing 'selectors'")?;
+        if selectors.len() != self.selectors.len() {
+            return Err(format!(
+                "checkpoint has {} selector states but the controller has {} edges",
+                selectors.len(),
+                self.selectors.len()
+            ));
+        }
+        let trader = state
+            .get("trader")
+            .ok_or("controller state is missing 'trader'")?;
+        let placement = state
+            .get("last_placement")
+            .and_then(Json::as_array)
+            .ok_or("controller state is missing 'last_placement'")?;
+        if placement.len() != self.last_placement.len() {
+            return Err("last_placement length does not match the number of edges".to_owned());
+        }
+        let num_arms = self.selectors[0].num_arms();
+        let mut restored_placement = Vec::with_capacity(placement.len());
+        for p in placement {
+            let n = p
+                .as_u64()
+                .ok_or("last_placement entries must be unsigned integers")?;
+            let n = usize::try_from(n).map_err(|_| "placement index overflow".to_owned())?;
+            if n >= num_arms {
+                return Err(format!("placement index {n} out of range (<{num_arms})"));
+            }
+            restored_placement.push(n);
+        }
+        // Validate everything before mutating anything, so a rejected
+        // snapshot leaves the fresh controller untouched.
+        for (i, (sel, snap)) in self.selectors.iter_mut().zip(selectors).enumerate() {
+            sel.import_state(snap)
+                .map_err(|e| format!("edge {i}: {e}"))?;
+        }
+        self.trader.import_state(trader)?;
+        self.last_placement = restored_placement;
+        Ok(())
     }
 }
 

@@ -28,6 +28,11 @@
 //! * [`offline`] — the clairvoyant `Offline` benchmark (best fixed
 //!   model per edge + exact offline trading LP);
 //! * [`runner`] — multi-seed experiment driver with averaging;
+//! * [`serve`] — the streaming serve session behind `carbon-edge
+//!   serve`: slot-at-a-time ingestion through the same decision
+//!   machinery, byte-comparable to a batch replay;
+//! * [`checkpoint`] — the versioned on-disk snapshot format behind
+//!   `serve --checkpoint-every`/`--resume`;
 //! * [`regret`] — regret (for `P0`, `P1`, `P2`) and fit computation;
 //! * [`monitor`] — theorem-envelope monitors flagging runs that stray
 //!   outside the paper's guarantees.
@@ -52,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod combos;
 pub mod controller;
 pub mod monitor;
@@ -59,7 +65,9 @@ pub mod offline;
 pub mod problem;
 pub mod regret;
 pub mod runner;
+pub mod serve;
 
+pub use checkpoint::Checkpoint;
 pub use combos::{Combo, SelectorKind, TraderKind};
 pub use controller::ComboController;
 pub use monitor::{MonitorConfig, MonitorSummary};
@@ -70,3 +78,4 @@ pub use runner::{
     resolve_threads, EvalOptions, EvalReport, EvalResult, PolicySpec, EDGE_THREADS_ENV_VAR,
     THREADS_ENV_VAR,
 };
+pub use serve::{ServeOptions, ServeOutcome, ServeSession};

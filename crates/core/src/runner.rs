@@ -306,22 +306,7 @@ fn run_job(
         profiler.as_mut(),
         edge_threads,
     );
-    let p1 = regret::p1_regret_with_switching(&env, &record);
-    let mut envelope_violations = 0;
-    if let Some(rec) = recorder.as_mut() {
-        rec.gauge("regret.p1_plus_switching", p1);
-        rec.gauge(
-            "regret.p2",
-            regret::p2_regret(
-                &record,
-                config.bounds.max_buy.get(),
-                config.bounds.max_sell.get(),
-            ),
-        );
-        rec.gauge("regret.fit", regret::fit(&record));
-        let summary = monitor::check_run(&env, &record, spec, &MonitorConfig::default(), rec);
-        envelope_violations = summary.violations;
-    }
+    let (p1, envelope_violations) = finalize_run(config, &env, &record, spec, recorder.as_mut());
     JobOutput {
         record,
         p1,
@@ -329,6 +314,38 @@ fn run_job(
         profiler,
         envelope_violations,
     }
+}
+
+/// Post-run finalization shared by the batch driver and the serve
+/// daemon: computes the P1 regret (which needs the live environment's
+/// realized prices), adds the regret-decomposition gauges to the
+/// trace, and runs the theorem-envelope monitors. Returns the P1
+/// regret and the number of envelope violations (always 0 without a
+/// recorder — the monitors read the recorded event stream).
+pub(crate) fn finalize_run(
+    config: &SimConfig,
+    env: &Environment<'_>,
+    record: &RunRecord,
+    spec: &PolicySpec,
+    recorder: Option<&mut Recorder>,
+) -> (f64, u64) {
+    let p1 = regret::p1_regret_with_switching(env, record);
+    let mut envelope_violations = 0;
+    if let Some(rec) = recorder {
+        rec.gauge("regret.p1_plus_switching", p1);
+        rec.gauge(
+            "regret.p2",
+            regret::p2_regret(
+                record,
+                config.bounds.max_buy.get(),
+                config.bounds.max_sell.get(),
+            ),
+        );
+        rec.gauge("regret.fit", regret::fit(record));
+        let summary = monitor::check_run(env, record, spec, &MonitorConfig::default(), rec);
+        envelope_violations = summary.violations;
+    }
+    (p1, envelope_violations)
 }
 
 /// Folds seed-ordered run outputs into an [`EvalResult`], in exactly

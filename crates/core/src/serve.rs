@@ -1,0 +1,310 @@
+//! The streaming serve session behind `carbon-edge serve`.
+//!
+//! [`ServeSession`] drives one long-lived run slot-by-slot: the caller
+//! feeds it raw per-edge arrival counts as slots close (collected from
+//! a pipe or socket by the CLI daemon), and the session takes the same
+//! Algorithm 1/2 decisions the batch driver would take — identical
+//! seeding (`SeedSequence::new(seed)` with the `"env"`/`"alg"`
+//! branches), identical serve path (the batched or per-request
+//! [`RunStepper`] hot loop, optionally edge-sharded), identical
+//! telemetry stream. A served trace is therefore byte-comparable to a
+//! batch replay of the same arrivals.
+//!
+//! Between any two slots the session can snapshot itself into a
+//! versioned [`Checkpoint`] and later [`resume`](ServeSession::resume)
+//! from it bit-identically: the stored raw arrivals are re-ingested
+//! (replaying the per-edge stream RNGs), the simulator's mutable state
+//! is restored onto a fresh stepper, and the controller's learned
+//! state is imported onto a freshly built policy.
+
+use cne_edgesim::{Environment, RunRecord, RunStepper, ServeMode, SimConfig};
+use cne_nn::ModelZoo;
+use cne_util::telemetry::{parse_jsonl, Recorder};
+use cne_util::SeedSequence;
+
+use crate::checkpoint::Checkpoint;
+use crate::combos::Combo;
+use crate::controller::ComboController;
+use crate::runner::{finalize_run, PolicySpec};
+
+/// Knobs for a serve session.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// How the environment reduces the per-slot request streams (same
+    /// meaning as `EvalOptions::serve_mode`).
+    pub serve_mode: ServeMode,
+    /// Edge-shard workers for the per-slot serve/select loop (1 =
+    /// sequential). Traces are bit-identical at every count.
+    pub edge_threads: usize,
+    /// Carry a telemetry [`Recorder`] through the run. Checkpoints
+    /// embed the mid-run trace so a resume continues it seamlessly.
+    pub telemetry: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            serve_mode: ServeMode::default(),
+            edge_threads: 1,
+            telemetry: false,
+        }
+    }
+}
+
+/// Everything a completed serve session produces: the run record, the
+/// telemetry trace (when enabled), and the same post-run metrics the
+/// batch driver computes.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// The completed run record (identical to a batch run over the
+    /// same arrivals).
+    pub record: RunRecord,
+    /// The telemetry recorder, when the session carried one.
+    pub telemetry: Option<Recorder>,
+    /// P1 regret + switching, as the batch driver reports it.
+    pub p1_regret: f64,
+    /// Theorem-envelope violations flagged by the monitors (0 without
+    /// telemetry).
+    pub envelope_violations: u64,
+}
+
+/// A long-lived streaming run: ingest one slot's arrivals, decide,
+/// serve, learn; checkpoint between slots; resume bit-identically.
+pub struct ServeSession<'a> {
+    env: Environment<'a>,
+    stepper: RunStepper,
+    policy: ComboController,
+    recorder: Option<Recorder>,
+    combo: Combo,
+    seed: u64,
+    arrivals: Vec<Vec<u64>>,
+}
+
+impl<'a> ServeSession<'a> {
+    /// Starts a fresh streaming session, seeded exactly like the batch
+    /// driver's `run_job`: the environment from
+    /// `SeedSequence::new(seed).derive("env")` and the policy from
+    /// `…derive("alg")`.
+    #[must_use]
+    pub fn new(
+        config: SimConfig,
+        zoo: &'a ModelZoo,
+        seed: u64,
+        combo: Combo,
+        options: &ServeOptions,
+    ) -> Self {
+        let root = SeedSequence::new(seed);
+        let env = Environment::streaming(config, zoo, &root.derive("env"), options.serve_mode);
+        let policy = combo.build(&env, &root.derive("alg"));
+        let recorder = options.telemetry.then(|| {
+            let mut rec = Recorder::new();
+            rec.set_label("policy", combo.name());
+            rec.set_label("seed", seed.to_string());
+            rec
+        });
+        let stepper = env.stepper(options.edge_threads);
+        Self {
+            env,
+            stepper,
+            policy,
+            recorder,
+            combo,
+            seed,
+            arrivals: Vec::new(),
+        }
+    }
+
+    /// Resumes a session from a checkpoint, continuing the interrupted
+    /// run bit-identically. `config` and `combo` must describe the
+    /// same run the checkpoint was taken from; the cheap invariants
+    /// recorded in the checkpoint header (policy name, serve mode,
+    /// horizon, edge count, fault scenario) are validated, the rest is
+    /// the operator's contract (see `SERVING.md`).
+    ///
+    /// The resumed session's `edge_threads` may differ from the
+    /// original's — per-edge state is stored in global edge order.
+    ///
+    /// # Errors
+    /// Returns a message when the checkpoint disagrees with `config`/
+    /// `combo`/`options` or a component rejects its snapshot.
+    pub fn resume(
+        config: SimConfig,
+        zoo: &'a ModelZoo,
+        combo: Combo,
+        checkpoint: &Checkpoint,
+        options: &ServeOptions,
+    ) -> Result<Self, String> {
+        if checkpoint.policy != combo.name() {
+            return Err(format!(
+                "checkpoint was taken with policy '{}' but this invocation builds '{}'",
+                checkpoint.policy,
+                combo.name()
+            ));
+        }
+        if checkpoint.serve_mode != options.serve_mode {
+            return Err(
+                "checkpoint serve mode does not match this invocation's serve mode".to_owned(),
+            );
+        }
+        if checkpoint.horizon != config.horizon {
+            return Err(format!(
+                "checkpoint horizon {} does not match the configured horizon {}",
+                checkpoint.horizon, config.horizon
+            ));
+        }
+        if checkpoint.num_edges != config.num_edges {
+            return Err(format!(
+                "checkpoint has {} edges but the configuration has {}",
+                checkpoint.num_edges, config.num_edges
+            ));
+        }
+        let scenario = config.faults.as_ref().map(|s| s.name.clone());
+        if checkpoint.fault_scenario != scenario {
+            return Err(format!(
+                "checkpoint fault scenario {:?} does not match the configured {:?}",
+                checkpoint.fault_scenario, scenario
+            ));
+        }
+        if options.telemetry != checkpoint.telemetry.is_some() {
+            return Err(if checkpoint.telemetry.is_some() {
+                "checkpoint carries a telemetry trace; resume with telemetry enabled".to_owned()
+            } else {
+                "checkpoint has no telemetry trace; resume with telemetry disabled".to_owned()
+            });
+        }
+
+        let mut session = Self::new(config, zoo, checkpoint.seed, combo, options);
+        // Re-ingest the stored raw arrivals: this replays the per-edge
+        // stream RNGs and rebuilds the workload statistics exactly as
+        // the original process saw them.
+        for (t, raw) in checkpoint.arrivals.iter().enumerate() {
+            session.env.ingest_slot(t, raw);
+        }
+        session
+            .stepper
+            .restore_state(&session.env, &checkpoint.stepper)?;
+        session.policy.import_state(&checkpoint.policy_state)?;
+        if let Some(text) = &checkpoint.telemetry {
+            let mut recorders = parse_jsonl(text)
+                .map_err(|e| format!("checkpoint telemetry trace is corrupt: {e}"))?;
+            if recorders.len() != 1 {
+                return Err(format!(
+                    "checkpoint telemetry trace holds {} recorders, expected exactly 1",
+                    recorders.len()
+                ));
+            }
+            session.recorder = Some(recorders.remove(0));
+        }
+        session.arrivals = checkpoint.arrivals.clone();
+        Ok(session)
+    }
+
+    /// The next slot to be served (also the number of completed slots).
+    #[must_use]
+    pub fn next_slot(&self) -> usize {
+        self.stepper.slot()
+    }
+
+    /// Horizon `T` of the run.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.env.horizon()
+    }
+
+    /// Number of edges `I`.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.env.num_edges()
+    }
+
+    /// Whether every slot of the horizon has been served.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.next_slot() >= self.horizon()
+    }
+
+    /// Ingests one closed slot's raw per-edge arrival counts and
+    /// serves it: fault shaping, placement, trading, serving, and
+    /// learner feedback all happen here, exactly as in a batch run.
+    ///
+    /// # Panics
+    /// Panics if the run is already complete or `raw` does not hold
+    /// one count per edge.
+    pub fn push_slot(&mut self, raw: &[u64]) {
+        let t = self.next_slot();
+        assert!(t < self.horizon(), "the run is already complete");
+        self.env.ingest_slot(t, raw);
+        self.arrivals.push(raw.to_vec());
+        self.stepper
+            .step(&self.env, &mut self.policy, self.recorder.as_mut(), None);
+    }
+
+    /// Snapshots the session into a [`Checkpoint`] (always taken
+    /// between slots: after the last served slot's feedback, before
+    /// the next slot's placement).
+    ///
+    /// # Errors
+    /// Returns an error when the policy does not support
+    /// checkpoint/restore (e.g. a baseline with unexportable RNG
+    /// state) — the daemon surfaces this instead of silently dropping
+    /// learner state.
+    pub fn checkpoint(&self) -> Result<Checkpoint, String> {
+        Ok(Checkpoint {
+            seed: self.seed,
+            policy: self.combo.name(),
+            serve_mode: self.env.serve_mode(),
+            fault_scenario: self.env.config().faults.as_ref().map(|s| s.name.clone()),
+            horizon: self.horizon(),
+            num_edges: self.num_edges(),
+            arrivals: self.arrivals.clone(),
+            stepper: self.stepper.export_state(),
+            policy_state: self.policy.export_state()?,
+            telemetry: self.recorder.as_ref().map(Recorder::to_jsonl_string),
+        })
+    }
+
+    /// Completes the run: settles the ledger, records end-of-run
+    /// telemetry and the regret gauges, and runs the theorem-envelope
+    /// monitors — the same post-run path as the batch driver, so a
+    /// served trace feeds `carbon-edge report` unchanged.
+    ///
+    /// # Panics
+    /// Panics if not every slot has been served yet.
+    #[must_use]
+    pub fn finish(mut self) -> ServeOutcome {
+        assert!(
+            self.is_done(),
+            "finish called with {} of {} slots served",
+            self.next_slot(),
+            self.horizon()
+        );
+        let record = self
+            .stepper
+            .finish(&self.env, &mut self.policy, self.recorder.as_mut());
+        let spec = PolicySpec::Combo(self.combo);
+        let (p1_regret, envelope_violations) = finalize_run(
+            self.env.config(),
+            &self.env,
+            &record,
+            &spec,
+            self.recorder.as_mut(),
+        );
+        ServeOutcome {
+            record,
+            telemetry: self.recorder,
+            p1_regret,
+            envelope_violations,
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeSession")
+            .field("policy", &self.combo.name())
+            .field("seed", &self.seed)
+            .field("next_slot", &self.next_slot())
+            .field("horizon", &self.horizon())
+            .finish_non_exhaustive()
+    }
+}

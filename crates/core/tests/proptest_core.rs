@@ -1,15 +1,18 @@
 //! Property-based tests for the assembled controller layer: every
 //! expressible combo runs cleanly on arbitrary short horizons and
-//! seeds, placements are always well-formed, and the accounting
-//! identities of the run record hold.
+//! seeds, placements are always well-formed, the accounting
+//! identities of the run record hold, and serve-daemon checkpoints
+//! are byte-stable through serialize → deserialize → serialize.
 
 use std::sync::OnceLock;
 
 use cne_core::combos::{Combo, SelectorKind, TraderKind};
 use cne_core::runner::{run_single, PolicySpec};
+use cne_core::{Checkpoint, ServeOptions, ServeSession};
 use cne_edgesim::SimConfig;
 use cne_nn::{ModelZoo, ZooConfig};
 use cne_simdata::dataset::TaskKind;
+use cne_simdata::workload::DiurnalWorkload;
 use cne_util::SeedSequence;
 use proptest::prelude::*;
 
@@ -108,5 +111,48 @@ proptest! {
         let record = run_single(&cfg, zoo, seed, &PolicySpec::Offline);
         prop_assert!(record.violation() < 1e-6, "violation {}", record.violation());
         prop_assert_eq!(record.total_switches() as usize, cfg.num_edges);
+    }
+
+    /// Checkpoint documents are byte-stable — `encode → parse →
+    /// encode` is the identity — and restoring one onto a fresh
+    /// session then re-exporting reproduces the same bytes, for any
+    /// seed, fault mix, and interruption point. This pins the
+    /// serialized shape of the controller (selector fleet + trader),
+    /// the allowance ledger, and the primal–dual state all at once.
+    #[test]
+    fn checkpoints_are_byte_stable_and_reexportable(
+        seed in 0u64..300,
+        slots_frac in 0.0..1.0f64,
+        faulted in prop_oneof![Just(false), Just(true)],
+        telemetry in prop_oneof![Just(false), Just(true)],
+    ) {
+        let zoo = shared_zoo();
+        let mut cfg = SimConfig::fast_test(TaskKind::MnistLike);
+        cfg.horizon = 12;
+        if faulted {
+            cfg.faults = Some(cne_faults::FaultScenario::mixed("mixed-20", 0.2));
+        }
+        let k = 1 + ((cfg.horizon - 2) as f64 * slots_frac) as usize;
+
+        let env_seed = SeedSequence::new(seed).derive("env");
+        let gen = DiurnalWorkload::new(cfg.workload);
+        let arrivals: Vec<Vec<u64>> = (0..cfg.num_edges)
+            .map(|i| gen.trace(i, &env_seed.derive("workload")).counts().to_vec())
+            .collect();
+
+        let opts = ServeOptions { telemetry, ..ServeOptions::default() };
+        let mut session = ServeSession::new(cfg.clone(), zoo, seed, Combo::ours(), &opts);
+        for t in 0..k {
+            let row: Vec<u64> = arrivals.iter().map(|r| r[t]).collect();
+            session.push_slot(&row);
+        }
+        let text = session.checkpoint().expect("Ours must checkpoint").encode();
+        let parsed = Checkpoint::parse(&text).expect("well-formed checkpoint");
+        prop_assert_eq!(parsed.encode(), text.clone(), "encode → parse → encode must be identity");
+
+        let resumed = ServeSession::resume(cfg, zoo, Combo::ours(), &parsed, &opts)
+            .expect("resume");
+        let reexported = resumed.checkpoint().expect("re-checkpoint").encode();
+        prop_assert_eq!(reexported, text, "restore → export must reproduce the bytes");
     }
 }

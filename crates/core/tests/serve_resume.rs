@@ -1,0 +1,237 @@
+//! End-to-end contracts of the streaming serve session: a served
+//! trace is byte-comparable to a batch replay of the same arrivals,
+//! and a `checkpoint → encode → parse → resume` cycle continues the
+//! run bit-identically — at any resume edge-thread count, in both
+//! serve modes, under a mixed fault scenario.
+
+use cne_core::runner::{evaluate_many_with, EvalOptions, PolicySpec};
+use cne_core::{Checkpoint, Combo, ServeOptions, ServeSession};
+use cne_edgesim::{ServeMode, SimConfig};
+use cne_faults::FaultScenario;
+use cne_nn::{ModelZoo, ZooConfig};
+use cne_simdata::dataset::TaskKind;
+use cne_simdata::workload::DiurnalWorkload;
+use cne_util::SeedSequence;
+
+const SEED: u64 = 11;
+
+fn setup() -> (ModelZoo, SimConfig) {
+    let zoo = ModelZoo::train(
+        TaskKind::MnistLike,
+        &ZooConfig::fast(),
+        &SeedSequence::new(20),
+    );
+    let mut cfg = SimConfig::fast_test(TaskKind::MnistLike);
+    cfg.faults = Some(FaultScenario::mixed("mixed-20", 0.2));
+    (zoo, cfg)
+}
+
+/// The raw (pre-fault) arrival counts a batch run would draw for this
+/// seed — what an external arrival process would stream into `serve`.
+fn raw_arrivals(cfg: &SimConfig, seed: u64) -> Vec<Vec<u64>> {
+    let env_seed = SeedSequence::new(seed).derive("env");
+    let gen = DiurnalWorkload::new(cfg.workload);
+    (0..cfg.num_edges)
+        .map(|i| gen.trace(i, &env_seed.derive("workload")).counts().to_vec())
+        .collect()
+}
+
+fn slot_row(arrivals: &[Vec<u64>], t: usize) -> Vec<u64> {
+    arrivals.iter().map(|row| row[t]).collect()
+}
+
+#[test]
+fn served_run_matches_batch_driver() {
+    let (zoo, cfg) = setup();
+    let arrivals = raw_arrivals(&cfg, SEED);
+    for serve_mode in [ServeMode::Batched, ServeMode::PerRequest] {
+        let report = evaluate_many_with(
+            &cfg,
+            &zoo,
+            &[SEED],
+            &[PolicySpec::Combo(Combo::ours())],
+            &EvalOptions {
+                threads: Some(1),
+                edge_threads: Some(1),
+                telemetry: true,
+                serve_mode,
+                ..EvalOptions::default()
+            },
+        );
+        let batch_record = &report.results[0].records[0];
+        let batch_trace = report.telemetry[0].to_jsonl_string();
+
+        let mut session = ServeSession::new(
+            cfg.clone(),
+            &zoo,
+            SEED,
+            Combo::ours(),
+            &ServeOptions {
+                serve_mode,
+                edge_threads: 1,
+                telemetry: true,
+            },
+        );
+        for t in 0..cfg.horizon {
+            session.push_slot(&slot_row(&arrivals, t));
+        }
+        assert!(session.is_done());
+        let outcome = session.finish();
+        assert_eq!(
+            &outcome.record, batch_record,
+            "served record diverged from the batch driver ({serve_mode:?})"
+        );
+        assert_eq!(
+            outcome.telemetry.expect("telemetry on").to_jsonl_string(),
+            batch_trace,
+            "served trace diverged from the batch driver ({serve_mode:?})"
+        );
+    }
+}
+
+#[test]
+fn resume_from_checkpoint_is_bit_identical() {
+    let (zoo, cfg) = setup();
+    let arrivals = raw_arrivals(&cfg, SEED);
+    let horizon = cfg.horizon;
+
+    for serve_mode in [ServeMode::Batched, ServeMode::PerRequest] {
+        let opts = ServeOptions {
+            serve_mode,
+            edge_threads: 1,
+            telemetry: true,
+        };
+        let mut full = ServeSession::new(cfg.clone(), &zoo, SEED, Combo::ours(), &opts);
+        for t in 0..horizon {
+            full.push_slot(&slot_row(&arrivals, t));
+        }
+        let full_out = full.finish();
+        let full_trace = full_out
+            .telemetry
+            .as_ref()
+            .expect("telemetry on")
+            .to_jsonl_string();
+
+        for k in [1, horizon / 2, horizon - 1] {
+            let mut head = ServeSession::new(cfg.clone(), &zoo, SEED, Combo::ours(), &opts);
+            for t in 0..k {
+                head.push_slot(&slot_row(&arrivals, t));
+            }
+            let ckpt = head.checkpoint().expect("Ours must checkpoint");
+            // Full on-disk round trip: the resumed session reads the
+            // parsed document, never the in-memory original.
+            let text = ckpt.encode();
+            let ckpt = Checkpoint::parse(&text).expect("well-formed checkpoint");
+            assert_eq!(ckpt.encode(), text, "checkpoint must be byte-stable");
+
+            for resume_threads in [1usize, 4] {
+                let resume_opts = ServeOptions {
+                    serve_mode,
+                    edge_threads: resume_threads,
+                    telemetry: true,
+                };
+                let mut tail =
+                    ServeSession::resume(cfg.clone(), &zoo, Combo::ours(), &ckpt, &resume_opts)
+                        .expect("resume");
+                assert_eq!(tail.next_slot(), k);
+                for t in k..horizon {
+                    tail.push_slot(&slot_row(&arrivals, t));
+                }
+                let out = tail.finish();
+                assert_eq!(
+                    out.record, full_out.record,
+                    "record diverged resuming at k={k} with {resume_threads} \
+                     edge threads ({serve_mode:?})"
+                );
+                assert_eq!(
+                    out.telemetry.expect("telemetry on").to_jsonl_string(),
+                    full_trace,
+                    "trace diverged resuming at k={k} with {resume_threads} \
+                     edge threads ({serve_mode:?})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn resume_rejects_mismatched_invocations() {
+    let (zoo, cfg) = setup();
+    let arrivals = raw_arrivals(&cfg, SEED);
+    let opts = ServeOptions {
+        serve_mode: ServeMode::Batched,
+        edge_threads: 1,
+        telemetry: false,
+    };
+    let mut session = ServeSession::new(cfg.clone(), &zoo, SEED, Combo::ours(), &opts);
+    for t in 0..3 {
+        session.push_slot(&slot_row(&arrivals, t));
+    }
+    let ckpt = session.checkpoint().expect("checkpoint");
+
+    // Wrong policy.
+    let err = ServeSession::resume(
+        cfg.clone(),
+        &zoo,
+        "greedy-th".parse().expect("combo"),
+        &ckpt,
+        &opts,
+    )
+    .unwrap_err();
+    assert!(err.contains("policy"), "{err}");
+
+    // Wrong serve mode.
+    let err = ServeSession::resume(
+        cfg.clone(),
+        &zoo,
+        Combo::ours(),
+        &ckpt,
+        &ServeOptions {
+            serve_mode: ServeMode::PerRequest,
+            ..opts.clone()
+        },
+    )
+    .unwrap_err();
+    assert!(err.contains("serve mode"), "{err}");
+
+    // Wrong fault scenario.
+    let mut faultless = cfg.clone();
+    faultless.faults = None;
+    let err = ServeSession::resume(faultless, &zoo, Combo::ours(), &ckpt, &opts).unwrap_err();
+    assert!(err.contains("fault scenario"), "{err}");
+
+    // Telemetry mismatch: the checkpoint has no trace.
+    let err = ServeSession::resume(
+        cfg.clone(),
+        &zoo,
+        Combo::ours(),
+        &ckpt,
+        &ServeOptions {
+            telemetry: true,
+            ..opts.clone()
+        },
+    )
+    .unwrap_err();
+    assert!(err.contains("telemetry"), "{err}");
+
+    // Wrong horizon.
+    let mut shorter = cfg;
+    shorter.horizon -= 1;
+    let err = ServeSession::resume(shorter, &zoo, Combo::ours(), &ckpt, &opts).unwrap_err();
+    assert!(err.contains("horizon"), "{err}");
+}
+
+#[test]
+fn baselines_without_checkpoint_support_fail_loudly() {
+    let (zoo, cfg) = setup();
+    let arrivals = raw_arrivals(&cfg, SEED);
+    let combo: Combo = "ran-th".parse().expect("combo");
+    let opts = ServeOptions::default();
+    let mut session = ServeSession::new(cfg, &zoo, SEED, combo, &opts);
+    session.push_slot(&slot_row(&arrivals, 0));
+    let err = session.checkpoint().unwrap_err();
+    assert!(err.contains("does not support checkpoint/restore"), "{err}");
+    // The session itself keeps serving — only checkpointing is
+    // refused for RNG-opaque baselines.
+    session.push_slot(&slot_row(&arrivals, 1));
+}

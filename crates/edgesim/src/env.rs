@@ -5,8 +5,8 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
-use cne_faults::{FaultSchedule, TradeCarry};
-use cne_market::{AllowanceLedger, CarbonMarket, TradeReceipt};
+use cne_faults::{FaultSchedule, TradeCarry, TradeCarryParts};
+use cne_market::{AllowanceLedger, CarbonMarket, LedgerParts, TradeReceipt};
 use cne_nn::ModelZoo;
 use cne_simdata::prices::PriceSeries;
 use cne_simdata::stream::DataStream;
@@ -83,6 +83,16 @@ pub struct Environment<'a> {
     drift_perm: Option<Vec<usize>>,
     /// Realized fault schedule when [`SimConfig::faults`] is set.
     faults: Option<FaultSchedule>,
+    /// Per-edge sample streams, retained only by streaming
+    /// environments (batch construction consumes them up front).
+    streams: Vec<DataStream>,
+    /// Slots whose arrivals have been ingested so far. Batch
+    /// environments are fully ingested at construction.
+    ingested: usize,
+    /// True when this environment was built by
+    /// [`Environment::streaming`] and is fed through
+    /// [`Environment::ingest_slot`].
+    streaming: bool,
 }
 
 /// What [`resolve_download`] decided for one edge-slot.
@@ -234,16 +244,103 @@ impl<'a> Environment<'a> {
         serve_mode: ServeMode,
     ) -> Self {
         config.validate();
+        let workload_gen = DiurnalWorkload::new(config.workload);
+        let workloads: Vec<WorkloadTrace> = (0..config.num_edges)
+            .map(|i| workload_gen.trace(i, &seed.derive("workload")))
+            .collect();
+        Self::build(config, zoo, seed, serve_mode, workloads, false)
+    }
+
+    /// As [`Environment::with_serve_mode`], but replaying an explicit
+    /// per-edge raw arrival trace instead of drawing the diurnal
+    /// workload — the batch twin of a streamed run. The counts are
+    /// *pre-fault* arrivals: an attached fault scenario shapes them
+    /// (surges multiply, outages zero) exactly as it shapes drawn
+    /// workloads, so a served stream and its batch replay see
+    /// identical realized slots.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid, or if `arrivals` is not
+    /// one row per edge with one count per slot.
+    #[must_use]
+    pub fn with_arrival_trace(
+        config: SimConfig,
+        zoo: &'a ModelZoo,
+        seed: &SeedSequence,
+        serve_mode: ServeMode,
+        arrivals: &[Vec<u64>],
+    ) -> Self {
+        config.validate();
+        assert_eq!(
+            arrivals.len(),
+            config.num_edges,
+            "arrival trace needs one row per edge"
+        );
+        let workloads: Vec<WorkloadTrace> = arrivals
+            .iter()
+            .map(|row| {
+                assert_eq!(
+                    row.len(),
+                    config.horizon,
+                    "each edge's arrival row needs one count per slot"
+                );
+                WorkloadTrace::from_counts(row.clone())
+            })
+            .collect();
+        Self::build(config, zoo, seed, serve_mode, workloads, false)
+    }
+
+    /// Realizes a *streaming* environment: everything that does not
+    /// depend on arrivals (topology, fault schedule, prices,
+    /// latencies, per-edge stream RNGs) is drawn up front from the
+    /// same seed subtrees as batch construction, while the per-slot
+    /// arrival counts are supplied later, one slot at a time, through
+    /// [`Environment::ingest_slot`].
+    ///
+    /// Ingesting the same raw counts that
+    /// [`Environment::with_arrival_trace`] was given reproduces that
+    /// batch environment bit-identically: per-edge stream RNGs are
+    /// independent, so drawing slot-by-slot (streaming) instead of
+    /// edge-by-edge (batch) consumes each edge's RNG in the same
+    /// order.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see
+    /// [`SimConfig::validate`]).
+    #[must_use]
+    pub fn streaming(
+        config: SimConfig,
+        zoo: &'a ModelZoo,
+        seed: &SeedSequence,
+        serve_mode: ServeMode,
+    ) -> Self {
+        config.validate();
+        let workloads: Vec<WorkloadTrace> = (0..config.num_edges)
+            .map(|_| WorkloadTrace::from_counts(vec![0; config.horizon]))
+            .collect();
+        Self::build(config, zoo, seed, serve_mode, workloads, true)
+    }
+
+    /// Shared constructor body: realizes everything around the given
+    /// raw (pre-fault) workload traces. When `streaming` is set the
+    /// stream draws and slot statistics are deferred to
+    /// [`Environment::ingest_slot`]; otherwise they are consumed here,
+    /// exactly as before.
+    fn build(
+        config: SimConfig,
+        zoo: &'a ModelZoo,
+        seed: &SeedSequence,
+        serve_mode: ServeMode,
+        mut workloads: Vec<WorkloadTrace>,
+        streaming: bool,
+    ) -> Self {
+        config.validate();
         assert_eq!(
             config.task,
             zoo.kind(),
             "zoo was trained for a different task"
         );
         let topology = Topology::generate(config.num_edges, config.topology, &seed.derive("topo"));
-        let workload_gen = DiurnalWorkload::new(config.workload);
-        let mut workloads: Vec<WorkloadTrace> = (0..config.num_edges)
-            .map(|i| workload_gen.trace(i, &seed.derive("workload")))
-            .collect();
         // Realize the fault schedule from its own dedicated seed stream
         // (attaching a scenario never perturbs any other realization),
         // then apply the workload-shaping faults — outages zero a
@@ -289,44 +386,69 @@ impl<'a> Environment<'a> {
                     .collect()
             })
             .collect();
-        let mut slot_indices: Vec<Vec<Vec<usize>>> = (0..config.num_edges)
+        let mut streams: Vec<DataStream> = (0..config.num_edges)
             .map(|i| {
-                let mut stream = DataStream::new(
+                DataStream::new(
                     zoo.pool().len(),
                     seed.derive("stream").derive_index(i as u64),
-                );
-                (0..config.horizon)
-                    .map(|t| {
-                        stream.draw_slot_capped(workloads[i].arrivals(t), config.loss_sample_cap)
-                    })
-                    .collect()
+                )
             })
             .collect();
-        // Batched mode reduces every slot's drawn indices into per-table
-        // sufficient statistics up front — the same `EvalTable`
-        // reductions the per-request path runs at serve time, on the
-        // same indices, so the cached values are bit-identical — and
-        // then drops the indices.
         let num_models = zoo.len();
-        let (slot_loss, slot_acc) = match serve_mode {
-            ServeMode::Batched => {
-                let cells = config.num_edges * config.horizon * num_models;
-                let mut loss = Vec::with_capacity(cells);
-                let mut acc = Vec::with_capacity(cells);
-                for per_edge in &slot_indices {
-                    for indices in per_edge {
-                        for n in 0..num_models {
-                            let table = &zoo.model(n).eval;
-                            loss.push(table.mean_loss_at(indices));
-                            acc.push(table.accuracy_at(indices));
+        let cells = config.num_edges * config.horizon * num_models;
+        let (mut slot_indices, slot_loss, slot_acc): (Vec<Vec<Vec<usize>>>, Vec<f64>, Vec<f64>);
+        if streaming {
+            // Streaming: keep the stream RNGs and pre-size the per-slot
+            // caches; `ingest_slot` fills one slot column at a time
+            // with the identical draws and reductions.
+            slot_indices = match serve_mode {
+                ServeMode::Batched => Vec::new(),
+                ServeMode::PerRequest => {
+                    vec![vec![Vec::new(); config.horizon]; config.num_edges]
+                }
+            };
+            (slot_loss, slot_acc) = match serve_mode {
+                ServeMode::Batched => (vec![0.0; cells], vec![0.0; cells]),
+                ServeMode::PerRequest => (Vec::new(), Vec::new()),
+            };
+        } else {
+            slot_indices = streams
+                .iter_mut()
+                .enumerate()
+                .map(|(i, stream)| {
+                    (0..config.horizon)
+                        .map(|t| {
+                            stream
+                                .draw_slot_capped(workloads[i].arrivals(t), config.loss_sample_cap)
+                        })
+                        .collect()
+                })
+                .collect();
+            streams = Vec::new();
+            // Batched mode reduces every slot's drawn indices into
+            // per-table sufficient statistics up front — the same
+            // `EvalTable` reductions the per-request path runs at
+            // serve time, on the same indices, so the cached values
+            // are bit-identical — and then drops the indices.
+            (slot_loss, slot_acc) = match serve_mode {
+                ServeMode::Batched => {
+                    let mut loss = Vec::with_capacity(cells);
+                    let mut acc = Vec::with_capacity(cells);
+                    for per_edge in &slot_indices {
+                        for indices in per_edge {
+                            for n in 0..num_models {
+                                let table = &zoo.model(n).eval;
+                                loss.push(table.mean_loss_at(indices));
+                                acc.push(table.accuracy_at(indices));
+                            }
                         }
                     }
+                    slot_indices = Vec::new();
+                    (loss, acc)
                 }
-                slot_indices = Vec::new();
-                (loss, acc)
-            }
-            ServeMode::PerRequest => (Vec::new(), Vec::new()),
-        };
+                ServeMode::PerRequest => (Vec::new(), Vec::new()),
+            };
+        }
         let expected_losses: Vec<f64> = zoo
             .models()
             .iter()
@@ -351,6 +473,7 @@ impl<'a> Environment<'a> {
             }
             perm
         });
+        let ingested = if streaming { 0 } else { config.horizon };
         Self {
             config,
             zoo,
@@ -366,7 +489,80 @@ impl<'a> Environment<'a> {
             market,
             drift_perm,
             faults,
+            streams,
+            ingested,
+            streaming,
         }
+    }
+
+    /// True when this environment is fed incrementally through
+    /// [`Environment::ingest_slot`].
+    #[must_use]
+    pub fn is_streaming(&self) -> bool {
+        self.streaming
+    }
+
+    /// Number of slots whose arrivals are already ingested (always the
+    /// full horizon for batch environments).
+    #[must_use]
+    pub fn ingested(&self) -> usize {
+        self.ingested
+    }
+
+    /// Feeds one slot of raw (pre-fault) per-edge arrival counts into a
+    /// streaming environment: the attached fault schedule shapes the
+    /// counts (surges multiply, outages zero), the workload trace is
+    /// extended, and each edge's stream draws the slot's sample
+    /// indices — consuming the per-edge RNGs in exactly the order
+    /// batch construction does, so a fully ingested streaming
+    /// environment is bit-identical to
+    /// [`Environment::with_arrival_trace`] on the same counts.
+    ///
+    /// Slots must be ingested in order, starting at 0.
+    ///
+    /// # Panics
+    /// Panics on a batch environment, on an out-of-order or
+    /// past-horizon slot, or when `raw` is not one count per edge.
+    pub fn ingest_slot(&mut self, t: usize, raw: &[u64]) {
+        assert!(
+            self.streaming,
+            "ingest_slot is only valid on a streaming environment"
+        );
+        assert_eq!(t, self.ingested, "slots must be ingested in order");
+        assert!(t < self.config.horizon, "slot {t} is past the horizon");
+        assert_eq!(
+            raw.len(),
+            self.config.num_edges,
+            "ingest needs one count per edge"
+        );
+        let num_models = self.zoo.len();
+        for (i, &raw_count) in raw.iter().enumerate() {
+            let mut count = raw_count;
+            if let Some(schedule) = &self.faults {
+                if schedule.surge(i, t) {
+                    count = (count as f64 * schedule.scenario().surge_multiplier).round() as u64;
+                }
+                if schedule.edge_outage(i, t) {
+                    count = 0;
+                }
+            }
+            self.workloads[i].set(t, count);
+            let indices = self.streams[i].draw_slot_capped(count, self.config.loss_sample_cap);
+            match self.serve_mode {
+                ServeMode::Batched => {
+                    for n in 0..num_models {
+                        let cell = (i * self.config.horizon + t) * num_models + n;
+                        let table = &self.zoo.model(n).eval;
+                        self.slot_loss[cell] = table.mean_loss_at(&indices);
+                        self.slot_acc[cell] = table.accuracy_at(&indices);
+                    }
+                }
+                ServeMode::PerRequest => {
+                    self.slot_indices[i][t] = indices;
+                }
+            }
+        }
+        self.ingested += 1;
     }
 
     /// The serving mode this environment was realized with.
@@ -659,144 +855,76 @@ impl<'a> Environment<'a> {
         receipt
     }
 
+    /// An incremental per-slot driver over this environment. A
+    /// `RunStepper` owns everything the run loop mutates — the
+    /// allowance ledger, per-edge serve state, trade carry, slot
+    /// records — and advances one slot per [`RunStepper::step`] call.
+    /// `edge_threads > 1` shards the serve phase of each step across a
+    /// per-slot scoped worker pool (clamped to the edge count), with
+    /// buffered telemetry replayed in edge-index order, so the output
+    /// is bit-identical at any thread count.
+    ///
+    /// The sequential batch path ([`Environment::run`] and friends) is
+    /// implemented on top of this stepper, so an online (streamed) run
+    /// and a batch replay of the same arrivals agree byte-for-byte by
+    /// construction.
+    #[must_use]
+    pub fn stepper(&self, edge_threads: usize) -> RunStepper {
+        let cfg = &self.config;
+        let num_lanes = edge_threads.max(1).min(cfg.num_edges.max(1));
+        // One lane covering the whole fleet when sequential: the
+        // single-lane step runs the same serve code as the sharded
+        // step, over the same structure-of-arrays state, so the two
+        // paths agree by construction.
+        let lanes = if num_lanes <= 1 {
+            vec![EdgeLanes::new(0, cfg.num_edges, self.zoo.len())]
+        } else {
+            EdgeLanes::split(cfg.num_edges, self.zoo.len(), num_lanes)
+        };
+        let lane_count = lanes.len();
+        RunStepper {
+            lanes,
+            ledger: AllowanceLedger::new(cfg.cap),
+            slots: Vec::with_capacity(cfg.horizon),
+            cap_share: cfg.cap_share(),
+            placements: Vec::with_capacity(cfg.num_edges),
+            outcomes: Vec::with_capacity(cfg.num_edges),
+            partials: Vec::with_capacity(cfg.num_edges),
+            lane_outcomes: vec![Vec::new(); lane_count],
+            lane_partials: vec![Vec::new(); lane_count],
+            lane_tele: (0..lane_count).map(|_| Vec::new()).collect(),
+            // Graceful-degradation state; inert when no scenario is
+            // attached, so the fault-free path is untouched.
+            trade_carry: self
+                .faults
+                .as_ref()
+                .map(|s| TradeCarry::new(s.scenario().backoff())),
+            next_slot: 0,
+        }
+    }
+
     fn run_impl(
         &self,
         policy: &mut dyn Policy,
         mut telemetry: Option<&mut cne_util::telemetry::Recorder>,
         mut profiler: Option<&mut cne_util::span::Profiler>,
     ) -> RunRecord {
-        let cfg = &self.config;
-        let mut ledger = AllowanceLedger::new(cfg.cap);
-        let mut slots = Vec::with_capacity(cfg.horizon);
-        // One lane covering the whole fleet: the sequential loop runs
-        // the same serve code as the parallel workers, over the same
-        // structure-of-arrays state, so the two paths agree by
-        // construction.
-        let mut lanes = EdgeLanes::new(0, cfg.num_edges, self.zoo.len());
-        let cap_share = cfg.cap_share();
-        // Per-slot scratch buffers, hoisted out of the loop so the hot
-        // path never allocates: the placement vector is filled in place
-        // by the policy and the outcome vector is reclaimed from the
-        // feedback after each slot.
-        let mut placements: Vec<usize> = Vec::with_capacity(cfg.num_edges);
-        let mut outcomes: Vec<EdgeSlotOutcome> = Vec::with_capacity(cfg.num_edges);
-        let mut partials: Vec<EdgePartial> = Vec::with_capacity(cfg.num_edges);
-        // Graceful-degradation state; inert when no scenario is
-        // attached, so the fault-free path is untouched.
-        let mut trade_carry = self
-            .faults
-            .as_ref()
-            .map(|s| TradeCarry::new(s.scenario().backoff()));
-
+        let mut stepper = self.stepper(1);
         if let Some(p) = profiler.as_deref_mut() {
             p.enter("run");
         }
-        for t in 0..cfg.horizon {
-            if let Some(p) = profiler.as_deref_mut() {
-                p.enter("slot");
-            }
-            // Step 1: model selection and (possible) download.
-            match profiler.as_deref_mut() {
-                Some(p) => {
-                    p.enter("select");
-                    policy.select_models_into_profiled(t, p, &mut placements);
-                    p.exit();
-                }
-                None => policy.select_models_into(t, &mut placements),
-            };
-            assert_eq!(
-                placements.len(),
-                cfg.num_edges,
-                "policy must place one model per edge"
-            );
-            for &n in &placements {
-                assert!(n < self.zoo.len(), "model index out of range");
-            }
-
-            // Carbon trading (Algorithm 2 decides using history only).
-            let ctx = self.trade_context(t, cap_share);
-            let (z, w) = match profiler.as_deref_mut() {
-                Some(p) => {
-                    p.enter("trade");
-                    let zw = policy.decide_trades_profiled(t, &ctx, p);
-                    p.exit();
-                    zw
-                }
-                None => policy.decide_trades(t, &ctx),
-            };
-            let receipt = self.execute_trade(
-                t,
-                &ctx,
-                z,
-                w,
-                trade_carry.as_mut(),
-                &mut ledger,
+        for _ in 0..self.config.horizon {
+            stepper.step(
+                self,
+                policy,
                 telemetry.as_deref_mut(),
-            );
-
-            // Steps 2–3: serve the streams and account energy/carbon.
-            if let Some(p) = profiler.as_deref_mut() {
-                p.enter("serve");
-            }
-            let mut sink = match telemetry.as_deref_mut() {
-                Some(rec) => TeleSink::Direct(rec),
-                None => TeleSink::Silent,
-            };
-            self.serve_chunk(
-                t,
-                &mut lanes,
-                &placements,
-                &mut sink,
                 profiler.as_deref_mut(),
-                &mut outcomes,
-                &mut partials,
             );
-            if let Some(p) = profiler.as_deref_mut() {
-                p.exit(); // serve
-            }
-
-            let (record, observation) = self.reduce_slot(
-                t,
-                &ctx,
-                &receipt,
-                &outcomes,
-                &partials,
-                &mut ledger,
-                cap_share,
-            );
-            let feedback = SlotFeedback {
-                edges: outcomes,
-                trade: observation,
-            };
-            match profiler.as_deref_mut() {
-                Some(p) => {
-                    p.enter("feedback");
-                    policy.end_of_slot_profiled(t, &feedback, p);
-                    p.exit();
-                    p.exit(); // slot
-                }
-                None => policy.end_of_slot(t, &feedback),
-            }
-            slots.push(record);
-            // Reclaim the outcome buffer from the feedback for the
-            // next slot (the policy only borrowed it).
-            outcomes = feedback.edges;
-            outcomes.clear();
-            partials.clear();
         }
         if let Some(p) = profiler {
             p.exit(); // run
         }
-
-        self.finish_run(
-            policy,
-            ledger,
-            slots,
-            EdgeLanes::into_records(vec![lanes]),
-            trade_carry.as_ref(),
-            telemetry,
-            cap_share,
-        )
+        stepper.finish(self, policy, telemetry)
     }
 
     /// Runs the whole horizon over a persistent pool of `num_lanes`
@@ -1549,6 +1677,383 @@ impl<'a> Environment<'a> {
     }
 }
 
+/// Incremental per-slot driver of the run protocol; see
+/// [`Environment::stepper`].
+///
+/// A stepper owns every piece of state the run loop mutates — the
+/// allowance ledger, the per-edge serve lanes (previous model,
+/// pending-download retry state, counters), the fault trade carry, and
+/// the slot records — which is exactly the state a serve daemon must
+/// persist to resume a run bit-identically. [`RunStepper::export_state`]
+/// and [`RunStepper::restore_state`] snapshot and reinstall it as plain
+/// data.
+#[derive(Debug)]
+pub struct RunStepper {
+    lanes: Vec<EdgeLanes>,
+    ledger: AllowanceLedger,
+    slots: Vec<SlotRecord>,
+    cap_share: f64,
+    placements: Vec<usize>,
+    outcomes: Vec<EdgeSlotOutcome>,
+    partials: Vec<EdgePartial>,
+    lane_outcomes: Vec<Vec<EdgeSlotOutcome>>,
+    lane_partials: Vec<Vec<EdgePartial>>,
+    lane_tele: Vec<Vec<TeleOp>>,
+    trade_carry: Option<TradeCarry>,
+    next_slot: usize,
+}
+
+impl RunStepper {
+    /// The next slot [`RunStepper::step`] will run (equivalently: how
+    /// many slots have been stepped so far).
+    #[must_use]
+    pub fn slot(&self) -> usize {
+        self.next_slot
+    }
+
+    /// The slot records accumulated so far.
+    #[must_use]
+    pub fn records(&self) -> &[SlotRecord] {
+        &self.slots
+    }
+
+    /// The allowance ledger as of the last stepped slot.
+    #[must_use]
+    pub fn ledger(&self) -> &AllowanceLedger {
+        &self.ledger
+    }
+
+    /// Runs one slot of the protocol — select, trade, serve, reduce,
+    /// feedback — against `env`, which must be the environment the
+    /// stepper was created from.
+    ///
+    /// # Panics
+    /// Panics past the horizon, on a streaming environment whose next
+    /// slot has not been ingested yet, or if the policy returns a
+    /// malformed placement vector.
+    pub fn step(
+        &mut self,
+        env: &Environment,
+        policy: &mut dyn Policy,
+        mut telemetry: Option<&mut Recorder>,
+        mut profiler: Option<&mut cne_util::span::Profiler>,
+    ) {
+        let cfg = &env.config;
+        let t = self.next_slot;
+        assert!(t < cfg.horizon, "stepped past the horizon");
+        assert!(
+            !env.streaming || t < env.ingested,
+            "slot {t} has not been ingested yet"
+        );
+        if let Some(p) = profiler.as_deref_mut() {
+            p.enter("slot");
+        }
+        // Step 1: model selection and (possible) download.
+        match profiler.as_deref_mut() {
+            Some(p) => {
+                p.enter("select");
+                policy.select_models_into_profiled(t, p, &mut self.placements);
+                p.exit();
+            }
+            None => policy.select_models_into(t, &mut self.placements),
+        };
+        assert_eq!(
+            self.placements.len(),
+            cfg.num_edges,
+            "policy must place one model per edge"
+        );
+        for &n in &self.placements {
+            assert!(n < env.zoo.len(), "model index out of range");
+        }
+
+        // Carbon trading (Algorithm 2 decides using history only).
+        let ctx = env.trade_context(t, self.cap_share);
+        let (z, w) = match profiler.as_deref_mut() {
+            Some(p) => {
+                p.enter("trade");
+                let zw = policy.decide_trades_profiled(t, &ctx, p);
+                p.exit();
+                zw
+            }
+            None => policy.decide_trades(t, &ctx),
+        };
+        let receipt = env.execute_trade(
+            t,
+            &ctx,
+            z,
+            w,
+            self.trade_carry.as_mut(),
+            &mut self.ledger,
+            telemetry.as_deref_mut(),
+        );
+
+        // Steps 2–3: serve the streams and account energy/carbon.
+        if let Some(p) = profiler.as_deref_mut() {
+            p.enter("serve");
+        }
+        if self.lanes.len() == 1 {
+            let mut sink = match telemetry.as_deref_mut() {
+                Some(rec) => TeleSink::Direct(rec),
+                None => TeleSink::Silent,
+            };
+            env.serve_chunk(
+                t,
+                &mut self.lanes[0],
+                &self.placements,
+                &mut sink,
+                profiler.as_deref_mut(),
+                &mut self.outcomes,
+                &mut self.partials,
+            );
+        } else {
+            self.serve_sharded(env, t, telemetry);
+        }
+        if let Some(p) = profiler.as_deref_mut() {
+            p.exit(); // serve
+        }
+
+        let (record, observation) = env.reduce_slot(
+            t,
+            &ctx,
+            &receipt,
+            &self.outcomes,
+            &self.partials,
+            &mut self.ledger,
+            self.cap_share,
+        );
+        let feedback = SlotFeedback {
+            edges: std::mem::take(&mut self.outcomes),
+            trade: observation,
+        };
+        match profiler {
+            Some(p) => {
+                p.enter("feedback");
+                policy.end_of_slot_profiled(t, &feedback, p);
+                p.exit();
+                p.exit(); // slot
+            }
+            None => policy.end_of_slot(t, &feedback),
+        }
+        self.slots.push(record);
+        // Reclaim the outcome buffer from the feedback for the next
+        // slot (the policy only borrowed it).
+        self.outcomes = feedback.edges;
+        self.outcomes.clear();
+        self.partials.clear();
+        self.next_slot = t + 1;
+    }
+
+    /// The multi-lane serve phase: one scoped worker per lane serves
+    /// its contiguous edge chunk into per-lane buffers, which the
+    /// driver then drains **in lane (edge-index) order** — buffered
+    /// telemetry replayed first, outcomes and partials appended after
+    /// — so every accumulation and every trace line happens in the
+    /// same sequence as the single-lane path.
+    fn serve_sharded(&mut self, env: &Environment, t: usize, mut telemetry: Option<&mut Recorder>) {
+        let traced = telemetry.is_some();
+        let Self {
+            lanes,
+            placements,
+            outcomes,
+            partials,
+            lane_outcomes,
+            lane_partials,
+            lane_tele,
+            ..
+        } = self;
+        let placements: &[usize] = placements;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(lanes.len());
+            for ((lane, tele), (out_buf, part_buf)) in lanes
+                .iter_mut()
+                .zip(lane_tele.iter_mut())
+                .zip(lane_outcomes.iter_mut().zip(lane_partials.iter_mut()))
+            {
+                let chunk = &placements[lane.start()..lane.start() + lane.len()];
+                handles.push(scope.spawn(move || {
+                    let mut sink = if traced {
+                        TeleSink::Buffer(tele)
+                    } else {
+                        TeleSink::Silent
+                    };
+                    env.serve_chunk(t, lane, chunk, &mut sink, None, out_buf, part_buf);
+                }));
+            }
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    resume_unwind(payload);
+                }
+            }
+        });
+        for ((tele, out_buf), part_buf) in lane_tele
+            .iter_mut()
+            .zip(lane_outcomes.iter_mut())
+            .zip(lane_partials.iter_mut())
+        {
+            if let Some(rec) = telemetry.as_deref_mut() {
+                replay_tele(rec, tele);
+            } else {
+                tele.clear();
+            }
+            outcomes.append(out_buf);
+            partials.append(part_buf);
+        }
+    }
+
+    /// Seals the run: settlement accounting, the [`RunRecord`], and
+    /// the end-of-run telemetry block — identical to finishing a batch
+    /// run.
+    pub fn finish(
+        self,
+        env: &Environment,
+        policy: &mut dyn Policy,
+        telemetry: Option<&mut Recorder>,
+    ) -> RunRecord {
+        let Self {
+            lanes,
+            ledger,
+            slots,
+            cap_share,
+            trade_carry,
+            ..
+        } = self;
+        env.finish_run(
+            policy,
+            ledger,
+            slots,
+            EdgeLanes::into_records(lanes),
+            trade_carry.as_ref(),
+            telemetry,
+            cap_share,
+        )
+    }
+
+    /// Snapshots everything the stepper mutates as plain data, for a
+    /// checkpoint. Edges appear in global edge-index order.
+    #[must_use]
+    pub fn export_state(&self) -> StepperState {
+        let mut edges = Vec::with_capacity(self.lanes.iter().map(EdgeLanes::len).sum());
+        for lane in &self.lanes {
+            for k in 0..lane.len() {
+                edges.push(lane.export_edge(k));
+            }
+        }
+        StepperState {
+            next_slot: self.next_slot,
+            ledger: self.ledger.to_parts(),
+            trade_carry: self.trade_carry.as_ref().map(TradeCarry::to_parts),
+            edges,
+            records: self.slots.clone(),
+        }
+    }
+
+    /// Reinstalls a snapshot taken by [`RunStepper::export_state`] on
+    /// a fresh stepper over the same environment, after which
+    /// [`RunStepper::step`] continues the run bit-identically to one
+    /// that was never interrupted.
+    ///
+    /// # Errors
+    /// Returns an error when the snapshot's shape does not match the
+    /// environment (edge count, horizon, fault-carry presence, or
+    /// per-edge model count).
+    pub fn restore_state(&mut self, env: &Environment, state: &StepperState) -> Result<(), String> {
+        let num_edges: usize = self.lanes.iter().map(EdgeLanes::len).sum();
+        if state.edges.len() != num_edges {
+            return Err(format!(
+                "checkpoint has {} edges but the environment has {num_edges}",
+                state.edges.len()
+            ));
+        }
+        if state.next_slot > env.config.horizon {
+            return Err(format!(
+                "checkpoint slot {} is past the horizon {}",
+                state.next_slot, env.config.horizon
+            ));
+        }
+        if state.records.len() != state.next_slot {
+            return Err(format!(
+                "checkpoint carries {} slot records but claims slot {}",
+                state.records.len(),
+                state.next_slot
+            ));
+        }
+        for edge in &state.edges {
+            if edge.selection_counts.len() != env.zoo.len() {
+                return Err(format!(
+                    "checkpoint counts {} models per edge but the zoo has {}",
+                    edge.selection_counts.len(),
+                    env.zoo.len()
+                ));
+            }
+        }
+        match (&mut self.trade_carry, &state.trade_carry) {
+            (Some(carry), Some(parts)) => carry.restore_parts(parts),
+            (None, None) => {}
+            (Some(_), None) => {
+                return Err(
+                    "the environment has a fault scenario but the checkpoint has no trade-carry \
+                     state"
+                        .to_owned(),
+                )
+            }
+            (None, Some(_)) => {
+                return Err(
+                    "the checkpoint has trade-carry state but the environment has no fault \
+                     scenario"
+                        .to_owned(),
+                )
+            }
+        }
+        self.ledger = AllowanceLedger::from_parts(env.config.cap, &state.ledger);
+        let mut edges = state.edges.iter();
+        for lane in &mut self.lanes {
+            for k in 0..lane.len() {
+                lane.import_edge(k, edges.next().expect("edge count checked above"));
+            }
+        }
+        self.slots = state.records.clone();
+        self.next_slot = state.next_slot;
+        Ok(())
+    }
+}
+
+/// Plain-data snapshot of a [`RunStepper`] mid-run — everything the
+/// run loop mutates, in checkpoint-friendly form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepperState {
+    /// Next slot to run (equals the number of records).
+    pub next_slot: usize,
+    /// Accumulated allowance-ledger totals.
+    pub ledger: LedgerParts,
+    /// Fault trade-carry state, when a scenario is attached.
+    pub trade_carry: Option<TradeCarryParts>,
+    /// Per-edge serve state, in global edge-index order.
+    pub edges: Vec<EdgeServeState>,
+    /// Slot records of every completed slot.
+    pub records: Vec<SlotRecord>,
+}
+
+/// Plain-data snapshot of one edge's serve state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeServeState {
+    /// Model the edge hosted at the end of the last slot.
+    pub prev_model: Option<usize>,
+    /// Target of an in-flight (fault-delayed) download, if any.
+    pub pending_target: Option<usize>,
+    /// Consecutive failed attempts for that target.
+    pub pending_attempts: u32,
+    /// Slot before which no new download attempt is made.
+    pub pending_next_attempt_slot: u64,
+    /// Slots the wanted switch has been fault-delayed so far.
+    pub pending_delayed_slots: u32,
+    /// Completed downloads so far.
+    pub switches: u64,
+    /// Peak utilization observed, in millionths.
+    pub peak_utilization_millionths: u64,
+    /// Slots hosted per model.
+    pub selection_counts: Vec<u64>,
+}
+
 /// Worker ↔ driver exchange for one lane. The driver writes the lane's
 /// placement chunk before releasing a slot (non-sharded policies only);
 /// the worker swaps in its serve results and buffered telemetry before
@@ -2270,5 +2775,238 @@ mod parallel_tests {
         let mut policy = Shardable::new(env.num_edges(), env.num_models());
         policy.panic_at = Some(3);
         env.run_with(&mut policy, None, None, 2);
+    }
+}
+
+#[cfg(test)]
+mod streaming_tests {
+    use super::*;
+    use cne_faults::FaultScenario;
+    use cne_nn::ZooConfig;
+    use cne_simdata::dataset::TaskKind;
+    use cne_util::units::Allowances;
+
+    /// Placement churn + fixed trading, like the parallel tests.
+    struct Churner;
+    impl Policy for Churner {
+        fn select_models(&mut self, t: usize) -> Vec<usize> {
+            vec![(t / 4) % 2; 3]
+        }
+        fn decide_trades(&mut self, _t: usize, _ctx: &TradeContext) -> (Allowances, Allowances) {
+            (Allowances::new(2.0), Allowances::new(0.5))
+        }
+        fn end_of_slot(&mut self, _t: usize, _fb: &SlotFeedback) {}
+        fn name(&self) -> String {
+            "churner".into()
+        }
+    }
+
+    fn zoo() -> ModelZoo {
+        ModelZoo::train(
+            TaskKind::MnistLike,
+            &ZooConfig::fast(),
+            &SeedSequence::new(61),
+        )
+    }
+
+    fn faulty_cfg() -> SimConfig {
+        let mut cfg = SimConfig::fast_test(TaskKind::MnistLike);
+        cfg.faults = Some(FaultScenario::mixed("mixed-20", 0.2));
+        cfg
+    }
+
+    /// A deterministic raw (pre-fault) arrival matrix, one row per
+    /// edge, one count per slot.
+    fn raw_arrivals(cfg: &SimConfig) -> Vec<Vec<u64>> {
+        (0..cfg.num_edges)
+            .map(|i| {
+                (0..cfg.horizon)
+                    .map(|t| ((i as u64 + 1) * 37 + t as u64 * 13) % 90)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn run_traced(env: &Environment, edge_threads: usize) -> (RunRecord, String) {
+        let mut rec = Recorder::new();
+        let record = env.run_with(&mut Churner, Some(&mut rec), None, edge_threads);
+        (record, rec.to_jsonl_string())
+    }
+
+    #[test]
+    fn arrival_trace_replay_matches_drawn_workload() {
+        let zoo = zoo();
+        let cfg = faulty_cfg();
+        let seed = SeedSequence::new(62);
+        // The raw counts with_serve_mode draws internally, pre-fault.
+        let gen = DiurnalWorkload::new(cfg.workload);
+        let raw: Vec<Vec<u64>> = (0..cfg.num_edges)
+            .map(|i| gen.trace(i, &seed.derive("workload")).counts().to_vec())
+            .collect();
+        for mode in [ServeMode::Batched, ServeMode::PerRequest] {
+            let drawn = Environment::with_serve_mode(cfg.clone(), &zoo, &seed, mode);
+            let replayed = Environment::with_arrival_trace(cfg.clone(), &zoo, &seed, mode, &raw);
+            let (rec_a, trace_a) = run_traced(&drawn, 1);
+            let (rec_b, trace_b) = run_traced(&replayed, 1);
+            assert_eq!(rec_a, rec_b, "replay diverged from drawn run ({mode:?})");
+            assert_eq!(trace_a, trace_b, "replay telemetry diverged ({mode:?})");
+        }
+    }
+
+    #[test]
+    fn streaming_ingest_matches_batch_replay() {
+        let zoo = zoo();
+        let cfg = faulty_cfg();
+        let seed = SeedSequence::new(63);
+        let raw = raw_arrivals(&cfg);
+        for mode in [ServeMode::Batched, ServeMode::PerRequest] {
+            let batch = Environment::with_arrival_trace(cfg.clone(), &zoo, &seed, mode, &raw);
+            let mut streamed = Environment::streaming(cfg.clone(), &zoo, &seed, mode);
+            assert!(streamed.is_streaming() && streamed.ingested() == 0);
+            for t in 0..cfg.horizon {
+                let row: Vec<u64> = raw.iter().map(|edge| edge[t]).collect();
+                streamed.ingest_slot(t, &row);
+            }
+            assert_eq!(streamed.ingested(), cfg.horizon);
+            let (rec_a, trace_a) = run_traced(&batch, 1);
+            let (rec_b, trace_b) = run_traced(&streamed, 1);
+            assert_eq!(rec_a, rec_b, "streamed run diverged from batch ({mode:?})");
+            assert_eq!(trace_a, trace_b, "streamed telemetry diverged ({mode:?})");
+        }
+    }
+
+    #[test]
+    fn stepper_can_interleave_ingestion_and_stepping() {
+        let zoo = zoo();
+        let cfg = faulty_cfg();
+        let seed = SeedSequence::new(64);
+        let raw = raw_arrivals(&cfg);
+        let batch =
+            Environment::with_arrival_trace(cfg.clone(), &zoo, &seed, ServeMode::Batched, &raw);
+        let (want, want_trace) = run_traced(&batch, 1);
+        // The serve-daemon shape: ingest slot t, then immediately run it.
+        let mut env = Environment::streaming(cfg.clone(), &zoo, &seed, ServeMode::Batched);
+        let mut stepper = env.stepper(1);
+        let mut policy = Churner;
+        let mut rec = Recorder::new();
+        for t in 0..cfg.horizon {
+            let row: Vec<u64> = raw.iter().map(|edge| edge[t]).collect();
+            env.ingest_slot(t, &row);
+            stepper.step(&env, &mut policy, Some(&mut rec), None);
+        }
+        let got = stepper.finish(&env, &mut policy, Some(&mut rec));
+        assert_eq!(got, want, "interleaved serve diverged from batch run");
+        assert_eq!(rec.to_jsonl_string(), want_trace, "telemetry diverged");
+    }
+
+    #[test]
+    fn sharded_stepper_matches_sequential_run() {
+        let zoo = zoo();
+        for mode in [ServeMode::Batched, ServeMode::PerRequest] {
+            let env =
+                Environment::with_serve_mode(faulty_cfg(), &zoo, &SeedSequence::new(65), mode);
+            let (want, want_trace) = run_traced(&env, 1);
+            for lanes in [2, 3] {
+                let mut stepper = env.stepper(lanes);
+                let mut policy = Churner;
+                let mut rec = Recorder::new();
+                for _ in 0..env.horizon() {
+                    stepper.step(&env, &mut policy, Some(&mut rec), None);
+                }
+                let got = stepper.finish(&env, &mut policy, Some(&mut rec));
+                assert_eq!(got, want, "stepper diverged at {lanes} lanes ({mode:?})");
+                assert_eq!(
+                    rec.to_jsonl_string(),
+                    want_trace,
+                    "stepper telemetry diverged at {lanes} lanes ({mode:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restored_stepper_resumes_bit_identically() {
+        let zoo = zoo();
+        let env = Environment::with_serve_mode(
+            faulty_cfg(),
+            &zoo,
+            &SeedSequence::new(66),
+            ServeMode::Batched,
+        );
+        let (want, want_trace) = run_traced(&env, 1);
+        let horizon = env.horizon();
+        for k in [1, horizon / 2, horizon - 1] {
+            for resume_lanes in [1, 4] {
+                let mut rec = Recorder::new();
+                let mut policy = Churner;
+                let mut first = env.stepper(1);
+                for _ in 0..k {
+                    first.step(&env, &mut policy, Some(&mut rec), None);
+                }
+                let state = first.export_state();
+                assert_eq!(state.next_slot, k);
+                drop(first);
+                // A brand-new stepper (any lane count) picks up where
+                // the snapshot left off.
+                let mut second = env.stepper(resume_lanes);
+                second.restore_state(&env, &state).expect("restore");
+                assert_eq!(second.slot(), k);
+                for _ in k..horizon {
+                    second.step(&env, &mut policy, Some(&mut rec), None);
+                }
+                let got = second.finish(&env, &mut policy, Some(&mut rec));
+                assert_eq!(
+                    got, want,
+                    "resume at slot {k} diverged ({resume_lanes} lanes)"
+                );
+                assert_eq!(
+                    rec.to_jsonl_string(),
+                    want_trace,
+                    "resume telemetry diverged at slot {k} ({resume_lanes} lanes)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_snapshots() {
+        let zoo = zoo();
+        let faulted = Environment::with_serve_mode(
+            faulty_cfg(),
+            &zoo,
+            &SeedSequence::new(67),
+            ServeMode::Batched,
+        );
+        let clean = Environment::new(
+            SimConfig::fast_test(TaskKind::MnistLike),
+            &zoo,
+            &SeedSequence::new(67),
+        );
+        let mut stepper = faulted.stepper(1);
+        stepper.step(&faulted, &mut Churner, None, None);
+        let state = stepper.export_state();
+        // Fault-carry state has no home in a fault-free environment.
+        let mut other = clean.stepper(1);
+        assert!(other.restore_state(&clean, &state).is_err());
+        // Truncated edge list.
+        let mut short = state.clone();
+        short.edges.pop();
+        let mut fresh = faulted.stepper(1);
+        assert!(fresh.restore_state(&faulted, &short).is_err());
+        // Record count must match the claimed slot.
+        let mut torn = state.clone();
+        torn.records.clear();
+        let mut fresh = faulted.stepper(1);
+        assert!(fresh.restore_state(&faulted, &torn).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "has not been ingested")]
+    fn stepping_past_ingestion_panics() {
+        let zoo = zoo();
+        let cfg = SimConfig::fast_test(TaskKind::MnistLike);
+        let env = Environment::streaming(cfg, &zoo, &SeedSequence::new(68), ServeMode::Batched);
+        let mut stepper = env.stepper(1);
+        stepper.step(&env, &mut Churner, None, None);
     }
 }

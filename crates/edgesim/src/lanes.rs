@@ -19,6 +19,7 @@
 
 use cne_util::telemetry::{Event, Recorder, Value};
 
+use crate::env::EdgeServeState;
 use crate::record::EdgeRecord;
 
 /// Per-edge download-retry state under an active fault schedule.
@@ -135,6 +136,45 @@ impl EdgeLanes {
     /// Folds a slot's utilization into edge `k`'s peak.
     pub(crate) fn observe_utilization(&mut self, k: usize, millionths: u64) {
         self.peak_utilization_millionths[k] = self.peak_utilization_millionths[k].max(millionths);
+    }
+
+    /// Snapshots lane-local edge `k`'s serve state for a checkpoint.
+    pub(crate) fn export_edge(&self, k: usize) -> EdgeServeState {
+        let pending = &self.pending[k];
+        EdgeServeState {
+            prev_model: self.prev_model[k],
+            pending_target: pending.target,
+            pending_attempts: pending.attempts,
+            pending_next_attempt_slot: pending.next_attempt_slot,
+            pending_delayed_slots: pending.delayed_slots,
+            switches: self.switches[k],
+            peak_utilization_millionths: self.peak_utilization_millionths[k],
+            selection_counts: self.selection_counts[k * self.num_models..(k + 1) * self.num_models]
+                .to_vec(),
+        }
+    }
+
+    /// Reinstalls a checkpointed serve state on lane-local edge `k`.
+    ///
+    /// # Panics
+    /// Panics if the snapshot counts a different number of models.
+    pub(crate) fn import_edge(&mut self, k: usize, state: &EdgeServeState) {
+        assert_eq!(
+            state.selection_counts.len(),
+            self.num_models,
+            "edge snapshot counts a different number of models"
+        );
+        self.prev_model[k] = state.prev_model;
+        self.pending[k] = PendingDownload {
+            target: state.pending_target,
+            attempts: state.pending_attempts,
+            next_attempt_slot: state.pending_next_attempt_slot,
+            delayed_slots: state.pending_delayed_slots,
+        };
+        self.switches[k] = state.switches;
+        self.peak_utilization_millionths[k] = state.peak_utilization_millionths;
+        self.selection_counts[k * self.num_models..(k + 1) * self.num_models]
+            .copy_from_slice(&state.selection_counts);
     }
 
     /// Reassembles per-edge records from a set of lanes, in global edge

@@ -39,6 +39,6 @@ mod retry;
 mod scenario;
 mod schedule;
 
-pub use retry::{Backoff, TradeCarry};
+pub use retry::{Backoff, TradeCarry, TradeCarryParts};
 pub use scenario::{FaultScenario, ScenarioError};
 pub use schedule::FaultSchedule;

@@ -147,6 +147,50 @@ impl TradeCarry {
     pub fn pending_attempts(&self) -> u32 {
         self.attempts
     }
+
+    /// Snapshots the mutable account state as plain numbers, for a
+    /// checkpoint. The backoff rule is excluded — it comes from the
+    /// fault scenario, which is configuration, not run state.
+    #[must_use]
+    pub fn to_parts(&self) -> TradeCarryParts {
+        TradeCarryParts {
+            carry_buy: self.carry_buy,
+            carry_sell: self.carry_sell,
+            attempts: self.attempts,
+            next_attempt_slot: self.next_attempt_slot,
+            requested_buy: self.requested_buy,
+            requested_sell: self.requested_sell,
+        }
+    }
+
+    /// Reinstalls checkpointed state on an account that keeps its
+    /// configured backoff rule.
+    pub fn restore_parts(&mut self, parts: &TradeCarryParts) {
+        self.carry_buy = parts.carry_buy;
+        self.carry_sell = parts.carry_sell;
+        self.attempts = parts.attempts;
+        self.next_attempt_slot = parts.next_attempt_slot;
+        self.requested_buy = parts.requested_buy;
+        self.requested_sell = parts.requested_sell;
+    }
+}
+
+/// Plain-data snapshot of a [`TradeCarry`]'s mutable state (everything
+/// except the configured backoff rule), used by checkpoint/restore.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeCarryParts {
+    /// Buy allowances still unmet (carried forward).
+    pub carry_buy: f64,
+    /// Sell allowances still unmet (carried forward).
+    pub carry_sell: f64,
+    /// Consecutive failed attempts since the last success.
+    pub attempts: u32,
+    /// Slot before which no resubmission is attempted.
+    pub next_attempt_slot: u64,
+    /// Cumulative buy allowances requested.
+    pub requested_buy: f64,
+    /// Cumulative sell allowances requested.
+    pub requested_sell: f64,
 }
 
 #[cfg(test)]

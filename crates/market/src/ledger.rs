@@ -159,6 +159,50 @@ impl AllowanceLedger {
         self.sold += amount;
         self.earned += revenue;
     }
+
+    /// Snapshots the accumulated totals as plain numbers, for a
+    /// checkpoint. The cap is intentionally excluded: it is part of
+    /// the environment configuration, not of the run state, and
+    /// [`AllowanceLedger::from_parts`] takes it back from there.
+    #[must_use]
+    pub fn to_parts(&self) -> LedgerParts {
+        LedgerParts {
+            bought: self.bought.get(),
+            sold: self.sold.get(),
+            emitted: self.emitted.get(),
+            spent: self.spent.get(),
+            earned: self.earned.get(),
+        }
+    }
+
+    /// Reopens a ledger from checkpointed totals under the given cap.
+    ///
+    /// # Panics
+    /// Panics if the cap or any total is negative or not finite.
+    #[must_use]
+    pub fn from_parts(cap: Allowances, parts: &LedgerParts) -> Self {
+        let mut ledger = Self::new(cap);
+        ledger.record_purchase(Allowances::new(parts.bought), Cents::new(parts.spent));
+        ledger.record_sale(Allowances::new(parts.sold), Cents::new(parts.earned));
+        ledger.record_emission(GramsCo2::new(parts.emitted));
+        ledger
+    }
+}
+
+/// Plain-data snapshot of an [`AllowanceLedger`]'s accumulated totals
+/// (everything except the configured cap), used by checkpoint/restore.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LedgerParts {
+    /// Cumulative purchases `Σ z`, in allowances.
+    pub bought: f64,
+    /// Cumulative sales `Σ w`, in allowances.
+    pub sold: f64,
+    /// Cumulative emissions, in grams of CO₂.
+    pub emitted: f64,
+    /// Cash spent buying allowances, in cents.
+    pub spent: f64,
+    /// Cash earned selling allowances, in cents.
+    pub earned: f64,
 }
 
 #[cfg(test)]
@@ -223,5 +267,16 @@ mod tests {
     fn negative_purchase_rejected() {
         let mut l = AllowanceLedger::new(Allowances::new(1.0));
         l.record_purchase(Allowances::new(-1.0), Cents::ZERO);
+    }
+
+    #[test]
+    fn parts_round_trip_is_exact() {
+        let mut l = AllowanceLedger::new(Allowances::new(7.25));
+        l.record_purchase(Allowances::new(2.5), Cents::new(20.125));
+        l.record_sale(Allowances::new(0.5), Cents::new(3.0625));
+        l.record_emission(GramsCo2::new(999.375));
+        let restored = AllowanceLedger::from_parts(l.cap(), &l.to_parts());
+        assert_eq!(restored, l);
+        assert_eq!(restored.to_parts(), l.to_parts());
     }
 }

@@ -34,5 +34,5 @@ pub mod ledger;
 pub mod market;
 
 pub use emission::EmissionModel;
-pub use ledger::AllowanceLedger;
+pub use ledger::{AllowanceLedger, LedgerParts};
 pub use market::{CarbonMarket, TradeBounds, TradeReceipt};

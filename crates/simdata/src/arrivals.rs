@@ -1,0 +1,255 @@
+//! Seeded arrival *processes* for the streaming serve daemon.
+//!
+//! `carbon-edge serve` consumes arrivals from the outside world; for
+//! experiments and CI the `gen-arrivals` subcommand produces them from
+//! one of these generators instead. Unlike
+//! [`workload`](crate::workload), which draws a whole trace with one
+//! sequential RNG, an arrival process derives an independent RNG per
+//! `(slot, edge)` cell from the seed tree — so generating slots
+//! `K..T` (a resume tail, via `--start-slot K`) yields exactly the
+//! counts slots `K..T` of a full generation would, without replaying
+//! the prefix.
+//!
+//! Three shapes cover the serving regimes of interest:
+//!
+//! * [`ArrivalProcess::Diurnal`] — a day/night sinusoid with
+//!   multiplicative jitter, the streaming twin of the TfL-calibrated
+//!   batch workload;
+//! * [`ArrivalProcess::Bursty`] — a low base rate punctuated by rare
+//!   high-multiplier bursts (flash crowds);
+//! * [`ArrivalProcess::HeavyTail`] — Pareto-tailed slot counts (a few
+//!   slots dominate total volume).
+
+use rand::Rng;
+
+use cne_util::SeedSequence;
+
+/// The shape of a synthetic arrival process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Day/night sinusoid with jitter (default).
+    Diurnal,
+    /// Low base rate with rare multiplicative bursts.
+    Bursty,
+    /// Pareto-tailed slot counts.
+    HeavyTail,
+}
+
+impl ArrivalProcess {
+    /// The CLI name of the process.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ArrivalProcess::Diurnal => "diurnal",
+            ArrivalProcess::Bursty => "bursty",
+            ArrivalProcess::HeavyTail => "heavy-tail",
+        }
+    }
+}
+
+/// Error from parsing an arrival-process name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArrivalProcessError(String);
+
+impl std::fmt::Display for ParseArrivalProcessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown arrival process '{}' (expected 'diurnal', 'bursty', or 'heavy-tail')",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseArrivalProcessError {}
+
+impl std::str::FromStr for ArrivalProcess {
+    type Err = ParseArrivalProcessError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "diurnal" => Ok(ArrivalProcess::Diurnal),
+            "bursty" => Ok(ArrivalProcess::Bursty),
+            "heavy-tail" | "heavytail" | "pareto" => Ok(ArrivalProcess::HeavyTail),
+            _ => Err(ParseArrivalProcessError(s.to_owned())),
+        }
+    }
+}
+
+/// A seeded arrival-process generator over a fixed edge fleet.
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    num_edges: usize,
+    slots_per_day: usize,
+    peak: f64,
+    seed: SeedSequence,
+}
+
+impl ArrivalGen {
+    /// Creates a generator. `peak` scales the busiest edge's expected
+    /// slot count; later edges decay Zipf-like (`peak / (rank + 1)`),
+    /// matching the batch workload's station-rank decay.
+    ///
+    /// # Panics
+    /// Panics if `num_edges` or `slots_per_day` is zero, or `peak` is
+    /// not a positive finite number.
+    #[must_use]
+    pub fn new(
+        process: ArrivalProcess,
+        num_edges: usize,
+        slots_per_day: usize,
+        peak: f64,
+        seed: &SeedSequence,
+    ) -> Self {
+        assert!(num_edges > 0, "need at least one edge");
+        assert!(slots_per_day > 0, "need at least one slot per day");
+        assert!(
+            peak > 0.0 && peak.is_finite(),
+            "peak must be positive and finite"
+        );
+        Self {
+            process,
+            num_edges,
+            slots_per_day,
+            peak,
+            seed: seed.derive("arrivals"),
+        }
+    }
+
+    /// Number of edges the generator covers.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Raw (pre-fault) arrival counts for slot `t`, one per edge.
+    /// Pure in `(seed, t)`: any slot can be generated independently
+    /// and in any order.
+    #[must_use]
+    pub fn slot(&self, t: usize) -> Vec<u64> {
+        (0..self.num_edges)
+            .map(|i| {
+                let mut rng = self
+                    .seed
+                    .derive_index(t as u64)
+                    .derive_index(i as u64)
+                    .rng();
+                let scale = self.peak / (i as f64 + 1.0);
+                let mean = match self.process {
+                    ArrivalProcess::Diurnal => {
+                        // Night trough at 20% of the peak; smooth
+                        // single-peak day shape.
+                        let phase = (t % self.slots_per_day) as f64 / self.slots_per_day as f64;
+                        let day = (std::f64::consts::PI * phase).sin().powi(2);
+                        scale * (0.2 + 0.8 * day)
+                    }
+                    ArrivalProcess::Bursty => {
+                        let base = scale * 0.25;
+                        if rng.gen::<f64>() < 0.08 {
+                            // Burst multiplier in [4, 10).
+                            base * (4.0 + 6.0 * rng.gen::<f64>())
+                        } else {
+                            base
+                        }
+                    }
+                    ArrivalProcess::HeavyTail => {
+                        // Pareto(α = 1.5) with unit minimum, capped at
+                        // 50× so one slot cannot dwarf the horizon.
+                        let u = rng.gen::<f64>().max(1e-9);
+                        let tail = u.powf(-1.0 / 1.5).min(50.0);
+                        scale * 0.2 * tail
+                    }
+                };
+                // Multiplicative jitter in [0.8, 1.2): arrivals are
+                // noisy but never negative.
+                let jitter = 0.8 + 0.4 * rng.gen::<f64>();
+                (mean * jitter).round().max(0.0) as u64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(process: ArrivalProcess) -> ArrivalGen {
+        ArrivalGen::new(process, 3, 16, 120.0, &SeedSequence::new(7))
+    }
+
+    #[test]
+    fn suffix_generation_matches_full_generation() {
+        for process in [
+            ArrivalProcess::Diurnal,
+            ArrivalProcess::Bursty,
+            ArrivalProcess::HeavyTail,
+        ] {
+            let a = gen(process);
+            let b = gen(process);
+            let full: Vec<Vec<u64>> = (0..40).map(|t| a.slot(t)).collect();
+            // Generating only the tail (as `gen-arrivals
+            // --start-slot 25` does) must reproduce the same slots.
+            for (t, want) in full.iter().enumerate().skip(25) {
+                assert_eq!(&b.slot(t), want, "{} slot {t}", process.name());
+            }
+            // And out-of-order access is harmless.
+            assert_eq!(b.slot(3), full[3]);
+        }
+    }
+
+    #[test]
+    fn shapes_are_plausible() {
+        let diurnal = gen(ArrivalProcess::Diurnal);
+        // Trough (phase 0) well below the mid-day peak (phase 1/2).
+        let trough: u64 = diurnal.slot(0).iter().sum();
+        let peak: u64 = diurnal.slot(8).iter().sum();
+        assert!(trough < peak, "trough {trough} must sit below peak {peak}");
+
+        // Bursty: most slots sit at the base rate, a few multiples
+        // above it.
+        let bursty = gen(ArrivalProcess::Bursty);
+        let counts: Vec<u64> = (0..200).map(|t| bursty.slot(t)[0]).collect();
+        let max = *counts.iter().max().expect("non-empty");
+        let median = {
+            let mut sorted = counts.clone();
+            sorted.sort_unstable();
+            sorted[sorted.len() / 2]
+        };
+        assert!(
+            max >= median * 3,
+            "bursts must stand out (max {max}, median {median})"
+        );
+
+        // Heavy tail: strictly positive counts with a large spread.
+        let heavy = gen(ArrivalProcess::HeavyTail);
+        let counts: Vec<u64> = (0..200).map(|t| heavy.slot(t)[0]).collect();
+        let max = *counts.iter().max().expect("non-empty");
+        let min = *counts.iter().min().expect("non-empty");
+        assert!(max > min * 5, "tail must spread (max {max}, min {min})");
+
+        // Rank decay: edge 0 dominates edge 2 in expectation.
+        let sums = (0..40)
+            .map(|t| diurnal.slot(t))
+            .fold([0u64; 3], |mut acc, row| {
+                for (a, c) in acc.iter_mut().zip(&row) {
+                    *a += c;
+                }
+                acc
+            });
+        assert!(sums[0] > sums[2]);
+    }
+
+    #[test]
+    fn process_names_round_trip() {
+        for process in [
+            ArrivalProcess::Diurnal,
+            ArrivalProcess::Bursty,
+            ArrivalProcess::HeavyTail,
+        ] {
+            let parsed: ArrivalProcess = process.name().parse().expect("parseable");
+            assert_eq!(parsed, process);
+        }
+        assert!("flat".parse::<ArrivalProcess>().is_err());
+    }
+}

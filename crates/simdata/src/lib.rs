@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod dataset;
 pub mod prices;
 pub mod samplers;
@@ -37,6 +38,7 @@ pub mod stream;
 pub mod topology;
 pub mod workload;
 
+pub use arrivals::{ArrivalGen, ArrivalProcess};
 pub use dataset::{Dataset, GaussianMixtureTask, Sample, TaskKind};
 pub use prices::{PriceModel, PriceSeries};
 pub use stream::DataStream;

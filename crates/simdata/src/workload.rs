@@ -203,6 +203,16 @@ impl WorkloadTrace {
         &self.counts
     }
 
+    /// Overwrites the arrivals of slot `t` — the hook streaming
+    /// ingestion uses to materialize counts one slot at a time into a
+    /// pre-sized trace.
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range.
+    pub fn set(&mut self, t: usize, count: u64) {
+        self.counts[t] = count;
+    }
+
     /// Total arrivals over the horizon.
     #[must_use]
     pub fn total(&self) -> u64 {

@@ -1,6 +1,7 @@
 //! The common interface of all trading policies.
 
 use cne_market::TradeBounds;
+use cne_util::json::Json;
 use cne_util::telemetry::Recorder;
 use cne_util::units::{Allowances, PricePerAllowance};
 
@@ -90,6 +91,35 @@ pub trait TradingPolicy {
     /// stateful policies override it.
     fn record_telemetry(&self, rec: &mut Recorder) {
         let _ = rec;
+    }
+
+    /// Exports the policy's mutable state as JSON, for a checkpoint
+    /// taken between slots. The default refuses — a serve daemon would
+    /// rather fail the checkpoint than silently drop trading state on
+    /// resume. Stateless policies return [`Json::Null`].
+    ///
+    /// # Errors
+    /// Returns an error when the policy does not support
+    /// checkpoint/restore.
+    fn export_state(&self) -> Result<Json, String> {
+        Err(format!(
+            "trading policy '{}' does not support checkpoint/restore",
+            self.name()
+        ))
+    }
+
+    /// Restores state produced by [`export_state`](Self::export_state)
+    /// onto a freshly built policy (same configuration).
+    ///
+    /// # Errors
+    /// Returns an error when the policy does not support
+    /// checkpoint/restore, or when `state` does not match its shape.
+    fn import_state(&mut self, state: &Json) -> Result<(), String> {
+        let _ = state;
+        Err(format!(
+            "trading policy '{}' does not support checkpoint/restore",
+            self.name()
+        ))
     }
 }
 

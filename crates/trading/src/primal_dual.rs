@@ -29,6 +29,7 @@
 //! No information about future prices or emissions is used. Theorem 2
 //! gives `O(T^{2/3})` regret and fit with `γ₁, γ₂ ∝ T^{−1/3}`.
 
+use cne_util::json::Json;
 use cne_util::units::Allowances;
 
 use crate::policy::{TradeContext, TradeObservation, TradingPolicy};
@@ -238,6 +239,73 @@ impl TradingPolicy for PrimalDual {
         rec.gauge("trader.z_prev", self.z_prev);
         rec.gauge("trader.w_prev", self.w_prev);
     }
+
+    fn export_state(&self) -> Result<Json, String> {
+        let opt = |v: Option<f64>| v.map_or(Json::Null, Json::Float);
+        Ok(Json::Obj(vec![
+            ("kind".into(), Json::Str("primal-dual".into())),
+            ("z_prev".into(), Json::Float(self.z_prev)),
+            ("w_prev".into(), Json::Float(self.w_prev)),
+            ("lambda".into(), Json::Float(self.lambda)),
+            ("prev_buy_price".into(), opt(self.prev_buy_price)),
+            ("prev_sell_price".into(), opt(self.prev_sell_price)),
+            (
+                "trajectory".into(),
+                Json::Arr(
+                    self.trajectory
+                        .iter()
+                        .map(|&(t, l)| Json::Arr(vec![Json::UInt(t), Json::Float(l)]))
+                        .collect(),
+                ),
+            ),
+        ]))
+    }
+
+    fn import_state(&mut self, state: &Json) -> Result<(), String> {
+        if state.get("kind").and_then(Json::as_str) != Some("primal-dual") {
+            return Err("trading state is not a primal-dual snapshot".into());
+        }
+        let float = |key: &str| -> Result<f64, String> {
+            state
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("trading state is missing number '{key}'"))
+        };
+        let opt = |key: &str| -> Result<Option<f64>, String> {
+            match state.get(key) {
+                None => Err(format!("trading state is missing '{key}'")),
+                Some(Json::Null) => Ok(None),
+                Some(v) => v
+                    .as_f64()
+                    .map(Some)
+                    .ok_or_else(|| format!("non-numeric '{key}'")),
+            }
+        };
+        let trajectory = state
+            .get("trajectory")
+            .and_then(Json::as_array)
+            .ok_or_else(|| "trading state is missing 'trajectory'".to_owned())?
+            .iter()
+            .map(|pair| {
+                let items = pair.as_array().filter(|a| a.len() == 2);
+                let items = items.ok_or_else(|| "malformed trajectory entry".to_owned())?;
+                let t = items[0]
+                    .as_u64()
+                    .ok_or_else(|| "malformed trajectory slot".to_owned())?;
+                let l = items[1]
+                    .as_f64()
+                    .ok_or_else(|| "malformed trajectory value".to_owned())?;
+                Ok((t, l))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        self.z_prev = float("z_prev")?;
+        self.w_prev = float("w_prev")?;
+        self.lambda = float("lambda")?;
+        self.prev_buy_price = opt("prev_buy_price")?;
+        self.prev_sell_price = opt("prev_sell_price")?;
+        self.trajectory = trajectory;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -402,5 +470,47 @@ mod tests {
     #[should_panic(expected = "gamma1")]
     fn rejects_bad_steps() {
         let _ = PrimalDualConfig::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn export_import_resumes_bit_identically() {
+        let horizon = 50;
+        for k in [1usize, 20, horizon - 1] {
+            let cfg = PrimalDualConfig::theorem2(horizon, 8.0, 5.0);
+            let mut reference = PrimalDual::new(cfg);
+            let mut halted = PrimalDual::new(cfg);
+            for t in 0..horizon {
+                if t == k {
+                    let snap = halted.export_state().expect("export");
+                    let text = snap.encode();
+                    let reparsed = cne_util::json::parse(&text).expect("parse");
+                    assert_eq!(reparsed.encode(), text, "snapshot not byte-stable");
+                    let mut resumed = PrimalDual::new(cfg);
+                    resumed.import_state(&reparsed).expect("import");
+                    halted = resumed;
+                }
+                let price = 6.0 + ((t * 3) % 5) as f64;
+                let c = ctx(price, price * 0.9, 3.0);
+                let (za, wa) = reference.decide(t, &c);
+                let (zb, wb) = halted.decide(t, &c);
+                assert_eq!(
+                    (za, wa),
+                    (zb, wb),
+                    "trades diverged at slot {t} (resume {k})"
+                );
+                let o = obs(za.get(), wa.get(), 5.0, price, price * 0.9, 3.0);
+                reference.observe(t, &o);
+                halted.observe(t, &o);
+            }
+            assert_eq!(reference.lambda(), halted.lambda());
+            assert_eq!(reference.lambda_trajectory(), halted.lambda_trajectory());
+        }
+    }
+
+    #[test]
+    fn import_rejects_foreign_snapshots() {
+        let mut alg = PrimalDual::new(PrimalDualConfig::new(0.5, 0.25));
+        let bad = cne_util::json::parse("{\"kind\":\"other\"}").unwrap();
+        assert!(alg.import_state(&bad).is_err());
     }
 }
