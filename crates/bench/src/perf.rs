@@ -463,6 +463,7 @@ fn bench_serve_loop(scale: &Scale, zoo: &ModelZoo, reps: usize, entries: &mut Ve
             serve_mode,
             edge_threads: 1,
             telemetry: true,
+            ..ServeOptions::default()
         };
         let mut full = ServeSession::new(config.clone(), zoo, SEED, Combo::ours(), &opts);
         for row in &arrivals {
@@ -556,6 +557,36 @@ fn bench_serve_loop(scale: &Scale, zoo: &ModelZoo, reps: usize, entries: &mut Ve
         name: format!("serve_loop/overhead/edges={edges}"),
         metric: "ratio".to_owned(),
         value: push / median(batch_us),
+        better: "lower",
+        gate: false,
+        min: None,
+    });
+
+    // The admin endpoint re-renders the full Prometheus exposition
+    // page after every slot, so its cost rides the serve hot loop:
+    // time one render of a completed traced run's recorder.
+    let opts = ServeOptions {
+        telemetry: true,
+        ..ServeOptions::default()
+    };
+    let mut session = ServeSession::new(config.clone(), zoo, SEED, Combo::ours(), &opts);
+    for row in &arrivals {
+        session.push_slot(row);
+    }
+    let trace = session.telemetry().expect("telemetry is on");
+    let mut render_us = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut stopwatch = Profiler::new();
+        stopwatch.enter("render");
+        let page = cne_util::expo::render(&[trace]).expect("a run trace renders");
+        stopwatch.exit();
+        assert!(!page.is_empty());
+        render_us.push(stopwatch.total_us("render"));
+    }
+    entries.push(BenchEntry {
+        name: format!("serve_loop/exposition_render/edges={edges}"),
+        metric: "us_per_render".to_owned(),
+        value: median(render_us),
         better: "lower",
         gate: false,
         min: None,

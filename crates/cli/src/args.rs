@@ -67,6 +67,16 @@ pub struct Options {
     pub slot_ms: Option<u64>,
     /// `serve`: listen on `unix:PATH` or `tcp:ADDR` instead of stdin.
     pub listen: Option<String>,
+    /// `serve`: expose `/metrics`, `/healthz`, `/readyz` on `unix:PATH`
+    /// or `tcp:HOST:PORT`; `watch`: the endpoint to scrape.
+    pub admin: Option<String>,
+    /// `serve`: `/readyz` turns 503 when no slot closes within this
+    /// many milliseconds (the run being complete always reads ready).
+    pub ready_deadline_ms: u64,
+    /// `watch`: milliseconds between dashboard refreshes.
+    pub interval_ms: u64,
+    /// `watch`: stop after N refreshes (default: run until killed).
+    pub iterations: Option<u64>,
     /// `gen-arrivals`: arrival-process name (diurnal | bursty |
     /// heavy-tail).
     pub process: String,
@@ -110,6 +120,10 @@ impl Default for Options {
             slot_requests: None,
             slot_ms: None,
             listen: None,
+            admin: None,
+            ready_deadline_ms: 5000,
+            interval_ms: 1000,
+            iterations: None,
             process: "diurnal".to_owned(),
             start_slot: 0,
             slots: None,
@@ -238,6 +252,34 @@ impl Options {
                     opts.slot_ms = Some(ms);
                 }
                 "--listen" => opts.listen = Some(value("--listen")?),
+                "--admin" => opts.admin = Some(value("--admin")?),
+                "--ready-deadline-ms" => {
+                    let ms: u64 = value("--ready-deadline-ms")?
+                        .parse()
+                        .map_err(|_| "ready-deadline-ms must be a positive integer".to_owned())?;
+                    if ms == 0 {
+                        return Err("ready-deadline-ms must be at least 1".to_owned());
+                    }
+                    opts.ready_deadline_ms = ms;
+                }
+                "--interval-ms" => {
+                    let ms: u64 = value("--interval-ms")?
+                        .parse()
+                        .map_err(|_| "interval-ms must be a positive integer".to_owned())?;
+                    if ms == 0 {
+                        return Err("interval-ms must be at least 1".to_owned());
+                    }
+                    opts.interval_ms = ms;
+                }
+                "--iterations" => {
+                    let n: u64 = value("--iterations")?
+                        .parse()
+                        .map_err(|_| "iterations must be a positive integer".to_owned())?;
+                    if n == 0 {
+                        return Err("iterations must be at least 1".to_owned());
+                    }
+                    opts.iterations = Some(n);
+                }
                 "--process" => opts.process = value("--process")?,
                 "--start-slot" => {
                     opts.start_slot = value("--start-slot")?
@@ -419,6 +461,36 @@ mod tests {
         assert!(parse(&["--slot-requests", "0"]).is_err());
         assert!(parse(&["--slot-ms", "0"]).is_err());
         assert!(parse(&["--seed", "minus-one"]).is_err());
+    }
+
+    #[test]
+    fn admin_and_watch_flags() {
+        let o = parse(&[
+            "--admin",
+            "tcp:127.0.0.1:9100",
+            "--ready-deadline-ms",
+            "2500",
+            "--interval-ms",
+            "500",
+            "--iterations",
+            "3",
+        ])
+        .expect("valid");
+        assert_eq!(o.admin.as_deref(), Some("tcp:127.0.0.1:9100"));
+        assert_eq!(o.ready_deadline_ms, 2500);
+        assert_eq!(o.interval_ms, 500);
+        assert_eq!(o.iterations, Some(3));
+
+        let d = parse(&[]).expect("defaults");
+        assert!(d.admin.is_none());
+        assert_eq!(d.ready_deadline_ms, 5000);
+        assert_eq!(d.interval_ms, 1000);
+        assert!(d.iterations.is_none());
+
+        assert!(parse(&["--ready-deadline-ms", "0"]).is_err());
+        assert!(parse(&["--interval-ms", "0"]).is_err());
+        assert!(parse(&["--iterations", "0"]).is_err());
+        assert!(parse(&["--admin"]).is_err());
     }
 
     #[test]

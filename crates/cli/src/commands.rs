@@ -26,6 +26,8 @@ COMMANDS:
   compare      evaluate all 13 policies + Offline and print a ranked table
   serve        long-lived streaming daemon: read request lines from stdin
                or a socket, decide online, checkpoint/resume mid-run
+  watch        live dashboard for a running serve daemon (scrapes its
+               --admin endpoint, or reads an ops sidecar file)
   gen-arrivals emit a seeded JSONL request stream for serve (diurnal,
                bursty, or heavy-tail arrival process)
   report       analyze a telemetry trace: timings, regret vs theory, λ
@@ -86,6 +88,15 @@ FLAGS:
                         checkpoint written by an earlier serve
   --halt-at-slot K      serve: checkpoint and exit once K slots are
                         served (planned handoffs, resume drills, CI)
+  --admin ADDR          serve: expose /metrics, /healthz and /readyz on
+                        unix:PATH or tcp:HOST:PORT, off the serve path
+                        (traces stay byte-identical with it on or off);
+                        with --telemetry, operational metrics are also
+                        written to F.jsonl.ops.jsonl at exit
+  --ready-deadline-ms N serve: /readyz turns 503 when no slot completed
+                        for N ms (default 5000)
+  --interval-ms N       watch: refresh every N ms (default 1000)
+  --iterations N        watch: stop after N refreshes (default: forever)
   --process NAME        gen-arrivals: diurnal | bursty | heavy-tail
   --start-slot K        gen-arrivals: emit slots K.. only (a resume
                         tail; identical to the suffix of a full stream)
@@ -102,6 +113,8 @@ EXAMPLES:
       --quick --edges 4 --telemetry served.jsonl
   carbon-edge serve --quick --checkpoint state.ckpt --checkpoint-every 10
   carbon-edge serve --quick --resume state.ckpt --telemetry served.jsonl
+  carbon-edge serve --quick --admin tcp:127.0.0.1:9100 &
+  carbon-edge watch --admin tcp:127.0.0.1:9100 --interval-ms 500
   carbon-edge report trace.jsonl --strict
   carbon-edge bench-check results/BENCH_e2e.json /tmp/bench/BENCH_e2e.json
   carbon-edge zoo --task cifar --quantized"

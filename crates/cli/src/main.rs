@@ -5,7 +5,10 @@
 //! carbon-edge run     --policy ours --edges 10 --seeds 5 [--task mnist|cifar]
 //! carbon-edge compare --edges 10 --seeds 3
 //! carbon-edge serve   --quick --seed 1 [--listen unix:PATH|tcp:ADDR]
+//!                     [--admin unix:PATH|tcp:ADDR --ready-deadline-ms N]
 //!                     [--checkpoint F --checkpoint-every N] [--resume F]
+//! carbon-edge watch   --admin unix:PATH|tcp:ADDR [--interval-ms N]
+//!                     [--iterations N]   (or: carbon-edge watch OPS.jsonl)
 //! carbon-edge gen-arrivals --process diurnal --edges 10 --slots 40 --seed 1
 //! carbon-edge report  trace.jsonl [--strict] [--svg-dir charts]
 //! carbon-edge bench-check baseline.json current.json [--tolerance T]
@@ -15,11 +18,13 @@
 
 use std::process::ExitCode;
 
+mod admin;
 mod args;
 mod bench_check;
 mod commands;
 mod report;
 mod serve;
+mod watch;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +43,7 @@ fn main() -> ExitCode {
         "run" => commands::run(&opts),
         "compare" => commands::compare(&opts),
         "serve" => serve::serve(&opts),
+        "watch" => watch::watch(&opts),
         "gen-arrivals" => serve::gen_arrivals(&opts),
         "report" => report::report(&opts),
         "bench-check" => bench_check::bench_check(&opts),

@@ -10,6 +10,7 @@
 //! theorem-envelope violation in the trace makes the command fail.
 
 use cne_bench::plot::{LineChart, Series};
+use cne_util::expo::ops_sidecar_path;
 use cne_util::span::{parse_profile_jsonl, profile_sidecar_path, ProfileRun};
 use cne_util::telemetry::{parse_jsonl, Event, Recorder, Value};
 
@@ -108,6 +109,24 @@ pub fn report(opts: &Options) -> Result<(), String> {
         }
     }
 
+    // Serve traces carry a `.ops.jsonl` sidecar with the envelope
+    // verdicts the daemon streamed while running; cross-check them
+    // against the post-run monitors recomputed into the trace itself.
+    let ops_path = ops_sidecar_path(trace_path);
+    let mut live_disagreements: Vec<String> = Vec::new();
+    if let Ok(text) = std::fs::read_to_string(&ops_path) {
+        let ops_runs = parse_jsonl(&text).map_err(|e| format!("{ops_path}: {e}"))?;
+        live_disagreements = crosscheck_live_envelopes(&runs, &ops_runs);
+        println!("\n== live vs post-run envelope verdicts ({ops_path}) ==");
+        if live_disagreements.is_empty() {
+            println!("(the daemon's streamed verdicts agree with the recomputed monitors)");
+        } else {
+            for finding in &live_disagreements {
+                println!("  !! {finding}");
+            }
+        }
+    }
+
     // Excused envelope events (breaches attributable to an injected
     // fault schedule) are annotations, not violations: strict mode
     // gates only on the unexcused remainder.
@@ -128,6 +147,13 @@ pub fn report(opts: &Options) -> Result<(), String> {
             "strict mode: {} structural problem(s) in the span-profile \
              stream at {profile_path}",
             profile_findings.len()
+        ));
+    }
+    if opts.strict && !live_disagreements.is_empty() {
+        return Err(format!(
+            "strict mode: {} disagreement(s) between the live envelope \
+             verdicts in {ops_path} and the recomputed post-run monitors",
+            live_disagreements.len()
         ));
     }
     Ok(())
@@ -188,6 +214,118 @@ fn counted_envelope_events(rec: &Recorder) -> Vec<&Event> {
         .into_iter()
         .filter(|e| !is_excused(e))
         .collect()
+}
+
+/// `(slot, excused)` verdict multiset for one monitor.
+fn verdict_counts(
+    events: &[&Event],
+    monitor: &str,
+) -> std::collections::BTreeMap<(Option<u64>, bool), usize> {
+    let mut counts = std::collections::BTreeMap::new();
+    for event in events {
+        if field_str(event, "monitor") == Some(monitor) {
+            *counts.entry((event.slot, is_excused(event))).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Compares the envelope verdicts a serve daemon streamed while running
+/// (`envelope_live` events in the `.ops.jsonl` sidecar) against the
+/// post-run monitors' verdicts recorded in the trace itself. The two
+/// watch the same theorems from different vantage points, so a
+/// disagreement means one of them is wrong. Rules per monitor:
+///
+/// - `block_boundary`, `trade_bounds`: slot-anchored and excused by the
+///   event itself — the `(slot, excused)` multisets must match exactly
+///   (restricted to slots the daemon actually served, `serve.start_slot`
+///   onward, so resumed runs only answer for their own suffix).
+/// - `dual_sanity`: the live check uses the running travel-budget
+///   ceiling, the post-run check the (larger) end-of-run ceiling — every
+///   post-run breach slot must appear live, but not vice versa.
+/// - `thm2_fit`: the live monitor reports the first crossing only and
+///   the fit may recede by run end, so a live breach without a terminal
+///   one is legitimate; a terminal breach without a live one is not.
+///   Skipped for resumed daemons (the crossing may predate the resume).
+/// - `thm1_regret` is end-of-run only and has no live counterpart.
+fn crosscheck_live_envelopes(runs: &[Recorder], ops_runs: &[Recorder]) -> Vec<String> {
+    let mut findings = Vec::new();
+    for ops in ops_runs {
+        let name = run_name(ops);
+        let Some(run) = runs.iter().find(|r| run_name(r) == name) else {
+            findings.push(format!(
+                "{name}: the ops sidecar has no matching run in the trace"
+            ));
+            continue;
+        };
+        let start = ops.gauge_value("serve.start_slot").unwrap_or(0.0) as u64;
+        let live: Vec<&Event> = ops
+            .events()
+            .iter()
+            .filter(|e| e.kind == "envelope_live")
+            .collect();
+        let post: Vec<&Event> = envelope_events(run)
+            .into_iter()
+            .filter(|e| e.slot.is_none() || e.slot.is_some_and(|t| t >= start))
+            .collect();
+
+        for monitor in ["block_boundary", "trade_bounds"] {
+            let live_set = verdict_counts(&live, monitor);
+            let post_set = verdict_counts(&post, monitor);
+            if live_set == post_set {
+                continue;
+            }
+            let describe = |(slot, excused): &(Option<u64>, bool)| {
+                format!(
+                    "slot {}{}",
+                    slot.map_or("—".to_owned(), |t| t.to_string()),
+                    if *excused { " (excused)" } else { "" }
+                )
+            };
+            for (key, n) in &post_set {
+                if live_set.get(key).copied().unwrap_or(0) < *n {
+                    findings.push(format!(
+                        "{name}: post-run {monitor} breach at {} was never \
+                         streamed live",
+                        describe(key)
+                    ));
+                }
+            }
+            for (key, n) in &live_set {
+                if post_set.get(key).copied().unwrap_or(0) < *n {
+                    findings.push(format!(
+                        "{name}: live {monitor} breach at {} is absent from \
+                         the post-run verdicts",
+                        describe(key)
+                    ));
+                }
+            }
+        }
+
+        let live_dual = verdict_counts(&live, "dual_sanity");
+        for (key, _) in verdict_counts(&post, "dual_sanity") {
+            if !live_dual.contains_key(&key) && !live_dual.contains_key(&(key.0, !key.1)) {
+                findings.push(format!(
+                    "{name}: post-run dual_sanity breach at slot {} was never \
+                     streamed live",
+                    key.0.map_or("—".to_owned(), |t| t.to_string())
+                ));
+            }
+        }
+
+        let live_fit = live
+            .iter()
+            .any(|e| field_str(e, "monitor") == Some("thm2_fit"));
+        let post_fit = post
+            .iter()
+            .any(|e| field_str(e, "monitor") == Some("thm2_fit"));
+        if post_fit && !live_fit && start == 0 {
+            findings.push(format!(
+                "{name}: the terminal thm2_fit breach was never streamed live"
+            ));
+        }
+    }
+    findings
 }
 
 /// Flamegraph-style self/total aggregate over every profiled run,
@@ -401,8 +539,8 @@ fn print_fault_summary(runs: &[Recorder]) {
 }
 
 /// Down-samples `values` into at most `width` buckets and renders them
-/// with eight-level block characters.
-fn sparkline(values: &[f64], width: usize) -> String {
+/// with eight-level block characters. Shared with `carbon-edge watch`.
+pub(crate) fn sparkline(values: &[f64], width: usize) -> String {
     if values.is_empty() {
         return String::new();
     }
@@ -633,6 +771,125 @@ mod tests {
         opts.profile = Some("/nonexistent/run.profile.jsonl".to_owned());
         let err = report(&opts).expect_err("explicit sidecar must exist");
         assert!(err.contains("cannot read"), "got: {err}");
+    }
+
+    /// A trace recorder and an ops recorder for the same run, each
+    /// carrying the given `(slot, monitor, excused)` verdicts as
+    /// post-run `envelope` / live `envelope_live` events.
+    fn verdict_pair(
+        post: &[(Option<u64>, &str, bool)],
+        live: &[(Option<u64>, &str, bool)],
+    ) -> (Recorder, Recorder) {
+        let mut run = Recorder::new();
+        run.set_label("policy", "ours");
+        run.set_label("seed", "1");
+        for &(slot, monitor, excused) in post {
+            run.event(
+                slot,
+                "envelope",
+                &[("monitor", monitor.into()), ("excused", excused.into())],
+            );
+        }
+        let mut ops = Recorder::new();
+        ops.set_label("policy", "ours");
+        ops.set_label("seed", "1");
+        ops.set_label("stream", "ops");
+        ops.gauge("serve.start_slot", 0.0);
+        for &(slot, monitor, excused) in live {
+            ops.event(
+                slot,
+                "envelope_live",
+                &[("monitor", monitor.into()), ("excused", excused.into())],
+            );
+        }
+        (run, ops)
+    }
+
+    #[test]
+    fn live_crosscheck_accepts_agreeing_verdicts() {
+        // Exact match on the slot-anchored monitors; a live-only
+        // dual_sanity breach (tighter running ceiling) and a live-only
+        // thm2_fit crossing (the fit receded by run end) are both fine.
+        let (run, ops) = verdict_pair(
+            &[
+                (Some(3), "block_boundary", true),
+                (Some(7), "trade_bounds", false),
+            ],
+            &[
+                (Some(3), "block_boundary", true),
+                (Some(7), "trade_bounds", false),
+                (Some(5), "dual_sanity", false),
+                (Some(6), "thm2_fit", false),
+            ],
+        );
+        assert_eq!(
+            crosscheck_live_envelopes(&[run], &[ops]),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn live_crosscheck_flags_every_disagreement_direction() {
+        let (run, ops) = verdict_pair(
+            &[
+                // Post-run breach the daemon never streamed.
+                (Some(3), "block_boundary", false),
+                // Post-run dual breach with no live counterpart.
+                (Some(4), "dual_sanity", false),
+                // Terminal fit breach with no live crossing.
+                (None, "thm2_fit", false),
+            ],
+            &[
+                // Live breach the post-run monitors never confirmed.
+                (Some(9), "trade_bounds", false),
+            ],
+        );
+        let findings = crosscheck_live_envelopes(&[run], &[ops]);
+        assert_eq!(findings.len(), 4, "all four disagree: {findings:?}");
+        assert!(findings.iter().any(|f| f.contains("block_boundary")));
+        assert!(findings
+            .iter()
+            .any(|f| f.contains("trade_bounds") && f.contains("absent")));
+        assert!(findings.iter().any(|f| f.contains("dual_sanity")));
+        assert!(findings.iter().any(|f| f.contains("thm2_fit")));
+    }
+
+    #[test]
+    fn live_crosscheck_respects_the_resume_boundary() {
+        // A daemon resumed at slot 10 never saw slot 3's breach or the
+        // original fit crossing; only its own suffix counts.
+        let (run, mut ops) = verdict_pair(
+            &[
+                (Some(3), "block_boundary", false),
+                (None, "thm2_fit", false),
+            ],
+            &[],
+        );
+        ops.gauge("serve.start_slot", 10.0);
+        assert_eq!(
+            crosscheck_live_envelopes(&[run], &[ops]),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn strict_mode_fails_on_live_verdict_disagreement() {
+        let dir = std::env::temp_dir().join("cne-report-live-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let (run, ops) = verdict_pair(&[(Some(3), "block_boundary", true)], &[]);
+        let trace = dir.join("served.jsonl");
+        let trace_path = trace.to_string_lossy().into_owned();
+        std::fs::write(&trace, run.to_jsonl_string()).expect("write trace");
+        std::fs::write(ops_sidecar_path(&trace_path), ops.to_jsonl_string())
+            .expect("write sidecar");
+        let mut opts = Options {
+            inputs: vec![trace_path],
+            ..Options::default()
+        };
+        report(&opts).expect("non-strict mode only warns");
+        opts.strict = true;
+        let err = report(&opts).expect_err("strict mode fails on disagreement");
+        assert!(err.contains("disagreement"), "got: {err}");
     }
 
     #[test]

@@ -16,15 +16,19 @@
 use std::io::{BufRead as _, Write as _};
 use std::path::Path;
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cne_core::combos::Combo;
 use cne_core::{Checkpoint, ServeOptions, ServeSession};
 use cne_edgesim::ServeMode;
 use cne_simdata::{ArrivalGen, ArrivalProcess};
+use cne_util::expo;
 use cne_util::json::{self, Json};
+use cne_util::telemetry::{Recorder, Value};
 use cne_util::SeedSequence;
 
+use crate::admin::{self, AdminState};
 use crate::args::Options;
 use crate::commands::{build_config, build_zoo, write_telemetry};
 
@@ -35,6 +39,34 @@ const IDLE_POLL: Duration = Duration::from_millis(100);
 /// Slots per synthetic day for `gen-arrivals` (matches the fast-test
 /// workload cadence so a 40-slot quick horizon spans 2.5 days).
 const SLOTS_PER_DAY: usize = 16;
+
+/// Bucket upper bounds for the ops latency histograms, microseconds
+/// (50µs … 1s; slower observations land in the overflow bucket).
+const LATENCY_BOUNDS_US: [f64; 14] = [
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1_000.0,
+    2_500.0,
+    5_000.0,
+    10_000.0,
+    25_000.0,
+    50_000.0,
+    100_000.0,
+    250_000.0,
+    500_000.0,
+    1_000_000.0,
+];
+
+/// Ops latency-histogram name → profiler span path, for the stages the
+/// stepper times itself.
+const STAGE_LATENCIES: [(&str, &str); 4] = [
+    ("serve.latency.select_us", "slot/select"),
+    ("serve.latency.trade_us", "slot/trade"),
+    ("serve.latency.serve_us", "slot/serve"),
+    ("serve.latency.feedback_us", "slot/feedback"),
+];
 
 #[cfg(unix)]
 mod signals {
@@ -187,6 +219,231 @@ fn write_checkpoint(session: &ServeSession<'_>, path: &str) -> Result<(), String
     Ok(())
 }
 
+/// The daemon's operational side channel: a wall-clock [`Recorder`]
+/// (slot/request counters, carbon and allowance gauges, per-stage
+/// latency histograms, live envelope verdicts) that is rendered into
+/// the admin endpoint's `/metrics` page after every slot and written
+/// to the `<telemetry>.ops.jsonl` sidecar at exit. Everything here is
+/// operational — the deterministic telemetry trace never sees any of
+/// it, so traces stay byte-identical with observability on or off.
+struct DaemonOps {
+    rec: Recorder,
+    admin: Option<Arc<AdminState>>,
+    /// The profiler's cumulative per-stage totals after the previous
+    /// slot (µs): `STAGE_LATENCIES` order, then the `slot` root.
+    prev_us: [f64; 5],
+}
+
+impl DaemonOps {
+    fn new(session: &ServeSession<'_>, run_seed: u64, admin: Option<Arc<AdminState>>) -> Self {
+        let mut rec = Recorder::new();
+        rec.set_label("policy", session.policy_name());
+        rec.set_label("seed", run_seed.to_string());
+        rec.set_label("stream", "ops");
+        // A resumed daemon only observes slots from here on; `report`
+        // restricts its live-vs-recomputed cross-check accordingly.
+        rec.gauge("serve.start_slot", session.next_slot() as f64);
+        rec.gauge("serve.horizon", session.horizon() as f64);
+        Self {
+            rec,
+            admin,
+            prev_us: [0.0; 5],
+        }
+    }
+
+    /// Folds one closed slot into the ops recorder: counters, ledger
+    /// gauges, live envelope verdicts, stage latencies — then
+    /// republishes the metrics page.
+    fn after_slot(&mut self, session: &mut ServeSession<'_>, requests: u64, slot_wall_us: f64) {
+        self.rec.incr("serve.slots", 1);
+        self.rec.incr("serve.requests", requests);
+        self.rec
+            .gauge("serve.next_slot", session.next_slot() as f64);
+
+        let ledger = *session.ledger();
+        self.rec.gauge("carbon.cap", ledger.cap().get());
+        self.rec
+            .gauge("carbon.emitted", ledger.emitted().to_allowances().get());
+        self.rec.gauge("carbon.held", ledger.held().get());
+        self.rec
+            .gauge("carbon.slack", ledger.neutrality_slack().get());
+        self.rec.gauge("allowance.bought", ledger.bought().get());
+        self.rec.gauge("allowance.sold", ledger.sold().get());
+        self.rec
+            .gauge("market.net_cost_cents", ledger.net_trading_cost().get());
+
+        if let Some(monitor) = session.live_monitor() {
+            if let Some(lambda) = monitor.last_lambda() {
+                self.rec.gauge("dual.lambda", lambda);
+            }
+            self.rec
+                .gauge("envelope.live.fit_observed", monitor.fit_observed());
+            self.rec
+                .gauge("envelope.live.fit_bound", monitor.fit_bound());
+            self.rec
+                .gauge("envelope.live.lambda_ceiling", monitor.lambda_ceiling());
+        }
+        for finding in session.take_live_findings() {
+            let class = if finding.excused {
+                "envelope.live.excused"
+            } else {
+                "envelope.live.violations"
+            };
+            self.rec.incr(class, 1);
+            self.rec
+                .incr(&format!("envelope.live.{}", finding.monitor), 1);
+            let mut fields: Vec<(&str, Value)> = vec![
+                ("monitor", finding.monitor.into()),
+                ("excused", finding.excused.into()),
+            ];
+            fields.extend(finding.detail.iter().cloned());
+            self.rec.event(finding.slot, "envelope_live", &fields);
+            // The moment-it-happened structured event for operators.
+            let mut line = vec![
+                ("event".to_owned(), Json::Str("envelope_breach".to_owned())),
+                (
+                    "slot".to_owned(),
+                    finding.slot.map_or(Json::Null, Json::UInt),
+                ),
+                ("monitor".to_owned(), Json::Str(finding.monitor.to_owned())),
+                ("excused".to_owned(), Json::Bool(finding.excused)),
+            ];
+            for (name, value) in &finding.detail {
+                line.push(((*name).to_owned(), json_value(value)));
+            }
+            eprintln!("{}", Json::Obj(line).encode());
+        }
+
+        if let Some(profiler) = session.profiler() {
+            for (i, (metric, path)) in STAGE_LATENCIES.iter().enumerate() {
+                let total = profiler.total_us(path);
+                let delta = (total - self.prev_us[i]).max(0.0);
+                self.prev_us[i] = total;
+                self.rec
+                    .histogram_with_bounds(metric, &LATENCY_BOUNDS_US)
+                    .record(delta);
+            }
+            let step_total = profiler.total_us("slot");
+            let step = (step_total - self.prev_us[4]).max(0.0);
+            self.prev_us[4] = step_total;
+            // What the daemon spent around the stepper: arrival
+            // ingestion, live monitoring, bookkeeping.
+            self.rec
+                .histogram_with_bounds("serve.latency.ingest_us", &LATENCY_BOUNDS_US)
+                .record((slot_wall_us - step).max(0.0));
+        }
+        self.rec
+            .histogram_with_bounds("serve.latency.slot_us", &LATENCY_BOUNDS_US)
+            .record(slot_wall_us);
+        self.publish(session);
+    }
+
+    /// Tallies one checkpoint write into the ops recorder.
+    fn record_checkpoint(&mut self, wall_us: f64) {
+        self.rec.incr("serve.checkpoints", 1);
+        self.rec
+            .histogram_with_bounds("serve.latency.checkpoint_us", &LATENCY_BOUNDS_US)
+            .record(wall_us);
+    }
+
+    /// Renders the exposition page — the deterministic trace (when
+    /// carried) plus the ops recorder — and hands it to the admin
+    /// endpoint. Read-only with respect to the session.
+    fn publish(&self, session: &ServeSession<'_>) {
+        let Some(state) = &self.admin else { return };
+        let mut recorders: Vec<&Recorder> = Vec::with_capacity(2);
+        if let Some(trace) = session.telemetry() {
+            recorders.push(trace);
+        }
+        recorders.push(&self.rec);
+        let page =
+            expo::render(&recorders).unwrap_or_else(|e| format!("# exposition error: {e}\n"));
+        state.publish(page);
+    }
+
+    /// Marks the run complete for `/readyz` and writes the ops sidecar
+    /// next to the telemetry trace (when one is being written).
+    fn finish(&self, telemetry_path: Option<&str>) -> Result<(), String> {
+        if let Some(state) = &self.admin {
+            state.mark_done();
+        }
+        if let Some(trace_path) = telemetry_path {
+            let path = expo::ops_sidecar_path(trace_path);
+            std::fs::write(&path, self.rec.to_jsonl_string())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("ops          : operational metrics written to {path}");
+        }
+        Ok(())
+    }
+}
+
+/// Telemetry [`Value`] → [`Json`], for the live-breach stderr events.
+fn json_value(value: &Value) -> Json {
+    match value {
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Int(i) => Json::Int(*i),
+        Value::UInt(u) => Json::UInt(*u),
+        Value::Float(f) if f.is_finite() => Json::Float(*f),
+        Value::Float(_) => Json::Null,
+        Value::Str(s) => Json::Str(s.clone()),
+    }
+}
+
+/// The one-line structured startup banner, written to stderr so it
+/// never interleaves with the stdout summary or a piped trace.
+fn startup_banner(
+    opts: &Options,
+    session: &ServeSession<'_>,
+    run_seed: u64,
+    scenario: Option<&str>,
+    admin_addr: Option<&str>,
+) {
+    let opt_str = |v: Option<&str>| v.map_or(Json::Null, |s| Json::Str(s.to_owned()));
+    let mut triggers = vec![Json::Str("slot_end".to_owned())];
+    if let Some(n) = opts.slot_requests {
+        triggers.push(Json::Str(format!("requests:{n}")));
+    }
+    if let Some(ms) = opts.slot_ms {
+        triggers.push(Json::Str(format!("ms:{ms}")));
+    }
+    let banner = Json::Obj(vec![
+        ("event".to_owned(), Json::Str("serve_start".to_owned())),
+        ("policy".to_owned(), Json::Str(opts.policy.clone())),
+        ("seed".to_owned(), Json::UInt(run_seed)),
+        ("scenario".to_owned(), opt_str(scenario)),
+        (
+            "serve_mode".to_owned(),
+            Json::Str(
+                if opts.serve_per_request {
+                    "per-request"
+                } else {
+                    "batched"
+                }
+                .to_owned(),
+            ),
+        ),
+        (
+            "edge_threads".to_owned(),
+            Json::UInt(opts.edge_threads.unwrap_or(1) as u64),
+        ),
+        (
+            "next_slot".to_owned(),
+            Json::UInt(session.next_slot() as u64),
+        ),
+        ("horizon".to_owned(), Json::UInt(session.horizon() as u64)),
+        ("edges".to_owned(), Json::UInt(session.num_edges() as u64)),
+        (
+            "listen".to_owned(),
+            Json::Str(opts.listen.clone().unwrap_or_else(|| "stdin".to_owned())),
+        ),
+        ("admin".to_owned(), opt_str(admin_addr)),
+        ("slot_triggers".to_owned(), Json::Arr(triggers)),
+        ("telemetry".to_owned(), opt_str(opts.telemetry.as_deref())),
+        ("checkpoint".to_owned(), opt_str(opts.checkpoint.as_deref())),
+    ]);
+    eprintln!("{}", banner.encode());
+}
+
 /// `carbon-edge serve`.
 pub fn serve(opts: &Options) -> Result<(), String> {
     if opts.policy.eq_ignore_ascii_case("offline") {
@@ -209,6 +466,7 @@ pub fn serve(opts: &Options) -> Result<(), String> {
         config.horizon = slots;
     }
     let zoo = build_zoo(opts);
+    let scenario = config.faults.as_ref().map(|s| s.name.clone());
     let serve_opts = ServeOptions {
         serve_mode: if opts.serve_per_request {
             ServeMode::PerRequest
@@ -217,6 +475,10 @@ pub fn serve(opts: &Options) -> Result<(), String> {
         },
         edge_threads: opts.edge_threads.unwrap_or(1),
         telemetry: opts.telemetry.is_some(),
+        // Both feed only the ops side channel (admin endpoint, watch,
+        // ops sidecar); the deterministic trace never sees them.
+        live_monitor: true,
+        stage_profiler: true,
     };
 
     let mut run_seed = opts.seed;
@@ -245,6 +507,28 @@ pub fn serve(opts: &Options) -> Result<(), String> {
     }
 
     signals::install();
+    let admin_state = opts
+        .admin
+        .as_deref()
+        .map(|addr| {
+            let state = AdminState::new(Duration::from_millis(opts.ready_deadline_ms));
+            let bound = admin::spawn(addr, state.clone())?;
+            eprintln!("admin        : /metrics /healthz /readyz on {bound}");
+            Ok::<_, String>((state, bound))
+        })
+        .transpose()?;
+    let admin_addr = admin_state.as_ref().map(|(_, bound)| bound.clone());
+    let mut ops = DaemonOps::new(&session, run_seed, admin_state.map(|(state, _)| state));
+    startup_banner(
+        opts,
+        &session,
+        run_seed,
+        scenario.as_deref(),
+        admin_addr.as_deref(),
+    );
+    // Publish an initial page so `/metrics` is never empty, even
+    // before the first slot closes.
+    ops.publish(&session);
     let rx = spawn_reader(opts.listen.as_deref())?;
     println!(
         "serve        : policy {} seed {run_seed}, slot {} of {}, {} edges",
@@ -267,6 +551,7 @@ pub fn serve(opts: &Options) -> Result<(), String> {
             if let Some(path) = &opts.checkpoint {
                 write_checkpoint(&session, path)?;
             }
+            ops.finish(opts.telemetry.as_deref())?;
             eprintln!(
                 "serve        : shutdown signal at slot {} — exiting cleanly{}",
                 session.next_slot(),
@@ -290,10 +575,11 @@ pub fn serve(opts: &Options) -> Result<(), String> {
                 &mut requests_in_slot,
                 &mut deadline,
                 opts,
+                &mut ops,
             )?;
             if let Some(k) = opts.halt_at_slot {
                 if session.next_slot() == k {
-                    return halt(&session, opts);
+                    return halt(&session, opts, &ops);
                 }
             }
             continue;
@@ -314,10 +600,11 @@ pub fn serve(opts: &Options) -> Result<(), String> {
                         &mut requests_in_slot,
                         &mut deadline,
                         opts,
+                        &mut ops,
                     )?;
                     if let Some(k) = opts.halt_at_slot {
                         if session.next_slot() == k {
-                            return halt(&session, opts);
+                            return halt(&session, opts, &ops);
                         }
                     }
                 }
@@ -348,6 +635,7 @@ pub fn serve(opts: &Options) -> Result<(), String> {
                         &mut requests_in_slot,
                         &mut deadline,
                         opts,
+                        &mut ops,
                     )?;
                 }
             }
@@ -358,17 +646,19 @@ pub fn serve(opts: &Options) -> Result<(), String> {
                     &mut requests_in_slot,
                     &mut deadline,
                     opts,
+                    &mut ops,
                 )?;
             }
         }
         if let Some(k) = opts.halt_at_slot {
             if session.next_slot() == k {
-                return halt(&session, opts);
+                return halt(&session, opts, &ops);
             }
         }
     }
 
     let horizon = session.horizon();
+    ops.finish(opts.telemetry.as_deref())?;
     let outcome = session.finish();
     println!("served       : {horizon} slots, policy {}", opts.policy);
     println!("total cost   : {:.1}", outcome.record.total_cost());
@@ -399,8 +689,12 @@ fn close_slot(
     requests_in_slot: &mut usize,
     deadline: &mut Option<Instant>,
     opts: &Options,
+    ops: &mut DaemonOps,
 ) -> Result<(), String> {
+    let requests: u64 = open.iter().sum();
+    let started = Instant::now();
     session.push_slot(open);
+    let slot_wall_us = started.elapsed().as_secs_f64() * 1e6;
     open.iter_mut().for_each(|c| *c = 0);
     *requests_in_slot = 0;
     *deadline = opts
@@ -408,16 +702,20 @@ fn close_slot(
         .map(|ms| Instant::now() + Duration::from_millis(ms));
     if let (Some(every), Some(path)) = (opts.checkpoint_every, &opts.checkpoint) {
         if session.next_slot() % every == 0 && !session.is_done() {
+            let started = Instant::now();
             write_checkpoint(session, path)?;
+            ops.record_checkpoint(started.elapsed().as_secs_f64() * 1e6);
         }
     }
+    ops.after_slot(session, requests, slot_wall_us);
     Ok(())
 }
 
 /// `--halt-at-slot`: write the checkpoint and exit cleanly.
-fn halt(session: &ServeSession<'_>, opts: &Options) -> Result<(), String> {
+fn halt(session: &ServeSession<'_>, opts: &Options, ops: &DaemonOps) -> Result<(), String> {
     let path = opts.checkpoint.as_deref().expect("validated at startup");
     write_checkpoint(session, path)?;
+    ops.finish(opts.telemetry.as_deref())?;
     println!(
         "halt         : {} slots served, as requested — continue with \
          --resume {path}",

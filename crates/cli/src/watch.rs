@@ -1,0 +1,297 @@
+//! `carbon-edge watch` — a live operational dashboard for a running
+//! serve daemon.
+//!
+//! Scrapes a daemon's admin endpoint (`--admin unix:PATH|tcp:HOST:PORT`,
+//! the address given to `serve --admin`) every `--interval-ms` and
+//! renders slot throughput, slot-latency quantiles, the dual variable λ
+//! (with a sparkline over the scrape history), the allowance position,
+//! fault counters, and the live theorem-envelope verdict summary.
+//! Alternatively, point it at an ops sidecar file
+//! (`<trace>.jsonl.ops.jsonl`) for a post-hoc snapshot of the same
+//! dashboard. `--iterations N` stops after N refreshes (CI smoke uses
+//! `--iterations 1`); the screen is only cleared between refreshes when
+//! stdout is a terminal.
+
+use std::io::IsTerminal as _;
+use std::time::{Duration, Instant};
+
+use cne_util::expo::{self, Exposition};
+use cne_util::telemetry::{parse_jsonl, Recorder};
+
+use crate::admin;
+use crate::args::Options;
+use crate::report::sparkline;
+
+/// Where the dashboard reads its metrics from.
+enum Source {
+    /// A serve daemon's admin endpoint.
+    Admin(String),
+    /// An ops sidecar JSONL file.
+    File(String),
+}
+
+/// Runs the subcommand.
+///
+/// # Errors
+/// Returns a message when no source is given, the endpoint or file is
+/// unreachable, or the exposition fails to parse.
+pub fn watch(opts: &Options) -> Result<(), String> {
+    let source = match (&opts.admin, opts.inputs.as_slice()) {
+        (Some(addr), []) => Source::Admin(addr.clone()),
+        (None, [path]) => Source::File(path.clone()),
+        (Some(_), _) => {
+            return Err("watch takes --admin ADDR or one sidecar file, not both".to_owned());
+        }
+        (None, _) => {
+            return Err("watch needs a source: --admin unix:PATH|tcp:HOST:PORT \
+                        (a daemon started with 'serve --admin') or one ops \
+                        sidecar file (<trace>.ops.jsonl)"
+                .to_owned());
+        }
+    };
+    let label = match &source {
+        Source::Admin(addr) => addr.clone(),
+        Source::File(path) => path.clone(),
+    };
+
+    let mut lambda_history: Vec<f64> = Vec::new();
+    let mut prev_sample: Option<(Instant, f64)> = None;
+    let mut refresh = 0u64;
+    loop {
+        let page = scrape(&source)?;
+        refresh += 1;
+        if let Some(lambda) = metric(&page, "dual.lambda") {
+            lambda_history.push(lambda);
+        }
+        let slots = metric(&page, "serve.slots").unwrap_or(0.0);
+        let now = Instant::now();
+        let rate = prev_sample.and_then(|(at, was)| {
+            let dt = now.duration_since(at).as_secs_f64();
+            (dt > 0.0).then(|| (slots - was) / dt)
+        });
+        prev_sample = Some((now, slots));
+        render_dashboard(&page, &label, refresh, rate, &lambda_history);
+        if opts.iterations.is_some_and(|n| refresh >= n) {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(opts.interval_ms));
+    }
+}
+
+/// Fetches and parses one metrics snapshot.
+fn scrape(source: &Source) -> Result<Exposition, String> {
+    match source {
+        Source::Admin(addr) => {
+            let (code, body) = admin::http_get(addr, "/metrics")?;
+            if code != 200 {
+                return Err(format!("{addr} /metrics returned HTTP {code}"));
+            }
+            expo::parse(&body).map_err(|e| format!("{addr} /metrics: {e}"))
+        }
+        Source::File(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let recorders = parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+            let refs: Vec<&Recorder> = recorders.iter().collect();
+            let rendered = expo::render(&refs)?;
+            expo::parse(&rendered).map_err(|e| format!("{path}: {e}"))
+        }
+    }
+}
+
+/// The first sample of the (sanitized) metric, any labels.
+fn metric(page: &Exposition, raw: &str) -> Option<f64> {
+    page.value(&expo::sanitize_name(raw), &[])
+}
+
+/// Microseconds, humanized: `812µs`, `2.3ms`, `1.2s`.
+fn fmt_us(us: f64) -> String {
+    if us < 1_000.0 {
+        format!("{us:.0}µs")
+    } else if us < 1_000_000.0 {
+        format!("{:.1}ms", us / 1_000.0)
+    } else {
+        format!("{:.2}s", us / 1_000_000.0)
+    }
+}
+
+/// Renders one dashboard frame to stdout.
+fn render_dashboard(
+    page: &Exposition,
+    label: &str,
+    refresh: u64,
+    rate: Option<f64>,
+    lambda_history: &[f64],
+) {
+    if std::io::stdout().is_terminal() {
+        print!("\x1b[2J\x1b[H");
+    }
+    let m = |raw: &str| metric(page, raw);
+    println!("carbon-edge watch — {label} (refresh {refresh})");
+
+    let slots = m("serve.slots").unwrap_or(0.0);
+    let of = m("serve.horizon").map_or(String::new(), |h| format!(" of {h:.0}"));
+    let rate = rate.map_or("rate —".to_owned(), |r| format!("{r:.2} slots/s"));
+    let requests = m("serve.requests").unwrap_or(0.0);
+    println!("slots        : {slots:.0}{of} served, {requests:.0} requests   ({rate})");
+
+    if let Some(h) = page.histogram_view(&expo::sanitize_name("serve.latency.slot_us"), &[]) {
+        let q = |x: f64| h.quantile(x).map_or("—".to_owned(), fmt_us);
+        println!(
+            "slot latency : p50 {}  p99 {}  over {:.0} slots",
+            q(0.5),
+            q(0.99),
+            h.count
+        );
+    }
+
+    if let Some(lambda) = m("dual.lambda") {
+        let ceiling = m("envelope.live.lambda_ceiling")
+            .map_or(String::new(), |c| format!("  ceiling {c:.2}"));
+        println!(
+            "dual λ       : {lambda:.3}  {}{ceiling}",
+            sparkline(lambda_history, 40)
+        );
+    }
+
+    if let Some(held) = m("carbon.held") {
+        println!(
+            "allowances   : held {held:.1}  emitted {:.1}  slack {:+.1}  \
+             bought {:.1}  sold {:.1}  cash {:.1}¢",
+            m("carbon.emitted").unwrap_or(0.0),
+            m("carbon.slack").unwrap_or(0.0),
+            m("allowance.bought").unwrap_or(0.0),
+            m("allowance.sold").unwrap_or(0.0),
+            m("market.net_cost_cents").unwrap_or(0.0),
+        );
+    }
+
+    let injected = m("faults.injected").unwrap_or(0.0);
+    if injected > 0.0 {
+        println!(
+            "faults       : {injected:.0} injected, {:.0} recovered",
+            m("faults.recoveries").unwrap_or(0.0)
+        );
+    }
+
+    let violations = m("envelope.live.violations").unwrap_or(0.0);
+    let excused = m("envelope.live.excused").unwrap_or(0.0);
+    let mut breakdown: Vec<String> = Vec::new();
+    for monitor in ["block_boundary", "trade_bounds", "dual_sanity", "thm2_fit"] {
+        if let Some(n) = m(&format!("envelope.live.{monitor}")) {
+            if n > 0.0 {
+                breakdown.push(format!("{monitor} {n:.0}"));
+            }
+        }
+    }
+    let detail = if breakdown.is_empty() {
+        String::new()
+    } else {
+        format!("  ({})", breakdown.join(", "))
+    };
+    let fit = match (
+        m("envelope.live.fit_observed"),
+        m("envelope.live.fit_bound"),
+    ) {
+        (Some(obs), Some(bound)) => format!("  fit {obs:.1}/{bound:.1}"),
+        _ => String::new(),
+    };
+    println!("envelopes    : {violations:.0} violations, {excused:.0} excused{detail}{fit}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An ops-shaped recorder with enough series to light up every
+    /// dashboard line.
+    fn ops_recorder() -> Recorder {
+        let mut rec = Recorder::new();
+        rec.set_label("policy", "ours");
+        rec.set_label("seed", "1");
+        rec.set_label("stream", "ops");
+        rec.incr("serve.slots", 17);
+        rec.incr("serve.requests", 1234);
+        rec.gauge("serve.horizon", 40.0);
+        rec.gauge("dual.lambda", 0.42);
+        rec.gauge("envelope.live.lambda_ceiling", 1.8);
+        rec.gauge("carbon.held", 12.0);
+        rec.gauge("carbon.emitted", 9.8);
+        rec.gauge("carbon.slack", 2.2);
+        rec.gauge("allowance.bought", 3.0);
+        rec.gauge("allowance.sold", 1.0);
+        rec.gauge("market.net_cost_cents", 55.0);
+        rec.incr("envelope.live.excused", 2);
+        rec.incr("envelope.live.block_boundary", 2);
+        let h = rec.histogram_with_bounds("serve.latency.slot_us", &[100.0, 1000.0, 10_000.0]);
+        for x in [80.0, 550.0, 700.0, 900.0, 4_000.0] {
+            h.record(x);
+        }
+        rec
+    }
+
+    #[test]
+    fn metrics_survive_the_exposition_round_trip() {
+        let rec = ops_recorder();
+        let text = expo::render(&[&rec]).expect("render");
+        let page = expo::parse(&text).expect("parse");
+        assert_eq!(metric(&page, "serve.slots"), Some(17.0));
+        assert_eq!(metric(&page, "dual.lambda"), Some(0.42));
+        assert_eq!(metric(&page, "envelope.live.excused"), Some(2.0));
+        let h = page
+            .histogram_view(&expo::sanitize_name("serve.latency.slot_us"), &[])
+            .expect("latency histogram");
+        assert_eq!(h.count, 5.0);
+        assert!(h.quantile(0.5).is_some());
+        // Silent on series the page does not carry.
+        assert_eq!(metric(&page, "faults.injected"), None);
+    }
+
+    #[test]
+    fn humanized_latencies() {
+        assert_eq!(fmt_us(812.0), "812µs");
+        assert_eq!(fmt_us(2_300.0), "2.3ms");
+        assert_eq!(fmt_us(1_200_000.0), "1.20s");
+    }
+
+    #[test]
+    fn file_mode_renders_an_ops_sidecar() {
+        let dir = std::env::temp_dir().join("cne-watch-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("served.jsonl.ops.jsonl");
+        std::fs::write(&path, ops_recorder().to_jsonl_string()).expect("write sidecar");
+        let opts = Options {
+            inputs: vec![path.to_string_lossy().into_owned()],
+            iterations: Some(1),
+            ..Options::default()
+        };
+        watch(&opts).expect("one dashboard frame from a file");
+    }
+
+    #[test]
+    fn watch_requires_exactly_one_source() {
+        let none = Options::default();
+        assert!(watch(&none).is_err(), "no source is an error");
+        let both = Options {
+            admin: Some("tcp:127.0.0.1:1".to_owned()),
+            inputs: vec!["x.jsonl".to_owned()],
+            ..Options::default()
+        };
+        assert!(watch(&both).is_err(), "two sources are an error");
+    }
+
+    #[test]
+    fn admin_mode_scrapes_a_live_endpoint() {
+        let rec = ops_recorder();
+        let state = admin::AdminState::new(Duration::from_secs(60));
+        state.publish(expo::render(&[&rec]).expect("render"));
+        let addr = admin::spawn("tcp:127.0.0.1:0", state).expect("bind");
+        let opts = Options {
+            admin: Some(addr),
+            iterations: Some(2),
+            interval_ms: 10,
+            ..Options::default()
+        };
+        watch(&opts).expect("two dashboard frames over HTTP");
+    }
+}

@@ -69,6 +69,12 @@ impl ComboController {
         self.normalizer
     }
 
+    /// The trader's current dual variable λ, when it maintains one.
+    #[must_use]
+    pub fn lambda(&self) -> Option<f64> {
+        self.trader.lambda()
+    }
+
     /// Exports the controller's mutable state as JSON for a checkpoint
     /// taken between slots: every selector's learned state (in edge
     /// order), the trader's state, and the last placement.

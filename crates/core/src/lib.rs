@@ -70,7 +70,7 @@ pub mod serve;
 pub use checkpoint::Checkpoint;
 pub use combos::{Combo, SelectorKind, TraderKind};
 pub use controller::ComboController;
-pub use monitor::{MonitorConfig, MonitorSummary};
+pub use monitor::{LiveFinding, LiveMonitor, MonitorConfig, MonitorSummary};
 pub use offline::OfflinePolicy;
 pub use problem::LossNormalizer;
 pub use runner::{

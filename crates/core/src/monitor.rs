@@ -47,10 +47,10 @@
 //! schedule does.
 
 use cne_bandit::Schedule;
-use cne_edgesim::{Environment, RunRecord};
-use cne_util::telemetry::{Recorder, Value};
+use cne_edgesim::{Environment, RunRecord, SlotRecord};
+use cne_util::telemetry::{Event, Recorder, Value};
 
-use crate::combos::{SelectorKind, TraderKind};
+use crate::combos::{Combo, SelectorKind, TraderKind};
 use crate::problem::LossNormalizer;
 use crate::regret;
 use crate::runner::PolicySpec;
@@ -407,10 +407,332 @@ pub fn check_trade_bounds(env: &Environment<'_>, record: &RunRecord, rec: &mut R
     violations
 }
 
+/// One breach found by the [`LiveMonitor`] the moment it happened.
+///
+/// The shape mirrors the post-run [`EVENT_KIND`] events so live
+/// findings can be compared against the recomputed verdicts (see
+/// `carbon-edge report`): same `monitor` names, same `excused`
+/// semantics, plus monitor-specific detail fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveFinding {
+    /// Slot the breach was observed in (`None` never occurs live, but
+    /// is kept for shape parity with post-run events).
+    pub slot: Option<u64>,
+    /// Which monitor fired: `"block_boundary"`, `"dual_sanity"`,
+    /// `"trade_bounds"`, or `"thm2_fit"`.
+    pub monitor: &'static str,
+    /// Fault-attributable breaches are annotations, not violations —
+    /// the same annotation rule as [`check_run`], except that live
+    /// checks can only see faults injected *so far*.
+    pub excused: bool,
+    /// Monitor-specific detail fields, mirroring the post-run event.
+    pub detail: Vec<(&'static str, Value)>,
+}
+
+/// Incremental theorem-envelope monitoring for the streaming serve
+/// path: the same breaches [`check_run`] finds after the fact, caught
+/// the moment their slot is served.
+///
+/// Driven by `ServeSession::push_slot` with each new [`SlotRecord`]
+/// and the telemetry events that slot emitted. Findings never touch
+/// the session's deterministic trace — the serve daemon exports them
+/// through its operational sidecar and admin endpoint instead, so a
+/// served trace stays byte-identical to a batch replay.
+///
+/// Coverage relative to [`check_run`]:
+///
+/// * **block boundaries** and **trade bounds** — exact: the per-slot
+///   evidence is complete, so live and post-run verdicts agree.
+/// * **dual sanity** — prefix-tight: the rectified ascent bound
+///   `λ_t ≤ γ₁ Σ_{s≤t} [g^s]⁺` holds at every prefix, so the live
+///   ceiling is *stricter* than the post-run whole-horizon ceiling.
+///   Every post-run offender is caught live; a live-only finding is
+///   an early warning.
+/// * **Theorem 2 fit** — the terminal bound checked against the
+///   running fit; the first crossing is reported live even though the
+///   fit may later recede below the bound.
+/// * **Theorem 1 regret** is inherently end-of-run (it needs the full
+///   comparator) and stays with [`check_run`].
+#[derive(Debug, Clone)]
+pub struct LiveMonitor {
+    /// Per-edge Theorem 1 block schedules; empty when the combo does
+    /// not run Algorithm 1.
+    schedules: Vec<Schedule>,
+    /// Whether the combo runs Algorithm 2 (dual/fit/trade checks).
+    checks_trader: bool,
+    gamma1: f64,
+    cap_share: f64,
+    max_buy: f64,
+    max_sell: f64,
+    fit_bound: f64,
+    lambda_multiple: f64,
+    // Running state.
+    lambda_budget: f64,
+    fit_so_far: f64,
+    fault_seen: bool,
+    fit_breached: bool,
+    last_lambda: Option<f64>,
+    violations: u64,
+    excused: u64,
+}
+
+impl LiveMonitor {
+    /// Builds a monitor for a streaming run of `combo` over `env`.
+    #[must_use]
+    pub fn new(env: &Environment<'_>, combo: &Combo, cfg: &MonitorConfig) -> Self {
+        let schedules = if combo.selector == SelectorKind::BlockTsallis {
+            theorem1_schedules(env)
+        } else {
+            Vec::new()
+        };
+        let checks_trader = combo.trader == TraderKind::PrimalDual;
+        let bounds = env.config().bounds;
+        let horizon = env.horizon() as f64;
+        Self {
+            schedules,
+            checks_trader,
+            gamma1: crate::combos::theorem2_tuning(env).gamma1,
+            cap_share: env.config().cap_share(),
+            max_buy: bounds.max_buy.get(),
+            max_sell: bounds.max_sell.get(),
+            fit_bound: cfg.thm2_constant * 2.0 * env.config().cap_share() * horizon.powf(2.0 / 3.0),
+            lambda_multiple: cfg.lambda_drive_multiple,
+            lambda_budget: 0.0,
+            fit_so_far: 0.0,
+            fault_seen: false,
+            fit_breached: false,
+            last_lambda: None,
+            violations: 0,
+            excused: 0,
+        }
+    }
+
+    /// Replays already-served slots without emitting findings — used
+    /// when a serve session resumes from a checkpoint, so the running
+    /// budgets pick up exactly where the interrupted process left
+    /// them. Breaches inside the replayed prefix were the original
+    /// process's to report.
+    pub fn warm_up(&mut self, records: &[SlotRecord], events: &[Event]) {
+        for record in records {
+            let g = self.constraint_value(record);
+            self.lambda_budget += self.gamma1 * g.max(0.0);
+            self.fit_so_far += g;
+        }
+        self.fit_breached = self.fit_so_far.max(0.0) > self.fit_bound;
+        for event in events {
+            if event.kind == "fault" {
+                self.fault_seen = true;
+            } else if event.kind == "lambda" {
+                if let Some(v) = float_field(event, "value") {
+                    self.last_lambda = Some(v);
+                }
+            }
+        }
+    }
+
+    /// Ingests one served slot: the new [`SlotRecord`] plus the
+    /// telemetry events that slot appended (pass an empty slice when
+    /// the session runs without telemetry — record-based checks still
+    /// apply). Returns the findings this slot produced, already
+    /// tallied into [`violations`](Self::violations).
+    pub fn observe_slot(&mut self, record: &SlotRecord, events: &[Event]) -> Vec<LiveFinding> {
+        let mut findings = Vec::new();
+        if events.iter().any(|e| e.kind == "fault") {
+            self.fault_seen = true;
+        }
+
+        // Block boundaries (Algorithm 1): a download inside a block
+        // breaks the Theorem 1 schedule contract, unless injected
+        // download failures delayed it (the `retries` field).
+        for event in events.iter().filter(|e| e.kind == "switch") {
+            let Some(t) = event.slot else { continue };
+            let Some(edge) = uint_field(event, "edge") else {
+                continue;
+            };
+            let Some(schedule) = self.schedules.get(edge as usize) else {
+                continue;
+            };
+            if !schedule.is_block_start(t as usize) {
+                let excused = event.fields.iter().any(|(name, _)| name == "retries");
+                findings.push(LiveFinding {
+                    slot: Some(t),
+                    monitor: "block_boundary",
+                    excused,
+                    detail: vec![
+                        ("edge", edge.into()),
+                        ("block", (schedule.block_of(t as usize) as u64).into()),
+                    ],
+                });
+            }
+        }
+
+        if self.checks_trader {
+            let t = record.t as u64;
+            // Trade bounds stay hard under faults, exactly as in
+            // `check_trade_bounds`.
+            let eps = 1e-9;
+            if record.bought > self.max_buy + eps || record.sold > self.max_sell + eps {
+                findings.push(LiveFinding {
+                    slot: Some(t),
+                    monitor: "trade_bounds",
+                    excused: false,
+                    detail: vec![
+                        ("bought", record.bought.into()),
+                        ("sold", record.sold.into()),
+                        ("max_buy", self.max_buy.into()),
+                        ("max_sell", self.max_sell.into()),
+                    ],
+                });
+            }
+
+            // Grow the travel budget with this slot's drive *before*
+            // checking its λ: the dual update for slot t already saw
+            // g^t.
+            let g = self.constraint_value(record);
+            self.lambda_budget += self.gamma1 * g.max(0.0);
+            let ceiling = self.lambda_multiple * self.lambda_budget;
+            for event in events.iter().filter(|e| e.kind == "lambda") {
+                let Some(lambda) = float_field(event, "value") else {
+                    continue;
+                };
+                self.last_lambda = Some(lambda);
+                if lambda < -1e-9 || lambda > ceiling || !lambda.is_finite() {
+                    findings.push(LiveFinding {
+                        slot: event.slot,
+                        monitor: "dual_sanity",
+                        excused: false,
+                        detail: vec![("lambda", lambda.into()), ("ceiling", ceiling.into())],
+                    });
+                }
+            }
+
+            // Running Theorem 2 fit against the terminal bound; report
+            // the first crossing only (the fit may recede, which the
+            // post-run check settles).
+            self.fit_so_far += g;
+            if !self.fit_breached && self.fit_so_far.max(0.0) > self.fit_bound {
+                self.fit_breached = true;
+                findings.push(LiveFinding {
+                    slot: Some(t),
+                    monitor: "thm2_fit",
+                    excused: self.fault_seen,
+                    detail: vec![
+                        ("observed", self.fit_so_far.max(0.0).into()),
+                        ("bound", self.fit_bound.into()),
+                    ],
+                });
+            }
+        }
+
+        for f in &findings {
+            if f.excused {
+                self.excused += 1;
+            } else {
+                self.violations += 1;
+            }
+        }
+        findings
+    }
+
+    /// Ingests the trader's post-update dual value for slot `t`
+    /// directly. Streaming runs flush `"lambda"` telemetry events only
+    /// at finish, so the serve loop feeds λ from the live trader
+    /// through this method instead; it applies the same sanity
+    /// envelope as event-carried values. Call it *after*
+    /// [`observe_slot`](Self::observe_slot) for the same slot — the
+    /// travel budget must already include that slot's drive, exactly
+    /// as the trader's own dual update saw it. Do not mix with
+    /// event-carried λ for the same slots (the breach would be
+    /// double-counted).
+    pub fn observe_lambda(&mut self, slot: u64, lambda: f64) -> Option<LiveFinding> {
+        if !self.checks_trader {
+            return None;
+        }
+        self.last_lambda = Some(lambda);
+        let ceiling = self.lambda_multiple * self.lambda_budget;
+        if lambda < -1e-9 || lambda > ceiling || !lambda.is_finite() {
+            self.violations += 1;
+            return Some(LiveFinding {
+                slot: Some(slot),
+                monitor: "dual_sanity",
+                excused: false,
+                detail: vec![("lambda", lambda.into()), ("ceiling", ceiling.into())],
+            });
+        }
+        None
+    }
+
+    /// This slot's constraint value `g^t = e^t − R/T − z_b + z_s`.
+    fn constraint_value(&self, record: &SlotRecord) -> f64 {
+        record.emissions - self.cap_share - record.bought + record.sold
+    }
+
+    /// Unexcused breaches found so far.
+    #[must_use]
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Fault-excused breaches found so far.
+    #[must_use]
+    pub fn excused_count(&self) -> u64 {
+        self.excused
+    }
+
+    /// The latest dual variable seen — on the `"lambda"` event stream
+    /// or fed live via [`observe_lambda`](Self::observe_lambda).
+    #[must_use]
+    pub fn last_lambda(&self) -> Option<f64> {
+        self.last_lambda
+    }
+
+    /// The running rectified fit `‖[Σ_{s≤t} g^s]⁺‖`.
+    #[must_use]
+    pub fn fit_observed(&self) -> f64 {
+        self.fit_so_far.max(0.0)
+    }
+
+    /// The terminal Theorem 2 fit bound the run is checked against.
+    #[must_use]
+    pub fn fit_bound(&self) -> f64 {
+        self.fit_bound
+    }
+
+    /// The current dual travel-budget ceiling
+    /// `multiple · γ₁ Σ_{s≤t} [g^s]⁺`.
+    #[must_use]
+    pub fn lambda_ceiling(&self) -> f64 {
+        self.lambda_multiple * self.lambda_budget
+    }
+}
+
+/// The first `UInt` field named `name` on an event.
+fn uint_field(event: &Event, name: &str) -> Option<u64> {
+    event.fields.iter().find_map(|(n, v)| {
+        if n == name {
+            if let Value::UInt(x) = v {
+                return Some(*x);
+            }
+        }
+        None
+    })
+}
+
+/// The first `Float` field named `name` on an event.
+fn float_field(event: &Event, name: &str) -> Option<f64> {
+    event.fields.iter().find_map(|(n, v)| {
+        if n == name {
+            if let Value::Float(x) = v {
+                return Some(*x);
+            }
+        }
+        None
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::combos::Combo;
     use crate::offline::OfflinePolicy;
     use cne_edgesim::SimConfig;
     use cne_nn::{ModelZoo, ZooConfig};
@@ -538,6 +860,176 @@ mod tests {
             .find(|e| e.kind == EVENT_KIND)
             .expect("envelope event recorded");
         assert_eq!(event.slot, Some(3));
+    }
+
+    /// The run's telemetry events that belong to slot `t` — how a
+    /// non-serve test slices a batch trace into per-slot deliveries.
+    fn events_for_slot(rec: &Recorder, t: u64) -> Vec<Event> {
+        rec.events()
+            .iter()
+            .filter(|e| e.slot == Some(t))
+            .cloned()
+            .collect()
+    }
+
+    #[test]
+    fn live_monitor_is_silent_on_a_nominal_run_and_tracks_the_fit() {
+        let (zoo, cfg) = setup();
+        let root = SeedSequence::new(3);
+        let env = Environment::new(cfg, &zoo, &root.derive("env"));
+        let mut policy = Combo::ours().build(&env, &root.derive("alg"));
+        let mut rec = Recorder::new();
+        let record = env.run_traced(&mut policy, &mut rec);
+
+        let mut live = LiveMonitor::new(&env, &Combo::ours(), &MonitorConfig::default());
+        for slot in &record.slots {
+            let events = events_for_slot(&rec, slot.t as u64);
+            let findings = live.observe_slot(slot, &events);
+            assert!(findings.is_empty(), "nominal run fired live: {findings:?}");
+        }
+        assert_eq!(live.violations(), 0);
+        assert_eq!(live.excused_count(), 0);
+        // The running fit lands exactly on the post-run terminal fit.
+        assert!((live.fit_observed() - regret::fit(&record)).abs() < 1e-12);
+        assert!(
+            live.last_lambda().is_some(),
+            "Ours emits a lambda trajectory the monitor should have seen"
+        );
+    }
+
+    #[test]
+    fn live_trade_and_dual_checks_stay_hard_under_faults() {
+        let (zoo, cfg) = setup();
+        let max_buy = cfg.bounds.max_buy.get();
+        let env = Environment::new(cfg, &zoo, &SeedSequence::new(7));
+        let mut policy = OfflinePolicy::plan(&env);
+        let mut rec = Recorder::new();
+        let mut record = env.run_traced(&mut policy, &mut rec);
+        record.slots[0].bought = max_buy * 2.0;
+
+        let mut live = LiveMonitor::new(&env, &Combo::ours(), &MonitorConfig::default());
+        let fault = Event {
+            slot: Some(0),
+            kind: "fault".into(),
+            fields: Vec::new(),
+        };
+        let lambda = Event {
+            slot: Some(0),
+            kind: "lambda".into(),
+            fields: vec![("value".into(), Value::Float(-0.5))],
+        };
+        let findings = live.observe_slot(&record.slots[0], &[fault, lambda]);
+        let monitors: Vec<_> = findings.iter().map(|f| f.monitor).collect();
+        assert!(monitors.contains(&"trade_bounds"), "{monitors:?}");
+        assert!(monitors.contains(&"dual_sanity"), "{monitors:?}");
+        // A fault in the same slot does not excuse the hard checks.
+        assert!(findings.iter().all(|f| !f.excused));
+        assert_eq!(live.violations(), findings.len() as u64);
+    }
+
+    #[test]
+    fn live_fit_breach_fires_once_and_respects_fault_excusal() {
+        let (zoo, cfg) = setup();
+        let env = Environment::new(cfg, &zoo, &SeedSequence::new(8));
+        let mut policy = OfflinePolicy::plan(&env);
+        let mut rec = Recorder::new();
+        let mut record = env.run_traced(&mut policy, &mut rec);
+
+        let mut live = LiveMonitor::new(&env, &Combo::ours(), &MonitorConfig::default());
+        // A fault before the breach turns the finding into an annotation.
+        let fault = Event {
+            slot: Some(0),
+            kind: "fault".into(),
+            fields: Vec::new(),
+        };
+        assert!(live.observe_slot(&record.slots[0], &[fault]).is_empty());
+
+        record.slots[1].emissions = live.fit_bound() * 2.0;
+        let crossing = live.observe_slot(&record.slots[1], &[]);
+        assert_eq!(crossing.len(), 1);
+        assert_eq!(crossing[0].monitor, "thm2_fit");
+        assert!(crossing[0].excused);
+
+        // One-shot: staying above the bound emits nothing further.
+        record.slots[2].emissions = live.fit_bound();
+        let after = live.observe_slot(&record.slots[2], &[]);
+        assert!(after.iter().all(|f| f.monitor != "thm2_fit"), "{after:?}");
+        assert_eq!(live.violations(), 0);
+        assert_eq!(live.excused_count(), 1);
+    }
+
+    #[test]
+    fn live_block_boundary_mirrors_the_post_run_excusal_rule() {
+        let (zoo, cfg) = setup();
+        let env = Environment::new(cfg, &zoo, &SeedSequence::new(9));
+        let mut policy = OfflinePolicy::plan(&env);
+        let mut rec = Recorder::new();
+        let record = env.run_traced(&mut policy, &mut rec);
+        let schedules = theorem1_schedules(&env);
+        let t = (1..env.horizon())
+            .find(|&t| !schedules[0].is_block_start(t))
+            .expect("fast-test schedule has interior slots");
+
+        let mut live = LiveMonitor::new(&env, &Combo::ours(), &MonitorConfig::default());
+        let bare = Event {
+            slot: Some(t as u64),
+            kind: "switch".into(),
+            fields: vec![("edge".into(), Value::UInt(0))],
+        };
+        let delayed = Event {
+            slot: Some(t as u64),
+            kind: "switch".into(),
+            fields: vec![
+                ("edge".into(), Value::UInt(0)),
+                ("retries".into(), Value::UInt(2)),
+            ],
+        };
+        let findings = live.observe_slot(&record.slots[t], &[bare, delayed]);
+        let boundary: Vec<_> = findings
+            .iter()
+            .filter(|f| f.monitor == "block_boundary")
+            .collect();
+        assert_eq!(boundary.len(), 2);
+        assert!(!boundary[0].excused, "a bare mid-block switch is a breach");
+        assert!(boundary[1].excused, "a fault-delayed switch is annotated");
+        assert_eq!(live.violations(), 1);
+        assert_eq!(live.excused_count(), 1);
+    }
+
+    #[test]
+    fn warm_up_replays_budgets_without_reporting() {
+        let (zoo, cfg) = setup();
+        let root = SeedSequence::new(10);
+        let env = Environment::new(cfg, &zoo, &root.derive("env"));
+        let mut policy = Combo::ours().build(&env, &root.derive("alg"));
+        let mut rec = Recorder::new();
+        let record = env.run_traced(&mut policy, &mut rec);
+
+        let mut full = LiveMonitor::new(&env, &Combo::ours(), &MonitorConfig::default());
+        for slot in &record.slots {
+            full.observe_slot(slot, &events_for_slot(&rec, slot.t as u64));
+        }
+
+        let split = record.slots.len() / 2;
+        let mut resumed = LiveMonitor::new(&env, &Combo::ours(), &MonitorConfig::default());
+        let prefix_events: Vec<Event> = rec
+            .events()
+            .iter()
+            .filter(|e| e.slot.is_some_and(|s| (s as usize) < split))
+            .cloned()
+            .collect();
+        resumed.warm_up(&record.slots[..split], &prefix_events);
+        assert_eq!(resumed.violations(), 0, "warm-up never reports");
+        assert_eq!(resumed.excused_count(), 0);
+        for slot in &record.slots[split..] {
+            resumed.observe_slot(slot, &events_for_slot(&rec, slot.t as u64));
+        }
+        // Both budgets were accumulated in the same slot order, so they
+        // agree exactly.
+        assert_eq!(full.fit_observed(), resumed.fit_observed());
+        assert_eq!(full.lambda_ceiling(), resumed.lambda_ceiling());
+        assert_eq!(full.violations(), resumed.violations());
+        assert_eq!(full.last_lambda(), resumed.last_lambda());
     }
 
     #[test]

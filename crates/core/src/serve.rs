@@ -20,11 +20,12 @@
 use cne_edgesim::{Environment, RunRecord, RunStepper, ServeMode, SimConfig};
 use cne_nn::ModelZoo;
 use cne_util::telemetry::{parse_jsonl, Recorder};
-use cne_util::SeedSequence;
+use cne_util::{Profiler, SeedSequence};
 
 use crate::checkpoint::Checkpoint;
 use crate::combos::Combo;
 use crate::controller::ComboController;
+use crate::monitor::{LiveFinding, LiveMonitor, MonitorConfig};
 use crate::runner::{finalize_run, PolicySpec};
 
 /// Knobs for a serve session.
@@ -39,6 +40,15 @@ pub struct ServeOptions {
     /// Carry a telemetry [`Recorder`] through the run. Checkpoints
     /// embed the mid-run trace so a resume continues it seamlessly.
     pub telemetry: bool,
+    /// Run the theorem-envelope monitors incrementally, slot by slot
+    /// (see [`LiveMonitor`]). Findings accumulate outside the
+    /// deterministic trace and never perturb it; the serve daemon
+    /// drains them into its operational sidecar and admin endpoint.
+    pub live_monitor: bool,
+    /// Carry a wall-clock stage [`Profiler`] through the hot loop so
+    /// the daemon can histogram per-slot select/trade/serve/feedback
+    /// latencies. Wall-clock only — never part of the trace.
+    pub stage_profiler: bool,
 }
 
 impl Default for ServeOptions {
@@ -47,6 +57,8 @@ impl Default for ServeOptions {
             serve_mode: ServeMode::default(),
             edge_threads: 1,
             telemetry: false,
+            live_monitor: false,
+            stage_profiler: false,
         }
     }
 }
@@ -78,6 +90,10 @@ pub struct ServeSession<'a> {
     combo: Combo,
     seed: u64,
     arrivals: Vec<Vec<u64>>,
+    live: Option<LiveMonitor>,
+    live_findings: Vec<LiveFinding>,
+    events_seen: usize,
+    profiler: Option<Profiler>,
 }
 
 impl<'a> ServeSession<'a> {
@@ -103,6 +119,9 @@ impl<'a> ServeSession<'a> {
             rec
         });
         let stepper = env.stepper(options.edge_threads);
+        let live = options
+            .live_monitor
+            .then(|| LiveMonitor::new(&env, &combo, &MonitorConfig::default()));
         Self {
             env,
             stepper,
@@ -111,6 +130,10 @@ impl<'a> ServeSession<'a> {
             combo,
             seed,
             arrivals: Vec::new(),
+            live,
+            live_findings: Vec::new(),
+            events_seen: 0,
+            profiler: options.stage_profiler.then(Profiler::new),
         }
     }
 
@@ -196,6 +219,14 @@ impl<'a> ServeSession<'a> {
             session.recorder = Some(recorders.remove(0));
         }
         session.arrivals = checkpoint.arrivals.clone();
+        // The resumed live monitor replays the served prefix so its
+        // running budgets continue exactly; the prefix's findings were
+        // the original process's to report.
+        if let Some(live) = session.live.as_mut() {
+            let events = session.recorder.as_ref().map_or(&[][..], |r| r.events());
+            live.warm_up(session.stepper.records(), events);
+        }
+        session.events_seen = session.recorder.as_ref().map_or(0, |r| r.events().len());
         Ok(session)
     }
 
@@ -217,10 +248,59 @@ impl<'a> ServeSession<'a> {
         self.env.num_edges()
     }
 
+    /// The policy's display name, exactly as the telemetry trace
+    /// labels it (so sidecars written alongside match the run).
+    #[must_use]
+    pub fn policy_name(&self) -> String {
+        self.combo.name()
+    }
+
     /// Whether every slot of the horizon has been served.
     #[must_use]
     pub fn is_done(&self) -> bool {
         self.next_slot() >= self.horizon()
+    }
+
+    /// The allowance ledger as of the last served slot.
+    #[must_use]
+    pub fn ledger(&self) -> &cne_market::AllowanceLedger {
+        self.stepper.ledger()
+    }
+
+    /// The most recently served slot's record, if any slot has been
+    /// served.
+    #[must_use]
+    pub fn last_record(&self) -> Option<&cne_edgesim::SlotRecord> {
+        self.stepper.records().last()
+    }
+
+    /// The live theorem-envelope monitor, when enabled.
+    #[must_use]
+    pub fn live_monitor(&self) -> Option<&LiveMonitor> {
+        self.live.as_ref()
+    }
+
+    /// Drains the live findings accumulated since the last call. The
+    /// daemon forwards them to its operational sidecar and admin
+    /// endpoint; they are never written into the deterministic trace.
+    pub fn take_live_findings(&mut self) -> Vec<LiveFinding> {
+        std::mem::take(&mut self.live_findings)
+    }
+
+    /// The wall-clock stage profiler, when enabled: cumulative
+    /// `slot/select|trade|serve|feedback` spans over every slot served
+    /// by this process.
+    #[must_use]
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
+    }
+
+    /// The session's deterministic telemetry recorder, when enabled.
+    /// Read-only: the admin endpoint renders it into the metrics page
+    /// without touching it.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&Recorder> {
+        self.recorder.as_ref()
     }
 
     /// Ingests one closed slot's raw per-edge arrival counts and
@@ -235,8 +315,27 @@ impl<'a> ServeSession<'a> {
         assert!(t < self.horizon(), "the run is already complete");
         self.env.ingest_slot(t, raw);
         self.arrivals.push(raw.to_vec());
-        self.stepper
-            .step(&self.env, &mut self.policy, self.recorder.as_mut(), None);
+        self.stepper.step(
+            &self.env,
+            &mut self.policy,
+            self.recorder.as_mut(),
+            self.profiler.as_mut(),
+        );
+        if let Some(live) = self.live.as_mut() {
+            let record = self.stepper.records().last().expect("slot was just served");
+            let events = self
+                .recorder
+                .as_ref()
+                .map_or(&[][..], |r| &r.events()[self.events_seen..]);
+            self.live_findings.extend(live.observe_slot(record, events));
+            // The trader flushes its λ trajectory to telemetry only at
+            // finish, so feed the post-update dual value directly.
+            if let Some(lambda) = self.policy.lambda() {
+                self.live_findings
+                    .extend(live.observe_lambda(t as u64, lambda));
+            }
+        }
+        self.events_seen = self.recorder.as_ref().map_or(0, |r| r.events().len());
     }
 
     /// Snapshots the session into a [`Checkpoint`] (always taken

@@ -70,6 +70,7 @@ fn served_run_matches_batch_driver() {
                 serve_mode,
                 edge_threads: 1,
                 telemetry: true,
+                ..ServeOptions::default()
             },
         );
         for t in 0..cfg.horizon {
@@ -100,6 +101,7 @@ fn resume_from_checkpoint_is_bit_identical() {
             serve_mode,
             edge_threads: 1,
             telemetry: true,
+            ..ServeOptions::default()
         };
         let mut full = ServeSession::new(cfg.clone(), &zoo, SEED, Combo::ours(), &opts);
         for t in 0..horizon {
@@ -129,6 +131,7 @@ fn resume_from_checkpoint_is_bit_identical() {
                     serve_mode,
                     edge_threads: resume_threads,
                     telemetry: true,
+                    ..ServeOptions::default()
                 };
                 let mut tail =
                     ServeSession::resume(cfg.clone(), &zoo, Combo::ours(), &ckpt, &resume_opts)
@@ -162,6 +165,7 @@ fn resume_rejects_mismatched_invocations() {
         serve_mode: ServeMode::Batched,
         edge_threads: 1,
         telemetry: false,
+        ..ServeOptions::default()
     };
     let mut session = ServeSession::new(cfg.clone(), &zoo, SEED, Combo::ours(), &opts);
     for t in 0..3 {

@@ -86,6 +86,14 @@ pub trait TradingPolicy {
     /// Short display name (used in figure legends).
     fn name(&self) -> &'static str;
 
+    /// The current dual variable λ, for policies that maintain one.
+    /// Streaming runs flush the λ-trajectory telemetry only at finish,
+    /// so live monitors and dashboards read λ through this accessor
+    /// instead. The default (policies without a dual) is `None`.
+    fn lambda(&self) -> Option<f64> {
+        None
+    }
+
     /// Dumps end-of-run internal state (gauges under a `trader.`
     /// prefix) into a telemetry recorder. The default records nothing;
     /// stateful policies override it.

@@ -231,6 +231,10 @@ impl TradingPolicy for PrimalDual {
         "primal-dual"
     }
 
+    fn lambda(&self) -> Option<f64> {
+        Some(self.lambda)
+    }
+
     fn record_telemetry(&self, rec: &mut cne_util::telemetry::Recorder) {
         for &(t, lambda) in &self.trajectory {
             rec.event(Some(t), "lambda", &[("value", lambda.into())]);

@@ -20,6 +20,9 @@
 //! * [`json`] — a hand-rolled JSON parser (the workspace builds
 //!   offline without `serde_json`), the inverse of the telemetry
 //!   encoder;
+//! * [`expo`] — a deterministic Prometheus text-exposition encoder
+//!   for recorders (scraped live from the serve daemon's admin
+//!   endpoint) and a strict parser used to validate it;
 //! * [`span`] — a hierarchical wall-clock span profiler kept in a
 //!   stream separate from the deterministic telemetry trace, so
 //!   timing data never perturbs bit-identical trace output;
@@ -41,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod expo;
 pub mod gate;
 pub mod json;
 pub mod rng;

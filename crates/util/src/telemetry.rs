@@ -114,12 +114,15 @@ pub struct Event {
 ///
 /// Bucket `i` counts observations `x <= bounds[i]` (with `x` larger
 /// than every earlier bound); one extra overflow bucket counts
-/// `x > bounds[last]`. The histogram also tracks count, sum, min, and
-/// max exactly.
+/// `x > bounds[last]`. NaN and ±∞ observations are tallied in a
+/// dedicated non-finite bucket — they count toward `count` but never
+/// pollute the numeric buckets or the sum/min/max moments. The
+/// histogram also tracks count, sum, min, and max exactly.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     bounds: Vec<f64>,
     counts: Vec<u64>,
+    nonfinite: u64,
     count: u64,
     sum: f64,
     min: f64,
@@ -141,6 +144,7 @@ impl Histogram {
         Self {
             bounds: bounds.to_vec(),
             counts: vec![0; bounds.len() + 1],
+            nonfinite: 0,
             count: 0,
             sum: 0.0,
             min: f64::INFINITY,
@@ -149,7 +153,8 @@ impl Histogram {
     }
 
     /// Records one observation. Non-finite values count toward
-    /// `count` but land in the overflow bucket and do not perturb
+    /// `count` and the dedicated [`nonfinite`](Self::nonfinite)
+    /// bucket; they do not perturb the numeric buckets or
     /// sum/min/max.
     pub fn record(&mut self, x: f64) {
         self.count += 1;
@@ -164,7 +169,7 @@ impl Histogram {
                 .unwrap_or(self.bounds.len());
             self.counts[idx] += 1;
         } else {
-            *self.counts.last_mut().expect("non-empty buckets") += 1;
+            self.nonfinite += 1;
         }
     }
 
@@ -172,6 +177,13 @@ impl Histogram {
     #[must_use]
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Number of NaN/±∞ observations, kept out of the numeric
+    /// buckets.
+    #[must_use]
+    pub fn nonfinite(&self) -> u64 {
+        self.nonfinite
     }
 
     /// Sum of all finite observations.
@@ -184,7 +196,8 @@ impl Histogram {
     /// recorded.
     #[must_use]
     pub fn mean(&self) -> Option<f64> {
-        (self.count > 0).then(|| self.sum / self.count as f64)
+        let finite = self.count - self.nonfinite;
+        (finite > 0).then(|| self.sum / finite as f64)
     }
 
     /// Upper bucket bounds.
@@ -214,7 +227,8 @@ impl Histogram {
 
     /// Reassembles a histogram from its serialized parts — the inverse
     /// of the `histogram` JSONL line. `min`/`max` are `None` when no
-    /// finite observation was ever recorded.
+    /// finite observation was ever recorded; `nonfinite` is the
+    /// NaN/±∞ tally (0 for traces written before it existed).
     ///
     /// # Errors
     /// Returns a message when the parts are inconsistent (empty or
@@ -222,6 +236,7 @@ impl Histogram {
     pub fn from_parts(
         bounds: Vec<f64>,
         counts: Vec<u64>,
+        nonfinite: u64,
         count: u64,
         sum: f64,
         min: Option<f64>,
@@ -243,6 +258,7 @@ impl Histogram {
         Ok(Self {
             bounds,
             counts,
+            nonfinite,
             count,
             sum,
             min: min.unwrap_or(f64::INFINITY),
@@ -262,6 +278,7 @@ impl Histogram {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
+        self.nonfinite += other.nonfinite;
         self.count += other.count;
         self.sum += other.sum;
         self.min = self.min.min(other.min);
@@ -376,6 +393,21 @@ impl Recorder {
         &self.events
     }
 
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Run-level labels, in insertion order.
     #[must_use]
     pub fn labels(&self) -> &[(String, String)] {
@@ -466,7 +498,14 @@ impl Recorder {
                 }
                 let _ = write!(line, "{c}");
             }
-            let _ = write!(line, "],\"count\":{}", hist.count());
+            // Written only when non-zero so traces recorded before the
+            // field existed stay byte-identical.
+            if hist.nonfinite() > 0 {
+                let _ = write!(line, "],\"nonfinite\":{}", hist.nonfinite());
+                let _ = write!(line, ",\"count\":{}", hist.count());
+            } else {
+                let _ = write!(line, "],\"count\":{}", hist.count());
+            }
             line.push_str(",\"sum\":");
             push_f64(&mut line, hist.sum());
             if let Some(min) = hist.min() {
@@ -623,6 +662,12 @@ pub fn parse_jsonl(input: &str) -> Result<Vec<Recorder>, ParseError> {
                     .map(|c| c.as_u64())
                     .collect::<Option<Vec<u64>>>()
                     .ok_or_else(|| err("histogram count is not a u64".to_owned()))?;
+                let nonfinite = match doc.get("nonfinite") {
+                    Some(v) => v
+                        .as_u64()
+                        .ok_or_else(|| err("histogram \"nonfinite\" is not a u64".to_owned()))?,
+                    None => 0,
+                };
                 let count = doc
                     .get("count")
                     .and_then(Json::as_u64)
@@ -633,7 +678,7 @@ pub fn parse_jsonl(input: &str) -> Result<Vec<Recorder>, ParseError> {
                     .ok_or_else(|| err("histogram is missing a numeric \"sum\"".to_owned()))?;
                 let min = doc.get("min").and_then(Json::as_f64);
                 let max = doc.get("max").and_then(Json::as_f64);
-                let hist = Histogram::from_parts(bounds, counts, count, sum, min, max)
+                let hist = Histogram::from_parts(bounds, counts, nonfinite, count, sum, min, max)
                     .map_err(|e| err(format!("inconsistent histogram: {e}")))?;
                 rec.set_histogram(name, hist);
             }
@@ -741,10 +786,40 @@ mod tests {
         let mut h = Histogram::new(&[1.0]);
         h.record(f64::NAN);
         h.record(f64::INFINITY);
-        assert_eq!(h.count(), 2);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 3);
         assert_eq!(h.sum(), 0.0);
         assert_eq!(h.min(), None);
-        assert_eq!(h.bucket_counts(), &[0, 2]);
+        assert_eq!(h.mean(), None);
+        // Non-finite observations land in their own bucket, not the
+        // numeric overflow bucket.
+        assert_eq!(h.bucket_counts(), &[0, 0]);
+        assert_eq!(h.nonfinite(), 3);
+        h.record(0.5);
+        assert_eq!(h.mean(), Some(0.5));
+    }
+
+    #[test]
+    fn histogram_nonfinite_round_trips_and_stays_off_legacy_lines() {
+        let mut rec = Recorder::new();
+        rec.observe("clean", 2.0);
+        rec.observe("dirty", f64::NAN);
+        rec.observe("dirty", 7.0);
+        let text = rec.to_jsonl_string();
+        // Histograms without non-finite observations keep the legacy
+        // line shape (no "nonfinite" key — old traces stay
+        // byte-identical).
+        let clean_line = text.lines().find(|l| l.contains("\"clean\"")).unwrap();
+        assert!(!clean_line.contains("nonfinite"));
+        let dirty_line = text.lines().find(|l| l.contains("\"dirty\"")).unwrap();
+        assert!(dirty_line.contains("\"nonfinite\":1"));
+
+        let back = &parse_jsonl(&text).unwrap()[0];
+        let dirty = back.histogram("dirty").unwrap();
+        assert_eq!(dirty.nonfinite(), 1);
+        assert_eq!(dirty.count(), 2);
+        assert_eq!(dirty.sum(), 7.0);
+        assert_eq!(back.to_jsonl_string(), text, "fixpoint");
     }
 
     #[test]
@@ -754,9 +829,11 @@ mod tests {
         a.record(0.5);
         b.record(1.5);
         b.record(9.0);
+        b.record(f64::NAN);
         a.merge(&b);
         assert_eq!(a.bucket_counts(), &[1, 1, 1]);
-        assert_eq!(a.count(), 3);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.nonfinite(), 1);
         assert_eq!(a.max(), Some(9.0));
     }
 

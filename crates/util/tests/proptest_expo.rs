@@ -1,0 +1,257 @@
+//! Property-based round-trip for the Prometheus exposition encoder:
+//! `Recorder → expo::render → expo::parse` must preserve every
+//! counter value exactly, every gauge bit-for-bit (modulo NaN
+//! payload), and every histogram bucket — including the non-finite
+//! tally that never enters the numeric buckets — with label escaping
+//! and name sanitization inverted through the `raw_name` label.
+
+use cne_util::expo::{self, sanitize_name, Exposition};
+use cne_util::telemetry::Recorder;
+use proptest::prelude::*;
+
+/// Metric-name fragments deliberately contain characters outside the
+/// Prometheus charset (`.`, `-`, `#`) so sanitization is exercised,
+/// but no letters: that way a generated name can never spell one of
+/// the reserved histogram companion suffixes (`_sum`, `_count`, …)
+/// and collide with a histogram family.
+const NAME_CHARS: [char; 7] = ['.', '-', ':', '#', '0', '3', '9'];
+
+/// Label values get the full escaping treatment: quotes, backslashes,
+/// newlines, unicode, and the structural characters of the format.
+const LABEL_CHARS: [char; 12] = ['a', 'z', '"', '\\', '\n', 'é', '=', ',', '{', '}', ' ', 'Ω'];
+
+fn chars_from(
+    alphabet: &'static [char],
+    len: std::ops::Range<usize>,
+) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..alphabet.len(), len)
+        .prop_map(move |idxs| idxs.into_iter().map(|i| alphabet[i]).collect())
+}
+
+fn any_observation() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e5..1e5f64,
+        -1e5..1e5f64,
+        -1e5..1e5f64,
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+    ]
+}
+
+fn any_gauge() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e12..1e12f64,
+        -1.0..1.0f64,
+        Just(-0.0),
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct RecSpec {
+    seed_label: String,
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Vec<f64>, Vec<f64>)>, // (name, bounds, observations)
+}
+
+fn rec_spec(idx: usize) -> impl Strategy<Value = RecSpec> {
+    let counters = proptest::collection::vec((chars_from(&NAME_CHARS, 0..4), 0u64..u64::MAX), 0..4)
+        .prop_map(|v| {
+            v.into_iter()
+                .enumerate()
+                .map(|(i, (frag, val))| (format!("c{i}{frag}"), val))
+                .collect::<Vec<_>>()
+        });
+    let gauges = proptest::collection::vec((chars_from(&NAME_CHARS, 0..4), any_gauge()), 0..4)
+        .prop_map(|v| {
+            v.into_iter()
+                .enumerate()
+                .map(|(i, (frag, val))| (format!("g{i}{frag}"), val))
+                .collect::<Vec<_>>()
+        });
+    // Bounds are drawn unsorted with possible duplicates, then merged
+    // into a strictly increasing set — the "merged bounds" case.
+    let histograms = proptest::collection::vec(
+        (
+            chars_from(&NAME_CHARS, 0..4),
+            proptest::collection::vec(-1e4..1e4f64, 1..6),
+            proptest::collection::vec(any_observation(), 0..12),
+        ),
+        0..3,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (frag, mut bounds, obs))| {
+                bounds.sort_by(f64::total_cmp);
+                bounds.dedup();
+                (format!("hh{i}{frag}"), bounds, obs)
+            })
+            .collect::<Vec<_>>()
+    });
+    (
+        chars_from(&LABEL_CHARS, 0..10),
+        counters,
+        gauges,
+        histograms,
+    )
+        .prop_map(move |(val, counters, gauges, histograms)| RecSpec {
+            seed_label: format!("{idx}:{val}"),
+            counters,
+            gauges,
+            histograms,
+        })
+}
+
+fn build(spec: &RecSpec) -> Recorder {
+    let mut rec = Recorder::new();
+    rec.set_label("seed", spec.seed_label.clone());
+    for (name, v) in &spec.counters {
+        rec.incr(name, *v);
+    }
+    for (name, v) in &spec.gauges {
+        rec.gauge(name, *v);
+    }
+    for (name, bounds, obs) in &spec.histograms {
+        let h = rec.histogram_with_bounds(name, bounds);
+        for x in obs {
+            h.record(*x);
+        }
+    }
+    rec
+}
+
+/// Finds the samples for a raw metric name within one recorder's
+/// series (identified by its `seed` label), honouring the `raw_name`
+/// disambiguation label.
+fn lookup<'a>(
+    page: &'a Exposition,
+    raw_name: &str,
+    suffix: &str,
+    seed: &str,
+) -> Vec<&'a expo::Sample> {
+    let sanitized = sanitize_name(raw_name);
+    let full = format!("{sanitized}{suffix}");
+    page.samples(&full)
+        .filter(|s| {
+            s.label("seed") == Some(seed)
+                && if sanitized == raw_name {
+                    s.label("raw_name").is_none()
+                } else {
+                    s.label("raw_name") == Some(raw_name)
+                }
+        })
+        .collect()
+}
+
+fn check_spec(page: &Exposition, spec: &RecSpec) -> Result<(), String> {
+    let seed = spec.seed_label.as_str();
+    let fail = |m: String| Err(m);
+    for (name, want) in &spec.counters {
+        let samples = lookup(page, name, "", seed);
+        if samples.len() != 1 {
+            return fail(format!("counter {name:?}: {} samples", samples.len()));
+        }
+        // Counters round-trip as exact integers, not f64 images.
+        if samples[0].value_text.parse::<u64>() != Ok(*want) {
+            return fail(format!("counter {name:?}: {:?}", samples[0].value_text));
+        }
+    }
+    for (name, want) in &spec.gauges {
+        let samples = lookup(page, name, "", seed);
+        if samples.len() != 1 {
+            return fail(format!("gauge {name:?}: {} samples", samples.len()));
+        }
+        let got = samples[0].value;
+        let ok = if want.is_nan() {
+            got.is_nan()
+        } else {
+            got.to_bits() == want.to_bits()
+        };
+        if !ok {
+            return fail(format!("gauge {name:?}: {got} != {want}"));
+        }
+    }
+    let built = build(spec);
+    for (name, bounds, _obs) in &spec.histograms {
+        let hist = built.histogram(name).expect("histogram was recorded");
+        let buckets = lookup(page, name, "_bucket", seed);
+        if buckets.len() != bounds.len() + 1 {
+            return fail(format!("histogram {name:?}: {} buckets", buckets.len()));
+        }
+        // Cumulative finite buckets invert to exact per-bucket counts.
+        let mut prev = 0u64;
+        for (i, bound) in bounds.iter().enumerate() {
+            let le: f64 = buckets[i].label("le").unwrap().parse().unwrap();
+            if le.to_bits() != bound.to_bits() {
+                return fail(format!("histogram {name:?}: bound {le} != {bound}"));
+            }
+            let cum: u64 = buckets[i].value_text.parse().unwrap();
+            if cum - prev != hist.bucket_counts()[i] {
+                return fail(format!("histogram {name:?}: bucket {i} count"));
+            }
+            prev = cum;
+        }
+        // The +Inf bucket equals _count (all observations, including
+        // non-finite ones).
+        if buckets[bounds.len()].label("le") != Some("+Inf") {
+            return fail(format!("histogram {name:?}: last bucket is not +Inf"));
+        }
+        let inf: u64 = buckets[bounds.len()].value_text.parse().unwrap();
+        let count: u64 = lookup(page, name, "_count", seed)[0]
+            .value_text
+            .parse()
+            .unwrap();
+        if inf != hist.count() || count != hist.count() {
+            return fail(format!("histogram {name:?}: count mismatch"));
+        }
+        // The non-finite tally is recoverable, which makes the numeric
+        // overflow bucket recoverable too.
+        let nonfinite_name = format!("{name}_nonfinite");
+        let nonfinite: u64 = lookup(page, &nonfinite_name, "", seed)[0]
+            .value_text
+            .parse()
+            .unwrap();
+        if nonfinite != hist.nonfinite() {
+            return fail(format!("histogram {name:?}: nonfinite mismatch"));
+        }
+        if inf - prev - nonfinite != *hist.bucket_counts().last().unwrap() {
+            return fail(format!("histogram {name:?}: overflow mismatch"));
+        }
+        let sum = lookup(page, name, "_sum", seed)[0].value;
+        let ok = if hist.sum().is_nan() {
+            sum.is_nan()
+        } else {
+            sum.to_bits() == hist.sum().to_bits()
+        };
+        if !ok {
+            return fail(format!("histogram {name:?}: sum {sum} != {}", hist.sum()));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exposition_round_trips_recorders(
+        (spec_a, spec_b) in (rec_spec(0), rec_spec(1))
+    ) {
+        let recs = [build(&spec_a), build(&spec_b)];
+        let refs: Vec<&Recorder> = recs.iter().collect();
+        let text = expo::render(&refs).unwrap();
+        // Determinism: a second render is byte-identical.
+        prop_assert_eq!(&text, &expo::render(&refs).unwrap());
+        let page = expo::parse(&text).unwrap();
+        for spec in [&spec_a, &spec_b] {
+            if let Err(m) = check_spec(&page, spec) {
+                prop_assert!(false, "{}", m);
+            }
+        }
+    }
+}
