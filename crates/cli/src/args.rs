@@ -26,6 +26,11 @@ pub struct Options {
     /// defers to `CARBON_EDGE_EDGE_THREADS`, then to 1). Results are
     /// bit-identical at every count.
     pub edge_threads: Option<usize>,
+    /// Batch window for the edge workers' epoch-gate handshake (`None`
+    /// defers to `CARBON_EDGE_GATE_BATCH`, then to the simulator's
+    /// default). A pure scheduling knob — results are bit-identical at
+    /// every window size.
+    pub gate_batch: Option<usize>,
     /// Optional JSONL path for per-run telemetry traces.
     pub telemetry: Option<String>,
     /// Optional JSONL path for the wall-clock span-profile stream
@@ -105,6 +110,7 @@ impl Default for Options {
             out: None,
             threads: None,
             edge_threads: None,
+            gate_batch: None,
             telemetry: None,
             profile: None,
             strict: false,
@@ -191,6 +197,15 @@ impl Options {
                         return Err("edge-threads must be at least 1".to_owned());
                     }
                     opts.edge_threads = Some(n);
+                }
+                "--gate-batch" => {
+                    let n: usize = value("--gate-batch")?
+                        .parse()
+                        .map_err(|_| "gate-batch must be a positive integer".to_owned())?;
+                    if n == 0 {
+                        return Err("gate-batch must be at least 1".to_owned());
+                    }
+                    opts.gate_batch = Some(n);
                 }
                 "--telemetry" => opts.telemetry = Some(value("--telemetry")?),
                 "--profile" => opts.profile = Some(value("--profile")?),
@@ -380,6 +395,16 @@ mod tests {
         assert!(parse(&["--edge-threads", "0"]).is_err());
         assert!(parse(&["--edge-threads", "many"]).is_err());
         assert!(parse(&["--edge-threads"]).is_err());
+    }
+
+    #[test]
+    fn gate_batch_flag() {
+        let o = parse(&["--gate-batch", "16"]).expect("valid");
+        assert_eq!(o.gate_batch, Some(16));
+        assert!(parse(&[]).expect("defaults").gate_batch.is_none());
+        assert!(parse(&["--gate-batch", "0"]).is_err());
+        assert!(parse(&["--gate-batch", "window"]).is_err());
+        assert!(parse(&["--gate-batch"]).is_err());
     }
 
     #[test]

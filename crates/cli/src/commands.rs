@@ -52,6 +52,10 @@ FLAGS:
                         records and traces are bit-identical at any
                         count, and threads x edge-threads is capped at
                         the available cores with a warning
+  --gate-batch K        slots each edge worker runs per epoch-gate
+                        handshake (default: the CARBON_EDGE_GATE_BATCH
+                        env var, else 8); a pure scheduling knob —
+                        results are bit-identical at any window size
   --telemetry F.jsonl   write per-run JSONL traces (switches, trades,
                         violations, regret, envelope monitors); also
                         writes wall-clock span profiles to
@@ -106,7 +110,7 @@ FLAGS:
 EXAMPLES:
   carbon-edge run --policy ours --edges 10 --seeds 5
   carbon-edge compare --quick --threads 4
-  carbon-edge run --quick --edges 50 --seeds 1 --edge-threads 4
+  carbon-edge run --quick --edges 50 --seeds 1 --edge-threads 4 --gate-batch 16
   carbon-edge run --quick --telemetry trace.jsonl
   carbon-edge run --quick --faults scenarios/ci_smoke.json --telemetry trace.jsonl
   carbon-edge gen-arrivals --edges 4 --slots 40 | carbon-edge serve \\
@@ -182,6 +186,7 @@ fn eval_options(opts: &Options) -> EvalOptions {
     EvalOptions {
         threads: opts.threads,
         edge_threads: opts.edge_threads,
+        gate_batch: opts.gate_batch,
         telemetry: opts.telemetry.is_some(),
         profile: opts.profile.is_some() || opts.telemetry.is_some(),
         progress: true,

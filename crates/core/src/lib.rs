@@ -75,7 +75,7 @@ pub use offline::OfflinePolicy;
 pub use problem::LossNormalizer;
 pub use runner::{
     evaluate, evaluate_many, evaluate_many_with, evaluate_with, resolve_edge_threads,
-    resolve_threads, EvalOptions, EvalReport, EvalResult, PolicySpec, EDGE_THREADS_ENV_VAR,
-    THREADS_ENV_VAR,
+    resolve_gate_batch, resolve_threads, EvalOptions, EvalReport, EvalResult, PolicySpec,
+    EDGE_THREADS_ENV_VAR, GATE_BATCH_ENV_VAR, THREADS_ENV_VAR,
 };
 pub use serve::{ServeOptions, ServeOutcome, ServeSession};

@@ -26,7 +26,11 @@
 //! traces are bit-identical at every edge-worker count too. Because
 //! the two levels multiply, the driver caps `threads × edge_threads`
 //! at the machine's available cores and reports the cap through
-//! [`EvalReport::warnings`].
+//! [`EvalReport::warnings`]. Edge workers amortize their per-slot gate
+//! handshake over a batch window of slots ([`EvalOptions::gate_batch`],
+//! `CARBON_EDGE_GATE_BATCH`, default
+//! [`cne_edgesim::DEFAULT_GATE_BATCH`] — see [`resolve_gate_batch`]);
+//! the window is a pure scheduling knob, bit-identical at every size.
 //!
 //! # Telemetry and profiling
 //!
@@ -49,7 +53,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use cne_edgesim::{Environment, Policy, RunRecord, ServeMode, SimConfig};
+use cne_edgesim::{Environment, Policy, RunRecord, ServeMode, SimConfig, DEFAULT_GATE_BATCH};
 use cne_nn::ModelZoo;
 use cne_util::series::mean_series;
 use cne_util::span::Profiler;
@@ -71,6 +75,11 @@ pub const THREADS_ENV_VAR: &str = "CARBON_EDGE_THREADS";
 /// when [`EvalOptions::edge_threads`] is unset. Invalid or zero values
 /// are ignored.
 pub const EDGE_THREADS_ENV_VAR: &str = "CARBON_EDGE_EDGE_THREADS";
+
+/// Environment variable consulted for the edge-worker batch window
+/// when [`EvalOptions::gate_batch`] is unset. Invalid or zero values
+/// are ignored.
+pub const GATE_BATCH_ENV_VAR: &str = "CARBON_EDGE_GATE_BATCH";
 
 /// Which policy to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -106,6 +115,13 @@ pub struct EvalOptions {
     /// count; the driver caps `threads × edge_threads` at the
     /// machine's available cores (see [`EvalReport::warnings`]).
     pub edge_threads: Option<usize>,
+    /// Batch window for the edge workers' epoch-gate handshake: each
+    /// worker runs this many consecutive slots per gate round trip.
+    /// `None` defers to the `CARBON_EDGE_GATE_BATCH` environment
+    /// variable, then to [`cne_edgesim::DEFAULT_GATE_BATCH`]. A pure
+    /// scheduling knob — results and traces are bit-identical at every
+    /// window size (see [`resolve_gate_batch`]).
+    pub gate_batch: Option<usize>,
     /// Collect a telemetry [`Recorder`] per run (see
     /// [`EvalReport::telemetry`]).
     pub telemetry: bool,
@@ -222,6 +238,27 @@ pub fn resolve_edge_threads(requested: Option<usize>) -> usize {
     1
 }
 
+/// Resolves the edge-worker batch window: explicit request, then the
+/// `CARBON_EDGE_GATE_BATCH` environment variable, then
+/// [`cne_edgesim::DEFAULT_GATE_BATCH`]. Always at least 1. The window
+/// never changes results — it only sets how many slots each edge
+/// worker runs per gate handshake (the simulator clamps it to the
+/// horizon).
+#[must_use]
+pub fn resolve_gate_batch(requested: Option<usize>) -> usize {
+    if let Some(n) = requested {
+        return n.max(1);
+    }
+    if let Ok(value) = std::env::var(GATE_BATCH_ENV_VAR) {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    DEFAULT_GATE_BATCH
+}
+
 /// The oversubscription guard: caps `edge_threads` so the product of
 /// seed workers and per-run edge workers never exceeds the available
 /// cores. Returns the effective edge-thread count and, when capping
@@ -257,6 +294,7 @@ pub fn run_single(config: &SimConfig, zoo: &ModelZoo, seed: u64, spec: &PolicySp
         false,
         ServeMode::default(),
         1,
+        DEFAULT_GATE_BATCH,
     )
     .record
 }
@@ -281,6 +319,7 @@ fn run_job(
     profile: bool,
     serve_mode: ServeMode,
     edge_threads: usize,
+    gate_batch: usize,
 ) -> JobOutput {
     let root = SeedSequence::new(seed);
     let env = Environment::with_serve_mode(config.clone(), zoo, &root.derive("env"), serve_mode);
@@ -300,11 +339,12 @@ fn run_job(
         PolicySpec::Combo(combo) => Box::new(combo.build(&env, &root.derive("alg"))),
         PolicySpec::Offline => Box::new(OfflinePolicy::plan(&env)),
     };
-    let record = env.run_with(
+    let record = env.run_with_batch(
         policy.as_mut(),
         recorder.as_mut(),
         profiler.as_mut(),
         edge_threads,
+        gate_batch,
     );
     let (p1, envelope_violations) = finalize_run(config, &env, &record, spec, recorder.as_mut());
     JobOutput {
@@ -501,6 +541,7 @@ pub fn evaluate_many_with(
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let (edge_threads, warning) =
         cap_edge_threads(threads, resolve_edge_threads(options.edge_threads), cores);
+    let gate_batch = resolve_gate_batch(options.gate_batch);
     let mut warnings = Vec::new();
     if let Some(warning) = warning {
         eprintln!("warning: {warning}");
@@ -521,6 +562,7 @@ pub fn evaluate_many_with(
                     options.profile,
                     options.serve_mode,
                     edge_threads,
+                    gate_batch,
                 );
                 if options.progress {
                     report_progress(job + 1, num_jobs, &specs[s], seeds[k]);
@@ -550,6 +592,7 @@ pub fn evaluate_many_with(
                         options.profile,
                         options.serve_mode,
                         edge_threads,
+                        gate_batch,
                     );
                     *slots[job].lock().expect("no panics while holding the lock") = Some(out);
                     if options.progress {
@@ -902,6 +945,15 @@ mod tests {
     }
 
     #[test]
+    fn resolve_gate_batch_defaults_to_the_simulator_window() {
+        assert_eq!(resolve_gate_batch(Some(3)), 3);
+        assert_eq!(resolve_gate_batch(Some(0)), 1, "zero clamps to one");
+        if std::env::var(GATE_BATCH_ENV_VAR).is_err() {
+            assert_eq!(resolve_gate_batch(None), DEFAULT_GATE_BATCH);
+        }
+    }
+
+    #[test]
     fn oversubscription_guard_caps_the_product() {
         // Fits: untouched, no warning.
         assert_eq!(cap_edge_threads(1, 4, 4), (4, None));
@@ -931,7 +983,7 @@ mod tests {
         for spec in [PolicySpec::Combo(Combo::ours()), PolicySpec::Offline] {
             for faulted in [false, true] {
                 cfg.faults = faulted.then(|| cne_faults::FaultScenario::mixed("mixed-20", 0.2));
-                let run = |edge_threads: usize| {
+                let run = |edge_threads: usize, gate_batch: usize| {
                     run_job(
                         &cfg,
                         &zoo,
@@ -941,24 +993,32 @@ mod tests {
                         false,
                         ServeMode::default(),
                         edge_threads,
+                        gate_batch,
                     )
                 };
-                let base = run(1);
+                let base = run(1, 1);
                 let base_trace = base.recorder.as_ref().unwrap().to_jsonl_string();
                 for edge_threads in [2, 4] {
-                    let out = run(edge_threads);
-                    assert_eq!(
-                        base.record,
-                        out.record,
-                        "{} record diverged at {edge_threads} edge threads (faulted={faulted})",
-                        spec.name()
-                    );
-                    assert_eq!(
-                        base_trace,
-                        out.recorder.as_ref().unwrap().to_jsonl_string(),
-                        "{} trace diverged at {edge_threads} edge threads (faulted={faulted})",
-                        spec.name()
-                    );
+                    // 1 = per-slot handshake, 3 = windows that straddle
+                    // the horizon unevenly, 64 > horizon = one window
+                    // for the whole run (exercises the clamp).
+                    for gate_batch in [1, 3, 64] {
+                        let out = run(edge_threads, gate_batch);
+                        assert_eq!(
+                            base.record,
+                            out.record,
+                            "{} record diverged at {edge_threads} edge threads, \
+                             batch {gate_batch} (faulted={faulted})",
+                            spec.name()
+                        );
+                        assert_eq!(
+                            base_trace,
+                            out.recorder.as_ref().unwrap().to_jsonl_string(),
+                            "{} trace diverged at {edge_threads} edge threads, \
+                             batch {gate_batch} (faulted={faulted})",
+                            spec.name()
+                        );
+                    }
                 }
             }
         }

@@ -157,6 +157,96 @@ fn resume_from_checkpoint_is_bit_identical() {
     }
 }
 
+/// Serve checkpoints land wherever the operator (or `--halt-at-slot`)
+/// puts them — almost never on a batch-window boundary of the
+/// parallel driver. A resume from slot `k` with `k % K ≠ 0` must
+/// still reproduce the windowed batch driver's bytes exactly: the
+/// batch window is a scheduling knob of the *driver*, invisible to
+/// recorded state.
+#[test]
+fn non_window_aligned_checkpoints_resume_bit_identically() {
+    let (zoo, cfg) = setup();
+    let arrivals = raw_arrivals(&cfg, SEED);
+    let horizon = cfg.horizon;
+
+    for serve_mode in [ServeMode::Batched, ServeMode::PerRequest] {
+        for gate_batch in [3usize, 5] {
+            // Reference: the batch driver running the parallel path
+            // with this batch window.
+            let report = evaluate_many_with(
+                &cfg,
+                &zoo,
+                &[SEED],
+                &[PolicySpec::Combo(Combo::ours())],
+                &EvalOptions {
+                    threads: Some(1),
+                    edge_threads: Some(4),
+                    gate_batch: Some(gate_batch),
+                    telemetry: true,
+                    serve_mode,
+                    ..EvalOptions::default()
+                },
+            );
+            let batch_record = &report.results[0].records[0];
+            let batch_trace = report.telemetry[0].to_jsonl_string();
+
+            let opts = ServeOptions {
+                serve_mode,
+                edge_threads: 1,
+                telemetry: true,
+                ..ServeOptions::default()
+            };
+            let candidates = [
+                gate_batch - 1,
+                gate_batch + 2,
+                horizon / 2 + 1,
+                horizon / 2 + 2,
+            ];
+            let slots: Vec<usize> = candidates
+                .into_iter()
+                .filter(|k| *k > 0 && k % gate_batch != 0)
+                .collect();
+            assert!(slots.len() >= 3, "need several mid-window checkpoints");
+            for k in slots {
+                let mut head = ServeSession::new(cfg.clone(), &zoo, SEED, Combo::ours(), &opts);
+                for t in 0..k {
+                    head.push_slot(&slot_row(&arrivals, t));
+                }
+                let ckpt = head.checkpoint().expect("Ours must checkpoint");
+                let text = ckpt.encode();
+                let ckpt = Checkpoint::parse(&text).expect("well-formed checkpoint");
+
+                let mut tail = ServeSession::resume(
+                    cfg.clone(),
+                    &zoo,
+                    Combo::ours(),
+                    &ckpt,
+                    &ServeOptions {
+                        edge_threads: 4,
+                        ..opts.clone()
+                    },
+                )
+                .expect("resume");
+                for t in k..horizon {
+                    tail.push_slot(&slot_row(&arrivals, t));
+                }
+                let out = tail.finish();
+                assert_eq!(
+                    &out.record, batch_record,
+                    "record diverged: checkpoint at k={k} vs batch window \
+                     K={gate_batch} ({serve_mode:?})"
+                );
+                assert_eq!(
+                    out.telemetry.expect("telemetry on").to_jsonl_string(),
+                    batch_trace,
+                    "trace diverged: checkpoint at k={k} vs batch window \
+                     K={gate_batch} ({serve_mode:?})"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn resume_rejects_mismatched_invocations() {
     let (zoo, cfg) = setup();

@@ -14,6 +14,7 @@ use cne_simdata::topology::Topology;
 use cne_simdata::workload::{DiurnalWorkload, WorkloadTrace};
 use cne_trading::policy::{TradeContext, TradeObservation};
 use cne_util::gate::Gate;
+use cne_util::pad::CachePadded;
 use cne_util::telemetry::Recorder;
 use cne_util::units::{Allowances, Cents};
 use cne_util::SeedSequence;
@@ -22,6 +23,15 @@ use crate::config::SimConfig;
 use crate::lanes::{replay_tele, EdgeLanes, EdgePartial, PendingDownload, TeleOp, TeleSink};
 use crate::policy::{EdgeShard, EdgeSlotOutcome, Policy, SlotFeedback};
 use crate::record::{EdgeRecord, RunRecord, SlotRecord};
+
+/// Default epoch-gate batch window for parallel runs: how many
+/// consecutive slots each edge worker runs per command/done gate round
+/// trip when the policy shards (see [`Environment::run_with_batch`];
+/// the CLI `--gate-batch` flag overrides it). Eight slots amortizes
+/// the two gate handshakes and all mailbox locking to noise against
+/// even µs-scale slots, while the driver's reduction trails the
+/// workers by at most seven slots.
+pub const DEFAULT_GATE_BATCH: usize = 8;
 
 /// How the per-slot request streams are reduced to slot statistics.
 ///
@@ -749,7 +759,12 @@ impl<'a> Environment<'a> {
     /// When a profiler is supplied on a parallel run, only the coarse
     /// `run` and `slot` spans are recorded (per-edge spans would need
     /// cross-thread clocks); the sequential path keeps the full span
-    /// tree.
+    /// tree. With a batch window the first slot span of each window
+    /// carries the window's serve wait; the rest time only their drain.
+    ///
+    /// Parallel runs batch [`DEFAULT_GATE_BATCH`] slots per epoch-gate
+    /// round trip; use [`Environment::run_with_batch`] to pick the
+    /// window explicitly.
     ///
     /// # Panics
     /// Panics if the policy returns a malformed placement vector, and
@@ -762,11 +777,46 @@ impl<'a> Environment<'a> {
         profiler: Option<&mut cne_util::span::Profiler>,
         edge_threads: usize,
     ) -> RunRecord {
+        self.run_with_batch(
+            policy,
+            telemetry,
+            profiler,
+            edge_threads,
+            DEFAULT_GATE_BATCH,
+        )
+    }
+
+    /// [`Environment::run_with`] with an explicit epoch-gate batch
+    /// window: on a parallel run of a sharding policy, each worker runs
+    /// `gate_batch` consecutive slots against its own chunk per
+    /// command/done gate round trip, amortizing both gate handshakes
+    /// and all mailbox locking across the window. The driver then
+    /// drains and reduces the window slot by slot in the usual lane
+    /// order, so records and traces remain **bit-identical at every
+    /// `(edge_threads, gate_batch)` pair** — the window only changes
+    /// when synchronization happens, never the order of any
+    /// accumulation or trace line.
+    ///
+    /// Policies that do not shard fall back to a one-slot window (the
+    /// driver must feed `end_of_slot(t)` back before it can select for
+    /// `t + 1`), as does the sequential path. `gate_batch` is clamped
+    /// to `1..=horizon`.
+    ///
+    /// # Panics
+    /// As [`Environment::run_with`].
+    pub fn run_with_batch(
+        &self,
+        policy: &mut dyn Policy,
+        telemetry: Option<&mut cne_util::telemetry::Recorder>,
+        profiler: Option<&mut cne_util::span::Profiler>,
+        edge_threads: usize,
+        gate_batch: usize,
+    ) -> RunRecord {
         let lanes = edge_threads.max(1).min(self.config.num_edges.max(1));
         if lanes <= 1 {
             self.run_impl(policy, telemetry, profiler)
         } else {
-            self.run_parallel(policy, telemetry, profiler, lanes)
+            self.run_parallel(policy, telemetry, profiler, lanes, gate_batch)
         }
     }
 
@@ -890,9 +940,7 @@ impl<'a> Environment<'a> {
             placements: Vec::with_capacity(cfg.num_edges),
             outcomes: Vec::with_capacity(cfg.num_edges),
             partials: Vec::with_capacity(cfg.num_edges),
-            lane_outcomes: vec![Vec::new(); lane_count],
-            lane_partials: vec![Vec::new(); lane_count],
-            lane_tele: (0..lane_count).map(|_| Vec::new()).collect(),
+            lane_scratch: (0..lane_count).map(|_| CachePadded::default()).collect(),
             // Graceful-degradation state; inert when no scenario is
             // attached, so the fault-free path is untouched.
             trade_carry: self
@@ -928,20 +976,30 @@ impl<'a> Environment<'a> {
     }
 
     /// Runs the whole horizon over a persistent pool of `num_lanes`
-    /// edge workers (`num_lanes >= 2`, at most one worker per edge).
+    /// edge workers (`num_lanes >= 2`, at most one worker per edge),
+    /// batching `gate_batch` slots per gate round trip when the policy
+    /// shards.
     ///
     /// # Phase clock
     ///
-    /// Two monotonic [`Gate`]s pace the pool. The driver releases slot
-    /// `t` by advancing the command gate to `t + 1`; each worker
-    /// (select →) serve → observe its own contiguous edge chunk, swaps
-    /// its fixed-size results into its mailbox, and bumps the done gate
-    /// once. While the workers serve, the driver runs the slot's
-    /// trading; after `done` reaches `num_lanes × (t + 1)` it drains
-    /// the mailboxes **in lane (edge-index) order**, replays buffered
-    /// telemetry, reduces the per-edge partials, posts emissions to the
-    /// ledger — every accumulation in exactly the sequence the
-    /// sequential loop uses — and feeds the policy.
+    /// Two monotonic [`Gate`]s pace the pool, one epoch per **window**
+    /// of up to `gate_batch` consecutive slots (always exactly one
+    /// slot for driver-fed policies). The driver releases the window
+    /// ending at slot `e − 1` by advancing the command gate to `e`;
+    /// each worker runs (select →) serve → observe for every slot of
+    /// the window against its own contiguous edge chunk — every
+    /// per-slot input (arrivals, stream statistics, prices, the fault
+    /// schedule) was pre-realized at construction, so no driver help
+    /// is needed mid-window — stages one [`SlotMail`] per slot, swaps
+    /// the batch into its mailbox, and bumps the done gate once. While
+    /// the workers serve, the driver runs the window's *first* slot of
+    /// trading (later slots need the preceding slot's reduction);
+    /// after `done` reaches `num_lanes × (w + 1)` it drains the window
+    /// slot-major, each slot's mailboxes **in lane (edge-index)
+    /// order**: trade, replay buffered telemetry, reduce the per-edge
+    /// partials, post emissions to the ledger — every accumulation in
+    /// exactly the sequence the sequential loop uses — and feed the
+    /// policy.
     ///
     /// # Panic protocol
     ///
@@ -956,6 +1014,7 @@ impl<'a> Environment<'a> {
         mut telemetry: Option<&mut cne_util::telemetry::Recorder>,
         mut profiler: Option<&mut cne_util::span::Profiler>,
         num_lanes: usize,
+        gate_batch: usize,
     ) -> RunRecord {
         let cfg = &self.config;
         let lane_states = EdgeLanes::split(cfg.num_edges, self.zoo.len(), num_lanes);
@@ -977,14 +1036,26 @@ impl<'a> Environment<'a> {
             None => (0..num_lanes).map(|_| None).collect(),
         };
         let traced = telemetry.is_some();
+        // Sharded policies select and observe entirely inside the
+        // workers (the shard contract: selection never depends on
+        // driver-side feedback), so workers can run a whole window of
+        // slots autonomously. Driver-fed policies need `end_of_slot(t)`
+        // before they can select for `t + 1`, which forces a one-slot
+        // window.
+        let window = if sharded {
+            gate_batch.clamp(1, cfg.horizon.max(1))
+        } else {
+            1
+        };
+        let num_windows = cfg.horizon.div_ceil(window);
 
         let cmd = Gate::new();
         let done = Gate::new();
         let shutdown = AtomicBool::new(false);
         let poisoned = AtomicBool::new(false);
         let poison: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
-        let mailboxes: Vec<Mutex<LaneMail>> = (0..num_lanes)
-            .map(|_| Mutex::new(LaneMail::default()))
+        let mailboxes: Vec<CachePadded<Mutex<LaneMail>>> = (0..num_lanes)
+            .map(|_| CachePadded::new(Mutex::new(LaneMail::default())))
             .collect();
 
         let mut ledger = AllowanceLedger::new(cfg.cap);
@@ -1039,6 +1110,7 @@ impl<'a> Environment<'a> {
                             done,
                             shutdown,
                             traced,
+                            window,
                         );
                     }));
                     if let Err(payload) = run {
@@ -1058,12 +1130,18 @@ impl<'a> Environment<'a> {
                 }));
             }
 
-            for t in 0..cfg.horizon {
+            // Per-lane window results, collected after each done-wait
+            // and drained slot-major below. Reused across windows.
+            let mut window_mail: Vec<Vec<SlotMail>> = (0..num_lanes).map(|_| Vec::new()).collect();
+            for win in 0..num_windows {
+                let base = win * window;
+                let len = window.min(cfg.horizon - base);
                 if let Some(p) = profiler.as_deref_mut() {
                     p.enter("slot");
                 }
                 if !sharded {
-                    policy.select_models_into(t, &mut placements);
+                    // Driver-fed selection: window == 1, slot `base`.
+                    policy.select_models_into(base, &mut placements);
                     assert_eq!(
                         placements.len(),
                         cfg.num_edges,
@@ -1079,26 +1157,29 @@ impl<'a> Environment<'a> {
                             .extend_from_slice(&placements[start..start + len]);
                     }
                 }
-                cmd.advance_to(t as u64 + 1);
+                cmd.advance_to((base + len) as u64);
 
-                // Trading (Algorithm 2, driver-owned) overlaps with the
-                // workers' serve phase. The workers never touch the
+                // Trading (Algorithm 2, driver-owned) for the window's
+                // *first* slot overlaps with the workers' serve phase;
+                // later slots need the preceding slot's reduction and
+                // run in the drain below. The workers never touch the
                 // ledger, so its mutation order matches the sequential
-                // loop: the slot's trade first, then per-edge emissions
-                // in the reduction below.
-                let ctx = self.trade_context(t, cap_share);
-                let (z, w) = policy.decide_trades(t, &ctx);
-                let receipt = self.execute_trade(
-                    t,
-                    &ctx,
+                // loop: each slot's trade first, then that slot's
+                // per-edge emissions in the reduction.
+                let first_ctx = self.trade_context(base, cap_share);
+                let (z, w) = policy.decide_trades(base, &first_ctx);
+                let first_receipt = self.execute_trade(
+                    base,
+                    &first_ctx,
                     z,
                     w,
                     trade_carry.as_mut(),
                     &mut ledger,
                     telemetry.as_deref_mut(),
                 );
+                let mut first_trade = Some((first_ctx, first_receipt));
 
-                done.wait_at_least(num_lanes as u64 * (t as u64 + 1));
+                done.wait_at_least(num_lanes as u64 * (win as u64 + 1));
                 if poisoned.load(Ordering::SeqCst) {
                     match lock(&poison).take() {
                         Some(payload) => resume_unwind(payload),
@@ -1106,56 +1187,83 @@ impl<'a> Environment<'a> {
                     }
                 }
 
-                // Drain the mailboxes in lane order so everything
+                // Collect every lane's window batch up front (one lock
+                // per lane per window), then drain slot-major: within a
+                // slot, mailboxes in lane order, so everything
                 // downstream — trace replay, cost folds, the ledger —
                 // sees plain edge-index order.
-                for mailbox in &mailboxes {
-                    let (mut lane_outcomes, mut lane_partials, mut lane_tele) = {
-                        let mut mail = lock(mailbox);
-                        (
-                            std::mem::take(&mut mail.outcomes),
-                            std::mem::take(&mut mail.partials),
-                            std::mem::take(&mut mail.tele),
-                        )
-                    };
-                    if let Some(rec) = telemetry.as_deref_mut() {
-                        replay_tele(rec, &mut lane_tele);
-                    }
-                    outcomes.append(&mut lane_outcomes);
-                    partials.append(&mut lane_partials);
-                    // Hand the emptied buffers back for reuse.
+                for (mailbox, slot_mail) in mailboxes.iter().zip(&mut window_mail) {
                     let mut mail = lock(mailbox);
-                    mail.outcomes = lane_outcomes;
-                    mail.partials = lane_partials;
-                    mail.tele = lane_tele;
+                    debug_assert!(slot_mail.is_empty());
+                    *slot_mail = std::mem::take(&mut mail.ready);
+                    debug_assert_eq!(slot_mail.len(), len);
                 }
 
-                let (record, observation) = self.reduce_slot(
-                    t,
-                    &ctx,
-                    &receipt,
-                    &outcomes,
-                    &partials,
-                    &mut ledger,
-                    cap_share,
-                );
-                if sharded {
-                    // The shards observed their own outcomes inside the
-                    // workers; only the trade side flows through here.
-                    policy.observe_trade(t, &observation);
-                } else {
-                    let feedback = SlotFeedback {
-                        edges: std::mem::take(&mut outcomes),
-                        trade: observation,
+                for (off, t) in (base..base + len).enumerate() {
+                    if off > 0 {
+                        if let Some(p) = profiler.as_deref_mut() {
+                            p.enter("slot");
+                        }
+                    }
+                    let (ctx, receipt) = match first_trade.take() {
+                        Some(first) => first,
+                        None => {
+                            let ctx = self.trade_context(t, cap_share);
+                            let (z, w) = policy.decide_trades(t, &ctx);
+                            let receipt = self.execute_trade(
+                                t,
+                                &ctx,
+                                z,
+                                w,
+                                trade_carry.as_mut(),
+                                &mut ledger,
+                                telemetry.as_deref_mut(),
+                            );
+                            (ctx, receipt)
+                        }
                     };
-                    policy.end_of_slot(t, &feedback);
-                    outcomes = feedback.edges;
+                    for slot_mail in &mut window_mail {
+                        let mail = &mut slot_mail[off];
+                        if let Some(rec) = telemetry.as_deref_mut() {
+                            replay_tele(rec, &mut mail.tele);
+                        }
+                        outcomes.append(&mut mail.outcomes);
+                        partials.append(&mut mail.partials);
+                    }
+                    let (record, observation) = self.reduce_slot(
+                        t,
+                        &ctx,
+                        &receipt,
+                        &outcomes,
+                        &partials,
+                        &mut ledger,
+                        cap_share,
+                    );
+                    if sharded {
+                        // The shards observed their own outcomes inside
+                        // the workers; only the trade side flows
+                        // through here.
+                        policy.observe_trade(t, &observation);
+                    } else {
+                        let feedback = SlotFeedback {
+                            edges: std::mem::take(&mut outcomes),
+                            trade: observation,
+                        };
+                        policy.end_of_slot(t, &feedback);
+                        outcomes = feedback.edges;
+                    }
+                    outcomes.clear();
+                    partials.clear();
+                    slots.push(record);
+                    if let Some(p) = profiler.as_deref_mut() {
+                        p.exit(); // slot
+                    }
                 }
-                outcomes.clear();
-                partials.clear();
-                slots.push(record);
-                if let Some(p) = profiler.as_deref_mut() {
-                    p.exit(); // slot
+
+                // Hand the emptied buffers back for reuse.
+                for (mailbox, slot_mail) in mailboxes.iter().zip(&mut window_mail) {
+                    let mut mail = lock(mailbox);
+                    mail.spare.append(slot_mail);
                 }
             }
 
@@ -1194,10 +1302,13 @@ impl<'a> Environment<'a> {
         )
     }
 
-    /// The body of one pool worker: wait for the slot to be released,
-    /// obtain the chunk's placements (from the owned shard, or from the
-    /// mailbox when the driver selects), serve the chunk, let the shard
-    /// observe, publish results, and bump the done gate.
+    /// The body of one pool worker: wait for a whole window of slots
+    /// to be released, obtain the chunk's placements (from the owned
+    /// shard, or from the mailbox when the driver selects — then the
+    /// window is one slot), run select → serve → observe for every
+    /// slot of the window against pre-staged recycled buffers, publish
+    /// the batch, and bump the done gate **once per window** — the
+    /// amortization that makes short slots cheap to shard.
     #[allow(clippy::too_many_arguments)]
     fn worker_loop(
         &self,
@@ -1208,18 +1319,32 @@ impl<'a> Environment<'a> {
         done: &Gate,
         shutdown: &AtomicBool,
         traced: bool,
+        window: usize,
     ) {
+        let horizon = self.config.horizon;
         let mut placements: Vec<usize> = Vec::with_capacity(lane.len());
-        let mut outcomes: Vec<EdgeSlotOutcome> = Vec::with_capacity(lane.len());
-        let mut partials: Vec<EdgePartial> = Vec::with_capacity(lane.len());
-        let mut tele: Vec<TeleOp> = Vec::new();
-        for t in 0..self.config.horizon {
-            cmd.wait_at_least(t as u64 + 1);
+        let mut ready: Vec<SlotMail> = Vec::with_capacity(window);
+        let mut spare: Vec<SlotMail> = Vec::with_capacity(window);
+        let num_windows = horizon.div_ceil(window);
+        for win in 0..num_windows {
+            let base = win * window;
+            let len = window.min(horizon - base);
+            cmd.wait_at_least((base + len) as u64);
             if shutdown.load(Ordering::SeqCst) {
                 return;
             }
-            match shard.as_deref_mut() {
-                Some(shard) => {
+            {
+                let mut mail = lock(mailbox);
+                // Reclaim the buffers the driver emptied last window.
+                spare.append(&mut mail.spare);
+                if shard.is_none() {
+                    placements.clear();
+                    placements.extend_from_slice(&mail.placements);
+                }
+            }
+            for t in base..base + len {
+                let mut slot_mail = spare.pop().unwrap_or_default();
+                if let Some(shard) = shard.as_deref_mut() {
                     shard.select_into(t, &mut placements);
                     assert_eq!(
                         placements.len(),
@@ -1230,38 +1355,30 @@ impl<'a> Environment<'a> {
                         assert!(n < self.zoo.len(), "model index out of range");
                     }
                 }
-                None => {
-                    let mail = lock(mailbox);
-                    placements.clear();
-                    placements.extend_from_slice(&mail.placements);
+                let mut sink = if traced {
+                    TeleSink::Buffer(&mut slot_mail.tele)
+                } else {
+                    TeleSink::Silent
+                };
+                self.serve_chunk(
+                    t,
+                    lane,
+                    &placements,
+                    &mut sink,
+                    None,
+                    &mut slot_mail.outcomes,
+                    &mut slot_mail.partials,
+                );
+                if let Some(shard) = shard.as_deref_mut() {
+                    shard.observe(t, &slot_mail.outcomes);
                 }
-            }
-            let mut sink = if traced {
-                TeleSink::Buffer(&mut tele)
-            } else {
-                TeleSink::Silent
-            };
-            self.serve_chunk(
-                t,
-                lane,
-                &placements,
-                &mut sink,
-                None,
-                &mut outcomes,
-                &mut partials,
-            );
-            if let Some(shard) = shard.as_deref_mut() {
-                shard.observe(t, &outcomes);
+                ready.push(slot_mail);
             }
             {
                 let mut mail = lock(mailbox);
-                std::mem::swap(&mut mail.outcomes, &mut outcomes);
-                std::mem::swap(&mut mail.partials, &mut partials);
-                std::mem::swap(&mut mail.tele, &mut tele);
+                debug_assert!(mail.ready.is_empty());
+                std::mem::swap(&mut mail.ready, &mut ready);
             }
-            outcomes.clear();
-            partials.clear();
-            tele.clear();
             done.add(1);
         }
     }
@@ -1696,11 +1813,21 @@ pub struct RunStepper {
     placements: Vec<usize>,
     outcomes: Vec<EdgeSlotOutcome>,
     partials: Vec<EdgePartial>,
-    lane_outcomes: Vec<Vec<EdgeSlotOutcome>>,
-    lane_partials: Vec<Vec<EdgePartial>>,
-    lane_tele: Vec<Vec<TeleOp>>,
+    lane_scratch: Vec<CachePadded<LaneScratch>>,
     trade_carry: Option<TradeCarry>,
     next_slot: usize,
+}
+
+/// Per-lane scratch buffers for the stepper's sharded serve phase. The
+/// buffers live in one contiguous `Vec` while every lane's worker
+/// pushes into them concurrently — each push writes the `Vec` length
+/// in the header — so each lane's scratch is cache-line padded to keep
+/// those header writes from false-sharing with its neighbours.
+#[derive(Debug, Default)]
+struct LaneScratch {
+    outcomes: Vec<EdgeSlotOutcome>,
+    partials: Vec<EdgePartial>,
+    tele: Vec<TeleOp>,
 }
 
 impl RunStepper {
@@ -1843,12 +1970,18 @@ impl RunStepper {
         self.next_slot = t + 1;
     }
 
-    /// The multi-lane serve phase: one scoped worker per lane serves
-    /// its contiguous edge chunk into per-lane buffers, which the
-    /// driver then drains **in lane (edge-index) order** — buffered
-    /// telemetry replayed first, outcomes and partials appended after
-    /// — so every accumulation and every trace line happens in the
-    /// same sequence as the single-lane path.
+    /// The multi-lane serve phase: every lane past the first is served
+    /// by a scoped worker while lane 0 runs on the calling thread (one
+    /// fewer spawn per slot, and the driver works instead of waiting).
+    /// The per-lane buffers are drained **in lane (edge-index) order**
+    /// — buffered telemetry replayed first, outcomes and partials
+    /// appended after — so every accumulation and every trace line
+    /// happens in the same sequence as the single-lane path.
+    ///
+    /// Unlike the batch path, the stepper cannot batch slots into
+    /// epoch-gate windows: it is externally paced (a serve daemon
+    /// ingests arrivals between steps), so each step must return with
+    /// the slot fully reduced.
     fn serve_sharded(&mut self, env: &Environment, t: usize, mut telemetry: Option<&mut Recorder>) {
         let traced = telemetry.is_some();
         let Self {
@@ -1856,47 +1989,64 @@ impl RunStepper {
             placements,
             outcomes,
             partials,
-            lane_outcomes,
-            lane_partials,
-            lane_tele,
+            lane_scratch,
             ..
         } = self;
         let placements: &[usize] = placements;
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(lanes.len());
-            for ((lane, tele), (out_buf, part_buf)) in lanes
-                .iter_mut()
-                .zip(lane_tele.iter_mut())
-                .zip(lane_outcomes.iter_mut().zip(lane_partials.iter_mut()))
-            {
+            let mut pairs = lanes.iter_mut().zip(lane_scratch.iter_mut());
+            let (first_lane, first_scratch) = pairs.next().expect("at least one lane");
+            let mut handles = Vec::new();
+            for (lane, scratch) in pairs {
                 let chunk = &placements[lane.start()..lane.start() + lane.len()];
                 handles.push(scope.spawn(move || {
+                    let scratch: &mut LaneScratch = scratch;
                     let mut sink = if traced {
-                        TeleSink::Buffer(tele)
+                        TeleSink::Buffer(&mut scratch.tele)
                     } else {
                         TeleSink::Silent
                     };
-                    env.serve_chunk(t, lane, chunk, &mut sink, None, out_buf, part_buf);
+                    env.serve_chunk(
+                        t,
+                        lane,
+                        chunk,
+                        &mut sink,
+                        None,
+                        &mut scratch.outcomes,
+                        &mut scratch.partials,
+                    );
                 }));
             }
+            let chunk = &placements[first_lane.start()..first_lane.start() + first_lane.len()];
+            let scratch: &mut LaneScratch = first_scratch;
+            let mut sink = if traced {
+                TeleSink::Buffer(&mut scratch.tele)
+            } else {
+                TeleSink::Silent
+            };
+            env.serve_chunk(
+                t,
+                first_lane,
+                chunk,
+                &mut sink,
+                None,
+                &mut scratch.outcomes,
+                &mut scratch.partials,
+            );
             for handle in handles {
                 if let Err(payload) = handle.join() {
                     resume_unwind(payload);
                 }
             }
         });
-        for ((tele, out_buf), part_buf) in lane_tele
-            .iter_mut()
-            .zip(lane_outcomes.iter_mut())
-            .zip(lane_partials.iter_mut())
-        {
+        for scratch in lane_scratch.iter_mut() {
             if let Some(rec) = telemetry.as_deref_mut() {
-                replay_tele(rec, tele);
+                replay_tele(rec, &mut scratch.tele);
             } else {
-                tele.clear();
+                scratch.tele.clear();
             }
-            outcomes.append(out_buf);
-            partials.append(part_buf);
+            outcomes.append(&mut scratch.outcomes);
+            partials.append(&mut scratch.partials);
         }
     }
 
@@ -2054,17 +2204,30 @@ pub struct EdgeServeState {
     pub selection_counts: Vec<u64>,
 }
 
-/// Worker ↔ driver exchange for one lane. The driver writes the lane's
-/// placement chunk before releasing a slot (non-sharded policies only);
-/// the worker swaps in its serve results and buffered telemetry before
-/// bumping the done gate, and the driver hands the emptied buffers back
-/// while draining — so the steady state allocates nothing.
+/// One slot's worth of one lane's serve output: fixed-size per-edge
+/// outcomes and cost partials plus buffered telemetry. Workers fill one
+/// per slot of their window; the driver drains them in lane order and
+/// recycles the emptied buffers.
 #[derive(Default)]
-struct LaneMail {
-    placements: Vec<usize>,
+struct SlotMail {
     outcomes: Vec<EdgeSlotOutcome>,
     partials: Vec<EdgePartial>,
     tele: Vec<TeleOp>,
+}
+
+/// Worker ↔ driver exchange for one lane. The driver writes the lane's
+/// placement chunk before releasing a window (non-sharded policies
+/// only, where the window is one slot); the worker swaps in one
+/// [`SlotMail`] per slot of the window before bumping the done gate,
+/// and the driver hands the emptied buffers back through `spare` while
+/// draining — so the steady state allocates nothing. Each mailbox is
+/// wrapped in a [`CachePadded`] by the driver so neighbouring lanes'
+/// lock words and buffer headers never false-share a cache line.
+#[derive(Default)]
+struct LaneMail {
+    placements: Vec<usize>,
+    ready: Vec<SlotMail>,
+    spare: Vec<SlotMail>,
 }
 
 /// Locks a mutex, ignoring poisoning: lane mailboxes hold plain data,

@@ -159,6 +159,21 @@ pub trait Policy {
     /// calling [`select_models_into`](Self::select_models_into) and
     /// [`end_of_slot`](Self::end_of_slot) on the driver thread and
     /// parallelizes only the serve loop.
+    ///
+    /// # Window-autonomy contract
+    ///
+    /// Returning shards asserts more than per-edge separability: it
+    /// asserts that a shard's slot-`t` selection depends only on its
+    /// own prior [`select_into`](EdgeShard::select_into) /
+    /// [`observe`](EdgeShard::observe) history — never on the driver's
+    /// [`observe_trade`](Self::observe_trade) feedback. The parallel
+    /// driver exploits this to run workers for a whole *batch window*
+    /// of `K` slots (see `Environment::run_with_batch`) between gate
+    /// handshakes, delivering `observe_trade` for those slots only
+    /// after the window completes. A policy whose per-edge selection
+    /// reads trade feedback must keep the default (`None`) or its
+    /// sharded runs would diverge from sequential ones whenever the
+    /// batch window exceeds one slot.
     fn shard_edges(&mut self, chunks: &[(usize, usize)]) -> Option<Vec<Box<dyn EdgeShard>>> {
         let _ = chunks;
         None

@@ -11,25 +11,40 @@
 //! * a **done gate** every worker bumps by one when it finishes a phase
 //!   (the driver waits for `workers × (t + 1)`).
 //!
-//! Waiters spin very briefly, yield a few times, and then park on a
-//! condvar — the blocking fallback matters because determinism tests
-//! run multi-worker pools on single-core machines, where spinning
-//! would burn a scheduler quantum per phase. The sleeper counter plus
-//! the re-check under the mutex makes the park path missed-wakeup
+//! Waiters spin briefly, yield a few times, and then park on a
+//! condvar. The spin budget is sized so that a handshake whose peer is
+//! actively finishing a sub-10µs phase on another core completes
+//! without ever paying a condvar park/unpark (each costs a syscall
+//! pair plus a scheduler trip — more than an entire short slot). On a
+//! machine without spare cores the spin phase is skipped entirely:
+//! there, spinning can only burn the quantum the peer needs, so the
+//! waiter goes straight to yielding and parking. The sleeper counter
+//! plus the re-check under the mutex makes the park path missed-wakeup
 //! free: a signaller that observes no sleepers has its sequence update
 //! ordered before the waiter's re-check, and a signaller that observes
 //! a sleeper acquires the mutex (serializing with the waiter) before
 //! notifying.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, OnceLock};
 
-/// Brief spin before yielding — long enough to catch a peer that is
-/// mid-update on another core, short enough to be noise when parked.
-const SPIN_ROUNDS: usize = 64;
+/// Spin budget before yielding — sized to roughly a few microseconds,
+/// so an epoch-gate handshake around a sub-10µs serve phase resolves
+/// in the spin phase, while a genuinely long wait parks after a
+/// negligible (single-digit-µs) overshoot.
+const SPIN_ROUNDS: usize = 4_096;
 /// Cooperative yields before parking, so a displaced peer on a busy
 /// (or single-core) machine gets scheduled without a full park/unpark.
 const YIELD_ROUNDS: usize = 4;
+
+/// Whether busy-spinning can pay off at all on this machine: only when
+/// more than one hardware thread is available can the peer make
+/// progress *while* we spin. Queried once per process.
+fn spinning_pays() -> bool {
+    static PAYS: OnceLock<bool> = OnceLock::new();
+    *PAYS
+        .get_or_init(|| std::thread::available_parallelism().is_ok_and(|cores| cores.get() > 1))
+}
 
 /// A forward-only epoch counter that threads can wait on.
 ///
@@ -97,10 +112,12 @@ impl Gate {
         if self.seq.load(Ordering::SeqCst) >= target {
             return;
         }
-        for _ in 0..SPIN_ROUNDS {
-            std::hint::spin_loop();
-            if self.seq.load(Ordering::SeqCst) >= target {
-                return;
+        if spinning_pays() {
+            for _ in 0..SPIN_ROUNDS {
+                std::hint::spin_loop();
+                if self.seq.load(Ordering::SeqCst) >= target {
+                    return;
+                }
             }
         }
         for _ in 0..YIELD_ROUNDS {

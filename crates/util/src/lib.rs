@@ -28,7 +28,9 @@
 //!   timing data never perturbs bit-identical trace output;
 //! * [`gate`] — a monotonic epoch gate (spin-then-park) for
 //!   phase-synchronized worker pools such as the simulator's per-run
-//!   edge shards.
+//!   edge shards;
+//! * [`pad`] — cache-line padding ([`pad::CachePadded`]) so per-worker
+//!   slots in shared allocations never false-share a line.
 //!
 //! # Examples
 //!
@@ -47,6 +49,7 @@
 pub mod expo;
 pub mod gate;
 pub mod json;
+pub mod pad;
 pub mod rng;
 pub mod series;
 pub mod span;

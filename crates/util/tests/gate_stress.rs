@@ -1,0 +1,212 @@
+//! Stress tests for the batched-epoch [`Gate`] protocol.
+//!
+//! The simulator's parallel driver synchronizes its edge workers with
+//! two gates: a command gate advanced in *slot* units (`advance_to`)
+//! and a done gate bumped in *window* units (`add(1)` per completed
+//! batch window). These tests drive that exact protocol — randomized
+//! worker counts × batch windows, early halts landing mid-window, and
+//! worker panics feeding a poison flag — and assert it never
+//! deadlocks, never runs a slot out of order, and always reports
+//! poison. Every scenario runs under a watchdog so a lost wakeup
+//! fails the test instead of hanging CI.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cne_util::gate::Gate;
+use cne_util::SeedSequence;
+use rand::Rng;
+
+/// Fails the test if `f` has not finished within `secs` seconds — a
+/// deadlocked gate protocol must fail loudly, not hang the suite.
+fn with_watchdog<F: FnOnce() + Send>(secs: u64, f: F) {
+    let finished = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let finished = &finished;
+        scope.spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(secs);
+            while !finished.load(Ordering::SeqCst) {
+                assert!(
+                    Instant::now() < deadline,
+                    "gate protocol deadlocked (no progress in {secs}s)"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+        f();
+        finished.store(true, Ordering::SeqCst);
+    });
+}
+
+/// One full driver/worker run of the windowed protocol. Returns the
+/// per-worker slot logs for order verification.
+fn run_protocol(workers: usize, horizon: usize, window: usize, halt_at: Option<usize>) {
+    let cmd = Gate::new();
+    let done = Gate::new();
+    let shutdown = AtomicBool::new(false);
+    // Each worker appends every slot it runs; monotonicity of this log
+    // is the protocol's correctness condition (a worker that runs slot
+    // t before the driver released it would break determinism).
+    let logs: Vec<std::sync::Mutex<Vec<usize>>> = (0..workers)
+        .map(|_| std::sync::Mutex::new(Vec::new()))
+        .collect();
+    let num_windows = horizon.div_ceil(window);
+
+    std::thread::scope(|scope| {
+        for log in &logs {
+            let (cmd, done, shutdown) = (&cmd, &done, &shutdown);
+            scope.spawn(move || {
+                for win in 0..num_windows {
+                    let base = win * window;
+                    let len = window.min(horizon - base);
+                    cmd.wait_at_least((base + len) as u64);
+                    if shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    {
+                        let mut log = log.lock().unwrap();
+                        for t in base..base + len {
+                            log.push(t);
+                        }
+                    }
+                    done.add(1);
+                }
+            });
+        }
+
+        let mut released = 0;
+        for win in 0..num_windows {
+            let base = win * window;
+            let len = window.min(horizon - base);
+            // An early halt decided mid-window: the driver stops
+            // releasing work and raises shutdown, exactly like the
+            // simulator dropping its worker pool after --halt-at-slot.
+            if halt_at.is_some_and(|k| k <= base) {
+                break;
+            }
+            cmd.advance_to((base + len) as u64);
+            done.wait_at_least(workers as u64 * (win as u64 + 1));
+            released = base + len;
+        }
+        shutdown.store(true, Ordering::SeqCst);
+        cmd.advance_to(u64::MAX);
+
+        // Scope joins the workers here; a protocol bug deadlocks and
+        // the watchdog fires.
+        let _ = released;
+    });
+
+    for log in &logs {
+        let log = log.lock().unwrap();
+        // Epoch monotonicity: every worker saw each released slot
+        // exactly once, in order.
+        let expected: Vec<usize> = (0..log.len()).collect();
+        assert_eq!(*log, expected, "worker ran slots out of order");
+        // Workers never outrun the driver's released prefix.
+        assert!(log.len() <= horizon);
+        if halt_at.is_none() {
+            assert_eq!(log.len(), horizon, "worker missed released slots");
+        }
+    }
+}
+
+#[test]
+fn randomized_windows_and_worker_counts_never_deadlock() {
+    let mut rng = SeedSequence::new(0xC0FFEE).derive("gate-stress").rng();
+    for _ in 0..40 {
+        let workers: usize = rng.gen_range(1..=6);
+        let horizon: usize = rng.gen_range(1..=40);
+        let window: usize = rng.gen_range(1..=horizon + 4).min(horizon.max(1));
+        with_watchdog(30, || run_protocol(workers, horizon, window, None));
+    }
+}
+
+#[test]
+fn early_halt_mid_window_releases_all_workers() {
+    let mut rng = SeedSequence::new(0x4A17).derive("gate-halt").rng();
+    for _ in 0..30 {
+        let workers: usize = rng.gen_range(1..=6);
+        let horizon: usize = rng.gen_range(2..=40);
+        let window: usize = rng.gen_range(1..=horizon);
+        // Halts landing anywhere, including k % window != 0 (inside a
+        // window) and past the end.
+        let halt: usize = rng.gen_range(0..=horizon + 2);
+        with_watchdog(30, || run_protocol(workers, horizon, window, Some(halt)));
+    }
+}
+
+#[test]
+fn poisoned_worker_unblocks_the_driver_at_every_window() {
+    // The simulator's poison path: a panicking worker bumps the done
+    // gate by (horizon + 1) × … so any window-granular wait the driver
+    // is in (or will enter) resolves immediately, then sets a flag the
+    // driver checks after each wait. Exercise the protocol with the
+    // panic landing in a random window.
+    let mut rng = SeedSequence::new(0x9015).derive("gate-poison").rng();
+    for _ in 0..25 {
+        let workers: usize = rng.gen_range(1..=5);
+        let horizon: usize = rng.gen_range(1..=30);
+        let window: usize = rng.gen_range(1..=horizon);
+        let panic_window: usize = rng.gen_range(0..horizon.div_ceil(window));
+        with_watchdog(30, || {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                run_poisoned(workers, horizon, window, panic_window);
+            }));
+            assert!(outcome.is_err(), "the worker panic must propagate");
+        });
+    }
+}
+
+/// Protocol run where worker 0 panics at the start of `panic_window`;
+/// the driver must notice and re-raise within one window wait.
+fn run_poisoned(workers: usize, horizon: usize, window: usize, panic_window: usize) {
+    let cmd = Arc::new(Gate::new());
+    let done = Arc::new(Gate::new());
+    let poisoned = Arc::new(AtomicBool::new(false));
+    let num_windows = horizon.div_ceil(window);
+
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let (cmd, done, poisoned) = (cmd.clone(), done.clone(), poisoned.clone());
+            std::thread::spawn(move || {
+                let work = || {
+                    for win in 0..num_windows {
+                        let base = win * window;
+                        let len = window.min(horizon - base);
+                        cmd.wait_at_least((base + len) as u64);
+                        assert!(!(w == 0 && win == panic_window), "injected worker failure");
+                        done.add(1);
+                    }
+                };
+                if catch_unwind(AssertUnwindSafe(work)).is_err() {
+                    poisoned.store(true, Ordering::SeqCst);
+                    // Oversized bump: satisfies every window-granular
+                    // wait the driver can ever issue.
+                    done.add((horizon as u64 + 1) * workers as u64);
+                }
+            })
+        })
+        .collect();
+
+    let run = || {
+        for win in 0..num_windows {
+            let base = win * window;
+            let len = window.min(horizon - base);
+            cmd.advance_to((base + len) as u64);
+            done.wait_at_least(workers as u64 * (win as u64 + 1));
+            if poisoned.load(Ordering::SeqCst) {
+                panic!("an edge worker panicked");
+            }
+        }
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(run));
+    cmd.advance_to(u64::MAX);
+    for h in handles {
+        let _ = h.join();
+    }
+    if let Err(payload) = outcome {
+        std::panic::resume_unwind(payload);
+    }
+}
