@@ -591,6 +591,113 @@ fn bench_serve_loop(scale: &Scale, zoo: &ModelZoo, reps: usize, entries: &mut Ve
         gate: false,
         min: None,
     });
+
+    bench_wal(&config, zoo, &arrivals, reps, entries);
+}
+
+/// The arrival WAL riding the serve hot loop: framing/append cost per
+/// record (fsync off — the policies only add `fsync(2)` latency, which
+/// is machine noise, not code cost), and a hard-floored recovery
+/// equivalence check: a log torn mid-frame, recovered through
+/// `Wal::open` → `replay` → `apply_wal_tail`, must finish bit-identical
+/// to the uninterrupted session.
+fn bench_wal(
+    config: &cne_edgesim::SimConfig,
+    zoo: &ModelZoo,
+    arrivals: &[Vec<u64>],
+    reps: usize,
+    entries: &mut Vec<BenchEntry>,
+) {
+    use cne_core::wal::{self, SyncPolicy, Wal, WalOptions, WalRecord};
+
+    const SEED: u64 = 7;
+    let edges = config.num_edges;
+    let horizon = config.horizon;
+    // The daemon's record stream: one arrivals frame per non-empty
+    // request line, one close per slot.
+    let records: Vec<WalRecord> = arrivals
+        .iter()
+        .enumerate()
+        .flat_map(|(t, row)| {
+            row.iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(move |(e, &c)| WalRecord::Arrivals {
+                    slot: t as u64,
+                    pairs: vec![(e as u64, c)],
+                })
+                .chain(std::iter::once(WalRecord::SlotClose { slot: t as u64 }))
+        })
+        .collect();
+    let dir = std::env::temp_dir().join(format!("cne-bench-wal-{}", std::process::id()));
+
+    let mut append_us = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = WalOptions {
+            sync: SyncPolicy::Off,
+            ..WalOptions::default()
+        };
+        let (mut handle, _) = Wal::open(&dir, options).expect("open bench WAL");
+        let mut stopwatch = Profiler::new();
+        stopwatch.enter("wal");
+        for record in &records {
+            handle.append(record).expect("append");
+        }
+        stopwatch.exit();
+        append_us.push(stopwatch.total_us("wal") / records.len() as f64);
+    }
+    entries.push(BenchEntry {
+        name: format!("serve_loop/wal_append/edges={edges}"),
+        metric: "us_per_record".to_owned(),
+        value: median(append_us),
+        better: "lower",
+        gate: false,
+        min: None,
+    });
+
+    // Recovery equivalence over the log the timing loop just wrote,
+    // torn a few bytes into its final frame.
+    let opts = ServeOptions {
+        telemetry: true,
+        ..ServeOptions::default()
+    };
+    let mut full = ServeSession::new(config.clone(), zoo, SEED, Combo::ours(), &opts);
+    for row in arrivals {
+        full.push_slot(row);
+    }
+    let full_out = full.finish();
+
+    let seg = dir.join("wal-00000001.log");
+    let bytes = std::fs::read(&seg).expect("read bench WAL");
+    std::fs::write(&seg, &bytes[..bytes.len() - 3]).expect("tear bench WAL");
+    let (_, recovery) = Wal::open(&dir, WalOptions::default()).expect("recover bench WAL");
+    let identical = recovery.torn.is_some()
+        && wal::replay(&recovery.records, edges, 0)
+            .map(|tail| {
+                let mut session =
+                    ServeSession::new(config.clone(), zoo, SEED, Combo::ours(), &opts);
+                session
+                    .apply_wal_tail(&tail)
+                    .expect("tail continues slot 0");
+                for row in &arrivals[session.next_slot()..horizon] {
+                    session.push_slot(row);
+                }
+                let out = session.finish();
+                out.record == full_out.record
+                    && out.telemetry.map(|r| r.to_jsonl_string())
+                        == full_out.telemetry.as_ref().map(Recorder::to_jsonl_string)
+            })
+            .unwrap_or(false);
+    let _ = std::fs::remove_dir_all(&dir);
+    entries.push(BenchEntry {
+        name: format!("serve_loop/wal_recovery_identical/edges={edges}"),
+        metric: "bool".to_owned(),
+        value: if identical { 1.0 } else { 0.0 },
+        better: "higher",
+        gate: false,
+        min: Some(1.0),
+    });
 }
 
 /// Full-system runs (environment + `Ours`) over the Fig. 14

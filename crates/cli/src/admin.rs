@@ -23,6 +23,7 @@ pub struct AdminState {
     metrics: Mutex<String>,
     last_progress: Mutex<Instant>,
     done: AtomicBool,
+    degraded: AtomicBool,
     ready_deadline: Duration,
 }
 
@@ -36,6 +37,7 @@ impl AdminState {
             metrics: Mutex::new(String::new()),
             last_progress: Mutex::new(Instant::now()),
             done: AtomicBool::new(false),
+            degraded: AtomicBool::new(false),
             ready_deadline,
         })
     }
@@ -56,6 +58,22 @@ impl AdminState {
     /// (it is draining, not stalled).
     pub fn mark_done(&self) {
         self.done.store(true, Ordering::SeqCst);
+    }
+
+    /// Flips the degraded-durability flag: `true` while the daemon is
+    /// still serving but can no longer make its WAL/checkpoint
+    /// guarantees (persistent storage failure), `false` once a
+    /// successful checkpoint restores them. A degraded daemon reads
+    /// 503 on `/readyz` so orchestrators stop routing traffic that
+    /// would be lost in a crash.
+    pub fn set_degraded(&self, degraded: bool) {
+        self.degraded.store(degraded, Ordering::SeqCst);
+    }
+
+    /// Whether durability is currently degraded.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
     }
 
     /// The current metrics page.
@@ -97,7 +115,15 @@ fn route(method: &str, path: &str, state: &AdminState) -> (&'static str, &'stati
         ),
         "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned()),
         "/readyz" => {
-            if state.is_ready() {
+            if state.is_degraded() {
+                (
+                    "503 Service Unavailable",
+                    "text/plain; charset=utf-8",
+                    "degraded: durability lost (WAL or checkpoint writes failing); \
+                     serving continues but a crash would lose acknowledged input\n"
+                        .to_owned(),
+                )
+            } else if state.is_ready() {
                 ("200 OK", "text/plain; charset=utf-8", "ready\n".to_owned())
             } else {
                 (
@@ -296,6 +322,27 @@ mod tests {
         std::thread::sleep(Duration::from_millis(200));
         let (code, _) = http_get(&addr, "/readyz").expect("done daemon");
         assert_eq!(code, 200, "a completed run is never stalled");
+    }
+
+    #[test]
+    fn degraded_durability_flips_readiness() {
+        let state = state_with_deadline(60_000);
+        let addr = spawn("tcp:127.0.0.1:0", state.clone()).expect("bind");
+
+        let (code, _) = http_get(&addr, "/readyz").expect("healthy");
+        assert_eq!(code, 200);
+
+        state.set_degraded(true);
+        let (code, body) = http_get(&addr, "/readyz").expect("degraded");
+        assert_eq!(code, 503, "degraded durability is not ready");
+        assert!(body.contains("degraded"), "body explains: {body}");
+        // Liveness is unaffected: the daemon is up, just lossy.
+        let (code, _) = http_get(&addr, "/healthz").expect("alive");
+        assert_eq!(code, 200);
+
+        state.set_degraded(false);
+        let (code, _) = http_get(&addr, "/readyz").expect("restored");
+        assert_eq!(code, 200, "a successful checkpoint restores readiness");
     }
 
     #[cfg(unix)]

@@ -1,6 +1,15 @@
 //! Minimal flag parsing (no third-party dependency).
 
+use cne_core::wal::SyncPolicy;
 use cne_simdata::dataset::TaskKind;
+
+/// Default cap on one wire line (64 KiB) — far above any legitimate
+/// request line, far below what a hostile client would need to exhaust
+/// memory.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Default `--max-bad-lines` error budget.
+pub const DEFAULT_MAX_BAD_LINES: u64 = 100;
 
 /// Parsed command-line options shared by all subcommands.
 #[derive(Debug, Clone)]
@@ -63,6 +72,16 @@ pub struct Options {
     /// `serve`: resume from a checkpoint file instead of starting
     /// fresh.
     pub resume: Option<String>,
+    /// `serve`: append every arrival to a write-ahead log in this
+    /// directory, and replay its tail on `--resume`.
+    pub wal: Option<String>,
+    /// `serve`: WAL fsync policy (`every` | `slot` | `off`).
+    pub wal_sync: SyncPolicy,
+    /// `serve`: reject wire lines longer than this many bytes.
+    pub max_line_bytes: usize,
+    /// `serve`: exit with an error after this many rejected wire
+    /// lines (malformed lines are counted and skipped, not fatal).
+    pub max_bad_lines: u64,
     /// `serve`: stop after slot K is served — write the checkpoint and
     /// exit cleanly (for drills and CI).
     pub halt_at_slot: Option<usize>,
@@ -122,6 +141,10 @@ impl Default for Options {
             checkpoint: None,
             checkpoint_every: None,
             resume: None,
+            wal: None,
+            wal_sync: SyncPolicy::Slot,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            max_bad_lines: DEFAULT_MAX_BAD_LINES,
             halt_at_slot: None,
             slot_requests: None,
             slot_ms: None,
@@ -237,6 +260,24 @@ impl Options {
                     opts.checkpoint_every = Some(n);
                 }
                 "--resume" => opts.resume = Some(value("--resume")?),
+                "--wal" => opts.wal = Some(value("--wal")?),
+                "--wal-sync" => opts.wal_sync = value("--wal-sync")?.parse()?,
+                "--max-line-bytes" => {
+                    let n: usize = value("--max-line-bytes")?
+                        .parse()
+                        .map_err(|_| "max-line-bytes must be a positive integer".to_owned())?;
+                    if n < 64 {
+                        return Err("max-line-bytes must be at least 64 (a minimal \
+                                    request line must fit)"
+                            .to_owned());
+                    }
+                    opts.max_line_bytes = n;
+                }
+                "--max-bad-lines" => {
+                    opts.max_bad_lines = value("--max-bad-lines")?
+                        .parse()
+                        .map_err(|_| "max-bad-lines must be a non-negative integer".to_owned())?;
+                }
                 "--halt-at-slot" => {
                     let k: usize = value("--halt-at-slot")?
                         .parse()
@@ -486,6 +527,40 @@ mod tests {
         assert!(parse(&["--slot-requests", "0"]).is_err());
         assert!(parse(&["--slot-ms", "0"]).is_err());
         assert!(parse(&["--seed", "minus-one"]).is_err());
+    }
+
+    #[test]
+    fn wal_and_ingest_hardening_flags() {
+        let o = parse(&[
+            "--wal",
+            "state.wal",
+            "--wal-sync",
+            "every",
+            "--max-line-bytes",
+            "4096",
+            "--max-bad-lines",
+            "0",
+        ])
+        .expect("valid");
+        assert_eq!(o.wal.as_deref(), Some("state.wal"));
+        assert_eq!(o.wal_sync, SyncPolicy::Every);
+        assert_eq!(o.max_line_bytes, 4096);
+        assert_eq!(o.max_bad_lines, 0);
+
+        let d = parse(&[]).expect("defaults");
+        assert!(d.wal.is_none());
+        assert_eq!(d.wal_sync, SyncPolicy::Slot);
+        assert_eq!(d.max_line_bytes, DEFAULT_MAX_LINE_BYTES);
+        assert_eq!(d.max_bad_lines, DEFAULT_MAX_BAD_LINES);
+
+        assert!(parse(&["--wal-sync", "sometimes"]).is_err());
+        assert!(
+            parse(&["--max-line-bytes", "12"]).is_err(),
+            "below the floor"
+        );
+        assert!(parse(&["--max-line-bytes", "big"]).is_err());
+        assert!(parse(&["--max-bad-lines", "-1"]).is_err());
+        assert!(parse(&["--wal"]).is_err());
     }
 
     #[test]

@@ -89,7 +89,20 @@ FLAGS:
   --checkpoint FILE     serve: write controller+ledger+dual state here
   --checkpoint-every N  serve: rewrite the checkpoint every N slots
   --resume FILE         serve: continue bit-identically from a
-                        checkpoint written by an earlier serve
+                        checkpoint written by an earlier serve (with
+                        --wal, also replays the WAL tail past it)
+  --wal DIR             serve: append every arrival to a write-ahead
+                        log in DIR before applying it, so --resume
+                        recovers bit-identically even from SIGKILL
+  --wal-sync POLICY     serve: WAL fsync policy — every (each frame),
+                        slot (each slot close; default), off (kernel
+                        writeback only; still SIGKILL-safe)
+  --max-line-bytes N    serve: reject wire lines longer than N bytes
+                        (default 65536; hostile input is discarded
+                        without buffering it)
+  --max-bad-lines N     serve: exit with an error after N rejected
+                        wire lines (default 100; each is counted,
+                        logged, and skipped — not fatal on its own)
   --halt-at-slot K      serve: checkpoint and exit once K slots are
                         served (planned handoffs, resume drills, CI)
   --admin ADDR          serve: expose /metrics, /healthz and /readyz on
@@ -116,7 +129,10 @@ EXAMPLES:
   carbon-edge gen-arrivals --edges 4 --slots 40 | carbon-edge serve \\
       --quick --edges 4 --telemetry served.jsonl
   carbon-edge serve --quick --checkpoint state.ckpt --checkpoint-every 10
-  carbon-edge serve --quick --resume state.ckpt --telemetry served.jsonl
+  carbon-edge serve --quick --checkpoint state.ckpt --checkpoint-every 10 \\
+      --wal state.wal --wal-sync slot
+  carbon-edge serve --quick --resume state.ckpt --wal state.wal \\
+      --telemetry served.jsonl
   carbon-edge serve --quick --admin tcp:127.0.0.1:9100 &
   carbon-edge watch --admin tcp:127.0.0.1:9100 --interval-ms 500
   carbon-edge report trace.jsonl --strict

@@ -10,18 +10,28 @@
 //! replay of the same arrivals. Between slots the daemon can write a
 //! versioned checkpoint (`--checkpoint`/`--checkpoint-every`), halt at
 //! a planned slot (`--halt-at-slot`), or catch SIGINT/SIGTERM — and a
-//! later `--resume` continues the run bit-identically. The wire
-//! protocol and checkpoint format are specified in `SERVING.md`.
+//! later `--resume` continues the run bit-identically. With `--wal DIR`
+//! every arrival is also appended to a durable write-ahead log before
+//! it is applied, so `--resume` recovers bit-identically even from a
+//! SIGKILL or power loss: last checkpoint + WAL-tail replay. Ingest is
+//! hardened against hostile clients (`--max-line-bytes`,
+//! `--max-bad-lines`), transient transport/storage failures retry with
+//! backoff, and persistent storage failures flip the daemon into an
+//! explicit degraded-durability mode (503 on `/readyz`) instead of
+//! killing it. The wire protocol, checkpoint format, and WAL format
+//! are specified in `SERVING.md`.
 
-use std::io::{BufRead as _, Write as _};
+use std::io::Write as _;
 use std::path::Path;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cne_core::combos::Combo;
+use cne_core::wal::{self, Wal, WalOptions, WalRecord};
 use cne_core::{Checkpoint, ServeOptions, ServeSession};
 use cne_edgesim::ServeMode;
+use cne_faults::WallRetry;
 use cne_simdata::{ArrivalGen, ArrivalProcess};
 use cne_util::expo;
 use cne_util::json::{self, Json};
@@ -154,26 +164,176 @@ fn parse_line(line: &str, num_edges: usize) -> Result<WireLine, String> {
     Ok(WireLine::Request { edge, count })
 }
 
-/// Spawns the transport reader: a thread that feeds request lines into
-/// a channel, so the serve loop can poll deadlines and signals while
-/// the transport blocks. Dropping the sender signals EOF.
-fn spawn_reader(listen: Option<&str>) -> Result<mpsc::Receiver<std::io::Result<String>>, String> {
-    let (tx, rx) = mpsc::channel();
-    fn pump<R: std::io::Read>(source: R, tx: &mpsc::Sender<std::io::Result<String>>) {
-        let reader = std::io::BufReader::new(source);
-        for line in reader.lines() {
-            if tx.send(line).is_err() {
-                return;
-            }
+/// What the transport reader thread hands the serve loop. I/O never
+/// crosses the channel raw: by the time a message arrives, oversized
+/// and non-UTF-8 input has been classified and consumed, and transport
+/// errors have already been retried.
+enum ReaderMsg {
+    /// One complete wire line (newline stripped), within the length
+    /// cap and valid UTF-8.
+    Line(String),
+    /// A line the reader rejected without parsing — oversized (the
+    /// rest of it was discarded up to the next newline) or non-UTF-8.
+    /// Counts against the `--max-bad-lines` budget.
+    Bad {
+        /// Human-readable cause, for the structured stderr event.
+        reason: String,
+    },
+    /// The transport died and stayed dead through the retry budget.
+    Fatal(String),
+}
+
+/// One bounded read off a buffered transport: at most `max` bytes of
+/// line, hostile input discarded, transient errors retried.
+enum RawLine {
+    /// A complete line (without the newline). May be empty.
+    Line(Vec<u8>),
+    /// A line that exceeded `max`; `discarded` bytes were consumed and
+    /// thrown away up to (and including) the next newline or EOF.
+    TooLong {
+        /// Total bytes the oversized line held.
+        discarded: usize,
+    },
+    /// End of input; no partial line was pending.
+    Eof,
+}
+
+/// Reads one newline-terminated line of at most `max` bytes without
+/// ever buffering more than `max` bytes of it, retrying transient read
+/// errors with `retry`. A final line without a trailing newline counts
+/// as a line (matching `BufRead::lines`).
+fn read_line_bounded<R: std::io::BufRead>(
+    reader: &mut R,
+    max: usize,
+    retry: &WallRetry,
+) -> Result<RawLine, String> {
+    let mut line: Vec<u8> = Vec::new();
+    // Bytes of the current line seen so far; once this passes `max`,
+    // content is counted but no longer stored, so a hostile client can
+    // never make the daemon hold more than `max` bytes of one line.
+    let mut total: usize = 0;
+    loop {
+        let chunk = retry.run(
+            || match reader.fill_buf() {
+                Ok(buf) => Ok(buf.to_vec()),
+                Err(e) => Err(format!("transport read failed: {e}")),
+            },
+            |attempt, err, delay| {
+                eprintln!(
+                    "{{\"event\":\"transport_retry\",\"attempt\":{attempt},\
+                     \"delay_ms\":{},\"error\":{}}}",
+                    delay.as_millis(),
+                    Json::Str(err.to_owned()).encode()
+                );
+            },
+        )?;
+        if chunk.is_empty() {
+            // EOF: a pending partial line still counts (as with
+            // `BufRead::lines`), and an oversized one is still bad.
+            return Ok(if total == 0 {
+                RawLine::Eof
+            } else if total > max {
+                RawLine::TooLong { discarded: total }
+            } else {
+                RawLine::Line(line)
+            });
+        }
+        let (taken, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos + 1, true),
+            None => (chunk.len(), false),
+        };
+        let content = taken - usize::from(done);
+        total = total.saturating_add(content);
+        if total <= max {
+            line.extend_from_slice(&chunk[..content]);
+        }
+        reader.consume(taken);
+        if done {
+            return Ok(if total > max {
+                RawLine::TooLong { discarded: total }
+            } else {
+                RawLine::Line(line)
+            });
         }
     }
+}
+
+/// Drains one transport connection into the channel, classifying each
+/// line. Returns when the input ends, the receiver hangs up, or the
+/// transport fails for good (after sending [`ReaderMsg::Fatal`]).
+fn pump<R: std::io::Read>(source: R, tx: &mpsc::Sender<ReaderMsg>, max_line: usize) {
+    let mut reader = std::io::BufReader::new(source);
+    let retry = WallRetry::daemon_default();
+    loop {
+        let msg = match read_line_bounded(&mut reader, max_line, &retry) {
+            Ok(RawLine::Eof) => return,
+            Ok(RawLine::Line(bytes)) => match String::from_utf8(bytes) {
+                Ok(line) => ReaderMsg::Line(line),
+                Err(e) => ReaderMsg::Bad {
+                    reason: format!("non-UTF-8 line ({} bytes)", e.as_bytes().len()),
+                },
+            },
+            Ok(RawLine::TooLong { discarded }) => ReaderMsg::Bad {
+                reason: format!(
+                    "line exceeds --max-line-bytes {max_line} ({discarded} bytes discarded)"
+                ),
+            },
+            Err(e) => {
+                let _ = tx.send(ReaderMsg::Fatal(e));
+                return;
+            }
+        };
+        if tx.send(msg).is_err() {
+            return;
+        }
+    }
+}
+
+/// Accepts one connection, retrying transient `accept()` failures with
+/// backoff. Returns `None` (after sending [`ReaderMsg::Fatal`]) when
+/// the listener fails for good.
+fn accept_with_retry<L, S>(
+    listener: &L,
+    accept: impl Fn(&L) -> std::io::Result<S>,
+    tx: &mpsc::Sender<ReaderMsg>,
+) -> Option<S> {
+    let retry = WallRetry::daemon_default();
+    match retry.run(
+        || accept(listener).map_err(|e| format!("accept failed: {e}")),
+        |attempt, err, delay| {
+            eprintln!(
+                "{{\"event\":\"transport_retry\",\"attempt\":{attempt},\
+                 \"delay_ms\":{},\"error\":{}}}",
+                delay.as_millis(),
+                Json::Str(err.to_owned()).encode()
+            );
+        },
+    ) {
+        Ok(stream) => Some(stream),
+        Err(e) => {
+            let _ = tx.send(ReaderMsg::Fatal(e));
+            None
+        }
+    }
+}
+
+/// Spawns the transport reader: a thread that feeds classified request
+/// lines into a channel, so the serve loop can poll deadlines and
+/// signals while the transport blocks. Dropping the sender signals EOF.
+fn spawn_reader(
+    listen: Option<&str>,
+    max_line: usize,
+) -> Result<mpsc::Receiver<ReaderMsg>, String> {
+    let (tx, rx) = mpsc::channel();
     match listen {
         None => {
-            std::thread::spawn(move || pump(std::io::stdin(), &tx));
+            std::thread::spawn(move || pump(std::io::stdin(), &tx, max_line));
         }
         #[cfg(unix)]
-        Some(addr) if addr.strip_prefix("unix:").is_some() => {
-            let path = addr.strip_prefix("unix:").expect("checked").to_owned();
+        Some(addr) if addr.starts_with("unix:") => {
+            let Some(path) = addr.strip_prefix("unix:").map(str::to_owned) else {
+                return Err(format!("malformed transport address '{addr}'"));
+            };
             // Stale socket files from a previous run would make bind
             // fail; the daemon owns the path.
             let _ = std::fs::remove_file(&path);
@@ -181,20 +341,26 @@ fn spawn_reader(listen: Option<&str>) -> Result<mpsc::Receiver<std::io::Result<S
                 .map_err(|e| format!("cannot listen on unix:{path}: {e}"))?;
             eprintln!("serve        : listening on unix:{path}");
             std::thread::spawn(move || {
-                if let Ok((stream, _)) = listener.accept() {
-                    pump(stream, &tx);
+                if let Some(stream) =
+                    accept_with_retry(&listener, |l| l.accept().map(|(s, _)| s), &tx)
+                {
+                    pump(stream, &tx, max_line);
                 }
                 let _ = std::fs::remove_file(&path);
             });
         }
-        Some(addr) if addr.strip_prefix("tcp:").is_some() => {
-            let host = addr.strip_prefix("tcp:").expect("checked").to_owned();
+        Some(addr) if addr.starts_with("tcp:") => {
+            let Some(host) = addr.strip_prefix("tcp:").map(str::to_owned) else {
+                return Err(format!("malformed transport address '{addr}'"));
+            };
             let listener = std::net::TcpListener::bind(&host)
                 .map_err(|e| format!("cannot listen on tcp:{host}: {e}"))?;
             eprintln!("serve        : listening on tcp:{host}");
             std::thread::spawn(move || {
-                if let Ok((stream, _)) = listener.accept() {
-                    pump(stream, &tx);
+                if let Some(stream) =
+                    accept_with_retry(&listener, |l| l.accept().map(|(s, _)| s), &tx)
+                {
+                    pump(stream, &tx, max_line);
                 }
             });
         }
@@ -207,16 +373,160 @@ fn spawn_reader(listen: Option<&str>) -> Result<mpsc::Receiver<std::io::Result<S
     Ok(rx)
 }
 
-/// Writes the session's checkpoint to `path` (atomically, via a
-/// sibling temp file) and prints a confirmation line.
-fn write_checkpoint(session: &ServeSession<'_>, path: &str) -> Result<(), String> {
-    let ckpt = session.checkpoint()?;
-    ckpt.save(Path::new(path))?;
-    println!(
-        "checkpoint   : slot {} written to {path}",
-        session.next_slot()
-    );
-    Ok(())
+/// The daemon's durability manager: the optional WAL handle, the
+/// retry schedule shared by WAL and checkpoint writes, and the
+/// degraded-durability state machine.
+///
+/// The state machine has two states. **Normal**: every arrival and
+/// slot close is appended to the WAL before it is applied, and
+/// checkpoints garbage-collect the log. **Degraded** (entered when a
+/// WAL or checkpoint write keeps failing through the retry budget):
+/// serving continues — availability over durability — but WAL appends
+/// stop entirely, because a log with a gap would replay silently
+/// wrong, which is strictly worse than a log that honestly ends.
+/// `/readyz` reads 503 for the duration. The only way back to normal
+/// is a fully durable checkpoint: it supersedes everything the log
+/// missed, the WAL restarts fresh from its marker, and `/readyz`
+/// recovers.
+struct Durability {
+    wal: Option<Wal>,
+    retry: WallRetry,
+    degraded: bool,
+}
+
+impl Durability {
+    fn new(wal: Option<Wal>) -> Self {
+        Self {
+            wal,
+            retry: WallRetry::daemon_default(),
+            degraded: false,
+        }
+    }
+
+    /// Appends one record ahead of applying it, retrying transient
+    /// failures; a persistent failure flips the daemon to degraded.
+    /// No-op without `--wal` or while degraded (see the struct docs).
+    fn append(&mut self, record: &WalRecord, ops: &mut DaemonOps) {
+        if self.degraded {
+            return;
+        }
+        let Some(wal) = self.wal.as_mut() else { return };
+        let retry = self.retry;
+        let result = retry.run(
+            || wal.append(record),
+            |attempt, err, delay| {
+                ops.record_wal_retry();
+                eprintln!(
+                    "{{\"event\":\"wal_retry\",\"attempt\":{attempt},\"delay_ms\":{},\
+                     \"error\":{}}}",
+                    delay.as_millis(),
+                    Json::Str(err.to_owned()).encode()
+                );
+            },
+        );
+        if let Err(e) = result {
+            self.degrade(ops, &format!("WAL append failed: {e}"));
+        }
+    }
+
+    /// Writes the session's checkpoint durably (with retries) and
+    /// prints the confirmation line. The caller decides whether a
+    /// persistent failure degrades (periodic checkpoints) or aborts
+    /// (halt and shutdown, where the operator asked for the state).
+    fn write_checkpoint(
+        &mut self,
+        session: &ServeSession<'_>,
+        path: &str,
+        ops: &mut DaemonOps,
+    ) -> Result<(), String> {
+        let ckpt = session.checkpoint()?;
+        let retry = self.retry;
+        retry.run(
+            || ckpt.save(Path::new(path)),
+            |attempt, err, delay| {
+                ops.record_checkpoint_retry();
+                eprintln!(
+                    "{{\"event\":\"checkpoint_retry\",\"attempt\":{attempt},\
+                     \"delay_ms\":{},\"error\":{}}}",
+                    delay.as_millis(),
+                    Json::Str(err.to_owned()).encode()
+                );
+            },
+        )?;
+        println!(
+            "checkpoint   : slot {} written to {path}",
+            session.next_slot()
+        );
+        Ok(())
+    }
+
+    /// After a durable checkpoint at a slot boundary (the open
+    /// accumulator is empty, so every WAL record is covered):
+    /// garbage-collects the log and, if degraded, restores full
+    /// durability — the checkpoint supersedes whatever the log missed.
+    ///
+    /// Only call at a slot boundary: GC deletes every record before
+    /// the marker, which must not include open-slot arrivals.
+    fn checkpoint_installed(&mut self, slot: u64, ops: &mut DaemonOps) {
+        let Some(wal) = self.wal.as_mut() else {
+            if self.degraded {
+                self.restore(ops);
+            }
+            return;
+        };
+        let retry = self.retry;
+        let result = retry.run(
+            || wal.install_checkpoint(slot),
+            |attempt, err, delay| {
+                ops.record_wal_retry();
+                eprintln!(
+                    "{{\"event\":\"wal_retry\",\"attempt\":{attempt},\"delay_ms\":{},\
+                     \"error\":{}}}",
+                    delay.as_millis(),
+                    Json::Str(err.to_owned()).encode()
+                );
+            },
+        );
+        match result {
+            Ok(()) => {
+                if self.degraded {
+                    self.restore(ops);
+                }
+            }
+            Err(e) => self.degrade(ops, &format!("WAL checkpoint marker failed: {e}")),
+        }
+    }
+
+    /// Best-effort final fsync on clean exits, so the open slot's
+    /// arrivals survive even under `--wal-sync off`/`slot`.
+    fn shutdown_sync(&mut self) {
+        if let Some(wal) = self.wal.as_mut() {
+            if let Err(e) = wal.sync() {
+                eprintln!(
+                    "{{\"event\":\"wal_retry\",\"attempt\":0,\"delay_ms\":0,\"error\":{}}}",
+                    Json::Str(format!("final sync failed: {e}")).encode()
+                );
+            }
+        }
+    }
+
+    fn degrade(&mut self, ops: &mut DaemonOps, why: &str) {
+        if self.degraded {
+            return;
+        }
+        self.degraded = true;
+        ops.set_degraded(true);
+        eprintln!(
+            "{{\"event\":\"durability_degraded\",\"error\":{}}}",
+            Json::Str(why.to_owned()).encode()
+        );
+    }
+
+    fn restore(&mut self, ops: &mut DaemonOps) {
+        self.degraded = false;
+        ops.set_degraded(false);
+        eprintln!("{{\"event\":\"durability_restored\"}}");
+    }
 }
 
 /// The daemon's operational side channel: a wall-clock [`Recorder`]
@@ -346,6 +656,36 @@ impl DaemonOps {
             .record(wall_us);
     }
 
+    /// Tallies one rejected wire line and emits the structured stderr
+    /// event operators alert on. The budget check stays with the
+    /// caller.
+    fn record_bad_line(&mut self, reason: &str, total: u64, budget: u64) {
+        self.rec.incr("serve.bad_lines", 1);
+        eprintln!(
+            "{{\"event\":\"bad_line\",\"total\":{total},\"budget\":{budget},\"reason\":{}}}",
+            Json::Str(reason.to_owned()).encode()
+        );
+    }
+
+    /// Tallies one WAL append/marker retry.
+    fn record_wal_retry(&mut self) {
+        self.rec.incr("serve.wal_retries", 1);
+    }
+
+    /// Tallies one checkpoint-write retry.
+    fn record_checkpoint_retry(&mut self) {
+        self.rec.incr("serve.checkpoint_retries", 1);
+    }
+
+    /// Publishes the degraded-durability state to the ops gauge and
+    /// the admin endpoint (`/readyz` flips 503 while set).
+    fn set_degraded(&mut self, on: bool) {
+        self.rec.gauge("serve.degraded", if on { 1.0 } else { 0.0 });
+        if let Some(state) = &self.admin {
+            state.set_degraded(on);
+        }
+    }
+
     /// Renders the exposition page — the deterministic trace (when
     /// carried) plus the ops recorder — and hands it to the admin
     /// endpoint. Read-only with respect to the session.
@@ -440,6 +780,13 @@ fn startup_banner(
         ("slot_triggers".to_owned(), Json::Arr(triggers)),
         ("telemetry".to_owned(), opt_str(opts.telemetry.as_deref())),
         ("checkpoint".to_owned(), opt_str(opts.checkpoint.as_deref())),
+        ("wal".to_owned(), opt_str(opts.wal.as_deref())),
+        ("wal_sync".to_owned(), Json::Str(opts.wal_sync.to_string())),
+        (
+            "max_line_bytes".to_owned(),
+            Json::UInt(opts.max_line_bytes as u64),
+        ),
+        ("max_bad_lines".to_owned(), Json::UInt(opts.max_bad_lines)),
     ]);
     eprintln!("{}", banner.encode());
 }
@@ -483,18 +830,79 @@ pub fn serve(opts: &Options) -> Result<(), String> {
 
     let mut run_seed = opts.seed;
     let mut session = if let Some(path) = &opts.resume {
-        let ckpt = Checkpoint::load(Path::new(path))?;
-        run_seed = ckpt.seed;
-        let session = ServeSession::resume(config, &zoo, combo, &ckpt, &serve_opts)?;
-        println!(
-            "resume       : slot {} of {} from {path}",
-            session.next_slot(),
-            session.horizon()
-        );
-        session
+        if Path::new(path).exists() || opts.wal.is_none() {
+            let ckpt = Checkpoint::load(Path::new(path))?;
+            run_seed = ckpt.seed;
+            let session = ServeSession::resume(config, &zoo, combo, &ckpt, &serve_opts)?;
+            println!(
+                "resume       : slot {} of {} from {path}",
+                session.next_slot(),
+                session.horizon()
+            );
+            session
+        } else {
+            // The checkpoint never made it to disk (e.g. the daemon
+            // died before the first --checkpoint-every boundary), but
+            // the WAL holds every arrival: recover from slot 0.
+            eprintln!(
+                "resume       : checkpoint {path} is missing — recovering from \
+                 the WAL alone (slot 0, seed {})",
+                opts.seed
+            );
+            ServeSession::new(config, &zoo, opts.seed, combo, &serve_opts)
+        }
     } else {
         ServeSession::new(config, &zoo, opts.seed, combo, &serve_opts)
     };
+
+    // --- durability: open the WAL and replay its tail ---------------
+    let mut wal_seed_open: Option<(Vec<u64>, u64)> = None;
+    let wal_handle = if let Some(dir) = &opts.wal {
+        let dir_path = Path::new(dir);
+        if opts.resume.is_none() && wal::dir_has_segments(dir_path) {
+            return Err(format!(
+                "--wal {dir}: the directory already holds WAL segments from a \
+                 previous run; pass --resume to continue it, or remove the \
+                 directory to genuinely start fresh"
+            ));
+        }
+        let wal_opts = WalOptions {
+            sync: opts.wal_sync,
+            ..WalOptions::default()
+        };
+        let (wal, recovery) = Wal::open(dir_path, wal_opts)?;
+        if let Some(torn) = &recovery.torn {
+            eprintln!(
+                "{{\"event\":\"wal_torn_tail\",\"segment\":{},\"offset\":{},\
+                 \"reason\":{}}}",
+                Json::Str(torn.segment.display().to_string()).encode(),
+                torn.offset,
+                Json::Str(torn.reason.clone()).encode()
+            );
+        }
+        if opts.resume.is_some() {
+            let tail = wal::replay(
+                &recovery.records,
+                session.num_edges(),
+                session.next_slot() as u64,
+            )?;
+            if !tail.is_empty() {
+                println!(
+                    "wal          : replayed {} closed slot(s) and {} open-slot \
+                     batch(es) from {dir}",
+                    tail.closed.len(),
+                    tail.open_lines
+                );
+            }
+            session.apply_wal_tail(&tail)?;
+            wal_seed_open = Some((tail.open, tail.open_lines));
+        }
+        Some(wal)
+    } else {
+        None
+    };
+    let mut dur = Durability::new(wal_handle);
+
     if let Some(k) = opts.halt_at_slot {
         if k <= session.next_slot() || k >= session.horizon() {
             return Err(format!(
@@ -529,7 +937,7 @@ pub fn serve(opts: &Options) -> Result<(), String> {
     // Publish an initial page so `/metrics` is never empty, even
     // before the first slot closes.
     ops.publish(&session);
-    let rx = spawn_reader(opts.listen.as_deref())?;
+    let rx = spawn_reader(opts.listen.as_deref(), opts.max_line_bytes)?;
     println!(
         "serve        : policy {} seed {run_seed}, slot {} of {}, {} edges",
         opts.policy,
@@ -541,6 +949,13 @@ pub fn serve(opts: &Options) -> Result<(), String> {
     let num_edges = session.num_edges();
     let mut open: Vec<u64> = vec![0; num_edges];
     let mut requests_in_slot: usize = 0;
+    if let Some((recovered, lines)) = wal_seed_open.take() {
+        // The WAL tail ended mid-slot: pre-seed the accumulator with
+        // the arrivals already acknowledged for the open slot.
+        open.copy_from_slice(&recovered);
+        requests_in_slot = lines as usize;
+    }
+    let mut bad_lines: u64 = 0;
     let mut deadline = opts
         .slot_ms
         .map(|ms| Instant::now() + Duration::from_millis(ms));
@@ -549,13 +964,14 @@ pub fn serve(opts: &Options) -> Result<(), String> {
     while !session.is_done() {
         if signals::triggered() {
             if let Some(path) = &opts.checkpoint {
-                write_checkpoint(&session, path)?;
+                dur.write_checkpoint(&session, path, &mut ops)?;
             }
+            dur.shutdown_sync();
             ops.finish(opts.telemetry.as_deref())?;
             eprintln!(
                 "serve        : shutdown signal at slot {} — exiting cleanly{}",
                 session.next_slot(),
-                if opts.checkpoint.is_some() {
+                if opts.checkpoint.is_some() || opts.wal.is_some() {
                     ""
                 } else {
                     " (no --checkpoint path; state discarded)"
@@ -576,10 +992,11 @@ pub fn serve(opts: &Options) -> Result<(), String> {
                 &mut deadline,
                 opts,
                 &mut ops,
+                &mut dur,
             )?;
             if let Some(k) = opts.halt_at_slot {
                 if session.next_slot() == k {
-                    return halt(&session, opts, &ops);
+                    return halt(&session, opts, &mut ops, &mut dur);
                 }
             }
             continue;
@@ -588,9 +1005,8 @@ pub fn serve(opts: &Options) -> Result<(), String> {
             Some(d) => d.saturating_duration_since(Instant::now()).min(IDLE_POLL),
             None => IDLE_POLL,
         };
-        let line = match rx.recv_timeout(wait) {
-            Ok(Ok(line)) => line,
-            Ok(Err(e)) => return Err(format!("transport error: {e}")),
+        let msg = match rx.recv_timeout(wait) {
+            Ok(msg) => msg,
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 // Wall-clock slot close (live mode only).
                 if deadline.is_some_and(|d| Instant::now() >= d) {
@@ -601,10 +1017,11 @@ pub fn serve(opts: &Options) -> Result<(), String> {
                         &mut deadline,
                         opts,
                         &mut ops,
+                        &mut dur,
                     )?;
                     if let Some(k) = opts.halt_at_slot {
                         if session.next_slot() == k {
-                            return halt(&session, opts, &ops);
+                            return halt(&session, opts, &mut ops, &mut dur);
                         }
                     }
                 }
@@ -621,11 +1038,71 @@ pub fn serve(opts: &Options) -> Result<(), String> {
                 continue;
             }
         };
+        let line = match msg {
+            ReaderMsg::Line(line) => line,
+            ReaderMsg::Bad { reason } => {
+                bad_lines += 1;
+                ops.record_bad_line(&reason, bad_lines, opts.max_bad_lines);
+                if bad_lines > opts.max_bad_lines {
+                    return fail_serve(
+                        &session,
+                        opts,
+                        &mut ops,
+                        &mut dur,
+                        format!(
+                            "too many bad wire lines ({bad_lines} rejected, \
+                             --max-bad-lines {})",
+                            opts.max_bad_lines
+                        ),
+                    );
+                }
+                continue;
+            }
+            ReaderMsg::Fatal(e) => {
+                return fail_serve(
+                    &session,
+                    opts,
+                    &mut ops,
+                    &mut dur,
+                    format!("transport error: {e}"),
+                );
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
-        match parse_line(line.trim(), num_edges)? {
+        let parsed = match parse_line(line.trim(), num_edges) {
+            Ok(parsed) => parsed,
+            Err(reason) => {
+                bad_lines += 1;
+                ops.record_bad_line(&reason, bad_lines, opts.max_bad_lines);
+                if bad_lines > opts.max_bad_lines {
+                    return fail_serve(
+                        &session,
+                        opts,
+                        &mut ops,
+                        &mut dur,
+                        format!(
+                            "too many bad wire lines ({bad_lines} rejected, \
+                             --max-bad-lines {})",
+                            opts.max_bad_lines
+                        ),
+                    );
+                }
+                continue;
+            }
+        };
+        match parsed {
             WireLine::Request { edge, count } => {
+                // Write-ahead: the arrival is durable (per the fsync
+                // policy) before the accumulator sees it.
+                dur.append(
+                    &WalRecord::Arrivals {
+                        slot: session.next_slot() as u64,
+                        pairs: vec![(edge as u64, count)],
+                    },
+                    &mut ops,
+                );
                 open[edge] += count;
                 requests_in_slot += 1;
                 if opts.slot_requests.is_some_and(|n| requests_in_slot >= n) {
@@ -636,6 +1113,7 @@ pub fn serve(opts: &Options) -> Result<(), String> {
                         &mut deadline,
                         opts,
                         &mut ops,
+                        &mut dur,
                     )?;
                 }
             }
@@ -647,15 +1125,17 @@ pub fn serve(opts: &Options) -> Result<(), String> {
                     &mut deadline,
                     opts,
                     &mut ops,
+                    &mut dur,
                 )?;
             }
         }
         if let Some(k) = opts.halt_at_slot {
             if session.next_slot() == k {
-                return halt(&session, opts, &ops);
+                return halt(&session, opts, &mut ops, &mut dur);
             }
         }
     }
+    dur.shutdown_sync();
 
     let horizon = session.horizon();
     ops.finish(opts.telemetry.as_deref())?;
@@ -682,7 +1162,11 @@ pub fn serve(opts: &Options) -> Result<(), String> {
 }
 
 /// Ingests the open slot into the session, resets the accumulator and
-/// the wall-clock deadline, and honors `--checkpoint-every`.
+/// the wall-clock deadline, and honors `--checkpoint-every`. The slot
+/// close is WAL-appended *before* the session serves it, so recovery
+/// replays exactly the slots the live run committed to; a persistent
+/// periodic-checkpoint failure degrades durability instead of killing
+/// the daemon.
 fn close_slot(
     session: &mut ServeSession<'_>,
     open: &mut [u64],
@@ -690,8 +1174,15 @@ fn close_slot(
     deadline: &mut Option<Instant>,
     opts: &Options,
     ops: &mut DaemonOps,
+    dur: &mut Durability,
 ) -> Result<(), String> {
     let requests: u64 = open.iter().sum();
+    dur.append(
+        &WalRecord::SlotClose {
+            slot: session.next_slot() as u64,
+        },
+        ops,
+    );
     let started = Instant::now();
     session.push_slot(open);
     let slot_wall_us = started.elapsed().as_secs_f64() * 1e6;
@@ -703,18 +1194,39 @@ fn close_slot(
     if let (Some(every), Some(path)) = (opts.checkpoint_every, &opts.checkpoint) {
         if session.next_slot() % every == 0 && !session.is_done() {
             let started = Instant::now();
-            write_checkpoint(session, path)?;
-            ops.record_checkpoint(started.elapsed().as_secs_f64() * 1e6);
+            match dur.write_checkpoint(session, path, ops) {
+                Ok(()) => {
+                    ops.record_checkpoint(started.elapsed().as_secs_f64() * 1e6);
+                    // The accumulator was just reset: a slot boundary,
+                    // so the WAL can be garbage-collected.
+                    dur.checkpoint_installed(session.next_slot() as u64, ops);
+                }
+                Err(e) => {
+                    // Availability over durability: keep serving, flip
+                    // /readyz, and let the next boundary try again.
+                    dur.degrade(ops, &format!("checkpoint write failed: {e}"));
+                }
+            }
         }
     }
     ops.after_slot(session, requests, slot_wall_us);
     Ok(())
 }
 
-/// `--halt-at-slot`: write the checkpoint and exit cleanly.
-fn halt(session: &ServeSession<'_>, opts: &Options, ops: &DaemonOps) -> Result<(), String> {
+/// `--halt-at-slot`: write the checkpoint and exit cleanly. Unlike the
+/// periodic path, a checkpoint failure here is fatal — the operator
+/// asked for durable state and there is no later boundary to retry at.
+fn halt(
+    session: &ServeSession<'_>,
+    opts: &Options,
+    ops: &mut DaemonOps,
+    dur: &mut Durability,
+) -> Result<(), String> {
     let path = opts.checkpoint.as_deref().expect("validated at startup");
-    write_checkpoint(session, path)?;
+    dur.write_checkpoint(session, path, ops)?;
+    // halt() runs right after close_slot: a slot boundary, so GC is
+    // safe and the next resume starts from a freshly anchored WAL.
+    dur.checkpoint_installed(session.next_slot() as u64, ops);
     ops.finish(opts.telemetry.as_deref())?;
     println!(
         "halt         : {} slots served, as requested — continue with \
@@ -722,6 +1234,28 @@ fn halt(session: &ServeSession<'_>, opts: &Options, ops: &DaemonOps) -> Result<(
         session.next_slot()
     );
     Ok(())
+}
+
+/// Fatal-exit path for transport death and a blown bad-line budget:
+/// preserve whatever durable state we can (final checkpoint if
+/// configured, WAL fsync, ops sidecar), then surface the error.
+fn fail_serve(
+    session: &ServeSession<'_>,
+    opts: &Options,
+    ops: &mut DaemonOps,
+    dur: &mut Durability,
+    error: String,
+) -> Result<(), String> {
+    if let Some(path) = &opts.checkpoint {
+        if let Err(e) = dur.write_checkpoint(session, path, ops) {
+            eprintln!("serve        : final checkpoint failed: {e}");
+        }
+    }
+    dur.shutdown_sync();
+    if let Err(e) = ops.finish(opts.telemetry.as_deref()) {
+        eprintln!("serve        : ops sidecar failed: {e}");
+    }
+    Err(error)
 }
 
 /// `carbon-edge gen-arrivals`.
@@ -793,6 +1327,173 @@ mod tests {
         assert!(parse_line("{\"edge\": -1}", 4).is_err());
         assert!(parse_line("{\"edge\": 4}", 4).is_err(), "out of range");
         assert!(parse_line("{\"edge\": 1, \"count\": -2}", 4).is_err());
+    }
+
+    #[test]
+    fn adversarial_wire_corpus_is_rejected_or_well_defined() {
+        // Torn / partial JSON — every prefix of a valid line must be
+        // rejected, never panic or mis-parse.
+        let full = "{\"edge\": 3, \"count\": 17}";
+        for cut in 1..full.len() {
+            let prefix = &full[..cut];
+            if prefix == full {
+                continue;
+            }
+            assert!(
+                parse_line(prefix, 8).is_err(),
+                "torn prefix must not parse: {prefix:?}"
+            );
+        }
+
+        // Duplicate keys: the first occurrence wins (the hand-rolled
+        // parser keeps both; lookup is first-match). Pinned so the
+        // behavior is deliberate, not accidental.
+        match parse_line("{\"edge\": 1, \"edge\": 7}", 8).expect("first edge wins") {
+            WireLine::Request { edge, count } => assert_eq!((edge, count), (1, 1)),
+            WireLine::SlotEnd => panic!("not a slot end"),
+        }
+        match parse_line("{\"edge\": 0, \"count\": 2, \"count\": 9}", 8).expect("first count wins")
+        {
+            WireLine::Request { edge, count } => assert_eq!((edge, count), (0, 2)),
+            WireLine::SlotEnd => panic!("not a slot end"),
+        }
+
+        // slot_end interleaved with request fields: slot_end takes
+        // precedence regardless of field order.
+        assert!(matches!(
+            parse_line("{\"edge\": 1, \"slot_end\": true}", 8),
+            Ok(WireLine::SlotEnd)
+        ));
+        assert!(matches!(
+            parse_line("{\"slot_end\": true, \"count\": 5}", 8),
+            Ok(WireLine::SlotEnd)
+        ));
+        assert!(parse_line("{\"slot_end\": 1}", 8).is_err());
+        assert!(parse_line("{\"slot_end\": \"true\"}", 8).is_err());
+
+        // Huge, negative, and non-integer edge/count values.
+        assert!(
+            parse_line("{\"edge\": 18446744073709551615}", 8).is_err(),
+            "u64::MAX edge"
+        );
+        assert!(
+            parse_line("{\"edge\": 99999999999999999999999}", 8).is_err(),
+            "overflow"
+        );
+        assert!(parse_line("{\"edge\": -3}", 8).is_err());
+        assert!(parse_line("{\"edge\": 1.5}", 8).is_err());
+        assert!(parse_line("{\"edge\": \"1\"}", 8).is_err());
+        assert!(parse_line("{\"edge\": 1, \"count\": -9223372036854775808}", 8).is_err());
+        assert!(parse_line("{\"edge\": 1, \"count\": 3.7}", 8).is_err());
+        assert!(parse_line("{\"edge\": 1, \"count\": null}", 8).is_err());
+        // u64::MAX count is structurally valid — the accumulator is
+        // u64 and the daemon's per-slot sum may saturate, but parsing
+        // must not reject or wrap it.
+        match parse_line("{\"edge\": 0, \"count\": 18446744073709551615}", 8).expect("valid") {
+            WireLine::Request { count, .. } => assert_eq!(count, u64::MAX),
+            WireLine::SlotEnd => panic!("not a slot end"),
+        }
+
+        // Structural garbage.
+        for line in [
+            "",
+            "   ",
+            "null",
+            "true",
+            "42",
+            "\"edge\"",
+            "[{\"edge\": 1}]",
+            "{\"edge\": {\"nested\": 1}}",
+            "{}",
+            "{\"unrelated\": 1}",
+            "{\"edge\": 1,}",
+            "{'edge': 1}",
+            "{\"edge\" 1}",
+            "\u{0}\u{1}\u{2}",
+        ] {
+            assert!(parse_line(line, 8).is_err(), "must reject {line:?}");
+        }
+    }
+
+    #[test]
+    fn bounded_reader_caps_line_length() {
+        use std::io::Cursor;
+        let retry = WallRetry::daemon_default();
+
+        // Normal lines pass through intact, with the newline stripped.
+        let mut src = Cursor::new(b"short\nlonger line here\n".to_vec());
+        match read_line_bounded(&mut src, 64, &retry).expect("ok") {
+            RawLine::Line(l) => assert_eq!(l, b"short"),
+            _ => panic!("expected a line"),
+        }
+        match read_line_bounded(&mut src, 64, &retry).expect("ok") {
+            RawLine::Line(l) => assert_eq!(l, b"longer line here"),
+            _ => panic!("expected a line"),
+        }
+        assert!(matches!(
+            read_line_bounded(&mut src, 64, &retry),
+            Ok(RawLine::Eof)
+        ));
+
+        // A final line without a trailing newline still counts.
+        let mut src = Cursor::new(b"tail".to_vec());
+        match read_line_bounded(&mut src, 64, &retry).expect("ok") {
+            RawLine::Line(l) => assert_eq!(l, b"tail"),
+            _ => panic!("expected a line"),
+        }
+
+        // An oversized line is discarded (with its true length
+        // reported) and the stream recovers at the next newline.
+        let mut hostile = vec![b'x'; 1000];
+        hostile.push(b'\n');
+        hostile.extend_from_slice(b"{\"edge\":1}\n");
+        let mut src = Cursor::new(hostile);
+        match read_line_bounded(&mut src, 64, &retry).expect("ok") {
+            RawLine::TooLong { discarded } => assert_eq!(discarded, 1000),
+            _ => panic!("expected TooLong"),
+        }
+        match read_line_bounded(&mut src, 64, &retry).expect("ok") {
+            RawLine::Line(l) => assert_eq!(l, b"{\"edge\":1}"),
+            _ => panic!("recovery after hostile line"),
+        }
+
+        // Oversized with no newline before EOF: still classified.
+        let mut src = Cursor::new(vec![b'y'; 500]);
+        match read_line_bounded(&mut src, 64, &retry).expect("ok") {
+            RawLine::TooLong { discarded } => assert_eq!(discarded, 500),
+            _ => panic!("expected TooLong"),
+        }
+
+        // A line of exactly max bytes is allowed; max+1 is not.
+        let mut src = Cursor::new([vec![b'a'; 64], b"\n".to_vec()].concat());
+        assert!(matches!(
+            read_line_bounded(&mut src, 64, &retry),
+            Ok(RawLine::Line(l)) if l.len() == 64
+        ));
+        let mut src = Cursor::new([vec![b'a'; 65], b"\n".to_vec()].concat());
+        assert!(matches!(
+            read_line_bounded(&mut src, 64, &retry),
+            Ok(RawLine::TooLong { discarded: 65 })
+        ));
+    }
+
+    #[test]
+    fn pump_classifies_hostile_input() {
+        use std::io::Cursor;
+        let (tx, rx) = mpsc::channel();
+        let mut stream = b"{\"edge\":0}\n".to_vec();
+        stream.extend_from_slice(&[0xFF, 0xFE, 0x80, b'\n']); // non-UTF-8
+        stream.extend_from_slice(&vec![b'z'; 300]);
+        stream.push(b'\n'); // oversized at max 128
+        stream.extend_from_slice(b"{\"slot_end\":true}\n");
+        pump(Cursor::new(stream), &tx, 128);
+        drop(tx);
+        let msgs: Vec<ReaderMsg> = rx.iter().collect();
+        assert_eq!(msgs.len(), 4);
+        assert!(matches!(&msgs[0], ReaderMsg::Line(l) if l == "{\"edge\":0}"));
+        assert!(matches!(&msgs[1], ReaderMsg::Bad { reason } if reason.contains("non-UTF-8")));
+        assert!(matches!(&msgs[2], ReaderMsg::Bad { reason } if reason.contains("max-line-bytes")));
+        assert!(matches!(&msgs[3], ReaderMsg::Line(l) if l == "{\"slot_end\":true}"));
     }
 
     #[test]

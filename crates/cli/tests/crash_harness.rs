@@ -1,0 +1,469 @@
+//! Chaos harness for the serve daemon: SIGKILL a live daemon at a
+//! randomized point in its input stream (or abort it from an injected
+//! crash point inside a WAL append / checkpoint write), recover with
+//! `--resume` + `--wal`, and require the stitched run's telemetry to be
+//! byte-identical to an uninterrupted reference run — at a different
+//! resume `--edge-threads`, in both serve modes, under the ci_smoke
+//! fault scenario.
+//!
+//! The kill points come from a seeded generator (`0xC0FFEE`; override
+//! with the `CHAOS_SEED` env var). Every assertion message carries the
+//! seed so a CI failure is reproducible locally.
+
+#![cfg(unix)]
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+use cne_core::wal;
+use cne_core::Checkpoint;
+
+const BIN: &str = env!("CARGO_BIN_EXE_carbon-edge");
+const FAULTS: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios/ci_smoke.json");
+const DEFAULT_CHAOS_SEED: u64 = 0xC0FFEE;
+const SLOTS: usize = 12;
+const EDGES: usize = 4;
+const SEED: &str = "7";
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_CHAOS_SEED)
+}
+
+/// splitmix64 — deterministic kill-point generator, no dependencies.
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cne-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// The known arrival schedule: `rows[t][e]` requests for edge `e` in
+/// slot `t`. The upstream source can re-send any suffix of it, which is
+/// exactly what crash recovery needs.
+fn rows() -> Vec<Vec<u64>> {
+    (0..SLOTS)
+        .map(|t| (0..EDGES).map(|e| ((t * 7 + e * 3) % 5) as u64).collect())
+        .collect()
+}
+
+/// The full wire stream: one request line per `(slot, edge)` with
+/// traffic, then an explicit `slot_end` per slot.
+fn full_stream() -> Vec<String> {
+    let rows = rows();
+    let mut lines = Vec::new();
+    for row in &rows {
+        for (e, &c) in row.iter().enumerate() {
+            if c > 0 {
+                lines.push(format!("{{\"edge\":{e},\"count\":{c}}}"));
+            }
+        }
+        lines.push("{\"slot_end\":true}".to_owned());
+    }
+    lines
+}
+
+/// What the source re-sends after a crash: the open slot's missing
+/// arrivals (full row minus what the WAL already acknowledged), then
+/// every later slot verbatim.
+fn remainder_stream(cursor: usize, open: &[u64]) -> Vec<String> {
+    let rows = rows();
+    let mut lines = Vec::new();
+    for (t, row) in rows.iter().enumerate().skip(cursor) {
+        for (e, &want) in row.iter().enumerate() {
+            let have = if t == cursor { open[e] } else { 0 };
+            assert!(
+                have <= want,
+                "WAL acknowledged {have} requests for edge {e} in slot {t}, \
+                 but the source only ever sent {want}"
+            );
+            if want > have {
+                lines.push(format!("{{\"edge\":{e},\"count\":{}}}", want - have));
+            }
+        }
+        lines.push("{\"slot_end\":true}".to_owned());
+    }
+    lines
+}
+
+/// Base `serve` invocation; every run shares the deterministic knobs so
+/// traces are comparable.
+fn serve_cmd(per_request: bool, extra: &[&str]) -> Command {
+    let mut cmd = Command::new(BIN);
+    cmd.arg("serve")
+        .args(["--quick", "--edges", "4", "--slots", "12"])
+        .args(["--seed", SEED, "--policy", "ours", "--faults", FAULTS]);
+    if per_request {
+        cmd.arg("--serve-per-request");
+    }
+    cmd.args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    cmd
+}
+
+/// Runs a daemon to completion over the given lines; returns its output.
+fn run_to_completion(mut cmd: Command, lines: &[String]) -> Output {
+    let mut child = cmd.spawn().expect("spawn daemon");
+    let mut stdin = child.stdin.take().expect("stdin");
+    for line in lines {
+        // EPIPE is expected when the daemon dies mid-stream (crash
+        // injection) or finishes its horizon early.
+        if writeln!(stdin, "{line}").is_err() {
+            break;
+        }
+    }
+    drop(stdin);
+    child.wait_with_output().expect("wait")
+}
+
+/// The uninterrupted reference run's telemetry bytes.
+fn reference_trace(dir: &Path, per_request: bool) -> Vec<u8> {
+    let out = dir.join("ref.jsonl");
+    let output = run_to_completion(
+        serve_cmd(
+            per_request,
+            &["--telemetry", out.to_str().expect("utf-8 path")],
+        ),
+        &full_stream(),
+    );
+    assert!(
+        output.status.success(),
+        "reference run failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    std::fs::read(&out).expect("reference telemetry")
+}
+
+/// Feeds `kill_after` lines to a daemon, waits for its WAL to stop
+/// growing (it has durably acknowledged everything it will), then
+/// SIGKILLs it. The stdin pipe stays open throughout — EOF would make
+/// the daemon pad out the horizon and exit cleanly instead.
+fn run_and_kill(mut cmd: Command, lines: &[String], kill_after: usize, waldir: &Path) {
+    let mut child = cmd
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn daemon");
+    let mut stdin = child.stdin.take().expect("stdin");
+    for line in &lines[..kill_after] {
+        writeln!(stdin, "{line}").expect("write stream");
+    }
+    stdin.flush().expect("flush stream");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut last = usize::MAX;
+    let mut stable = 0;
+    while Instant::now() < deadline && stable < 4 {
+        std::thread::sleep(Duration::from_millis(75));
+        let n = wal::read_records(waldir).map_or(0, |r| r.records.len());
+        if n == last && n > 0 {
+            stable += 1;
+        } else {
+            stable = 0;
+            last = n;
+        }
+    }
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap");
+    drop(stdin);
+}
+
+/// Reconstructs the recovered cursor the same way `--resume` will: the
+/// checkpoint's covered prefix plus the WAL tail's closed slots, and
+/// the open slot's acknowledged arrivals.
+fn recovered_state(ckpt: &Path, waldir: &Path) -> (usize, Vec<u64>) {
+    let start = if ckpt.exists() {
+        Checkpoint::load(ckpt)
+            .expect("readable checkpoint")
+            .arrivals
+            .len()
+    } else {
+        0
+    };
+    let recovery = wal::read_records(waldir).expect("scan WAL");
+    let tail = wal::replay(&recovery.records, EDGES, start as u64).expect("replay");
+    (start + tail.closed.len(), tail.open)
+}
+
+/// Resumes a crashed run and returns `(daemon output, telemetry bytes)`.
+fn resume_run(
+    dir: &Path,
+    waldir: &Path,
+    ckpt: &Path,
+    per_request: bool,
+    edge_threads: &str,
+) -> (Output, Vec<u8>) {
+    let (cursor, open) = recovered_state(ckpt, waldir);
+    assert!(cursor < SLOTS, "daemon was killed after its horizon");
+    let out = dir.join(format!("resume-{edge_threads}.jsonl"));
+    let output = run_to_completion(
+        serve_cmd(
+            per_request,
+            &[
+                "--resume",
+                ckpt.to_str().expect("utf-8 path"),
+                "--checkpoint",
+                ckpt.to_str().expect("utf-8 path"),
+                "--checkpoint-every",
+                "3",
+                "--wal",
+                waldir.to_str().expect("utf-8 path"),
+                "--edge-threads",
+                edge_threads,
+                "--telemetry",
+                out.to_str().expect("utf-8 path"),
+            ],
+        ),
+        &remainder_stream(cursor, &open),
+    );
+    assert!(
+        output.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (output, std::fs::read(&out).expect("resumed telemetry"))
+}
+
+/// SIGKILL at seeded random stream offsets, across fsync policies,
+/// serve modes, and resume edge-thread counts: recovery is always
+/// byte-identical to the uninterrupted run.
+#[test]
+fn sigkill_recovery_is_bit_identical() {
+    let seed = chaos_seed();
+    let mut rng = seed;
+    eprintln!("chaos seed   : {seed:#x} (override with CHAOS_SEED)");
+    let lines = full_stream();
+
+    // (per_request, wal_sync, resume edge threads)
+    let grid = [
+        (false, "every", "4"),
+        (false, "slot", "1"),
+        (false, "off", "4"),
+        (true, "slot", "1"),
+    ];
+    for (i, (per_request, wal_sync, threads)) in grid.into_iter().enumerate() {
+        let dir = temp_dir(&format!("kill{i}"));
+        let reference = reference_trace(&dir, per_request);
+        let waldir = dir.join("wal");
+        let ckpt = dir.join("state.ckpt");
+        let kill_after = 1 + (next_rand(&mut rng) as usize) % (lines.len() - 1);
+        run_and_kill(
+            serve_cmd(
+                per_request,
+                &[
+                    "--checkpoint",
+                    ckpt.to_str().expect("utf-8 path"),
+                    "--checkpoint-every",
+                    "3",
+                    "--wal",
+                    waldir.to_str().expect("utf-8 path"),
+                    "--wal-sync",
+                    wal_sync,
+                    "--telemetry",
+                    dir.join("chaos.jsonl").to_str().expect("utf-8 path"),
+                ],
+            ),
+            &lines,
+            kill_after,
+            &waldir,
+        );
+        let (_, trace) = resume_run(&dir, &waldir, &ckpt, per_request, threads);
+        assert_eq!(
+            trace, reference,
+            "telemetry diverged after SIGKILL at line {kill_after} \
+             (chaos seed {seed:#x}, per_request={per_request}, \
+             wal-sync={wal_sync}, resume threads {threads})"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Injected crash points inside the storage layer itself — a torn WAL
+/// append, a torn checkpoint temp file, a fully written but un-renamed
+/// checkpoint — all recover bit-identically, and the torn WAL tail is
+/// reported (then truncated), never a panic.
+#[test]
+fn injected_crash_points_recover_bit_identically() {
+    let cases = [
+        ("wal-torn-append:5", true),
+        ("ckpt-torn-tmp:1", false),
+        ("ckpt-pre-rename:2", false),
+    ];
+    for (spec, expect_torn) in cases {
+        let tag = spec.split(':').next().expect("point");
+        let dir = temp_dir(tag);
+        let reference = reference_trace(&dir, false);
+        let waldir = dir.join("wal");
+        let ckpt = dir.join("state.ckpt");
+        let mut cmd = serve_cmd(
+            false,
+            &[
+                "--checkpoint",
+                ckpt.to_str().expect("utf-8 path"),
+                "--checkpoint-every",
+                "3",
+                "--wal",
+                waldir.to_str().expect("utf-8 path"),
+                "--telemetry",
+                dir.join("chaos.jsonl").to_str().expect("utf-8 path"),
+            ],
+        );
+        cmd.env("CARBON_EDGE_CRASH", spec);
+        let output = run_to_completion(cmd, &full_stream());
+        assert!(!output.status.success(), "{spec} must abort the daemon");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("\"event\":\"crash_injected\""),
+            "{spec}: missing crash event in {stderr}"
+        );
+
+        let (resumed, trace) = resume_run(&dir, &waldir, &ckpt, false, "4");
+        let resumed_err = String::from_utf8_lossy(&resumed.stderr);
+        if expect_torn {
+            assert!(
+                resumed_err.contains("\"event\":\"wal_torn_tail\""),
+                "{spec}: torn tail not reported in {resumed_err}"
+            );
+        }
+        assert_eq!(trace, reference, "telemetry diverged after {spec}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A fresh (non-`--resume`) start refuses to clobber a WAL directory
+/// that still holds a previous run's segments.
+#[test]
+fn fresh_start_refuses_existing_wal() {
+    let dir = temp_dir("clobber");
+    let waldir = dir.join("wal");
+    let (mut handle, _) = wal::Wal::open(&waldir, wal::WalOptions::default()).expect("seed WAL");
+    handle
+        .append(&wal::WalRecord::SlotClose { slot: 0 })
+        .expect("append");
+    drop(handle);
+
+    let output = run_to_completion(
+        serve_cmd(false, &["--wal", waldir.to_str().expect("utf-8 path")]),
+        &[],
+    );
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("already holds WAL segments"),
+        "missing clobber refusal in {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Hostile wire input end-to-end: garbage within the `--max-bad-lines`
+/// budget is rejected line-by-line without touching the deterministic
+/// run; a blown budget kills the daemon with a structured error.
+#[test]
+fn bad_line_budget_is_enforced_end_to_end() {
+    let garbage = [
+        "### not json at all",
+        "{\"edge\": \"zero\"}",
+        "{\"edge\": 0, \"count\": -3}",
+    ];
+
+    // Within budget: the run completes and matches the clean reference.
+    let dir = temp_dir("budget-ok");
+    let reference = reference_trace(&dir, false);
+    let mut lines = full_stream();
+    for (i, g) in garbage.iter().enumerate() {
+        lines.insert(i * 7, (*g).to_owned());
+    }
+    let out = dir.join("noisy.jsonl");
+    let output = run_to_completion(
+        serve_cmd(false, &["--telemetry", out.to_str().expect("utf-8 path")]),
+        &lines,
+    );
+    assert!(
+        output.status.success(),
+        "in-budget garbage must not kill the daemon: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("\"event\":\"bad_line\""),
+        "rejections must be logged: {stderr}"
+    );
+    assert_eq!(
+        std::fs::read(&out).expect("telemetry"),
+        reference,
+        "garbage lines leaked into the deterministic trace"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Blown budget: a structured fatal error, not a hang or a panic.
+    let dir = temp_dir("budget-blown");
+    let mut lines: Vec<String> = garbage.iter().map(|g| (*g).to_owned()).collect();
+    lines.push("more garbage".to_owned());
+    lines.extend(full_stream());
+    let output = run_to_completion(serve_cmd(false, &["--max-bad-lines", "2"]), &lines);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("too many bad wire lines"),
+        "missing budget error in {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A persistently failing checkpoint path flips the daemon into
+/// degraded-durability mode (structured event, retries logged) but the
+/// run itself keeps serving and still produces the reference trace.
+#[test]
+fn persistent_checkpoint_failure_degrades_but_serves() {
+    let dir = temp_dir("degraded");
+    let reference = reference_trace(&dir, false);
+    let out = dir.join("degraded.jsonl");
+    let ckpt = dir.join("no-such-dir").join("state.ckpt");
+    let output = run_to_completion(
+        serve_cmd(
+            false,
+            &[
+                "--checkpoint",
+                ckpt.to_str().expect("utf-8 path"),
+                "--checkpoint-every",
+                "6",
+                "--telemetry",
+                out.to_str().expect("utf-8 path"),
+            ],
+        ),
+        &full_stream(),
+    );
+    assert!(
+        output.status.success(),
+        "a durability failure must not kill the run: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("\"event\":\"checkpoint_retry\""),
+        "retries must be logged: {stderr}"
+    );
+    assert!(
+        stderr.contains("\"event\":\"durability_degraded\""),
+        "degradation must be announced: {stderr}"
+    );
+    assert_eq!(
+        std::fs::read(&out).expect("telemetry"),
+        reference,
+        "degraded mode leaked into the deterministic trace"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

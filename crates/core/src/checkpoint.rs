@@ -26,6 +26,21 @@ use cne_faults::TradeCarryParts;
 use cne_market::LedgerParts;
 use cne_util::json::Json;
 
+use crate::crashpoint;
+
+/// Fsyncs `path`'s parent directory so a completed rename survives
+/// power loss (POSIX only persists the directory entry on dir fsync;
+/// elsewhere this is a no-op).
+fn sync_parent_dir(path: &Path) -> Result<(), String> {
+    #[cfg(unix)]
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::File::open(parent)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| format!("cannot fsync {}: {e}", parent.display()))?;
+    }
+    Ok(())
+}
+
 /// The `format` tag every checkpoint document carries.
 pub const FORMAT: &str = "cne-checkpoint";
 
@@ -470,18 +485,43 @@ impl Checkpoint {
         })
     }
 
-    /// Writes the checkpoint to `path` atomically (via a sibling
-    /// temporary file and rename), so a crash mid-write never leaves a
-    /// truncated checkpoint behind.
+    /// Writes the checkpoint to `path` atomically **and durably**: the
+    /// sibling temporary file is fsynced before the rename, and the
+    /// parent directory is fsynced after it, so a crash — including
+    /// power loss — leaves either the old checkpoint or the new one,
+    /// never a truncated or unlinked in-between.
     ///
     /// # Errors
     /// Returns a message naming the path on any I/O failure.
     pub fn save(&self, path: &Path) -> Result<(), String> {
+        use std::io::Write as _;
+
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.encode())
+        let encoded = self.encode().into_bytes();
+        let mut file = std::fs::File::create(&tmp)
+            .map_err(|e| format!("cannot create {}: {e}", tmp.display()))?;
+        if crashpoint::hit_auto("ckpt-torn-tmp") {
+            // Chaos drill: die with a half-written tmp file on disk.
+            // Recovery must ignore it (the rename never happened).
+            let _ = file.write_all(&encoded[..encoded.len() / 2]);
+            let _ = file.sync_all();
+            crashpoint::crash("ckpt-torn-tmp");
+        }
+        file.write_all(&encoded)
             .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        // An atomic rename only helps if the *contents* are already on
+        // disk: rename durability does not imply data durability.
+        file.sync_all()
+            .map_err(|e| format!("cannot fsync {}: {e}", tmp.display()))?;
+        drop(file);
+        if crashpoint::hit_auto("ckpt-pre-rename") {
+            // Chaos drill: full tmp on disk, old checkpoint still in
+            // place. Recovery must use the old checkpoint + WAL tail.
+            crashpoint::crash("ckpt-pre-rename");
+        }
         std::fs::rename(&tmp, path)
-            .map_err(|e| format!("cannot move checkpoint into {}: {e}", path.display()))
+            .map_err(|e| format!("cannot move checkpoint into {}: {e}", path.display()))?;
+        sync_parent_dir(path)
     }
 
     /// Reads and parses a checkpoint from `path`.

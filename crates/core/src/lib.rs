@@ -33,6 +33,13 @@
 //!   machinery, byte-comparable to a batch replay;
 //! * [`checkpoint`] — the versioned on-disk snapshot format behind
 //!   `serve --checkpoint-every`/`--resume`;
+//! * [`wal`] — the durable write-ahead arrival log that closes the
+//!   gap between checkpoints: CRC-framed records, segment rotation,
+//!   torn-tail truncation, and checkpoint-anchored garbage collection,
+//!   so `serve --resume` recovers bit-identically from a hard kill;
+//! * [`crashpoint`] — deterministic crash injection
+//!   (`CARBON_EDGE_CRASH=point:N`) used by the chaos harness to die at
+//!   points an external `SIGKILL` cannot reliably hit;
 //! * [`regret`] — regret (for `P0`, `P1`, `P2`) and fit computation;
 //! * [`monitor`] — theorem-envelope monitors flagging runs that stray
 //!   outside the paper's guarantees.
@@ -60,12 +67,14 @@
 pub mod checkpoint;
 pub mod combos;
 pub mod controller;
+pub mod crashpoint;
 pub mod monitor;
 pub mod offline;
 pub mod problem;
 pub mod regret;
 pub mod runner;
 pub mod serve;
+pub mod wal;
 
 pub use checkpoint::Checkpoint;
 pub use combos::{Combo, SelectorKind, TraderKind};
@@ -79,3 +88,4 @@ pub use runner::{
     EDGE_THREADS_ENV_VAR, GATE_BATCH_ENV_VAR, THREADS_ENV_VAR,
 };
 pub use serve::{ServeOptions, ServeOutcome, ServeSession};
+pub use wal::{SyncPolicy, Wal, WalOptions, WalRecord, WalTail};

@@ -338,6 +338,48 @@ impl<'a> ServeSession<'a> {
         self.events_seen = self.recorder.as_ref().map_or(0, |r| r.events().len());
     }
 
+    /// Replays a recovered WAL tail: every slot the log closed after
+    /// the checkpoint is pushed through the ordinary [`Self::push_slot`]
+    /// machinery, so the recovered state is bit-identical to having
+    /// served those slots live. The tail's still-open slot (partial
+    /// arrivals) is *not* applied — the caller seeds its accumulator
+    /// with [`crate::wal::WalTail::open`] and keeps serving.
+    ///
+    /// # Errors
+    /// Returns a message when the tail does not continue this session
+    /// (wrong start slot, wrong fleet width, or more closed slots than
+    /// the horizon has room for) — a mismatched checkpoint/WAL pair
+    /// must fail loudly, never replay garbage.
+    pub fn apply_wal_tail(&mut self, tail: &crate::wal::WalTail) -> Result<(), String> {
+        if tail.start_slot != self.next_slot() as u64 {
+            return Err(format!(
+                "WAL tail starts at slot {}, but the checkpoint resumes at slot {} — \
+                 this log does not continue that checkpoint",
+                tail.start_slot,
+                self.next_slot()
+            ));
+        }
+        let remaining = self.horizon() - self.next_slot();
+        if tail.closed.len() > remaining {
+            return Err(format!(
+                "WAL tail closes {} slots, but only {} remain before the horizon",
+                tail.closed.len(),
+                remaining
+            ));
+        }
+        for raw in &tail.closed {
+            if raw.len() != self.num_edges() {
+                return Err(format!(
+                    "WAL tail slot holds {} edge counts, but the fleet has {}",
+                    raw.len(),
+                    self.num_edges()
+                ));
+            }
+            self.push_slot(raw);
+        }
+        Ok(())
+    }
+
     /// Snapshots the session into a [`Checkpoint`] (always taken
     /// between slots: after the last served slot's feedback, before
     /// the next slot's placement).

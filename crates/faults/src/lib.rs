@@ -39,6 +39,6 @@ mod retry;
 mod scenario;
 mod schedule;
 
-pub use retry::{Backoff, TradeCarry, TradeCarryParts};
+pub use retry::{Backoff, TradeCarry, TradeCarryParts, WallRetry};
 pub use scenario::{FaultScenario, ScenarioError};
 pub use schedule::FaultSchedule;

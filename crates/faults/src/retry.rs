@@ -42,6 +42,95 @@ impl Backoff {
     }
 }
 
+/// Wall-clock retry schedule for I/O at the daemon's boundary —
+/// transport accepts, WAL appends, checkpoint writes — built on the
+/// same deterministic [`Backoff`] rule the simulator uses for trades.
+///
+/// The *schedule* (which attempt waits how long) is a pure function of
+/// the configuration; only the sleeps themselves touch the clock, and
+/// they happen outside the deterministic slot machinery, so retries
+/// never perturb the bit-identical trace contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WallRetry {
+    backoff: Backoff,
+    unit: std::time::Duration,
+    max_attempts: u32,
+}
+
+impl WallRetry {
+    /// Creates a schedule: up to `max_attempts` tries, waiting
+    /// `min(base_units · 2^(k−1), cap_units) · unit` after the `k`-th
+    /// failure.
+    ///
+    /// # Panics
+    /// Panics if `max_attempts == 0` or `cap_units < base_units`.
+    #[must_use]
+    pub fn new(
+        max_attempts: u32,
+        base_units: u32,
+        cap_units: u32,
+        unit: std::time::Duration,
+    ) -> Self {
+        assert!(max_attempts > 0, "at least one attempt is required");
+        Self {
+            backoff: Backoff::new(base_units, cap_units),
+            unit,
+            max_attempts,
+        }
+    }
+
+    /// The daemon's default: 5 attempts backing off 50 ms → 800 ms.
+    #[must_use]
+    pub fn daemon_default() -> Self {
+        Self::new(5, 1, 16, std::time::Duration::from_millis(50))
+    }
+
+    /// Maximum number of attempts (1 initial + retries).
+    #[must_use]
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// Wall-clock wait after the `attempt`-th consecutive failure
+    /// (`attempt >= 1`).
+    #[must_use]
+    pub fn delay(&self, attempt: u32) -> std::time::Duration {
+        // delay_slots caps at cap_units ≤ u32::MAX, so the u32
+        // narrowing cannot truncate.
+        self.unit * u32::try_from(self.backoff.delay_slots(attempt)).expect("capped at u32")
+    }
+
+    /// Runs `op` until it succeeds or the attempt budget is spent,
+    /// sleeping the scheduled delay between tries. `on_retry` observes
+    /// each scheduled retry (attempt number, error, upcoming delay) —
+    /// the daemon hooks its ops counters and structured stderr events
+    /// there.
+    ///
+    /// # Errors
+    /// Returns the final attempt's error once the budget is exhausted.
+    pub fn run<T>(
+        &self,
+        mut op: impl FnMut() -> Result<T, String>,
+        mut on_retry: impl FnMut(u32, &str, std::time::Duration),
+    ) -> Result<T, String> {
+        let mut attempt = 0;
+        loop {
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= self.max_attempts {
+                        return Err(e);
+                    }
+                    let delay = self.delay(attempt);
+                    on_retry(attempt, &e, delay);
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+    }
+}
+
 /// Carry-forward account for allowance orders the market failed to
 /// execute.
 ///
@@ -240,6 +329,54 @@ mod tests {
         assert_eq!(c.unmet_sell(), 0.0);
         let executed = 4.0;
         assert!((c.requested_buy() - (executed + c.unmet_buy())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_retry_schedule_is_deterministic() {
+        let r = WallRetry::new(5, 1, 16, std::time::Duration::from_millis(50));
+        assert_eq!(r.delay(1), std::time::Duration::from_millis(50));
+        assert_eq!(r.delay(2), std::time::Duration::from_millis(100));
+        assert_eq!(r.delay(5), std::time::Duration::from_millis(800));
+        assert_eq!(r.delay(40), std::time::Duration::from_millis(800));
+        assert_eq!(r.max_attempts(), 5);
+    }
+
+    #[test]
+    fn wall_retry_recovers_and_reports_each_retry() {
+        let r = WallRetry::new(4, 1, 4, std::time::Duration::ZERO);
+        let mut fails_left = 2;
+        let mut seen = Vec::new();
+        let out = r.run(
+            || {
+                if fails_left > 0 {
+                    fails_left -= 1;
+                    Err(format!("transient {fails_left}"))
+                } else {
+                    Ok(42)
+                }
+            },
+            |attempt, err, _| seen.push((attempt, err.to_owned())),
+        );
+        assert_eq!(out, Ok(42));
+        assert_eq!(
+            seen,
+            vec![(1, "transient 1".to_owned()), (2, "transient 0".to_owned())]
+        );
+    }
+
+    #[test]
+    fn wall_retry_exhausts_with_the_last_error() {
+        let r = WallRetry::new(3, 1, 4, std::time::Duration::ZERO);
+        let mut calls = 0;
+        let out: Result<(), String> = r.run(
+            || {
+                calls += 1;
+                Err(format!("fail {calls}"))
+            },
+            |_, _, _| {},
+        );
+        assert_eq!(out, Err("fail 3".to_owned()));
+        assert_eq!(calls, 3);
     }
 
     proptest! {

@@ -1,0 +1,118 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) for
+//! integrity-checking on-disk frames.
+//!
+//! The write-ahead log (`cne_core::wal`) stamps every frame with this
+//! checksum so a torn or bit-flipped tail is detected — and truncated —
+//! on recovery instead of silently replaying garbage. The
+//! implementation is the classic byte-at-a-time table walk: ~1 GB/s,
+//! far faster than the fsync that dominates every WAL append, and zero
+//! dependencies.
+
+/// The 256-entry lookup table for the reflected IEEE polynomial,
+/// computed at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// An incremental CRC-32 accumulator, for checksumming a frame that is
+/// assembled in pieces.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Folds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = (self.state ^ u32::from(b)) & 0xFF;
+            self.state = (self.state >> 8) ^ TABLE[idx as usize];
+        }
+    }
+
+    /// Finishes and returns the checksum value.
+    #[must_use]
+    pub fn finish(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"carbon-neutral edge inference";
+        for split in 0..data.len() {
+            let mut crc = Crc32::new();
+            crc.update(&data[..split]);
+            crc.update(&data[split..]);
+            assert_eq!(crc.finish(), crc32(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let data = b"frame payload under test";
+        let reference = crc32(data);
+        let mut copy = data.to_vec();
+        for byte in 0..copy.len() {
+            for bit in 0..8 {
+                copy[byte] ^= 1 << bit;
+                assert_ne!(crc32(&copy), reference, "flip at {byte}:{bit}");
+                copy[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -42,8 +42,7 @@ const YIELD_ROUNDS: usize = 4;
 /// progress *while* we spin. Queried once per process.
 fn spinning_pays() -> bool {
     static PAYS: OnceLock<bool> = OnceLock::new();
-    *PAYS
-        .get_or_init(|| std::thread::available_parallelism().is_ok_and(|cores| cores.get() > 1))
+    *PAYS.get_or_init(|| std::thread::available_parallelism().is_ok_and(|cores| cores.get() > 1))
 }
 
 /// A forward-only epoch counter that threads can wait on.

@@ -20,6 +20,8 @@
 //! * [`json`] — a hand-rolled JSON parser (the workspace builds
 //!   offline without `serde_json`), the inverse of the telemetry
 //!   encoder;
+//! * [`crc`] — CRC-32 (IEEE) for integrity-checking on-disk frames
+//!   such as the serve daemon's write-ahead arrival log;
 //! * [`expo`] — a deterministic Prometheus text-exposition encoder
 //!   for recorders (scraped live from the serve daemon's admin
 //!   endpoint) and a strict parser used to validate it;
@@ -46,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crc;
 pub mod expo;
 pub mod gate;
 pub mod json;
