@@ -298,6 +298,105 @@ fn bench_slot_loop(scale: &Scale, zoo: &ModelZoo, reps: usize, entries: &mut Vec
             });
         }
     }
+
+    bench_lane_reduce(scale, zoo, reps, entries);
+}
+
+/// The batched sufficient-statistics kernel in isolation: the
+/// transposed `[sample][table]` lane reduction
+/// ([`Environment::reduce_slot_stats`]) against the per-table scalar
+/// reductions it replaced — which it must match bit for bit, checked
+/// here and floored by the `identical` entry.
+fn bench_lane_reduce(scale: &Scale, zoo: &ModelZoo, reps: usize, entries: &mut Vec<BenchEntry>) {
+    const SLOTS: usize = 512;
+    const SAMPLES: usize = 256;
+    let m = zoo.len();
+    let pool = zoo.pool().len();
+    let env = Environment::with_serve_mode(
+        scale.config(TaskKind::MnistLike, scale.default_edges),
+        zoo,
+        &SeedSequence::new(7).derive("env"),
+        ServeMode::Batched,
+    );
+    // Deterministic drawn-index sets: scattered pool reads, the access
+    // pattern a real slot reduction sees.
+    let slots: Vec<Vec<usize>> = (0..SLOTS)
+        .map(|t| (0..SAMPLES).map(|k| (t * 31 + k * 7919) % pool).collect())
+        .collect();
+
+    let mut loss = vec![0.0; m];
+    let mut acc = vec![0.0; m];
+    let mut identical = true;
+    for indices in &slots {
+        env.reduce_slot_stats(indices, &mut loss, &mut acc);
+        for n in 0..m {
+            let table = &zoo.model(n).eval;
+            identical &= loss[n].to_bits() == table.mean_loss_at(indices).to_bits()
+                && acc[n].to_bits() == table.accuracy_at(indices).to_bits();
+        }
+    }
+
+    let mut lane_us = Vec::with_capacity(reps);
+    let mut scalar_us = Vec::with_capacity(reps);
+    let mut sink = 0.0f64;
+    for _ in 0..reps {
+        let mut stopwatch = Profiler::new();
+        stopwatch.enter("lanes");
+        for indices in &slots {
+            env.reduce_slot_stats(indices, &mut loss, &mut acc);
+            sink += loss[0] + acc[m - 1];
+        }
+        stopwatch.exit();
+        lane_us.push(stopwatch.total_us("lanes") / SLOTS as f64);
+
+        let mut stopwatch = Profiler::new();
+        stopwatch.enter("scalar");
+        for indices in &slots {
+            for n in 0..m {
+                let table = &zoo.model(n).eval;
+                loss[n] = table.mean_loss_at(indices);
+                acc[n] = table.accuracy_at(indices);
+            }
+            sink += loss[0] + acc[m - 1];
+        }
+        stopwatch.exit();
+        scalar_us.push(stopwatch.total_us("scalar") / SLOTS as f64);
+    }
+    assert!(sink.is_finite(), "reductions produce finite statistics");
+    let lanes = median(lane_us);
+    let scalar = median(scalar_us);
+    entries.push(BenchEntry {
+        name: format!("slot_loop/lane_reduce/samples={SAMPLES}"),
+        metric: "us_per_slot".to_owned(),
+        value: lanes,
+        better: "lower",
+        gate: true,
+        min: None,
+    });
+    entries.push(BenchEntry {
+        name: format!("slot_loop/lane_scalar/samples={SAMPLES}"),
+        metric: "us_per_slot".to_owned(),
+        value: scalar,
+        better: "lower",
+        gate: false,
+        min: None,
+    });
+    entries.push(BenchEntry {
+        name: format!("slot_loop/lane_reduce_speedup/samples={SAMPLES}"),
+        metric: "ratio".to_owned(),
+        value: scalar / lanes,
+        better: "higher",
+        gate: false,
+        min: Some(1.0),
+    });
+    entries.push(BenchEntry {
+        name: format!("slot_loop/lane_reduce_identical/samples={SAMPLES}"),
+        metric: "bool".to_owned(),
+        value: if identical { 1.0 } else { 0.0 },
+        better: "higher",
+        gate: false,
+        min: Some(1.0),
+    });
 }
 
 /// Times cold and warm-started Tsallis-INF normalization solves on a
@@ -700,6 +799,116 @@ fn bench_wal(
     });
 }
 
+/// The daemon's front door: wire-decode throughput over a generated
+/// canonical request stream. The fast path is what `carbon-edge
+/// serve` runs per block line (`wire::decode_fast`, zero-alloc); the
+/// strict path replays the pre-block-reader daemon's per-line work —
+/// one owned buffer per line, UTF-8 validation, trim, and the generic
+/// JSON reference decoder — so the speedup entry is the ingest
+/// engine's req/sec headline against its predecessor.
+fn bench_ingest(scale: &Scale, reps: usize, entries: &mut Vec<BenchEntry>) {
+    use cne_core::wire;
+
+    let edges = scale.default_edges;
+    // A canonical stream of the two wire shapes, the same mix
+    // `gen-arrivals` emits: request lines with a slot_end every 97th.
+    const LINES: usize = 200_000;
+    let mut stream = Vec::with_capacity(LINES * 28);
+    let mut state = 0x243F_6A88_85A3_08D3_u64;
+    for k in 0..LINES {
+        if k % 97 == 96 {
+            stream.extend_from_slice(b"{\"slot_end\":true}\n");
+            continue;
+        }
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let edge = (state >> 33) as usize % edges;
+        let count = (state >> 12) % 1_000 + 1;
+        stream.extend_from_slice(format!("{{\"edge\":{edge},\"count\":{count}}}\n").as_bytes());
+    }
+
+    // Fold the decoded values into a checksum so the work cannot be
+    // optimized away, and so both paths provably decode identically.
+    let drive = |decode_line: &dyn Fn(&[u8]) -> Option<wire::WireMsg>| -> (u64, f64) {
+        let mut checksum = 0u64;
+        let mut stopwatch = Profiler::new();
+        stopwatch.enter("ingest");
+        for raw in stream.split_inclusive(|&b| b == b'\n') {
+            let line = match raw.last() {
+                Some(b'\n') => &raw[..raw.len() - 1],
+                _ => raw,
+            };
+            match decode_line(line).expect("canonical stream decodes") {
+                wire::WireMsg::Request { edge, count } => {
+                    checksum = checksum
+                        .wrapping_mul(31)
+                        .wrapping_add(edge as u64)
+                        .wrapping_add(count);
+                }
+                wire::WireMsg::SlotEnd => checksum = checksum.wrapping_mul(37),
+            }
+        }
+        stopwatch.exit();
+        (checksum, stopwatch.total_us("ingest"))
+    };
+
+    let fast_line = |line: &[u8]| wire::decode_fast(line, edges);
+    let strict_line = |line: &[u8]| {
+        // The old daemon's per-line pipeline: owned buffer, UTF-8
+        // check, trim, reference JSON decode.
+        let owned = line.to_vec();
+        let text = std::str::from_utf8(&owned).ok()?;
+        wire::decode_strict(text.trim(), edges).ok()
+    };
+
+    let mut fast_us = Vec::with_capacity(reps);
+    let mut strict_us = Vec::with_capacity(reps);
+    let mut identical = true;
+    for _ in 0..reps {
+        let (sum_f, us_f) = drive(&fast_line);
+        let (sum_s, us_s) = drive(&strict_line);
+        identical &= sum_f == sum_s;
+        fast_us.push(us_f);
+        strict_us.push(us_s);
+    }
+    let req_per_s = |us: f64| LINES as f64 / (us * 1e-6);
+    let fast = median(fast_us);
+    let strict = median(strict_us);
+    entries.push(BenchEntry {
+        name: format!("serve_loop/ingest_fast/edges={edges}"),
+        metric: "req_per_s".to_owned(),
+        value: req_per_s(fast),
+        better: "higher",
+        gate: true,
+        min: None,
+    });
+    entries.push(BenchEntry {
+        name: format!("serve_loop/ingest_strict/edges={edges}"),
+        metric: "req_per_s".to_owned(),
+        value: req_per_s(strict),
+        better: "higher",
+        gate: false,
+        min: None,
+    });
+    entries.push(BenchEntry {
+        name: format!("serve_loop/ingest_speedup/edges={edges}"),
+        metric: "ratio".to_owned(),
+        value: strict / fast,
+        better: "higher",
+        gate: false,
+        min: Some(5.0),
+    });
+    entries.push(BenchEntry {
+        name: format!("serve_loop/ingest_identical/edges={edges}"),
+        metric: "bool".to_owned(),
+        value: if identical { 1.0 } else { 0.0 },
+        better: "higher",
+        gate: false,
+        min: Some(1.0),
+    });
+}
+
 /// Full-system runs (environment + `Ours`) over the Fig. 14
 /// runtime-vs-edges grid.
 fn bench_e2e(scale: &Scale, zoo: &ModelZoo, reps: usize, entries: &mut Vec<BenchEntry>) {
@@ -874,6 +1083,7 @@ pub fn run_bench(scale: &Scale) {
 
     let mut serve_entries = Vec::new();
     bench_serve_loop(scale, &zoo, reps, &mut serve_entries);
+    bench_ingest(scale, reps, &mut serve_entries);
     let serve_report = BenchReport {
         mode: mode.to_owned(),
         entries: serve_entries,

@@ -1,6 +1,7 @@
 //! Minimal flag parsing (no third-party dependency).
 
 use cne_core::wal::SyncPolicy;
+use cne_core::wire::WireDecode;
 use cne_simdata::dataset::TaskKind;
 
 /// Default cap on one wire line (64 KiB) — far above any legitimate
@@ -79,6 +80,9 @@ pub struct Options {
     pub wal_sync: SyncPolicy,
     /// `serve`: reject wire lines longer than this many bytes.
     pub max_line_bytes: usize,
+    /// `serve`: wire decoder pipeline (`fast` | `strict`). `strict`
+    /// disables the zero-alloc fast path, for decoder cross-checks.
+    pub wire_decode: WireDecode,
     /// `serve`: exit with an error after this many rejected wire
     /// lines (malformed lines are counted and skipped, not fatal).
     pub max_bad_lines: u64,
@@ -144,6 +148,7 @@ impl Default for Options {
             wal: None,
             wal_sync: SyncPolicy::Slot,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            wire_decode: WireDecode::default(),
             max_bad_lines: DEFAULT_MAX_BAD_LINES,
             halt_at_slot: None,
             slot_requests: None,
@@ -273,6 +278,7 @@ impl Options {
                     }
                     opts.max_line_bytes = n;
                 }
+                "--wire-decode" => opts.wire_decode = value("--wire-decode")?.parse()?,
                 "--max-bad-lines" => {
                     opts.max_bad_lines = value("--max-bad-lines")?
                         .parse()
@@ -552,6 +558,11 @@ mod tests {
         assert_eq!(d.wal_sync, SyncPolicy::Slot);
         assert_eq!(d.max_line_bytes, DEFAULT_MAX_LINE_BYTES);
         assert_eq!(d.max_bad_lines, DEFAULT_MAX_BAD_LINES);
+        assert_eq!(d.wire_decode, WireDecode::Fast, "fast path is the default");
+
+        let o = parse(&["--wire-decode", "strict"]).expect("valid");
+        assert_eq!(o.wire_decode, WireDecode::Strict);
+        assert!(parse(&["--wire-decode", "loose"]).is_err());
 
         assert!(parse(&["--wal-sync", "sometimes"]).is_err());
         assert!(

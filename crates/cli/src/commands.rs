@@ -100,6 +100,10 @@ FLAGS:
   --max-line-bytes N    serve: reject wire lines longer than N bytes
                         (default 65536; hostile input is discarded
                         without buffering it)
+  --wire-decode MODE    serve: wire decoder pipeline — fast (zero-alloc
+                        recognizer with strict fallback; default) or
+                        strict (reference JSON path only; for decoder
+                        cross-checks — both produce identical traces)
   --max-bad-lines N     serve: exit with an error after N rejected
                         wire lines (default 100; each is counted,
                         logged, and skipped — not fatal on its own)

@@ -116,6 +116,7 @@ pub fn report(opts: &Options) -> Result<(), String> {
     let mut live_disagreements: Vec<String> = Vec::new();
     if let Ok(text) = std::fs::read_to_string(&ops_path) {
         let ops_runs = parse_jsonl(&text).map_err(|e| format!("{ops_path}: {e}"))?;
+        print_ingest_summary(&ops_runs);
         live_disagreements = crosscheck_live_envelopes(&runs, &ops_runs);
         println!("\n== live vs post-run envelope verdicts ({ops_path}) ==");
         if live_disagreements.is_empty() {
@@ -535,6 +536,57 @@ fn print_fault_summary(runs: &[Recorder]) {
             recoveries.len(),
             total
         );
+    }
+}
+
+/// Prints the wire-ingest side of the serve daemon's ops sidecar:
+/// per-run request/byte/bad-line totals plus one row per `bad_line`
+/// event with the absolute stream byte offset and truncated snippet,
+/// so an offending line can be located in a multi-GB stream. Skipped
+/// entirely for runs that never served a wire stream.
+fn print_ingest_summary(runs: &[Recorder]) {
+    let served: Vec<&Recorder> = runs
+        .iter()
+        .filter(|r| r.counter("serve.requests") > 0 || r.counter("serve.ingest.bytes") > 0)
+        .collect();
+    if served.is_empty() {
+        return;
+    }
+    println!("\n== wire ingest ==");
+    println!(
+        "{:<22} {:>12} {:>14} {:>10}",
+        "run", "requests", "bytes in", "bad lines"
+    );
+    for rec in &served {
+        println!(
+            "{:<22} {:>12} {:>14} {:>10}",
+            run_name(rec),
+            rec.counter("serve.requests"),
+            rec.counter("serve.ingest.bytes"),
+            rec.counter("serve.bad_lines"),
+        );
+    }
+    for rec in &served {
+        let bad: Vec<&Event> = rec
+            .events()
+            .iter()
+            .filter(|e| e.kind == "bad_line")
+            .collect();
+        if bad.is_empty() {
+            continue;
+        }
+        const MAX_ROWS: usize = 16;
+        println!("  {} rejected lines:", run_name(rec));
+        println!("    {:>12} {:<38} snippet", "offset", "reason");
+        for e in bad.iter().take(MAX_ROWS) {
+            let offset = field_f64(e, "offset").unwrap_or(-1.0);
+            let reason = field_str(e, "reason").unwrap_or("?");
+            let snippet = field_str(e, "snippet").unwrap_or("");
+            println!("    {:>12.0} {:<38} {:?}", offset, reason, snippet);
+        }
+        if bad.len() > MAX_ROWS {
+            println!("    … and {} more", bad.len() - MAX_ROWS);
+        }
     }
 }
 

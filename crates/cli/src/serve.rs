@@ -21,6 +21,7 @@
 //! killing it. The wire protocol, checkpoint format, and WAL format
 //! are specified in `SERVING.md`.
 
+use std::io::BufRead as _;
 use std::io::Write as _;
 use std::path::Path;
 use std::sync::mpsc;
@@ -29,12 +30,13 @@ use std::time::{Duration, Instant};
 
 use cne_core::combos::Combo;
 use cne_core::wal::{self, Wal, WalOptions, WalRecord};
+use cne_core::wire;
 use cne_core::{Checkpoint, ServeOptions, ServeSession};
 use cne_edgesim::ServeMode;
 use cne_faults::WallRetry;
 use cne_simdata::{ArrivalGen, ArrivalProcess};
 use cne_util::expo;
-use cne_util::json::{self, Json};
+use cne_util::json::Json;
 use cne_util::telemetry::{Recorder, Value};
 use cne_util::SeedSequence;
 
@@ -124,98 +126,154 @@ mod signals {
     }
 }
 
-/// One parsed request-stream line.
-enum WireLine {
-    /// `{"edge": i, "count": c}` — `c` requests arrived at edge `i`
-    /// during the open slot (`count` defaults to 1).
-    Request { edge: usize, count: u64 },
-    /// `{"slot_end": true}` — close the open slot now.
-    SlotEnd,
-}
+/// One parsed request-stream line (see [`cne_core::wire`]). The serve
+/// loop composes the zero-alloc fast path with this strict reference
+/// path per `--wire-decode`.
+type WireLine = wire::WireMsg;
 
-/// Parses one line of the wire protocol.
+/// Parses one line of the wire protocol through the strict reference
+/// decoder — full JSON parse, canonical error strings.
 fn parse_line(line: &str, num_edges: usize) -> Result<WireLine, String> {
-    let doc = json::parse(line).map_err(|e| format!("bad request line: {e}"))?;
-    let Json::Obj(fields) = doc else {
-        return Err("bad request line: expected a JSON object".to_owned());
-    };
-    let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
-    if let Some(v) = get("slot_end") {
-        return match v {
-            Json::Bool(true) => Ok(WireLine::SlotEnd),
-            _ => Err("bad request line: slot_end must be true".to_owned()),
-        };
-    }
-    let edge = match get("edge") {
-        Some(Json::UInt(i)) => *i as usize,
-        Some(_) => return Err("bad request line: edge must be a non-negative integer".to_owned()),
-        None => return Err("bad request line: need \"edge\" or \"slot_end\"".to_owned()),
-    };
-    if edge >= num_edges {
-        return Err(format!(
-            "bad request line: edge {edge} out of range (fleet has {num_edges} edges)"
-        ));
-    }
-    let count = match get("count") {
-        Some(Json::UInt(c)) => *c,
-        Some(_) => return Err("bad request line: count must be a non-negative integer".to_owned()),
-        None => 1,
-    };
-    Ok(WireLine::Request { edge, count })
+    wire::decode_strict(line, num_edges)
 }
 
-/// What the transport reader thread hands the serve loop. I/O never
-/// crosses the channel raw: by the time a message arrives, oversized
-/// and non-UTF-8 input has been classified and consumed, and transport
-/// errors have already been retried.
+/// Transport read buffer, and therefore the upper bound on one
+/// [`LineBlock`]. Large enough to amortize syscalls and channel sends
+/// over thousands of wire lines, small enough that the group-commit
+/// loss window after a hard kill (arrivals applied but not yet
+/// WAL-flushed — at most one block) stays well under a second of
+/// stream at any realistic rate.
+const READ_CHUNK: usize = 256 * 1024;
+
+/// Longest `bad_line` snippet shipped in events, in bytes.
+const SNIPPET_MAX: usize = 64;
+
+/// A batch of complete wire lines, shipped to the serve loop as one
+/// buffer: raw bytes, `\n`-separated (the final line may omit the
+/// terminator at EOF), never a partial line. One channel send and one
+/// allocation cover the whole block, which is what lets the ingest
+/// loop run at millions of lines per second.
+struct LineBlock {
+    /// Raw line bytes, each line within the `--max-line-bytes` cap
+    /// unless it arrived whole inside one read chunk (the serve loop
+    /// re-checks per line; the cap's *memory* bound is enforced here).
+    data: Vec<u8>,
+    /// Stream byte offset of `data[0]`, for `bad_line` diagnostics.
+    offset: u64,
+}
+
+/// What the transport reader thread hands the serve loop. Transport
+/// errors have already been retried; oversized lines that could not be
+/// buffered have been classified and consumed. UTF-8 and length
+/// classification of in-block lines happens in the serve loop, which
+/// sees the raw bytes.
 enum ReaderMsg {
-    /// One complete wire line (newline stripped), within the length
-    /// cap and valid UTF-8.
-    Line(String),
-    /// A line the reader rejected without parsing — oversized (the
-    /// rest of it was discarded up to the next newline) or non-UTF-8.
-    /// Counts against the `--max-bad-lines` budget.
+    /// A batch of complete wire lines.
+    Block(LineBlock),
+    /// A line the reader rejected without shipping — oversized; the
+    /// rest of it was discarded up to the next newline. Counts against
+    /// the `--max-bad-lines` budget.
     Bad {
         /// Human-readable cause, for the structured stderr event.
         reason: String,
+        /// Stream byte offset where the rejected line began.
+        offset: u64,
+        /// Up to [`SNIPPET_MAX`] bytes of the line, lossily decoded.
+        snippet: String,
     },
     /// The transport died and stayed dead through the retry budget.
     Fatal(String),
 }
 
-/// One bounded read off a buffered transport: at most `max` bytes of
-/// line, hostile input discarded, transient errors retried.
-enum RawLine {
-    /// A complete line (without the newline). May be empty.
-    Line(Vec<u8>),
-    /// A line that exceeded `max`; `discarded` bytes were consumed and
-    /// thrown away up to (and including) the next newline or EOF.
-    TooLong {
-        /// Total bytes the oversized line held.
-        discarded: usize,
-    },
-    /// End of input; no partial line was pending.
-    Eof,
+/// An oversized line mid-discard: `read_blocks` stopped buffering it
+/// and is counting bytes until the next newline.
+struct Oversize {
+    /// Stream byte offset where the line began.
+    offset: u64,
+    /// Content bytes seen so far (excluding the newline).
+    total: usize,
+    /// The line's first bytes, kept for the `bad_line` event.
+    snippet: Vec<u8>,
 }
 
-/// Reads one newline-terminated line of at most `max` bytes without
-/// ever buffering more than `max` bytes of it, retrying transient read
-/// errors with `retry`. A final line without a trailing newline counts
-/// as a line (matching `BufRead::lines`).
-fn read_line_bounded<R: std::io::BufRead>(
-    reader: &mut R,
-    max: usize,
-    retry: &WallRetry,
-) -> Result<RawLine, String> {
-    let mut line: Vec<u8> = Vec::new();
-    // Bytes of the current line seen so far; once this passes `max`,
-    // content is counted but no longer stored, so a hostile client can
-    // never make the daemon hold more than `max` bytes of one line.
-    let mut total: usize = 0;
+impl Oversize {
+    fn into_msg(self, max_line: usize) -> ReaderMsg {
+        ReaderMsg::Bad {
+            reason: format!(
+                "line exceeds --max-line-bytes {max_line} ({} bytes discarded)",
+                self.total
+            ),
+            offset: self.offset,
+            snippet: snippet_of(&self.snippet),
+        }
+    }
+}
+
+/// Lossily decodes the first [`SNIPPET_MAX`] bytes of a line for a
+/// `bad_line` event.
+fn snippet_of(line: &[u8]) -> String {
+    String::from_utf8_lossy(&line[..line.len().min(SNIPPET_MAX)]).into_owned()
+}
+
+/// One rejected wire line, as recorded by [`DaemonOps::record_bad_line`].
+struct BadLine<'a> {
+    /// Human-readable cause (canonical strict-path or reader text).
+    reason: &'a str,
+    /// Absolute stream byte offset where the line began.
+    offset: u64,
+    /// Up to [`SNIPPET_MAX`] bytes of the line, lossily decoded.
+    snippet: &'a str,
+}
+
+/// Flushes the group-commit buffer: every applied-but-unlogged arrival
+/// pair of the open slot goes out as one multi-pair WAL record. The
+/// write-ahead invariant holds at batch granularity — a flush always
+/// precedes the slot close, checkpoint, shutdown sync, or fatal exit
+/// that would otherwise leave the log behind the applied state — so
+/// recovery still replays a clean prefix of the stream, and a hard
+/// kill can lose at most the current block's tail.
+fn flush_arrivals(
+    pending: &mut Vec<(u64, u64)>,
+    slot: u64,
+    dur: &mut Durability,
+    ops: &mut DaemonOps,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    dur.append(
+        &WalRecord::Arrivals {
+            slot,
+            pairs: std::mem::take(pending),
+        },
+        ops,
+    );
+}
+
+/// Drains one transport connection into the channel as line blocks.
+/// Returns when the input ends, the receiver hangs up, or the
+/// transport fails for good (after sending [`ReaderMsg::Fatal`]).
+///
+/// The reader never holds more than one read chunk plus one
+/// `--max-line-bytes` partial line: a line that outgrows the cap
+/// before its newline arrives flips into discard-and-count mode
+/// ([`Oversize`]), exactly like the old bounded per-line reader.
+fn pump<R: std::io::Read>(source: R, tx: &mpsc::Sender<ReaderMsg>, max_line: usize) {
+    let mut reader = std::io::BufReader::with_capacity(READ_CHUNK, source);
+    let retry = WallRetry::daemon_default();
+    // Absolute stream offset of the next byte `fill_buf` returns.
+    let mut pos: u64 = 0;
+    // Partial line carried across read chunks, and its start offset.
+    let mut carry: Vec<u8> = Vec::new();
+    let mut carry_at: u64 = 0;
+    let mut oversize: Option<Oversize> = None;
     loop {
-        let chunk = retry.run(
+        // Probe with retries first; `fill_buf` is then repeatable
+        // without I/O while its buffer is non-empty, so the zero-copy
+        // borrow below cannot hit a fresh transport error.
+        let probe = retry.run(
             || match reader.fill_buf() {
-                Ok(buf) => Ok(buf.to_vec()),
+                Ok(buf) => Ok(buf.len()),
                 Err(e) => Err(format!("transport read failed: {e}")),
             },
             |attempt, err, delay| {
@@ -226,65 +284,93 @@ fn read_line_bounded<R: std::io::BufRead>(
                     Json::Str(err.to_owned()).encode()
                 );
             },
-        )?;
-        if chunk.is_empty() {
-            // EOF: a pending partial line still counts (as with
-            // `BufRead::lines`), and an oversized one is still bad.
-            return Ok(if total == 0 {
-                RawLine::Eof
-            } else if total > max {
-                RawLine::TooLong { discarded: total }
-            } else {
-                RawLine::Line(line)
-            });
-        }
-        let (taken, done) = match chunk.iter().position(|&b| b == b'\n') {
-            Some(pos) => (pos + 1, true),
-            None => (chunk.len(), false),
-        };
-        let content = taken - usize::from(done);
-        total = total.saturating_add(content);
-        if total <= max {
-            line.extend_from_slice(&chunk[..content]);
-        }
-        reader.consume(taken);
-        if done {
-            return Ok(if total > max {
-                RawLine::TooLong { discarded: total }
-            } else {
-                RawLine::Line(line)
-            });
-        }
-    }
-}
-
-/// Drains one transport connection into the channel, classifying each
-/// line. Returns when the input ends, the receiver hangs up, or the
-/// transport fails for good (after sending [`ReaderMsg::Fatal`]).
-fn pump<R: std::io::Read>(source: R, tx: &mpsc::Sender<ReaderMsg>, max_line: usize) {
-    let mut reader = std::io::BufReader::new(source);
-    let retry = WallRetry::daemon_default();
-    loop {
-        let msg = match read_line_bounded(&mut reader, max_line, &retry) {
-            Ok(RawLine::Eof) => return,
-            Ok(RawLine::Line(bytes)) => match String::from_utf8(bytes) {
-                Ok(line) => ReaderMsg::Line(line),
-                Err(e) => ReaderMsg::Bad {
-                    reason: format!("non-UTF-8 line ({} bytes)", e.as_bytes().len()),
-                },
-            },
-            Ok(RawLine::TooLong { discarded }) => ReaderMsg::Bad {
-                reason: format!(
-                    "line exceeds --max-line-bytes {max_line} ({discarded} bytes discarded)"
-                ),
-            },
+        );
+        let n = match probe {
+            Ok(n) => n,
             Err(e) => {
                 let _ = tx.send(ReaderMsg::Fatal(e));
                 return;
             }
         };
-        if tx.send(msg).is_err() {
+        if n == 0 {
+            // EOF: a pending partial line still counts (as with
+            // `BufRead::lines`), and an oversized one is still bad.
+            if let Some(over) = oversize.take() {
+                let _ = tx.send(over.into_msg(max_line));
+            } else if !carry.is_empty() {
+                let _ = tx.send(ReaderMsg::Block(LineBlock {
+                    data: std::mem::take(&mut carry),
+                    offset: carry_at,
+                }));
+            }
             return;
+        }
+        let (msg, consumed) = {
+            let chunk = match reader.fill_buf() {
+                Ok(buf) => buf,
+                Err(e) => {
+                    let _ = tx.send(ReaderMsg::Fatal(format!("transport read failed: {e}")));
+                    return;
+                }
+            };
+            if let Some(over) = &mut oversize {
+                // Discarding: count until the line's newline.
+                match chunk.iter().position(|&b| b == b'\n') {
+                    Some(nl) => {
+                        over.total = over.total.saturating_add(nl);
+                        let msg = oversize.take().expect("checked above").into_msg(max_line);
+                        (Some(msg), nl + 1)
+                    }
+                    None => {
+                        over.total = over.total.saturating_add(chunk.len());
+                        (None, chunk.len())
+                    }
+                }
+            } else {
+                match chunk.iter().rposition(|&b| b == b'\n') {
+                    Some(last) => {
+                        // Complete lines available: ship carry + chunk
+                        // up to the last newline as one block.
+                        let block_at = if carry.is_empty() { pos } else { carry_at };
+                        let mut data = std::mem::take(&mut carry);
+                        data.extend_from_slice(&chunk[..=last]);
+                        carry_at = pos + last as u64 + 1;
+                        carry.extend_from_slice(&chunk[last + 1..]);
+                        (
+                            Some(ReaderMsg::Block(LineBlock {
+                                data,
+                                offset: block_at,
+                            })),
+                            chunk.len(),
+                        )
+                    }
+                    None => {
+                        if carry.is_empty() {
+                            carry_at = pos;
+                        }
+                        carry.extend_from_slice(chunk);
+                        (None, chunk.len())
+                    }
+                }
+            }
+        };
+        reader.consume(consumed);
+        pos += consumed as u64;
+        // The carried partial line hit the cap: stop buffering it and
+        // switch to counting (memory stays bounded by the cap).
+        if oversize.is_none() && carry.len() > max_line {
+            oversize = Some(Oversize {
+                offset: carry_at,
+                total: carry.len(),
+                snippet: carry[..carry.len().min(SNIPPET_MAX)].to_vec(),
+            });
+            carry.clear();
+            carry.shrink_to_fit();
+        }
+        if let Some(msg) = msg {
+            if tx.send(msg).is_err() {
+                return;
+            }
         }
     }
 }
@@ -657,14 +743,35 @@ impl DaemonOps {
     }
 
     /// Tallies one rejected wire line and emits the structured stderr
-    /// event operators alert on. The budget check stays with the
-    /// caller.
-    fn record_bad_line(&mut self, reason: &str, total: u64, budget: u64) {
+    /// event operators alert on, carrying the absolute stream byte
+    /// offset and a truncated snippet so the offending input can be
+    /// located in a multi-GB stream. The same fields land in the ops
+    /// recorder as a `bad_line` event (surfaced by `report`). The
+    /// budget check stays with the caller.
+    fn record_bad_line(&mut self, bad: &BadLine<'_>, slot: u64, total: u64, budget: u64) {
         self.rec.incr("serve.bad_lines", 1);
-        eprintln!(
-            "{{\"event\":\"bad_line\",\"total\":{total},\"budget\":{budget},\"reason\":{}}}",
-            Json::Str(reason.to_owned()).encode()
+        self.rec.event(
+            Some(slot),
+            "bad_line",
+            &[
+                ("reason", Value::Str(bad.reason.to_owned())),
+                ("offset", Value::UInt(bad.offset)),
+                ("snippet", Value::Str(bad.snippet.to_owned())),
+            ],
         );
+        eprintln!(
+            "{{\"event\":\"bad_line\",\"total\":{total},\"budget\":{budget},\"offset\":{},\
+             \"snippet\":{},\"reason\":{}}}",
+            bad.offset,
+            Json::Str(bad.snippet.to_owned()).encode(),
+            Json::Str(bad.reason.to_owned()).encode()
+        );
+    }
+
+    /// Tallies raw wire input shipped by the transport reader, for the
+    /// ingest throughput panel (`watch`, `/metrics`).
+    fn record_ingest_bytes(&mut self, bytes: u64) {
+        self.rec.incr("serve.ingest.bytes", bytes);
     }
 
     /// Tallies one WAL append/marker retry.
@@ -782,6 +889,10 @@ fn startup_banner(
         ("checkpoint".to_owned(), opt_str(opts.checkpoint.as_deref())),
         ("wal".to_owned(), opt_str(opts.wal.as_deref())),
         ("wal_sync".to_owned(), Json::Str(opts.wal_sync.to_string())),
+        (
+            "wire_decode".to_owned(),
+            Json::Str(opts.wire_decode.to_string()),
+        ),
         (
             "max_line_bytes".to_owned(),
             Json::UInt(opts.max_line_bytes as u64),
@@ -956,6 +1067,12 @@ pub fn serve(opts: &Options) -> Result<(), String> {
         requests_in_slot = lines as usize;
     }
     let mut bad_lines: u64 = 0;
+    // Group-commit buffer: arrival pairs applied to `open` but not yet
+    // WAL-appended. Flushed as one multi-pair record at every block
+    // boundary and before anything that closes, checkpoints, or ends
+    // the slot (see `flush_arrivals`).
+    let mut pending: Vec<(u64, u64)> = Vec::new();
+    let use_fast = opts.wire_decode == wire::WireDecode::Fast;
     let mut deadline = opts
         .slot_ms
         .map(|ms| Instant::now() + Duration::from_millis(ms));
@@ -963,6 +1080,7 @@ pub fn serve(opts: &Options) -> Result<(), String> {
 
     while !session.is_done() {
         if signals::triggered() {
+            flush_arrivals(&mut pending, session.next_slot() as u64, &mut dur, &mut ops);
             if let Some(path) = &opts.checkpoint {
                 dur.write_checkpoint(&session, path, &mut ops)?;
             }
@@ -982,6 +1100,8 @@ pub fn serve(opts: &Options) -> Result<(), String> {
         if eof {
             // Input ended before the horizon: pad the remaining slots
             // with zero arrivals so the run still settles cleanly.
+            // (`pending` is empty here — every block was flushed when
+            // it finished processing, and EOF arrives between blocks.)
             if requests_in_slot == 0 {
                 open.iter_mut().for_each(|c| *c = 0);
             }
@@ -1038,12 +1158,26 @@ pub fn serve(opts: &Options) -> Result<(), String> {
                 continue;
             }
         };
-        let line = match msg {
-            ReaderMsg::Line(line) => line,
-            ReaderMsg::Bad { reason } => {
+        let block = match msg {
+            ReaderMsg::Block(block) => block,
+            ReaderMsg::Bad {
+                reason,
+                offset,
+                snippet,
+            } => {
                 bad_lines += 1;
-                ops.record_bad_line(&reason, bad_lines, opts.max_bad_lines);
+                ops.record_bad_line(
+                    &BadLine {
+                        reason: &reason,
+                        offset,
+                        snippet: &snippet,
+                    },
+                    session.next_slot() as u64,
+                    bad_lines,
+                    opts.max_bad_lines,
+                );
                 if bad_lines > opts.max_bad_lines {
+                    flush_arrivals(&mut pending, session.next_slot() as u64, &mut dur, &mut ops);
                     return fail_serve(
                         &session,
                         opts,
@@ -1068,15 +1202,37 @@ pub fn serve(opts: &Options) -> Result<(), String> {
                 );
             }
         };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let parsed = match parse_line(line.trim(), num_edges) {
-            Ok(parsed) => parsed,
-            Err(reason) => {
+        ops.record_ingest_bytes(block.data.len() as u64);
+        let mut line_at = block.offset;
+        for raw in block.data.split_inclusive(|&b| b == b'\n') {
+            let at = line_at;
+            line_at += raw.len() as u64;
+            let line = match raw.last() {
+                Some(b'\n') => &raw[..raw.len() - 1],
+                _ => raw,
+            };
+            // The reader's memory bound only catches lines that span
+            // read chunks; one that arrived whole inside a block is
+            // rejected here, with the same reason and accounting.
+            if line.len() > opts.max_line_bytes {
+                let reason = format!(
+                    "line exceeds --max-line-bytes {} ({} bytes discarded)",
+                    opts.max_line_bytes,
+                    line.len()
+                );
                 bad_lines += 1;
-                ops.record_bad_line(&reason, bad_lines, opts.max_bad_lines);
+                ops.record_bad_line(
+                    &BadLine {
+                        reason: &reason,
+                        offset: at,
+                        snippet: &snippet_of(line),
+                    },
+                    session.next_slot() as u64,
+                    bad_lines,
+                    opts.max_bad_lines,
+                );
                 if bad_lines > opts.max_bad_lines {
+                    flush_arrivals(&mut pending, session.next_slot() as u64, &mut dur, &mut ops);
                     return fail_serve(
                         &session,
                         opts,
@@ -1091,21 +1247,125 @@ pub fn serve(opts: &Options) -> Result<(), String> {
                 }
                 continue;
             }
-        };
-        match parsed {
-            WireLine::Request { edge, count } => {
-                // Write-ahead: the arrival is durable (per the fsync
-                // policy) before the accumulator sees it.
-                dur.append(
-                    &WalRecord::Arrivals {
-                        slot: session.next_slot() as u64,
-                        pairs: vec![(edge as u64, count)],
-                    },
-                    &mut ops,
-                );
-                open[edge] += count;
-                requests_in_slot += 1;
-                if opts.slot_requests.is_some_and(|n| requests_in_slot >= n) {
+            // Fast path first (`--wire-decode fast`): a hit is certain
+            // to match the strict path, and is pure ASCII, so the
+            // UTF-8/trim/parse pipeline below can be skipped outright.
+            let fast = if use_fast {
+                wire::decode_fast(line, num_edges)
+            } else {
+                None
+            };
+            let parsed = match fast {
+                Some(msg) => msg,
+                None => {
+                    let text = match std::str::from_utf8(line) {
+                        Ok(text) => text,
+                        Err(_) => {
+                            let reason = format!("non-UTF-8 line ({} bytes)", line.len());
+                            bad_lines += 1;
+                            ops.record_bad_line(
+                                &BadLine {
+                                    reason: &reason,
+                                    offset: at,
+                                    snippet: &snippet_of(line),
+                                },
+                                session.next_slot() as u64,
+                                bad_lines,
+                                opts.max_bad_lines,
+                            );
+                            if bad_lines > opts.max_bad_lines {
+                                flush_arrivals(
+                                    &mut pending,
+                                    session.next_slot() as u64,
+                                    &mut dur,
+                                    &mut ops,
+                                );
+                                return fail_serve(
+                                    &session,
+                                    opts,
+                                    &mut ops,
+                                    &mut dur,
+                                    format!(
+                                        "too many bad wire lines ({bad_lines} rejected, \
+                                         --max-bad-lines {})",
+                                        opts.max_bad_lines
+                                    ),
+                                );
+                            }
+                            continue;
+                        }
+                    };
+                    let trimmed = text.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    match parse_line(trimmed, num_edges) {
+                        Ok(parsed) => parsed,
+                        Err(reason) => {
+                            bad_lines += 1;
+                            ops.record_bad_line(
+                                &BadLine {
+                                    reason: &reason,
+                                    offset: at,
+                                    snippet: &snippet_of(line),
+                                },
+                                session.next_slot() as u64,
+                                bad_lines,
+                                opts.max_bad_lines,
+                            );
+                            if bad_lines > opts.max_bad_lines {
+                                flush_arrivals(
+                                    &mut pending,
+                                    session.next_slot() as u64,
+                                    &mut dur,
+                                    &mut ops,
+                                );
+                                return fail_serve(
+                                    &session,
+                                    opts,
+                                    &mut ops,
+                                    &mut dur,
+                                    format!(
+                                        "too many bad wire lines ({bad_lines} rejected, \
+                                         --max-bad-lines {})",
+                                        opts.max_bad_lines
+                                    ),
+                                );
+                            }
+                            continue;
+                        }
+                    }
+                }
+            };
+            match parsed {
+                WireLine::Request { edge, count } => {
+                    // Write-ahead at batch granularity: the pair joins
+                    // the group-commit buffer now and is WAL-appended
+                    // (one multi-pair record) before the slot closes
+                    // or the block ends.
+                    pending.push((edge as u64, count));
+                    open[edge] += count;
+                    requests_in_slot += 1;
+                    if opts.slot_requests.is_some_and(|n| requests_in_slot >= n) {
+                        flush_arrivals(
+                            &mut pending,
+                            session.next_slot() as u64,
+                            &mut dur,
+                            &mut ops,
+                        );
+                        close_slot(
+                            &mut session,
+                            &mut open,
+                            &mut requests_in_slot,
+                            &mut deadline,
+                            opts,
+                            &mut ops,
+                            &mut dur,
+                        )?;
+                    }
+                }
+                WireLine::SlotEnd => {
+                    flush_arrivals(&mut pending, session.next_slot() as u64, &mut dur, &mut ops);
                     close_slot(
                         &mut session,
                         &mut open,
@@ -1117,23 +1377,18 @@ pub fn serve(opts: &Options) -> Result<(), String> {
                     )?;
                 }
             }
-            WireLine::SlotEnd => {
-                close_slot(
-                    &mut session,
-                    &mut open,
-                    &mut requests_in_slot,
-                    &mut deadline,
-                    opts,
-                    &mut ops,
-                    &mut dur,
-                )?;
+            if let Some(k) = opts.halt_at_slot {
+                if session.next_slot() == k {
+                    return halt(&session, opts, &mut ops, &mut dur);
+                }
+            }
+            if session.is_done() {
+                break;
             }
         }
-        if let Some(k) = opts.halt_at_slot {
-            if session.next_slot() == k {
-                return halt(&session, opts, &mut ops, &mut dur);
-            }
-        }
+        // End of block: group-commit whatever the block accumulated
+        // for the still-open slot.
+        flush_arrivals(&mut pending, session.next_slot() as u64, &mut dur, &mut ops);
     }
     dur.shutdown_sync();
 
@@ -1416,84 +1671,152 @@ mod tests {
     }
 
     #[test]
-    fn bounded_reader_caps_line_length() {
+    fn block_reader_ships_complete_lines() {
         use std::io::Cursor;
-        let retry = WallRetry::daemon_default();
-
-        // Normal lines pass through intact, with the newline stripped.
-        let mut src = Cursor::new(b"short\nlonger line here\n".to_vec());
-        match read_line_bounded(&mut src, 64, &retry).expect("ok") {
-            RawLine::Line(l) => assert_eq!(l, b"short"),
-            _ => panic!("expected a line"),
+        // Small stream, one read chunk: one block up to the last
+        // newline, then the unterminated tail flushed at EOF as its
+        // own block (a final line without `\n` still counts).
+        let (tx, rx) = mpsc::channel();
+        pump(
+            Cursor::new(b"short\nlonger line here\ntail".to_vec()),
+            &tx,
+            64,
+        );
+        drop(tx);
+        let msgs: Vec<ReaderMsg> = rx.iter().collect();
+        assert_eq!(msgs.len(), 2);
+        match &msgs[0] {
+            ReaderMsg::Block(b) => {
+                assert_eq!(b.data, b"short\nlonger line here\n");
+                assert_eq!(b.offset, 0);
+            }
+            _ => panic!("expected a block"),
         }
-        match read_line_bounded(&mut src, 64, &retry).expect("ok") {
-            RawLine::Line(l) => assert_eq!(l, b"longer line here"),
-            _ => panic!("expected a line"),
+        match &msgs[1] {
+            ReaderMsg::Block(b) => {
+                assert_eq!(b.data, b"tail");
+                assert_eq!(b.offset, 23);
+            }
+            _ => panic!("expected the EOF carry block"),
         }
-        assert!(matches!(
-            read_line_bounded(&mut src, 64, &retry),
-            Ok(RawLine::Eof)
-        ));
-
-        // A final line without a trailing newline still counts.
-        let mut src = Cursor::new(b"tail".to_vec());
-        match read_line_bounded(&mut src, 64, &retry).expect("ok") {
-            RawLine::Line(l) => assert_eq!(l, b"tail"),
-            _ => panic!("expected a line"),
-        }
-
-        // An oversized line is discarded (with its true length
-        // reported) and the stream recovers at the next newline.
-        let mut hostile = vec![b'x'; 1000];
-        hostile.push(b'\n');
-        hostile.extend_from_slice(b"{\"edge\":1}\n");
-        let mut src = Cursor::new(hostile);
-        match read_line_bounded(&mut src, 64, &retry).expect("ok") {
-            RawLine::TooLong { discarded } => assert_eq!(discarded, 1000),
-            _ => panic!("expected TooLong"),
-        }
-        match read_line_bounded(&mut src, 64, &retry).expect("ok") {
-            RawLine::Line(l) => assert_eq!(l, b"{\"edge\":1}"),
-            _ => panic!("recovery after hostile line"),
-        }
-
-        // Oversized with no newline before EOF: still classified.
-        let mut src = Cursor::new(vec![b'y'; 500]);
-        match read_line_bounded(&mut src, 64, &retry).expect("ok") {
-            RawLine::TooLong { discarded } => assert_eq!(discarded, 500),
-            _ => panic!("expected TooLong"),
-        }
-
-        // A line of exactly max bytes is allowed; max+1 is not.
-        let mut src = Cursor::new([vec![b'a'; 64], b"\n".to_vec()].concat());
-        assert!(matches!(
-            read_line_bounded(&mut src, 64, &retry),
-            Ok(RawLine::Line(l)) if l.len() == 64
-        ));
-        let mut src = Cursor::new([vec![b'a'; 65], b"\n".to_vec()].concat());
-        assert!(matches!(
-            read_line_bounded(&mut src, 64, &retry),
-            Ok(RawLine::TooLong { discarded: 65 })
-        ));
     }
 
     #[test]
-    fn pump_classifies_hostile_input() {
+    fn block_reader_spans_chunks_with_correct_offsets() {
         use std::io::Cursor;
+        // A stream larger than one read chunk: lines land in several
+        // blocks, every block starts on a line boundary, offsets are
+        // absolute, and reassembly is byte-identical.
+        let line: &[u8] = b"{\"edge\":3,\"count\":17}\n";
+        let mut stream = Vec::new();
+        while stream.len() < READ_CHUNK + READ_CHUNK / 2 {
+            stream.extend_from_slice(line);
+        }
+        let (tx, rx) = mpsc::channel();
+        pump(Cursor::new(stream.clone()), &tx, 4096);
+        drop(tx);
+        let mut rebuilt = Vec::new();
+        let mut blocks = 0;
+        for msg in rx.iter() {
+            match msg {
+                ReaderMsg::Block(b) => {
+                    assert_eq!(b.offset as usize, rebuilt.len(), "offsets are absolute");
+                    assert_eq!(
+                        b.data.len() % line.len(),
+                        0,
+                        "blocks split on line boundaries"
+                    );
+                    rebuilt.extend_from_slice(&b.data);
+                    blocks += 1;
+                }
+                _ => panic!("clean stream must not produce Bad/Fatal"),
+            }
+        }
+        assert!(blocks >= 2, "stream spans chunks");
+        assert_eq!(rebuilt, stream);
+    }
+
+    #[test]
+    fn block_reader_discards_oversized_spanning_lines() {
+        use std::io::Cursor;
+        // A line that outgrows the cap before its newline arrives is
+        // discarded in counting mode: memory stays bounded, the true
+        // length, stream offset, and a snippet are reported, and the
+        // stream recovers at the next newline.
+        let huge = READ_CHUNK + 1000;
+        let mut stream = b"ok\n".to_vec();
+        stream.extend_from_slice(&vec![b'y'; huge]);
+        stream.push(b'\n');
+        stream.extend_from_slice(b"{\"edge\":1}\n");
+        let (tx, rx) = mpsc::channel();
+        pump(Cursor::new(stream), &tx, 64);
+        drop(tx);
+        let msgs: Vec<ReaderMsg> = rx.iter().collect();
+        assert_eq!(msgs.len(), 3);
+        assert!(matches!(
+            &msgs[0],
+            ReaderMsg::Block(b) if b.data == b"ok\n" && b.offset == 0
+        ));
+        match &msgs[1] {
+            ReaderMsg::Bad {
+                reason,
+                offset,
+                snippet,
+            } => {
+                assert_eq!(
+                    reason,
+                    &format!("line exceeds --max-line-bytes 64 ({huge} bytes discarded)")
+                );
+                assert_eq!(*offset, 3);
+                assert_eq!(snippet, &"y".repeat(SNIPPET_MAX));
+            }
+            _ => panic!("expected the oversize rejection"),
+        }
+        assert!(matches!(
+            &msgs[2],
+            ReaderMsg::Block(b)
+                if b.data == b"{\"edge\":1}\n" && b.offset == 3 + huge as u64 + 1
+        ));
+
+        // Oversized with no newline before EOF: still classified.
+        let (tx, rx) = mpsc::channel();
+        pump(Cursor::new(vec![b'z'; READ_CHUNK + 500]), &tx, 64);
+        drop(tx);
+        let msgs: Vec<ReaderMsg> = rx.iter().collect();
+        assert_eq!(msgs.len(), 1);
+        match &msgs[0] {
+            ReaderMsg::Bad { reason, offset, .. } => {
+                assert!(reason.contains(&format!("{} bytes discarded", READ_CHUNK + 500)));
+                assert_eq!(*offset, 0);
+            }
+            _ => panic!("expected the oversize rejection"),
+        }
+    }
+
+    #[test]
+    fn pump_ships_raw_bytes_for_consumer_classification() {
+        use std::io::Cursor;
+        // Non-UTF-8 bytes and overlong lines that arrived whole inside
+        // a chunk are the serve loop's to classify: the reader ships
+        // them raw inside the block. Only the *memory* bound — a line
+        // spanning chunks past the cap — is enforced reader-side.
         let (tx, rx) = mpsc::channel();
         let mut stream = b"{\"edge\":0}\n".to_vec();
         stream.extend_from_slice(&[0xFF, 0xFE, 0x80, b'\n']); // non-UTF-8
         stream.extend_from_slice(&vec![b'z'; 300]);
-        stream.push(b'\n'); // oversized at max 128
+        stream.push(b'\n'); // over the 128-byte cap, but in-block
         stream.extend_from_slice(b"{\"slot_end\":true}\n");
-        pump(Cursor::new(stream), &tx, 128);
+        pump(Cursor::new(stream.clone()), &tx, 128);
         drop(tx);
         let msgs: Vec<ReaderMsg> = rx.iter().collect();
-        assert_eq!(msgs.len(), 4);
-        assert!(matches!(&msgs[0], ReaderMsg::Line(l) if l == "{\"edge\":0}"));
-        assert!(matches!(&msgs[1], ReaderMsg::Bad { reason } if reason.contains("non-UTF-8")));
-        assert!(matches!(&msgs[2], ReaderMsg::Bad { reason } if reason.contains("max-line-bytes")));
-        assert!(matches!(&msgs[3], ReaderMsg::Line(l) if l == "{\"slot_end\":true}"));
+        assert_eq!(msgs.len(), 1, "one chunk in, one block out");
+        match &msgs[0] {
+            ReaderMsg::Block(b) => {
+                assert_eq!(b.data, stream);
+                assert_eq!(b.offset, 0);
+            }
+            _ => panic!("expected a block"),
+        }
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub fn watch(opts: &Options) -> Result<(), String> {
     };
 
     let mut lambda_history: Vec<f64> = Vec::new();
-    let mut prev_sample: Option<(Instant, f64)> = None;
+    let mut prev_sample: Option<FlowSample> = None;
     let mut refresh = 0u64;
     loop {
         let page = scrape(&source)?;
@@ -63,14 +63,16 @@ pub fn watch(opts: &Options) -> Result<(), String> {
         if let Some(lambda) = metric(&page, "dual.lambda") {
             lambda_history.push(lambda);
         }
-        let slots = metric(&page, "serve.slots").unwrap_or(0.0);
-        let now = Instant::now();
-        let rate = prev_sample.and_then(|(at, was)| {
-            let dt = now.duration_since(at).as_secs_f64();
-            (dt > 0.0).then(|| (slots - was) / dt)
-        });
-        prev_sample = Some((now, slots));
-        render_dashboard(&page, &label, refresh, rate, &lambda_history);
+        let sample = FlowSample {
+            at: Instant::now(),
+            slots: metric(&page, "serve.slots").unwrap_or(0.0),
+            requests: metric(&page, "serve.requests").unwrap_or(0.0),
+            bytes: metric(&page, "serve.ingest.bytes").unwrap_or(0.0),
+            bad: metric(&page, "serve.bad_lines").unwrap_or(0.0),
+        };
+        let flow = prev_sample.as_ref().and_then(|was| was.rates_to(&sample));
+        prev_sample = Some(sample);
+        render_dashboard(&page, &label, refresh, flow.as_ref(), &lambda_history);
         if opts.iterations.is_some_and(|n| refresh >= n) {
             return Ok(());
         }
@@ -99,6 +101,37 @@ fn scrape(source: &Source) -> Result<Exposition, String> {
     }
 }
 
+/// One scrape's flow counters, for rate computation between refreshes.
+struct FlowSample {
+    at: Instant,
+    slots: f64,
+    requests: f64,
+    bytes: f64,
+    bad: f64,
+}
+
+/// Per-second deltas between two consecutive scrapes.
+struct FlowRates {
+    slots: f64,
+    requests: f64,
+    bytes: f64,
+    bad: f64,
+}
+
+impl FlowSample {
+    /// Rates from this sample to a newer one; `None` until time has
+    /// visibly passed.
+    fn rates_to(&self, now: &FlowSample) -> Option<FlowRates> {
+        let dt = now.at.duration_since(self.at).as_secs_f64();
+        (dt > 0.0).then(|| FlowRates {
+            slots: (now.slots - self.slots) / dt,
+            requests: (now.requests - self.requests) / dt,
+            bytes: (now.bytes - self.bytes) / dt,
+            bad: (now.bad - self.bad) / dt,
+        })
+    }
+}
+
 /// The first sample of the (sanitized) metric, any labels.
 fn metric(page: &Exposition, raw: &str) -> Option<f64> {
     page.value(&expo::sanitize_name(raw), &[])
@@ -115,12 +148,26 @@ fn fmt_us(us: f64) -> String {
     }
 }
 
+/// Bytes, humanized: `640B`, `4.2KiB`, `1.5MiB`, `2.10GiB`.
+fn fmt_bytes(b: f64) -> String {
+    const KI: f64 = 1024.0;
+    if b < KI {
+        format!("{b:.0}B")
+    } else if b < KI * KI {
+        format!("{:.1}KiB", b / KI)
+    } else if b < KI * KI * KI {
+        format!("{:.1}MiB", b / (KI * KI))
+    } else {
+        format!("{:.2}GiB", b / (KI * KI * KI))
+    }
+}
+
 /// Renders one dashboard frame to stdout.
 fn render_dashboard(
     page: &Exposition,
     label: &str,
     refresh: u64,
-    rate: Option<f64>,
+    flow: Option<&FlowRates>,
     lambda_history: &[f64],
 ) {
     if std::io::stdout().is_terminal() {
@@ -131,9 +178,23 @@ fn render_dashboard(
 
     let slots = m("serve.slots").unwrap_or(0.0);
     let of = m("serve.horizon").map_or(String::new(), |h| format!(" of {h:.0}"));
-    let rate = rate.map_or("rate —".to_owned(), |r| format!("{r:.2} slots/s"));
+    let rate = flow.map_or("rate —".to_owned(), |f| format!("{:.2} slots/s", f.slots));
     let requests = m("serve.requests").unwrap_or(0.0);
     println!("slots        : {slots:.0}{of} served, {requests:.0} requests   ({rate})");
+
+    let bad_total = m("serve.bad_lines").unwrap_or(0.0);
+    if let Some(bytes_total) = m("serve.ingest.bytes") {
+        let totals = format!("{} in, {bad_total:.0} bad lines", fmt_bytes(bytes_total));
+        match flow {
+            Some(f) => println!(
+                "ingest       : {:.0} req/s  {}/s  {:.2} bad/s   ({totals})",
+                f.requests,
+                fmt_bytes(f.bytes),
+                f.bad
+            ),
+            None => println!("ingest       : {totals}"),
+        }
+    }
 
     if let Some(h) = page.histogram_view(&expo::sanitize_name("serve.latency.slot_us"), &[]) {
         let q = |x: f64| h.quantile(x).map_or("—".to_owned(), fmt_us);
@@ -212,6 +273,8 @@ mod tests {
         rec.set_label("stream", "ops");
         rec.incr("serve.slots", 17);
         rec.incr("serve.requests", 1234);
+        rec.incr("serve.ingest.bytes", 28_400);
+        rec.incr("serve.bad_lines", 3);
         rec.gauge("serve.horizon", 40.0);
         rec.gauge("dual.lambda", 0.42);
         rec.gauge("envelope.live.lambda_ceiling", 1.8);
@@ -236,6 +299,8 @@ mod tests {
         let text = expo::render(&[&rec]).expect("render");
         let page = expo::parse(&text).expect("parse");
         assert_eq!(metric(&page, "serve.slots"), Some(17.0));
+        assert_eq!(metric(&page, "serve.ingest.bytes"), Some(28_400.0));
+        assert_eq!(metric(&page, "serve.bad_lines"), Some(3.0));
         assert_eq!(metric(&page, "dual.lambda"), Some(0.42));
         assert_eq!(metric(&page, "envelope.live.excused"), Some(2.0));
         let h = page

@@ -291,6 +291,98 @@ fn sigkill_recovery_is_bit_identical() {
     }
 }
 
+/// SIGKILL immediately after a group-committed burst: a batch of
+/// request lines delivered as one pipe write lands in the WAL as a
+/// single multi-pair `Arrivals` record (the group commit must actually
+/// happen, not degrade to per-line appends), the surviving log is a
+/// clean record prefix, and resuming from it reproduces the reference
+/// telemetry byte-for-byte.
+#[test]
+fn group_commit_burst_survives_sigkill() {
+    let dir = temp_dir("group-commit");
+    let reference = reference_trace(&dir, false);
+    let waldir = dir.join("wal");
+    let ckpt = dir.join("state.ckpt");
+
+    // Slot 0 complete, then slot 1's request burst with no slot_end:
+    // the daemon is killed with slot 1 open but its burst durably
+    // acknowledged as one coalesced record.
+    let lines = full_stream();
+    let open_requests = rows()[1].iter().filter(|&&c| c > 0).count();
+    let kill_after = lines
+        .iter()
+        .position(|l| l.contains("slot_end"))
+        .expect("slot 0 end")
+        + 1
+        + open_requests;
+    let burst = lines[..kill_after].join("\n") + "\n";
+
+    let mut child = serve_cmd(
+        false,
+        &[
+            "--checkpoint",
+            ckpt.to_str().expect("utf-8 path"),
+            "--checkpoint-every",
+            "3",
+            "--wal",
+            waldir.to_str().expect("utf-8 path"),
+            "--wal-sync",
+            "every",
+            "--telemetry",
+            dir.join("chaos.jsonl").to_str().expect("utf-8 path"),
+        ],
+    )
+    .stdout(Stdio::null())
+    .stderr(Stdio::null())
+    .spawn()
+    .expect("spawn daemon");
+    let mut stdin = child.stdin.take().expect("stdin");
+    // One write syscall: the whole burst reaches the block reader as a
+    // single chunk, so the daemon must coalesce it into one record.
+    stdin.write_all(burst.as_bytes()).expect("write burst");
+    stdin.flush().expect("flush burst");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut last = usize::MAX;
+    let mut stable = 0;
+    while Instant::now() < deadline && stable < 4 {
+        std::thread::sleep(Duration::from_millis(75));
+        let n = wal::read_records(&waldir).map_or(0, |r| r.records.len());
+        if n == last && n > 0 {
+            stable += 1;
+        } else {
+            stable = 0;
+            last = n;
+        }
+    }
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap");
+    drop(stdin);
+
+    // The surviving log is a readable prefix and the burst was group
+    // committed: at least one Arrivals record carries several pairs.
+    let recovery = wal::read_records(&waldir).expect("clean WAL prefix after SIGKILL");
+    assert!(
+        recovery.records.iter().any(|r| matches!(
+            r,
+            wal::WalRecord::Arrivals { pairs, .. } if pairs.len() > 1
+        )),
+        "burst was not group committed: {:?}",
+        recovery.records
+    );
+    let tail = wal::replay(&recovery.records, EDGES, 0).expect("replay");
+    assert_eq!(
+        tail.open_lines, open_requests as u64,
+        "group-committed record must replay per-line accounting"
+    );
+
+    let (_, trace) = resume_run(&dir, &waldir, &ckpt, false, "4");
+    assert_eq!(
+        trace, reference,
+        "telemetry diverged after SIGKILL mid group-committed burst"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Injected crash points inside the storage layer itself — a torn WAL
 /// append, a torn checkpoint temp file, a fully written but un-renamed
 /// checkpoint — all recover bit-identically, and the torn WAL tail is

@@ -33,6 +33,9 @@
 //!   machinery, byte-comparable to a batch replay;
 //! * [`checkpoint`] — the versioned on-disk snapshot format behind
 //!   `serve --checkpoint-every`/`--resume`;
+//! * [`wire`] — the serve daemon's request-stream decoders: the
+//!   strict reference JSON path and a zero-allocation fast path for
+//!   the two canonical wire shapes, equivalence-tested byte for byte;
 //! * [`wal`] — the durable write-ahead arrival log that closes the
 //!   gap between checkpoints: CRC-framed records, segment rotation,
 //!   torn-tail truncation, and checkpoint-anchored garbage collection,
@@ -75,6 +78,7 @@ pub mod regret;
 pub mod runner;
 pub mod serve;
 pub mod wal;
+pub mod wire;
 
 pub use checkpoint::Checkpoint;
 pub use combos::{Combo, SelectorKind, TraderKind};
@@ -89,3 +93,4 @@ pub use runner::{
 };
 pub use serve::{ServeOptions, ServeOutcome, ServeSession};
 pub use wal::{SyncPolicy, Wal, WalOptions, WalRecord, WalTail};
+pub use wire::{WireDecode, WireMsg};

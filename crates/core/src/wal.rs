@@ -284,8 +284,11 @@ pub struct WalTail {
     /// Per-edge arrivals recorded for the still-open slot
     /// `start_slot + closed.len()`.
     pub open: Vec<u64>,
-    /// Arrival batches recorded for the open slot (the daemon's
-    /// request-line counter, for `--slot-requests` triggers).
+    /// Request lines recorded for the open slot (the daemon's
+    /// `--slot-requests` counter). A group-committed `Arrivals` record
+    /// contributes one line per `(edge, count)` pair — the daemon
+    /// coalesces a burst of lines into a single record, and replay
+    /// must recover the same per-line accounting.
     pub open_lines: u64,
 }
 
@@ -639,7 +642,7 @@ pub fn replay(records: &[WalRecord], num_edges: usize, start_slot: u64) -> Resul
                         })?;
                     *lane = lane.saturating_add(*count);
                 }
-                tail.open_lines += 1;
+                tail.open_lines += pairs.len() as u64;
             }
             WalRecord::SlotClose { slot } => {
                 if *slot < start_slot {
@@ -912,6 +915,52 @@ mod tests {
             pairs: vec![(7, 1)],
         }];
         assert!(replay(&bad, 2, 0).unwrap_err().contains("edge 7"));
+    }
+
+    /// A group-committed record (one `Arrivals` frame carrying a whole
+    /// burst of request lines) replays with per-line accounting: the
+    /// open slot's `open_lines` counts pairs, not frames, so a resumed
+    /// daemon's `--slot-requests` trigger fires at the same line as
+    /// one that never crashed.
+    #[test]
+    fn group_committed_arrivals_replay_per_line() {
+        let records = vec![
+            WalRecord::Arrivals {
+                slot: 0,
+                pairs: vec![(0, 2), (1, 1), (0, 4)],
+            },
+            WalRecord::Arrivals {
+                slot: 0,
+                pairs: vec![(1, 7)],
+            },
+        ];
+        let tail = replay(&records, 2, 0).expect("replay");
+        assert_eq!(tail.open, vec![6, 8]);
+        assert_eq!(tail.open_lines, 4, "3 pairs + 1 pair = 4 request lines");
+
+        // Closing the slot folds the batch identically to four
+        // single-pair records — group commit changes framing only.
+        let singles = vec![
+            WalRecord::Arrivals {
+                slot: 0,
+                pairs: vec![(0, 2)],
+            },
+            WalRecord::Arrivals {
+                slot: 0,
+                pairs: vec![(1, 1)],
+            },
+            WalRecord::Arrivals {
+                slot: 0,
+                pairs: vec![(0, 4)],
+            },
+            WalRecord::Arrivals {
+                slot: 0,
+                pairs: vec![(1, 7)],
+            },
+        ];
+        let equivalent = replay(&singles, 2, 0).expect("replay");
+        assert_eq!(equivalent.open, tail.open);
+        assert_eq!(equivalent.open_lines, tail.open_lines);
     }
 
     #[test]

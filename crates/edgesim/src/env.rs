@@ -56,6 +56,139 @@ pub enum ServeMode {
     PerRequest,
 }
 
+/// Transposed per-sample evaluation lanes for the batched slot
+/// reduction.
+///
+/// [`EvalTable`](cne_nn::zoo::EvalTable) stores one loss/correctness
+/// vector *per model*, so
+/// reducing a slot's drawn indices one table at a time gathers from
+/// `num_models` distant arrays and walks each sum as a single
+/// dependent f64 fold — the additions serialize on the accumulator.
+/// `StatLanes` transposes the same values into row-major
+/// `[pool_sample][table]` order: reducing a slot then streams one
+/// contiguous `num_models`-wide row per drawn sample into
+/// `num_models` *independent* accumulator lanes, which the compiler
+/// autovectorizes (adjacent lanes, no float reassociation needed).
+///
+/// Bit-identity with the scalar path is structural, not accidental:
+/// each table's lane receives exactly the additions
+/// `0.0 + l[idx0] + l[idx1] + …` in drawn-index order — the same fold
+/// [`mean_loss_at`](cne_nn::zoo::EvalTable::mean_loss_at) computes —
+/// and the correctness lane
+/// accumulates exact small integers (as f64), so the final
+/// `sum / len` divisions see operand-for-operand identical inputs.
+/// The equivalence is pinned by tests against the scalar reductions.
+#[derive(Debug)]
+struct StatLanes {
+    /// Row-major `[pool_sample][table]` Brier losses, rows zero-padded
+    /// to [`LANE_PAD`]-multiple width.
+    losses: Vec<f64>,
+    /// Row-major `[pool_sample][table]` correctness (0.0/1.0),
+    /// pre-converted so the hot loop adds without converting; same
+    /// padding.
+    correct: Vec<f64>,
+    /// Logical row width: number of eval tables (= models in the zoo).
+    width: usize,
+    /// Stored row width: `width` rounded up to a [`LANE_PAD`] multiple
+    /// so the accumulation loops run a tail-free, vector-width trip
+    /// count.
+    padded: usize,
+}
+
+/// Lane padding granule: rows are stored at the next multiple of this
+/// width, so the fixed-trip accumulation loop divides evenly into
+/// 2-/4-/8-wide f64 vectors and never runs a scalar tail.
+const LANE_PAD: usize = 8;
+
+/// Widest padded row served by the stack-allocated accumulators; a
+/// zoo wider than this (none ship) falls back to heap accumulators.
+const LANE_MAX: usize = 64;
+
+impl StatLanes {
+    /// Transposes the zoo's eval tables into padded sample-major rows.
+    fn build(zoo: &ModelZoo) -> Self {
+        let width = zoo.len();
+        let padded = width.div_ceil(LANE_PAD) * LANE_PAD;
+        let rows = zoo.pool().len();
+        let mut losses = vec![0.0; rows * padded];
+        let mut correct = vec![0.0; rows * padded];
+        for s in 0..rows {
+            for n in 0..width {
+                let table = &zoo.model(n).eval;
+                losses[s * padded + n] = table.loss(s);
+                correct[s * padded + n] = f64::from(u8::from(table.is_correct(s)));
+            }
+        }
+        Self {
+            losses,
+            correct,
+            width,
+            padded,
+        }
+    }
+
+    /// Reduces one slot's drawn pool `indices` into per-table mean
+    /// loss and accuracy, bit-identical to calling
+    /// [`mean_loss_at`](cne_nn::zoo::EvalTable::mean_loss_at) /
+    /// [`accuracy_at`](cne_nn::zoo::EvalTable::accuracy_at) per
+    /// table (including the empty-slot sentinels: loss `0.0`,
+    /// accuracy `1.0`).
+    fn reduce(&self, indices: &[usize], loss_out: &mut [f64], acc_out: &mut [f64]) {
+        let w = self.width;
+        assert_eq!(loss_out.len(), w, "one loss lane per table");
+        assert_eq!(acc_out.len(), w, "one accuracy lane per table");
+        if indices.is_empty() {
+            loss_out.fill(0.0);
+            acc_out.fill(1.0);
+            return;
+        }
+        if self.padded <= LANE_MAX {
+            let mut loss_acc = [0.0f64; LANE_MAX];
+            let mut hit_acc = [0.0f64; LANE_MAX];
+            self.accumulate(indices, &mut loss_acc, &mut hit_acc);
+            Self::divide(&loss_acc, &hit_acc, indices.len(), loss_out, acc_out);
+        } else {
+            let mut loss_acc = vec![0.0f64; self.padded];
+            let mut hit_acc = vec![0.0f64; self.padded];
+            self.accumulate(indices, &mut loss_acc, &mut hit_acc);
+            Self::divide(&loss_acc, &hit_acc, indices.len(), loss_out, acc_out);
+        }
+    }
+
+    /// The hot loop: one padded row of losses and correctness per
+    /// drawn index, added lane-wise into the accumulators. Each lane
+    /// receives `0.0 + v[idx0] + v[idx1] + …` in drawn-index order —
+    /// the scalar folds, interleaved across independent lanes, which
+    /// is what lets the compiler vectorize without reassociating any
+    /// float.
+    #[inline]
+    fn accumulate(&self, indices: &[usize], loss_acc: &mut [f64], hit_acc: &mut [f64]) {
+        let wp = self.padded;
+        for &s in indices {
+            let base = s * wp;
+            let row = &self.losses[base..base + wp];
+            for (acc, &l) in loss_acc[..wp].iter_mut().zip(row) {
+                *acc += l;
+            }
+            let row = &self.correct[base..base + wp];
+            for (acc, &c) in hit_acc[..wp].iter_mut().zip(row) {
+                *acc += c;
+            }
+        }
+    }
+
+    /// Final reduction: the same `sum / len` divisions the scalar
+    /// paths compute — the loss lane holds the identical fold, the
+    /// hit lane an exact integer count (sums of 1.0 are exact).
+    fn divide(loss_acc: &[f64], hit_acc: &[f64], len: usize, out_l: &mut [f64], out_a: &mut [f64]) {
+        let len = len as f64;
+        for n in 0..out_l.len() {
+            out_l[n] = loss_acc[n] / len;
+            out_a[n] = hit_acc[n] / len;
+        }
+    }
+}
+
 /// A fully realized simulation instance.
 ///
 /// Everything that does not depend on policy decisions — topology,
@@ -83,6 +216,9 @@ pub struct Environment<'a> {
     slot_loss: Vec<f64>,
     /// Cached `accuracy_at`, same layout ([`ServeMode::Batched`] only).
     slot_acc: Vec<f64>,
+    /// Transposed `[pool_sample][table]` evaluation lanes feeding the
+    /// batched slot reductions ([`ServeMode::Batched`] only).
+    lanes: Option<StatLanes>,
     /// `expected_loss()` per eval table, cached at construction — the
     /// run loop charges it once per edge-slot, and recomputing the
     /// pool mean there would dominate serving.
@@ -406,6 +542,12 @@ impl<'a> Environment<'a> {
             .collect();
         let num_models = zoo.len();
         let cells = config.num_edges * config.horizon * num_models;
+        // Batched mode reduces through the transposed lanes; the
+        // per-request path reduces straight off the eval tables.
+        let lanes = match serve_mode {
+            ServeMode::Batched => Some(StatLanes::build(zoo)),
+            ServeMode::PerRequest => None,
+        };
         let (mut slot_indices, slot_loss, slot_acc): (Vec<Vec<Vec<usize>>>, Vec<f64>, Vec<f64>);
         if streaming {
             // Streaming: keep the stream RNGs and pre-size the per-slot
@@ -442,15 +584,18 @@ impl<'a> Environment<'a> {
             // are bit-identical — and then drops the indices.
             (slot_loss, slot_acc) = match serve_mode {
                 ServeMode::Batched => {
-                    let mut loss = Vec::with_capacity(cells);
-                    let mut acc = Vec::with_capacity(cells);
+                    let stat_lanes = lanes.as_ref().expect("batched mode builds lanes");
+                    let mut loss = vec![0.0; cells];
+                    let mut acc = vec![0.0; cells];
+                    let mut cell = 0;
                     for per_edge in &slot_indices {
                         for indices in per_edge {
-                            for n in 0..num_models {
-                                let table = &zoo.model(n).eval;
-                                loss.push(table.mean_loss_at(indices));
-                                acc.push(table.accuracy_at(indices));
-                            }
+                            stat_lanes.reduce(
+                                indices,
+                                &mut loss[cell..cell + num_models],
+                                &mut acc[cell..cell + num_models],
+                            );
+                            cell += num_models;
                         }
                     }
                     slot_indices = Vec::new();
@@ -495,6 +640,7 @@ impl<'a> Environment<'a> {
             serve_mode,
             slot_loss,
             slot_acc,
+            lanes,
             expected_losses,
             market,
             drift_perm,
@@ -560,12 +706,13 @@ impl<'a> Environment<'a> {
             let indices = self.streams[i].draw_slot_capped(count, self.config.loss_sample_cap);
             match self.serve_mode {
                 ServeMode::Batched => {
-                    for n in 0..num_models {
-                        let cell = (i * self.config.horizon + t) * num_models + n;
-                        let table = &self.zoo.model(n).eval;
-                        self.slot_loss[cell] = table.mean_loss_at(&indices);
-                        self.slot_acc[cell] = table.accuracy_at(&indices);
-                    }
+                    let stat_lanes = self.lanes.as_ref().expect("batched mode builds lanes");
+                    let base = (i * self.config.horizon + t) * num_models;
+                    stat_lanes.reduce(
+                        &indices,
+                        &mut self.slot_loss[base..base + num_models],
+                        &mut self.slot_acc[base..base + num_models],
+                    );
                 }
                 ServeMode::PerRequest => {
                     self.slot_indices[i][t] = indices;
@@ -579,6 +726,26 @@ impl<'a> Environment<'a> {
     #[must_use]
     pub fn serve_mode(&self) -> ServeMode {
         self.serve_mode
+    }
+
+    /// Runs the batched-mode lane reduction for one slot's drawn pool
+    /// `indices`: per-table mean loss into `loss_out` and accuracy
+    /// into `acc_out` (one lane per eval table), bit-identical to the
+    /// scalar per-table
+    /// [`mean_loss_at`](cne_nn::zoo::EvalTable::mean_loss_at) /
+    /// [`accuracy_at`](cne_nn::zoo::EvalTable::accuracy_at) calls.
+    /// Exposed so the benchmark suite can time the hot reduction
+    /// kernel in isolation.
+    ///
+    /// # Panics
+    /// Panics on a [`ServeMode::PerRequest`] environment or when the
+    /// output slices are not one lane per table.
+    pub fn reduce_slot_stats(&self, indices: &[usize], loss_out: &mut [f64], acc_out: &mut [f64]) {
+        let lanes = self
+            .lanes
+            .as_ref()
+            .expect("lane reduction is a batched-mode structure");
+        lanes.reduce(indices, loss_out, acc_out);
     }
 
     /// The realized fault schedule, when [`SimConfig::faults`] is set.
@@ -2994,6 +3161,57 @@ mod streaming_tests {
         let mut rec = Recorder::new();
         let record = env.run_with(&mut Churner, Some(&mut rec), None, edge_threads);
         (record, rec.to_jsonl_string())
+    }
+
+    #[test]
+    fn lane_reduction_is_bit_identical_to_scalar_tables() {
+        let zoo = zoo();
+        let lanes = StatLanes::build(&zoo);
+        let m = zoo.len();
+        let pool = zoo.pool().len();
+        let cases: Vec<Vec<usize>> = vec![
+            Vec::new(), // empty-slot sentinels: loss 0.0, accuracy 1.0
+            vec![0],
+            vec![pool - 1],
+            (0..pool).collect(),
+            (0..pool).rev().collect(),
+            (0..257).map(|k| (k * 7919) % pool).collect(),
+            vec![pool / 2; 123], // repeats
+        ];
+        let mut loss = vec![f64::NAN; m];
+        let mut acc = vec![f64::NAN; m];
+        for indices in &cases {
+            lanes.reduce(indices, &mut loss, &mut acc);
+            for n in 0..m {
+                let table = &zoo.model(n).eval;
+                assert_eq!(
+                    loss[n].to_bits(),
+                    table.mean_loss_at(indices).to_bits(),
+                    "loss lane {n} diverged on {} indices",
+                    indices.len()
+                );
+                assert_eq!(
+                    acc[n].to_bits(),
+                    table.accuracy_at(indices).to_bits(),
+                    "accuracy lane {n} diverged on {} indices",
+                    indices.len()
+                );
+            }
+        }
+
+        // The public kernel hook reduces through the same lanes.
+        let env = Environment::with_serve_mode(
+            faulty_cfg(),
+            &zoo,
+            &SeedSequence::new(67),
+            ServeMode::Batched,
+        );
+        env.reduce_slot_stats(&cases[3], &mut loss, &mut acc);
+        for n in 0..m {
+            let table = &zoo.model(n).eval;
+            assert_eq!(loss[n].to_bits(), table.mean_loss_at(&cases[3]).to_bits());
+            assert_eq!(acc[n].to_bits(), table.accuracy_at(&cases[3]).to_bits());
+        }
     }
 
     #[test]
